@@ -1,0 +1,82 @@
+// Ablation (§4.3.3 / Lemma 2): error of the bounded fringe as a function
+// of the fringe size F and the smallness of the non-implication count.
+//
+// Fixing the fringe introduces error only when the non-implication count
+// falls below ~2^-F · F0(A); sweeping the imposed implication count toward
+// |A| (i.e. ~S toward 0) shows where each F breaks down, and why the
+// paper's default F = 4 suffices for "most applications".
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/nips_ci_ensemble.h"
+#include "datagen/dataset_one.h"
+#include "stream/itemset.h"
+
+int main() {
+  using namespace implistat;
+  using namespace implistat::bench;
+
+  const int trials = EnvTrials();
+  const uint64_t cardinality = EnvFull() ? 20000 : 5000;
+  PrintHeaderBanner("Ablation: fringe size F vs small non-implication "
+                    "counts",
+                    "Dataset One, c=1; error of the NON-implication "
+                    "estimate ~S");
+  std::printf("|A| = %" PRIu64 ", %d trial(s)\n\n", cardinality, trials);
+
+  const std::vector<int> fringe_sizes = {2, 3, 4, 6, 8};
+  // Imposed S as a fraction of |A|; ~S = 2/3 of the rest.
+  const std::vector<int> impl_pcts = {50, 80, 90, 96, 99};
+
+  std::printf("%14s %14s", "impl-count", "nonimpl-count");
+  for (int f : fringe_sizes) std::printf("      F=%d", f);
+  std::printf("%9s\n", "unbnd");
+  for (int pct : impl_pcts) {
+    uint64_t s = cardinality * pct / 100;
+    std::vector<std::vector<double>> errs(fringe_sizes.size() + 1);
+    uint64_t true_non_impl = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      DatasetOneParams params;
+      params.cardinality_a = cardinality;
+      params.implied_count = s;
+      params.c = 1;
+      params.seed = pct * 7919ull + trial;
+      DatasetOne data = GenerateDatasetOne(params);
+      true_non_impl = data.true_non_implication_count;
+
+      std::vector<NipsCi> estimators;
+      for (size_t i = 0; i < fringe_sizes.size() + 1; ++i) {
+        NipsCiOptions opts;
+        opts.num_bitmaps = 64;
+        opts.nips.fringe_size =
+            i < fringe_sizes.size() ? fringe_sizes[i] : 0;
+        opts.seed = params.seed ^ 0xab;
+        estimators.emplace_back(data.conditions, opts);
+      }
+      ItemsetPacker a_packer(data.schema, AttributeSet({0}));
+      ItemsetPacker b_packer(data.schema, AttributeSet({1}));
+      while (auto tuple = data.stream.Next()) {
+        ItemsetKey a = a_packer.Pack(*tuple);
+        ItemsetKey b = b_packer.Pack(*tuple);
+        for (NipsCi& est : estimators) est.Observe(a, b);
+      }
+      for (size_t i = 0; i < estimators.size(); ++i) {
+        errs[i].push_back(RelativeError(
+            static_cast<double>(data.true_non_implication_count),
+            estimators[i].EstimateNonImplicationCount()));
+      }
+    }
+    std::printf("%14" PRIu64 " %14" PRIu64, s, true_non_impl);
+    for (const auto& column : errs) {
+      std::printf(" %8.3f", Summarize(column).mean);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(expected: small F inflates ~S estimates once the true\n"
+              " non-implication count sinks below 2^-F per bitmap share;\n"
+              " F=4 holds until ~6%% of F0, matching §4.3.3)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench prints the paper table/figure it regenerates as plain rows
+// on stdout. Scale knobs (all optional):
+//   IMPLISTAT_TRIALS  — trials per configuration (default 3; paper: 100)
+//   IMPLISTAT_FULL=1  — paper-scale sweeps (|A| up to 100000, streams up
+//                       to 5.38M tuples); default is a laptop-quick run.
+
+#ifndef IMPLISTAT_BENCH_BENCH_UTIL_H_
+#define IMPLISTAT_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace implistat::bench {
+
+inline int EnvTrials(int def = 3) {
+  const char* v = std::getenv("IMPLISTAT_TRIALS");
+  if (v == nullptr) return def;
+  int n = std::atoi(v);
+  return n >= 1 ? n : def;
+}
+
+inline bool EnvFull() {
+  const char* v = std::getenv("IMPLISTAT_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+struct MeanStd {
+  double mean = 0;
+  double stddev = 0;
+};
+
+inline MeanStd Summarize(const std::vector<double>& xs) {
+  MeanStd out;
+  if (xs.empty()) return out;
+  for (double x : xs) out.mean += x;
+  out.mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - out.mean) * (x - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return out;
+}
+
+inline double RelativeError(double actual, double measured) {
+  if (actual == 0) return measured == 0 ? 0.0 : 1.0;
+  return std::abs(actual - measured) / actual;
+}
+
+inline void PrintHeaderBanner(const char* what, const char* config) {
+  std::printf("== %s ==\n", what);
+  std::printf("-- %s\n", config);
+}
+
+}  // namespace implistat::bench
+
+#endif  // IMPLISTAT_BENCH_BENCH_UTIL_H_

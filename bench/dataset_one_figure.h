@@ -1,0 +1,94 @@
+// Driver shared by the Figure 4/5/6 benches: the §6.1 experiment.
+//
+// For each attribute cardinality |A| and each imposed implication count S
+// in 10%..90% of |A|, generate Dataset One, run NIPS/CI with a bounded
+// fringe (F = 4) and with an unbounded fringe over the same stream, and
+// report the mean relative error over the trials. Mirrors the paper's
+// series "Bounded Fringe" / "Unbounded Fringe"; the paper averaged 100
+// trials, IMPLISTAT_TRIALS controls ours.
+
+#ifndef IMPLISTAT_BENCH_DATASET_ONE_FIGURE_H_
+#define IMPLISTAT_BENCH_DATASET_ONE_FIGURE_H_
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/nips_ci_ensemble.h"
+#include "datagen/dataset_one.h"
+#include "stream/itemset.h"
+
+namespace implistat::bench {
+
+inline void RunDatasetOneFigure(const char* figure_name, uint32_t c) {
+  const int trials = EnvTrials();
+  std::vector<uint64_t> cardinalities = {100, 1000};
+  if (EnvFull()) {
+    cardinalities.push_back(10000);
+    cardinalities.push_back(100000);
+  } else {
+    cardinalities.push_back(10000);
+  }
+
+  std::printf("== %s: Dataset One, one-to-%u implications ==\n", figure_name,
+              c);
+  std::printf(
+      "-- sigma=50, gamma=0.90 (imposed ~92%%), K=c=%u, m=64 bitmaps,\n"
+      "-- bounded fringe F=4 vs unbounded; %d trial(s)%s\n",
+      c, trials,
+      EnvFull() ? " [FULL]" : " (IMPLISTAT_FULL=1 adds |A|=100000)");
+
+  for (uint64_t cardinality : cardinalities) {
+    std::printf("\n|A| = %" PRIu64 "\n", cardinality);
+    std::printf("%12s %16s %16s %12s %12s\n", "impl-count", "bounded-err",
+                "unbounded-err", "bounded-sd", "unbound-sd");
+    for (int pct = 10; pct <= 90; pct += 10) {
+      uint64_t s = cardinality * pct / 100;
+      std::vector<double> bounded_errs, unbounded_errs;
+      for (int trial = 0; trial < trials; ++trial) {
+        DatasetOneParams params;
+        params.cardinality_a = cardinality;
+        params.implied_count = s;
+        params.c = c;
+        params.seed =
+            cardinality * 1315423911ull + pct * 2654435761ull + trial;
+        DatasetOne data = GenerateDatasetOne(params);
+
+        NipsCiOptions bounded_opts;
+        bounded_opts.num_bitmaps = 64;
+        bounded_opts.nips.fringe_size = 4;
+        bounded_opts.seed = params.seed ^ 0xb0;
+        NipsCi bounded(data.conditions, bounded_opts);
+        NipsCiOptions unbounded_opts = bounded_opts;
+        unbounded_opts.nips.fringe_size = 0;
+        unbounded_opts.seed = params.seed ^ 0xb0;  // identical hashing
+        NipsCi unbounded(data.conditions, unbounded_opts);
+
+        ItemsetPacker a_packer(data.schema, AttributeSet({0}));
+        ItemsetPacker b_packer(data.schema, AttributeSet({1}));
+        while (auto tuple = data.stream.Next()) {
+          ItemsetKey a = a_packer.Pack(*tuple);
+          ItemsetKey b = b_packer.Pack(*tuple);
+          bounded.Observe(a, b);
+          unbounded.Observe(a, b);
+        }
+        double truth = static_cast<double>(data.true_implication_count);
+        bounded_errs.push_back(
+            RelativeError(truth, bounded.EstimateImplicationCount()));
+        unbounded_errs.push_back(
+            RelativeError(truth, unbounded.EstimateImplicationCount()));
+      }
+      MeanStd b = Summarize(bounded_errs);
+      MeanStd u = Summarize(unbounded_errs);
+      std::printf("%12" PRIu64 " %16.4f %16.4f %12.4f %12.4f\n", s, b.mean,
+                  u.mean, b.stddev, u.stddev);
+    }
+  }
+  std::printf("\n(paper: mean error ~0.05-0.10 across the sweep, bounded\n"
+              " and unbounded fringes indistinguishable)\n");
+}
+
+}  // namespace implistat::bench
+
+#endif  // IMPLISTAT_BENCH_DATASET_ONE_FIGURE_H_

@@ -1,0 +1,8 @@
+// Regenerates Figure 4: Dataset One accuracy with c = 1.
+
+#include "dataset_one_figure.h"
+
+int main() {
+  implistat::bench::RunDatasetOneFigure("Figure 4", /*c=*/1);
+  return 0;
+}

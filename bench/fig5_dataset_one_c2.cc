@@ -1,0 +1,8 @@
+// Regenerates Figure 5: Dataset One accuracy with c = 2.
+
+#include "dataset_one_figure.h"
+
+int main() {
+  implistat::bench::RunDatasetOneFigure("Figure 5", /*c=*/2);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Regenerates Figure 6: Dataset One accuracy with c = 4.
+
+#include "dataset_one_figure.h"
+
+int main() {
+  implistat::bench::RunDatasetOneFigure("Figure 6", /*c=*/4);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Figure 7(A): relative error vs stream size, workload A.
+
+#include "fig7_runner.h"
+
+int main() {
+  implistat::bench::RunFig7("Figure 7(A)",
+                            implistat::bench::OlapWorkload::kA);
+  return 0;
+}

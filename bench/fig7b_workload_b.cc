@@ -1,0 +1,9 @@
+// Regenerates Figure 7(B): relative error vs stream size, workload B.
+
+#include "fig7_runner.h"
+
+int main() {
+  implistat::bench::RunFig7("Figure 7(B)",
+                            implistat::bench::OlapWorkload::kB);
+  return 0;
+}

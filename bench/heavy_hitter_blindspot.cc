@@ -1,0 +1,121 @@
+// Extension bench: the frequency blind spot (§1, §5).
+//
+// "The cumulative effect of many objects whose frequency of appearance is
+// less than the given threshold may overwhelm the implication statistics
+// although these objects are not identified [by heavy-hitter methods]."
+//
+// A spoofed-source DDoS is streamed next to quiet traffic. Three
+// summaries watch the same packets:
+//   * Space-Saving top-k over sources (the heavy-hitter answer),
+//   * Count-Min point queries for the attack sources,
+//   * NIPS/CI's implication count of Source → Destination (K = 1).
+// The heavy-hitter view shows nothing — no spoofed source clears any
+// sensible threshold, each sent one packet. The implication count jumps
+// by the size of the spoofed population.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/nips_ci_ensemble.h"
+#include "datagen/netflow_gen.h"
+#include "sketch/count_min.h"
+#include "sketch/space_saving.h"
+#include "util/random.h"
+
+int main() {
+  using namespace implistat;
+  using namespace implistat::bench;
+
+  PrintHeaderBanner("Extension: heavy-hitter blind spot vs implication "
+                    "counts",
+                    "spoofed-source DDoS; Space-Saving k=256, Count-Min "
+                    "eps=1e-4, NIPS/CI m=64");
+
+  const uint64_t quiet_tuples = EnvFull() ? 2000000 : 500000;
+  const uint64_t attack_tuples = quiet_tuples / 5;
+
+  NetflowGenParams params;
+  params.seed = 77;
+  params.num_sources = 1 << 20;
+  Episode ddos;
+  ddos.kind = EpisodeKind::kDdos;
+  ddos.start_tuple = quiet_tuples;
+  ddos.length = attack_tuples;
+  ddos.intensity = 0.5;
+  ddos.focus = 42;
+  params.episodes = {ddos};
+  NetflowGenerator gen(params);
+
+  SpaceSaving heavy(256);
+  CountMinSketch cm = CountMinSketch::FromErrorBounds(1e-4, 0.01, 3);
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = 1;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  NipsCi nips(cond, NipsCiOptions{});
+
+  auto report = [&](const char* phase, uint64_t tuples) {
+    // Heavy hitters above 0.5% of the stream.
+    auto hitters = heavy.GuaranteedAbove(tuples / 200);
+    uint64_t top_count = 0;
+    if (!heavy.Items().empty()) top_count = heavy.Items().front().count;
+    std::printf("%-18s %10" PRIu64 " tuples | heavy hitters(>0.5%%): %zu "
+                "(top count %" PRIu64 ") | S(src->dst): %10.0f\n",
+                phase, tuples, hitters.size(), top_count,
+                nips.EstimateImplicationCount());
+  };
+
+  uint64_t tuples = 0;
+  for (; tuples < quiet_tuples; ++tuples) {
+    auto tuple = gen.Next();
+    ValueId src = (*tuple)[NetflowGenerator::kSource];
+    ValueId dst = (*tuple)[NetflowGenerator::kDestination];
+    heavy.Observe(src);
+    cm.Add(src);
+    nips.Observe(src, dst);
+  }
+  report("quiet baseline", tuples);
+
+  for (; tuples < quiet_tuples + attack_tuples; ++tuples) {
+    auto tuple = gen.Next();
+    ValueId src = (*tuple)[NetflowGenerator::kSource];
+    ValueId dst = (*tuple)[NetflowGenerator::kDestination];
+    heavy.Observe(src);
+    cm.Add(src);
+    nips.Observe(src, dst);
+  }
+  report("after DDoS", tuples);
+
+  // Spot-check Count-Min on actual spoofed sources: re-generate some
+  // attack packets to know which sources they used.
+  NetflowGenParams replay = params;
+  NetflowGenerator regen(replay);
+  for (uint64_t i = 0; i < quiet_tuples; ++i) regen.Next();
+  uint64_t max_spoofed_estimate = 0;
+  double sum_estimate = 0;
+  int spoofed_seen = 0;
+  for (uint64_t i = 0; i < attack_tuples && spoofed_seen < 1000; ++i) {
+    auto tuple = regen.Next();
+    if ((*tuple)[NetflowGenerator::kDestination] != ddos.focus) continue;
+    uint64_t est = cm.Estimate((*tuple)[NetflowGenerator::kSource]);
+    max_spoofed_estimate = std::max(max_spoofed_estimate, est);
+    sum_estimate += static_cast<double>(est);
+    ++spoofed_seen;
+  }
+  std::printf(
+      "\nCount-Min on %d sampled spoofed sources: mean estimate %.1f, max "
+      "%" PRIu64 "\n(threshold for 0.5%% heavy-hitter status: %" PRIu64
+      ")\n",
+      spoofed_seen, sum_estimate / spoofed_seen, max_spoofed_estimate,
+      tuples / 200);
+  std::printf(
+      "\nNo spoofed source comes anywhere near any frequency threshold —\n"
+      "each sent ~1 packet — so Space-Saving and Count-Min report a quiet\n"
+      "network, while the implication count of single-destination sources\n"
+      "jumps by the spoofed population. Memory: SS %zu B, CM %zu B,\n"
+      "NIPS/CI %zu B.\n",
+      heavy.MemoryBytes(), cm.MemoryBytes(), nips.MemoryBytes());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The §6.2 real-data experiment on the synthetic OLAP stand-in: shared by
+// the Table 4 and Figure 7 benches.
+//
+// Workload A: the compound/conditional implication (A, E, F) → B — large
+// compound cardinality. Workload B: the unconditional B → E — moderate
+// cardinalities. Conditions follow Table 5 / §6.2: K = 2, c = 1,
+// γ1 ∈ {0.6, 0.8}, σ ∈ {5, 50}, with the tracking-bound multiplicity
+// semantics.
+
+#ifndef IMPLISTAT_BENCH_OLAP_WORKLOAD_H_
+#define IMPLISTAT_BENCH_OLAP_WORKLOAD_H_
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/distinct_sampling.h"
+#include "baseline/exact_counter.h"
+#include "baseline/ilc.h"
+#include "bench_util.h"
+#include "core/nips_ci_ensemble.h"
+#include "datagen/olap_gen.h"
+#include "stream/itemset.h"
+
+namespace implistat::bench {
+
+enum class OlapWorkload { kA, kB };
+
+inline const char* WorkloadName(OlapWorkload w) {
+  return w == OlapWorkload::kA ? "A: (A,E,F) -> B" : "B: B -> E";
+}
+
+inline ImplicationConditions WorkloadConditions(uint64_t sigma,
+                                                double gamma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;  // Table 5: K = 2
+  cond.min_support = sigma;
+  cond.min_top_confidence = gamma;
+  cond.confidence_c = 1;
+  cond.strict_multiplicity = false;
+  return cond;
+}
+
+/// The paper's Table 4 checkpoints (tuples seen); the quick run keeps the
+/// prefix that fits in ~1.35M tuples.
+inline std::vector<uint64_t> Checkpoints() {
+  std::vector<uint64_t> all = {134576,  672771,  1344591,
+                               2690181, 4035475, 5381203};
+  if (!EnvFull()) all.resize(3);
+  return all;
+}
+
+/// Builds the A- and B-side packers for a workload.
+inline void MakePackers(const Schema& schema, OlapWorkload workload,
+                        std::unique_ptr<ItemsetPacker>* a,
+                        std::unique_ptr<ItemsetPacker>* b) {
+  if (workload == OlapWorkload::kA) {
+    *a = std::make_unique<ItemsetPacker>(schema, AttributeSet({0, 4, 5}));
+    *b = std::make_unique<ItemsetPacker>(schema, AttributeSet({1}));
+  } else {
+    *a = std::make_unique<ItemsetPacker>(schema, AttributeSet({1}));
+    *b = std::make_unique<ItemsetPacker>(schema, AttributeSet({4}));
+  }
+}
+
+}  // namespace implistat::bench
+
+#endif  // IMPLISTAT_BENCH_OLAP_WORKLOAD_H_

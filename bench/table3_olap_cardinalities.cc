@@ -1,0 +1,40 @@
+// Regenerates Table 3: the per-dimension cardinalities of the real-data
+// stand-in. The paper's table lists the declared cardinalities of the
+// proprietary OLAP dataset; here we verify the synthetic generator both
+// declares them and approaches them in a finite stream.
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/olap_gen.h"
+
+int main() {
+  using namespace implistat;
+  bench::PrintHeaderBanner(
+      "Table 3: dimension cardinalities",
+      "synthetic OLAP stand-in (proprietary source unavailable)");
+
+  OlapGenParams params;
+  params.seed = 1;
+  OlapGenerator gen(params);
+  const uint64_t tuples = bench::EnvFull() ? 5000000 : 1000000;
+  std::vector<std::unordered_set<ValueId>> seen(8);
+  for (uint64_t i = 0; i < tuples; ++i) {
+    auto tuple = gen.Next();
+    for (int d = 0; d < 8; ++d) seen[d].insert((*tuple)[d]);
+  }
+  std::printf("%10s %10s %12s %14s\n", "dimension", "paper", "declared",
+              "observed");
+  const uint64_t paper[8] = {1557, 2669, 2, 2, 3363, 131, 660, 693};
+  for (int d = 0; d < 8; ++d) {
+    std::printf("%10s %10" PRIu64 " %12" PRIu64 " %14zu\n",
+                gen.schema().attribute(d).name.c_str(), paper[d],
+                gen.schema().attribute(d).cardinality, seen[d].size());
+  }
+  std::printf("\n(observed counts converge to the declared Table 3 values\n"
+              " as the stream grows; %" PRIu64 " tuples here)\n", tuples);
+  return 0;
+}

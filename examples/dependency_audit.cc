@@ -1,0 +1,124 @@
+// dependency_audit: approximate-dependency discovery over a stream.
+//
+// Application 2 of the paper (§2): "Approximate dependencies ... can be
+// validated during updates or on a data-stream by conditions on the
+// aggregate implication counts", and the CORDS-style use of implication
+// estimates to find soft functional dependencies between columns.
+//
+// For every ordered attribute pair (X, Y) of an 8-dimensional OLAP-style
+// stream, the audit maintains NIPS/CI estimators of
+//
+//   strength_γ(X → Y) = S_γ(X → Y) / F0_sup(X)
+//
+// under noise-tolerant one-to-one implications (K = 1) at three tolerance
+// levels γ. A pair that stands out at high γ is an approximate functional
+// dependency; one that only appears at low γ is a soft correlation. The
+// generator deliberately embeds a loyal B → E pool (visible from γ = 0.85
+// down) and a 50% A → G correlation (visible only at γ = 0.40).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/nips_ci_ensemble.h"
+#include "datagen/olap_gen.h"
+#include "stream/itemset.h"
+
+int main() {
+  using namespace implistat;
+
+  OlapGenParams params;
+  params.seed = 7;
+  OlapGenerator gen(params);
+  const Schema& schema = gen.schema();
+  const int dims = schema.num_attributes();
+  const std::vector<double> gammas = {0.85, 0.55, 0.40};
+
+  struct PairAudit {
+    int x, y;
+    ItemsetPacker x_packer, y_packer;
+    std::vector<NipsCi> estimators;  // one per gamma
+  };
+  std::vector<PairAudit> audits;
+  uint64_t seed = 1;
+  for (int x = 0; x < dims; ++x) {
+    for (int y = 0; y < dims; ++y) {
+      if (x == y) continue;
+      PairAudit audit{x, y, ItemsetPacker(schema, {x}),
+                      ItemsetPacker(schema, {y}), {}};
+      for (double gamma : gammas) {
+        ImplicationConditions cond;
+        cond.max_multiplicity = 1;
+        cond.min_support = 5;
+        cond.min_top_confidence = gamma;
+        cond.confidence_c = 1;
+        cond.strict_multiplicity = false;
+        NipsCiOptions opts;
+        opts.seed = seed++;
+        audit.estimators.emplace_back(cond, opts);
+      }
+      audits.push_back(std::move(audit));
+    }
+  }
+
+  constexpr uint64_t kTuples = 300000;
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    auto tuple = gen.Next();
+    for (PairAudit& audit : audits) {
+      ItemsetKey x = audit.x_packer.Pack(*tuple);
+      ItemsetKey y = audit.y_packer.Pack(*tuple);
+      for (NipsCi& est : audit.estimators) est.Observe(x, y);
+    }
+  }
+
+  std::printf("Approximate-dependency audit over %llu tuples\n",
+              static_cast<unsigned long long>(kTuples));
+  std::printf("strength_g = S_g(X->Y) / F0_sup(X), K=1, sigma=5\n");
+
+  for (size_t g = 0; g < gammas.size(); ++g) {
+    struct Row {
+      double strength;
+      int x, y;
+      double s, f0;
+    };
+    std::vector<Row> rows;
+    for (PairAudit& audit : audits) {
+      CiEstimate est = audit.estimators[g].Estimate();
+      // Skip trivially tiny domains on either side: binary targets
+      // (C, D) are "implied" by everything once gamma <= 0.5.
+      if (schema.attribute(audit.y).cardinality < 8 ||
+          est.supported_distinct < 16) {
+        continue;
+      }
+      rows.push_back(Row{est.implication / est.supported_distinct, audit.x,
+                         audit.y, est.implication,
+                         est.supported_distinct});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) {
+                return a.strength > b.strength;
+              });
+    std::printf("\ntolerance gamma = %.2f — top pairs:\n", gammas[g]);
+    std::printf("  %4s %4s %12s %12s %10s\n", "X", "Y", "S(X->Y)",
+                "F0_sup(X)", "strength");
+    for (size_t i = 0; i < rows.size() && i < 5; ++i) {
+      std::printf("  %4s %4s %12.0f %12.0f %10.3f\n",
+                  schema.attribute(rows[i].x).name.c_str(),
+                  schema.attribute(rows[i].y).name.c_str(), rows[i].s,
+                  rows[i].f0, rows[i].strength);
+    }
+  }
+
+  std::printf(
+      "\nEmbedded ground truth: a loyal pool of B values implies E (with\n"
+      "up to 35%% noise, so it surfaces as gamma drops to 0.55), and G\n"
+      "copies a hash of A half the time (A->G surfaces only at 0.40).\n"
+      "The audit also discovers structure nobody planted explicitly --\n"
+      "e.g. tail E values served by a single combo imply A -- which is\n"
+      "exactly what a CORDS-style preprocessing pass is for.\n"
+      "Memory per (pair, gamma): %zu bytes — the audit of all %zu\n"
+      "estimators runs in constrained memory, no per-value tables.\n",
+      audits.front().estimators.front().MemoryBytes(),
+      audits.size() * gammas.size());
+  return 0;
+}

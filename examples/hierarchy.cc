@@ -1,0 +1,152 @@
+// hierarchy: distributed aggregation of implication sketches.
+//
+// The paper's distributed-denial-of-service observation (§3): "the counts
+// are very small at the first hop but significantly contributing to the
+// cumulative effect on the last hop routers". A per-edge-router view
+// cannot see a distributed attack — each edge carries only a sliver of
+// the spoofed traffic — but NIPS/CI sketches are mergeable: every edge
+// streams locally in O(K) memory, ships a kilobyte-scale serialized
+// summary upstream, and the aggregation point merges them into the
+// statistics of the combined traffic.
+//
+// Eight edge routers each carry 1/8th of the traffic. During the attack
+// window a DDoS against one victim is spread evenly across the edges.
+// The report compares each edge's local single-destination-source count
+// with the merged core view, before and during the attack.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/nips_ci_ensemble.h"
+#include "datagen/netflow_gen.h"
+#include "stream/itemset.h"
+#include "util/random.h"
+
+int main() {
+  using namespace implistat;
+
+  constexpr int kEdges = 8;
+  constexpr uint64_t kQuietTuplesPerEdge = 120000;
+  constexpr uint64_t kAttackTuplesPerEdge = 30000;
+
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = 1;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+
+  // All sketches share one configuration (hash seed included) so they are
+  // hash-compatible and mergeable.
+  NipsCiOptions sketch_options;
+  sketch_options.seed = 0xfeed;
+
+  auto make_edge_stream = [](int edge) {
+    NetflowGenParams params;
+    params.seed = 1000 + edge;
+    params.num_sources = 1 << 20;
+    params.num_destinations = 1 << 13;
+    return NetflowGenerator(params);
+  };
+
+  struct Edge {
+    NetflowGenerator stream;
+    NipsCi sketch;
+    ItemsetPacker source, destination;
+  };
+  std::vector<Edge> edges;
+  for (int e = 0; e < kEdges; ++e) {
+    NetflowGenerator stream = make_edge_stream(e);
+    Schema schema = stream.schema();
+    edges.push_back(Edge{std::move(stream),
+                         NipsCi(cond, sketch_options),
+                         ItemsetPacker(schema, {NetflowGenerator::kSource}),
+                         ItemsetPacker(schema,
+                                       {NetflowGenerator::kDestination})});
+  }
+
+  auto merged_estimate = [&]() {
+    NipsCi core(cond, sketch_options);
+    size_t wire_bytes = 0;
+    for (Edge& edge : edges) {
+      // Ship the serialized sketch, as a router would.
+      std::string bytes = edge.sketch.Serialize();
+      wire_bytes += bytes.size();
+      auto shipped = NipsCi::Deserialize(bytes);
+      if (!shipped.ok() || !core.Merge(*shipped).ok()) {
+        std::fprintf(stderr, "merge failed\n");
+        std::abort();
+      }
+    }
+    return std::pair<double, size_t>(core.EstimateImplicationCount(),
+                                     wire_bytes);
+  };
+
+  // Phase 1: quiet traffic on every edge.
+  for (Edge& edge : edges) {
+    for (uint64_t i = 0; i < kQuietTuplesPerEdge; ++i) {
+      auto tuple = edge.stream.Next();
+      edge.sketch.Observe(edge.source.Pack(*tuple),
+                          edge.destination.Pack(*tuple));
+    }
+  }
+  std::printf("single-destination sources (Source -> Destination, K=1)\n\n");
+  std::printf("quiet period, %llu tuples/edge:\n",
+              static_cast<unsigned long long>(kQuietTuplesPerEdge));
+  std::vector<double> quiet_local;
+  for (int e = 0; e < kEdges; ++e) {
+    quiet_local.push_back(edges[e].sketch.EstimateImplicationCount());
+    std::printf("  edge %d local estimate: %8.0f\n", e, quiet_local[e]);
+  }
+  auto [quiet_core, quiet_bytes] = merged_estimate();
+  std::printf("  CORE (merged):         %8.0f   (shipped %zu bytes)\n\n",
+              quiet_core, quiet_bytes);
+
+  // Phase 2: a DDoS against one victim, spread across every edge. Each
+  // spoofed source sends a single packet through a single edge: at the
+  // first hop the per-source counts are invisible noise.
+  Rng attack_rng(0xdead);
+  constexpr ValueId kVictim = 42;
+  for (Edge& edge : edges) {
+    std::vector<ValueId> row(4);
+    for (uint64_t i = 0; i < kAttackTuplesPerEdge; ++i) {
+      // Interleave attack packets with normal traffic 50/50.
+      if (i % 2 == 0) {
+        auto tuple = edge.stream.Next();
+        edge.sketch.Observe(edge.source.Pack(*tuple),
+                            edge.destination.Pack(*tuple));
+      } else {
+        row[NetflowGenerator::kSource] =
+            static_cast<ValueId>(attack_rng.Uniform(1 << 20));
+        row[NetflowGenerator::kDestination] = kVictim;
+        row[NetflowGenerator::kService] = 0;
+        row[NetflowGenerator::kHour] = 0;
+        TupleRef tuple(row.data(), row.size());
+        edge.sketch.Observe(edge.source.Pack(tuple),
+                            edge.destination.Pack(tuple));
+      }
+    }
+  }
+  std::printf("after a distributed attack window (%llu tuples/edge, half "
+              "spoofed):\n",
+              static_cast<unsigned long long>(kAttackTuplesPerEdge));
+  double max_local_delta = 0;
+  for (int e = 0; e < kEdges; ++e) {
+    double now = edges[e].sketch.EstimateImplicationCount();
+    std::printf("  edge %d local estimate: %8.0f  (+%.0f)\n", e, now,
+                now - quiet_local[e]);
+    max_local_delta = std::max(max_local_delta, now - quiet_local[e]);
+  }
+  auto [attack_core, attack_bytes] = merged_estimate();
+  std::printf("  CORE (merged):         %8.0f  (+%.0f, shipped %zu "
+              "bytes)\n\n",
+              attack_core, attack_core - quiet_core, attack_bytes);
+  std::printf(
+      "Each edge saw only ~%llu of the spoofed sources — and every one of\n"
+      "them sent a single packet, invisible to any frequency/heavy-hitter\n"
+      "summary. The merged view recovers the full ~%llu-source cumulative\n"
+      "effect at a cost of ~%zu KB of sketch per edge, no per-flow tables.\n",
+      static_cast<unsigned long long>(kAttackTuplesPerEdge / 2),
+      static_cast<unsigned long long>(kEdges * kAttackTuplesPerEdge / 2),
+      attack_bytes / kEdges / 1024);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// implistat_cli: run implication queries against CSV data.
+//
+//   implistat_cli <file.csv|-> "QUERY" ["QUERY" ...]
+//
+// Each query uses the paper's SQL-like format (§3 / query/parser.h):
+//
+//   SELECT COUNT(DISTINCT Destination) FROM traffic
+//   WHERE Destination IMPLIES Source
+//     AND Time = 'Morning'
+//   WITH K = 1, SUPPORT = 5, CONFIDENCE = 0.8, C = 1, ESTIMATOR = NIPS
+//
+// All queries stream over the input in a single pass, exactly as a router
+// or sensor node would run them.
+
+#include <fstream>
+#include <iostream>
+
+#include "query/engine.h"
+#include "query/parser.h"
+#include "stream/csv_io.h"
+
+int main(int argc, char** argv) {
+  using namespace implistat;
+
+  if (argc < 3) {
+    std::cerr << "usage: " << argv[0] << " <file.csv|-> \"QUERY\" ...\n\n"
+              << "example query:\n"
+              << "  SELECT COUNT(DISTINCT Destination) FROM t\n"
+              << "  WHERE Destination IMPLIES Source\n"
+              << "  WITH K = 1, SUPPORT = 1, CONFIDENCE = 1.0\n";
+    return 2;
+  }
+
+  StatusOr<CsvTable> table = [&]() -> StatusOr<CsvTable> {
+    if (std::string(argv[1]) == "-") return ReadCsv(std::cin);
+    std::ifstream file(argv[1]);
+    if (!file) return Status::IOError(std::string("cannot open ") + argv[1]);
+    return ReadCsv(file);
+  }();
+  if (!table.ok()) {
+    std::cerr << "input error: " << table.status() << "\n";
+    return 1;
+  }
+
+  QueryEngine engine(table->schema);
+  std::vector<std::string> texts;
+  for (int i = 2; i < argc; ++i) {
+    texts.emplace_back(argv[i]);
+    auto parsed = ParseImplicationQuery(texts.back());
+    if (!parsed.ok()) {
+      std::cerr << "parse error in query " << i - 1 << ": "
+                << parsed.status() << "\n";
+      return 1;
+    }
+    auto spec = BindQuery(*parsed, table->schema, &table->dictionaries);
+    if (!spec.ok()) {
+      std::cerr << "bind error in query " << i - 1 << ": " << spec.status()
+                << "\n";
+      return 1;
+    }
+    auto id = engine.Register(std::move(spec).value());
+    if (!id.ok()) {
+      std::cerr << "register error in query " << i - 1 << ": "
+                << id.status() << "\n";
+      return 1;
+    }
+  }
+
+  if (Status s = engine.ObserveStream(table->stream); !s.ok()) {
+    std::cerr << "stream error: " << s << "\n";
+    return 1;
+  }
+
+  std::cout << "# " << engine.tuples_seen() << " tuples\n";
+  for (QueryId id = 0; id < engine.num_queries(); ++id) {
+    auto answer = engine.Answer(id);
+    if (!answer.ok()) {
+      std::cerr << "query " << id + 1 << " failed: " << answer.status()
+                << "\n";
+      return 1;
+    }
+    const ImplicationEstimator* est = engine.Estimator(id).value();
+    std::cout << "query " << id + 1 << " [" << est->name()
+              << "]: " << *answer << "   (memory: " << est->MemoryBytes()
+              << " bytes)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Quickstart: the paper's Table 1 network-traffic toy data, queried with
+// the implication framework end to end (CSV → QueryEngine → estimators).
+//
+// Reproduces the worked examples of §1 and §3.1.2 and prints a Table-2
+// style report.
+
+#include <iostream>
+
+#include "query/engine.h"
+#include "stream/csv_io.h"
+
+namespace {
+
+constexpr const char* kTable1 =
+    "Source,Destination,Service,Time\n"
+    "S1,D2,WWW,Morning\n"
+    "S2,D1,FTP,Morning\n"
+    "S1,D3,WWW,Morning\n"
+    "S2,D1,P2P,Noon\n"
+    "S1,D3,P2P,Afternoon\n"
+    "S1,D3,WWW,Afternoon\n"
+    "S1,D3,P2P,Afternoon\n"
+    "S3,D3,P2P,Night\n";
+
+}  // namespace
+
+int main() {
+  using namespace implistat;
+
+  auto table = ReadCsvString(kTable1);
+  if (!table.ok()) {
+    std::cerr << "failed to parse Table 1: " << table.status() << "\n";
+    return 1;
+  }
+  QueryEngine engine(table->schema);
+
+  auto exact_spec = [](std::vector<std::string> a, std::vector<std::string> b,
+                       uint32_t k, uint64_t sigma, double gamma, uint32_t c,
+                       bool strict, std::string label) {
+    ImplicationQuerySpec spec;
+    spec.a_attributes = std::move(a);
+    spec.b_attributes = std::move(b);
+    spec.conditions.max_multiplicity = k;
+    spec.conditions.min_support = sigma;
+    spec.conditions.min_top_confidence = gamma;
+    spec.conditions.confidence_c = c;
+    spec.conditions.strict_multiplicity = strict;
+    spec.estimator.kind = EstimatorKind::kExact;
+    spec.label = std::move(label);
+    return spec;
+  };
+
+  std::vector<ImplicationQuerySpec> specs;
+  // §1: "how many destinations are contacted by just a single source?"
+  specs.push_back(exact_spec({"Destination"}, {"Source"}, 1, 1, 1.0, 1, true,
+                             "destinations with a single source"));
+  // §1: same, tolerating 20% noise.
+  specs.push_back(exact_spec({"Destination"}, {"Source"}, 1, 1, 0.8, 1,
+                             false,
+                             "destinations 80% contacted by one source"));
+  // §3.1.2: services used by at most two sources 80% of the time.
+  specs.push_back(exact_spec({"Service"}, {"Source"}, 5, 1, 0.8, 2, true,
+                             "services used by <=2 sources (80%)"));
+  // Table 2: compound implication — one destination per (source, service).
+  specs.push_back(exact_spec({"Source", "Service"}, {"Destination"}, 1, 1,
+                             1.0, 1, true,
+                             "one destination per (source, service)"));
+  // Table 2: conditional implication — morning-only traffic.
+  {
+    int time_idx = table->schema.IndexOf("Time").value();
+    ValueId morning =
+        table->dictionaries[time_idx].Find("Morning").value();
+    ImplicationQuerySpec spec = exact_spec(
+        {"Source"}, {"Destination"}, 1, 1, 1.0, 1, true,
+        "sources with one destination during the morning");
+    spec.where = std::make_shared<EqualsPredicate>(time_idx, morning);
+    specs.push_back(std::move(spec));
+  }
+  // Complement: destinations NOT implied by a single source.
+  {
+    ImplicationQuerySpec spec =
+        exact_spec({"Destination"}, {"Source"}, 1, 1, 1.0, 1, true,
+                   "destinations contacted by multiple sources");
+    spec.complement = true;
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<QueryId> ids;
+  for (const auto& spec : specs) {
+    auto id = engine.Register(spec);  // copy: labels are reused below
+    if (!id.ok()) {
+      std::cerr << "registration failed: " << id.status() << "\n";
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+
+  if (Status s = engine.ObserveStream(table->stream); !s.ok()) {
+    std::cerr << "stream failed: " << s << "\n";
+    return 1;
+  }
+
+  std::cout << "Table 1 stream: " << engine.tuples_seen() << " tuples\n\n";
+  std::cout << "Implication statistics (exact):\n";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    double answer = engine.Answer(ids[i]).value();
+    std::cout << "  " << specs[i].label << ": " << answer << "\n";
+  }
+
+  std::cout << "\nAll of the above are streaming queries: the same engine\n"
+               "accepts EstimatorKind::kNipsCi to answer them in O(K)\n"
+               "memory on unbounded streams (see netmon).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "baseline/distinct_sampling.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+DistinctSampling::DistinctSampling(ImplicationConditions conditions,
+                                   DistinctSamplingOptions options)
+    : conditions_(conditions),
+      options_(options),
+      hasher_(MakeHasher(options.hash_kind, options.seed)) {
+  IMPLISTAT_CHECK(conditions_.Validate().ok()) << "invalid conditions";
+  IMPLISTAT_CHECK(options_.max_sample_entries >= 1);
+}
+
+void DistinctSampling::Observe(ItemsetKey a, ItemsetKey b) {
+  int item_level = RhoLsb(hasher_->Hash(a));
+  if (item_level < level_) return;  // not (or no longer) in the sample
+  // Per-value detail is bounded by t (Table 5): unlimited tracking only
+  // when t exceeds the K counters the conditions need anyway.
+  ItemsetState& state =
+      sample_
+          .try_emplace(a, options_.per_value_bound >
+                              conditions_.max_multiplicity)
+          .first->second;
+  state.Observe(b, conditions_);
+  while (sample_.size() > options_.max_sample_entries && level_ < 63) {
+    RaiseLevel();
+  }
+}
+
+void DistinctSampling::RaiseLevel() {
+  ++level_;
+  for (auto it = sample_.begin(); it != sample_.end();) {
+    if (RhoLsb(hasher_->Hash(it->first)) < level_) {
+      it = sample_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double DistinctSampling::ScaleFactor() const {
+  return std::pow(2.0, level_);
+}
+
+double DistinctSampling::EstimateImplicationCount() const {
+  uint64_t qualifying = 0;
+  for (const auto& [key, state] : sample_) {
+    if (state.supported(conditions_) && !state.dirty()) ++qualifying;
+  }
+  return static_cast<double>(qualifying) * ScaleFactor();
+}
+
+double DistinctSampling::EstimateNonImplicationCount() const {
+  uint64_t dirty = 0;
+  for (const auto& [key, state] : sample_) {
+    if (state.dirty()) ++dirty;
+  }
+  return static_cast<double>(dirty) * ScaleFactor();
+}
+
+double DistinctSampling::EstimateSupportedDistinct() const {
+  uint64_t supported = 0;
+  for (const auto& [key, state] : sample_) {
+    if (state.supported(conditions_)) ++supported;
+  }
+  return static_cast<double>(supported) * ScaleFactor();
+}
+
+double DistinctSampling::AverageMultiplicity() const {
+  uint64_t qualifying = 0;
+  uint64_t total_multiplicity = 0;
+  for (const auto& [key, state] : sample_) {
+    if (state.supported(conditions_) && !state.dirty()) {
+      ++qualifying;
+      total_multiplicity += state.multiplicity();
+    }
+  }
+  return qualifying == 0 ? 0.0
+                         : static_cast<double>(total_multiplicity) /
+                               static_cast<double>(qualifying);
+}
+
+size_t DistinctSampling::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, state] : sample_) {
+    bytes += sizeof(key) + state.MemoryBytes() + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace implistat

@@ -1,0 +1,34 @@
+#include "baseline/exact_counter.h"
+
+#include "util/logging.h"
+
+namespace implistat {
+
+ExactImplicationCounter::ExactImplicationCounter(
+    ImplicationConditions conditions)
+    : conditions_(conditions) {
+  IMPLISTAT_CHECK(conditions_.Validate().ok()) << "invalid conditions";
+}
+
+void ExactImplicationCounter::Observe(ItemsetKey a, ItemsetKey b) {
+  ++tuples_;
+  // Unlimited pair tracking: the ground truth evaluates the conditions on
+  // exact counts, not on a K-bounded summary.
+  ItemsetState& state =
+      items_.try_emplace(a, /*unlimited_tracking=*/true).first->second;
+  bool was_supported = state.supported(conditions_);
+  bool was_dirty = state.dirty();
+  state.Observe(b, conditions_);
+  if (!was_supported && state.supported(conditions_)) ++supported_;
+  if (!was_dirty && state.dirty()) ++dirty_;
+}
+
+size_t ExactImplicationCounter::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, state] : items_) {
+    bytes += sizeof(key) + state.MemoryBytes() + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace implistat

@@ -1,0 +1,117 @@
+#include "baseline/ilc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+namespace {
+constexpr double kConfidenceEpsilon = 1e-9;
+}  // namespace
+
+Ilc::Ilc(ImplicationConditions conditions, IlcOptions options)
+    : conditions_(conditions),
+      options_(options),
+      width_(static_cast<uint64_t>(std::ceil(1.0 / options.epsilon))) {
+  IMPLISTAT_CHECK(conditions_.Validate().ok()) << "invalid conditions";
+  IMPLISTAT_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
+}
+
+void Ilc::Observe(ItemsetKey a, ItemsetKey b) {
+  ++count_;
+  if (!dirty_.contains(a)) {
+    auto it = entries_.find(a);
+    if (it == entries_.end()) {
+      Entry entry;
+      entry.count = 1;
+      entry.delta = current_bucket_ - 1;
+      entry.pairs.push_back(PairEntry{b, 1, current_bucket_ - 1});
+      entries_.emplace(a, std::move(entry));
+    } else {
+      Entry& entry = it->second;
+      ++entry.count;
+      auto pair_it =
+          std::find_if(entry.pairs.begin(), entry.pairs.end(),
+                       [b](const PairEntry& p) { return p.b == b; });
+      if (pair_it != entry.pairs.end()) {
+        ++pair_it->count;
+      } else {
+        entry.pairs.push_back(PairEntry{b, 1, current_bucket_ - 1});
+      }
+      if (ViolatesConditions(entry)) {
+        // Mark dirty and delete all pair entries for this itemset (§5.1).
+        dirty_.insert(a);
+        entries_.erase(it);
+      }
+    }
+  }
+  if (count_ % width_ == 0) {
+    PruneBucket();
+    ++current_bucket_;
+  }
+}
+
+bool Ilc::ViolatesConditions(const Entry& entry) const {
+  if (entry.count < conditions_.min_support) return false;
+  if (entry.pairs.size() > conditions_.max_multiplicity &&
+      conditions_.strict_multiplicity) {
+    return true;
+  }
+  // Top-c confidence over the lossy pair counters.
+  std::vector<uint64_t> counts;
+  counts.reserve(entry.pairs.size());
+  for (const PairEntry& p : entry.pairs) counts.push_back(p.count);
+  size_t take = std::min<size_t>(conditions_.confidence_c, counts.size());
+  std::partial_sort(counts.begin(), counts.begin() + take, counts.end(),
+                    std::greater<uint64_t>());
+  uint64_t sum = 0;
+  for (size_t i = 0; i < take; ++i) sum += counts[i];
+  double conf = static_cast<double>(sum) / static_cast<double>(entry.count);
+  return conf + kConfidenceEpsilon < conditions_.min_top_confidence;
+}
+
+void Ilc::PruneBucket() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    if (entry.count + entry.delta <= current_bucket_) {
+      // Below the lossy threshold: drop the itemset and its pair entries.
+      it = entries_.erase(it);
+      continue;
+    }
+    // Pair entries follow the same pruning rule independently.
+    std::erase_if(entry.pairs, [this](const PairEntry& p) {
+      return p.count + p.delta <= current_bucket_;
+    });
+    ++it;
+  }
+}
+
+double Ilc::EstimateImplicationCount() const {
+  uint64_t qualifying = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.count >= conditions_.min_support) ++qualifying;
+  }
+  return static_cast<double>(qualifying);
+}
+
+std::vector<ItemsetKey> Ilc::ImplicatedItemsets() const {
+  std::vector<ItemsetKey> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.count >= conditions_.min_support) out.push_back(key);
+  }
+  return out;
+}
+
+size_t Ilc::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, entry] : entries_) {
+    bytes += sizeof(key) + sizeof(Entry) +
+             entry.pairs.capacity() * sizeof(PairEntry) + 2 * sizeof(void*);
+  }
+  bytes += dirty_.size() * (sizeof(ItemsetKey) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace implistat

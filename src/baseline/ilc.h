@@ -1,0 +1,93 @@
+// ILC — Implication Lossy Counting (§5.1).
+//
+// The paper's extension of Lossy Counting to implication conditions, built
+// to show why frequent-itemset synopses cannot replace NIPS/CI. Entries
+// (a, count, Δ) and ((a,b), count, Δ) are sampled; when an itemset is seen
+// to satisfy the support condition while violating multiplicity or top-c
+// confidence it is marked *dirty* and its pair entries are dropped. Dirty
+// entries are never pruned — one of the two failure modes the paper
+// documents (memory grows with the number of implicated itemsets). The
+// other failure mode is the relative minimum support: entries whose
+// frequency stays below ε·T are pruned at bucket boundaries, so the
+// cumulative contribution of small implications is lost as T grows
+// (§5.1.1). Both emerge naturally from this implementation.
+//
+// Unlike the count-only estimators, ILC can return the implicated itemsets
+// themselves — see ImplicatedItemsets().
+
+#ifndef IMPLISTAT_BASELINE_ILC_H_
+#define IMPLISTAT_BASELINE_ILC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/conditions.h"
+#include "core/estimator.h"
+
+namespace implistat {
+
+struct IlcOptions {
+  /// Approximation parameter ε; bucket width is ceil(1/ε). The paper's
+  /// experiments use 0.01 (Table 5). Must satisfy ε ≤ the relative
+  /// support of the itemsets of interest for the guarantees to hold — the
+  /// constraint the paper shows breaking as T grows.
+  double epsilon = 0.01;
+};
+
+class Ilc final : public ImplicationEstimator {
+ public:
+  Ilc(ImplicationConditions conditions, IlcOptions options);
+
+  void Observe(ItemsetKey a, ItemsetKey b) override;
+
+  /// Number of non-dirty sampled itemsets meeting the (absolute) minimum
+  /// support — ILC's answer to the implication count. No scaling: ILC
+  /// enumerates itemsets rather than estimating cardinalities.
+  double EstimateImplicationCount() const override;
+  size_t MemoryBytes() const override;
+  std::string name() const override { return "ILC"; }
+
+  /// The itemsets ILC believes imply B (the capability NIPS/CI trades
+  /// away for bounded memory).
+  std::vector<ItemsetKey> ImplicatedItemsets() const;
+
+  size_t num_entries() const { return entries_.size() + dirty_.size(); }
+  size_t num_dirty() const { return dirty_.size(); }
+  uint64_t tuples_seen() const { return count_; }
+
+ private:
+  struct PairEntry {
+    ItemsetKey b;
+    uint64_t count;
+    uint64_t delta;
+  };
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t delta = 0;
+    std::vector<PairEntry> pairs;
+  };
+
+  // True when the entry currently satisfies support while violating
+  // multiplicity or top-c confidence (evaluated on the lossy counters).
+  bool ViolatesConditions(const Entry& entry) const;
+
+  void PruneBucket();
+
+  ImplicationConditions conditions_;
+  IlcOptions options_;
+  uint64_t width_;
+  uint64_t count_ = 0;
+  uint64_t current_bucket_ = 1;
+  // Live (non-dirty) entries, subject to lossy pruning.
+  std::unordered_map<ItemsetKey, Entry> entries_;
+  // Dirty itemsets persist forever (§5.1) and need no pair bookkeeping;
+  // keeping them out of `entries_` keeps bucket pruning O(live entries).
+  std::unordered_set<ItemsetKey> dirty_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_BASELINE_ILC_H_

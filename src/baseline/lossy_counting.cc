@@ -1,0 +1,53 @@
+#include "baseline/lossy_counting.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+LossyCounting::LossyCounting(double epsilon)
+    : epsilon_(epsilon),
+      width_(static_cast<uint64_t>(std::ceil(1.0 / epsilon))) {
+  IMPLISTAT_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon out of range";
+}
+
+void LossyCounting::Observe(uint64_t key) {
+  ++count_;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second.count;
+  } else {
+    entries_.emplace(key, Entry{1, current_bucket_ - 1});
+  }
+  if (count_ % width_ == 0) {
+    PruneBucket();
+    ++current_bucket_;
+  }
+}
+
+void LossyCounting::PruneBucket() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.count + it->second.delta <= current_bucket_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t LossyCounting::EstimatedCount(uint64_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> LossyCounting::ItemsAbove(
+    uint64_t threshold) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.count >= threshold) out.emplace_back(key, entry.count);
+  }
+  return out;
+}
+
+}  // namespace implistat

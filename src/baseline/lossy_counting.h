@@ -1,0 +1,58 @@
+// Lossy Counting (Manku & Motwani, VLDB 2002 — the paper's reference [22]).
+//
+// The deterministic frequency-count synopsis ILC builds on: the stream is
+// divided into buckets of width w = ceil(1/ε); an entry (key, count, Δ)
+// guarantees count ≤ true frequency ≤ count + Δ; at bucket boundaries
+// entries with count + Δ ≤ b_current are pruned. Every key with true
+// frequency ≥ εT survives.
+
+#ifndef IMPLISTAT_BASELINE_LOSSY_COUNTING_H_
+#define IMPLISTAT_BASELINE_LOSSY_COUNTING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace implistat {
+
+class LossyCounting {
+ public:
+  /// `epsilon` in (0, 1): the approximation parameter; bucket width is
+  /// ceil(1/epsilon).
+  explicit LossyCounting(double epsilon);
+
+  void Observe(uint64_t key);
+
+  /// Estimated frequency (the stored count; true frequency is within
+  /// [count, count + Δ]). 0 if pruned/absent.
+  uint64_t EstimatedCount(uint64_t key) const;
+
+  /// All keys whose estimated count ≥ threshold, i.e. the classic output
+  /// rule "count ≥ (s − ε)·T" with threshold = (s − ε)·T precomputed by
+  /// the caller.
+  std::vector<std::pair<uint64_t, uint64_t>> ItemsAbove(
+      uint64_t threshold) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  uint64_t tuples_seen() const { return count_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  struct Entry {
+    uint64_t count;
+    uint64_t delta;
+  };
+
+  void PruneBucket();
+
+  double epsilon_;
+  uint64_t width_;
+  uint64_t count_ = 0;
+  uint64_t current_bucket_ = 1;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_BASELINE_LOSSY_COUNTING_H_

@@ -1,0 +1,174 @@
+#include "baseline/sticky_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+namespace {
+
+constexpr double kConfidenceEpsilon = 1e-9;
+
+uint64_t ComputeT(const StickySamplingOptions& options) {
+  IMPLISTAT_CHECK(options.epsilon > 0 && options.epsilon < 1);
+  IMPLISTAT_CHECK(options.delta > 0 && options.delta < 1);
+  IMPLISTAT_CHECK(options.support > 0 && options.support < 1);
+  double t = (1.0 / options.epsilon) *
+             std::log(1.0 / (options.support * options.delta));
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(t)));
+}
+
+}  // namespace
+
+StickySampling::StickySampling(StickySamplingOptions options)
+    : options_(options),
+      rng_(SplitMix64(options.seed + 0xabcd)),
+      t_(ComputeT(options)),
+      window_end_(2 * t_) {}
+
+void StickySampling::Observe(uint64_t key) {
+  ++count_;
+  MaybeAdvanceRate();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second;
+    return;
+  }
+  // Not tracked: admit with probability 1/rate.
+  if (rate_ == 1 || rng_.Uniform(rate_) == 0) entries_.emplace(key, 1);
+}
+
+void StickySampling::MaybeAdvanceRate() {
+  if (count_ <= window_end_) return;
+  rate_ *= 2;
+  window_end_ += rate_ * t_;
+  DiminishEntries();
+}
+
+void StickySampling::DiminishEntries() {
+  // For each entry, repeatedly toss an unbiased coin and diminish the
+  // count by one per tail, stopping at the first head; drop on zero. This
+  // re-levels counts as if sampled at the doubled rate from the start.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    uint64_t& c = it->second;
+    while (c > 0 && rng_.Bernoulli(0.5)) --c;
+    if (c == 0) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t StickySampling::EstimatedCount(uint64_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> StickySampling::ItemsAbove(
+    uint64_t threshold) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (const auto& [key, count] : entries_) {
+    if (count >= threshold) out.emplace_back(key, count);
+  }
+  return out;
+}
+
+ImplicationStickySampling::ImplicationStickySampling(
+    ImplicationConditions conditions, StickySamplingOptions options)
+    : conditions_(conditions),
+      options_(options),
+      rng_(SplitMix64(options.seed + 0x515)),
+      t_(ComputeT(options)),
+      window_end_(2 * t_) {
+  IMPLISTAT_CHECK(conditions_.Validate().ok()) << "invalid conditions";
+}
+
+void ImplicationStickySampling::Observe(ItemsetKey a, ItemsetKey b) {
+  ++count_;
+  MaybeAdvanceRate();
+  if (dirty_.contains(a)) return;
+  auto it = entries_.find(a);
+  if (it == entries_.end()) {
+    if (rate_ != 1 && rng_.Uniform(rate_) != 0) return;
+    Entry entry;
+    entry.count = 1;
+    entry.pairs.push_back(PairCount{b, 1});
+    entries_.emplace(a, std::move(entry));
+    return;
+  }
+  Entry& entry = it->second;
+  ++entry.count;
+  auto pair_it = std::find_if(entry.pairs.begin(), entry.pairs.end(),
+                              [b](const PairCount& p) { return p.b == b; });
+  if (pair_it != entry.pairs.end()) {
+    ++pair_it->count;
+  } else {
+    entry.pairs.push_back(PairCount{b, 1});
+  }
+  if (ViolatesConditions(entry)) {
+    dirty_.insert(a);
+    entries_.erase(it);
+  }
+}
+
+bool ImplicationStickySampling::ViolatesConditions(const Entry& entry) const {
+  if (entry.count < conditions_.min_support) return false;
+  if (entry.pairs.size() > conditions_.max_multiplicity &&
+      conditions_.strict_multiplicity) {
+    return true;
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(entry.pairs.size());
+  for (const PairCount& p : entry.pairs) counts.push_back(p.count);
+  size_t take = std::min<size_t>(conditions_.confidence_c, counts.size());
+  std::partial_sort(counts.begin(), counts.begin() + take, counts.end(),
+                    std::greater<uint64_t>());
+  uint64_t sum = 0;
+  for (size_t i = 0; i < take; ++i) sum += counts[i];
+  double conf = static_cast<double>(sum) / static_cast<double>(entry.count);
+  return conf + kConfidenceEpsilon < conditions_.min_top_confidence;
+}
+
+void ImplicationStickySampling::MaybeAdvanceRate() {
+  if (count_ <= window_end_) return;
+  rate_ *= 2;
+  window_end_ += rate_ * t_;
+  DiminishEntries();
+}
+
+void ImplicationStickySampling::DiminishEntries() {
+  // Dirty itemsets live in their own set and are never diminished; only
+  // the counts of live entries are re-leveled.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    while (entry.count > 0 && rng_.Bernoulli(0.5)) --entry.count;
+    if (entry.count == 0) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double ImplicationStickySampling::EstimateImplicationCount() const {
+  uint64_t qualifying = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.count >= conditions_.min_support) ++qualifying;
+  }
+  return static_cast<double>(qualifying);
+}
+
+size_t ImplicationStickySampling::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, entry] : entries_) {
+    bytes += sizeof(key) + sizeof(Entry) +
+             entry.pairs.capacity() * sizeof(PairCount) + 2 * sizeof(void*);
+  }
+  bytes += dirty_.size() * (sizeof(ItemsetKey) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace implistat

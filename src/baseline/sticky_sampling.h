@@ -1,0 +1,106 @@
+// Sticky Sampling (Manku & Motwani, VLDB 2002) and its implication
+// extension (§5.1: "It is possible to make the same modifications to the
+// Sticky Sampling algorithm ... but the issue with the relative minimum
+// support remains").
+//
+// StickySampling is the probabilistic frequency synopsis: elements are
+// sampled at a rate r that doubles as the stream grows; on each rate
+// change existing counters are diminished by geometric coin flips so every
+// entry looks as if it had been sampled at the new rate from the start.
+// ImplicationStickySampling adds per-pair tracking and the monotone dirty
+// marking, mirroring ILC.
+
+#ifndef IMPLISTAT_BASELINE_STICKY_SAMPLING_H_
+#define IMPLISTAT_BASELINE_STICKY_SAMPLING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/conditions.h"
+#include "core/estimator.h"
+#include "util/random.h"
+
+namespace implistat {
+
+struct StickySamplingOptions {
+  double epsilon = 0.01;   // approximation parameter
+  double delta = 0.01;     // failure probability
+  double support = 0.1;    // the s of t = (1/ε)·ln(1/(s·δ))
+  uint64_t seed = 0;
+};
+
+class StickySampling {
+ public:
+  explicit StickySampling(StickySamplingOptions options);
+
+  void Observe(uint64_t key);
+
+  uint64_t EstimatedCount(uint64_t key) const;
+  std::vector<std::pair<uint64_t, uint64_t>> ItemsAbove(
+      uint64_t threshold) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  uint64_t sampling_rate() const { return rate_; }
+  uint64_t tuples_seen() const { return count_; }
+
+ private:
+  void MaybeAdvanceRate();
+  void DiminishEntries();
+
+  StickySamplingOptions options_;
+  Rng rng_;
+  uint64_t t_;             // window scale
+  uint64_t count_ = 0;
+  uint64_t rate_ = 1;
+  uint64_t window_end_;    // stream position at which the rate doubles
+  std::unordered_map<uint64_t, uint64_t> entries_;
+};
+
+class ImplicationStickySampling final : public ImplicationEstimator {
+ public:
+  ImplicationStickySampling(ImplicationConditions conditions,
+                            StickySamplingOptions options);
+
+  void Observe(ItemsetKey a, ItemsetKey b) override;
+
+  /// Count of non-dirty sampled itemsets meeting the minimum support.
+  double EstimateImplicationCount() const override;
+  size_t MemoryBytes() const override;
+  std::string name() const override { return "ISS"; }
+
+  size_t num_entries() const { return entries_.size() + dirty_.size(); }
+  size_t num_dirty() const { return dirty_.size(); }
+
+ private:
+  struct PairCount {
+    ItemsetKey b;
+    uint64_t count;
+  };
+  struct Entry {
+    uint64_t count = 0;
+    std::vector<PairCount> pairs;
+  };
+
+  bool ViolatesConditions(const Entry& entry) const;
+  void MaybeAdvanceRate();
+  void DiminishEntries();
+
+  ImplicationConditions conditions_;
+  StickySamplingOptions options_;
+  Rng rng_;
+  uint64_t t_;
+  uint64_t count_ = 0;
+  uint64_t rate_ = 1;
+  uint64_t window_end_;
+  // Live sampled entries; dirty itemsets persist in their own set and are
+  // exempt from diminishing (they are definitive evidence, §5.1).
+  std::unordered_map<ItemsetKey, Entry> entries_;
+  std::unordered_set<ItemsetKey> dirty_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_BASELINE_STICKY_SAMPLING_H_

@@ -1,0 +1,42 @@
+// CI — Counting Implications (Algorithm 2).
+//
+// Reads the bitmap(s) maintained by NIPS and turns the raw positions
+// R_F0sup and R_~S into estimates:
+//
+//   F̂0_sup = 2^R_F0sup / φ,   ~Ŝ = 2^R_~S / φ,   Ŝ = F̂0_sup − ~Ŝ,
+//
+// with φ = 0.775351 the Flajolet–Martin correction. (Algorithm 2 line 9
+// prints the uncorrected 2^R difference; applying φ to both terms — as the
+// paper's reliance on [14]'s estimator implies — keeps the difference
+// unbiased, and RawEstimate() preserves the literal form for comparison.)
+// For an ensemble of m bitmaps the standard stochastic-averaging form
+// m·2^mean(R)/φ is used for each term.
+
+#ifndef IMPLISTAT_CORE_CI_H_
+#define IMPLISTAT_CORE_CI_H_
+
+#include <span>
+
+#include "core/nips.h"
+
+namespace implistat {
+
+struct CiEstimate {
+  double supported_distinct = 0;  // F̂0_sup(A)
+  double non_implication = 0;     // ~Ŝ
+  double implication = 0;         // Ŝ = F̂0_sup − ~Ŝ, clamped at 0
+};
+
+/// Estimates from a single NIPS bitmap.
+CiEstimate CiFromBitmap(const Nips& nips);
+
+/// Estimates from an ensemble of bitmaps via stochastic averaging.
+CiEstimate CiFromEnsemble(std::span<const Nips> bitmaps);
+
+/// The literal Algorithm 2 return value, 2^R_F0sup − 2^R_~S, without the φ
+/// correction (single bitmap).
+double CiRawEstimate(const Nips& nips);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_CI_H_

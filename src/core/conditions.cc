@@ -1,0 +1,222 @@
+#include "core/conditions.h"
+
+#include <algorithm>
+
+namespace implistat {
+
+namespace {
+// Tolerance for the confidence comparison: counters are integers, so
+// γ_c(a) = sum/support; a tiny slack keeps e.g. 0.9·support == sum from
+// flapping on rounding.
+constexpr double kConfidenceEpsilon = 1e-9;
+}  // namespace
+
+Status ImplicationConditions::Validate() const {
+  if (max_multiplicity == 0) {
+    return Status::InvalidArgument("max_multiplicity must be >= 1");
+  }
+  if (min_support == 0) {
+    return Status::InvalidArgument(
+        "min_support must be >= 1 (it is an absolute tuple count)");
+  }
+  if (!(min_top_confidence > 0.0) || min_top_confidence > 1.0) {
+    return Status::InvalidArgument("min_top_confidence must be in (0, 1]");
+  }
+  if (confidence_c == 0) {
+    return Status::InvalidArgument("confidence_c must be >= 1");
+  }
+  return Status::OK();
+}
+
+bool ItemsetState::Observe(ItemsetKey b, const ImplicationConditions& cond) {
+  ++support_;
+  if (dirty_) return true;  // monotone: stays a non-implication
+
+  if (!mult_exceeded_) {
+    auto it = std::find_if(
+        b_counts_.begin(), b_counts_.end(),
+        [b](const std::pair<ItemsetKey, uint64_t>& e) { return e.first == b; });
+    if (it != b_counts_.end()) {
+      ++it->second;
+    } else if (b_counts_.size() < cond.max_multiplicity) {
+      b_counts_.emplace_back(b, 1);
+      if (mult_ <= cond.max_multiplicity) ++mult_;
+    } else if (cond.strict_multiplicity) {
+      // A (K+1)-th distinct b: multiplicity condition is violated for good;
+      // the individual pair counters are no longer needed.
+      mult_exceeded_ = true;
+      if (mult_ <= cond.max_multiplicity) ++mult_;
+      b_counts_.clear();
+      b_counts_.shrink_to_fit();
+    } else if (unlimited_tracking_) {
+      b_counts_.emplace_back(b, 1);
+      if (mult_ <= cond.max_multiplicity) ++mult_;
+    } else {
+      // Tracking-bound mode: admit the newcomer only by evicting a counter
+      // that is still at 1 (an established counter cannot be displaced by
+      // a single occurrence). The support counter above is unaffected.
+      if (mult_ <= cond.max_multiplicity) ++mult_;
+      auto victim = std::find_if(
+          b_counts_.begin(), b_counts_.end(),
+          [](const std::pair<ItemsetKey, uint64_t>& e) {
+            return e.second == 1;
+          });
+      if (victim != b_counts_.end()) {
+        victim->first = b;
+        victim->second = 1;
+      }
+    }
+  }
+
+  if (support_ < cond.min_support) return false;
+  // Support condition holds: any violation of the other two conditions now
+  // makes the itemset a non-implication forever (§3.1.1).
+  if (mult_exceeded_ ||
+      TopConfidence(cond.confidence_c) + kConfidenceEpsilon <
+          cond.min_top_confidence) {
+    dirty_ = true;
+    b_counts_.clear();
+    b_counts_.shrink_to_fit();
+  }
+  return dirty_;
+}
+
+double ItemsetState::TopConfidence(uint32_t c) const {
+  if (support_ == 0 || b_counts_.empty()) return 0.0;
+  // K is small, so copying the counts and partially sorting is cheap.
+  std::vector<uint64_t> counts;
+  counts.reserve(b_counts_.size());
+  for (const auto& [key, n] : b_counts_) counts.push_back(n);
+  size_t take = std::min<size_t>(c, counts.size());
+  std::partial_sort(counts.begin(), counts.begin() + take, counts.end(),
+                    std::greater<uint64_t>());
+  uint64_t sum = 0;
+  for (size_t i = 0; i < take; ++i) sum += counts[i];
+  return static_cast<double>(sum) / static_cast<double>(support_);
+}
+
+bool operator==(const ImplicationConditions& a,
+                const ImplicationConditions& b) {
+  return a.max_multiplicity == b.max_multiplicity &&
+         a.min_support == b.min_support &&
+         a.min_top_confidence == b.min_top_confidence &&
+         a.confidence_c == b.confidence_c &&
+         a.strict_multiplicity == b.strict_multiplicity;
+}
+
+void ImplicationConditions::SerializeTo(ByteWriter* out) const {
+  out->PutU32(max_multiplicity);
+  out->PutVarint64(min_support);
+  out->PutDouble(min_top_confidence);
+  out->PutU32(confidence_c);
+  out->PutBool(strict_multiplicity);
+}
+
+StatusOr<ImplicationConditions> ImplicationConditions::Deserialize(
+    ByteReader* in) {
+  ImplicationConditions cond;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&cond.max_multiplicity));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&cond.min_support));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadDouble(&cond.min_top_confidence));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&cond.confidence_c));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&cond.strict_multiplicity));
+  IMPLISTAT_RETURN_NOT_OK(cond.Validate());
+  return cond;
+}
+
+void ItemsetState::Merge(const ItemsetState& other,
+                         const ImplicationConditions& cond) {
+  support_ += other.support_;
+  if (other.dirty_) dirty_ = true;
+  if (other.mult_exceeded_) mult_exceeded_ = true;
+  if (dirty_) {
+    b_counts_.clear();
+    b_counts_.shrink_to_fit();
+    return;
+  }
+  // Fold the other side's pair counters under this state's policy. The
+  // per-pair counts add exactly when both sides tracked the pair.
+  if (!mult_exceeded_) {
+    for (const auto& [b, count] : other.b_counts_) {
+      auto it = std::find_if(
+          b_counts_.begin(), b_counts_.end(),
+          [b = b](const std::pair<ItemsetKey, uint64_t>& e) {
+            return e.first == b;
+          });
+      if (it != b_counts_.end()) {
+        it->second += count;
+      } else if (b_counts_.size() < cond.max_multiplicity ||
+                 unlimited_tracking_) {
+        b_counts_.emplace_back(b, count);
+        if (mult_ <= cond.max_multiplicity) ++mult_;
+      } else if (cond.strict_multiplicity) {
+        mult_exceeded_ = true;
+        if (mult_ <= cond.max_multiplicity) ++mult_;
+        b_counts_.clear();
+        b_counts_.shrink_to_fit();
+        break;
+      } else {
+        // Tracking-bound mode: displace a counter this newcomer outweighs.
+        auto victim = std::min_element(
+            b_counts_.begin(), b_counts_.end(),
+            [](const auto& x, const auto& y) { return x.second < y.second; });
+        if (mult_ <= cond.max_multiplicity) ++mult_;
+        if (victim->second < count) {
+          victim->first = b;
+          victim->second = count;
+        }
+      }
+    }
+  }
+  // Re-evaluate the conditions on the merged counters.
+  if (support_ >= cond.min_support &&
+      (mult_exceeded_ ||
+       TopConfidence(cond.confidence_c) + 1e-9 < cond.min_top_confidence)) {
+    dirty_ = true;
+    b_counts_.clear();
+    b_counts_.shrink_to_fit();
+  }
+}
+
+void ItemsetState::SerializeTo(ByteWriter* out) const {
+  out->PutVarint64(support_);
+  out->PutU32(mult_);
+  out->PutBool(dirty_);
+  out->PutBool(mult_exceeded_);
+  out->PutBool(unlimited_tracking_);
+  out->PutVarint64(b_counts_.size());
+  for (const auto& [b, count] : b_counts_) {
+    out->PutU64(b);
+    out->PutVarint64(count);
+  }
+}
+
+StatusOr<ItemsetState> ItemsetState::Deserialize(ByteReader* in) {
+  ItemsetState state;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&state.support_));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&state.mult_));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&state.dirty_));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&state.mult_exceeded_));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&state.unlimited_tracking_));
+  uint64_t pairs;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&pairs));
+  if (pairs > (uint64_t{1} << 24)) {
+    return Status::InvalidArgument("ItemsetState: implausible pair count");
+  }
+  state.b_counts_.reserve(pairs);
+  for (uint64_t i = 0; i < pairs; ++i) {
+    ItemsetKey b;
+    uint64_t count;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadU64(&b));
+    IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&count));
+    state.b_counts_.emplace_back(b, count);
+  }
+  return state;
+}
+
+size_t ItemsetState::MemoryBytes() const {
+  return sizeof(*this) +
+         b_counts_.capacity() * sizeof(std::pair<ItemsetKey, uint64_t>);
+}
+
+}  // namespace implistat

@@ -1,0 +1,47 @@
+// Common interface for implication-count estimators.
+//
+// Implementations: the paper's NIPS/CI (core/nips_ci_ensemble.h), the exact
+// hash-table counter, Distinct Sampling, Implication Lossy Counting and
+// Implication Sticky Sampling (src/baseline). All consume a stream of
+// (a, b) itemset pairs produced by projecting tuples (see query/engine.h
+// for the end-to-end path) and estimate the cardinality S of
+// { a : a → B } under shared ImplicationConditions.
+
+#ifndef IMPLISTAT_CORE_ESTIMATOR_H_
+#define IMPLISTAT_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/itemset.h"
+
+namespace implistat {
+
+class ImplicationEstimator {
+ public:
+  virtual ~ImplicationEstimator() = default;
+
+  /// Feeds one stream element: itemset `a` of A appeared with itemset `b`
+  /// of B in a tuple.
+  virtual void Observe(ItemsetKey a, ItemsetKey b) = 0;
+
+  /// Estimate of the implication count S = |{a : a → B}|.
+  virtual double EstimateImplicationCount() const = 0;
+
+  /// Estimate of the non-implication count ~S (supported itemsets that
+  /// violate a condition). Negative when the estimator cannot answer.
+  virtual double EstimateNonImplicationCount() const { return -1.0; }
+
+  /// Estimate of F0_sup(A): distinct itemsets meeting the minimum support.
+  /// Negative when the estimator cannot answer.
+  virtual double EstimateSupportedDistinct() const { return -1.0; }
+
+  /// Approximate memory footprint in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_ESTIMATOR_H_

@@ -1,0 +1,62 @@
+#include "core/fringe_cell.h"
+
+namespace implistat {
+
+FringeCell::Outcome FringeCell::Observe(ItemsetKey a, ItemsetKey b,
+                                        const ImplicationConditions& cond) {
+  ItemsetState& state = items_[a];
+  bool dirty = state.Observe(b, cond);
+  if (state.supported(cond)) has_supported_ = true;
+  return dirty ? Outcome::kNonImplication : Outcome::kUndecided;
+}
+
+FringeCell::Outcome FringeCell::Merge(const FringeCell& other,
+                                      const ImplicationConditions& cond) {
+  Outcome outcome = Outcome::kUndecided;
+  for (const auto& [key, other_state] : other.items_) {
+    auto [it, inserted] = items_.try_emplace(key, other_state);
+    if (!inserted) it->second.Merge(other_state, cond);
+    if (it->second.dirty()) outcome = Outcome::kNonImplication;
+    if (it->second.supported(cond)) has_supported_ = true;
+  }
+  if (other.has_supported_) has_supported_ = true;
+  return outcome;
+}
+
+void FringeCell::SerializeTo(ByteWriter* out) const {
+  out->PutBool(has_supported_);
+  out->PutVarint64(items_.size());
+  for (const auto& [key, state] : items_) {
+    out->PutU64(key);
+    state.SerializeTo(out);
+  }
+}
+
+StatusOr<FringeCell> FringeCell::Deserialize(ByteReader* in) {
+  FringeCell cell;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&cell.has_supported_));
+  uint64_t items;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&items));
+  if (items > (uint64_t{1} << 28)) {
+    return Status::InvalidArgument("FringeCell: implausible itemset count");
+  }
+  for (uint64_t i = 0; i < items; ++i) {
+    ItemsetKey key;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadU64(&key));
+    IMPLISTAT_ASSIGN_OR_RETURN(ItemsetState state,
+                               ItemsetState::Deserialize(in));
+    cell.items_.emplace(key, std::move(state));
+  }
+  return cell;
+}
+
+size_t FringeCell::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, state] : items_) {
+    bytes += sizeof(key) + state.MemoryBytes() +
+             2 * sizeof(void*);  // hash-table node overhead, approximately
+  }
+  return bytes;
+}
+
+}  // namespace implistat

@@ -1,0 +1,54 @@
+// One undecided cell of the NIPS bitmap (§4.3.4).
+//
+// A fringe cell tracks every itemset a hashed into it together with the
+// itemsets of B each appears with, so the cell can be assigned the value 1
+// the moment one tracked itemset becomes a known non-implication.
+
+#ifndef IMPLISTAT_CORE_FRINGE_CELL_H_
+#define IMPLISTAT_CORE_FRINGE_CELL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/conditions.h"
+#include "stream/itemset.h"
+
+namespace implistat {
+
+class FringeCell {
+ public:
+  enum class Outcome {
+    kUndecided,        // no tracked itemset is a non-implication yet
+    kNonImplication,   // `a` just became dirty: the cell's value is 1
+  };
+
+  /// Records one (a, b) occurrence.
+  Outcome Observe(ItemsetKey a, ItemsetKey b,
+                  const ImplicationConditions& cond);
+
+  /// True when some tracked itemset meets the minimum support (drives the
+  /// F0_sup scan of Algorithm 2 / §4.4).
+  bool has_supported() const { return has_supported_; }
+
+  /// Number of distinct itemsets a currently tracked (the fringe budget
+  /// of §4.3.2 sums this across cells).
+  size_t num_itemsets() const { return items_.size(); }
+
+  /// Folds another cell's tracked itemsets into this one (distributed
+  /// aggregation). Returns kNonImplication if any merged itemset is a
+  /// known non-implication, i.e. the merged cell's value must become 1.
+  Outcome Merge(const FringeCell& other, const ImplicationConditions& cond);
+
+  size_t MemoryBytes() const;
+
+  void SerializeTo(ByteWriter* out) const;
+  static StatusOr<FringeCell> Deserialize(ByteReader* in);
+
+ private:
+  std::unordered_map<ItemsetKey, ItemsetState> items_;
+  bool has_supported_ = false;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_FRINGE_CELL_H_

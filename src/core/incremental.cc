@@ -1,0 +1,22 @@
+#include "core/incremental.h"
+
+#include "util/logging.h"
+
+namespace implistat {
+
+IncrementalTracker::IncrementalTracker(const ImplicationEstimator* estimator)
+    : estimator_(estimator) {
+  IMPLISTAT_CHECK(estimator_ != nullptr);
+}
+
+Checkpoint IncrementalTracker::Mark(std::string label) {
+  Checkpoint cp;
+  cp.tuples = tuples_;
+  cp.implication = estimator_->EstimateImplicationCount();
+  cp.non_implication = estimator_->EstimateNonImplicationCount();
+  cp.label = std::move(label);
+  checkpoints_.push_back(cp);
+  return cp;
+}
+
+}  // namespace implistat

@@ -1,0 +1,58 @@
+// Incremental implication counts (§3.2, Figure 1).
+//
+// The implication count is defined from a reference point where counting
+// begins; the incremental count between two stream positions t1 < t2 — the
+// number of *new* itemsets that appeared and satisfy the conditions — is
+// ic(t2) − ic(t1). IncrementalTracker checkpoints an estimator at
+// interesting positions and differences the checkpoints.
+
+#ifndef IMPLISTAT_CORE_INCREMENTAL_H_
+#define IMPLISTAT_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace implistat {
+
+struct Checkpoint {
+  uint64_t tuples = 0;         // stream position t
+  double implication = 0;      // ic(t)
+  double non_implication = 0;  // ~S(t), when available
+  std::string label;
+};
+
+class IncrementalTracker {
+ public:
+  /// Tracks an estimator it does not own; `estimator` must outlive this.
+  explicit IncrementalTracker(const ImplicationEstimator* estimator);
+
+  /// Feeds one element through to the estimator is the caller's job; this
+  /// merely advances the tracker's notion of the stream position.
+  void AdvanceTuples(uint64_t n = 1) { tuples_ += n; }
+
+  /// Records the estimator's current answers as a named checkpoint and
+  /// returns a copy (the internal list may reallocate on later Marks).
+  Checkpoint Mark(std::string label = "");
+
+  /// ic(to) − ic(from): the implication count contributed by itemsets new
+  /// between the two checkpoints. May be slightly negative due to
+  /// estimation noise; callers typically clamp.
+  static double Delta(const Checkpoint& from, const Checkpoint& to) {
+    return to.implication - from.implication;
+  }
+
+  const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
+  uint64_t tuples() const { return tuples_; }
+
+ private:
+  const ImplicationEstimator* estimator_;
+  uint64_t tuples_ = 0;
+  std::vector<Checkpoint> checkpoints_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_INCREMENTAL_H_

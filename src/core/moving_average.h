@@ -1,0 +1,56 @@
+// Moving averages of periodically sampled statistics.
+//
+// Table 2's "complex implication" closes with "... over a sliding window
+// of 1h": a moving aggregate of an implication statistic. The estimators
+// produce point-in-time counts; MovingAverage smooths periodic samples of
+// them over a fixed horizon (ring buffer, O(1) update).
+
+#ifndef IMPLISTAT_CORE_MOVING_AVERAGE_H_
+#define IMPLISTAT_CORE_MOVING_AVERAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+class MovingAverage {
+ public:
+  /// Averages over the last `horizon` samples.
+  explicit MovingAverage(size_t horizon) : samples_(horizon, 0.0) {
+    IMPLISTAT_CHECK(horizon >= 1);
+  }
+
+  void AddSample(double value) {
+    size_t slot = count_ % samples_.size();
+    if (count_ >= samples_.size()) sum_ -= samples_[slot];
+    samples_[slot] = value;
+    sum_ += value;
+    ++count_;
+  }
+
+  /// Mean of the samples currently in the horizon; 0 before any sample.
+  double Average() const {
+    size_t n = count_ < samples_.size() ? count_ : samples_.size();
+    return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
+  }
+
+  /// Most recent sample, or 0 before any.
+  double Latest() const {
+    return count_ == 0 ? 0.0
+                       : samples_[(count_ - 1) % samples_.size()];
+  }
+
+  size_t samples_seen() const { return count_; }
+  size_t horizon() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_MOVING_AVERAGE_H_

@@ -1,0 +1,198 @@
+#include "core/nips.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+Nips::Nips(ImplicationConditions conditions, NipsOptions options)
+    : conditions_(conditions),
+      options_(options),
+      cells_(static_cast<size_t>(options.bitmap_bits)) {
+  IMPLISTAT_CHECK(options_.bitmap_bits >= 1 && options_.bitmap_bits <= 64)
+      << "bitmap_bits out of range";
+  IMPLISTAT_CHECK(conditions_.Validate().ok()) << "invalid conditions";
+}
+
+size_t Nips::ItemBudget() const {
+  if (!bounded() || options_.capacity_factor <= 0) return 0;
+  int f = std::min(options_.fringe_size, 40);
+  return static_cast<size_t>(options_.capacity_factor) *
+         ((size_t{1} << f) - 1);
+}
+
+void Nips::ObserveAt(int cell, ItemsetKey a, ItemsetKey b) {
+  IMPLISTAT_DCHECK(cell >= 0);
+  // Hash positions beyond the bitmap land in the last cell; with L = 58
+  // this affects ~2^-58 of the keys.
+  if (cell >= options_.bitmap_bits) cell = options_.bitmap_bits - 1;
+
+  if (cell > fringe_right_) fringe_right_ = cell;
+  if (cell < fringe_left_) return;  // Zone-1: value already 1, recorded
+  Cell& c = cells_[cell];
+  if (c.one) return;  // recorded events are never erased
+
+  if (!c.data) c.data = std::make_unique<FringeCell>();
+  size_t before = c.data->num_itemsets();
+  FringeCell::Outcome outcome = c.data->Observe(a, b, conditions_);
+  tracked_ += c.data->num_itemsets() - before;
+  if (c.data->has_supported()) c.has_supported = true;
+
+  if (outcome == FringeCell::Outcome::kNonImplication) {
+    DecideOne(cell);
+    ShrinkLeft();
+  }
+  EnforceBudget();
+}
+
+bool Nips::CellIsOne(int cell) const {
+  if (cell < fringe_left_) return true;
+  return cells_[cell].one;
+}
+
+int Nips::RNonImplication() const {
+  int i = fringe_left_;
+  while (i < options_.bitmap_bits && cells_[i].one) ++i;
+  return i;
+}
+
+int Nips::RSupport() const {
+  // §4.4: a fringe cell counts as (virtually) 1 for the F0_sup scan when
+  // some itemset in it meets the minimum support; Zone-1 cells count by
+  // definition.
+  int i = fringe_left_;
+  while (i < options_.bitmap_bits &&
+         (cells_[i].one || cells_[i].has_supported)) {
+    ++i;
+  }
+  return i;
+}
+
+Status Nips::Merge(const Nips& other) {
+  if (!(conditions_ == other.conditions_)) {
+    return Status::InvalidArgument("Nips::Merge: conditions differ");
+  }
+  if (options_.bitmap_bits != other.options_.bitmap_bits ||
+      options_.fringe_size != other.options_.fringe_size ||
+      options_.capacity_factor != other.options_.capacity_factor) {
+    return Status::InvalidArgument("Nips::Merge: options differ");
+  }
+  if (other.fringe_right_ > fringe_right_) {
+    fringe_right_ = other.fringe_right_;
+  }
+  for (int i = 0; i < options_.bitmap_bits; ++i) {
+    Cell& mine = cells_[i];
+    if (mine.one) continue;
+    if (other.CellIsOne(i)) {
+      DecideOne(i);
+      continue;
+    }
+    const Cell& theirs = other.cells_[i];
+    if (theirs.has_supported) mine.has_supported = true;
+    if (theirs.data == nullptr) continue;
+    if (mine.data == nullptr) mine.data = std::make_unique<FringeCell>();
+    size_t before = mine.data->num_itemsets();
+    FringeCell::Outcome outcome =
+        mine.data->Merge(*theirs.data, conditions_);
+    tracked_ += mine.data->num_itemsets() - before;
+    if (mine.data->has_supported()) mine.has_supported = true;
+    if (outcome == FringeCell::Outcome::kNonImplication) DecideOne(i);
+  }
+  ShrinkLeft();
+  EnforceBudget();
+  return Status::OK();
+}
+
+void Nips::SerializeTo(ByteWriter* out) const {
+  conditions_.SerializeTo(out);
+  out->PutU32(static_cast<uint32_t>(options_.fringe_size));
+  out->PutU32(static_cast<uint32_t>(options_.capacity_factor));
+  out->PutU32(static_cast<uint32_t>(options_.bitmap_bits));
+  out->PutU32(static_cast<uint32_t>(fringe_left_));
+  out->PutU32(static_cast<uint32_t>(fringe_right_ + 1));  // -1 → 0
+  for (const Cell& cell : cells_) {
+    out->PutBool(cell.one);
+    out->PutBool(cell.has_supported);
+    out->PutBool(cell.data != nullptr);
+    if (cell.data) cell.data->SerializeTo(out);
+  }
+}
+
+StatusOr<Nips> Nips::Deserialize(ByteReader* in) {
+  IMPLISTAT_ASSIGN_OR_RETURN(ImplicationConditions cond,
+                             ImplicationConditions::Deserialize(in));
+  NipsOptions options;
+  uint32_t fringe_size, capacity_factor, bitmap_bits, left, right_plus_1;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&fringe_size));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&capacity_factor));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&bitmap_bits));
+  if (bitmap_bits < 1 || bitmap_bits > 64) {
+    return Status::InvalidArgument("Nips: bad bitmap_bits");
+  }
+  options.fringe_size = static_cast<int>(fringe_size);
+  options.capacity_factor = static_cast<int>(capacity_factor);
+  options.bitmap_bits = static_cast<int>(bitmap_bits);
+  Nips nips(cond, options);
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&left));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU32(&right_plus_1));
+  if (left > bitmap_bits || right_plus_1 > bitmap_bits) {
+    return Status::InvalidArgument("Nips: fringe out of range");
+  }
+  nips.fringe_left_ = static_cast<int>(left);
+  nips.fringe_right_ = static_cast<int>(right_plus_1) - 1;
+  for (Cell& cell : nips.cells_) {
+    IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&cell.one));
+    IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&cell.has_supported));
+    bool has_data;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&has_data));
+    if (has_data) {
+      IMPLISTAT_ASSIGN_OR_RETURN(FringeCell fringe,
+                                 FringeCell::Deserialize(in));
+      nips.tracked_ += fringe.num_itemsets();
+      cell.data = std::make_unique<FringeCell>(std::move(fringe));
+    }
+  }
+  return nips;
+}
+
+size_t Nips::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + cells_.size() * sizeof(Cell);
+  for (const Cell& c : cells_) {
+    if (c.data) bytes += c.data->MemoryBytes();
+  }
+  return bytes;
+}
+
+void Nips::DecideOne(int cell) {
+  Cell& c = cells_[cell];
+  if (c.data) {
+    tracked_ -= c.data->num_itemsets();
+    c.data.reset();  // free all the memory allocated for the cell
+  }
+  c.one = true;
+}
+
+void Nips::ShrinkLeft() {
+  while (fringe_left_ <= fringe_right_ &&
+         fringe_left_ < options_.bitmap_bits && cells_[fringe_left_].one) {
+    ++fringe_left_;
+  }
+}
+
+void Nips::EnforceBudget() {
+  size_t budget = ItemBudget();
+  if (budget == 0) return;
+  // Algorithm 1's "overflowed" branch: force the leftmost undecided cells
+  // — the most populated ones, which a genuine non-implication would
+  // decide first anyway — until the budget holds. This is the §4.3.3
+  // fixation step; it introduces error only for non-implication counts
+  // below ~2^-F · F0(A).
+  while (tracked_ > budget && fringe_left_ < options_.bitmap_bits &&
+         fringe_left_ <= fringe_right_) {
+    DecideOne(fringe_left_);
+    ShrinkLeft();
+  }
+}
+
+}  // namespace implistat

@@ -1,0 +1,133 @@
+// NIPS — Non-Implication Probabilistic Sampling (Algorithm 1).
+//
+// One FM-style bitmap whose undecided cells (the floating fringe, §4.3.2)
+// carry per-itemset counters. The recording event is the discovery of a
+// non-implication: once a tracked itemset of a cell violates the
+// implication conditions, the cell's value becomes 1 and its memory is
+// freed.
+//
+// Bounding the fringe: a fringe of F cells corresponds to an itemset
+// budget of capacity_factor · (2^F − 1) per bitmap (§4.3.2: cells at
+// distance 0,1,2,.. from the fringe's right edge expect 1,2,4,.. itemsets,
+// doubled for hash-function slack). We enforce the budget directly: when
+// the tracked-itemset count exceeds it, the leftmost undecided cells — the
+// most populated ones, which would be decided first anyway — are forced to
+// value 1 and freed, exactly the §4.3.3 fixation step. Forcing on memory
+// pressure rather than eagerly on every float of the fringe's right edge
+// avoids a bias the literal reading would introduce: the rightmost hashed
+// cell overshoots log2(F0) by a Gumbel-distributed excess, and anchoring
+// the forced zone at (rightmost − F) inflates the non-implication estimate
+// whenever ~S ≲ F0 even for counts Lemma 2 declares safe. With the budget
+// rule the minimum reliably-estimable non-implication count is
+// ~2^-F · F0(A), matching §4.3.3 (6.25% of F0 at F = 4).
+//
+// This class operates on pre-computed cell positions so that an ensemble
+// (nips_ci_ensemble.h) can split one hash into routing bits and p() bits;
+// use NipsCi for the user-facing estimator.
+
+#ifndef IMPLISTAT_CORE_NIPS_H_
+#define IMPLISTAT_CORE_NIPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/conditions.h"
+#include "core/fringe_cell.h"
+#include "stream/itemset.h"
+
+namespace implistat {
+
+struct NipsOptions {
+  /// Fringe size F in cells; the per-bitmap itemset budget is
+  /// capacity_factor · (2^F − 1). 0 (or negative) means unbounded — every
+  /// undecided cell keeps its itemsets (the straw-man of §4.2, the
+  /// "Unbounded Fringe" series of Figures 4–6).
+  int fringe_size = 4;
+  /// Budget multiplier ("we can double the allocated memory", §4.3.2).
+  /// 0 = unlimited. Algorithm 1's per-cell "overflowed" condition is
+  /// realized at bitmap granularity by this budget: a cell population
+  /// that outgrows the fringe's allocation triggers the same
+  /// force-leftmost-to-one fixation.
+  int capacity_factor = 2;
+  /// Bitmap length L in cells.
+  int bitmap_bits = 58;
+};
+
+class Nips {
+ public:
+  Nips(ImplicationConditions conditions, NipsOptions options);
+
+  /// Records that itemset `a` (hashed to cell `cell`) appeared with `b`.
+  /// `cell` must be >= 0; positions beyond the bitmap land in its last
+  /// cell.
+  void ObserveAt(int cell, ItemsetKey a, ItemsetKey b);
+
+  /// Raw position R_~S: index of the leftmost cell whose value is not 1.
+  /// Feeds the non-implication estimate (Algorithm 2, lines 5–8).
+  int RNonImplication() const;
+
+  /// Raw position R_F0sup: index of the leftmost cell with neither value 1
+  /// nor a tracked itemset meeting the minimum support (Algorithm 2, lines
+  /// 1–4, with the §4.4 "virtual one" rule).
+  int RSupport() const;
+
+  /// Cell value as the bitmap sees it.
+  bool CellIsOne(int cell) const;
+
+  /// Itemsets currently tracked across the fringe; bounded by
+  /// ItemBudget() in bounded mode.
+  size_t TrackedItemsets() const { return tracked_; }
+
+  /// The per-bitmap itemset budget, or 0 when unbounded.
+  size_t ItemBudget() const;
+
+  /// Folds another bitmap into this one: cell values OR together,
+  /// undecided cells merge their tracked itemsets, then the budget is
+  /// re-enforced. Both bitmaps must have identical conditions and options
+  /// (and, in an ensemble, the same hash function — see NipsCi::Merge).
+  /// The merged bitmap summarizes the concatenation of the two input
+  /// streams, up to the node-local prefix semantics of the monotone-dirty
+  /// rule (see ItemsetState::Merge).
+  Status Merge(const Nips& other);
+
+  size_t MemoryBytes() const;
+
+  void SerializeTo(ByteWriter* out) const;
+  static StatusOr<Nips> Deserialize(ByteReader* in);
+
+  int fringe_left() const { return fringe_left_; }
+  int fringe_right() const { return fringe_right_; }
+  const ImplicationConditions& conditions() const { return conditions_; }
+  const NipsOptions& options() const { return options_; }
+
+ private:
+  struct Cell {
+    bool one = false;            // decided value 1
+    bool has_supported = false;  // saw an itemset with φ(a) ≥ σ
+    std::unique_ptr<FringeCell> data;
+  };
+
+  bool bounded() const { return options_.fringe_size > 0; }
+
+  // Marks `cell` as value 1 and releases its tracked itemsets.
+  void DecideOne(int cell);
+
+  // Advances fringe_left_ past decided cells.
+  void ShrinkLeft();
+
+  // Forces leftmost undecided cells to 1 until the budget holds (§4.3.3
+  // fixation).
+  void EnforceBudget();
+
+  ImplicationConditions conditions_;
+  NipsOptions options_;
+  std::vector<Cell> cells_;
+  size_t tracked_ = 0;
+  int fringe_left_ = 0;    // leftmost undecided cell (Zone-1 ends here)
+  int fringe_right_ = -1;  // rightmost hashed cell; -1 before any input
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_NIPS_H_

@@ -1,0 +1,139 @@
+#include "core/nips_ci_ensemble.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+NipsCi::NipsCi(ImplicationConditions conditions, NipsCiOptions options)
+    : conditions_(conditions),
+      options_(options),
+      hasher_(MakeHasher(options.hash_kind, options.seed)),
+      route_bits_(CeilLog2(static_cast<uint64_t>(options.num_bitmaps))) {
+  IMPLISTAT_CHECK(options.num_bitmaps >= 1 &&
+                  IsPowerOfTwo(static_cast<uint64_t>(options.num_bitmaps)))
+      << "num_bitmaps must be a power of two";
+  // Routing consumes log2(m) hash bits; shrink the per-bitmap length to
+  // what the remaining bits can feed.
+  if (options_.nips.bitmap_bits + route_bits_ > 64) {
+    options_.nips.bitmap_bits = 64 - route_bits_;
+  }
+  IMPLISTAT_CHECK(options_.nips.bitmap_bits >= 1)
+      << "too many bitmaps for a 64-bit hash";
+  bitmaps_.reserve(static_cast<size_t>(options.num_bitmaps));
+  for (int i = 0; i < options.num_bitmaps; ++i) {
+    bitmaps_.emplace_back(conditions_, options_.nips);
+  }
+}
+
+void NipsCi::Observe(ItemsetKey a, ItemsetKey b) {
+  uint64_t h = hasher_->Hash(a);
+  size_t which = h & (bitmaps_.size() - 1);
+  int cell = RhoLsb(h >> route_bits_);
+  bitmaps_[which].ObserveAt(cell, a, b);
+}
+
+CiEstimate NipsCi::Estimate() const {
+  return CiFromEnsemble(std::span<const Nips>(bitmaps_));
+}
+
+double NipsCi::EstimateImplicationCount() const {
+  return Estimate().implication;
+}
+
+double NipsCi::EstimateNonImplicationCount() const {
+  return Estimate().non_implication;
+}
+
+double NipsCi::EstimateSupportedDistinct() const {
+  return Estimate().supported_distinct;
+}
+
+Status NipsCi::Merge(const NipsCi& other) {
+  if (!(conditions_ == other.conditions_)) {
+    return Status::InvalidArgument("NipsCi::Merge: conditions differ");
+  }
+  if (options_.num_bitmaps != other.options_.num_bitmaps ||
+      options_.seed != other.options_.seed ||
+      options_.hash_kind != other.options_.hash_kind) {
+    return Status::InvalidArgument(
+        "NipsCi::Merge: ensembles are not hash-compatible");
+  }
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    IMPLISTAT_RETURN_NOT_OK(bitmaps_[i].Merge(other.bitmaps_[i]));
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint8_t kNipsCiFormatVersion = 1;
+}  // namespace
+
+std::string NipsCi::Serialize() const {
+  ByteWriter out;
+  out.PutU8(kNipsCiFormatVersion);
+  out.PutU32(static_cast<uint32_t>(options_.num_bitmaps));
+  out.PutU8(static_cast<uint8_t>(options_.hash_kind));
+  out.PutU64(options_.seed);
+  for (const Nips& nips : bitmaps_) nips.SerializeTo(&out);
+  return out.Release();
+}
+
+StatusOr<NipsCi> NipsCi::Deserialize(std::string_view bytes) {
+  ByteReader in(bytes);
+  uint8_t version;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&version));
+  if (version != kNipsCiFormatVersion) {
+    return Status::InvalidArgument("NipsCi: unknown format version");
+  }
+  NipsCiOptions options;
+  uint32_t num_bitmaps;
+  uint8_t hash_kind;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU32(&num_bitmaps));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&hash_kind));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&options.seed));
+  if (num_bitmaps < 1 || num_bitmaps > (1u << 20) ||
+      !IsPowerOfTwo(num_bitmaps)) {
+    return Status::InvalidArgument("NipsCi: bad bitmap count");
+  }
+  if (hash_kind > static_cast<uint8_t>(HashKind::kLinearGf2)) {
+    return Status::InvalidArgument("NipsCi: bad hash kind");
+  }
+  options.num_bitmaps = static_cast<int>(num_bitmaps);
+  options.hash_kind = static_cast<HashKind>(hash_kind);
+
+  std::vector<Nips> bitmaps;
+  bitmaps.reserve(num_bitmaps);
+  for (uint32_t i = 0; i < num_bitmaps; ++i) {
+    IMPLISTAT_ASSIGN_OR_RETURN(Nips nips, Nips::Deserialize(&in));
+    bitmaps.push_back(std::move(nips));
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument("NipsCi: trailing bytes");
+  }
+  // Reconstruct through the normal constructor so routing bits and
+  // invariants are re-derived, then adopt the decoded bitmaps.
+  options.nips = bitmaps.front().options();
+  NipsCi out(bitmaps.front().conditions(), options);
+  for (uint32_t i = 1; i < num_bitmaps; ++i) {
+    if (!(bitmaps[i].conditions() == bitmaps[0].conditions())) {
+      return Status::InvalidArgument("NipsCi: inconsistent conditions");
+    }
+  }
+  out.bitmaps_ = std::move(bitmaps);
+  return out;
+}
+
+size_t NipsCi::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Nips& nips : bitmaps_) bytes += nips.MemoryBytes();
+  return bytes;
+}
+
+size_t NipsCi::TrackedItemsets() const {
+  size_t n = 0;
+  for (const Nips& nips : bitmaps_) n += nips.TrackedItemsets();
+  return n;
+}
+
+}  // namespace implistat

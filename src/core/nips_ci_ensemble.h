@@ -1,0 +1,77 @@
+// NipsCi — the user-facing implication-count estimator: NIPS bitmaps with
+// stochastic averaging, read out by CI.
+//
+// The paper's configuration (§6, Table 5) is 64 bitmaps with a fringe of 4
+// cells and capacity factor 2, i.e. room for 64·2·(2⁴−1) = 1920 itemsets —
+// independent of attribute cardinality and stream length (§4.6).
+
+#ifndef IMPLISTAT_CORE_NIPS_CI_ENSEMBLE_H_
+#define IMPLISTAT_CORE_NIPS_CI_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ci.h"
+#include "core/estimator.h"
+#include "core/nips.h"
+#include "hash/hash_family.h"
+
+namespace implistat {
+
+struct NipsCiOptions {
+  /// Number of bitmaps m; must be a power of two. m = 1 disables
+  /// stochastic averaging.
+  int num_bitmaps = 64;
+  NipsOptions nips;
+  HashKind hash_kind = HashKind::kMix;
+  uint64_t seed = 0;
+};
+
+class NipsCi final : public ImplicationEstimator {
+ public:
+  NipsCi(ImplicationConditions conditions, NipsCiOptions options);
+
+  void Observe(ItemsetKey a, ItemsetKey b) override;
+
+  double EstimateImplicationCount() const override;
+  double EstimateNonImplicationCount() const override;
+  double EstimateSupportedDistinct() const override;
+  size_t MemoryBytes() const override;
+  std::string name() const override { return "NIPS/CI"; }
+
+  /// All three estimates in one pass over the bitmaps.
+  CiEstimate Estimate() const;
+
+  /// Total itemsets currently held across all fringes (the §4.6 budget).
+  size_t TrackedItemsets() const;
+
+  /// Folds another node's ensemble into this one. Both must be configured
+  /// identically — same conditions, bitmap count/options, hash kind and
+  /// seed — so their bitmaps are hash-compatible. This is the distributed
+  /// aggregation path (§1-2): edge nodes stream locally, ship kilobyte
+  /// summaries, and an aggregator merges them into the statistics of the
+  /// combined traffic (see examples/hierarchy.cc for the DDoS
+  /// first-hop/last-hop scenario).
+  Status Merge(const NipsCi& other);
+
+  /// Wire format for shipping the sketch between nodes.
+  std::string Serialize() const;
+  static StatusOr<NipsCi> Deserialize(std::string_view bytes);
+
+  int num_bitmaps() const { return static_cast<int>(bitmaps_.size()); }
+  const Nips& bitmap(int i) const { return bitmaps_[i]; }
+  const ImplicationConditions& conditions() const { return conditions_; }
+
+ private:
+  ImplicationConditions conditions_;
+  NipsCiOptions options_;
+  std::unique_ptr<Hasher64> hasher_;
+  std::vector<Nips> bitmaps_;
+  int route_bits_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_NIPS_CI_ENSEMBLE_H_

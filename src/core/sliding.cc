@@ -1,0 +1,58 @@
+#include "core/sliding.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace implistat {
+
+SlidingNipsCi::SlidingNipsCi(ImplicationConditions conditions,
+                             SlidingOptions options)
+    : conditions_(conditions),
+      options_(options),
+      next_seed_(options.estimator.seed) {
+  IMPLISTAT_CHECK(options_.stride >= 1);
+  IMPLISTAT_CHECK(options_.window >= options_.stride);
+  IMPLISTAT_CHECK(options_.window % options_.stride == 0)
+      << "stride must divide window";
+}
+
+void SlidingNipsCi::Observe(ItemsetKey a, ItemsetKey b) {
+  if (tuples_ % options_.stride == 0) {
+    // Open a new origin. Each gets its own hash seed so that the
+    // estimators' errors are independent.
+    NipsCiOptions opts = options_.estimator;
+    opts.seed = SplitMix64(next_seed_++ + 0x51d1);
+    origins_.push_back(
+        Origin{tuples_, std::make_unique<NipsCi>(conditions_, opts)});
+  }
+  for (Origin& origin : origins_) origin.estimator->Observe(a, b);
+  ++tuples_;
+  // Retire origins more than one window old; the youngest origin at least
+  // `window` old answers window queries, older ones are no longer needed.
+  while (origins_.size() >= 2 &&
+         origins_[1].start + options_.window <= tuples_) {
+    origins_.pop_front();
+  }
+}
+
+double SlidingNipsCi::WindowEstimate() const {
+  if (origins_.empty()) return 0.0;
+  // The front origin is the youngest one that is >= window old (or the
+  // stream start before a full window has elapsed).
+  return origins_.front().estimator->EstimateImplicationCount();
+}
+
+double SlidingNipsCi::WindowNonImplicationEstimate() const {
+  if (origins_.empty()) return 0.0;
+  return origins_.front().estimator->EstimateNonImplicationCount();
+}
+
+size_t SlidingNipsCi::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Origin& origin : origins_) {
+    bytes += sizeof(Origin) + origin.estimator->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace implistat

@@ -1,0 +1,81 @@
+#include "core/trigger.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+TriggerSet::TriggerSet(const ImplicationEstimator* estimator,
+                       uint64_t period)
+    : estimator_(estimator), period_(period) {
+  IMPLISTAT_CHECK(estimator_ != nullptr);
+  IMPLISTAT_CHECK(period_ >= 1);
+}
+
+void TriggerSet::AddThresholdRule(std::string label, double threshold) {
+  threshold_rules_.push_back(ThresholdRule{std::move(label), threshold});
+}
+
+void TriggerSet::AddRateRule(std::string label, double factor,
+                             double min_delta, size_t history) {
+  IMPLISTAT_CHECK(history >= 1);
+  RateRule rule;
+  rule.label = std::move(label);
+  rule.factor = factor;
+  rule.min_delta = min_delta;
+  rule.history = history;
+  rate_rules_.push_back(std::move(rule));
+}
+
+void TriggerSet::Tick() {
+  ++tuples_;
+  if (tuples_ % period_ == 0) Evaluate();
+}
+
+void TriggerSet::Evaluate() {
+  double value = estimator_->EstimateImplicationCount();
+
+  for (ThresholdRule& rule : threshold_rules_) {
+    if (rule.armed && value > rule.threshold) {
+      Fire(rule.label, value, rule.threshold);
+      rule.armed = false;  // hysteresis: re-arm below the threshold
+    } else if (!rule.armed && value <= rule.threshold) {
+      rule.armed = true;
+    }
+  }
+
+  if (has_last_) {
+    double delta = value - last_value_;
+    for (RateRule& rule : rate_rules_) {
+      if (rule.deltas.size() >= 3) {
+        std::vector<double> sorted(rule.deltas.begin(), rule.deltas.end());
+        std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                         sorted.end());
+        double median = sorted[sorted.size() / 2];
+        if (delta > rule.factor * median && delta > rule.min_delta) {
+          Fire(rule.label, delta, median);
+        }
+      }
+      rule.deltas.push_back(delta);
+      if (rule.deltas.size() > rule.history) rule.deltas.pop_front();
+    }
+  }
+  last_value_ = value;
+  has_last_ = true;
+}
+
+void TriggerSet::Fire(const std::string& rule, double value,
+                      double reference) {
+  TriggerEvent event{rule, tuples_, value, reference};
+  if (callback_) callback_(event);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TriggerEvent> TriggerSet::TakeEvents() {
+  std::vector<TriggerEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace implistat

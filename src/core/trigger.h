@@ -1,0 +1,94 @@
+// Triggers over implication statistics (§2: "One can associate triggers
+// when such implication counts exceed certain thresholds and could for
+// example reroute traffic").
+//
+// A TriggerSet samples an estimator at a fixed tuple period and evaluates
+// rules against the sample series:
+//   * threshold rule — the statistic crosses an absolute level;
+//   * rate rule — the per-period increment jumps above a multiple of its
+//     trailing median (robust to the FM staircase), the netmon DDoS rule.
+// Fired triggers are reported as events; callers poll or install a
+// callback.
+
+#ifndef IMPLISTAT_CORE_TRIGGER_H_
+#define IMPLISTAT_CORE_TRIGGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace implistat {
+
+struct TriggerEvent {
+  std::string rule;      // the rule's label
+  uint64_t tuples;       // stream position at firing
+  double value;          // statistic value that fired
+  double reference;      // threshold or baseline it was compared against
+};
+
+class TriggerSet {
+ public:
+  /// Watches `estimator` (not owned; must outlive the TriggerSet),
+  /// sampling every `period` tuples.
+  TriggerSet(const ImplicationEstimator* estimator, uint64_t period);
+
+  /// Fires when the implication count exceeds `threshold`. Re-arms only
+  /// after the statistic falls back below `threshold` (hysteresis), so a
+  /// sustained exceedance fires once.
+  void AddThresholdRule(std::string label, double threshold);
+
+  /// Fires when the per-period increment exceeds `factor` times the
+  /// median of the last `history` increments (and `min_delta`
+  /// absolutely). Quiet after fewer than 3 samples.
+  void AddRateRule(std::string label, double factor, double min_delta,
+                   size_t history = 8);
+
+  /// Optional callback invoked at firing time, in addition to queueing.
+  void SetCallback(std::function<void(const TriggerEvent&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Advances the tuple clock; samples and evaluates at period
+  /// boundaries. Call once per observed tuple.
+  void Tick();
+
+  /// Fired events since the last call (cleared on return).
+  std::vector<TriggerEvent> TakeEvents();
+
+  uint64_t tuples_seen() const { return tuples_; }
+
+ private:
+  struct ThresholdRule {
+    std::string label;
+    double threshold;
+    bool armed = true;
+  };
+  struct RateRule {
+    std::string label;
+    double factor;
+    double min_delta;
+    size_t history;
+    std::deque<double> deltas;
+  };
+
+  void Evaluate();
+  void Fire(const std::string& rule, double value, double reference);
+
+  const ImplicationEstimator* estimator_;
+  uint64_t period_;
+  uint64_t tuples_ = 0;
+  double last_value_ = 0;
+  bool has_last_ = false;
+  std::vector<ThresholdRule> threshold_rules_;
+  std::vector<RateRule> rate_rules_;
+  std::vector<TriggerEvent> events_;
+  std::function<void(const TriggerEvent&)> callback_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CORE_TRIGGER_H_

@@ -1,0 +1,64 @@
+// Dataset One — the synthetic workload of §6.1 with imposed implication
+// counts.
+//
+// The recipe (per itemset of A):
+//  * S qualifying itemsets: u ~ Uniform[1, c] itemsets of B, `pair_support`
+//    (50) tuples per pair, then `qualifying_extra_b` (4) fresh b's with one
+//    tuple each — support 50u+4, top-c confidence 50u/(50u+4) ≈ 92%, so
+//    the itemset implies B under γ = 90%.
+//  * (|A|−S)/3 confidence-noise itemsets: u real pairs at 50 tuples plus
+//    8 fresh b's with `conf_noise_tuples_per_b` tuples each, pushing the
+//    top-c confidence below γ for every c. (The paper writes one tuple per
+//    extra b, which only violates γ = 90% at c = 1; we use 8 so the
+//    violation holds for c ∈ {1, 2, 4} — same intent, see EXPERIMENTS.md.)
+//  * (|A|−S)/3 multiplicity-noise itemsets: support 50 spread round-robin
+//    over u ~ Uniform[c+1, c+10] distinct b's — top-c confidence ≈ c/u.
+//  * (|A|−S)/3 low-support itemsets: one pair, 40 tuples (< σ = 50).
+// The output is shuffled (the algorithm is order-independent).
+//
+// The matching conditions are K = c, σ = 50, γ = 0.90 at top-c, with the
+// tracking-bound multiplicity semantics (strict_multiplicity = false) the
+// paper's generator implies — see core/conditions.h.
+
+#ifndef IMPLISTAT_DATAGEN_DATASET_ONE_H_
+#define IMPLISTAT_DATAGEN_DATASET_ONE_H_
+
+#include <cstdint>
+
+#include "core/conditions.h"
+#include "stream/tuple_stream.h"
+
+namespace implistat {
+
+struct DatasetOneParams {
+  uint64_t cardinality_a = 1000;  // |A|
+  uint64_t implied_count = 500;   // S, the imposed implication count
+  uint32_t c = 1;                 // one-to-c implications
+  uint64_t pair_support = 50;     // tuples per real (a, b) pair; also σ
+  uint32_t qualifying_extra_b = 4;
+  uint32_t conf_noise_extra_b = 8;
+  uint64_t conf_noise_tuples_per_b = 8;
+  uint64_t low_support_tuples = 40;
+  uint64_t seed = 0;
+};
+
+struct DatasetOne {
+  /// Two attributes, "A" then "B", with observed cardinalities.
+  Schema schema;
+  /// The shuffled tuple stream.
+  VectorStream stream;
+  /// The conditions under which `true_implication_count` is the answer.
+  ImplicationConditions conditions;
+  /// Imposed S.
+  uint64_t true_implication_count = 0;
+  /// Imposed ~S (supported itemsets violating a condition).
+  uint64_t true_non_implication_count = 0;
+  /// Imposed F0_sup(A).
+  uint64_t true_supported_distinct = 0;
+};
+
+DatasetOne GenerateDatasetOne(const DatasetOneParams& params);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_DATAGEN_DATASET_ONE_H_

@@ -1,0 +1,77 @@
+#include "datagen/netflow_gen.h"
+
+#include "hash/hash64.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+NetflowGenerator::NetflowGenerator(NetflowGenParams params)
+    : params_(params),
+      rng_(SplitMix64(params.seed + 0xf10f)),
+      source_dist_(params.num_sources, params.source_skew),
+      dest_dist_(params.num_destinations, params.destination_skew),
+      service_dist_(params.num_services, params.service_skew),
+      row_(4) {
+  IMPLISTAT_CHECK(schema_.AddAttribute("Source", params_.num_sources).ok());
+  IMPLISTAT_CHECK(
+      schema_.AddAttribute("Destination", params_.num_destinations).ok());
+  IMPLISTAT_CHECK(schema_.AddAttribute("Service", params_.num_services).ok());
+  IMPLISTAT_CHECK(schema_.AddAttribute("Hour", params_.num_hours).ok());
+}
+
+std::optional<TupleRef> NetflowGenerator::Next() {
+  const Episode* active = nullptr;
+  for (const Episode& episode : params_.episodes) {
+    if (tuples_ >= episode.start_tuple &&
+        tuples_ < episode.start_tuple + episode.length) {
+      active = &episode;
+      break;
+    }
+  }
+  if (active != nullptr && rng_.Bernoulli(active->intensity)) {
+    EmitEpisode(*active);
+  } else {
+    EmitBase();
+  }
+  row_[kHour] = static_cast<ValueId>(
+      (tuples_ / params_.tuples_per_hour) % params_.num_hours);
+  ++tuples_;
+  return TupleRef(row_.data(), row_.size());
+}
+
+void NetflowGenerator::EmitBase() {
+  row_[kSource] = static_cast<ValueId>(source_dist_.Sample(rng_));
+  row_[kDestination] = static_cast<ValueId>(dest_dist_.Sample(rng_));
+  row_[kService] = static_cast<ValueId>(service_dist_.Sample(rng_));
+}
+
+void NetflowGenerator::EmitEpisode(const Episode& episode) {
+  switch (episode.kind) {
+    case EpisodeKind::kFlashCrowd:
+      // Many distinct (mostly fresh) sources, one destination, WWW-ish
+      // service.
+      row_[kSource] = static_cast<ValueId>(source_dist_.Sample(rng_));
+      row_[kDestination] = episode.focus;
+      row_[kService] = 0;
+      break;
+    case EpisodeKind::kDdos:
+      // Spoofed sources drawn uniformly from the whole space: each
+      // individual source contributes a tiny count, the aggregate is huge.
+      row_[kSource] =
+          static_cast<ValueId>(rng_.Uniform(params_.num_sources));
+      row_[kDestination] = episode.focus;
+      row_[kService] =
+          static_cast<ValueId>(rng_.Uniform(params_.num_services));
+      break;
+    case EpisodeKind::kPortScan:
+      // One source probing destinations sequentially.
+      row_[kSource] = episode.focus;
+      row_[kDestination] =
+          static_cast<ValueId>(rng_.Uniform(params_.num_destinations));
+      row_[kService] =
+          static_cast<ValueId>(rng_.Uniform(params_.num_services));
+      break;
+  }
+}
+
+}  // namespace implistat

@@ -1,0 +1,131 @@
+#include "datagen/olap_gen.h"
+
+#include <cmath>
+
+#include "hash/hash64.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+namespace {
+
+constexpr const char* kDimNames[8] = {"A", "B", "C", "D", "E", "F", "G", "H"};
+
+// Hash-derived uniform double in [0, 1).
+double HashUnit(uint64_t key, uint64_t seed) {
+  return static_cast<double>(MixHash(key, seed) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+OlapGenerator::OlapGenerator(OlapGenParams params)
+    : params_(params), rng_(SplitMix64(params.seed + 0x01a9)), row_(8) {
+  IMPLISTAT_CHECK(params_.loyal_b_pool >= 1 &&
+                  params_.loyal_b_pool < params_.cardinalities[1])
+      << "loyal B pool must leave room for promiscuous B values";
+  for (int i = 0; i < 8; ++i) {
+    IMPLISTAT_CHECK(
+        schema_.AddAttribute(kDimNames[i], params_.cardinalities[i]).ok());
+  }
+}
+
+ValueId OlapGenerator::PoolPartnerE(ValueId pool_b) const {
+  return static_cast<ValueId>(MixHash(pool_b, params_.seed + 0xc0b4) %
+                              params_.cardinalities[4]);
+}
+
+OlapGenerator::Combo OlapGenerator::MakeCombo(uint64_t index) const {
+  // Coordinates are a pure function of (seed, index): the unbounded combo
+  // population costs no memory.
+  uint64_t h1 = MixHash(index, params_.seed + 0xc0b0);
+  uint64_t h2 = MixHash(index, params_.seed + 0xc0b1);
+  uint64_t h3 = MixHash(index, params_.seed + 0xc0b2);
+  Combo combo;
+  combo.a = static_cast<ValueId>(h1 % params_.cardinalities[0]);
+  combo.e = static_cast<ValueId>((h1 >> 32) % params_.cardinalities[4]);
+  combo.f = static_cast<ValueId>(h2 % params_.cardinalities[5]);
+  combo.loyal =
+      (static_cast<double>(h2 >> 11) * 0x1.0p-53) < params_.loyal_fraction;
+  combo.noise =
+      (static_cast<double>(h3 >> 11) * 0x1.0p-53) * params_.max_noise;
+  combo.loyal_b = 0;
+  if (combo.loyal) {
+    // Adoption window widens with the combo index, so fresh pool values
+    // (fresh B → E implications) keep surfacing as the stream grows.
+    double u = HashUnit(index, params_.seed + 0xc0b3);
+    double window =
+        std::min(static_cast<double>(params_.loyal_b_pool),
+                 params_.pool_adoption_offset +
+                     static_cast<double>(index) / params_.pool_adoption_rate);
+    combo.loyal_b = static_cast<ValueId>(u * window);
+    if (combo.loyal_b >= params_.loyal_b_pool) {
+      combo.loyal_b = static_cast<ValueId>(params_.loyal_b_pool - 1);
+    }
+    // Pool membership forces this combo's E to the value's fixed partner
+    // so the implication B → E holds (up to the per-value noise below).
+    combo.e = PoolPartnerE(combo.loyal_b);
+  }
+  return combo;
+}
+
+std::optional<TupleRef> OlapGenerator::Next() {
+  uint64_t index;
+  if (next_combo_ == 0 || rng_.Bernoulli(params_.new_combo_rate)) {
+    index = next_combo_++;
+  } else {
+    // Skewed revisit favouring older combos.
+    double u = rng_.NextDouble();
+    index = static_cast<uint64_t>(std::pow(u, params_.revisit_skew) *
+                                  static_cast<double>(next_combo_));
+    if (index >= next_combo_) index = next_combo_ - 1;
+  }
+  Combo combo = MakeCombo(index);
+
+  ValueId b;
+  ValueId e = combo.e;
+  if (combo.loyal && !rng_.Bernoulli(combo.noise)) {
+    b = combo.loyal_b;
+    // Per-pool-value E noise: the B → E implication is approximate, which
+    // is what separates the γ = 0.6 and γ = 0.8 truths.
+    double b_noise =
+        HashUnit(b, params_.seed + 0xc0b5) * params_.max_noise;
+    if (rng_.Bernoulli(b_noise)) {
+      e = static_cast<ValueId>(rng_.Uniform(params_.cardinalities[4]));
+    }
+  } else {
+    // Noise/promiscuous draw outside the loyal pool (so pool values keep
+    // their single-E property). A skewed component keeps a growing slice
+    // of noise values above the support threshold; a uniform component
+    // scatters one-off observations across the dimension.
+    double u = rng_.Bernoulli(params_.noise_uniform_fraction)
+                   ? rng_.NextDouble()
+                   : std::pow(rng_.NextDouble(), params_.noise_skew);
+    b = static_cast<ValueId>(
+        params_.loyal_b_pool +
+        static_cast<uint64_t>(
+            u * static_cast<double>(params_.cardinalities[1] -
+                                    params_.loyal_b_pool)));
+    if (b >= params_.cardinalities[1]) {
+      b = static_cast<ValueId>(params_.cardinalities[1] - 1);
+    }
+  }
+
+  row_[0] = combo.a;
+  row_[1] = b;
+  row_[2] = static_cast<ValueId>(rng_.Uniform(params_.cardinalities[2]));
+  row_[3] = static_cast<ValueId>(rng_.Uniform(params_.cardinalities[3]));
+  row_[4] = e;
+  row_[5] = combo.f;
+  // G correlates softly with A (a CORDS-style dependency for the
+  // dependency-audit example); H is uniform.
+  if (rng_.Bernoulli(0.5)) {
+    row_[6] = static_cast<ValueId>(MixHash(combo.a, params_.seed + 0x6006) %
+                                   params_.cardinalities[6]);
+  } else {
+    row_[6] = static_cast<ValueId>(rng_.Uniform(params_.cardinalities[6]));
+  }
+  row_[7] = static_cast<ValueId>(rng_.Uniform(params_.cardinalities[7]));
+  return TupleRef(row_.data(), row_.size());
+}
+
+}  // namespace implistat

@@ -1,0 +1,31 @@
+#include "datagen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  IMPLISTAT_CHECK(n_ >= 1);
+  IMPLISTAT_CHECK(theta_ >= 0.0);
+  IMPLISTAT_CHECK(n_ <= (uint64_t{1} << 24))
+      << "ZipfSampler table bounded at 2^24 entries";
+  cdf_.resize(n_);
+  double acc = 0;
+  for (uint64_t k = 0; k < n_; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cdf_[k] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace implistat

@@ -1,0 +1,34 @@
+// Zipf-distributed sampling for skewed synthetic workloads.
+
+#ifndef IMPLISTAT_DATAGEN_ZIPF_H_
+#define IMPLISTAT_DATAGEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace implistat {
+
+/// Samples from Zipf(n, theta): P(k) ∝ 1/(k+1)^theta for k in [0, n).
+/// theta = 0 degenerates to uniform. Uses an inverted-CDF table, so
+/// construction is O(n) and sampling O(log n); n is bounded to keep the
+/// table affordable.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_DATAGEN_ZIPF_H_

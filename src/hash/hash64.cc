@@ -1,0 +1,23 @@
+#include "hash/hash64.h"
+
+#include "util/random.h"
+
+namespace implistat {
+
+MixHasher::MixHasher(uint64_t seed) : mask_(SplitMix64(seed)) {}
+
+uint64_t MixHasher::Hash(uint64_t key) const {
+  return SplitMix64(key ^ mask_);
+}
+
+std::unique_ptr<Hasher64> MixHasher::Clone() const {
+  auto copy = std::make_unique<MixHasher>(0);
+  copy->mask_ = mask_;
+  return copy;
+}
+
+uint64_t MixHash(uint64_t key, uint64_t seed) {
+  return SplitMix64(key ^ SplitMix64(seed));
+}
+
+}  // namespace implistat

@@ -1,0 +1,30 @@
+#include "hash/hash_family.h"
+
+#include "hash/linear_gf2.h"
+#include "hash/multiply_shift.h"
+#include "hash/tabulation.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace implistat {
+
+std::unique_ptr<Hasher64> MakeHasher(HashKind kind, uint64_t seed) {
+  switch (kind) {
+    case HashKind::kMix:
+      return std::make_unique<MixHasher>(seed);
+    case HashKind::kMultiplyShift:
+      return std::make_unique<MultiplyShiftHasher>(seed);
+    case HashKind::kTabulation:
+      return std::make_unique<TabulationHasher>(seed);
+    case HashKind::kLinearGf2:
+      return std::make_unique<LinearGf2Hasher>(seed);
+  }
+  IMPLISTAT_CHECK(false) << "unknown HashKind";
+  return nullptr;
+}
+
+std::unique_ptr<Hasher64> HashFamily::Make(uint64_t index) const {
+  return MakeHasher(kind_, SplitMix64(master_seed_ + 0x1234567 + index));
+}
+
+}  // namespace implistat

@@ -1,0 +1,45 @@
+// Seeded families of hash functions.
+//
+// A HashFamily hands out independent Hasher64 instances by index — one per
+// bitmap of a stochastic-averaging ensemble, one per trial of an
+// experiment — deterministically from a master seed.
+
+#ifndef IMPLISTAT_HASH_HASH_FAMILY_H_
+#define IMPLISTAT_HASH_HASH_FAMILY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "hash/hash64.h"
+
+namespace implistat {
+
+enum class HashKind {
+  kMix,            // SplitMix64 finalizer (default)
+  kMultiplyShift,  // 2-independent
+  kTabulation,     // 3-independent
+  kLinearGf2,      // GF(2) linear, bijective
+};
+
+std::unique_ptr<Hasher64> MakeHasher(HashKind kind, uint64_t seed);
+
+class HashFamily {
+ public:
+  HashFamily(HashKind kind, uint64_t master_seed)
+      : kind_(kind), master_seed_(master_seed) {}
+
+  /// The i-th member of the family; members for distinct i are seeded
+  /// independently (SplitMix64 of the master seed and index).
+  std::unique_ptr<Hasher64> Make(uint64_t index) const;
+
+  HashKind kind() const { return kind_; }
+  uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  HashKind kind_;
+  uint64_t master_seed_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_HASH_HASH_FAMILY_H_

@@ -1,0 +1,60 @@
+#include "hash/linear_gf2.h"
+
+#include "util/random.h"
+
+namespace implistat {
+
+namespace {
+
+// Gaussian elimination over GF(2): true iff the 64 columns are linearly
+// independent (matrix nonsingular).
+bool IsNonsingular(const std::array<uint64_t, 64>& columns) {
+  std::array<uint64_t, 64> rows = columns;  // treat as row vectors; rank is
+                                            // the same for M and M^T.
+  int rank = 0;
+  for (int bit = 63; bit >= 0 && rank < 64; --bit) {
+    int pivot = -1;
+    for (int i = rank; i < 64; ++i) {
+      if ((rows[i] >> bit) & 1) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (int i = 0; i < 64; ++i) {
+      if (i != rank && ((rows[i] >> bit) & 1)) rows[i] ^= rows[rank];
+    }
+    ++rank;
+  }
+  return rank == 64;
+}
+
+}  // namespace
+
+LinearGf2Hasher::LinearGf2Hasher(uint64_t seed) {
+  Rng rng(seed);
+  do {
+    for (auto& col : columns_) col = rng.Next64();
+  } while (!IsNonsingular(columns_));
+  offset_ = rng.Next64();
+}
+
+uint64_t LinearGf2Hasher::Hash(uint64_t key) const {
+  // M·x = XOR of the columns selected by the 1-bits of x.
+  uint64_t h = offset_;
+  uint64_t x = key;
+  while (x) {
+    int j = __builtin_ctzll(x);
+    h ^= columns_[j];
+    x &= x - 1;
+  }
+  return h;
+}
+
+std::unique_ptr<Hasher64> LinearGf2Hasher::Clone() const {
+  auto copy = std::make_unique<LinearGf2Hasher>(*this);
+  return copy;
+}
+
+}  // namespace implistat

@@ -1,0 +1,35 @@
+#include "hash/multiply_shift.h"
+
+#include "util/random.h"
+
+namespace implistat {
+
+namespace {
+unsigned __int128 Combine(uint64_t hi, uint64_t lo) {
+  return (static_cast<unsigned __int128>(hi) << 64) | lo;
+}
+}  // namespace
+
+MultiplyShiftHasher::MultiplyShiftHasher(uint64_t seed) {
+  Rng rng(seed);
+  a_ = Combine(rng.Next64(), rng.Next64() | 1);  // odd multiplier
+  b_ = Combine(rng.Next64(), rng.Next64());
+}
+
+MultiplyShiftHasher::MultiplyShiftHasher(uint64_t a_hi, uint64_t a_lo,
+                                         uint64_t b_hi, uint64_t b_lo)
+    : a_(Combine(a_hi, a_lo | 1)), b_(Combine(b_hi, b_lo)) {}
+
+uint64_t MultiplyShiftHasher::Hash(uint64_t key) const {
+  unsigned __int128 v = a_ * key + b_;
+  return static_cast<uint64_t>(v >> 64);
+}
+
+std::unique_ptr<Hasher64> MultiplyShiftHasher::Clone() const {
+  auto copy = std::make_unique<MultiplyShiftHasher>(0);
+  copy->a_ = a_;
+  copy->b_ = b_;
+  return copy;
+}
+
+}  // namespace implistat

@@ -1,0 +1,28 @@
+#include "hash/tabulation.h"
+
+#include "util/random.h"
+
+namespace implistat {
+
+TabulationHasher::TabulationHasher(uint64_t seed) {
+  Rng rng(seed);
+  for (auto& table : tables_) {
+    for (auto& word : table) word = rng.Next64();
+  }
+}
+
+uint64_t TabulationHasher::Hash(uint64_t key) const {
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h ^= tables_[i][(key >> (8 * i)) & 0xff];
+  }
+  return h;
+}
+
+std::unique_ptr<Hasher64> TabulationHasher::Clone() const {
+  auto copy = std::make_unique<TabulationHasher>(0);
+  copy->tables_ = tables_;
+  return copy;
+}
+
+}  // namespace implistat

@@ -1,0 +1,96 @@
+#include "query/engine.h"
+
+#include "query/parser.h"
+
+namespace implistat {
+
+QueryEngine::QueryEngine(Schema schema) : schema_(std::move(schema)) {}
+
+StatusOr<QueryId> QueryEngine::RegisterSql(
+    std::string_view text,
+    const std::vector<ValueDictionary>* dictionaries) {
+  IMPLISTAT_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                             ParseImplicationQuery(text));
+  IMPLISTAT_ASSIGN_OR_RETURN(ImplicationQuerySpec spec,
+                             BindQuery(parsed, schema_, dictionaries));
+  spec.label = std::string(text);
+  return Register(std::move(spec));
+}
+
+StatusOr<QueryId> QueryEngine::Register(ImplicationQuerySpec spec) {
+  if (spec.a_attributes.empty()) {
+    return Status::InvalidArgument("query needs at least one A attribute");
+  }
+  if (spec.b_attributes.empty()) {
+    return Status::InvalidArgument("query needs at least one B attribute");
+  }
+  IMPLISTAT_RETURN_NOT_OK(spec.conditions.Validate());
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      AttributeSet a_set, AttributeSet::FromNames(schema_, spec.a_attributes));
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      AttributeSet b_set, AttributeSet::FromNames(schema_, spec.b_attributes));
+  if (!a_set.DisjointFrom(b_set)) {
+    return Status::InvalidArgument("A and B attribute sets must be disjoint");
+  }
+  if (spec.complement &&
+      (spec.estimator.kind == EstimatorKind::kIlc ||
+       spec.estimator.kind == EstimatorKind::kIss)) {
+    return Status::InvalidArgument(
+        "complement queries need an estimator that answers ~S "
+        "(NIPS/CI, Exact or DS)");
+  }
+  RegisteredQuery query{
+      std::move(spec),
+      ItemsetPacker(schema_, a_set),
+      ItemsetPacker(schema_, b_set),
+      nullptr,
+  };
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      query.estimator,
+      MakeEstimator(query.spec.conditions, query.spec.estimator));
+  queries_.push_back(std::move(query));
+  return static_cast<QueryId>(queries_.size()) - 1;
+}
+
+void QueryEngine::ObserveTuple(TupleRef tuple) {
+  ++tuples_;
+  for (RegisteredQuery& query : queries_) {
+    if (query.spec.where != nullptr && !query.spec.where->Matches(tuple)) {
+      continue;
+    }
+    query.estimator->Observe(query.a_packer.Pack(tuple),
+                             query.b_packer.Pack(tuple));
+  }
+}
+
+Status QueryEngine::ObserveStream(TupleStream& stream) {
+  if (stream.schema().num_attributes() != schema_.num_attributes()) {
+    return Status::InvalidArgument("stream schema width mismatch");
+  }
+  while (auto tuple = stream.Next()) ObserveTuple(*tuple);
+  return Status::OK();
+}
+
+StatusOr<double> QueryEngine::Answer(QueryId id) const {
+  IMPLISTAT_ASSIGN_OR_RETURN(const ImplicationEstimator* est, Estimator(id));
+  if (queries_[id].spec.complement) {
+    double non_impl = est->EstimateNonImplicationCount();
+    if (non_impl < 0) {
+      return Status::FailedPrecondition(
+          "estimator cannot answer non-implication counts");
+    }
+    return non_impl;
+  }
+  return est->EstimateImplicationCount();
+}
+
+StatusOr<const ImplicationEstimator*> QueryEngine::Estimator(
+    QueryId id) const {
+  if (id < 0 || id >= num_queries()) {
+    return Status::NotFound("no such query id");
+  }
+  return const_cast<const ImplicationEstimator*>(
+      queries_[id].estimator.get());
+}
+
+}  // namespace implistat

@@ -1,0 +1,77 @@
+// QueryEngine: maintains many concurrent implication queries over one
+// stream — the "node in a distributed environment [that] receives a stream
+// of data and wants to maintain a series of statistics about various
+// implicated attributes" of §3.
+//
+// Each registered query gets its own projection packers, WHERE filter and
+// estimator; ObserveTuple routes a tuple to every matching query in one
+// pass.
+
+#ifndef IMPLISTAT_QUERY_ENGINE_H_
+#define IMPLISTAT_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "query/query.h"
+#include "stream/itemset.h"
+#include "stream/schema.h"
+#include "stream/tuple_stream.h"
+#include "stream/value_dictionary.h"
+#include "util/status_or.h"
+
+namespace implistat {
+
+using QueryId = int;
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(Schema schema);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Validates and registers a query; returns its id.
+  StatusOr<QueryId> Register(ImplicationQuerySpec spec);
+
+  /// Parses, binds and registers a query in the paper's SQL-like syntax
+  /// (see query/parser.h). `dictionaries` resolve quoted condition
+  /// values; may be null when conditions use raw value ids.
+  StatusOr<QueryId> RegisterSql(
+      std::string_view text,
+      const std::vector<ValueDictionary>* dictionaries = nullptr);
+
+  /// Feeds one tuple to every registered query.
+  void ObserveTuple(TupleRef tuple);
+
+  /// Drains a whole stream. The stream's schema must match.
+  Status ObserveStream(TupleStream& stream);
+
+  /// The query's current answer: S, or ~S for complement queries.
+  StatusOr<double> Answer(QueryId id) const;
+
+  /// Direct access to the underlying estimator (for the richer readouts
+  /// such as F0_sup or memory accounting).
+  StatusOr<const ImplicationEstimator*> Estimator(QueryId id) const;
+
+  const Schema& schema() const { return schema_; }
+  uint64_t tuples_seen() const { return tuples_; }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+ private:
+  struct RegisteredQuery {
+    ImplicationQuerySpec spec;
+    ItemsetPacker a_packer;
+    ItemsetPacker b_packer;
+    std::unique_ptr<ImplicationEstimator> estimator;
+  };
+
+  Schema schema_;
+  std::vector<RegisteredQuery> queries_;
+  uint64_t tuples_ = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_QUERY_ENGINE_H_

@@ -1,0 +1,79 @@
+// Parser for the paper's SQL-like implication query format (§3):
+//
+//   SELECT COUNT(DISTINCT Destination) FROM traffic
+//   WHERE Destination IMPLIES Source
+//     AND Time = 'Morning'
+//   WITH K = 1, SUPPORT = 5, CONFIDENCE = 0.8, C = 1
+//
+// Grammar (keywords case-insensitive; [] optional):
+//
+//   query    := SELECT COUNT '(' DISTINCT attrs ')' FROM ident
+//               WHERE [NOT] attrs IMPLIES attrs (AND cond)*
+//               [WITH param (',' param)*]
+//   attrs    := ident (',' ident)*
+//   cond     := ident ('=' | '!=') value
+//   param    := (K | MULTIPLICITY) '=' int
+//             | (SUPPORT | SIGMA)  '=' int
+//             | (CONFIDENCE | GAMMA) '=' float
+//             | (C | TOP) '=' int
+//             | STRICT '=' bool
+//             | ESTIMATOR '=' (NIPS | EXACT | DS | ILC | ISS)
+//             | WINDOW '=' int            -- sliding window, in tuples
+//             | STRIDE '=' int            -- window granularity
+//
+// `NOT ... IMPLIES` asks for the complement (non-implication) count.
+// Values in conditions are either 'quoted strings' (resolved against the
+// attribute's dictionary) or bare integers (taken as value ids).
+//
+// Parsing is split from binding: Parse() needs no schema and returns a
+// ParsedQuery; Bind() resolves attribute names and condition values
+// against a schema (and optional dictionaries) into an
+// ImplicationQuerySpec ready for QueryEngine::Register.
+
+#ifndef IMPLISTAT_QUERY_PARSER_H_
+#define IMPLISTAT_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query.h"
+#include "stream/value_dictionary.h"
+
+namespace implistat {
+
+struct TextCondition {
+  std::string attribute;
+  bool negated = false;  // '!=' instead of '='
+  std::string value;
+  bool quoted = false;  // value came from a quoted string literal
+};
+
+struct ParsedQuery {
+  std::vector<std::string> count_attributes;  // SELECT COUNT(DISTINCT ...)
+  std::string relation;                       // FROM ...
+  std::vector<std::string> a_attributes;      // lhs of IMPLIES
+  std::vector<std::string> b_attributes;      // rhs of IMPLIES
+  bool complement = false;                    // NOT ... IMPLIES
+  std::vector<TextCondition> conditions;      // AND attr = value
+  ImplicationConditions implication;          // WITH parameters
+  EstimatorKind estimator = EstimatorKind::kNipsCi;
+  uint64_t window = 0;  // WITH WINDOW = n (tuples); 0 = lifetime
+  uint64_t stride = 0;  // WITH STRIDE = n
+};
+
+/// Parses the query text. Defaults when WITH is absent: K=1, SUPPORT=1,
+/// CONFIDENCE=1.0, C=1, STRICT=true, ESTIMATOR=NIPS.
+StatusOr<ParsedQuery> ParseImplicationQuery(std::string_view text);
+
+/// Binds a parsed query against `schema`. Condition values are resolved
+/// through `dictionaries` (one per attribute, may be null — then values
+/// must be integer ids). The COUNT attribute list must equal the IMPLIES
+/// left-hand side.
+StatusOr<ImplicationQuerySpec> BindQuery(
+    const ParsedQuery& parsed, const Schema& schema,
+    const std::vector<ValueDictionary>* dictionaries);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_QUERY_PARSER_H_

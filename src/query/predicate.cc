@@ -1,0 +1,26 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+namespace implistat {
+
+bool InSetPredicate::Matches(TupleRef tuple) const {
+  ValueId v = tuple[attribute_];
+  return std::find(values_.begin(), values_.end(), v) != values_.end();
+}
+
+bool AndPredicate::Matches(TupleRef tuple) const {
+  for (const auto& part : parts_) {
+    if (!part->Matches(tuple)) return false;
+  }
+  return true;
+}
+
+bool OrPredicate::Matches(TupleRef tuple) const {
+  for (const auto& part : parts_) {
+    if (part->Matches(tuple)) return true;
+  }
+  return false;
+}
+
+}  // namespace implistat

@@ -1,0 +1,107 @@
+// Tuple predicates for conditional implication queries (Table 2:
+// "How many sources contact only one destination *during the morning*").
+//
+// A predicate filters the stream before the implication machinery sees it;
+// the composition classes cover the conjunctive/disjunctive conditions of
+// the paper's example queries.
+
+#ifndef IMPLISTAT_QUERY_PREDICATE_H_
+#define IMPLISTAT_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "stream/itemset.h"
+
+namespace implistat {
+
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+  virtual bool Matches(TupleRef tuple) const = 0;
+};
+
+/// Matches everything (the unconditional query).
+class TruePredicate final : public Predicate {
+ public:
+  bool Matches(TupleRef) const override { return true; }
+};
+
+/// attribute == value.
+class EqualsPredicate final : public Predicate {
+ public:
+  EqualsPredicate(int attribute_index, ValueId value)
+      : attribute_(attribute_index), value_(value) {}
+  bool Matches(TupleRef tuple) const override {
+    return tuple[attribute_] == value_;
+  }
+
+ private:
+  int attribute_;
+  ValueId value_;
+};
+
+/// attribute ∈ {values}.
+class InSetPredicate final : public Predicate {
+ public:
+  InSetPredicate(int attribute_index, std::vector<ValueId> values)
+      : attribute_(attribute_index), values_(std::move(values)) {}
+  bool Matches(TupleRef tuple) const override;
+
+ private:
+  int attribute_;
+  std::vector<ValueId> values_;
+};
+
+/// lo <= attribute <= hi (useful for dictionary-ordered ranges such as
+/// time buckets).
+class RangePredicate final : public Predicate {
+ public:
+  RangePredicate(int attribute_index, ValueId lo, ValueId hi)
+      : attribute_(attribute_index), lo_(lo), hi_(hi) {}
+  bool Matches(TupleRef tuple) const override {
+    ValueId v = tuple[attribute_];
+    return lo_ <= v && v <= hi_;
+  }
+
+ private:
+  int attribute_;
+  ValueId lo_;
+  ValueId hi_;
+};
+
+class AndPredicate final : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<std::shared_ptr<const Predicate>> parts)
+      : parts_(std::move(parts)) {}
+  bool Matches(TupleRef tuple) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Predicate>> parts_;
+};
+
+class OrPredicate final : public Predicate {
+ public:
+  explicit OrPredicate(std::vector<std::shared_ptr<const Predicate>> parts)
+      : parts_(std::move(parts)) {}
+  bool Matches(TupleRef tuple) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Predicate>> parts_;
+};
+
+class NotPredicate final : public Predicate {
+ public:
+  explicit NotPredicate(std::shared_ptr<const Predicate> inner)
+      : inner_(std::move(inner)) {}
+  bool Matches(TupleRef tuple) const override {
+    return !inner_->Matches(tuple);
+  }
+
+ private:
+  std::shared_ptr<const Predicate> inner_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_QUERY_PREDICATE_H_

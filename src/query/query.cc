@@ -1,0 +1,51 @@
+#include "query/query.h"
+
+#include "baseline/exact_counter.h"
+#include "core/sliding.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+StatusOr<std::unique_ptr<ImplicationEstimator>> MakeEstimator(
+    const ImplicationConditions& conditions, const EstimatorConfig& config) {
+  if (config.window > 0) {
+    if (config.kind != EstimatorKind::kNipsCi) {
+      return Status::InvalidArgument(
+          "windowed queries require the NIPS/CI estimator");
+    }
+    SlidingOptions sliding;
+    sliding.window = config.window;
+    sliding.stride =
+        config.stride > 0 ? config.stride : (config.window + 7) / 8;
+    if (sliding.stride > sliding.window) sliding.stride = sliding.window;
+    // The rotation scheme retires estimators at exact multiples.
+    if (sliding.window % sliding.stride != 0) {
+      return Status::InvalidArgument("stride must divide the window");
+    }
+    sliding.estimator = config.nips;
+    return std::unique_ptr<ImplicationEstimator>(
+        std::make_unique<SlidingNipsCiEstimator>(conditions, sliding));
+  }
+  switch (config.kind) {
+    case EstimatorKind::kNipsCi:
+      return std::unique_ptr<ImplicationEstimator>(
+          std::make_unique<NipsCi>(conditions, config.nips));
+    case EstimatorKind::kExact:
+      return std::unique_ptr<ImplicationEstimator>(
+          std::make_unique<ExactImplicationCounter>(conditions));
+    case EstimatorKind::kDistinctSampling:
+      return std::unique_ptr<ImplicationEstimator>(
+          std::make_unique<DistinctSampling>(conditions, config.ds));
+    case EstimatorKind::kIlc:
+      return std::unique_ptr<ImplicationEstimator>(
+          std::make_unique<Ilc>(conditions, config.ilc));
+    case EstimatorKind::kIss:
+      return std::unique_ptr<ImplicationEstimator>(
+          std::make_unique<ImplicationStickySampling>(conditions,
+                                                      config.iss));
+  }
+  IMPLISTAT_CHECK(false) << "unknown EstimatorKind";
+  return Status::Internal("unreachable");
+}
+
+}  // namespace implistat

@@ -1,0 +1,50 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+CountMinSketch::CountMinSketch(int depth, size_t width, uint64_t seed)
+    : depth_(depth), width_(width), counters_(depth * width, 0) {
+  IMPLISTAT_CHECK(depth_ >= 1 && width_ >= 1);
+  HashFamily family(HashKind::kMix, seed);
+  hashers_.reserve(static_cast<size_t>(depth_));
+  for (int d = 0; d < depth_; ++d) hashers_.push_back(family.Make(d));
+}
+
+CountMinSketch CountMinSketch::FromErrorBounds(double epsilon, double delta,
+                                               uint64_t seed) {
+  IMPLISTAT_CHECK(epsilon > 0 && epsilon < 1);
+  IMPLISTAT_CHECK(delta > 0 && delta < 1);
+  int depth = static_cast<int>(std::ceil(std::log(1.0 / delta)));
+  size_t width =
+      static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon));
+  return CountMinSketch(std::max(depth, 1), width, seed);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  total_ += count;
+  for (int d = 0; d < depth_; ++d) {
+    size_t cell = hashers_[d]->Hash(key) % width_;
+    counters_[static_cast<size_t>(d) * width_ + cell] += count;
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = ~uint64_t{0};
+  for (int d = 0; d < depth_; ++d) {
+    size_t cell = hashers_[d]->Hash(key) % width_;
+    best = std::min(best, counters_[static_cast<size_t>(d) * width_ + cell]);
+  }
+  return best == ~uint64_t{0} ? 0 : best;
+}
+
+size_t CountMinSketch::MemoryBytes() const {
+  return counters_.size() * sizeof(uint64_t) +
+         static_cast<size_t>(depth_) * sizeof(uint64_t);
+}
+
+}  // namespace implistat

@@ -1,0 +1,50 @@
+// Count-Min sketch (Cormode & Muthukrishnan 2005).
+//
+// The canonical frequency summary of the heavy-hitter literature the
+// paper contrasts against (§1, §5): point queries overestimate by at most
+// εT with probability 1−δ using depth·width counters. Included so the
+// benchmark suite can demonstrate the paper's core argument — frequency
+// machinery cannot see the cumulative effect of many small-count items
+// (bench/heavy_hitter_blindspot).
+
+#ifndef IMPLISTAT_SKETCH_COUNT_MIN_H_
+#define IMPLISTAT_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace implistat {
+
+class CountMinSketch {
+ public:
+  /// depth rows of width counters; ε ≈ e/width, δ ≈ e^-depth.
+  CountMinSketch(int depth, size_t width, uint64_t seed);
+
+  /// Convenience: dimensions from accuracy targets.
+  static CountMinSketch FromErrorBounds(double epsilon, double delta,
+                                        uint64_t seed);
+
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Point estimate: >= true count, <= true count + εT w.h.p.
+  uint64_t Estimate(uint64_t key) const;
+
+  uint64_t total() const { return total_; }
+  int depth() const { return depth_; }
+  size_t width() const { return width_; }
+  size_t MemoryBytes() const;
+
+ private:
+  int depth_;
+  size_t width_;
+  std::vector<std::unique_ptr<Hasher64>> hashers_;
+  std::vector<uint64_t> counters_;  // row-major depth x width
+  uint64_t total_ = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_SKETCH_COUNT_MIN_H_

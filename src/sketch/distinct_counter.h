@@ -1,0 +1,27 @@
+// Common interface for distinct-count (F0) estimators.
+
+#ifndef IMPLISTAT_SKETCH_DISTINCT_COUNTER_H_
+#define IMPLISTAT_SKETCH_DISTINCT_COUNTER_H_
+
+#include <cstdint>
+
+namespace implistat {
+
+class DistinctCounter {
+ public:
+  virtual ~DistinctCounter() = default;
+
+  /// Observes one element (duplicates allowed, by definition of F0).
+  virtual void Add(uint64_t key) = 0;
+
+  /// Current estimate of the number of distinct elements seen.
+  virtual double Estimate() const = 0;
+
+  /// Approximate memory footprint in bytes (constrained-environment
+  /// accounting; see §4.6).
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_SKETCH_DISTINCT_COUNTER_H_

@@ -1,0 +1,61 @@
+#include "sketch/fm_sketch.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+double FmExpectedRank(double load) {
+  if (load <= 0) return 0;
+  double expectation = 0;
+  double prefix_all_hit = 1.0;
+  for (int i = 0; i < 64 && prefix_all_hit > 1e-12; ++i) {
+    prefix_all_hit *= 1.0 - std::exp(-load * std::pow(2.0, -(i + 1)));
+    expectation += prefix_all_hit;  // adds P(R >= i+1)
+  }
+  return expectation;
+}
+
+double FmInvertMeanRank(double mean_rank) {
+  if (mean_rank <= 0) return 0;
+  // E[R](ν) is strictly increasing; bisect on log2(ν).
+  double lo = -20, hi = 62;
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (FmExpectedRank(std::pow(2.0, mid)) < mean_rank) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::pow(2.0, 0.5 * (lo + hi));
+}
+
+FmSketch::FmSketch(std::unique_ptr<Hasher64> hasher, int bits)
+    : hasher_(std::move(hasher)), bits_(bits) {
+  IMPLISTAT_CHECK(bits_ >= 1 && bits_ <= 64) << "bitmap length out of range";
+  IMPLISTAT_CHECK(hasher_ != nullptr);
+}
+
+void FmSketch::Add(uint64_t key) {
+  int i = RhoLsb(hasher_->Hash(key));
+  if (i < bits_) bitmap_ |= uint64_t{1} << i;
+}
+
+int FmSketch::LeftmostZero() const {
+  int r = RhoLsb(~bitmap_);
+  return r > bits_ ? bits_ : r;
+}
+
+double FmSketch::Estimate() const {
+  return std::pow(2.0, LeftmostZero()) / kFmPhi;
+}
+
+size_t FmSketch::MemoryBytes() const {
+  // The bitmap itself plus the hasher seed; L bits rounded up.
+  return static_cast<size_t>((bits_ + 7) / 8) + sizeof(uint64_t);
+}
+
+}  // namespace implistat

@@ -1,0 +1,63 @@
+// Flajolet–Martin probabilistic counting (the paper's §4.1.1 substrate).
+//
+// A bitmap of L cells; element a sets cell p(hash(a)), the position of the
+// least significant 1-bit. The position R of the leftmost zero estimates
+// log2(φ·F0) with φ = 0.775351, so F̂0 = 2^R / φ. Lemma 1: cell i is hit by
+// ~F0/2^(i+1) distinct elements.
+
+#ifndef IMPLISTAT_SKETCH_FM_SKETCH_H_
+#define IMPLISTAT_SKETCH_FM_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/hash64.h"
+#include "sketch/distinct_counter.h"
+
+namespace implistat {
+
+/// Flajolet–Martin's bias correction constant: E[R] ≈ log2(φ F0).
+inline constexpr double kFmPhi = 0.775351;
+
+/// Calibrated readout for (ensembles of) FM bitmaps: returns the
+/// per-bitmap load ν whose expected leftmost-zero rank equals `mean_rank`
+/// under the Poissonized cell model
+///
+///   E[R](ν) = Σ_{k≥1} Π_{i=0}^{k−1} (1 − e^{−ν·2^{−(i+1)}}).
+///
+/// Unlike the asymptotic 2^R/φ formula this is accurate at small loads,
+/// which matters for the subtractive CI estimator (core/ci.h) whose two
+/// terms would otherwise inherit different quantization biases.
+double FmInvertMeanRank(double mean_rank);
+
+/// The model's forward map E[R](ν) (exposed for tests).
+double FmExpectedRank(double load);
+
+class FmSketch final : public DistinctCounter {
+ public:
+  /// `bits` is the bitmap length L (cells); 64 suffices for any count.
+  FmSketch(std::unique_ptr<Hasher64> hasher, int bits = 64);
+
+  void Add(uint64_t key) override;
+  double Estimate() const override;
+  size_t MemoryBytes() const override;
+
+  /// Position of the leftmost (least significant) zero cell — the raw
+  /// estimator R. Equals `bits` when every cell is set.
+  int LeftmostZero() const;
+
+  /// Direct cell access for tests (0-based from the least significant).
+  bool CellSet(int i) const { return (bitmap_ >> i) & 1; }
+
+  int bits() const { return bits_; }
+
+ private:
+  std::unique_ptr<Hasher64> hasher_;
+  uint64_t bitmap_ = 0;
+  int bits_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_SKETCH_FM_SKETCH_H_

@@ -1,0 +1,64 @@
+#include "sketch/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+HyperLogLog::HyperLogLog(std::unique_ptr<Hasher64> hasher, int precision)
+    : hasher_(std::move(hasher)),
+      registers_(size_t{1} << precision, 0),
+      precision_(precision) {
+  IMPLISTAT_CHECK(precision_ >= 4 && precision_ <= 18)
+      << "precision out of range";
+}
+
+void HyperLogLog::Add(uint64_t key) {
+  uint64_t h = hasher_->Hash(key);
+  size_t idx = h >> (64 - precision_);
+  // The remaining bits, left-aligned; its leading-zero count (plus one) is
+  // the register rank. rest == 0 means all 64-p payload bits were zero.
+  uint64_t rest = h << precision_;
+  int rank = rest == 0 ? (64 - precision_) + 1
+                       : std::countl_zero(rest) + 1;
+  if (rank > registers_[idx]) registers_[idx] = static_cast<uint8_t>(rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  switch (precision_) {
+    case 4:
+      alpha = 0.673;
+      break;
+    case 5:
+      alpha = 0.697;
+      break;
+    case 6:
+      alpha = 0.709;
+      break;
+    default:
+      alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double inv_sum = 0;
+  int zeros = 0;
+  for (uint8_t reg : registers_) {
+    inv_sum += std::pow(2.0, -static_cast<double>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Small-range correction: fall back to linear counting.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+size_t HyperLogLog::MemoryBytes() const {
+  return registers_.size() + sizeof(uint64_t);
+}
+
+}  // namespace implistat

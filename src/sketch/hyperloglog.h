@@ -1,0 +1,38 @@
+// HyperLogLog (Flajolet et al. 2007).
+//
+// Not in the 2005 paper — included as the modern descendant of the FM
+// machinery so the benchmark suite can show where the distinct-count
+// substrate stands against the estimator that later became standard.
+
+#ifndef IMPLISTAT_SKETCH_HYPERLOGLOG_H_
+#define IMPLISTAT_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/hash64.h"
+#include "sketch/distinct_counter.h"
+
+namespace implistat {
+
+class HyperLogLog final : public DistinctCounter {
+ public:
+  /// `precision` p in [4, 18]: m = 2^p registers.
+  HyperLogLog(std::unique_ptr<Hasher64> hasher, int precision);
+
+  void Add(uint64_t key) override;
+  double Estimate() const override;
+  size_t MemoryBytes() const override;
+
+  int precision() const { return precision_; }
+
+ private:
+  std::unique_ptr<Hasher64> hasher_;
+  std::vector<uint8_t> registers_;
+  int precision_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_SKETCH_HYPERLOGLOG_H_

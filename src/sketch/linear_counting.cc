@@ -1,0 +1,43 @@
+#include "sketch/linear_counting.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+LinearCounting::LinearCounting(std::unique_ptr<Hasher64> hasher,
+                               size_t num_cells)
+    : hasher_(std::move(hasher)),
+      words_((num_cells + 63) / 64, 0),
+      num_cells_(num_cells),
+      zero_cells_(num_cells) {
+  IMPLISTAT_CHECK(num_cells_ >= 1);
+}
+
+void LinearCounting::Add(uint64_t key) {
+  uint64_t h = hasher_->Hash(key) % num_cells_;
+  uint64_t& word = words_[h >> 6];
+  uint64_t mask = uint64_t{1} << (h & 63);
+  if (!(word & mask)) {
+    word |= mask;
+    --zero_cells_;
+  }
+}
+
+double LinearCounting::Estimate() const {
+  if (zero_cells_ == 0) {
+    // Saturated: report the (unreachable-from-below) upper bound.
+    return static_cast<double>(num_cells_) *
+           std::log(static_cast<double>(num_cells_));
+  }
+  return static_cast<double>(num_cells_) *
+         std::log(static_cast<double>(num_cells_) /
+                  static_cast<double>(zero_cells_));
+}
+
+size_t LinearCounting::MemoryBytes() const {
+  return words_.size() * sizeof(uint64_t) + sizeof(uint64_t);
+}
+
+}  // namespace implistat

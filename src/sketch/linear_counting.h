@@ -1,0 +1,39 @@
+// Linear (probabilistic) counting — Whang, Vander-Zanden & Taylor, TODS'90
+// (the paper's reference [26]).
+//
+// A bitmap of m cells addressed uniformly; the estimate is m·ln(m/z) where
+// z is the number of zero cells. Accurate while the load factor is modest;
+// included as a classic comparator and for exact-ish small-range counting.
+
+#ifndef IMPLISTAT_SKETCH_LINEAR_COUNTING_H_
+#define IMPLISTAT_SKETCH_LINEAR_COUNTING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/hash64.h"
+#include "sketch/distinct_counter.h"
+
+namespace implistat {
+
+class LinearCounting final : public DistinctCounter {
+ public:
+  LinearCounting(std::unique_ptr<Hasher64> hasher, size_t num_cells);
+
+  void Add(uint64_t key) override;
+  double Estimate() const override;
+  size_t MemoryBytes() const override;
+
+  size_t zero_cells() const { return zero_cells_; }
+
+ private:
+  std::unique_ptr<Hasher64> hasher_;
+  std::vector<uint64_t> words_;
+  size_t num_cells_;
+  size_t zero_cells_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_SKETCH_LINEAR_COUNTING_H_

@@ -1,0 +1,51 @@
+#include "sketch/pcsa.h"
+
+#include <cmath>
+
+#include "sketch/fm_sketch.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace implistat {
+
+Pcsa::Pcsa(std::unique_ptr<Hasher64> hasher, int num_bitmaps, int bits)
+    : hasher_(std::move(hasher)),
+      bitmaps_(static_cast<size_t>(num_bitmaps), 0),
+      route_bits_(CeilLog2(static_cast<uint64_t>(num_bitmaps))),
+      bits_(bits) {
+  IMPLISTAT_CHECK(num_bitmaps >= 1 &&
+                  IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)))
+      << "num_bitmaps must be a power of two";
+  // Routing consumes log2(m) hash bits; shrink the bitmap to what the
+  // remaining bits can feed (56 cells already cover ~10^17 per bitmap).
+  if (bits_ + route_bits_ > 64) bits_ = 64 - route_bits_;
+  IMPLISTAT_CHECK(bits_ >= 1) << "too many bitmaps for a 64-bit hash";
+}
+
+void Pcsa::Add(uint64_t key) {
+  uint64_t h = hasher_->Hash(key);
+  size_t which = h & (bitmaps_.size() - 1);
+  int i = RhoLsb(h >> route_bits_);
+  if (i < bits_) bitmaps_[which] |= uint64_t{1} << i;
+}
+
+double Pcsa::Estimate() const {
+  double sum_r = 0;
+  for (uint64_t bm : bitmaps_) {
+    int r = RhoLsb(~bm);
+    sum_r += r > bits_ ? bits_ : r;
+  }
+  double mean_r = sum_r / static_cast<double>(bitmaps_.size());
+  // Flajolet–Martin's correction for the estimator's initial
+  // nonlinearity: m/φ·(2^R̄ − 2^(−κ·R̄)) with κ ≈ 1.75 removes the strong
+  // positive bias when the per-bitmap load n/m is small (and yields 0 for
+  // an empty sketch).
+  return static_cast<double>(bitmaps_.size()) *
+         (std::pow(2.0, mean_r) - std::pow(2.0, -1.75 * mean_r)) / kFmPhi;
+}
+
+size_t Pcsa::MemoryBytes() const {
+  return bitmaps_.size() * sizeof(uint64_t) + sizeof(uint64_t);
+}
+
+}  // namespace implistat

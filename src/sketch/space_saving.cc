@@ -1,0 +1,77 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  IMPLISTAT_CHECK(capacity_ >= 1);
+}
+
+void SpaceSaving::Bump(uint64_t key, uint64_t old_count) {
+  auto bucket_it = by_count_.find(old_count);
+  IMPLISTAT_DCHECK(bucket_it != by_count_.end());
+  std::vector<uint64_t>& bucket = bucket_it->second;
+  auto pos = std::find(bucket.begin(), bucket.end(), key);
+  IMPLISTAT_DCHECK(pos != bucket.end());
+  *pos = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) by_count_.erase(bucket_it);
+  by_count_[old_count + 1].push_back(key);
+}
+
+void SpaceSaving::Observe(uint64_t key) {
+  ++total_;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    Bump(key, it->second.count);
+    ++it->second.count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Counter{1, 0});
+    by_count_[1].push_back(key);
+    return;
+  }
+  // Replace a minimum-count entry; the newcomer inherits its count as
+  // error bound (the space-saving invariant).
+  auto min_bucket = by_count_.begin();
+  uint64_t min_count = min_bucket->first;
+  uint64_t victim = min_bucket->second.back();
+  min_bucket->second.pop_back();
+  if (min_bucket->second.empty()) by_count_.erase(min_bucket);
+  counters_.erase(victim);
+  counters_.emplace(key, Counter{min_count + 1, min_count});
+  by_count_[min_count + 1].push_back(key);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::Items() const {
+  std::vector<Entry> items;
+  items.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    items.push_back(Entry{key, counter.count, counter.error});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  return items;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::GuaranteedAbove(
+    uint64_t threshold) const {
+  std::vector<Entry> out;
+  for (const Entry& entry : Items()) {
+    if (entry.count - entry.error > threshold) out.push_back(entry);
+  }
+  return out;
+}
+
+size_t SpaceSaving::MemoryBytes() const {
+  return counters_.size() * (sizeof(uint64_t) + sizeof(Counter) +
+                             2 * sizeof(void*)) +
+         by_count_.size() * (sizeof(uint64_t) + 3 * sizeof(void*)) +
+         counters_.size() * sizeof(uint64_t);
+}
+
+}  // namespace implistat

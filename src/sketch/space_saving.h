@@ -1,0 +1,60 @@
+// Space-Saving heavy hitters (Metwally, Agrawal & El Abbadi 2005).
+//
+// Maintains the top-k frequent keys with k counters: an unseen key
+// replaces the minimum counter and inherits its count as error bound.
+// Every key with true frequency > T/k is guaranteed to be tracked. The
+// second frequency-era comparator for bench/heavy_hitter_blindspot: a
+// DDoS of single-packet spoofed sources never produces a heavy hitter,
+// while its implication count explodes.
+
+#ifndef IMPLISTAT_SKETCH_SPACE_SAVING_H_
+#define IMPLISTAT_SKETCH_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace implistat {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity);
+
+  void Observe(uint64_t key);
+
+  struct Entry {
+    uint64_t key;
+    uint64_t count;  // upper bound on true frequency
+    uint64_t error;  // count − error is a lower bound
+  };
+
+  /// Tracked entries, most frequent first.
+  std::vector<Entry> Items() const;
+
+  /// Keys whose guaranteed (lower-bound) frequency exceeds `threshold`.
+  std::vector<Entry> GuaranteedAbove(uint64_t threshold) const;
+
+  uint64_t tuples_seen() const { return total_; }
+  size_t capacity() const { return capacity_; }
+  size_t MemoryBytes() const;
+
+ private:
+  struct Counter {
+    uint64_t count;
+    uint64_t error;
+  };
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::unordered_map<uint64_t, Counter> counters_;
+  // count -> keys with that count; supports O(log n) min lookup.
+  std::map<uint64_t, std::vector<uint64_t>> by_count_;
+
+  void Bump(uint64_t key, uint64_t old_count);
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_SKETCH_SPACE_SAVING_H_

@@ -1,0 +1,53 @@
+#include "stream/attribute_set.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace implistat {
+
+AttributeSet::AttributeSet(std::vector<int> indices)
+    : indices_(std::move(indices)) {
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    IMPLISTAT_CHECK(indices_[i] >= 0) << "negative attribute index";
+    for (size_t j = i + 1; j < indices_.size(); ++j) {
+      IMPLISTAT_CHECK(indices_[i] != indices_[j])
+          << "duplicate attribute index " << indices_[i];
+    }
+  }
+}
+
+StatusOr<AttributeSet> AttributeSet::FromNames(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    IMPLISTAT_ASSIGN_OR_RETURN(int idx, schema.IndexOf(name));
+    indices.push_back(idx);
+  }
+  return AttributeSet(std::move(indices));
+}
+
+bool AttributeSet::DisjointFrom(const AttributeSet& other) const {
+  for (int a : indices_) {
+    for (int b : other.indices_) {
+      if (a == b) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t AttributeSet::CompoundCardinality(const Schema& schema) const {
+  uint64_t product = 1;
+  for (int idx : indices_) {
+    uint64_t card = schema.attribute(idx).cardinality;
+    if (card == 0) return 0;
+    if (product > std::numeric_limits<uint64_t>::max() / card) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    product *= card;
+  }
+  return product;
+}
+
+}  // namespace implistat

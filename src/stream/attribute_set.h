@@ -1,0 +1,49 @@
+// Attribute sets: the A and B of an implication query (§3).
+//
+// An AttributeSet is an ordered list of attribute indices into a Schema.
+// It knows its compound cardinality |A| — the product of the attribute
+// cardinalities (paper §3.1) — when every member declares one.
+
+#ifndef IMPLISTAT_STREAM_ATTRIBUTE_SET_H_
+#define IMPLISTAT_STREAM_ATTRIBUTE_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "stream/schema.h"
+#include "util/status_or.h"
+
+namespace implistat {
+
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  explicit AttributeSet(std::vector<int> indices);
+  AttributeSet(std::initializer_list<int> indices)
+      : AttributeSet(std::vector<int>(indices)) {}
+
+  /// Resolves attribute names against `schema`.
+  static StatusOr<AttributeSet> FromNames(
+      const Schema& schema, const std::vector<std::string>& names);
+
+  const std::vector<int>& indices() const { return indices_; }
+  int size() const { return static_cast<int>(indices_.size()); }
+  bool empty() const { return indices_.empty(); }
+
+  /// True when the two sets share no attribute (the paper assumes
+  /// A ∩ B = ∅ w.l.o.g.).
+  bool DisjointFrom(const AttributeSet& other) const;
+
+  /// Compound cardinality |A| = ∏ cardinalities, or 0 if any member's
+  /// cardinality is undeclared. Saturates at UINT64_MAX on overflow.
+  uint64_t CompoundCardinality(const Schema& schema) const;
+
+ private:
+  std::vector<int> indices_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_STREAM_ATTRIBUTE_SET_H_

@@ -1,0 +1,98 @@
+#include "stream/csv_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace implistat {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<CsvTable> ReadCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input (no header)");
+  }
+  std::vector<std::string> names = SplitLine(line);
+  Schema schema;
+  for (auto& name : names) {
+    IMPLISTAT_RETURN_NOT_OK(schema.AddAttribute(name).status());
+  }
+  std::vector<ValueDictionary> dictionaries(names.size());
+  std::vector<ValueId> flat;
+  size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != names.size()) {
+      std::ostringstream msg;
+      msg << "row " << row << " has " << fields.size() << " fields, expected "
+          << names.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      flat.push_back(dictionaries[i].GetOrAdd(fields[i]));
+    }
+  }
+  // Record observed cardinalities so itemset packing can be exact.
+  Schema sized;
+  for (size_t i = 0; i < names.size(); ++i) {
+    IMPLISTAT_RETURN_NOT_OK(
+        sized.AddAttribute(names[i], dictionaries[i].size()).status());
+  }
+  VectorStream stream(sized, std::move(flat));
+  return CsvTable{std::move(sized), std::move(dictionaries),
+                  std::move(stream)};
+}
+
+StatusOr<CsvTable> ReadCsvString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadCsv(in);
+}
+
+Status WriteCsv(TupleStream& stream,
+                const std::vector<ValueDictionary>* dictionaries,
+                std::ostream& out) {
+  const Schema& schema = stream.schema();
+  (void)stream.Reset();  // best effort; single-pass streams write from here
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.attribute(i).name;
+  }
+  out << '\n';
+  while (auto tuple = stream.Next()) {
+    for (size_t i = 0; i < tuple->size(); ++i) {
+      if (i > 0) out << ',';
+      ValueId id = (*tuple)[i];
+      if (dictionaries != nullptr && i < dictionaries->size() &&
+          id < (*dictionaries)[i].size()) {
+        out << (*dictionaries)[i].ValueOf(id);
+      } else {
+        out << id;
+      }
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+}  // namespace implistat

@@ -1,0 +1,42 @@
+// CSV import/export for tuple streams.
+//
+// Text interchange for examples and small datasets: the first line is a
+// header of attribute names; values are dictionary-coded on read. Not a
+// streaming-speed path — synthetic generators feed the benchmarks directly.
+
+#ifndef IMPLISTAT_STREAM_CSV_IO_H_
+#define IMPLISTAT_STREAM_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stream/tuple_stream.h"
+#include "stream/value_dictionary.h"
+#include "util/status_or.h"
+
+namespace implistat {
+
+struct CsvTable {
+  Schema schema;
+  // One dictionary per attribute.
+  std::vector<ValueDictionary> dictionaries;
+  VectorStream stream;
+};
+
+/// Parses CSV text (header + comma-separated rows, no quoting/escapes).
+/// Cardinalities in the returned schema are the observed distinct counts.
+StatusOr<CsvTable> ReadCsv(std::istream& in);
+
+/// Convenience overload over a string.
+StatusOr<CsvTable> ReadCsvString(const std::string& text);
+
+/// Writes `stream` (rewound first if possible) using `dictionaries` to
+/// render values; an attribute without a dictionary is written numerically.
+Status WriteCsv(TupleStream& stream,
+                const std::vector<ValueDictionary>* dictionaries,
+                std::ostream& out);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_STREAM_CSV_IO_H_

@@ -1,0 +1,43 @@
+#include "stream/itemset.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace implistat {
+
+ItemsetPacker::ItemsetPacker(const Schema& schema, AttributeSet attrs)
+    : attrs_(std::move(attrs)) {
+  int total_bits = 0;
+  shifts_.reserve(attrs_.size());
+  for (int idx : attrs_.indices()) {
+    IMPLISTAT_CHECK(idx < schema.num_attributes())
+        << "attribute index " << idx << " outside schema";
+    uint64_t card = schema.attribute(idx).cardinality;
+    // Undeclared cardinality costs the full 32 bits of a ValueId.
+    int bits = card == 0 ? 32 : CeilLog2(card == 1 ? 2 : card);
+    shifts_.push_back(total_bits);
+    total_bits += bits;
+  }
+  exact_ = total_bits <= 64;
+}
+
+ItemsetKey ItemsetPacker::Pack(TupleRef tuple) const {
+  const auto& indices = attrs_.indices();
+  if (exact_) {
+    ItemsetKey key = 0;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      key |= static_cast<uint64_t>(tuple[indices[i]]) << shifts_[i];
+    }
+    return key;
+  }
+  // Hash-combine fallback: mix each value with its position.
+  ItemsetKey key = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    key = SplitMix64(key ^ (static_cast<uint64_t>(tuple[indices[i]]) +
+                            (static_cast<uint64_t>(i) << 32)));
+  }
+  return key;
+}
+
+}  // namespace implistat

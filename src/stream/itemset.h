@@ -1,0 +1,51 @@
+// Itemsets: projections of tuples onto attribute sets, packed into 64-bit
+// keys (paper §3.1: "the projection of a single tuple on the attributes of
+// A is defined as an itemset a").
+//
+// The packer prefers an exact encoding — per-attribute bit fields sized by
+// declared cardinality — so distinct itemsets always map to distinct keys.
+// When the widths do not fit in 64 bits it falls back to hash combining
+// (collision probability ~ n²/2⁶⁵, negligible at stream scale) and reports
+// exact() == false so callers can decide.
+
+#ifndef IMPLISTAT_STREAM_ITEMSET_H_
+#define IMPLISTAT_STREAM_ITEMSET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/attribute_set.h"
+#include "stream/schema.h"
+#include "stream/types.h"
+
+namespace implistat {
+
+/// A tuple is a borrowed span of dictionary-coded values, one per schema
+/// attribute.
+using TupleRef = std::span<const ValueId>;
+
+/// Packed itemset key.
+using ItemsetKey = uint64_t;
+
+class ItemsetPacker {
+ public:
+  ItemsetPacker(const Schema& schema, AttributeSet attrs);
+
+  /// Projects `tuple` on the attribute set and packs the result.
+  ItemsetKey Pack(TupleRef tuple) const;
+
+  /// True when packing is injective (bit fields fit in 64 bits).
+  bool exact() const { return exact_; }
+
+  const AttributeSet& attributes() const { return attrs_; }
+
+ private:
+  AttributeSet attrs_;
+  std::vector<int> shifts_;  // bit offset per attribute (exact mode)
+  bool exact_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_STREAM_ITEMSET_H_

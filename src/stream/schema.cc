@@ -1,0 +1,34 @@
+#include "stream/schema.h"
+
+#include "util/logging.h"
+
+namespace implistat {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    for (size_t j = i + 1; j < attributes_.size(); ++j) {
+      IMPLISTAT_CHECK(attributes_[i].name != attributes_[j].name)
+          << "duplicate attribute name " << attributes_[i].name;
+    }
+  }
+}
+
+StatusOr<int> Schema::AddAttribute(std::string name, uint64_t cardinality) {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) {
+      return Status::AlreadyExists("attribute already defined: " + name);
+    }
+  }
+  attributes_.push_back(AttributeDef{std::move(name), cardinality});
+  return static_cast<int>(attributes_.size()) - 1;
+}
+
+StatusOr<int> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no such attribute: " + std::string(name));
+}
+
+}  // namespace implistat

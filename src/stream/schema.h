@@ -1,0 +1,43 @@
+// Stream schema: named attributes with (optionally declared) cardinalities.
+//
+// The paper's model (§3) is a relation R over attribute sets; cardinality
+// declarations let itemset packing pick exact bit widths and let queries
+// compute the compound cardinality |A| (product of attribute cardinalities).
+
+#ifndef IMPLISTAT_STREAM_SCHEMA_H_
+#define IMPLISTAT_STREAM_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status_or.h"
+
+namespace implistat {
+
+struct AttributeDef {
+  std::string name;
+  // Declared number of distinct values, or 0 when unknown/unbounded.
+  uint64_t cardinality = 0;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  /// Appends an attribute; name must be unique. Returns its index.
+  StatusOr<int> AddAttribute(std::string name, uint64_t cardinality = 0);
+
+  StatusOr<int> IndexOf(std::string_view name) const;
+  const AttributeDef& attribute(int index) const { return attributes_[index]; }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_STREAM_SCHEMA_H_

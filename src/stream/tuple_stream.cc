@@ -1,0 +1,51 @@
+#include "stream/tuple_stream.h"
+
+#include "util/logging.h"
+
+namespace implistat {
+
+VectorStream::VectorStream(Schema schema, std::vector<ValueId> flat_rows)
+    : schema_(std::move(schema)),
+      flat_(std::move(flat_rows)),
+      width_(static_cast<size_t>(schema_.num_attributes())) {
+  IMPLISTAT_CHECK(width_ == 0 || flat_.size() % width_ == 0)
+      << "flat buffer size not a multiple of schema width";
+}
+
+std::optional<TupleRef> VectorStream::Next() {
+  if (width_ == 0 || pos_ * width_ >= flat_.size()) return std::nullopt;
+  TupleRef ref(&flat_[pos_ * width_], width_);
+  ++pos_;
+  return ref;
+}
+
+Status VectorStream::Reset() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+void VectorStream::Append(TupleRef tuple) {
+  IMPLISTAT_CHECK(tuple.size() == width_) << "tuple width mismatch";
+  flat_.insert(flat_.end(), tuple.begin(), tuple.end());
+}
+
+GeneratorStream::GeneratorStream(Schema schema, Producer producer)
+    : schema_(std::move(schema)),
+      producer_(std::move(producer)),
+      row_(static_cast<size_t>(schema_.num_attributes())) {}
+
+std::optional<TupleRef> GeneratorStream::Next() {
+  if (!producer_(row_)) return std::nullopt;
+  IMPLISTAT_CHECK(row_.size() ==
+                  static_cast<size_t>(schema_.num_attributes()))
+      << "generator resized the row";
+  return TupleRef(row_.data(), row_.size());
+}
+
+VectorStream Materialize(TupleStream& stream) {
+  VectorStream out(stream.schema(), {});
+  while (auto tuple = stream.Next()) out.Append(*tuple);
+  return out;
+}
+
+}  // namespace implistat

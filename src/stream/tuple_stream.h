@@ -1,0 +1,87 @@
+// Tuple streams: the data-stream model of §3.
+//
+// A TupleStream yields dictionary-coded tuples one at a time. Streams are
+// single-pass by default (the constrained-environment assumption); streams
+// that can rewind say so via Reset(). Concrete sources: in-memory vectors,
+// callback generators, and the synthetic workload generators in
+// src/datagen.
+
+#ifndef IMPLISTAT_STREAM_TUPLE_STREAM_H_
+#define IMPLISTAT_STREAM_TUPLE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "stream/itemset.h"
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace implistat {
+
+class TupleStream {
+ public:
+  virtual ~TupleStream() = default;
+
+  /// The schema every yielded tuple conforms to.
+  virtual const Schema& schema() const = 0;
+
+  /// Yields the next tuple, or nullopt at end of stream. The returned span
+  /// is valid until the next call to Next() or the stream's destruction.
+  virtual std::optional<TupleRef> Next() = 0;
+
+  /// Rewinds to the beginning. Default: Unimplemented (single-pass).
+  virtual Status Reset() {
+    return Status::Unimplemented("stream is single-pass");
+  }
+};
+
+/// A materialized stream over a flat row-major buffer.
+class VectorStream final : public TupleStream {
+ public:
+  /// An empty stream over an empty schema.
+  VectorStream() : width_(0) {}
+  VectorStream(Schema schema, std::vector<ValueId> flat_rows);
+
+  const Schema& schema() const override { return schema_; }
+  std::optional<TupleRef> Next() override;
+  Status Reset() override;
+
+  /// Appends one tuple; must have exactly schema().num_attributes() values.
+  void Append(TupleRef tuple);
+
+  size_t num_tuples() const {
+    return width_ == 0 ? 0 : flat_.size() / width_;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<ValueId> flat_;
+  size_t width_;
+  size_t pos_ = 0;  // next row index
+};
+
+/// A stream produced by a callback: the callback fills `row` and returns
+/// false at end of stream. Used by the synthetic generators.
+class GeneratorStream final : public TupleStream {
+ public:
+  using Producer = std::function<bool(std::vector<ValueId>& row)>;
+
+  GeneratorStream(Schema schema, Producer producer);
+
+  const Schema& schema() const override { return schema_; }
+  std::optional<TupleRef> Next() override;
+
+ private:
+  Schema schema_;
+  Producer producer_;
+  std::vector<ValueId> row_;
+};
+
+/// Drains `stream` into a VectorStream (materializes it).
+VectorStream Materialize(TupleStream& stream);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_STREAM_TUPLE_STREAM_H_

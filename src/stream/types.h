@@ -1,0 +1,15 @@
+// Core stream value types.
+
+#ifndef IMPLISTAT_STREAM_TYPES_H_
+#define IMPLISTAT_STREAM_TYPES_H_
+
+#include <cstdint>
+
+namespace implistat {
+
+/// Dictionary-coded attribute value: a dense id per attribute.
+using ValueId = uint32_t;
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_STREAM_TYPES_H_

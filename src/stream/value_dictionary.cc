@@ -1,0 +1,29 @@
+#include "stream/value_dictionary.h"
+
+#include "util/logging.h"
+
+namespace implistat {
+
+ValueId ValueDictionary::GetOrAdd(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), id);
+  return id;
+}
+
+StatusOr<ValueId> ValueDictionary::Find(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  if (it == index_.end()) {
+    return Status::NotFound("value not in dictionary: " + std::string(value));
+  }
+  return it->second;
+}
+
+const std::string& ValueDictionary::ValueOf(ValueId id) const {
+  IMPLISTAT_CHECK(id < values_.size()) << "value id out of range";
+  return values_[id];
+}
+
+}  // namespace implistat

@@ -1,0 +1,52 @@
+// Bit-manipulation helpers used by the probabilistic counting machinery.
+//
+// The central primitive is RhoLsb(y): the 0-based position of the least
+// significant 1-bit — the paper's p(y) function (§4.1.1), which decides the
+// bitmap cell an itemset hashes into.
+
+#ifndef IMPLISTAT_UTIL_BITS_H_
+#define IMPLISTAT_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace implistat {
+
+/// Position of the least significant 1-bit of `y`, 0-based; the paper's
+/// p(y). Returns 64 for y == 0 (no 1-bit at all).
+inline int RhoLsb(uint64_t y) { return y == 0 ? 64 : std::countr_zero(y); }
+
+/// Position of the most significant 1-bit, 0-based; -1 for y == 0.
+inline int MsbPosition(uint64_t y) {
+  return y == 0 ? -1 : 63 - std::countl_zero(y);
+}
+
+/// Number of leading zeros of `y` in a w-bit register (HyperLogLog rank
+/// helper). Requires 1 <= w <= 64.
+inline int LeadingZeros(uint64_t y, int w) {
+  if (y == 0) return w;
+  int lz = std::countl_zero(y) - (64 - w);
+  return lz < 0 ? 0 : lz;
+}
+
+inline int PopCount(uint64_t y) { return std::popcount(y); }
+
+/// True when `y` is a power of two (and nonzero).
+inline bool IsPowerOfTwo(uint64_t y) { return y != 0 && (y & (y - 1)) == 0; }
+
+/// Smallest power of two >= y (y = 0 maps to 1).
+inline uint64_t NextPowerOfTwo(uint64_t y) {
+  return y <= 1 ? 1 : uint64_t{1} << (64 - std::countl_zero(y - 1));
+}
+
+/// ceil(log2(y)) for y >= 1.
+inline int CeilLog2(uint64_t y) {
+  return y <= 1 ? 0 : 64 - std::countl_zero(y - 1);
+}
+
+/// floor(log2(y)) for y >= 1.
+inline int FloorLog2(uint64_t y) { return MsbPosition(y); }
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_UTIL_BITS_H_

@@ -1,0 +1,78 @@
+// Minimal assertion macros in the CHECK/DCHECK style.
+//
+// IMPLISTAT_CHECK(cond) aborts with a message when `cond` is false; extra
+// context can be streamed onto it. IMPLISTAT_DCHECK compiles away in
+// release (NDEBUG) builds. These guard internal invariants; user-facing
+// validation should return Status instead.
+
+#ifndef IMPLISTAT_UTIL_LOGGING_H_
+#define IMPLISTAT_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace implistat {
+namespace internal_logging {
+
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " check failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows streamed arguments when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace implistat
+
+#define IMPLISTAT_CHECK(cond)                                               \
+  (cond) ? (void)0                                                          \
+         : (void)(::implistat::internal_logging::CheckFailStream(__FILE__,  \
+                                                                 __LINE__,  \
+                                                                 #cond))    \
+               .operator<<("")
+
+// The ternary above cannot accept further <<; provide the canonical macro
+// as an if-else so `IMPLISTAT_CHECK(x) << "detail"` works.
+#undef IMPLISTAT_CHECK
+#define IMPLISTAT_CHECK(cond)                                      \
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (cond)                                                      \
+      ;                                                            \
+    else                                                           \
+      ::implistat::internal_logging::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define IMPLISTAT_DCHECK(cond) \
+  if (true)                    \
+    ;                          \
+  else                         \
+    ::implistat::internal_logging::NullStream()
+#else
+#define IMPLISTAT_DCHECK(cond) IMPLISTAT_CHECK(cond)
+#endif
+
+#endif  // IMPLISTAT_UTIL_LOGGING_H_

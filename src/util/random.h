@@ -1,0 +1,55 @@
+// Deterministic pseudo-random generation.
+//
+// Two layers: SplitMix64 for seeding/stateless mixing, and Xoshiro256**
+// as the workhorse generator for workload synthesis. Both are seeded
+// explicitly so every experiment in this repository is reproducible.
+
+#ifndef IMPLISTAT_UTIL_RANDOM_H_
+#define IMPLISTAT_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace implistat {
+
+/// One step of the SplitMix64 mixing function: a high-quality stateless
+/// 64-bit mixer (also usable as an integer hash finalizer).
+uint64_t SplitMix64(uint64_t x);
+
+/// Xoshiro256** PRNG. Satisfies the UniformRandomBitGenerator concept so it
+/// can drive <random> distributions, but the methods below avoid the
+/// distribution objects for speed and cross-platform determinism.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return Next64(); }
+
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Derives an independent generator; useful for giving each component of
+  /// an experiment its own stream without correlated state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_UTIL_RANDOM_H_

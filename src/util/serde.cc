@@ -1,0 +1,54 @@
+#include "util/serde.h"
+
+#include <bit>
+
+namespace implistat {
+
+static_assert(std::endian::native == std::endian::little,
+              "fixed-width serde assumes a little-endian build platform");
+
+void ByteWriter::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+Status ByteReader::ReadFixed(void* out, size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("serde: truncated input");
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU8(uint8_t* v) { return ReadFixed(v, sizeof(*v)); }
+Status ByteReader::ReadU32(uint32_t* v) { return ReadFixed(v, sizeof(*v)); }
+Status ByteReader::ReadU64(uint64_t* v) { return ReadFixed(v, sizeof(*v)); }
+Status ByteReader::ReadDouble(double* v) { return ReadFixed(v, sizeof(*v)); }
+
+Status ByteReader::ReadVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte;
+    IMPLISTAT_RETURN_NOT_OK(ReadU8(&byte));
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("serde: varint too long");
+}
+
+Status ByteReader::ReadBool(bool* v) {
+  uint8_t byte;
+  IMPLISTAT_RETURN_NOT_OK(ReadU8(&byte));
+  if (byte > 1) return Status::InvalidArgument("serde: bad bool");
+  *v = byte == 1;
+  return Status::OK();
+}
+
+}  // namespace implistat

@@ -1,0 +1,72 @@
+// Byte-level serialization primitives.
+//
+// NIPS/CI sketches are mergeable (see core/nips.h), which makes them
+// useful in the paper's distributed settings — sensor networks and router
+// hierarchies aggregating summaries instead of raw streams (§1-2). These
+// helpers give the sketches a compact wire format: little-endian fixed
+// integers, LEB128 varints, IEEE doubles. Readers validate bounds and
+// return Status instead of crashing on malformed input.
+
+#ifndef IMPLISTAT_UTIL_SERDE_H_
+#define IMPLISTAT_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace implistat {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+
+  /// LEB128: compact for the small counters that dominate sketch state.
+  void PutVarint64(uint64_t v);
+
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  const std::string& str() const { return out_; }
+  std::string Release() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  void PutFixed(const void* data, size_t n) {
+    out_.append(reinterpret_cast<const char*>(data), n);
+  }
+
+  // Little-endian assumed (checked in serde.cc for the build platform).
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadVarint64(uint64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadBool(bool* v);
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status ReadFixed(void* out, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_UTIL_SERDE_H_

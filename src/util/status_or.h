@@ -1,0 +1,71 @@
+// StatusOr<T>: the union of a Status and a value of type T.
+//
+// A StatusOr is either OK and holds a T, or holds a non-OK Status. Callers
+// must check ok() (or status()) before dereferencing; accessing the value of
+// a non-OK StatusOr aborts the process (see logging.h).
+
+#ifndef IMPLISTAT_UTIL_STATUS_OR_H_
+#define IMPLISTAT_UTIL_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace implistat {
+
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value; the result is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error (there would be no value) and aborts.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    IMPLISTAT_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    IMPLISTAT_CHECK(ok()) << "StatusOr::value on error: " << status_;
+    return *value_;
+  }
+  T& value() & {
+    IMPLISTAT_CHECK(ok()) << "StatusOr::value on error: " << status_;
+    return *value_;
+  }
+  T&& value() && {
+    IMPLISTAT_CHECK(ok()) << "StatusOr::value on error: " << status_;
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define IMPLISTAT_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto IMPLISTAT_CONCAT_(_so_, __LINE__) = (expr);  \
+  if (!IMPLISTAT_CONCAT_(_so_, __LINE__).ok())      \
+    return IMPLISTAT_CONCAT_(_so_, __LINE__).status(); \
+  lhs = std::move(IMPLISTAT_CONCAT_(_so_, __LINE__)).value()
+
+#define IMPLISTAT_CONCAT_IMPL_(a, b) a##b
+#define IMPLISTAT_CONCAT_(a, b) IMPLISTAT_CONCAT_IMPL_(a, b)
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_UTIL_STATUS_OR_H_

@@ -1,0 +1,124 @@
+#include "baseline/distinct_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+DistinctSamplingOptions PaperOptions(uint64_t seed = 0) {
+  DistinctSamplingOptions opts;
+  opts.max_sample_entries = 1920;  // Table 5
+  opts.per_value_bound = 39;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(DistinctSamplingTest, SmallStreamsAreExact) {
+  // Below the budget no subsampling happens: level 0, scale 1.
+  DistinctSampling ds(OneToOne(2), PaperOptions());
+  for (ItemsetKey a = 0; a < 500; ++a) {
+    ds.Observe(a, 1);
+    ds.Observe(a, 1);
+  }
+  EXPECT_EQ(ds.level(), 0);
+  EXPECT_DOUBLE_EQ(ds.EstimateImplicationCount(), 500.0);
+  EXPECT_DOUBLE_EQ(ds.EstimateNonImplicationCount(), 0.0);
+}
+
+TEST(DistinctSamplingTest, LevelRisesUnderPressure) {
+  DistinctSampling ds(OneToOne(1), PaperOptions(1));
+  for (ItemsetKey a = 0; a < 100000; ++a) ds.Observe(a, 1);
+  EXPECT_GT(ds.level(), 0);
+  EXPECT_LE(ds.sample_size(), 1920u);
+}
+
+TEST(DistinctSamplingTest, ScalesEstimateByLevel) {
+  constexpr uint64_t kTruth = 50000;
+  DistinctSampling ds(OneToOne(2), PaperOptions(2));
+  Rng rng(7);
+  std::vector<std::pair<ItemsetKey, ItemsetKey>> tuples;
+  for (ItemsetKey a = 0; a < kTruth; ++a) {
+    tuples.emplace_back(a, a + 1);
+    tuples.emplace_back(a, a + 1);
+  }
+  for (size_t i = tuples.size() - 1; i > 0; --i) {
+    size_t j = rng.Uniform(i + 1);
+    std::swap(tuples[i], tuples[j]);
+  }
+  for (const auto& [a, b] : tuples) ds.Observe(a, b);
+  EXPECT_NEAR(ds.EstimateImplicationCount(), kTruth, kTruth * 0.2);
+}
+
+TEST(DistinctSamplingTest, DirtyItemsetsExcluded) {
+  DistinctSampling ds(OneToOne(2), PaperOptions(3));
+  for (ItemsetKey a = 0; a < 400; ++a) {
+    ds.Observe(a, 1);
+    ds.Observe(a, a % 2 == 0 ? 1 : 2);  // odd itemsets violate K = 1
+  }
+  EXPECT_DOUBLE_EQ(ds.EstimateImplicationCount(), 200.0);
+  EXPECT_DOUBLE_EQ(ds.EstimateNonImplicationCount(), 200.0);
+  EXPECT_DOUBLE_EQ(ds.EstimateSupportedDistinct(), 400.0);
+}
+
+TEST(DistinctSamplingTest, SampledItemsetsAreTrackedFromFirstAppearance) {
+  // An itemset that goes dirty early must stay dirty even across level
+  // raises that it survives.
+  DistinctSamplingOptions opts = PaperOptions(4);
+  opts.max_sample_entries = 64;  // force many level raises
+  DistinctSampling ds(OneToOne(2), opts);
+  // Key 7's fate is decided by its first two observations.
+  ds.Observe(7, 1);
+  ds.Observe(7, 2);
+  for (ItemsetKey a = 100; a < 50000; ++a) ds.Observe(a, 1);
+  // If key 7 is still in the sample it must be dirty; the estimate of
+  // non-implications is then either 0 (evicted) or 2^level (tracked).
+  double non_impl = ds.EstimateNonImplicationCount();
+  double scale = std::pow(2.0, ds.level());
+  EXPECT_TRUE(non_impl == 0.0 || non_impl >= scale);
+}
+
+TEST(DistinctSamplingTest, AverageMultiplicityOfQualifyingItemsets) {
+  // One-to-2 implications (K=2, permissive confidence): half the
+  // itemsets use one partner, half use two → average 1.5.
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 2;
+  cond.min_top_confidence = 0.1;
+  cond.confidence_c = 1;
+  DistinctSampling ds(cond, PaperOptions(6));
+  for (ItemsetKey a = 0; a < 400; ++a) {
+    ds.Observe(a, 1);
+    ds.Observe(a, a % 2 == 0 ? 1 : 2);
+  }
+  EXPECT_DOUBLE_EQ(ds.AverageMultiplicity(), 1.5);
+}
+
+TEST(DistinctSamplingTest, AverageMultiplicityEmptyIsZero) {
+  DistinctSampling ds(OneToOne(5), PaperOptions(7));
+  EXPECT_DOUBLE_EQ(ds.AverageMultiplicity(), 0.0);
+}
+
+TEST(DistinctSamplingTest, MemoryBoundedBySampleBudget) {
+  DistinctSamplingOptions opts = PaperOptions(5);
+  opts.max_sample_entries = 256;
+  DistinctSampling ds(OneToOne(1), opts);
+  for (ItemsetKey a = 0; a < 200000; ++a) ds.Observe(a, a % 3);
+  EXPECT_LE(ds.sample_size(), 256u);
+  EXPECT_LE(ds.MemoryBytes(), 256 * 200 + sizeof(ds));
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,151 @@
+#include "baseline/exact_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions Cond(uint32_t k, uint64_t sigma, double gamma,
+                           uint32_t c, bool strict = true) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = k;
+  cond.min_support = sigma;
+  cond.min_top_confidence = gamma;
+  cond.confidence_c = c;
+  cond.strict_multiplicity = strict;
+  return cond;
+}
+
+TEST(ExactCounterTest, PaperTable1DestinationImpliesSource) {
+  // Table 1 / §1: "how many destinations are contacted by just a single
+  // source" → D2 → S1 and D1 → S2, count 2.
+  // Encoded: sources S1..S3 = 1..3, destinations D1..D3 = 1..3.
+  ExactImplicationCounter exact(Cond(1, 1, 1.0, 1));
+  const std::vector<std::pair<ItemsetKey, ItemsetKey>> dest_source = {
+      {2, 1}, {1, 2}, {3, 1}, {1, 2}, {3, 1}, {3, 1}, {3, 1}, {3, 3},
+  };
+  for (const auto& [d, s] : dest_source) exact.Observe(d, s);
+  EXPECT_EQ(exact.ImplicationCount(), 2u);
+  EXPECT_EQ(exact.NonImplicationCount(), 1u);  // D3
+  EXPECT_EQ(exact.SupportedDistinct(), 3u);
+  EXPECT_EQ(exact.DistinctA(), 3u);
+}
+
+TEST(ExactCounterTest, PaperNoiseToleranceCountsD3) {
+  // "destinations that 80% of the time are contacted by one single
+  // source": D3 has top-1 confidence 4/5 = 80% → count 3. Uses the
+  // tracking-bound multiplicity semantics.
+  ExactImplicationCounter exact(Cond(1, 1, 0.8, 1, /*strict=*/false));
+  const std::vector<std::pair<ItemsetKey, ItemsetKey>> dest_source = {
+      {2, 1}, {1, 2}, {3, 1}, {1, 2}, {3, 1}, {3, 1}, {3, 1}, {3, 3},
+  };
+  for (const auto& [d, s] : dest_source) exact.Observe(d, s);
+  EXPECT_EQ(exact.ImplicationCount(), 3u);
+}
+
+TEST(ExactCounterTest, CountersAreConsistent) {
+  ExactImplicationCounter exact(Cond(2, 3, 0.9, 1));
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    exact.Observe(rng.Uniform(500), rng.Uniform(40));
+  }
+  EXPECT_EQ(exact.SupportedDistinct(),
+            exact.ImplicationCount() + exact.NonImplicationCount());
+  EXPECT_GE(exact.DistinctA(), exact.SupportedDistinct());
+  EXPECT_EQ(exact.tuples_seen(), 20000u);
+}
+
+// Reference implementation computed independently (naively, replaying the
+// stream per itemset) to cross-check the incremental counter.
+struct NaiveResult {
+  uint64_t implications;
+  uint64_t non_implications;
+};
+
+NaiveResult NaiveCount(
+    const std::vector<std::pair<ItemsetKey, ItemsetKey>>& stream,
+    const ImplicationConditions& cond) {
+  std::set<ItemsetKey> keys;
+  for (const auto& [a, b] : stream) keys.insert(a);
+  NaiveResult result{0, 0};
+  for (ItemsetKey key : keys) {
+    uint64_t support = 0;
+    std::map<ItemsetKey, uint64_t> counts;
+    bool dirty = false;
+    for (const auto& [a, b] : stream) {
+      if (a != key) continue;
+      ++support;
+      ++counts[b];
+      if (dirty || support < cond.min_support) continue;
+      if (counts.size() > cond.max_multiplicity) {
+        dirty = true;  // strict multiplicity
+        continue;
+      }
+      std::vector<uint64_t> top;
+      for (const auto& [bk, n] : counts) top.push_back(n);
+      std::sort(top.rbegin(), top.rend());
+      uint64_t sum = 0;
+      for (size_t i = 0; i < std::min<size_t>(cond.confidence_c, top.size());
+           ++i) {
+        sum += top[i];
+      }
+      if (static_cast<double>(sum) + 1e-9 <
+          cond.min_top_confidence * static_cast<double>(support)) {
+        dirty = true;
+      }
+    }
+    if (support >= cond.min_support) {
+      if (dirty) {
+        ++result.non_implications;
+      } else {
+        ++result.implications;
+      }
+    }
+  }
+  return result;
+}
+
+class ExactVsNaiveTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t, double,
+                                                 uint32_t, uint64_t>> {};
+
+TEST_P(ExactVsNaiveTest, MatchesNaiveReplay) {
+  auto [k, sigma, gamma, c, seed] = GetParam();
+  ImplicationConditions cond = Cond(k, sigma, gamma, c, /*strict=*/true);
+  Rng rng(seed);
+  std::vector<std::pair<ItemsetKey, ItemsetKey>> stream;
+  for (int i = 0; i < 3000; ++i) {
+    // Small key spaces so supports and multiplicities actually bite.
+    stream.emplace_back(rng.Uniform(60), rng.Uniform(6));
+  }
+  ExactImplicationCounter exact(cond);
+  for (const auto& [a, b] : stream) exact.Observe(a, b);
+  NaiveResult naive = NaiveCount(stream, cond);
+  EXPECT_EQ(exact.ImplicationCount(), naive.implications);
+  EXPECT_EQ(exact.NonImplicationCount(), naive.non_implications);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, ExactVsNaiveTest,
+    ::testing::Values(std::make_tuple(1u, 1ull, 1.0, 1u, 1ull),
+                      std::make_tuple(2u, 5ull, 0.9, 1u, 2ull),
+                      std::make_tuple(3u, 10ull, 0.8, 2u, 3ull),
+                      std::make_tuple(5u, 20ull, 0.6, 3u, 4ull),
+                      std::make_tuple(2u, 50ull, 0.95, 2u, 5ull),
+                      std::make_tuple(4u, 2ull, 0.5, 4u, 6ull)));
+
+TEST(ExactCounterTest, MemoryGrowsWithDistinctItemsets) {
+  ExactImplicationCounter exact(Cond(1, 1, 1.0, 1));
+  size_t empty = exact.MemoryBytes();
+  for (ItemsetKey a = 0; a < 10000; ++a) exact.Observe(a, 1);
+  EXPECT_GT(exact.MemoryBytes(), empty + 10000 * sizeof(ItemsetKey));
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,103 @@
+#include "baseline/ilc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions Cond(uint32_t k, uint64_t sigma, double gamma,
+                           uint32_t c) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = k;
+  cond.min_support = sigma;
+  cond.min_top_confidence = gamma;
+  cond.confidence_c = c;
+  return cond;
+}
+
+IlcOptions Eps(double epsilon) {
+  IlcOptions opts;
+  opts.epsilon = epsilon;
+  return opts;
+}
+
+TEST(IlcTest, CountsLoyalItemsetsWhileTheyAreFrequent) {
+  Ilc ilc(Cond(1, 3, 1.0, 1), Eps(0.01));
+  for (int rep = 0; rep < 10; ++rep) {
+    for (ItemsetKey a = 0; a < 20; ++a) ilc.Observe(a, a + 100);
+  }
+  EXPECT_DOUBLE_EQ(ilc.EstimateImplicationCount(), 20.0);
+  auto itemsets = ilc.ImplicatedItemsets();
+  EXPECT_EQ(itemsets.size(), 20u);
+  EXPECT_NE(std::find(itemsets.begin(), itemsets.end(), ItemsetKey{7}),
+            itemsets.end());
+}
+
+TEST(IlcTest, MarksViolatorsDirtyAndDropsTheirPairs) {
+  Ilc ilc(Cond(1, 2, 1.0, 1), Eps(0.01));
+  ilc.Observe(1, 10);
+  ilc.Observe(1, 11);  // second distinct b, support 2 = σ → dirty
+  EXPECT_EQ(ilc.num_dirty(), 1u);
+  EXPECT_DOUBLE_EQ(ilc.EstimateImplicationCount(), 0.0);
+}
+
+TEST(IlcTest, DirtyEntriesSurvivePruningForever) {
+  // The §5.1.1 memory failure mode: dirty entries are never pruned.
+  Ilc ilc(Cond(1, 2, 1.0, 1), Eps(0.1));  // bucket width 10
+  for (ItemsetKey a = 0; a < 50; ++a) {
+    ilc.Observe(a, 1);
+    ilc.Observe(a, 2);  // every itemset goes dirty
+  }
+  // Thousands of low-frequency fillers later, the dirty set persists.
+  for (int i = 0; i < 5000; ++i) ilc.Observe(10000 + i, 1);
+  EXPECT_EQ(ilc.num_dirty(), 50u);
+  EXPECT_GE(ilc.num_entries(), 50u);
+}
+
+TEST(IlcTest, SmallImplicationsAreLostAsTheStreamGrows) {
+  // The §5.1.1 relative-support failure mode: an itemset whose absolute
+  // support (σ = 5) is real but whose relative frequency sinks below ε is
+  // pruned, so its contribution to the count is lost.
+  Ilc ilc(Cond(1, 5, 1.0, 1), Eps(0.01));
+  for (int i = 0; i < 5; ++i) ilc.Observe(777, 1);  // satisfies σ = 5
+  EXPECT_DOUBLE_EQ(ilc.EstimateImplicationCount(), 1.0);
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    ilc.Observe(1000 + rng.Uniform(50000), 1);
+  }
+  // 777 has frequency 5 ≪ ε·T = 1000: pruned, count lost.
+  EXPECT_DOUBLE_EQ(ilc.EstimateImplicationCount(), 0.0);
+}
+
+TEST(IlcTest, ConfidenceViolationDetectedOnLossyCounters) {
+  Ilc ilc(Cond(5, 4, 0.9, 1), Eps(0.001));
+  ilc.Observe(1, 10);
+  ilc.Observe(1, 11);
+  ilc.Observe(1, 10);
+  EXPECT_EQ(ilc.num_dirty(), 0u);  // support 3 < σ
+  ilc.Observe(1, 11);  // support 4, top-1 = 2/4 < 0.9 → dirty
+  EXPECT_EQ(ilc.num_dirty(), 1u);
+}
+
+TEST(IlcTest, MemoryGrowsWithDirtySet) {
+  Ilc ilc(Cond(1, 2, 1.0, 1), Eps(0.05));
+  size_t before = ilc.MemoryBytes();
+  for (ItemsetKey a = 0; a < 2000; ++a) {
+    ilc.Observe(a, 1);
+    ilc.Observe(a, 2);
+  }
+  EXPECT_GT(ilc.MemoryBytes(), before + 2000 * sizeof(ItemsetKey));
+}
+
+TEST(IlcTest, TuplesSeen) {
+  Ilc ilc(Cond(1, 1, 1.0, 1), Eps(0.5));
+  for (int i = 0; i < 13; ++i) ilc.Observe(1, 1);
+  EXPECT_EQ(ilc.tuples_seen(), 13u);
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,80 @@
+#include "baseline/lossy_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+TEST(LossyCountingTest, ExactWithinFirstBucket) {
+  LossyCounting lc(0.01);  // bucket width 100
+  for (int i = 0; i < 10; ++i) lc.Observe(5);
+  for (int i = 0; i < 3; ++i) lc.Observe(9);
+  EXPECT_EQ(lc.EstimatedCount(5), 10u);
+  EXPECT_EQ(lc.EstimatedCount(9), 3u);
+}
+
+TEST(LossyCountingTest, PrunesInfrequentAtBucketBoundary) {
+  LossyCounting lc(0.1);  // bucket width 10
+  lc.Observe(1);          // once, then 9 fillers complete the bucket
+  for (int i = 0; i < 9; ++i) lc.Observe(100 + i % 3);
+  // Key 1 had count 1 + delta 0 <= bucket 1 → pruned.
+  EXPECT_EQ(lc.EstimatedCount(1), 0u);
+}
+
+TEST(LossyCountingTest, FrequencyUnderestimateBoundedByEpsilonT) {
+  // The Lossy Counting guarantee: true_count − εT ≤ stored ≤ true_count.
+  constexpr double kEpsilon = 0.005;
+  LossyCounting lc(kEpsilon);
+  Rng rng(3);
+  std::map<uint64_t, uint64_t> truth;
+  constexpr int kTuples = 50000;
+  for (int i = 0; i < kTuples; ++i) {
+    // Zipf-ish: low keys much more frequent.
+    uint64_t key = rng.Uniform(rng.Uniform(1000) + 1);
+    ++truth[key];
+    lc.Observe(key);
+  }
+  for (const auto& [key, count] : truth) {
+    uint64_t stored = lc.EstimatedCount(key);
+    EXPECT_LE(stored, count) << "key " << key;
+    if (count > static_cast<uint64_t>(kEpsilon * kTuples)) {
+      EXPECT_GE(stored, count - static_cast<uint64_t>(kEpsilon * kTuples))
+          << "key " << key;
+      EXPECT_GT(stored, 0u) << "frequent key must survive pruning";
+    }
+  }
+}
+
+TEST(LossyCountingTest, ItemsAboveThreshold) {
+  LossyCounting lc(0.01);
+  for (int i = 0; i < 500; ++i) lc.Observe(1);
+  for (int i = 0; i < 100; ++i) lc.Observe(2);
+  for (int i = 0; i < 5; ++i) lc.Observe(3);
+  auto items = lc.ItemsAbove(50);
+  ASSERT_EQ(items.size(), 2u);
+}
+
+TEST(LossyCountingTest, EntryCountBoundedByTheory) {
+  // At most (1/ε)·log(εT) entries survive.
+  constexpr double kEpsilon = 0.01;
+  LossyCounting lc(kEpsilon);
+  Rng rng(5);
+  constexpr int kTuples = 200000;
+  for (int i = 0; i < kTuples; ++i) lc.Observe(rng.Uniform(100000));
+  double bound = (1.0 / kEpsilon) * std::log(kEpsilon * kTuples);
+  EXPECT_LE(lc.num_entries(), static_cast<size_t>(bound * 1.5));
+}
+
+TEST(LossyCountingTest, TracksTupleCount) {
+  LossyCounting lc(0.5);
+  for (int i = 0; i < 7; ++i) lc.Observe(i);
+  EXPECT_EQ(lc.tuples_seen(), 7u);
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,106 @@
+#include "baseline/sticky_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+StickySamplingOptions Opts(double epsilon, uint64_t seed = 0) {
+  StickySamplingOptions opts;
+  opts.epsilon = epsilon;
+  opts.delta = 0.01;
+  opts.support = 0.1;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(StickySamplingTest, ExactAtRateOne) {
+  StickySampling ss(Opts(0.01));
+  // t = 100·ln(1000) ≈ 690; the first 2t ≈ 1380 elements are all tracked.
+  for (int i = 0; i < 100; ++i) ss.Observe(1);
+  for (int i = 0; i < 40; ++i) ss.Observe(2);
+  EXPECT_EQ(ss.EstimatedCount(1), 100u);
+  EXPECT_EQ(ss.EstimatedCount(2), 40u);
+  EXPECT_EQ(ss.sampling_rate(), 1u);
+}
+
+TEST(StickySamplingTest, RateDoublesWithStreamLength) {
+  StickySampling ss(Opts(0.05, 1));  // small t → rates advance quickly
+  for (int i = 0; i < 100000; ++i) ss.Observe(i % 1000);
+  EXPECT_GT(ss.sampling_rate(), 1u);
+}
+
+TEST(StickySamplingTest, HeavyHittersSurviveRateChanges) {
+  StickySampling ss(Opts(0.05, 2));
+  constexpr int kTuples = 100000;
+  for (int i = 0; i < kTuples; ++i) {
+    ss.Observe(i % 10 == 0 ? 42 : 1000 + (i % 5000));
+  }
+  // Key 42 has frequency 10%; its diminished count still reflects it
+  // within the ε = 5% guarantee band.
+  uint64_t count = ss.EstimatedCount(42);
+  EXPECT_GT(count, static_cast<uint64_t>(kTuples * (0.10 - 0.05)));
+  EXPECT_LE(count, static_cast<uint64_t>(kTuples) / 10 + 1);
+}
+
+TEST(StickySamplingTest, ItemsAboveFiltersByCount) {
+  StickySampling ss(Opts(0.01));
+  for (int i = 0; i < 200; ++i) ss.Observe(7);
+  for (int i = 0; i < 30; ++i) ss.Observe(8);
+  auto heavy = ss.ItemsAbove(100);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0].first, 7u);
+}
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+TEST(ImplicationStickyTest, CountsLoyalItemsets) {
+  ImplicationStickySampling iss(OneToOne(3), Opts(0.01));
+  for (int rep = 0; rep < 5; ++rep) {
+    for (ItemsetKey a = 0; a < 30; ++a) iss.Observe(a, a + 1);
+  }
+  EXPECT_DOUBLE_EQ(iss.EstimateImplicationCount(), 30.0);
+}
+
+TEST(ImplicationStickyTest, DirtiesViolators) {
+  ImplicationStickySampling iss(OneToOne(2), Opts(0.01));
+  iss.Observe(5, 1);
+  iss.Observe(5, 2);
+  EXPECT_EQ(iss.num_dirty(), 1u);
+  EXPECT_DOUBLE_EQ(iss.EstimateImplicationCount(), 0.0);
+}
+
+TEST(ImplicationStickyTest, DirtyEntriesPersistAcrossRateChanges) {
+  ImplicationStickySampling iss(OneToOne(2), Opts(0.05, 3));
+  for (ItemsetKey a = 0; a < 100; ++a) {
+    iss.Observe(a, 1);
+    iss.Observe(a, 2);
+  }
+  size_t dirty = iss.num_dirty();
+  ASSERT_EQ(dirty, 100u);
+  for (int i = 0; i < 100000; ++i) iss.Observe(100000 + i % 40000, 1);
+  EXPECT_EQ(iss.num_dirty(), dirty);  // never diminished or dropped
+}
+
+TEST(ImplicationStickyTest, SmallImplicationsEventuallyMissed) {
+  // Same §5.1.1 failure mode as ILC: once the sampling rate rises, a
+  // low-frequency implication is unlikely to be tracked at full support.
+  ImplicationStickySampling iss(OneToOne(5), Opts(0.05, 4));
+  for (int i = 0; i < 200000; ++i) iss.Observe(1000 + i % 60000, 1);
+  // A fresh itemset with exactly σ occurrences now:
+  for (int i = 0; i < 5; ++i) iss.Observe(7, 1);
+  // Either it was not sampled at all, or sampled late with count < σ.
+  EXPECT_LT(iss.EstimateImplicationCount(), 60000.0 * 0.2);
+}
+
+}  // namespace
+}  // namespace implistat

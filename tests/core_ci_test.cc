@@ -1,0 +1,99 @@
+#include "core/ci.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sketch/fm_sketch.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+NipsOptions Opts() {
+  NipsOptions opts;
+  opts.fringe_size = 8;
+  opts.bitmap_bits = 32;
+  return opts;
+}
+
+// The calibrated FM readout CI applies to each term: m bitmaps at mean
+// rank R̄ decode to m · FmInvertMeanRank(R̄) distinct elements.
+double Readout(double mean_rank, double m = 1.0) {
+  return m * FmInvertMeanRank(mean_rank);
+}
+
+// Builds a bitmap where cells [0, non_impl) saw a non-implication and
+// cells [0, sup) saw a supported itemset.
+Nips BuildBitmap(int sup, int non_impl) {
+  Nips nips(OneToOne(1), Opts());
+  // Work right-to-left so fringe floating never forces undecided cells.
+  for (int cell = sup - 1; cell >= 0; --cell) {
+    ItemsetKey a = 1000 + cell;
+    nips.ObserveAt(cell, a, 1);
+    if (cell < non_impl) nips.ObserveAt(cell, a, 2);  // dirty
+  }
+  return nips;
+}
+
+TEST(CiTest, SingleBitmapEstimates) {
+  Nips nips = BuildBitmap(/*sup=*/6, /*non_impl=*/3);
+  EXPECT_EQ(nips.RSupport(), 6);
+  EXPECT_EQ(nips.RNonImplication(), 3);
+  CiEstimate est = CiFromBitmap(nips);
+  EXPECT_NEAR(est.supported_distinct, Readout(6), Readout(6) * 1e-6);
+  EXPECT_NEAR(est.non_implication, Readout(3), Readout(3) * 1e-6);
+  EXPECT_NEAR(est.implication, Readout(6) - Readout(3),
+              Readout(6) * 1e-6);
+}
+
+TEST(CiTest, RawEstimateIsUncorrected) {
+  Nips nips = BuildBitmap(5, 2);
+  EXPECT_DOUBLE_EQ(CiRawEstimate(nips), 32.0 - 4.0);
+}
+
+TEST(CiTest, ImplicationClampedAtZero) {
+  // All supported itemsets are non-implications: R_sup == R_~S.
+  Nips nips = BuildBitmap(4, 4);
+  CiEstimate est = CiFromBitmap(nips);
+  EXPECT_DOUBLE_EQ(est.implication, 0.0);
+}
+
+TEST(CiTest, EmptyBitmapGivesZeroImplication) {
+  Nips nips(OneToOne(1), Opts());
+  CiEstimate est = CiFromBitmap(nips);
+  // R_sup == R_~S == 0: the two φ-corrected terms cancel.
+  EXPECT_DOUBLE_EQ(est.implication, 0.0);
+}
+
+TEST(CiTest, EnsembleAveragesRanks) {
+  std::vector<Nips> bitmaps;
+  bitmaps.push_back(BuildBitmap(4, 1));
+  bitmaps.push_back(BuildBitmap(6, 3));
+  CiEstimate est = CiFromEnsemble(bitmaps);
+  // mean R_sup = 5, mean R_~S = 2, m = 2.
+  EXPECT_NEAR(est.supported_distinct, Readout(5, 2),
+              Readout(5, 2) * 1e-6);
+  EXPECT_NEAR(est.non_implication, Readout(2, 2), Readout(2, 2) * 1e-6);
+}
+
+TEST(CiTest, EnsembleHandlesFractionalMeanRank) {
+  std::vector<Nips> bitmaps;
+  bitmaps.push_back(BuildBitmap(4, 2));
+  bitmaps.push_back(BuildBitmap(5, 2));
+  CiEstimate est = CiFromEnsemble(bitmaps);
+  EXPECT_NEAR(est.supported_distinct, Readout(4.5, 2),
+              Readout(4.5, 2) * 1e-6);
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,134 @@
+#include "core/nips_ci_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/exact_counter.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+NipsCiOptions PaperOptions(uint64_t seed = 0) {
+  NipsCiOptions opts;
+  opts.num_bitmaps = 64;
+  opts.nips.fringe_size = 4;
+  opts.nips.capacity_factor = 2;
+  opts.seed = seed;
+  return opts;
+}
+
+// Feeds `implications` loyal itemsets and `violations` two-faced itemsets,
+// each with enough support, in an interleaved order.
+void FeedWorkload(ImplicationEstimator& est, uint64_t implications,
+                  uint64_t violations, uint64_t support, uint64_t seed) {
+  std::vector<std::pair<ItemsetKey, ItemsetKey>> tuples;
+  for (uint64_t a = 0; a < implications; ++a) {
+    for (uint64_t s = 0; s < support; ++s) tuples.emplace_back(a, a + 1);
+  }
+  for (uint64_t a = 0; a < violations; ++a) {
+    ItemsetKey key = (uint64_t{1} << 40) + a;
+    for (uint64_t s = 0; s < support; ++s) {
+      tuples.emplace_back(key, s % 2 == 0 ? 1 : 2);  // two partners
+    }
+  }
+  Rng rng(seed);
+  for (size_t i = tuples.size() - 1; i > 0; --i) {
+    size_t j = rng.Uniform(i + 1);
+    std::swap(tuples[i], tuples[j]);
+  }
+  for (const auto& [a, b] : tuples) est.Observe(a, b);
+}
+
+TEST(NipsCiTest, TracksItemsetBudget) {
+  // Table 5 / §6: 64 bitmaps, fringe 4, capacity factor 2 → at most
+  // 64·2·(2^4−1) = 1920 tracked itemsets.
+  NipsCi nips(OneToOne(5), PaperOptions());
+  FeedWorkload(nips, 20000, 20000, 6, 1);
+  EXPECT_LE(nips.TrackedItemsets(), 1920u);
+  EXPECT_EQ(nips.num_bitmaps(), 64);
+}
+
+TEST(NipsCiTest, EstimatesImplicationCountWithin25Percent) {
+  constexpr uint64_t kTruth = 8000;
+  NipsCi nips(OneToOne(5), PaperOptions(7));
+  FeedWorkload(nips, kTruth, 4000, 6, 2);
+  double est = nips.EstimateImplicationCount();
+  EXPECT_NEAR(est, kTruth, kTruth * 0.25) << "estimate=" << est;
+}
+
+TEST(NipsCiTest, EstimatesNonImplicationCount) {
+  NipsCi nips(OneToOne(5), PaperOptions(8));
+  FeedWorkload(nips, 4000, 8000, 6, 3);
+  EXPECT_NEAR(nips.EstimateNonImplicationCount(), 8000, 8000 * 0.25);
+}
+
+TEST(NipsCiTest, EstimatesSupportedDistinct) {
+  NipsCi nips(OneToOne(5), PaperOptions(9));
+  FeedWorkload(nips, 6000, 6000, 6, 4);
+  EXPECT_NEAR(nips.EstimateSupportedDistinct(), 12000, 12000 * 0.25);
+}
+
+TEST(NipsCiTest, AgreesWithExactAcrossSeeds) {
+  // Mean relative error over several independent hash seeds should be
+  // well under the paper's 10% band for m = 64.
+  constexpr uint64_t kTruth = 5000;
+  double total_err = 0;
+  constexpr int kRuns = 5;
+  for (int run = 0; run < kRuns; ++run) {
+    NipsCi nips(OneToOne(5), PaperOptions(100 + run));
+    ExactImplicationCounter exact(OneToOne(5));
+    FeedWorkload(nips, kTruth, 2500, 6, 50 + run);
+    FeedWorkload(exact, kTruth, 2500, 6, 50 + run);
+    ASSERT_EQ(exact.ImplicationCount(), kTruth);
+    total_err += std::abs(nips.EstimateImplicationCount() - kTruth) / kTruth;
+  }
+  // S is 2/3 of F0_sup here, so the subtraction roughly doubles the
+  // ~10% per-term band; 5 runs keep the mean inside 0.2 comfortably.
+  EXPECT_LT(total_err / kRuns, 0.20);
+}
+
+TEST(NipsCiTest, MemoryIndependentOfStreamLength) {
+  NipsCi nips(OneToOne(5), PaperOptions(11));
+  FeedWorkload(nips, 1000, 1000, 6, 5);
+  size_t mem_small = nips.MemoryBytes();
+  FeedWorkload(nips, 64000, 64000, 6, 6);
+  size_t mem_large = nips.MemoryBytes();
+  // Fringe-bounded: within a small constant factor, not 64x.
+  EXPECT_LT(mem_large, mem_small * 4);
+}
+
+TEST(NipsCiTest, EmptyStreamEstimatesZero) {
+  NipsCi nips(OneToOne(5), PaperOptions(12));
+  EXPECT_DOUBLE_EQ(nips.EstimateImplicationCount(), 0.0);
+}
+
+TEST(NipsCiTest, SingleBitmapConfigurationWorks) {
+  NipsCiOptions opts;
+  opts.num_bitmaps = 1;
+  opts.seed = 3;
+  NipsCi nips(OneToOne(1), opts);
+  for (ItemsetKey a = 0; a < 1000; ++a) nips.Observe(a, 1);
+  // One bitmap is coarse; just demand the right order of magnitude.
+  EXPECT_GT(nips.EstimateImplicationCount(), 150.0);
+  EXPECT_LT(nips.EstimateImplicationCount(), 6000.0);
+}
+
+TEST(NipsCiTest, RejectsNonPowerOfTwoBitmaps) {
+  NipsCiOptions opts;
+  opts.num_bitmaps = 48;
+  EXPECT_DEATH({ NipsCi nips(OneToOne(1), opts); }, "power of two");
+}
+
+}  // namespace
+}  // namespace implistat

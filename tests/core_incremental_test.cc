@@ -1,0 +1,91 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_counter.h"
+#include "core/nips_ci_ensemble.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+TEST(IncrementalTest, DeltaOverExactCounterIsExact) {
+  ExactImplicationCounter exact(OneToOne(2));
+  IncrementalTracker tracker(&exact);
+
+  // Phase 1: itemsets 0..99 become implications.
+  for (ItemsetKey a = 0; a < 100; ++a) {
+    exact.Observe(a, a + 1);
+    exact.Observe(a, a + 1);
+    tracker.AdvanceTuples(2);
+  }
+  const Checkpoint& t1 = tracker.Mark("t1");
+  EXPECT_EQ(t1.tuples, 200u);
+  EXPECT_DOUBLE_EQ(t1.implication, 100.0);
+
+  // Phase 2: 40 new implications appear.
+  for (ItemsetKey a = 1000; a < 1040; ++a) {
+    exact.Observe(a, a + 1);
+    exact.Observe(a, a + 1);
+    tracker.AdvanceTuples(2);
+  }
+  const Checkpoint& t2 = tracker.Mark("t2");
+  EXPECT_DOUBLE_EQ(IncrementalTracker::Delta(t1, t2), 40.0);
+}
+
+TEST(IncrementalTest, DeltaSeesRetroactiveDirtying) {
+  // An itemset counted at t1 that later violates the conditions reduces
+  // the count: ic(t2) − ic(t1) can be negative, by design (it measures the
+  // implication count's evolution, not just arrivals).
+  ExactImplicationCounter exact(OneToOne(1));
+  IncrementalTracker tracker(&exact);
+  exact.Observe(1, 10);
+  tracker.AdvanceTuples();
+  const Checkpoint& t1 = tracker.Mark();
+  EXPECT_DOUBLE_EQ(t1.implication, 1.0);
+  exact.Observe(1, 11);  // K = 1 violated
+  tracker.AdvanceTuples();
+  const Checkpoint& t2 = tracker.Mark();
+  EXPECT_DOUBLE_EQ(IncrementalTracker::Delta(t1, t2), -1.0);
+}
+
+TEST(IncrementalTest, CheckpointsAccumulateInOrder) {
+  ExactImplicationCounter exact(OneToOne(1));
+  IncrementalTracker tracker(&exact);
+  tracker.Mark("a");
+  tracker.AdvanceTuples(5);
+  tracker.Mark("b");
+  ASSERT_EQ(tracker.checkpoints().size(), 2u);
+  EXPECT_EQ(tracker.checkpoints()[0].label, "a");
+  EXPECT_EQ(tracker.checkpoints()[1].tuples, 5u);
+}
+
+TEST(IncrementalTest, WorksOverNipsCi) {
+  NipsCiOptions opts;
+  opts.seed = 5;
+  NipsCi nips(OneToOne(2), opts);
+  IncrementalTracker tracker(&nips);
+  for (ItemsetKey a = 0; a < 2000; ++a) {
+    nips.Observe(a, 1);
+    nips.Observe(a, 1);
+  }
+  const Checkpoint& t1 = tracker.Mark();
+  for (ItemsetKey a = 10000; a < 14000; ++a) {
+    nips.Observe(a, 1);
+    nips.Observe(a, 1);
+  }
+  const Checkpoint& t2 = tracker.Mark();
+  // ~4000 new implications appeared between the checkpoints.
+  EXPECT_NEAR(IncrementalTracker::Delta(t1, t2), 4000, 4000 * 0.35);
+}
+
+}  // namespace
+}  // namespace implistat

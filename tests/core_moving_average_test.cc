@@ -1,0 +1,60 @@
+#include "core/moving_average.h"
+
+#include <gtest/gtest.h>
+
+namespace implistat {
+namespace {
+
+TEST(MovingAverageTest, EmptyIsZero) {
+  MovingAverage avg(4);
+  EXPECT_DOUBLE_EQ(avg.Average(), 0.0);
+  EXPECT_DOUBLE_EQ(avg.Latest(), 0.0);
+  EXPECT_EQ(avg.samples_seen(), 0u);
+}
+
+TEST(MovingAverageTest, PartialWindowAveragesWhatItHas) {
+  MovingAverage avg(4);
+  avg.AddSample(2);
+  EXPECT_DOUBLE_EQ(avg.Average(), 2.0);
+  avg.AddSample(4);
+  EXPECT_DOUBLE_EQ(avg.Average(), 3.0);
+}
+
+TEST(MovingAverageTest, OldSamplesRetire) {
+  MovingAverage avg(3);
+  avg.AddSample(10);
+  avg.AddSample(20);
+  avg.AddSample(30);
+  EXPECT_DOUBLE_EQ(avg.Average(), 20.0);
+  avg.AddSample(40);  // 10 leaves the horizon
+  EXPECT_DOUBLE_EQ(avg.Average(), 30.0);
+  avg.AddSample(50);
+  avg.AddSample(60);
+  EXPECT_DOUBLE_EQ(avg.Average(), 50.0);
+}
+
+TEST(MovingAverageTest, LatestTracksNewestSample) {
+  MovingAverage avg(2);
+  avg.AddSample(1);
+  EXPECT_DOUBLE_EQ(avg.Latest(), 1.0);
+  avg.AddSample(7);
+  avg.AddSample(9);
+  EXPECT_DOUBLE_EQ(avg.Latest(), 9.0);
+}
+
+TEST(MovingAverageTest, HorizonOneIsJustLatest) {
+  MovingAverage avg(1);
+  for (double v : {5.0, 6.0, 7.0}) {
+    avg.AddSample(v);
+    EXPECT_DOUBLE_EQ(avg.Average(), v);
+  }
+}
+
+TEST(MovingAverageTest, LongRunNumericallyStable) {
+  MovingAverage avg(100);
+  for (int i = 0; i < 100000; ++i) avg.AddSample(1.0);
+  EXPECT_NEAR(avg.Average(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace implistat

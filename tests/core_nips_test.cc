@@ -1,0 +1,211 @@
+#include "core/nips.h"
+
+#include <gtest/gtest.h>
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+NipsOptions Bounded(int fringe = 4, int factor = 2) {
+  NipsOptions opts;
+  opts.fringe_size = fringe;
+  opts.capacity_factor = factor;
+  opts.bitmap_bits = 32;
+  return opts;
+}
+
+NipsOptions Unbounded() {
+  NipsOptions opts;
+  opts.fringe_size = 0;
+  opts.bitmap_bits = 32;
+  return opts;
+}
+
+TEST(NipsTest, FreshBitmapHasZeroPositions) {
+  Nips nips(OneToOne(1), Bounded());
+  EXPECT_EQ(nips.RNonImplication(), 0);
+  EXPECT_EQ(nips.RSupport(), 0);
+  EXPECT_EQ(nips.fringe_right(), -1);
+  EXPECT_EQ(nips.fringe_left(), 0);
+}
+
+TEST(NipsTest, ItemBudgetFollowsFringeSize) {
+  EXPECT_EQ(Nips(OneToOne(1), Bounded(4, 2)).ItemBudget(), 30u);
+  EXPECT_EQ(Nips(OneToOne(1), Bounded(8, 2)).ItemBudget(), 510u);
+  EXPECT_EQ(Nips(OneToOne(1), Bounded(4, 1)).ItemBudget(), 15u);
+  EXPECT_EQ(Nips(OneToOne(1), Unbounded()).ItemBudget(), 0u);
+}
+
+TEST(NipsTest, FringeRightTracksRightmostHashedCell) {
+  Nips nips(OneToOne(1), Bounded());
+  nips.ObserveAt(10, /*a=*/1, /*b=*/1);
+  EXPECT_EQ(nips.fringe_right(), 10);
+  nips.ObserveAt(4, 2, 1);
+  EXPECT_EQ(nips.fringe_right(), 10);
+  nips.ObserveAt(12, 3, 1);
+  EXPECT_EQ(nips.fringe_right(), 12);
+}
+
+TEST(NipsTest, NoForcingWhileWithinBudget) {
+  // Budget 30: a handful of itemsets spread over cells stays untouched.
+  Nips nips(OneToOne(1000), Bounded(4, 2));
+  for (int cell = 0; cell < 10; ++cell) {
+    nips.ObserveAt(cell, 100 + cell, 1);
+  }
+  EXPECT_EQ(nips.TrackedItemsets(), 10u);
+  EXPECT_EQ(nips.fringe_left(), 0);
+  EXPECT_EQ(nips.RNonImplication(), 0);
+}
+
+TEST(NipsTest, BudgetPressureForcesLeftmostCells) {
+  // Budget 1·(2^1 − 1) = 1 itemset: a second tracked itemset forces the
+  // prefix up to (and including) the first populated cell.
+  Nips nips(OneToOne(1000), Bounded(1, 1));
+  nips.ObserveAt(5, 1, 1);
+  EXPECT_EQ(nips.TrackedItemsets(), 1u);
+  nips.ObserveAt(3, 2, 1);
+  // Cells 0..3 forced to one (freeing itemset 2), budget satisfied again.
+  EXPECT_EQ(nips.TrackedItemsets(), 1u);
+  EXPECT_EQ(nips.fringe_left(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(nips.CellIsOne(i)) << i;
+  EXPECT_FALSE(nips.CellIsOne(4));
+  EXPECT_EQ(nips.RNonImplication(), 4);
+}
+
+TEST(NipsTest, ObservationsBelowForcedZoneAreDropped) {
+  Nips nips(OneToOne(1000), Bounded(1, 1));
+  nips.ObserveAt(5, 1, 1);
+  nips.ObserveAt(3, 2, 1);  // forces cells 0..3 (see above)
+  ASSERT_EQ(nips.fringe_left(), 4);
+  nips.ObserveAt(2, 3, 1);  // lands in Zone-1: already recorded as 1
+  EXPECT_EQ(nips.TrackedItemsets(), 1u);
+  EXPECT_TRUE(nips.CellIsOne(2));
+}
+
+TEST(NipsTest, NonImplicationSetsCellToOneAndFrees) {
+  Nips nips(OneToOne(1), Bounded(4));
+  nips.ObserveAt(2, 1, 10);
+  EXPECT_EQ(nips.TrackedItemsets(), 1u);
+  nips.ObserveAt(2, 1, 11);  // K=1, second b → non-implication
+  EXPECT_TRUE(nips.CellIsOne(2));
+  EXPECT_EQ(nips.TrackedItemsets(), 0u);
+}
+
+TEST(NipsTest, DecisionsGrowZoneOneOnlyFromTheLeft) {
+  Nips nips(OneToOne(1), Bounded(4));
+  nips.ObserveAt(2, 1, 10);
+  nips.ObserveAt(2, 1, 11);  // cell 2 decided 1
+  // Cells 0 and 1 are still zero, so the Zone-1 prefix has not moved.
+  EXPECT_EQ(nips.fringe_left(), 0);
+  EXPECT_EQ(nips.RNonImplication(), 0);
+  nips.ObserveAt(0, 2, 10);
+  nips.ObserveAt(0, 2, 11);
+  nips.ObserveAt(1, 3, 10);
+  nips.ObserveAt(1, 3, 11);
+  // Now cells 0,1,2 are all one: the prefix (and R_~S) reaches 3.
+  EXPECT_EQ(nips.fringe_left(), 3);
+  EXPECT_EQ(nips.RNonImplication(), 3);
+}
+
+TEST(NipsTest, RSupportCountsSupportedFringeCells) {
+  auto cond = OneToOne(2);
+  Nips nips(cond, Bounded(8));
+  nips.ObserveAt(2, 1, 1);
+  nips.ObserveAt(1, 2, 1);
+  nips.ObserveAt(0, 3, 1);
+  // No itemset supported yet (σ=2): R_sup stops at cell 0.
+  EXPECT_EQ(nips.RSupport(), 0);
+  nips.ObserveAt(0, 3, 1);  // support reaches 2 in cell 0
+  EXPECT_EQ(nips.RSupport(), 1);
+  nips.ObserveAt(1, 2, 1);
+  EXPECT_EQ(nips.RSupport(), 2);
+  nips.ObserveAt(2, 1, 1);
+  EXPECT_EQ(nips.RSupport(), 3);
+  // None of them is a non-implication, so R_~S < R_sup.
+  EXPECT_EQ(nips.RNonImplication(), 0);
+}
+
+TEST(NipsTest, OverflowForcesThroughCrowdedCell) {
+  // Budget 1: a second itemset overflows; forcing sweeps the prefix up to
+  // and including the crowded cell.
+  Nips nips(OneToOne(1000), Bounded(1, 1));
+  nips.ObserveAt(6, 1, 1);
+  EXPECT_FALSE(nips.CellIsOne(6));
+  nips.ObserveAt(6, 2, 1);
+  EXPECT_TRUE(nips.CellIsOne(6));
+  EXPECT_EQ(nips.TrackedItemsets(), 0u);
+  EXPECT_EQ(nips.fringe_left(), 7);
+}
+
+TEST(NipsTest, UnboundedFringeNeverForcesCells) {
+  Nips nips(OneToOne(1000), Unbounded());
+  nips.ObserveAt(0, 1, 1);
+  nips.ObserveAt(20, 2, 1);
+  EXPECT_EQ(nips.fringe_left(), 0);
+  EXPECT_EQ(nips.TrackedItemsets(), 2u);
+  // Cell 1 was never hashed: still zero, so R_~S = 0.
+  EXPECT_EQ(nips.RNonImplication(), 0);
+}
+
+TEST(NipsTest, UnboundedTracksEverythingUntilDecided) {
+  Nips nips(OneToOne(1), Unbounded());
+  for (int cell = 0; cell < 10; ++cell) {
+    nips.ObserveAt(cell, 100 + cell, 1);
+  }
+  EXPECT_EQ(nips.TrackedItemsets(), 10u);
+  for (int cell = 0; cell < 10; ++cell) {
+    nips.ObserveAt(cell, 100 + cell, 2);  // all become non-implications
+  }
+  EXPECT_EQ(nips.TrackedItemsets(), 0u);
+  EXPECT_EQ(nips.RNonImplication(), 10);
+}
+
+TEST(NipsTest, HashPositionsBeyondBitmapClampToLastCell) {
+  auto opts = Bounded(4);
+  opts.bitmap_bits = 8;
+  Nips nips(OneToOne(1), opts);
+  nips.ObserveAt(63, 1, 1);
+  EXPECT_EQ(nips.fringe_right(), 7);
+}
+
+TEST(NipsTest, ObservationsOnDecidedCellsAreNoOps) {
+  Nips nips(OneToOne(1), Bounded(4));
+  nips.ObserveAt(3, 1, 10);
+  nips.ObserveAt(3, 1, 11);  // decide cell 3
+  ASSERT_TRUE(nips.CellIsOne(3));
+  nips.ObserveAt(3, 2, 20);  // lands on a decided cell
+  EXPECT_EQ(nips.TrackedItemsets(), 0u);
+  EXPECT_TRUE(nips.CellIsOne(3));
+}
+
+TEST(NipsTest, TrackedItemsetsNeverExceedsBudget) {
+  Nips nips(OneToOne(1000), Bounded(4, 2));
+  // Adversarial spread: 1000 itemsets over low cells.
+  for (int i = 0; i < 1000; ++i) {
+    nips.ObserveAt(i % 8, 5000 + i, 1);
+  }
+  EXPECT_LE(nips.TrackedItemsets(), nips.ItemBudget());
+}
+
+TEST(NipsTest, MemoryShrinksAsCellsDecide) {
+  Nips nips(OneToOne(1), Bounded(8));
+  for (int cell = 0; cell < 8; ++cell) {
+    nips.ObserveAt(cell, 200 + cell, 1);
+  }
+  size_t loaded = nips.MemoryBytes();
+  for (int cell = 0; cell < 8; ++cell) {
+    nips.ObserveAt(cell, 200 + cell, 2);
+  }
+  EXPECT_LT(nips.MemoryBytes(), loaded);
+}
+
+}  // namespace
+}  // namespace implistat

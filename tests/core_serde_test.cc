@@ -1,0 +1,201 @@
+// Wire-format round trips for the sketch stack.
+
+#include <gtest/gtest.h>
+
+#include "core/nips_ci_ensemble.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions SampleConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 3;
+  cond.min_support = 7;
+  cond.min_top_confidence = 0.85;
+  cond.confidence_c = 2;
+  cond.strict_multiplicity = false;
+  return cond;
+}
+
+TEST(ConditionsSerdeTest, RoundTrip) {
+  ByteWriter w;
+  SampleConditions().SerializeTo(&w);
+  ByteReader r(w.str());
+  auto decoded = ImplicationConditions::Deserialize(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == SampleConditions());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ConditionsSerdeTest, InvalidConditionsRejected) {
+  ImplicationConditions bad = SampleConditions();
+  bad.max_multiplicity = 0;
+  ByteWriter w;
+  bad.SerializeTo(&w);
+  ByteReader r(w.str());
+  EXPECT_FALSE(ImplicationConditions::Deserialize(&r).ok());
+}
+
+TEST(ItemsetStateSerdeTest, RoundTripPreservesBehaviour) {
+  auto cond = SampleConditions();
+  ItemsetState state;
+  for (int i = 0; i < 5; ++i) state.Observe(10, cond);
+  for (int i = 0; i < 2; ++i) state.Observe(11, cond);
+  ByteWriter w;
+  state.SerializeTo(&w);
+  ByteReader r(w.str());
+  auto decoded = ItemsetState::Deserialize(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->support(), state.support());
+  EXPECT_EQ(decoded->multiplicity(), state.multiplicity());
+  EXPECT_EQ(decoded->dirty(), state.dirty());
+  EXPECT_DOUBLE_EQ(decoded->TopConfidence(2), state.TopConfidence(2));
+  // The decoded state keeps evolving identically.
+  ItemsetState reference = state;
+  decoded->Observe(12, cond);
+  reference.Observe(12, cond);
+  EXPECT_EQ(decoded->dirty(), reference.dirty());
+  EXPECT_EQ(decoded->support(), reference.support());
+}
+
+TEST(FringeCellSerdeTest, RoundTrip) {
+  auto cond = SampleConditions();
+  FringeCell cell;
+  for (ItemsetKey a = 0; a < 10; ++a) {
+    cell.Observe(a, 100 + a % 3, cond);
+    cell.Observe(a, 100 + a % 3, cond);
+  }
+  ByteWriter w;
+  cell.SerializeTo(&w);
+  ByteReader r(w.str());
+  auto decoded = FringeCell::Deserialize(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_itemsets(), cell.num_itemsets());
+  EXPECT_EQ(decoded->has_supported(), cell.has_supported());
+}
+
+TEST(NipsSerdeTest, SingleBitmapRoundTripUnderBudgetForcing) {
+  ImplicationConditions cond = SampleConditions();
+  NipsOptions opts;
+  opts.fringe_size = 2;       // budget 2·3 = 6 itemsets
+  opts.capacity_factor = 2;
+  opts.bitmap_bits = 32;
+  Nips nips(cond, opts);
+  // Overload so the forced Zone-1 prefix is non-trivial.
+  for (int i = 0; i < 200; ++i) {
+    nips.ObserveAt(i % 10, 1000 + i, i % 3);
+  }
+  ByteWriter w;
+  nips.SerializeTo(&w);
+  ByteReader r(w.str());
+  auto decoded = Nips::Deserialize(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded->RNonImplication(), nips.RNonImplication());
+  EXPECT_EQ(decoded->RSupport(), nips.RSupport());
+  EXPECT_EQ(decoded->fringe_left(), nips.fringe_left());
+  EXPECT_EQ(decoded->fringe_right(), nips.fringe_right());
+  EXPECT_EQ(decoded->TrackedItemsets(), nips.TrackedItemsets());
+  // The decoded bitmap keeps enforcing the budget as it evolves.
+  for (int i = 0; i < 50; ++i) decoded->ObserveAt(20, 5000 + i, 1);
+  EXPECT_LE(decoded->TrackedItemsets(), decoded->ItemBudget());
+}
+
+TEST(NipsSerdeTest, EmptyBitmapRoundTrip) {
+  Nips nips(SampleConditions(), NipsOptions{});
+  ByteWriter w;
+  nips.SerializeTo(&w);
+  ByteReader r(w.str());
+  auto decoded = Nips::Deserialize(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fringe_right(), -1);
+  EXPECT_EQ(decoded->RNonImplication(), 0);
+}
+
+NipsCi BuildLoadedEnsemble(uint64_t seed) {
+  NipsCiOptions opts;
+  opts.seed = seed;
+  NipsCi nips(SampleConditions(), opts);
+  Rng rng(seed + 1);
+  for (ItemsetKey a = 0; a < 5000; ++a) {
+    for (int i = 0; i < 8; ++i) {
+      nips.Observe(a, a % 4 == 0 ? rng.Uniform(50) : 1);
+    }
+  }
+  return nips;
+}
+
+TEST(NipsCiSerdeTest, RoundTripPreservesEstimates) {
+  NipsCi original = BuildLoadedEnsemble(7);
+  std::string bytes = original.Serialize();
+  auto decoded = NipsCi::Deserialize(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->EstimateImplicationCount(),
+                   original.EstimateImplicationCount());
+  EXPECT_DOUBLE_EQ(decoded->EstimateNonImplicationCount(),
+                   original.EstimateNonImplicationCount());
+  EXPECT_DOUBLE_EQ(decoded->EstimateSupportedDistinct(),
+                   original.EstimateSupportedDistinct());
+  EXPECT_EQ(decoded->TrackedItemsets(), original.TrackedItemsets());
+}
+
+TEST(NipsCiSerdeTest, DecodedEnsembleKeepsStreaming) {
+  NipsCi original = BuildLoadedEnsemble(9);
+  auto decoded = NipsCi::Deserialize(original.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  for (ItemsetKey a = 100000; a < 101000; ++a) {
+    original.Observe(a, 1);
+    original.Observe(a, 1);
+    decoded->Observe(a, 1);
+    decoded->Observe(a, 1);
+  }
+  // Same hash seed → identical evolution.
+  EXPECT_DOUBLE_EQ(decoded->EstimateImplicationCount(),
+                   original.EstimateImplicationCount());
+}
+
+TEST(NipsCiSerdeTest, DecodedEnsembleIsMergeable) {
+  NipsCi a = BuildLoadedEnsemble(11);
+  NipsCi b(SampleConditions(), [] {
+    NipsCiOptions opts;
+    opts.seed = 11;
+    return opts;
+  }());
+  for (ItemsetKey key = 500000; key < 502000; ++key) {
+    for (int i = 0; i < 8; ++i) b.Observe(key, 2);
+  }
+  auto shipped = NipsCi::Deserialize(b.Serialize());
+  ASSERT_TRUE(shipped.ok());
+  double before = a.EstimateImplicationCount();
+  ASSERT_TRUE(a.Merge(*shipped).ok());
+  EXPECT_GT(a.EstimateImplicationCount(), before);
+}
+
+TEST(NipsCiSerdeTest, WireSizeIsCompact) {
+  // The whole router summary — the thing the paper wants to ship instead
+  // of per-flow state — fits in tens of kilobytes.
+  NipsCi nips = BuildLoadedEnsemble(13);
+  EXPECT_LT(nips.Serialize().size(), 200u << 10);
+}
+
+TEST(NipsCiSerdeTest, MalformedInputsRejected) {
+  NipsCi nips = BuildLoadedEnsemble(15);
+  std::string bytes = nips.Serialize();
+  // Truncations at every prefix must fail cleanly, never crash.
+  for (size_t len : {size_t{0}, size_t{1}, size_t{5}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(NipsCi::Deserialize(std::string_view(bytes).substr(0, len))
+                     .ok())
+        << "prefix length " << len;
+  }
+  // Trailing garbage rejected.
+  EXPECT_FALSE(NipsCi::Deserialize(bytes + "x").ok());
+  // Bad version byte rejected.
+  std::string bad = bytes;
+  bad[0] = 99;
+  EXPECT_FALSE(NipsCi::Deserialize(bad).ok());
+}
+
+}  // namespace
+}  // namespace implistat

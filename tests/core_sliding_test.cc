@@ -1,0 +1,119 @@
+#include "core/sliding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/moving_average.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+SlidingOptions SmallWindow(uint64_t window, uint64_t stride) {
+  SlidingOptions opts;
+  opts.window = window;
+  opts.stride = stride;
+  opts.estimator.num_bitmaps = 64;
+  opts.estimator.seed = 9;
+  return opts;
+}
+
+TEST(SlidingTest, MaintainsBoundedOrigins) {
+  SlidingNipsCi sliding(OneToOne(1), SmallWindow(1000, 250));
+  for (uint64_t i = 0; i < 5000; ++i) {
+    sliding.Observe(i % 100, 1);
+  }
+  // window/stride + 1 = 5 origins in steady state.
+  EXPECT_LE(sliding.num_origins(), 5u);
+  EXPECT_GE(sliding.num_origins(), 4u);
+}
+
+TEST(SlidingTest, WindowEstimateDropsRetiredItemsets) {
+  // Phase A: itemsets 0..999 appear (twice each) in the first 2000 tuples,
+  // then never again. Phase B: only itemsets 5000..5049 keep appearing.
+  SlidingNipsCi sliding(OneToOne(2), SmallWindow(2000, 500));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    sliding.Observe(i, 1);
+    sliding.Observe(i, 1);
+  }
+  double during = sliding.WindowEstimate();
+  EXPECT_NEAR(during, 1000, 1000 * 0.35);
+  for (uint64_t i = 0; i < 8000; ++i) {
+    sliding.Observe(5000 + (i % 50), 1);
+  }
+  double after = sliding.WindowEstimate();
+  // The window now covers only phase-B traffic: ~50 itemsets.
+  EXPECT_LT(after, 300.0);
+}
+
+TEST(SlidingTest, BeforeFirstWindowCountsFromStart) {
+  SlidingNipsCi sliding(OneToOne(1), SmallWindow(10000, 1000));
+  for (uint64_t i = 0; i < 500; ++i) sliding.Observe(i, 1);
+  EXPECT_EQ(sliding.num_origins(), 1u);
+  EXPECT_NEAR(sliding.WindowEstimate(), 500, 500 * 0.35);
+}
+
+TEST(SlidingTest, TuplesSeenAdvances) {
+  SlidingNipsCi sliding(OneToOne(1), SmallWindow(100, 50));
+  for (uint64_t i = 0; i < 321; ++i) sliding.Observe(1, 2);
+  EXPECT_EQ(sliding.tuples_seen(), 321u);
+}
+
+TEST(SlidingTest, WindowNonImplicationEstimate) {
+  // Violators in the window are visible through the complement readout.
+  SlidingNipsCi sliding(OneToOne(2), SmallWindow(4000, 1000));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    sliding.Observe(i, 1);
+    sliding.Observe(i, 2);  // K = 1 violated for every itemset
+  }
+  EXPECT_NEAR(sliding.WindowNonImplicationEstimate(), 1000, 1000 * 0.35);
+  EXPECT_LT(sliding.WindowEstimate(), 300.0);
+}
+
+TEST(SlidingTest, ComplexImplicationMovingAverage) {
+  // Table 2's "complex implication": a moving average of a windowed
+  // implication count. Phase A has ~200 qualifying itemsets per window,
+  // phase B ~40; the moving average transitions between the plateaus.
+  MovingAverage avg(4);
+  SlidingNipsCi sliding(OneToOne(2), SmallWindow(2000, 500));
+  uint64_t tuples = 0;
+  auto run_phase = [&](uint64_t itemset_base, uint64_t population,
+                       uint64_t phase_tuples) {
+    for (uint64_t i = 0; i < phase_tuples; ++i) {
+      sliding.Observe(itemset_base + (i % population), 1);
+      if (++tuples % 500 == 0) avg.AddSample(sliding.WindowEstimate());
+    }
+  };
+  run_phase(0, 200, 6000);
+  double phase_a = avg.Average();
+  EXPECT_NEAR(phase_a, 200, 200 * 0.4);
+  run_phase(100000, 40, 8000);
+  double phase_b = avg.Average();
+  EXPECT_LT(phase_b, phase_a * 0.6);
+}
+
+TEST(SlidingEstimatorAdapterTest, ImplementsEstimatorInterface) {
+  SlidingNipsCiEstimator adapter(OneToOne(1), SmallWindow(1000, 250));
+  for (uint64_t i = 0; i < 500; ++i) adapter.Observe(i, 1);
+  EXPECT_EQ(adapter.name(), "NIPS/CI-sliding");
+  EXPECT_NEAR(adapter.EstimateImplicationCount(), 500, 500 * 0.35);
+  EXPECT_GT(adapter.MemoryBytes(), 0u);
+}
+
+TEST(SlidingTest, MemoryScalesWithOriginsNotStream) {
+  SlidingNipsCi sliding(OneToOne(1), SmallWindow(1000, 500));
+  for (uint64_t i = 0; i < 2000; ++i) sliding.Observe(i % 64, 1);
+  size_t early = sliding.MemoryBytes();
+  for (uint64_t i = 0; i < 20000; ++i) sliding.Observe(i % 64, 1);
+  EXPECT_LT(sliding.MemoryBytes(), early * 4);
+}
+
+}  // namespace
+}  // namespace implistat

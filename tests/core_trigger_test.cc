@@ -1,0 +1,112 @@
+#include "core/trigger.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_counter.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions OneToOne(uint64_t sigma) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = sigma;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+// Drives `count` loyal itemsets (ids [base, base+count)) through the
+// counter and the trigger clock, one tuple per itemset.
+void Feed(ExactImplicationCounter& exact, TriggerSet& triggers,
+          ItemsetKey base, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    exact.Observe(base + i, 1);
+    triggers.Tick();
+  }
+}
+
+TEST(TriggerTest, ThresholdFiresOnceWithHysteresis) {
+  ExactImplicationCounter exact(OneToOne(1));
+  TriggerSet triggers(&exact, 10);
+  triggers.AddThresholdRule("over-50", 50);
+  Feed(exact, triggers, 0, 200);  // count rises 0 → 200
+  auto events = triggers.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);  // sustained exceedance fires once
+  EXPECT_EQ(events[0].rule, "over-50");
+  EXPECT_GT(events[0].value, 50.0);
+  EXPECT_DOUBLE_EQ(events[0].reference, 50.0);
+  // Still above the threshold: no new events.
+  Feed(exact, triggers, 1000, 100);
+  EXPECT_TRUE(triggers.TakeEvents().empty());
+}
+
+TEST(TriggerTest, RateRuleFiresOnBurst) {
+  ExactImplicationCounter exact(OneToOne(1));
+  TriggerSet triggers(&exact, 100);
+  triggers.AddRateRule("burst", 3.0, 10.0);
+  // Baseline: ~20 new implications per 100-tuple period (every 5th tuple
+  // introduces a fresh itemset... simpler: mix 1 new itemset per 5 dup).
+  ItemsetKey next = 0;
+  for (int period = 0; period < 10; ++period) {
+    for (int i = 0; i < 100; ++i) {
+      ItemsetKey key = (i % 5 == 0) ? next++ : 0;
+      exact.Observe(key, 1);
+      triggers.Tick();
+    }
+  }
+  EXPECT_TRUE(triggers.TakeEvents().empty());  // steady rate: no events
+  // Burst: every tuple a fresh itemset → delta jumps 20 → 100.
+  for (int i = 0; i < 100; ++i) {
+    exact.Observe(100000 + i, 1);
+    triggers.Tick();
+  }
+  auto events = triggers.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rule, "burst");
+  EXPECT_GT(events[0].value, 3.0 * events[0].reference);
+}
+
+TEST(TriggerTest, RateRuleQuietDuringWarmup) {
+  ExactImplicationCounter exact(OneToOne(1));
+  TriggerSet triggers(&exact, 10);
+  triggers.AddRateRule("burst", 2.0, 0.0);
+  Feed(exact, triggers, 0, 30);  // only 3 samples: below history minimum
+  EXPECT_TRUE(triggers.TakeEvents().empty());
+}
+
+TEST(TriggerTest, CallbackInvokedAtFiringTime) {
+  ExactImplicationCounter exact(OneToOne(1));
+  TriggerSet triggers(&exact, 10);
+  triggers.AddThresholdRule("cb", 5);
+  int calls = 0;
+  triggers.SetCallback([&calls](const TriggerEvent& event) {
+    ++calls;
+    EXPECT_EQ(event.rule, "cb");
+  });
+  Feed(exact, triggers, 0, 100);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TriggerTest, MultipleRulesIndependent) {
+  ExactImplicationCounter exact(OneToOne(1));
+  TriggerSet triggers(&exact, 10);
+  triggers.AddThresholdRule("low", 10);
+  triggers.AddThresholdRule("high", 1000000);
+  Feed(exact, triggers, 0, 100);
+  auto events = triggers.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rule, "low");
+}
+
+TEST(TriggerTest, TakeEventsDrains) {
+  ExactImplicationCounter exact(OneToOne(1));
+  TriggerSet triggers(&exact, 10);
+  triggers.AddThresholdRule("x", 1);
+  Feed(exact, triggers, 0, 50);
+  EXPECT_FALSE(triggers.TakeEvents().empty());
+  EXPECT_TRUE(triggers.TakeEvents().empty());
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,130 @@
+#include "datagen/netflow_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/exact_counter.h"
+
+namespace implistat {
+namespace {
+
+TEST(NetflowGenTest, SchemaShape) {
+  NetflowGenerator gen{NetflowGenParams{}};
+  ASSERT_EQ(gen.schema().num_attributes(), 4);
+  EXPECT_EQ(gen.schema().attribute(NetflowGenerator::kSource).name,
+            "Source");
+  EXPECT_EQ(gen.schema().attribute(NetflowGenerator::kHour).name, "Hour");
+}
+
+TEST(NetflowGenTest, ValuesInRange) {
+  NetflowGenParams params;
+  params.num_sources = 1000;
+  params.num_destinations = 500;
+  NetflowGenerator gen(params);
+  for (int i = 0; i < 20000; ++i) {
+    auto t = gen.Next();
+    EXPECT_LT((*t)[NetflowGenerator::kSource], 1000u);
+    EXPECT_LT((*t)[NetflowGenerator::kDestination], 500u);
+    EXPECT_LT((*t)[NetflowGenerator::kService], 24u);
+    EXPECT_LT((*t)[NetflowGenerator::kHour], 24u);
+  }
+}
+
+TEST(NetflowGenTest, HourAdvancesWithStream) {
+  NetflowGenParams params;
+  params.tuples_per_hour = 100;
+  NetflowGenerator gen(params);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ((*gen.Next())[NetflowGenerator::kHour], 0u);
+  }
+  EXPECT_EQ((*gen.Next())[NetflowGenerator::kHour], 1u);
+}
+
+TEST(NetflowGenTest, FlashCrowdConcentratesOnFocus) {
+  NetflowGenParams params;
+  params.seed = 1;
+  Episode crowd;
+  crowd.kind = EpisodeKind::kFlashCrowd;
+  crowd.start_tuple = 1000;
+  crowd.length = 2000;
+  crowd.intensity = 0.8;
+  crowd.focus = 77;
+  params.episodes = {crowd};
+  NetflowGenerator gen(params);
+  int hits = 0;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    auto t = gen.Next();
+    if (i >= 1000 && i < 3000 &&
+        (*t)[NetflowGenerator::kDestination] == 77) {
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 1200);  // ~80% of the 2000 episode tuples
+}
+
+TEST(NetflowGenTest, DdosSpraysManySources) {
+  NetflowGenParams params;
+  params.seed = 2;
+  Episode ddos;
+  ddos.kind = EpisodeKind::kDdos;
+  ddos.start_tuple = 0;
+  ddos.length = 20000;
+  ddos.intensity = 1.0;
+  ddos.focus = 5;
+  params.episodes = {ddos};
+  NetflowGenerator gen(params);
+  std::set<ValueId> sources;
+  for (int i = 0; i < 20000; ++i) {
+    auto t = gen.Next();
+    EXPECT_EQ((*t)[NetflowGenerator::kDestination], 5u);
+    sources.insert((*t)[NetflowGenerator::kSource]);
+  }
+  // Spoofed-uniform sources: most packets come from distinct addresses —
+  // the "small counts, huge cumulative effect" signature.
+  EXPECT_GT(sources.size(), 15000u);
+}
+
+TEST(NetflowGenTest, PortScanSignatureRaisesScanCount) {
+  // A port scan makes its focus source contact many destinations: the
+  // complement implication count (Source !→ Destination under K = 20)
+  // picks it up.
+  NetflowGenParams params;
+  params.seed = 3;
+  params.num_sources = 5000;
+  Episode scan;
+  scan.kind = EpisodeKind::kPortScan;
+  scan.start_tuple = 0;
+  scan.length = 50000;
+  scan.intensity = 0.3;
+  scan.focus = 123;
+  params.episodes = {scan};
+  NetflowGenerator gen(params);
+  ImplicationConditions cond;
+  cond.max_multiplicity = 20;
+  cond.min_support = 30;
+  cond.min_top_confidence = 0.5;
+  cond.confidence_c = 20;
+  ExactImplicationCounter exact(cond);
+  for (int i = 0; i < 50000; ++i) {
+    auto t = gen.Next();
+    exact.Observe((*t)[NetflowGenerator::kSource],
+                  (*t)[NetflowGenerator::kDestination]);
+  }
+  // The scanner is certainly among the non-implications.
+  EXPECT_GE(exact.NonImplicationCount(), 1u);
+}
+
+TEST(NetflowGenTest, DeterministicPerSeed) {
+  NetflowGenParams params;
+  params.seed = 9;
+  NetflowGenerator g1(params), g2(params);
+  for (int i = 0; i < 500; ++i) {
+    auto t1 = g1.Next();
+    auto t2 = g2.Next();
+    for (int d = 0; d < 4; ++d) EXPECT_EQ((*t1)[d], (*t2)[d]);
+  }
+}
+
+}  // namespace
+}  // namespace implistat

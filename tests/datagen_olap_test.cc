@@ -1,0 +1,122 @@
+#include "datagen/olap_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/exact_counter.h"
+#include "stream/itemset.h"
+
+namespace implistat {
+namespace {
+
+TEST(OlapGenTest, SchemaMatchesTable3) {
+  OlapGenerator gen{OlapGenParams{}};
+  const Schema& schema = gen.schema();
+  ASSERT_EQ(schema.num_attributes(), 8);
+  EXPECT_EQ(schema.attribute(0).name, "A");
+  EXPECT_EQ(schema.attribute(0).cardinality, 1557u);
+  EXPECT_EQ(schema.attribute(1).cardinality, 2669u);
+  EXPECT_EQ(schema.attribute(2).cardinality, 2u);
+  EXPECT_EQ(schema.attribute(3).cardinality, 2u);
+  EXPECT_EQ(schema.attribute(4).cardinality, 3363u);
+  EXPECT_EQ(schema.attribute(5).cardinality, 131u);
+  EXPECT_EQ(schema.attribute(6).cardinality, 660u);
+  EXPECT_EQ(schema.attribute(7).cardinality, 693u);
+}
+
+TEST(OlapGenTest, ValuesStayWithinCardinalities) {
+  OlapGenerator gen{OlapGenParams{}};
+  for (int i = 0; i < 20000; ++i) {
+    auto tuple = gen.Next();
+    ASSERT_TRUE(tuple.has_value());
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_LT((*tuple)[d], gen.schema().attribute(d).cardinality)
+          << "dim " << d;
+    }
+  }
+}
+
+TEST(OlapGenTest, DeterministicPerSeed) {
+  OlapGenParams params;
+  params.seed = 42;
+  OlapGenerator g1(params), g2(params);
+  for (int i = 0; i < 1000; ++i) {
+    auto t1 = g1.Next();
+    auto t2 = g2.Next();
+    for (int d = 0; d < 8; ++d) EXPECT_EQ((*t1)[d], (*t2)[d]);
+  }
+}
+
+TEST(OlapGenTest, ComboPopulationGrows) {
+  OlapGenerator gen{OlapGenParams{}};
+  for (int i = 0; i < 1000; ++i) gen.Next();
+  uint64_t early = gen.num_combos();
+  for (int i = 0; i < 50000; ++i) gen.Next();
+  EXPECT_GT(gen.num_combos(), early * 5);
+}
+
+TEST(OlapGenTest, LoyalBPoolDominatedByFixedPartnerE) {
+  OlapGenParams params;
+  params.seed = 7;
+  OlapGenerator gen(params);
+  std::vector<uint64_t> total(params.loyal_b_pool, 0);
+  std::vector<uint64_t> with_partner(params.loyal_b_pool, 0);
+  for (int i = 0; i < 200000; ++i) {
+    auto tuple = gen.Next();
+    ValueId b = (*tuple)[1];
+    if (b >= params.loyal_b_pool) continue;
+    ++total[b];
+    if ((*tuple)[4] == gen.PoolPartnerE(b)) ++with_partner[b];
+  }
+  // Each pool value's top-1 confidence toward its fixed partner must
+  // exceed 1 − max_noise (up to sampling noise on well-supported values).
+  for (size_t b = 0; b < total.size(); ++b) {
+    if (total[b] < 50) continue;
+    double share = static_cast<double>(with_partner[b]) /
+                   static_cast<double>(total[b]);
+    EXPECT_GT(share, 1.0 - params.max_noise - 0.12) << "pool B " << b;
+  }
+}
+
+TEST(OlapGenTest, WorkloadTruthsGrowWithStream) {
+  // The Table 4 regime: both workload counts increase with T, workload A
+  // (compound, large cardinality) much faster than workload B.
+  OlapGenParams params;
+  params.seed = 3;
+  OlapGenerator gen(params);
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 5;
+  cond.min_top_confidence = 0.6;
+  cond.confidence_c = 1;
+  cond.strict_multiplicity = false;
+  ExactImplicationCounter workload_a(cond);
+  ExactImplicationCounter workload_b(cond);
+  ItemsetPacker aef(gen.schema(), AttributeSet({0, 4, 5}));
+  ItemsetPacker b_of_a(gen.schema(), AttributeSet({1}));
+  ItemsetPacker b_attr(gen.schema(), AttributeSet({1}));
+  ItemsetPacker e_attr(gen.schema(), AttributeSet({4}));
+
+  uint64_t a_at_100k = 0, b_at_100k = 0;
+  for (int i = 0; i < 400000; ++i) {
+    auto tuple = gen.Next();
+    workload_a.Observe(aef.Pack(*tuple), b_of_a.Pack(*tuple));
+    workload_b.Observe(b_attr.Pack(*tuple), e_attr.Pack(*tuple));
+    if (i == 100000) {
+      a_at_100k = workload_a.ImplicationCount();
+      b_at_100k = workload_b.ImplicationCount();
+    }
+  }
+  EXPECT_GT(a_at_100k, 100u);
+  EXPECT_GT(workload_a.ImplicationCount(), a_at_100k * 2);
+  // Workload B saturates slowly; a handful of borderline pool values can
+  // flip dirty, so require growth up to a small tolerance.
+  EXPECT_GT(workload_b.ImplicationCount() + 10, b_at_100k);
+  EXPECT_GT(workload_b.ImplicationCount(), 20u);
+  EXPECT_LT(workload_b.ImplicationCount(),
+            workload_a.ImplicationCount() / 10);
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,63 @@
+#include "datagen/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace implistat {
+namespace {
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(1000, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  // P(0)/P(9) = 10 under theta=1.
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_GT(counts[0], counts[99] * 30);
+}
+
+TEST(ZipfTest, FrequenciesMatchTheory) {
+  constexpr double kTheta = 1.2;
+  ZipfSampler zipf(50, kTheta);
+  Rng rng(4);
+  std::vector<int> counts(50, 0);
+  constexpr int kDraws = 500000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  double norm = 0;
+  for (int k = 0; k < 50; ++k) norm += 1.0 / std::pow(k + 1, kTheta);
+  for (int k : {0, 1, 4, 9}) {
+    double expected = kDraws / std::pow(k + 1, kTheta) / norm;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05 + 50) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(5);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,153 @@
+// Failure injection: malformed and adversarial inputs must produce
+// Status errors (or valid parses), never crashes or hangs. These are
+// deterministic pseudo-fuzzers — seeds fixed, thousands of cases each.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/nips_ci_ensemble.h"
+#include "query/parser.h"
+#include "stream/csv_io.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+TEST(ParserFuzzTest, MutatedQueriesNeverCrash) {
+  const std::string base =
+      "SELECT COUNT(DISTINCT Source, Service) FROM traffic "
+      "WHERE NOT Source, Service IMPLIES Destination "
+      "AND Time = 'Morning' AND Hour != 3 "
+      "WITH K = 2, SUPPORT = 5, CONFIDENCE = 0.8, C = 1, STRICT = false, "
+      "WINDOW = 1000, STRIDE = 250, ESTIMATOR = DS";
+  ASSERT_TRUE(ParseImplicationQuery(base).ok());
+
+  Rng rng(1);
+  const char alphabet[] =
+      " abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "(),='!._-";
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // replace
+          mutated[pos] = alphabet[rng.Uniform(sizeof(alphabet) - 1)];
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1);
+          break;
+        default:  // insert
+          mutated.insert(pos, 1,
+                         alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+      }
+      if (mutated.empty()) break;
+    }
+    // Must return (ok or error), not crash; the value is irrelevant.
+    (void)ParseImplicationQuery(mutated);
+  }
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(2);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string garbage;
+    size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(96) + 32));
+    }
+    (void)ParseImplicationQuery(garbage);
+  }
+}
+
+TEST(SerdeFuzzTest, RandomBytesNeverCrashDeserialize) {
+  Rng rng(3);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes;
+    size_t len = rng.Uniform(300);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.Next64() & 0xff));
+    }
+    auto result = NipsCi::Deserialize(bytes);
+    // Random bytes are astronomically unlikely to be a valid sketch.
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(SerdeFuzzTest, BitflippedValidSketchNeverCrashes) {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 3;
+  cond.min_top_confidence = 0.9;
+  cond.confidence_c = 1;
+  NipsCiOptions opts;
+  opts.num_bitmaps = 8;
+  opts.seed = 4;
+  NipsCi nips(cond, opts);
+  for (ItemsetKey a = 0; a < 500; ++a) {
+    nips.Observe(a, a % 7);
+    nips.Observe(a, a % 5);
+  }
+  const std::string valid = nips.Serialize();
+  Rng rng(5);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string corrupted = valid;
+    int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(corrupted.size());
+      corrupted[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+    }
+    auto result = NipsCi::Deserialize(corrupted);
+    if (result.ok()) {
+      // A surviving corruption must still yield a usable sketch.
+      (void)result->EstimateImplicationCount();
+    }
+  }
+}
+
+TEST(CsvFuzzTest, RandomTextNeverCrashes) {
+  Rng rng(6);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text;
+    size_t len = rng.Uniform(200);
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward structure characters so parsing paths are exercised.
+      switch (rng.Uniform(5)) {
+        case 0:
+          text.push_back(',');
+          break;
+        case 1:
+          text.push_back('\n');
+          break;
+        default:
+          text.push_back(static_cast<char>(rng.Uniform(94) + 33));
+      }
+    }
+    (void)ReadCsvString(text);
+  }
+}
+
+TEST(CsvFuzzTest, ParsedTablesAreInternallyConsistent) {
+  Rng rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = "a,b\n";
+    size_t rows = rng.Uniform(10);
+    for (size_t r = 0; r < rows; ++r) {
+      text += std::to_string(rng.Uniform(5)) + "," +
+              std::to_string(rng.Uniform(5)) + "\n";
+    }
+    auto table = ReadCsvString(text);
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(table->stream.num_tuples(), rows);
+    while (auto tuple = table->stream.Next()) {
+      for (size_t i = 0; i < tuple->size(); ++i) {
+        EXPECT_LT((*tuple)[i], table->dictionaries[i].size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "hash/hash64.h"
+#include "hash/hash_family.h"
+#include "hash/linear_gf2.h"
+#include "hash/multiply_shift.h"
+#include "hash/tabulation.h"
+#include "util/bits.h"
+
+namespace implistat {
+namespace {
+
+// Parameterized over every hash family in the library: shared sanity
+// properties every Hasher64 must satisfy.
+class HasherKindTest : public ::testing::TestWithParam<HashKind> {
+ protected:
+  std::unique_ptr<Hasher64> Make(uint64_t seed) const {
+    return MakeHasher(GetParam(), seed);
+  }
+};
+
+TEST_P(HasherKindTest, Deterministic) {
+  auto h = Make(42);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(h->Hash(k), h->Hash(k));
+  }
+}
+
+TEST_P(HasherKindTest, SeedsDiffer) {
+  auto h1 = Make(1);
+  auto h2 = Make(2);
+  int same = 0;
+  for (uint64_t k = 0; k < 256; ++k) {
+    same += (h1->Hash(k) == h2->Hash(k));
+  }
+  EXPECT_LE(same, 2);  // different members of the family
+}
+
+TEST_P(HasherKindTest, ClonePreservesFunction) {
+  auto h = Make(7);
+  auto clone = h->Clone();
+  for (uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(h->Hash(k), clone->Hash(k)) << "k=" << k;
+  }
+}
+
+TEST_P(HasherKindTest, FewCollisionsOnSequentialKeys) {
+  auto h = Make(11);
+  std::set<uint64_t> outputs;
+  constexpr uint64_t kKeys = 10000;
+  for (uint64_t k = 0; k < kKeys; ++k) outputs.insert(h->Hash(k));
+  EXPECT_GE(outputs.size(), kKeys - 1);  // 64-bit collisions ~ never
+}
+
+// The property probabilistic counting needs (Lemma 1): p(hash(k)) is
+// geometrically distributed — about half the keys land in cell 0, a
+// quarter in cell 1, and so on.
+TEST_P(HasherKindTest, RhoIsGeometric) {
+  auto h = Make(13);
+  constexpr int kKeys = 200000;
+  std::vector<int> cells(16, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    int r = RhoLsb(h->Hash(k));
+    if (r < 16) ++cells[r];
+  }
+  for (int i = 0; i < 8; ++i) {
+    double expected = kKeys / std::pow(2.0, i + 1);
+    EXPECT_NEAR(cells[i], expected, expected * 0.1 + 50)
+        << "cell " << i;
+  }
+}
+
+// Low bits must also be uniform: the ensemble routes bitmaps by them.
+TEST_P(HasherKindTest, LowBitsUniform) {
+  auto h = Make(17);
+  constexpr int kKeys = 64000;
+  std::vector<int> buckets(64, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) ++buckets[h->Hash(k) & 63];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kKeys / 64, kKeys / 64 * 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HasherKindTest,
+                         ::testing::Values(HashKind::kMix,
+                                           HashKind::kMultiplyShift,
+                                           HashKind::kTabulation,
+                                           HashKind::kLinearGf2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case HashKind::kMix:
+                               return "Mix";
+                             case HashKind::kMultiplyShift:
+                               return "MultiplyShift";
+                             case HashKind::kTabulation:
+                               return "Tabulation";
+                             case HashKind::kLinearGf2:
+                               return "LinearGf2";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(LinearGf2Test, IsBijectiveOnSample) {
+  // The matrix is constructed nonsingular, so h is injective: verify on a
+  // large sample that no two keys collide.
+  LinearGf2Hasher h(99);
+  std::set<uint64_t> outputs;
+  for (uint64_t k = 0; k < 50000; ++k) outputs.insert(h.Hash(k));
+  EXPECT_EQ(outputs.size(), 50000u);
+}
+
+TEST(LinearGf2Test, IsAffine) {
+  // h(x) ⊕ h(y) ⊕ h(x ⊕ y) == h(0) for an affine map over GF(2).
+  LinearGf2Hasher h(5);
+  uint64_t h0 = h.Hash(0);
+  for (uint64_t x = 1; x < 200; ++x) {
+    for (uint64_t y : {3ull, 77ull, 0x123456789abcdefull}) {
+      EXPECT_EQ(h.Hash(x) ^ h.Hash(y) ^ h.Hash(x ^ y), h0);
+    }
+  }
+}
+
+TEST(MixHashTest, FreeFunctionMatchesClass) {
+  MixHasher h(123);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(h.Hash(k), MixHash(k, 123));
+  }
+}
+
+TEST(HashFamilyTest, MembersAreIndependentlySeeded) {
+  HashFamily family(HashKind::kMix, 1000);
+  auto h0 = family.Make(0);
+  auto h1 = family.Make(1);
+  int same = 0;
+  for (uint64_t k = 0; k < 256; ++k) same += (h0->Hash(k) == h1->Hash(k));
+  EXPECT_LE(same, 2);
+  // Same index → same function.
+  auto h0_again = family.Make(0);
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(h0->Hash(k), h0_again->Hash(k));
+  }
+}
+
+}  // namespace
+}  // namespace implistat

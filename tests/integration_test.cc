@@ -1,0 +1,164 @@
+// End-to-end accuracy properties: the full §6.1 pipeline — generator →
+// query engine → NIPS/CI vs the exact ground truth — at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/exact_counter.h"
+#include "core/nips_ci_ensemble.h"
+#include "datagen/dataset_one.h"
+#include "query/engine.h"
+#include "stream/itemset.h"
+
+namespace implistat {
+namespace {
+
+struct PipelineCase {
+  uint64_t cardinality;
+  uint64_t implied;
+  uint32_t c;
+  int fringe;  // 0 = unbounded
+  uint64_t seed;
+};
+
+class PipelineAccuracyTest : public ::testing::TestWithParam<PipelineCase> {
+};
+
+TEST_P(PipelineAccuracyTest, NipsCiTracksImposedCount) {
+  // The paper's §6.1 metric: MEAN relative error over repeated trials
+  // (they used 100; a handful suffices for a 2-3x band).
+  const PipelineCase& pc = GetParam();
+  constexpr int kTrials = 5;
+  double total_err = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    DatasetOneParams params;
+    params.cardinality_a = pc.cardinality;
+    params.implied_count = pc.implied;
+    params.c = pc.c;
+    params.seed = pc.seed * 101 + trial;
+    DatasetOne data = GenerateDatasetOne(params);
+
+    NipsCiOptions opts;
+    opts.num_bitmaps = 64;
+    opts.nips.fringe_size = pc.fringe;
+    opts.seed = pc.seed * 31 + trial * 7 + 5;
+    NipsCi nips(data.conditions, opts);
+
+    ItemsetPacker a_packer(data.schema, AttributeSet({0}));
+    ItemsetPacker b_packer(data.schema, AttributeSet({1}));
+    while (auto tuple = data.stream.Next()) {
+      nips.Observe(a_packer.Pack(*tuple), b_packer.Pack(*tuple));
+    }
+    double truth = static_cast<double>(data.true_implication_count);
+    total_err += std::abs(nips.EstimateImplicationCount() - truth) / truth;
+  }
+  EXPECT_LT(total_err / kTrials, 0.30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineAccuracyTest,
+    ::testing::Values(PipelineCase{1000, 300, 1, 4, 1},
+                      PipelineCase{1000, 700, 1, 0, 2},
+                      PipelineCase{1000, 500, 2, 4, 3},
+                      PipelineCase{1000, 500, 4, 4, 4},
+                      PipelineCase{2000, 1000, 2, 4, 5},
+                      // S = 30% of |A|: toward the small-count regime
+                      // where §4.7.2 says the subtractive error grows.
+                      PipelineCase{2000, 600, 1, 4, 6}));
+
+TEST(PipelineTest, EngineEndToEndWithNipsCi) {
+  DatasetOneParams params;
+  params.cardinality_a = 1000;
+  params.implied_count = 600;
+  params.c = 1;
+  params.seed = 11;
+  DatasetOne data = GenerateDatasetOne(params);
+
+  QueryEngine engine(data.schema);
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"A"};
+  spec.b_attributes = {"B"};
+  spec.conditions = data.conditions;
+  spec.estimator.kind = EstimatorKind::kNipsCi;
+  spec.estimator.nips.seed = 99;
+  auto id = engine.Register(std::move(spec));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.ObserveStream(data.stream).ok());
+  double answer = engine.Answer(*id).value();
+  EXPECT_NEAR(answer, 600.0, 600.0 * 0.35);
+}
+
+TEST(PipelineTest, BoundedAndUnboundedFringeAgreeOnLargeCounts) {
+  // §6.1's observation: for a wide range of counts, F = 4 matches the
+  // unbounded fringe closely.
+  DatasetOneParams params;
+  params.cardinality_a = 2000;
+  params.implied_count = 800;
+  params.c = 1;
+  params.seed = 21;
+  DatasetOne data = GenerateDatasetOne(params);
+  ItemsetPacker a_packer(data.schema, AttributeSet({0}));
+  ItemsetPacker b_packer(data.schema, AttributeSet({1}));
+
+  NipsCiOptions bounded_opts;
+  bounded_opts.nips.fringe_size = 4;
+  bounded_opts.seed = 5;
+  NipsCi bounded(data.conditions, bounded_opts);
+  NipsCiOptions unbounded_opts;
+  unbounded_opts.nips.fringe_size = 0;
+  unbounded_opts.seed = 5;  // same hashes: isolates the fringe effect
+  NipsCi unbounded(data.conditions, unbounded_opts);
+
+  while (auto tuple = data.stream.Next()) {
+    ItemsetKey a = a_packer.Pack(*tuple);
+    ItemsetKey b = b_packer.Pack(*tuple);
+    bounded.Observe(a, b);
+    unbounded.Observe(a, b);
+  }
+  double be = bounded.EstimateImplicationCount();
+  double ue = unbounded.EstimateImplicationCount();
+  EXPECT_NEAR(be, ue, ue * 0.15 + 1.0);
+}
+
+TEST(PipelineTest, MemoryBudgetHoldsOnAdversarialStream) {
+  // Every itemset a non-implication, huge cardinality: the fringe bound
+  // must still cap tracked itemsets at 64·2·(2^4 − 1) = 1920.
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = 2;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  NipsCiOptions opts;
+  opts.seed = 1;
+  NipsCi nips(cond, opts);
+  for (uint64_t a = 0; a < 200000; ++a) {
+    nips.Observe(a, 1);
+    nips.Observe(a, 2);
+    nips.Observe(a, 1);
+  }
+  EXPECT_LE(nips.TrackedItemsets(), 1920u);
+  EXPECT_LE(nips.MemoryBytes(), 3u << 20);  // a few MB at most
+}
+
+TEST(PipelineTest, ComplementCountMatchesExactOnDatasetOne) {
+  DatasetOneParams params;
+  params.cardinality_a = 1500;
+  params.implied_count = 300;  // large non-implication count: 800
+  params.c = 1;
+  params.seed = 31;
+  DatasetOne data = GenerateDatasetOne(params);
+  NipsCiOptions opts;
+  opts.seed = 17;
+  NipsCi nips(data.conditions, opts);
+  ItemsetPacker a_packer(data.schema, AttributeSet({0}));
+  ItemsetPacker b_packer(data.schema, AttributeSet({1}));
+  while (auto tuple = data.stream.Next()) {
+    nips.Observe(a_packer.Pack(*tuple), b_packer.Pack(*tuple));
+  }
+  double truth = static_cast<double>(data.true_non_implication_count);
+  EXPECT_NEAR(nips.EstimateNonImplicationCount(), truth, truth * 0.35);
+}
+
+}  // namespace
+}  // namespace implistat

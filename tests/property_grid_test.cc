@@ -1,0 +1,104 @@
+// Property sweep: across a grid of implication conditions and stream
+// shapes, every constrained estimator must (a) never crash, (b) respect
+// its memory discipline, and (c) NIPS/CI must track the exact counter
+// within the regime-dependent error band.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baseline/distinct_sampling.h"
+#include "baseline/exact_counter.h"
+#include "core/nips_ci_ensemble.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+struct GridCase {
+  uint32_t k;
+  uint64_t sigma;
+  double gamma;
+  uint32_t c;
+  bool strict;
+  uint64_t key_space;   // distinct A itemsets
+  uint64_t b_space;     // distinct B itemsets
+  double loyal_fraction;
+  uint64_t tuples;
+  uint64_t seed;
+};
+
+class ConditionGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ConditionGridTest, NipsCiTracksExactWithinRegimeBand) {
+  const GridCase& g = GetParam();
+  ImplicationConditions cond;
+  cond.max_multiplicity = g.k;
+  cond.min_support = g.sigma;
+  cond.min_top_confidence = g.gamma;
+  cond.confidence_c = g.c;
+  cond.strict_multiplicity = g.strict;
+
+  ExactImplicationCounter exact(cond);
+  NipsCiOptions opts;
+  opts.seed = g.seed * 3 + 1;
+  NipsCi nips(cond, opts);
+  DistinctSamplingOptions ds_opts;
+  ds_opts.seed = g.seed * 5 + 2;
+  DistinctSampling ds(cond, ds_opts);
+
+  Rng rng(g.seed);
+  for (uint64_t i = 0; i < g.tuples; ++i) {
+    ItemsetKey a = rng.Uniform(g.key_space);
+    // Loyal itemsets keep one partner (determined by a); others roam.
+    bool loyal =
+        SplitMix64(a * 31 + g.seed) < g.loyal_fraction * 1.8446744e19;
+    ItemsetKey b = loyal ? (a % g.b_space) : rng.Uniform(g.b_space);
+    exact.Observe(a, b);
+    nips.Observe(a, b);
+    ds.Observe(a, b);
+  }
+
+  double truth = static_cast<double>(exact.ImplicationCount());
+  double f0sup = static_cast<double>(exact.SupportedDistinct());
+  double estimate = nips.EstimateImplicationCount();
+
+  // Consistency invariants, always:
+  EXPECT_EQ(exact.SupportedDistinct(),
+            exact.ImplicationCount() + exact.NonImplicationCount());
+  EXPECT_LE(nips.TrackedItemsets(), 1920u);
+  EXPECT_GE(estimate, 0.0);
+  EXPECT_GE(ds.EstimateImplicationCount(), 0.0);
+
+  if (truth < 50 || f0sup <= 0) return;  // too small for a band claim
+  // Error band: the per-term ~10% scaled by the subtraction amplification
+  // (F0_sup + ~S)/S, floored at 25% and capped at "right order of
+  // magnitude" for extreme regimes.
+  double amplification = (f0sup + (f0sup - truth)) / truth;
+  double band = std::min(2.5, std::max(0.25, 0.12 * amplification));
+  EXPECT_LT(std::abs(estimate - truth) / truth, band)
+      << "truth=" << truth << " estimate=" << estimate
+      << " F0sup=" << f0sup << " band=" << band;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConditionGridTest,
+    ::testing::Values(
+        // One-to-one, strict, varied key spaces.
+        GridCase{1, 2, 1.0, 1, true, 2000, 500, 0.8, 40000, 1},
+        GridCase{1, 2, 1.0, 1, true, 20000, 500, 0.6, 200000, 2},
+        // Noise-tolerant confidence.
+        GridCase{1, 5, 0.7, 1, false, 5000, 200, 0.7, 100000, 3},
+        GridCase{2, 5, 0.6, 1, false, 5000, 100, 0.5, 100000, 4},
+        // One-to-many (c = K = 3).
+        GridCase{3, 4, 0.8, 3, false, 4000, 50, 0.9, 80000, 5},
+        // High support threshold.
+        GridCase{1, 50, 0.9, 1, true, 1000, 300, 0.8, 150000, 6},
+        // Mostly violators.
+        GridCase{1, 2, 1.0, 1, true, 3000, 1000, 0.15, 60000, 7},
+        // Tiny B space (heavy collisions on partners).
+        GridCase{2, 3, 0.75, 2, false, 8000, 4, 0.7, 120000, 8}));
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,87 @@
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace implistat {
+namespace {
+
+std::vector<ValueId> Row(std::initializer_list<ValueId> values) {
+  return std::vector<ValueId>(values);
+}
+
+TEST(PredicateTest, TrueMatchesEverything) {
+  TruePredicate pred;
+  auto row = Row({1, 2, 3});
+  EXPECT_TRUE(pred.Matches(TupleRef(row.data(), row.size())));
+}
+
+TEST(PredicateTest, Equals) {
+  EqualsPredicate pred(1, 7);
+  auto yes = Row({0, 7, 0});
+  auto no = Row({7, 0, 7});
+  EXPECT_TRUE(pred.Matches(TupleRef(yes.data(), 3)));
+  EXPECT_FALSE(pred.Matches(TupleRef(no.data(), 3)));
+}
+
+TEST(PredicateTest, InSet) {
+  InSetPredicate pred(0, {2, 4, 6});
+  auto yes = Row({4, 0});
+  auto no = Row({5, 0});
+  EXPECT_TRUE(pred.Matches(TupleRef(yes.data(), 2)));
+  EXPECT_FALSE(pred.Matches(TupleRef(no.data(), 2)));
+}
+
+TEST(PredicateTest, RangeInclusive) {
+  RangePredicate pred(0, 5, 10);
+  for (ValueId v : {5u, 7u, 10u}) {
+    auto row = Row({v});
+    EXPECT_TRUE(pred.Matches(TupleRef(row.data(), 1))) << v;
+  }
+  for (ValueId v : {4u, 11u}) {
+    auto row = Row({v});
+    EXPECT_FALSE(pred.Matches(TupleRef(row.data(), 1))) << v;
+  }
+}
+
+TEST(PredicateTest, AndRequiresAll) {
+  auto p1 = std::make_shared<EqualsPredicate>(0, 1);
+  auto p2 = std::make_shared<EqualsPredicate>(1, 2);
+  AndPredicate both({p1, p2});
+  auto yes = Row({1, 2});
+  auto half = Row({1, 3});
+  EXPECT_TRUE(both.Matches(TupleRef(yes.data(), 2)));
+  EXPECT_FALSE(both.Matches(TupleRef(half.data(), 2)));
+}
+
+TEST(PredicateTest, OrRequiresAny) {
+  auto p1 = std::make_shared<EqualsPredicate>(0, 1);
+  auto p2 = std::make_shared<EqualsPredicate>(1, 2);
+  OrPredicate either({p1, p2});
+  auto first = Row({1, 9});
+  auto second = Row({9, 2});
+  auto neither = Row({9, 9});
+  EXPECT_TRUE(either.Matches(TupleRef(first.data(), 2)));
+  EXPECT_TRUE(either.Matches(TupleRef(second.data(), 2)));
+  EXPECT_FALSE(either.Matches(TupleRef(neither.data(), 2)));
+}
+
+TEST(PredicateTest, NotInverts) {
+  NotPredicate pred(std::make_shared<EqualsPredicate>(0, 3));
+  auto three = Row({3});
+  auto four = Row({4});
+  EXPECT_FALSE(pred.Matches(TupleRef(three.data(), 1)));
+  EXPECT_TRUE(pred.Matches(TupleRef(four.data(), 1)));
+}
+
+TEST(PredicateTest, EmptyAndIsTrueEmptyOrIsFalse) {
+  AndPredicate empty_and({});
+  OrPredicate empty_or({});
+  auto row = Row({0});
+  EXPECT_TRUE(empty_and.Matches(TupleRef(row.data(), 1)));
+  EXPECT_FALSE(empty_or.Matches(TupleRef(row.data(), 1)));
+}
+
+}  // namespace
+}  // namespace implistat

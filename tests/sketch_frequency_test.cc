@@ -1,0 +1,138 @@
+// CountMin + SpaceSaving: the frequency-era comparators.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sketch/count_min.h"
+#include "sketch/space_saving.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch cm(4, 256, 1);
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Uniform(2000);
+    cm.Add(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cm.Estimate(key), count) << key;
+  }
+}
+
+TEST(CountMinTest, OverestimateBoundedByEpsilonT) {
+  constexpr double kEpsilon = 0.01;
+  CountMinSketch cm = CountMinSketch::FromErrorBounds(kEpsilon, 0.01, 3);
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(4);
+  constexpr int kTuples = 100000;
+  for (int i = 0; i < kTuples; ++i) {
+    uint64_t key = rng.Uniform(5000);
+    cm.Add(key);
+    ++truth[key];
+  }
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (cm.Estimate(key) >
+        count + static_cast<uint64_t>(2 * kEpsilon * kTuples)) {
+      ++violations;
+    }
+  }
+  // δ = 1% failure probability per query; allow slack.
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 20));
+}
+
+TEST(CountMinTest, UnseenKeysUsuallyNearZero) {
+  CountMinSketch cm = CountMinSketch::FromErrorBounds(0.001, 0.01, 5);
+  for (uint64_t key = 0; key < 1000; ++key) cm.Add(key);
+  uint64_t unseen_estimate = cm.Estimate(999999);
+  EXPECT_LE(unseen_estimate, 5u);
+}
+
+TEST(CountMinTest, WeightedAdds) {
+  CountMinSketch cm(4, 1024, 7);
+  cm.Add(42, 100);
+  cm.Add(42, 23);
+  EXPECT_GE(cm.Estimate(42), 123u);
+  EXPECT_EQ(cm.total(), 123u);
+}
+
+TEST(CountMinTest, MemoryMatchesDimensions) {
+  CountMinSketch cm(5, 1000, 9);
+  EXPECT_GE(cm.MemoryBytes(), 5u * 1000u * 8u);
+  EXPECT_LE(cm.MemoryBytes(), 5u * 1000u * 8u + 1024u);
+}
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSaving ss(16);
+  for (int i = 0; i < 10; ++i) ss.Observe(1);
+  for (int i = 0; i < 3; ++i) ss.Observe(2);
+  auto items = ss.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].key, 1u);
+  EXPECT_EQ(items[0].count, 10u);
+  EXPECT_EQ(items[0].error, 0u);
+  EXPECT_EQ(items[1].count, 3u);
+}
+
+TEST(SpaceSavingTest, CountsAreUpperBounds) {
+  SpaceSaving ss(8);
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    // Heavy skew: key 0 ~50%, the rest scattered.
+    uint64_t key = rng.Bernoulli(0.5) ? 0 : rng.Uniform(10000);
+    ss.Observe(key);
+    ++truth[key];
+  }
+  for (const auto& entry : ss.Items()) {
+    EXPECT_GE(entry.count, truth[entry.key]) << entry.key;
+    EXPECT_LE(entry.count - entry.error, truth[entry.key]) << entry.key;
+  }
+}
+
+TEST(SpaceSavingTest, TracksGuaranteedHeavyHitters) {
+  // Any key with frequency > T/k must be tracked.
+  SpaceSaving ss(20);
+  Rng rng(13);
+  constexpr int kTuples = 100000;
+  for (int i = 0; i < kTuples; ++i) {
+    uint64_t key;
+    double u = rng.NextDouble();
+    if (u < 0.20) {
+      key = 1;  // 20%
+    } else if (u < 0.32) {
+      key = 2;  // 12%
+    } else {
+      key = 100 + rng.Uniform(50000);
+    }
+    ss.Observe(key);
+  }
+  auto heavy = ss.GuaranteedAbove(kTuples / 20);  // 5% threshold
+  ASSERT_GE(heavy.size(), 2u);
+  EXPECT_EQ(heavy[0].key, 1u);
+  EXPECT_EQ(heavy[1].key, 2u);
+}
+
+TEST(SpaceSavingTest, UniformStreamYieldsNoGuaranteedHitters) {
+  // The DDoS blind spot in miniature: every key appears once.
+  SpaceSaving ss(64);
+  for (uint64_t key = 0; key < 100000; ++key) ss.Observe(key);
+  EXPECT_TRUE(ss.GuaranteedAbove(1000).empty());
+}
+
+TEST(SpaceSavingTest, CapacityIsRespected) {
+  SpaceSaving ss(32);
+  Rng rng(15);
+  for (int i = 0; i < 100000; ++i) ss.Observe(rng.Next64());
+  EXPECT_LE(ss.Items().size(), 32u);
+  EXPECT_EQ(ss.tuples_seen(), 100000u);
+}
+
+}  // namespace
+}  // namespace implistat

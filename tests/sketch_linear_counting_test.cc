@@ -1,0 +1,55 @@
+#include "sketch/linear_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hash/hash_family.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+TEST(LinearCountingTest, EmptyIsZero) {
+  LinearCounting lc(MakeHasher(HashKind::kMix, 1), 1024);
+  EXPECT_EQ(lc.Estimate(), 0.0);
+  EXPECT_EQ(lc.zero_cells(), 1024u);
+}
+
+TEST(LinearCountingTest, DuplicatesIgnored) {
+  LinearCounting lc(MakeHasher(HashKind::kMix, 2), 1024);
+  for (int i = 0; i < 1000; ++i) lc.Add(7);
+  EXPECT_EQ(lc.zero_cells(), 1023u);
+}
+
+class LinearCountingAccuracyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(LinearCountingAccuracyTest, AccurateAtModerateLoad) {
+  const uint64_t f0 = GetParam();
+  // Size the table at ~4x the count: the classic low-load regime.
+  LinearCounting lc(MakeHasher(HashKind::kMix, 3), f0 * 4);
+  Rng keygen(f0);
+  for (uint64_t i = 0; i < f0; ++i) lc.Add(keygen.Next64());
+  double rel_err = std::abs(lc.Estimate() - static_cast<double>(f0)) / f0;
+  EXPECT_LT(rel_err, 0.05) << "estimate=" << lc.Estimate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinearCountingAccuracyTest,
+                         ::testing::Values(100, 1000, 10000, 100000));
+
+TEST(LinearCountingTest, SaturationReportsUpperBound) {
+  LinearCounting lc(MakeHasher(HashKind::kMix, 4), 64);
+  Rng keygen(9);
+  for (uint64_t i = 0; i < 100000; ++i) lc.Add(keygen.Next64());
+  EXPECT_EQ(lc.zero_cells(), 0u);
+  EXPECT_NEAR(lc.Estimate(), 64 * std::log(64.0), 1e-9);
+}
+
+TEST(LinearCountingTest, MemoryIsBitPacked) {
+  LinearCounting lc(MakeHasher(HashKind::kMix, 5), 1 << 16);
+  EXPECT_LE(lc.MemoryBytes(), (1u << 16) / 8 + 64);
+}
+
+}  // namespace
+}  // namespace implistat

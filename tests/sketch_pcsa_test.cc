@@ -1,0 +1,77 @@
+#include "sketch/pcsa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hash/hash_family.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+struct PcsaCase {
+  uint64_t f0;
+  int bitmaps;
+  double tolerance;  // acceptable relative error
+};
+
+class PcsaAccuracyTest : public ::testing::TestWithParam<PcsaCase> {};
+
+TEST_P(PcsaAccuracyTest, EstimateWithinTolerance) {
+  const PcsaCase& c = GetParam();
+  Pcsa pcsa(MakeHasher(HashKind::kMix, 77), c.bitmaps);
+  Rng keygen(c.f0 + c.bitmaps);
+  for (uint64_t i = 0; i < c.f0; ++i) pcsa.Add(keygen.Next64());
+  double rel_err =
+      std::abs(pcsa.Estimate() - static_cast<double>(c.f0)) / c.f0;
+  EXPECT_LT(rel_err, c.tolerance)
+      << "estimate=" << pcsa.Estimate() << " truth=" << c.f0;
+}
+
+// Stochastic averaging error ~ 0.78/sqrt(m); tolerances are ~3 sigma.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PcsaAccuracyTest,
+    ::testing::Values(PcsaCase{1000, 64, 0.35}, PcsaCase{10000, 64, 0.35},
+                      PcsaCase{100000, 64, 0.35},
+                      PcsaCase{100000, 256, 0.20},
+                      PcsaCase{1000000, 64, 0.35}));
+
+TEST(PcsaTest, DuplicatesAreFree) {
+  Pcsa pcsa(MakeHasher(HashKind::kMix, 5), 16);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t k = 0; k < 50; ++k) pcsa.Add(k);
+  }
+  double with_dups = pcsa.Estimate();
+  Pcsa fresh(MakeHasher(HashKind::kMix, 5), 16);
+  for (uint64_t k = 0; k < 50; ++k) fresh.Add(k);
+  EXPECT_EQ(with_dups, fresh.Estimate());
+}
+
+TEST(PcsaTest, MemoryScalesWithBitmaps) {
+  Pcsa small(MakeHasher(HashKind::kMix, 1), 16);
+  Pcsa large(MakeHasher(HashKind::kMix, 1), 256);
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+  EXPECT_LE(large.MemoryBytes(), 256 * 8 + 64);
+}
+
+TEST(PcsaTest, MoreBitmapsReduceError) {
+  // Average relative error over several runs must shrink with m.
+  auto mean_error = [](int m, int runs) {
+    double total = 0;
+    for (int r = 0; r < runs; ++r) {
+      Pcsa pcsa(MakeHasher(HashKind::kMix, 9000 + r), m);
+      Rng keygen(r);
+      constexpr uint64_t kF0 = 50000;
+      for (uint64_t i = 0; i < kF0; ++i) pcsa.Add(keygen.Next64());
+      total += std::abs(pcsa.Estimate() - kF0) / kF0;
+    }
+    return total / runs;
+  };
+  double err_m8 = mean_error(8, 12);
+  double err_m256 = mean_error(256, 12);
+  EXPECT_LT(err_m256, err_m8);
+}
+
+}  // namespace
+}  // namespace implistat

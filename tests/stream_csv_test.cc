@@ -1,0 +1,82 @@
+#include "stream/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace implistat {
+namespace {
+
+constexpr const char* kTable1 =
+    "Source,Destination,Service,Time\n"
+    "S1,D2,WWW,Morning\n"
+    "S2,D1,FTP,Morning\n"
+    "S1,D3,WWW,Morning\n"
+    "S2,D1,P2P,Noon\n"
+    "S1,D3,P2P,Afternoon\n"
+    "S1,D3,WWW,Afternoon\n"
+    "S1,D3,P2P,Afternoon\n"
+    "S3,D3,P2P,Night\n";
+
+TEST(CsvIoTest, ParsesHeaderAndRows) {
+  auto table = ReadCsvString(kTable1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema.num_attributes(), 4);
+  EXPECT_EQ(table->schema.attribute(0).name, "Source");
+  EXPECT_EQ(table->stream.num_tuples(), 8u);
+}
+
+TEST(CsvIoTest, ObservedCardinalitiesRecorded) {
+  auto table = ReadCsvString(kTable1);
+  ASSERT_TRUE(table.ok());
+  // Table 1 has 3 sources, 3 destinations, 3 services, 4 times.
+  EXPECT_EQ(table->schema.attribute(0).cardinality, 3u);
+  EXPECT_EQ(table->schema.attribute(1).cardinality, 3u);
+  EXPECT_EQ(table->schema.attribute(2).cardinality, 3u);
+  EXPECT_EQ(table->schema.attribute(3).cardinality, 4u);
+}
+
+TEST(CsvIoTest, DictionaryDecodesValues) {
+  auto table = ReadCsvString(kTable1);
+  ASSERT_TRUE(table.ok());
+  auto first = table->stream.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(table->dictionaries[0].ValueOf((*first)[0]), "S1");
+  EXPECT_EQ(table->dictionaries[1].ValueOf((*first)[1]), "D2");
+}
+
+TEST(CsvIoTest, EmptyInputIsError) {
+  auto table = ReadCsvString("");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvIoTest, RaggedRowIsError) {
+  auto table = ReadCsvString("A,B\n1,2\n3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvIoTest, SkipsBlankLines) {
+  auto table = ReadCsvString("A,B\n1,2\n\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->stream.num_tuples(), 2u);
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  auto table = ReadCsvString(kTable1);
+  ASSERT_TRUE(table.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(table->stream, &table->dictionaries, out).ok());
+  EXPECT_EQ(out.str(), kTable1);
+}
+
+TEST(CsvIoTest, WriteWithoutDictionariesEmitsIds) {
+  auto table = ReadCsvString("A,B\nx,y\n");
+  ASSERT_TRUE(table.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(table->stream, nullptr, out).ok());
+  EXPECT_EQ(out.str(), "A,B\n0,0\n");
+}
+
+}  // namespace
+}  // namespace implistat

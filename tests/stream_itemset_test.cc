@@ -1,0 +1,129 @@
+#include "stream/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+Schema SmallSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddAttribute("A", 10).ok());
+  EXPECT_TRUE(schema.AddAttribute("B", 100).ok());
+  EXPECT_TRUE(schema.AddAttribute("C", 2).ok());
+  return schema;
+}
+
+TEST(ItemsetPackerTest, ExactWhenBitsFit) {
+  Schema schema = SmallSchema();
+  ItemsetPacker packer(schema, AttributeSet({0, 1}));
+  EXPECT_TRUE(packer.exact());
+}
+
+TEST(ItemsetPackerTest, ExactPackingIsInjective) {
+  Schema schema = SmallSchema();
+  ItemsetPacker packer(schema, AttributeSet({0, 1, 2}));
+  ASSERT_TRUE(packer.exact());
+  std::set<ItemsetKey> keys;
+  std::vector<ValueId> row(3);
+  for (ValueId a = 0; a < 10; ++a) {
+    for (ValueId b = 0; b < 100; b += 7) {
+      for (ValueId c = 0; c < 2; ++c) {
+        row = {a, b, c};
+        keys.insert(packer.Pack(TupleRef(row.data(), row.size())));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 10u * 15u * 2u);
+}
+
+TEST(ItemsetPackerTest, ProjectionIgnoresOtherAttributes) {
+  Schema schema = SmallSchema();
+  ItemsetPacker packer(schema, AttributeSet({0}));
+  std::vector<ValueId> row1 = {5, 10, 0};
+  std::vector<ValueId> row2 = {5, 99, 1};
+  EXPECT_EQ(packer.Pack(TupleRef(row1.data(), 3)),
+            packer.Pack(TupleRef(row2.data(), 3)));
+}
+
+TEST(ItemsetPackerTest, AttributeOrderMatters) {
+  // (x, y) and (y, x) are different itemsets when values differ.
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("X", 16).ok());
+  ASSERT_TRUE(schema.AddAttribute("Y", 16).ok());
+  ItemsetPacker xy(schema, AttributeSet({0, 1}));
+  std::vector<ValueId> row1 = {1, 2};
+  std::vector<ValueId> row2 = {2, 1};
+  EXPECT_NE(xy.Pack(TupleRef(row1.data(), 2)),
+            xy.Pack(TupleRef(row2.data(), 2)));
+}
+
+TEST(ItemsetPackerTest, UndeclaredCardinalityCosts32Bits) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("U1", 0).ok());
+  ASSERT_TRUE(schema.AddAttribute("U2", 0).ok());
+  ItemsetPacker two(schema, AttributeSet({0, 1}));
+  EXPECT_TRUE(two.exact());  // 64 bits exactly
+}
+
+TEST(ItemsetPackerTest, FallsBackToHashingWhenTooWide) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("U1", 0).ok());
+  ASSERT_TRUE(schema.AddAttribute("U2", 0).ok());
+  ASSERT_TRUE(schema.AddAttribute("U3", 0).ok());
+  ItemsetPacker three(schema, AttributeSet({0, 1, 2}));
+  EXPECT_FALSE(three.exact());
+  // Hash combining must still be deterministic and collision-sparse.
+  std::set<ItemsetKey> keys;
+  std::vector<ValueId> row(3);
+  for (ValueId v = 0; v < 1000; ++v) {
+    row = {v, v + 1, v + 2};
+    ItemsetKey k1 = three.Pack(TupleRef(row.data(), 3));
+    EXPECT_EQ(k1, three.Pack(TupleRef(row.data(), 3)));
+    keys.insert(k1);
+  }
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(ItemsetPackerTest, HashFallbackCollisionFreeOnRandomTuples) {
+  // Three 32-bit attributes force the mixing fallback; 100k random
+  // distinct projections must stay collision-free (p ~ 3e-10).
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("U1", 0).ok());
+  ASSERT_TRUE(schema.AddAttribute("U2", 0).ok());
+  ASSERT_TRUE(schema.AddAttribute("U3", 0).ok());
+  ItemsetPacker packer(schema, AttributeSet({0, 1, 2}));
+  ASSERT_FALSE(packer.exact());
+  std::set<ItemsetKey> keys;
+  std::set<std::tuple<ValueId, ValueId, ValueId>> inputs;
+  Rng rng(17);
+  std::vector<ValueId> row(3);
+  while (inputs.size() < 100000) {
+    row = {static_cast<ValueId>(rng.Next64()),
+           static_cast<ValueId>(rng.Next64()),
+           static_cast<ValueId>(rng.Next64())};
+    if (!inputs.emplace(row[0], row[1], row[2]).second) continue;
+    keys.insert(packer.Pack(TupleRef(row.data(), 3)));
+  }
+  EXPECT_EQ(keys.size(), inputs.size());
+}
+
+TEST(ItemsetPackerTest, CardinalityOneAttribute) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("Const", 1).ok());
+  ASSERT_TRUE(schema.AddAttribute("Var", 8).ok());
+  ItemsetPacker packer(schema, AttributeSet({0, 1}));
+  EXPECT_TRUE(packer.exact());
+  std::vector<ValueId> row1 = {0, 3};
+  std::vector<ValueId> row2 = {0, 5};
+  EXPECT_NE(packer.Pack(TupleRef(row1.data(), 2)),
+            packer.Pack(TupleRef(row2.data(), 2)));
+}
+
+}  // namespace
+}  // namespace implistat

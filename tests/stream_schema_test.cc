@@ -1,0 +1,105 @@
+#include "stream/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "stream/attribute_set.h"
+
+namespace implistat {
+namespace {
+
+Schema NetworkSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddAttribute("Source", 3).ok());
+  EXPECT_TRUE(schema.AddAttribute("Destination", 3).ok());
+  EXPECT_TRUE(schema.AddAttribute("Service", 3).ok());
+  EXPECT_TRUE(schema.AddAttribute("Time", 4).ok());
+  return schema;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema = NetworkSchema();
+  EXPECT_EQ(schema.num_attributes(), 4);
+  EXPECT_EQ(schema.IndexOf("Source").value(), 0);
+  EXPECT_EQ(schema.IndexOf("Time").value(), 3);
+  EXPECT_EQ(schema.attribute(1).name, "Destination");
+  EXPECT_EQ(schema.attribute(1).cardinality, 3u);
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  Schema schema = NetworkSchema();
+  auto dup = schema.AddAttribute("Source");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, UnknownNameIsNotFound) {
+  Schema schema = NetworkSchema();
+  EXPECT_EQ(schema.IndexOf("Port").status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttributeSetTest, FromNamesResolvesIndices) {
+  Schema schema = NetworkSchema();
+  auto set = AttributeSet::FromNames(schema, {"Destination", "Service"});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->indices(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(set->size(), 2);
+}
+
+TEST(AttributeSetTest, FromNamesUnknownFails) {
+  Schema schema = NetworkSchema();
+  EXPECT_FALSE(AttributeSet::FromNames(schema, {"Source", "Port"}).ok());
+}
+
+TEST(AttributeSetTest, Disjointness) {
+  AttributeSet a({0, 1});
+  AttributeSet b({2, 3});
+  AttributeSet c({1, 2});
+  EXPECT_TRUE(a.DisjointFrom(b));
+  EXPECT_TRUE(b.DisjointFrom(a));
+  EXPECT_FALSE(a.DisjointFrom(c));
+  EXPECT_FALSE(c.DisjointFrom(b));
+}
+
+TEST(AttributeSetTest, EmptySetIsDisjointFromEverything) {
+  AttributeSet empty;
+  AttributeSet a({0, 1});
+  EXPECT_TRUE(empty.DisjointFrom(a));
+  EXPECT_TRUE(a.DisjointFrom(empty));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(AttributeSetTest, CompoundCardinalityIsProduct) {
+  // The paper's example: |{Source, Destination}| = 3·3 = 9.
+  Schema schema = NetworkSchema();
+  AttributeSet sd({0, 1});
+  EXPECT_EQ(sd.CompoundCardinality(schema), 9u);
+  AttributeSet all({0, 1, 2, 3});
+  EXPECT_EQ(all.CompoundCardinality(schema), 108u);
+}
+
+TEST(AttributeSetTest, CompoundCardinalityUnknownIsZero) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("Known", 5).ok());
+  ASSERT_TRUE(schema.AddAttribute("Unknown", 0).ok());
+  AttributeSet set({0, 1});
+  EXPECT_EQ(set.CompoundCardinality(schema), 0u);
+}
+
+TEST(AttributeSetTest, CompoundCardinalitySaturatesOnOverflow) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("X", uint64_t{1} << 40).ok());
+  ASSERT_TRUE(schema.AddAttribute("Y", uint64_t{1} << 40).ok());
+  AttributeSet set({0, 1});
+  EXPECT_EQ(set.CompoundCardinality(schema),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(AttributeSetTest, SchemaFromVectorChecksDuplicates) {
+  Schema schema(std::vector<AttributeDef>{{"A", 2}, {"B", 3}});
+  EXPECT_EQ(schema.num_attributes(), 2);
+}
+
+}  // namespace
+}  // namespace implistat

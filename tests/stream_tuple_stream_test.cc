@@ -1,0 +1,109 @@
+#include "stream/tuple_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace implistat {
+namespace {
+
+Schema TwoColumnSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddAttribute("A", 10).ok());
+  EXPECT_TRUE(schema.AddAttribute("B", 10).ok());
+  return schema;
+}
+
+TEST(VectorStreamTest, IteratesRows) {
+  VectorStream stream(TwoColumnSchema(), {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(stream.num_tuples(), 3u);
+  auto t1 = stream.Next();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ((*t1)[0], 1u);
+  EXPECT_EQ((*t1)[1], 2u);
+  auto t2 = stream.Next();
+  EXPECT_EQ((*t2)[0], 3u);
+  auto t3 = stream.Next();
+  EXPECT_EQ((*t3)[1], 6u);
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_FALSE(stream.Next().has_value());  // stays exhausted
+}
+
+TEST(VectorStreamTest, ResetRewinds) {
+  VectorStream stream(TwoColumnSchema(), {1, 2, 3, 4});
+  while (stream.Next()) {
+  }
+  ASSERT_TRUE(stream.Reset().ok());
+  auto t = stream.Next();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ((*t)[0], 1u);
+}
+
+TEST(VectorStreamTest, AppendGrowsStream) {
+  VectorStream stream(TwoColumnSchema(), {});
+  EXPECT_EQ(stream.num_tuples(), 0u);
+  std::vector<ValueId> row = {7, 8};
+  stream.Append(TupleRef(row.data(), 2));
+  row = {9, 1};
+  stream.Append(TupleRef(row.data(), 2));
+  EXPECT_EQ(stream.num_tuples(), 2u);
+  auto t = stream.Next();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ((*t)[0], 7u);
+}
+
+TEST(VectorStreamTest, EmptyStream) {
+  VectorStream stream(TwoColumnSchema(), {});
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(VectorStreamTest, DefaultConstructedIsEmpty) {
+  VectorStream stream;
+  EXPECT_EQ(stream.num_tuples(), 0u);
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(GeneratorStreamTest, YieldsUntilProducerStops) {
+  int remaining = 3;
+  GeneratorStream stream(TwoColumnSchema(),
+                         [&remaining](std::vector<ValueId>& row) {
+                           if (remaining == 0) return false;
+                           row[0] = static_cast<ValueId>(remaining);
+                           row[1] = 0;
+                           --remaining;
+                           return true;
+                         });
+  auto t1 = stream.Next();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ((*t1)[0], 3u);
+  EXPECT_TRUE(stream.Next().has_value());
+  EXPECT_TRUE(stream.Next().has_value());
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(GeneratorStreamTest, SinglePassByDefault) {
+  GeneratorStream stream(TwoColumnSchema(),
+                         [](std::vector<ValueId>&) { return false; });
+  EXPECT_FALSE(stream.Reset().ok());
+}
+
+TEST(MaterializeTest, CopiesAllTuples) {
+  int remaining = 5;
+  GeneratorStream gen(TwoColumnSchema(),
+                      [&remaining](std::vector<ValueId>& row) {
+                        if (remaining == 0) return false;
+                        row[0] = static_cast<ValueId>(remaining);
+                        row[1] = static_cast<ValueId>(remaining * 2 % 10);
+                        --remaining;
+                        return true;
+                      });
+  VectorStream materialized = Materialize(gen);
+  EXPECT_EQ(materialized.num_tuples(), 5u);
+  auto t = materialized.Next();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ((*t)[0], 5u);
+  EXPECT_EQ((*t)[1], 0u);
+}
+
+}  // namespace
+}  // namespace implistat

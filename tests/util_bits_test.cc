@@ -1,0 +1,75 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace implistat {
+namespace {
+
+TEST(BitsTest, RhoLsbBasics) {
+  EXPECT_EQ(RhoLsb(1), 0);
+  EXPECT_EQ(RhoLsb(2), 1);
+  EXPECT_EQ(RhoLsb(3), 0);
+  EXPECT_EQ(RhoLsb(4), 2);
+  EXPECT_EQ(RhoLsb(0b101000), 3);
+  EXPECT_EQ(RhoLsb(uint64_t{1} << 63), 63);
+  EXPECT_EQ(RhoLsb(0), 64);
+}
+
+TEST(BitsTest, RhoLsbMatchesDefinitionExhaustivelyForSmallValues) {
+  for (uint64_t y = 1; y < 4096; ++y) {
+    int expected = 0;
+    while (((y >> expected) & 1) == 0) ++expected;
+    EXPECT_EQ(RhoLsb(y), expected) << "y=" << y;
+  }
+}
+
+TEST(BitsTest, MsbPosition) {
+  EXPECT_EQ(MsbPosition(0), -1);
+  EXPECT_EQ(MsbPosition(1), 0);
+  EXPECT_EQ(MsbPosition(2), 1);
+  EXPECT_EQ(MsbPosition(3), 1);
+  EXPECT_EQ(MsbPosition(uint64_t{1} << 40), 40);
+  EXPECT_EQ(MsbPosition(~uint64_t{0}), 63);
+}
+
+TEST(BitsTest, LeadingZerosInWidth) {
+  EXPECT_EQ(LeadingZeros(0, 16), 16);
+  EXPECT_EQ(LeadingZeros(1, 16), 15);
+  EXPECT_EQ(LeadingZeros(0x8000, 16), 0);
+  EXPECT_EQ(LeadingZeros(uint64_t{1} << 63, 64), 0);
+  EXPECT_EQ(LeadingZeros(1, 64), 63);
+}
+
+TEST(BitsTest, PowersOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitsTest, Logs) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+}
+
+TEST(BitsTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0xff), 8);
+  EXPECT_EQ(PopCount(~uint64_t{0}), 64);
+}
+
+}  // namespace
+}  // namespace implistat

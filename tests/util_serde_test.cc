@@ -1,0 +1,112 @@
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace implistat {
+namespace {
+
+TEST(SerdeTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutDouble(3.25);
+  w.PutBool(true);
+  w.PutBool(false);
+
+  ByteReader r(w.str());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  bool b1, b2;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadBool(&b1).ok());
+  ASSERT_TRUE(r.ReadBool(&b2).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, VarintRoundTripAcrossMagnitudes) {
+  ByteWriter w;
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             uint64_t{1} << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) w.PutVarint64(v);
+  ByteReader r(w.str());
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(r.ReadVarint64(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, VarintIsCompactForSmallValues) {
+  ByteWriter w;
+  w.PutVarint64(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint64(127);
+  EXPECT_EQ(w.size(), 2u);
+  w.PutVarint64(128);
+  EXPECT_EQ(w.size(), 4u);  // two bytes
+}
+
+TEST(SerdeTest, TruncatedInputIsOutOfRange) {
+  ByteWriter w;
+  w.PutU32(7);
+  ByteReader r(std::string_view(w.str()).substr(0, 2));
+  uint32_t v;
+  EXPECT_EQ(r.ReadU32(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, TruncatedVarintIsOutOfRange) {
+  std::string bytes = "\xff\xff";  // continuation bits with no terminator
+  ByteReader r(bytes);
+  uint64_t v;
+  EXPECT_FALSE(r.ReadVarint64(&v).ok());
+}
+
+TEST(SerdeTest, OverlongVarintRejected) {
+  std::string bytes(11, '\xff');  // > 10 continuation bytes
+  ByteReader r(bytes);
+  uint64_t v;
+  EXPECT_EQ(r.ReadVarint64(&v).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, BadBoolRejected) {
+  std::string bytes = "\x02";
+  ByteReader r(bytes);
+  bool b;
+  EXPECT_EQ(r.ReadBool(&b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.PutU64(1);
+  w.PutU64(2);
+  ByteReader r(w.str());
+  EXPECT_EQ(r.remaining(), 16u);
+  uint64_t v;
+  ASSERT_TRUE(r.ReadU64(&v).ok());
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace implistat

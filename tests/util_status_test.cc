@@ -1,0 +1,111 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status_or.h"
+
+namespace implistat {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad K");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad K");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad K");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, CopyAndMovePreserveContent) {
+  Status s = Status::NotFound("gone");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "gone");
+  EXPECT_EQ(s.message(), "gone");  // source intact after copy
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.message(), "gone");
+  copy = moved;
+  EXPECT_EQ(copy.message(), "gone");
+}
+
+TEST(StatusTest, CopyAssignFromOkClearsError) {
+  Status s = Status::Internal("boom");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+}
+
+Status FailsThrough() {
+  IMPLISTAT_RETURN_NOT_OK(Status::Internal("inner"));
+  return Status::OK();
+}
+
+Status PassesThrough() {
+  IMPLISTAT_RETURN_NOT_OK(Status::OK());
+  return Status::NotFound("after");
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+  EXPECT_EQ(PassesThrough().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so.value(), 42);
+  EXPECT_EQ(*so, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("nope"));
+  EXPECT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> so(std::string("payload"));
+  std::string v = std::move(so).value();
+  EXPECT_EQ(v, "payload");
+}
+
+StatusOr<int> MaybeDouble(StatusOr<int> in) {
+  IMPLISTAT_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  StatusOr<int> ok = MaybeDouble(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  StatusOr<int> err = MaybeDouble(Status::Internal("x"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> so(Status::Internal("dead"));
+  EXPECT_DEATH({ (void)so.value(); }, "dead");
+}
+
+}  // namespace
+}  // namespace implistat

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitmaps.dir/ablation_bitmaps.cc.o"
+  "CMakeFiles/ablation_bitmaps.dir/ablation_bitmaps.cc.o.d"
+  "ablation_bitmaps"
+  "ablation_bitmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fringe_size.dir/ablation_fringe_size.cc.o"
+  "CMakeFiles/ablation_fringe_size.dir/ablation_fringe_size.cc.o.d"
+  "ablation_fringe_size"
+  "ablation_fringe_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fringe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

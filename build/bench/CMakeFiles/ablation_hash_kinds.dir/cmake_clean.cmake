@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash_kinds.dir/ablation_hash_kinds.cc.o"
+  "CMakeFiles/ablation_hash_kinds.dir/ablation_hash_kinds.cc.o.d"
+  "ablation_hash_kinds"
+  "ablation_hash_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

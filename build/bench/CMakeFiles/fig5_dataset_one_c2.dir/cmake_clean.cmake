@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dataset_one_c2.dir/fig5_dataset_one_c2.cc.o"
+  "CMakeFiles/fig5_dataset_one_c2.dir/fig5_dataset_one_c2.cc.o.d"
+  "fig5_dataset_one_c2"
+  "fig5_dataset_one_c2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dataset_one_c2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

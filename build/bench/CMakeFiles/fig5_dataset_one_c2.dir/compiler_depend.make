@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_dataset_one_c2.
+# This may be replaced when dependencies are built.

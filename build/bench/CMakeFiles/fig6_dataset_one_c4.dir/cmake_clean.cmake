@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dataset_one_c4.dir/fig6_dataset_one_c4.cc.o"
+  "CMakeFiles/fig6_dataset_one_c4.dir/fig6_dataset_one_c4.cc.o.d"
+  "fig6_dataset_one_c4"
+  "fig6_dataset_one_c4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dataset_one_c4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

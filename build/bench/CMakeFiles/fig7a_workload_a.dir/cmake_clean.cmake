@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_workload_a.dir/fig7a_workload_a.cc.o"
+  "CMakeFiles/fig7a_workload_a.dir/fig7a_workload_a.cc.o.d"
+  "fig7a_workload_a"
+  "fig7a_workload_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_workload_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_workload_b.dir/fig7b_workload_b.cc.o"
+  "CMakeFiles/fig7b_workload_b.dir/fig7b_workload_b.cc.o.d"
+  "fig7b_workload_b"
+  "fig7b_workload_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_workload_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_hitter_blindspot.dir/heavy_hitter_blindspot.cc.o"
+  "CMakeFiles/heavy_hitter_blindspot.dir/heavy_hitter_blindspot.cc.o.d"
+  "heavy_hitter_blindspot"
+  "heavy_hitter_blindspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_hitter_blindspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

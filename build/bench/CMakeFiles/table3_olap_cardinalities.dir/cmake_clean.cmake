@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_olap_cardinalities.dir/table3_olap_cardinalities.cc.o"
+  "CMakeFiles/table3_olap_cardinalities.dir/table3_olap_cardinalities.cc.o.d"
+  "table3_olap_cardinalities"
+  "table3_olap_cardinalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_olap_cardinalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

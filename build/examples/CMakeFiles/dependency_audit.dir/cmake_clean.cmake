@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_audit.dir/dependency_audit.cc.o"
+  "CMakeFiles/dependency_audit.dir/dependency_audit.cc.o.d"
+  "dependency_audit"
+  "dependency_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

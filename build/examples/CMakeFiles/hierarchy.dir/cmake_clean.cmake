@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy.dir/hierarchy.cc.o"
+  "CMakeFiles/hierarchy.dir/hierarchy.cc.o.d"
+  "hierarchy"
+  "hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_cli.dir/implistat_cli.cc.o"
+  "CMakeFiles/implistat_cli.dir/implistat_cli.cc.o.d"
+  "implistat_cli"
+  "implistat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

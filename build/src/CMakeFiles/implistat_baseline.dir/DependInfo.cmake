@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/distinct_sampling.cc" "src/CMakeFiles/implistat_baseline.dir/baseline/distinct_sampling.cc.o" "gcc" "src/CMakeFiles/implistat_baseline.dir/baseline/distinct_sampling.cc.o.d"
+  "/root/repo/src/baseline/exact_counter.cc" "src/CMakeFiles/implistat_baseline.dir/baseline/exact_counter.cc.o" "gcc" "src/CMakeFiles/implistat_baseline.dir/baseline/exact_counter.cc.o.d"
+  "/root/repo/src/baseline/ilc.cc" "src/CMakeFiles/implistat_baseline.dir/baseline/ilc.cc.o" "gcc" "src/CMakeFiles/implistat_baseline.dir/baseline/ilc.cc.o.d"
+  "/root/repo/src/baseline/lossy_counting.cc" "src/CMakeFiles/implistat_baseline.dir/baseline/lossy_counting.cc.o" "gcc" "src/CMakeFiles/implistat_baseline.dir/baseline/lossy_counting.cc.o.d"
+  "/root/repo/src/baseline/sticky_sampling.cc" "src/CMakeFiles/implistat_baseline.dir/baseline/sticky_sampling.cc.o" "gcc" "src/CMakeFiles/implistat_baseline.dir/baseline/sticky_sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_baseline.dir/baseline/distinct_sampling.cc.o"
+  "CMakeFiles/implistat_baseline.dir/baseline/distinct_sampling.cc.o.d"
+  "CMakeFiles/implistat_baseline.dir/baseline/exact_counter.cc.o"
+  "CMakeFiles/implistat_baseline.dir/baseline/exact_counter.cc.o.d"
+  "CMakeFiles/implistat_baseline.dir/baseline/ilc.cc.o"
+  "CMakeFiles/implistat_baseline.dir/baseline/ilc.cc.o.d"
+  "CMakeFiles/implistat_baseline.dir/baseline/lossy_counting.cc.o"
+  "CMakeFiles/implistat_baseline.dir/baseline/lossy_counting.cc.o.d"
+  "CMakeFiles/implistat_baseline.dir/baseline/sticky_sampling.cc.o"
+  "CMakeFiles/implistat_baseline.dir/baseline/sticky_sampling.cc.o.d"
+  "libimplistat_baseline.a"
+  "libimplistat_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

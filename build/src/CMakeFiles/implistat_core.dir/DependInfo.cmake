@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ci.cc" "src/CMakeFiles/implistat_core.dir/core/ci.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/ci.cc.o.d"
+  "/root/repo/src/core/conditions.cc" "src/CMakeFiles/implistat_core.dir/core/conditions.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/conditions.cc.o.d"
+  "/root/repo/src/core/fringe_cell.cc" "src/CMakeFiles/implistat_core.dir/core/fringe_cell.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/fringe_cell.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/implistat_core.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/nips.cc" "src/CMakeFiles/implistat_core.dir/core/nips.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/nips.cc.o.d"
+  "/root/repo/src/core/nips_ci_ensemble.cc" "src/CMakeFiles/implistat_core.dir/core/nips_ci_ensemble.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/nips_ci_ensemble.cc.o.d"
+  "/root/repo/src/core/sliding.cc" "src/CMakeFiles/implistat_core.dir/core/sliding.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/sliding.cc.o.d"
+  "/root/repo/src/core/trigger.cc" "src/CMakeFiles/implistat_core.dir/core/trigger.cc.o" "gcc" "src/CMakeFiles/implistat_core.dir/core/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

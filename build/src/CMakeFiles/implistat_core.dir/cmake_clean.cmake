@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_core.dir/core/ci.cc.o"
+  "CMakeFiles/implistat_core.dir/core/ci.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/conditions.cc.o"
+  "CMakeFiles/implistat_core.dir/core/conditions.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/fringe_cell.cc.o"
+  "CMakeFiles/implistat_core.dir/core/fringe_cell.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/incremental.cc.o"
+  "CMakeFiles/implistat_core.dir/core/incremental.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/nips.cc.o"
+  "CMakeFiles/implistat_core.dir/core/nips.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/nips_ci_ensemble.cc.o"
+  "CMakeFiles/implistat_core.dir/core/nips_ci_ensemble.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/sliding.cc.o"
+  "CMakeFiles/implistat_core.dir/core/sliding.cc.o.d"
+  "CMakeFiles/implistat_core.dir/core/trigger.cc.o"
+  "CMakeFiles/implistat_core.dir/core/trigger.cc.o.d"
+  "libimplistat_core.a"
+  "libimplistat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

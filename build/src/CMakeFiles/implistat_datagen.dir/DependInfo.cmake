@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset_one.cc" "src/CMakeFiles/implistat_datagen.dir/datagen/dataset_one.cc.o" "gcc" "src/CMakeFiles/implistat_datagen.dir/datagen/dataset_one.cc.o.d"
+  "/root/repo/src/datagen/netflow_gen.cc" "src/CMakeFiles/implistat_datagen.dir/datagen/netflow_gen.cc.o" "gcc" "src/CMakeFiles/implistat_datagen.dir/datagen/netflow_gen.cc.o.d"
+  "/root/repo/src/datagen/olap_gen.cc" "src/CMakeFiles/implistat_datagen.dir/datagen/olap_gen.cc.o" "gcc" "src/CMakeFiles/implistat_datagen.dir/datagen/olap_gen.cc.o.d"
+  "/root/repo/src/datagen/zipf.cc" "src/CMakeFiles/implistat_datagen.dir/datagen/zipf.cc.o" "gcc" "src/CMakeFiles/implistat_datagen.dir/datagen/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

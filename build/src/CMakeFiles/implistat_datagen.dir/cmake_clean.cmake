@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_datagen.dir/datagen/dataset_one.cc.o"
+  "CMakeFiles/implistat_datagen.dir/datagen/dataset_one.cc.o.d"
+  "CMakeFiles/implistat_datagen.dir/datagen/netflow_gen.cc.o"
+  "CMakeFiles/implistat_datagen.dir/datagen/netflow_gen.cc.o.d"
+  "CMakeFiles/implistat_datagen.dir/datagen/olap_gen.cc.o"
+  "CMakeFiles/implistat_datagen.dir/datagen/olap_gen.cc.o.d"
+  "CMakeFiles/implistat_datagen.dir/datagen/zipf.cc.o"
+  "CMakeFiles/implistat_datagen.dir/datagen/zipf.cc.o.d"
+  "libimplistat_datagen.a"
+  "libimplistat_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hash64.cc" "src/CMakeFiles/implistat_hash.dir/hash/hash64.cc.o" "gcc" "src/CMakeFiles/implistat_hash.dir/hash/hash64.cc.o.d"
+  "/root/repo/src/hash/hash_family.cc" "src/CMakeFiles/implistat_hash.dir/hash/hash_family.cc.o" "gcc" "src/CMakeFiles/implistat_hash.dir/hash/hash_family.cc.o.d"
+  "/root/repo/src/hash/linear_gf2.cc" "src/CMakeFiles/implistat_hash.dir/hash/linear_gf2.cc.o" "gcc" "src/CMakeFiles/implistat_hash.dir/hash/linear_gf2.cc.o.d"
+  "/root/repo/src/hash/multiply_shift.cc" "src/CMakeFiles/implistat_hash.dir/hash/multiply_shift.cc.o" "gcc" "src/CMakeFiles/implistat_hash.dir/hash/multiply_shift.cc.o.d"
+  "/root/repo/src/hash/tabulation.cc" "src/CMakeFiles/implistat_hash.dir/hash/tabulation.cc.o" "gcc" "src/CMakeFiles/implistat_hash.dir/hash/tabulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

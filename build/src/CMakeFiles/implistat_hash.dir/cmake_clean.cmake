@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_hash.dir/hash/hash64.cc.o"
+  "CMakeFiles/implistat_hash.dir/hash/hash64.cc.o.d"
+  "CMakeFiles/implistat_hash.dir/hash/hash_family.cc.o"
+  "CMakeFiles/implistat_hash.dir/hash/hash_family.cc.o.d"
+  "CMakeFiles/implistat_hash.dir/hash/linear_gf2.cc.o"
+  "CMakeFiles/implistat_hash.dir/hash/linear_gf2.cc.o.d"
+  "CMakeFiles/implistat_hash.dir/hash/multiply_shift.cc.o"
+  "CMakeFiles/implistat_hash.dir/hash/multiply_shift.cc.o.d"
+  "CMakeFiles/implistat_hash.dir/hash/tabulation.cc.o"
+  "CMakeFiles/implistat_hash.dir/hash/tabulation.cc.o.d"
+  "libimplistat_hash.a"
+  "libimplistat_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_query.dir/query/engine.cc.o"
+  "CMakeFiles/implistat_query.dir/query/engine.cc.o.d"
+  "CMakeFiles/implistat_query.dir/query/parser.cc.o"
+  "CMakeFiles/implistat_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/implistat_query.dir/query/predicate.cc.o"
+  "CMakeFiles/implistat_query.dir/query/predicate.cc.o.d"
+  "CMakeFiles/implistat_query.dir/query/query.cc.o"
+  "CMakeFiles/implistat_query.dir/query/query.cc.o.d"
+  "libimplistat_query.a"
+  "libimplistat_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/count_min.cc" "src/CMakeFiles/implistat_sketch.dir/sketch/count_min.cc.o" "gcc" "src/CMakeFiles/implistat_sketch.dir/sketch/count_min.cc.o.d"
+  "/root/repo/src/sketch/fm_sketch.cc" "src/CMakeFiles/implistat_sketch.dir/sketch/fm_sketch.cc.o" "gcc" "src/CMakeFiles/implistat_sketch.dir/sketch/fm_sketch.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/CMakeFiles/implistat_sketch.dir/sketch/hyperloglog.cc.o" "gcc" "src/CMakeFiles/implistat_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/linear_counting.cc" "src/CMakeFiles/implistat_sketch.dir/sketch/linear_counting.cc.o" "gcc" "src/CMakeFiles/implistat_sketch.dir/sketch/linear_counting.cc.o.d"
+  "/root/repo/src/sketch/pcsa.cc" "src/CMakeFiles/implistat_sketch.dir/sketch/pcsa.cc.o" "gcc" "src/CMakeFiles/implistat_sketch.dir/sketch/pcsa.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/CMakeFiles/implistat_sketch.dir/sketch/space_saving.cc.o" "gcc" "src/CMakeFiles/implistat_sketch.dir/sketch/space_saving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

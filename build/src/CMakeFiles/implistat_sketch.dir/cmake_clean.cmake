@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_sketch.dir/sketch/count_min.cc.o"
+  "CMakeFiles/implistat_sketch.dir/sketch/count_min.cc.o.d"
+  "CMakeFiles/implistat_sketch.dir/sketch/fm_sketch.cc.o"
+  "CMakeFiles/implistat_sketch.dir/sketch/fm_sketch.cc.o.d"
+  "CMakeFiles/implistat_sketch.dir/sketch/hyperloglog.cc.o"
+  "CMakeFiles/implistat_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "CMakeFiles/implistat_sketch.dir/sketch/linear_counting.cc.o"
+  "CMakeFiles/implistat_sketch.dir/sketch/linear_counting.cc.o.d"
+  "CMakeFiles/implistat_sketch.dir/sketch/pcsa.cc.o"
+  "CMakeFiles/implistat_sketch.dir/sketch/pcsa.cc.o.d"
+  "CMakeFiles/implistat_sketch.dir/sketch/space_saving.cc.o"
+  "CMakeFiles/implistat_sketch.dir/sketch/space_saving.cc.o.d"
+  "libimplistat_sketch.a"
+  "libimplistat_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/attribute_set.cc" "src/CMakeFiles/implistat_stream.dir/stream/attribute_set.cc.o" "gcc" "src/CMakeFiles/implistat_stream.dir/stream/attribute_set.cc.o.d"
+  "/root/repo/src/stream/csv_io.cc" "src/CMakeFiles/implistat_stream.dir/stream/csv_io.cc.o" "gcc" "src/CMakeFiles/implistat_stream.dir/stream/csv_io.cc.o.d"
+  "/root/repo/src/stream/itemset.cc" "src/CMakeFiles/implistat_stream.dir/stream/itemset.cc.o" "gcc" "src/CMakeFiles/implistat_stream.dir/stream/itemset.cc.o.d"
+  "/root/repo/src/stream/schema.cc" "src/CMakeFiles/implistat_stream.dir/stream/schema.cc.o" "gcc" "src/CMakeFiles/implistat_stream.dir/stream/schema.cc.o.d"
+  "/root/repo/src/stream/tuple_stream.cc" "src/CMakeFiles/implistat_stream.dir/stream/tuple_stream.cc.o" "gcc" "src/CMakeFiles/implistat_stream.dir/stream/tuple_stream.cc.o.d"
+  "/root/repo/src/stream/value_dictionary.cc" "src/CMakeFiles/implistat_stream.dir/stream/value_dictionary.cc.o" "gcc" "src/CMakeFiles/implistat_stream.dir/stream/value_dictionary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_stream.dir/stream/attribute_set.cc.o"
+  "CMakeFiles/implistat_stream.dir/stream/attribute_set.cc.o.d"
+  "CMakeFiles/implistat_stream.dir/stream/csv_io.cc.o"
+  "CMakeFiles/implistat_stream.dir/stream/csv_io.cc.o.d"
+  "CMakeFiles/implistat_stream.dir/stream/itemset.cc.o"
+  "CMakeFiles/implistat_stream.dir/stream/itemset.cc.o.d"
+  "CMakeFiles/implistat_stream.dir/stream/schema.cc.o"
+  "CMakeFiles/implistat_stream.dir/stream/schema.cc.o.d"
+  "CMakeFiles/implistat_stream.dir/stream/tuple_stream.cc.o"
+  "CMakeFiles/implistat_stream.dir/stream/tuple_stream.cc.o.d"
+  "CMakeFiles/implistat_stream.dir/stream/value_dictionary.cc.o"
+  "CMakeFiles/implistat_stream.dir/stream/value_dictionary.cc.o.d"
+  "libimplistat_stream.a"
+  "libimplistat_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

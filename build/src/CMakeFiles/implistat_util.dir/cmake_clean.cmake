@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implistat_util.dir/util/random.cc.o"
+  "CMakeFiles/implistat_util.dir/util/random.cc.o.d"
+  "CMakeFiles/implistat_util.dir/util/serde.cc.o"
+  "CMakeFiles/implistat_util.dir/util/serde.cc.o.d"
+  "CMakeFiles/implistat_util.dir/util/status.cc.o"
+  "CMakeFiles/implistat_util.dir/util/status.cc.o.d"
+  "libimplistat_util.a"
+  "libimplistat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implistat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

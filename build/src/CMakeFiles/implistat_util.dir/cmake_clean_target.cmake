@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimplistat_util.a"
+)

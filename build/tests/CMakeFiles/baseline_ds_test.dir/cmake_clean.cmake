@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_ds_test.dir/baseline_ds_test.cc.o"
+  "CMakeFiles/baseline_ds_test.dir/baseline_ds_test.cc.o.d"
+  "baseline_ds_test"
+  "baseline_ds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

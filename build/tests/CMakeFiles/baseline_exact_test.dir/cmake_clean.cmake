@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_exact_test.dir/baseline_exact_test.cc.o"
+  "CMakeFiles/baseline_exact_test.dir/baseline_exact_test.cc.o.d"
+  "baseline_exact_test"
+  "baseline_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_ilc_test.dir/baseline_ilc_test.cc.o"
+  "CMakeFiles/baseline_ilc_test.dir/baseline_ilc_test.cc.o.d"
+  "baseline_ilc_test"
+  "baseline_ilc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ilc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

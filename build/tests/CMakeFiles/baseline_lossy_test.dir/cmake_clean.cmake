@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_lossy_test.dir/baseline_lossy_test.cc.o"
+  "CMakeFiles/baseline_lossy_test.dir/baseline_lossy_test.cc.o.d"
+  "baseline_lossy_test"
+  "baseline_lossy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_lossy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sticky_test.dir/baseline_sticky_test.cc.o"
+  "CMakeFiles/baseline_sticky_test.dir/baseline_sticky_test.cc.o.d"
+  "baseline_sticky_test"
+  "baseline_sticky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sticky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

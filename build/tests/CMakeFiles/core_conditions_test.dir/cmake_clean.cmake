@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_conditions_test.dir/core_conditions_test.cc.o"
+  "CMakeFiles/core_conditions_test.dir/core_conditions_test.cc.o.d"
+  "core_conditions_test"
+  "core_conditions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

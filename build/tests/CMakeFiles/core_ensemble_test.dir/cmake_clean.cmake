@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ensemble_test.dir/core_ensemble_test.cc.o"
+  "CMakeFiles/core_ensemble_test.dir/core_ensemble_test.cc.o.d"
+  "core_ensemble_test"
+  "core_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

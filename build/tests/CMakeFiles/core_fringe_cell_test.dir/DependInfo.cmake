@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_fringe_cell_test.cc" "tests/CMakeFiles/core_fringe_cell_test.dir/core_fringe_cell_test.cc.o" "gcc" "tests/CMakeFiles/core_fringe_cell_test.dir/core_fringe_cell_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/implistat_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/implistat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fringe_cell_test.dir/core_fringe_cell_test.cc.o"
+  "CMakeFiles/core_fringe_cell_test.dir/core_fringe_cell_test.cc.o.d"
+  "core_fringe_cell_test"
+  "core_fringe_cell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fringe_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_moving_average_test.dir/core_moving_average_test.cc.o"
+  "CMakeFiles/core_moving_average_test.dir/core_moving_average_test.cc.o.d"
+  "core_moving_average_test"
+  "core_moving_average_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_moving_average_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_nips_test.dir/core_nips_test.cc.o"
+  "CMakeFiles/core_nips_test.dir/core_nips_test.cc.o.d"
+  "core_nips_test"
+  "core_nips_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_nips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

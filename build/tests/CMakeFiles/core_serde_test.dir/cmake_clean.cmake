@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_serde_test.dir/core_serde_test.cc.o"
+  "CMakeFiles/core_serde_test.dir/core_serde_test.cc.o.d"
+  "core_serde_test"
+  "core_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sliding_test.dir/core_sliding_test.cc.o"
+  "CMakeFiles/core_sliding_test.dir/core_sliding_test.cc.o.d"
+  "core_sliding_test"
+  "core_sliding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sliding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

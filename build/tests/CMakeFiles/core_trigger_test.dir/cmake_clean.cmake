@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trigger_test.dir/core_trigger_test.cc.o"
+  "CMakeFiles/core_trigger_test.dir/core_trigger_test.cc.o.d"
+  "core_trigger_test"
+  "core_trigger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trigger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

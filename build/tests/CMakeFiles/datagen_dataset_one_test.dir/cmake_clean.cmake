@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_dataset_one_test.dir/datagen_dataset_one_test.cc.o"
+  "CMakeFiles/datagen_dataset_one_test.dir/datagen_dataset_one_test.cc.o.d"
+  "datagen_dataset_one_test"
+  "datagen_dataset_one_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_dataset_one_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_netflow_test.dir/datagen_netflow_test.cc.o"
+  "CMakeFiles/datagen_netflow_test.dir/datagen_netflow_test.cc.o.d"
+  "datagen_netflow_test"
+  "datagen_netflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_netflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_olap_test.dir/datagen_olap_test.cc.o"
+  "CMakeFiles/datagen_olap_test.dir/datagen_olap_test.cc.o.d"
+  "datagen_olap_test"
+  "datagen_olap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_olap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_zipf_test.dir/datagen_zipf_test.cc.o"
+  "CMakeFiles/datagen_zipf_test.dir/datagen_zipf_test.cc.o.d"
+  "datagen_zipf_test"
+  "datagen_zipf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_grid_test.dir/property_grid_test.cc.o"
+  "CMakeFiles/property_grid_test.dir/property_grid_test.cc.o.d"
+  "property_grid_test"
+  "property_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

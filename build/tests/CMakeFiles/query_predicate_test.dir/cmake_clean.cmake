@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_predicate_test.dir/query_predicate_test.cc.o"
+  "CMakeFiles/query_predicate_test.dir/query_predicate_test.cc.o.d"
+  "query_predicate_test"
+  "query_predicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_linear_counting_test.dir/sketch_linear_counting_test.cc.o"
+  "CMakeFiles/sketch_linear_counting_test.dir/sketch_linear_counting_test.cc.o.d"
+  "sketch_linear_counting_test"
+  "sketch_linear_counting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_linear_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

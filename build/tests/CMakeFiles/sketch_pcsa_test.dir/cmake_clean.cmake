@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_pcsa_test.dir/sketch_pcsa_test.cc.o"
+  "CMakeFiles/sketch_pcsa_test.dir/sketch_pcsa_test.cc.o.d"
+  "sketch_pcsa_test"
+  "sketch_pcsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_pcsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

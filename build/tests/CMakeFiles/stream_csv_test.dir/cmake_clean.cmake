@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_csv_test.dir/stream_csv_test.cc.o"
+  "CMakeFiles/stream_csv_test.dir/stream_csv_test.cc.o.d"
+  "stream_csv_test"
+  "stream_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_dictionary_test.dir/stream_dictionary_test.cc.o"
+  "CMakeFiles/stream_dictionary_test.dir/stream_dictionary_test.cc.o.d"
+  "stream_dictionary_test"
+  "stream_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_itemset_test.dir/stream_itemset_test.cc.o"
+  "CMakeFiles/stream_itemset_test.dir/stream_itemset_test.cc.o.d"
+  "stream_itemset_test"
+  "stream_itemset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_itemset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_schema_test.dir/stream_schema_test.cc.o"
+  "CMakeFiles/stream_schema_test.dir/stream_schema_test.cc.o.d"
+  "stream_schema_test"
+  "stream_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

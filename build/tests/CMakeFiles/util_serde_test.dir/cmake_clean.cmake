@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_serde_test.dir/util_serde_test.cc.o"
+  "CMakeFiles/util_serde_test.dir/util_serde_test.cc.o.d"
+  "util_serde_test"
+  "util_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,15 +5,24 @@
 //   IMPLISTAT_TRIALS  — trials per configuration (default 3; paper: 100)
 //   IMPLISTAT_FULL=1  — paper-scale sweeps (|A| up to 100000, streams up
 //                       to 5.38M tuples); default is a laptop-quick run.
+// Observability knobs (see README "Observability"; both are inert when
+// the build has IMPLISTAT_METRICS=OFF):
+//   IMPLISTAT_METRICS_EVERY — progress line to stderr every N tuples
+//   IMPLISTAT_METRICS_JSON  — write a final JSON metrics snapshot here
 
 #ifndef IMPLISTAT_BENCH_BENCH_UTIL_H_
 #define IMPLISTAT_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "obs/export_json.h"
+#include "obs/metrics.h"
 
 namespace implistat::bench {
 
@@ -27,6 +36,36 @@ inline int EnvTrials(int def = 3) {
 inline bool EnvFull() {
   const char* v = std::getenv("IMPLISTAT_FULL");
   return v != nullptr && std::string(v) == "1";
+}
+
+inline uint64_t EnvMetricsEvery() {
+  const char* v = std::getenv("IMPLISTAT_METRICS_EVERY");
+  return v == nullptr ? 0 : std::strtoull(v, nullptr, 10);
+}
+
+inline const char* EnvMetricsJson() {
+  return std::getenv("IMPLISTAT_METRICS_JSON");
+}
+
+/// True when either observability knob is set for this run.
+inline bool MetricsRequested() {
+  return EnvMetricsEvery() != 0 || EnvMetricsJson() != nullptr;
+}
+
+/// Writes the global registry snapshot to $IMPLISTAT_METRICS_JSON if set.
+/// Call after the workload (and after a final progress Report/Finish so
+/// the gauges are fresh).
+inline void MaybeWriteMetricsJson() {
+  const char* path = EnvMetricsJson();
+  if (path == nullptr) return;
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for metrics JSON\n", path);
+    return;
+  }
+  file << obs::WriteMetricsJson(obs::MetricsRegistry::Global().Snapshot());
+  std::fprintf(stderr, "[implistat] metrics snapshot -> %s%s\n", path,
+               obs::kMetricsEnabled ? "" : " (IMPLISTAT_METRICS=OFF: empty)");
 }
 
 struct MeanStd {

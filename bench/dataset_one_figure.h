@@ -17,12 +17,29 @@
 #include "bench_util.h"
 #include "core/nips_ci_ensemble.h"
 #include "datagen/dataset_one.h"
+#include "obs/estimator_probe.h"
+#include "obs/progress.h"
 #include "stream/itemset.h"
 
 namespace implistat::bench {
 
 inline void RunDatasetOneFigure(const char* figure_name, uint32_t c) {
   const int trials = EnvTrials();
+
+  // Progress/metrics plumbing (IMPLISTAT_METRICS_EVERY / _JSON). The probe
+  // follows the bounded estimator of whichever trial is draining; between
+  // trials it replays the last completed trial's stats so the final report
+  // and the JSON gauges are not zeroed out.
+  obs::ProgressStats last_stats;
+  const ImplicationEstimator* live_estimator = nullptr;
+  obs::StreamProgressOptions progress_options;
+  progress_options.every = EnvMetricsEvery();
+  progress_options.tag = figure_name;
+  obs::StreamProgressReporter reporter(
+      progress_options, [&live_estimator, &last_stats]() {
+        return live_estimator != nullptr ? obs::ProbeEstimator(*live_estimator)
+                                         : last_stats;
+      });
   std::vector<uint64_t> cardinalities = {100, 1000};
   if (EnvFull()) {
     cardinalities.push_back(10000);
@@ -67,12 +84,16 @@ inline void RunDatasetOneFigure(const char* figure_name, uint32_t c) {
 
         ItemsetPacker a_packer(data.schema, AttributeSet({0}));
         ItemsetPacker b_packer(data.schema, AttributeSet({1}));
+        live_estimator = &bounded;
         while (auto tuple = data.stream.Next()) {
           ItemsetKey a = a_packer.Pack(*tuple);
           ItemsetKey b = b_packer.Pack(*tuple);
           bounded.Observe(a, b);
           unbounded.Observe(a, b);
+          reporter.Tick();
         }
+        last_stats = obs::ProbeEstimator(bounded);
+        live_estimator = nullptr;  // `bounded` dies with this trial
         double truth = static_cast<double>(data.true_implication_count);
         bounded_errs.push_back(
             RelativeError(truth, bounded.EstimateImplicationCount()));
@@ -87,6 +108,11 @@ inline void RunDatasetOneFigure(const char* figure_name, uint32_t c) {
   }
   std::printf("\n(paper: mean error ~0.05-0.10 across the sweep, bounded\n"
               " and unbounded fringes indistinguishable)\n");
+
+  if (MetricsRequested()) {
+    reporter.Finish();
+    MaybeWriteMetricsJson();
+  }
 }
 
 }  // namespace implistat::bench

@@ -1,6 +1,6 @@
 // implistat_cli: run implication queries against CSV data.
 //
-//   implistat_cli <file.csv|-> "QUERY" ["QUERY" ...]
+//   implistat_cli [options] <file.csv|-> "QUERY" ["QUERY" ...]
 //
 // Each query uses the paper's SQL-like format (§3 / query/parser.h):
 //
@@ -11,30 +11,102 @@
 //
 // All queries stream over the input in a single pass, exactly as a router
 // or sensor node would run them.
+//
+// Observability options (see the README "Observability" section):
+//   --metrics-every N     print a progress line to stderr every N tuples
+//                         (tuples/sec, S / ~S, fringe occupancy vs the
+//                         §4.6 budget, memory)
+//   --metrics-json PATH   write a final JSON metrics snapshot
+//   --metrics-prom PATH   write the same snapshot in Prometheus text format
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "obs/estimator_probe.h"
+#include "obs/export_json.h"
+#include "obs/export_prometheus.h"
+#include "obs/progress.h"
 #include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
 
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [options] <file.csv|-> \"QUERY\" ...\n\n"
+      << "options:\n"
+      << "  --metrics-every N     progress line to stderr every N tuples\n"
+      << "  --metrics-json PATH   final JSON metrics snapshot\n"
+      << "  --metrics-prom PATH   final Prometheus-text metrics snapshot\n\n"
+      << "example query:\n"
+      << "  SELECT COUNT(DISTINCT Destination) FROM t\n"
+      << "  WHERE Destination IMPLIES Source\n"
+      << "  WITH K = 1, SUPPORT = 1, CONFIDENCE = 1.0\n";
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents,
+               const char* what) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << " for " << what << "\n";
+    return false;
+  }
+  file << contents;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace implistat;
 
-  if (argc < 3) {
-    std::cerr << "usage: " << argv[0] << " <file.csv|-> \"QUERY\" ...\n\n"
-              << "example query:\n"
-              << "  SELECT COUNT(DISTINCT Destination) FROM t\n"
-              << "  WHERE Destination IMPLIES Source\n"
-              << "  WITH K = 1, SUPPORT = 1, CONFIDENCE = 1.0\n";
-    return 2;
+  uint64_t metrics_every = 0;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics-every") {
+      const char* v = take_value("--metrics-every");
+      if (v == nullptr) return 2;
+      metrics_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-json") {
+      const char* v = take_value("--metrics-json");
+      if (v == nullptr) return 2;
+      metrics_json_path = v;
+    } else if (arg == "--metrics-prom") {
+      const char* v = take_value("--metrics-prom");
+      if (v == nullptr) return 2;
+      metrics_prom_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(std::move(arg));
+    }
   }
+  if (positional.size() < 2) return Usage(argv[0]);
+  const bool metrics_requested = metrics_every > 0 ||
+                                 !metrics_json_path.empty() ||
+                                 !metrics_prom_path.empty();
 
   StatusOr<CsvTable> table = [&]() -> StatusOr<CsvTable> {
-    if (std::string(argv[1]) == "-") return ReadCsv(std::cin);
-    std::ifstream file(argv[1]);
-    if (!file) return Status::IOError(std::string("cannot open ") + argv[1]);
+    if (positional[0] == "-") return ReadCsv(std::cin);
+    std::ifstream file(positional[0]);
+    if (!file) return Status::IOError("cannot open " + positional[0]);
     return ReadCsv(file);
   }();
   if (!table.ok()) {
@@ -43,32 +115,38 @@ int main(int argc, char** argv) {
   }
 
   QueryEngine engine(table->schema);
-  std::vector<std::string> texts;
-  for (int i = 2; i < argc; ++i) {
-    texts.emplace_back(argv[i]);
-    auto parsed = ParseImplicationQuery(texts.back());
+  for (size_t i = 1; i < positional.size(); ++i) {
+    auto parsed = ParseImplicationQuery(positional[i]);
     if (!parsed.ok()) {
-      std::cerr << "parse error in query " << i - 1 << ": "
-                << parsed.status() << "\n";
+      std::cerr << "parse error in query " << i << ": " << parsed.status()
+                << "\n";
       return 1;
     }
     auto spec = BindQuery(*parsed, table->schema, &table->dictionaries);
     if (!spec.ok()) {
-      std::cerr << "bind error in query " << i - 1 << ": " << spec.status()
+      std::cerr << "bind error in query " << i << ": " << spec.status()
                 << "\n";
       return 1;
     }
     auto id = engine.Register(std::move(spec).value());
     if (!id.ok()) {
-      std::cerr << "register error in query " << i - 1 << ": "
-                << id.status() << "\n";
+      std::cerr << "register error in query " << i << ": " << id.status()
+                << "\n";
       return 1;
     }
   }
 
-  if (Status s = engine.ObserveStream(table->stream); !s.ok()) {
-    std::cerr << "stream error: " << s << "\n";
-    return 1;
+  // The progress probe watches the first query's estimator (reports cover
+  // the whole registry either way).
+  obs::StreamProgressOptions progress_options;
+  progress_options.every = metrics_every;
+  obs::StreamProgressReporter reporter(
+      progress_options,
+      obs::MakeEstimatorProbe(engine.Estimator(0).value()));
+
+  while (auto tuple = table->stream.Next()) {
+    engine.ObserveTuple(*tuple);
+    reporter.Tick();
   }
 
   std::cout << "# " << engine.tuples_seen() << " tuples\n";
@@ -83,6 +161,25 @@ int main(int argc, char** argv) {
     std::cout << "query " << id + 1 << " [" << est->name()
               << "]: " << *answer << "   (memory: " << est->MemoryBytes()
               << " bytes)\n";
+  }
+
+  if (metrics_requested) {
+    reporter.Finish();  // final line + gauge refresh
+    obs::RegistrySnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+    if (!metrics_json_path.empty() &&
+        !WriteFile(metrics_json_path, obs::WriteMetricsJson(snapshot),
+                   "metrics JSON")) {
+      return 1;
+    }
+    if (!metrics_prom_path.empty() &&
+        !WriteFile(metrics_prom_path, obs::WriteMetricsPrometheus(snapshot),
+                   "metrics Prometheus text")) {
+      return 1;
+    }
+    if constexpr (!obs::kMetricsEnabled) {
+      std::cerr << "note: built with IMPLISTAT_METRICS=OFF; snapshots are "
+                   "empty\n";
+    }
   }
   return 0;
 }

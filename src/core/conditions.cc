@@ -75,6 +75,8 @@ bool ItemsetState::Observe(ItemsetKey b, const ImplicationConditions& cond) {
       TopConfidence(cond.confidence_c) + kConfidenceEpsilon <
           cond.min_top_confidence) {
     dirty_ = true;
+    dirty_reason_ =
+        mult_exceeded_ ? DirtyReason::kMultiplicity : DirtyReason::kConfidence;
     b_counts_.clear();
     b_counts_.shrink_to_fit();
   }
@@ -127,7 +129,10 @@ StatusOr<ImplicationConditions> ImplicationConditions::Deserialize(
 void ItemsetState::Merge(const ItemsetState& other,
                          const ImplicationConditions& cond) {
   support_ += other.support_;
-  if (other.dirty_) dirty_ = true;
+  if (other.dirty_) {
+    dirty_ = true;
+    if (dirty_reason_ == DirtyReason::kNone) dirty_reason_ = other.dirty_reason_;
+  }
   if (other.mult_exceeded_) mult_exceeded_ = true;
   if (dirty_) {
     b_counts_.clear();
@@ -173,6 +178,10 @@ void ItemsetState::Merge(const ItemsetState& other,
       (mult_exceeded_ ||
        TopConfidence(cond.confidence_c) + 1e-9 < cond.min_top_confidence)) {
     dirty_ = true;
+    if (dirty_reason_ == DirtyReason::kNone) {
+      dirty_reason_ = mult_exceeded_ ? DirtyReason::kMultiplicity
+                                     : DirtyReason::kConfidence;
+    }
     b_counts_.clear();
     b_counts_.shrink_to_fit();
   }

@@ -58,6 +58,15 @@ struct ImplicationConditions {
 bool operator==(const ImplicationConditions& a,
                 const ImplicationConditions& b);
 
+/// Which condition turned an itemset dirty (§3.1.1). Observability only —
+/// it does not affect estimates and is not serialized, so states decoded
+/// from the wire report kNone.
+enum class DirtyReason : uint8_t {
+  kNone = 0,
+  kMultiplicity = 1,  // condition 1: |Φ(a→B)| > K
+  kConfidence = 2,    // condition 3: γ_c(a→B) < γ
+};
+
 /// Tracks one itemset a of A: its support, the supports of the (a, b)
 /// pairs, and whether a is a known non-implication ("dirty").
 class ItemsetState {
@@ -77,6 +86,10 @@ class ItemsetState {
   /// Known non-implication: satisfied σ at some point while violating the
   /// multiplicity or top-c confidence condition.
   bool dirty() const { return dirty_; }
+
+  /// The condition that made this state dirty; kNone while clean (and for
+  /// deserialized states — see DirtyReason).
+  DirtyReason dirty_reason() const { return dirty_reason_; }
 
   /// φ(a) ≥ σ.
   bool supported(const ImplicationConditions& cond) const {
@@ -115,6 +128,7 @@ class ItemsetState {
   bool dirty_ = false;
   bool mult_exceeded_ = false;
   bool unlimited_tracking_ = false;
+  DirtyReason dirty_reason_ = DirtyReason::kNone;
 };
 
 }  // namespace implistat

@@ -1,12 +1,81 @@
 #include "core/fringe_cell.h"
 
+#include "obs/metrics.h"
+
 namespace implistat {
+
+namespace {
+
+// §3.1.1 monotone-dirty events, split by the violated condition. Handles
+// are process-global and shared with nips.cc (same names → same counters);
+// registration happens on first use or via RegisterNipsMetrics().
+struct DirtyMetrics {
+  obs::Counter* multiplicity;
+  obs::Counter* confidence;
+
+  static DirtyMetrics& Get() {
+    static DirtyMetrics m{
+        obs::MetricsRegistry::Global().GetCounter(
+            "nips_dirty_exclusions_total",
+            "Itemsets newly excluded as non-implications (section 3.1.1 "
+            "monotone-dirty events), by violated condition",
+            "condition", "multiplicity"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "nips_dirty_exclusions_total",
+            "Itemsets newly excluded as non-implications (section 3.1.1 "
+            "monotone-dirty events), by violated condition",
+            "condition", "confidence"),
+    };
+    return m;
+  }
+};
+
+// Dirty transitions happen per itemset lifetime — frequent enough that an
+// atomic RMW each would show up on the ingest path. They are counted with
+// plain thread-local increments and folded into the shared counters by
+// FlushDirtyExclusionMetrics() (called from Nips::FlushMetrics at read
+// boundaries). Concurrent ingest threads each carry their own pending
+// counts; a thread's remainder becomes visible at its next flush.
+struct PendingDirty {
+  uint64_t multiplicity = 0;
+  uint64_t confidence = 0;
+};
+thread_local PendingDirty t_pending_dirty;
+
+void CountDirtyExclusion(DirtyReason reason) {
+  if (reason == DirtyReason::kMultiplicity) {
+    ++t_pending_dirty.multiplicity;
+  } else {
+    ++t_pending_dirty.confidence;
+  }
+}
+
+}  // namespace
+
+void FlushDirtyExclusionMetrics() {
+  if constexpr (obs::kMetricsEnabled) {
+    DirtyMetrics& m = DirtyMetrics::Get();  // also pre-registers
+    PendingDirty& p = t_pending_dirty;
+    if (p.multiplicity != 0) {
+      m.multiplicity->Increment(p.multiplicity);
+      p.multiplicity = 0;
+    }
+    if (p.confidence != 0) {
+      m.confidence->Increment(p.confidence);
+      p.confidence = 0;
+    }
+  }
+}
 
 FringeCell::Outcome FringeCell::Observe(ItemsetKey a, ItemsetKey b,
                                         const ImplicationConditions& cond) {
   ItemsetState& state = items_[a];
+  bool was_dirty = state.dirty();
   bool dirty = state.Observe(b, cond);
   if (state.supported(cond)) has_supported_ = true;
+  if (dirty && !was_dirty) {
+    IMPLISTAT_IF_METRICS(CountDirtyExclusion(state.dirty_reason()));
+  }
   return dirty ? Outcome::kNonImplication : Outcome::kUndecided;
 }
 
@@ -15,7 +84,16 @@ FringeCell::Outcome FringeCell::Merge(const FringeCell& other,
   Outcome outcome = Outcome::kUndecided;
   for (const auto& [key, other_state] : other.items_) {
     auto [it, inserted] = items_.try_emplace(key, other_state);
-    if (!inserted) it->second.Merge(other_state, cond);
+    if (!inserted) {
+      // Count only exclusions the merge itself discovers; a dirty state
+      // arriving from the other side was already counted where it turned
+      // dirty (or predates this process — see DirtyReason).
+      bool was_dirty = it->second.dirty();
+      it->second.Merge(other_state, cond);
+      if (!was_dirty && it->second.dirty()) {
+        IMPLISTAT_IF_METRICS(CountDirtyExclusion(it->second.dirty_reason()));
+      }
+    }
     if (it->second.dirty()) outcome = Outcome::kNonImplication;
     if (it->second.supported(cond)) has_supported_ = true;
   }
@@ -51,7 +129,10 @@ StatusOr<FringeCell> FringeCell::Deserialize(ByteReader* in) {
 }
 
 size_t FringeCell::MemoryBytes() const {
-  size_t bytes = sizeof(*this);
+  // The map's bucket array is real heap the fringe budget must answer for
+  // (§4.6 is a memory claim); it used to be omitted, undercounting every
+  // populated cell by bucket_count * sizeof(pointer).
+  size_t bytes = sizeof(*this) + items_.bucket_count() * sizeof(void*);
   for (const auto& [key, state] : items_) {
     bytes += sizeof(key) + state.MemoryBytes() +
              2 * sizeof(void*);  // hash-table node overhead, approximately

@@ -15,6 +15,13 @@
 
 namespace implistat {
 
+/// Folds this thread's pending §3.1.1 dirty-exclusion counts into the
+/// global metrics registry (no-op when metrics are compiled out). The
+/// hot path only bumps a thread-local accumulator; Nips::FlushMetrics
+/// calls this at every read boundary, so single-threaded pipelines see
+/// exact counts in any snapshot taken after a read.
+void FlushDirtyExclusionMetrics();
+
 class FringeCell {
  public:
   enum class Outcome {

@@ -2,9 +2,58 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace implistat {
+
+namespace {
+
+// Fringe traffic counters (§4.3.2/§4.3.3 made observable). The intended
+// invariant, checked by tests/core_nips_test.cc: across live bitmaps, at
+// any read boundary (a point where FlushMetrics has run),
+//   insertions − evictions − promotions == Σ TrackedItemsets().
+// The hot path never touches these atomics: settle events accumulate in
+// Nips::totals_ with plain adds, insertions are derived from the same
+// invariant, and FlushMetrics pushes bulk deltas at read boundaries.
+struct NipsMetrics {
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+  obs::Counter* promotions;
+  obs::Counter* settled_non_implication;
+  obs::Counter* settled_budget;
+  obs::Counter* settled_merge;
+
+  static NipsMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static NipsMetrics m{
+        reg.GetCounter("nips_fringe_insertions_total",
+                       "Itemsets newly tracked in fringe cells (section "
+                       "4.3.2 fringe population; includes merged and "
+                       "deserialized itemsets)"),
+        reg.GetCounter("nips_fringe_evictions_total",
+                       "Tracked itemsets freed by the section 4.3.3 budget "
+                       "fixation (cells forced to value 1 under memory "
+                       "pressure)"),
+        reg.GetCounter("nips_settled_promotions_total",
+                       "Tracked itemsets freed because their cell settled "
+                       "to value 1 through a discovered non-implication "
+                       "or a merge"),
+        reg.GetCounter("nips_cells_settled_total",
+                       "Bitmap cells decided to value 1, by cause", "cause",
+                       "non_implication"),
+        reg.GetCounter("nips_cells_settled_total",
+                       "Bitmap cells decided to value 1, by cause", "cause",
+                       "budget"),
+        reg.GetCounter("nips_cells_settled_total",
+                       "Bitmap cells decided to value 1, by cause", "cause",
+                       "merge"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Nips::Nips(ImplicationConditions conditions, NipsOptions options)
     : conditions_(conditions),
@@ -13,6 +62,44 @@ Nips::Nips(ImplicationConditions conditions, NipsOptions options)
   IMPLISTAT_CHECK(options_.bitmap_bits >= 1 && options_.bitmap_bits <= 64)
       << "bitmap_bits out of range";
   IMPLISTAT_CHECK(conditions_.Validate().ok()) << "invalid conditions";
+  // Pre-register the fringe and dirty-exclusion counters so snapshots
+  // taken before any traffic still list them (at zero).
+  IMPLISTAT_IF_METRICS(NipsMetrics::Get());
+  FlushDirtyExclusionMetrics();
+}
+
+size_t Nips::TrackedItemsets() const {
+  FlushMetrics();
+  return tracked_;
+}
+
+void Nips::FlushMetrics() const {
+  if constexpr (obs::kMetricsEnabled) {
+    // Cumulative insertions are implied by the traffic invariant: every
+    // itemset ever inserted is either still tracked or left through an
+    // eviction/promotion. Deriving them here keeps ObserveAt free of any
+    // metric bookkeeping at all.
+    uint64_t insertions = tracked_ + totals_.evictions + totals_.promotions;
+    const EventTotals& t = totals_;
+    EventTotals& r = reported_;
+    if (insertions != insertions_reported_ || t.evictions != r.evictions ||
+        t.promotions != r.promotions ||
+        t.settled_non_implication != r.settled_non_implication ||
+        t.settled_budget != r.settled_budget ||
+        t.settled_merge != r.settled_merge) {
+      NipsMetrics& m = NipsMetrics::Get();
+      m.insertions->Increment(insertions - insertions_reported_);
+      m.evictions->Increment(t.evictions - r.evictions);
+      m.promotions->Increment(t.promotions - r.promotions);
+      m.settled_non_implication->Increment(t.settled_non_implication -
+                                           r.settled_non_implication);
+      m.settled_budget->Increment(t.settled_budget - r.settled_budget);
+      m.settled_merge->Increment(t.settled_merge - r.settled_merge);
+      insertions_reported_ = insertions;
+      r = t;
+    }
+    FlushDirtyExclusionMetrics();
+  }
 }
 
 size_t Nips::ItemBudget() const {
@@ -36,11 +123,12 @@ void Nips::ObserveAt(int cell, ItemsetKey a, ItemsetKey b) {
   if (!c.data) c.data = std::make_unique<FringeCell>();
   size_t before = c.data->num_itemsets();
   FringeCell::Outcome outcome = c.data->Observe(a, b, conditions_);
-  tracked_ += c.data->num_itemsets() - before;
+  size_t after = c.data->num_itemsets();
+  tracked_ += after - before;  // an increase is an insertion; see FlushMetrics
   if (c.data->has_supported()) c.has_supported = true;
 
   if (outcome == FringeCell::Outcome::kNonImplication) {
-    DecideOne(cell);
+    DecideOne(cell, SettleCause::kNonImplication);
     ShrinkLeft();
   }
   EnforceBudget();
@@ -85,7 +173,7 @@ Status Nips::Merge(const Nips& other) {
     Cell& mine = cells_[i];
     if (mine.one) continue;
     if (other.CellIsOne(i)) {
-      DecideOne(i);
+      DecideOne(i, SettleCause::kMerge);
       continue;
     }
     const Cell& theirs = other.cells_[i];
@@ -95,9 +183,12 @@ Status Nips::Merge(const Nips& other) {
     size_t before = mine.data->num_itemsets();
     FringeCell::Outcome outcome =
         mine.data->Merge(*theirs.data, conditions_);
-    tracked_ += mine.data->num_itemsets() - before;
+    size_t after = mine.data->num_itemsets();
+    tracked_ += after - before;
     if (mine.data->has_supported()) mine.has_supported = true;
-    if (outcome == FringeCell::Outcome::kNonImplication) DecideOne(i);
+    if (outcome == FringeCell::Outcome::kNonImplication) {
+      DecideOne(i, SettleCause::kNonImplication);
+    }
   }
   ShrinkLeft();
   EnforceBudget();
@@ -105,6 +196,7 @@ Status Nips::Merge(const Nips& other) {
 }
 
 void Nips::SerializeTo(ByteWriter* out) const {
+  FlushMetrics();
   conditions_.SerializeTo(out);
   out->PutU32(static_cast<uint32_t>(options_.fringe_size));
   out->PutU32(static_cast<uint32_t>(options_.capacity_factor));
@@ -149,6 +241,9 @@ StatusOr<Nips> Nips::Deserialize(ByteReader* in) {
     if (has_data) {
       IMPLISTAT_ASSIGN_OR_RETURN(FringeCell fringe,
                                  FringeCell::Deserialize(in));
+      // Decoded itemsets enter this bitmap's fringe and count as
+      // insertions — automatic, since insertions are derived from
+      // tracked_ (see FlushMetrics).
       nips.tracked_ += fringe.num_itemsets();
       cell.data = std::make_unique<FringeCell>(std::move(fringe));
     }
@@ -157,6 +252,7 @@ StatusOr<Nips> Nips::Deserialize(ByteReader* in) {
 }
 
 size_t Nips::MemoryBytes() const {
+  FlushMetrics();
   size_t bytes = sizeof(*this) + cells_.size() * sizeof(Cell);
   for (const Cell& c : cells_) {
     if (c.data) bytes += c.data->MemoryBytes();
@@ -164,12 +260,29 @@ size_t Nips::MemoryBytes() const {
   return bytes;
 }
 
-void Nips::DecideOne(int cell) {
+void Nips::DecideOne(int cell, SettleCause cause) {
   Cell& c = cells_[cell];
   if (c.data) {
-    tracked_ -= c.data->num_itemsets();
+    size_t freed = c.data->num_itemsets();
+    tracked_ -= freed;
+    IMPLISTAT_IF_METRICS(
+        (cause == SettleCause::kBudget ? totals_.evictions
+                                       : totals_.promotions) += freed);
     c.data.reset();  // free all the memory allocated for the cell
   }
+  IMPLISTAT_IF_METRICS({
+    switch (cause) {
+      case SettleCause::kNonImplication:
+        ++totals_.settled_non_implication;
+        break;
+      case SettleCause::kBudget:
+        ++totals_.settled_budget;
+        break;
+      case SettleCause::kMerge:
+        ++totals_.settled_merge;
+        break;
+    }
+  });
   c.one = true;
 }
 
@@ -190,7 +303,7 @@ void Nips::EnforceBudget() {
   // below ~2^-F · F0(A).
   while (tracked_ > budget && fringe_left_ < options_.bitmap_bits &&
          fringe_left_ <= fringe_right_) {
-    DecideOne(fringe_left_);
+    DecideOne(fringe_left_, SettleCause::kBudget);
     ShrinkLeft();
   }
 }

@@ -76,8 +76,18 @@ class Nips {
   bool CellIsOne(int cell) const;
 
   /// Itemsets currently tracked across the fringe; bounded by
-  /// ItemBudget() in bounded mode.
-  size_t TrackedItemsets() const { return tracked_; }
+  /// ItemBudget() in bounded mode. A read boundary: folds pending metric
+  /// events into the global registry (see FlushMetrics).
+  size_t TrackedItemsets() const;
+
+  /// Folds this bitmap's pending fringe-traffic events (plus the calling
+  /// thread's dirty-exclusion counts) into the global metrics registry.
+  /// The ingest path deliberately never touches an atomic — events
+  /// accumulate in plain members and become visible here. Called from
+  /// every read accessor (TrackedItemsets / MemoryBytes / SerializeTo)
+  /// and from NipsCi before estimates and snapshots; no-op when metrics
+  /// are compiled out.
+  void FlushMetrics() const;
 
   /// The per-bitmap itemset budget, or 0 when unbounded.
   size_t ItemBudget() const;
@@ -108,10 +118,15 @@ class Nips {
     std::unique_ptr<FringeCell> data;
   };
 
+  // Why a cell settled to value 1 — distinguishes the §4.3.3 forced
+  // fixation (its freed itemsets are "evictions") from genuine
+  // non-implication / merge settles ("promotions"). Observability only.
+  enum class SettleCause { kNonImplication, kBudget, kMerge };
+
   bool bounded() const { return options_.fringe_size > 0; }
 
   // Marks `cell` as value 1 and releases its tracked itemsets.
-  void DecideOne(int cell);
+  void DecideOne(int cell, SettleCause cause);
 
   // Advances fringe_left_ past decided cells.
   void ShrinkLeft();
@@ -120,9 +135,28 @@ class Nips {
   // fixation).
   void EnforceBudget();
 
+  // Lifetime event totals, kept with plain adds on the (rare) settle path
+  // so ObserveAt stays instrumentation-free: cumulative insertions are
+  // derived, not counted — every itemset that ever entered is either
+  // still tracked or left through an eviction/promotion, so
+  //   insertions == tracked_ + evictions + promotions
+  // at all times. FlushMetrics() (const — a bookkeeping side effect,
+  // hence the mutable reported state) pushes the delta against what was
+  // last reported into the registry's atomics at read boundaries.
+  struct EventTotals {
+    uint64_t evictions = 0;
+    uint64_t promotions = 0;
+    uint64_t settled_non_implication = 0;
+    uint64_t settled_budget = 0;
+    uint64_t settled_merge = 0;
+  };
+
   ImplicationConditions conditions_;
   NipsOptions options_;
   std::vector<Cell> cells_;
+  EventTotals totals_;
+  mutable EventTotals reported_;
+  mutable uint64_t insertions_reported_ = 0;
   size_t tracked_ = 0;
   int fringe_left_ = 0;    // leftmost undecided cell (Zone-1 ends here)
   int fringe_right_ = -1;  // rightmost hashed cell; -1 before any input

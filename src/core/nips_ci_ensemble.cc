@@ -1,9 +1,47 @@
 #include "core/nips_ci_ensemble.h"
 
+#include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
 namespace implistat {
+
+namespace {
+
+// Pipeline-level ingest and distribution metrics for the user-facing
+// estimator (per-bitmap fringe traffic lives in nips.cc).
+struct NipsCiMetrics {
+  obs::Counter* tuples_observed;
+  obs::Histogram* observe_latency_ns;
+  obs::Counter* merges;
+  obs::Counter* serializes;
+  obs::Counter* serialize_bytes;
+  obs::Counter* deserializes;
+
+  static NipsCiMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static NipsCiMetrics m{
+        reg.GetCounter("implistat_tuples_observed_total",
+                       "Tuples ingested through NipsCi::Observe (the "
+                       "stream length n as the sketch saw it)"),
+        reg.GetHistogram("implistat_observe_latency_ns",
+                         "Sampled NipsCi::Observe latency in nanoseconds "
+                         "(1 in 1024 calls timed; power-of-two buckets)"),
+        reg.GetCounter("nips_merges_total",
+                       "Ensemble merges folded in via NipsCi::Merge (the "
+                       "distributed-aggregation path)"),
+        reg.GetCounter("nips_serializes_total",
+                       "Sketches serialized for the wire"),
+        reg.GetCounter("nips_serialize_bytes_total",
+                       "Wire bytes produced by NipsCi::Serialize"),
+        reg.GetCounter("nips_deserializes_total",
+                       "Sketches decoded from the wire"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 NipsCi::NipsCi(ImplicationConditions conditions, NipsCiOptions options)
     : conditions_(conditions),
@@ -24,16 +62,57 @@ NipsCi::NipsCi(ImplicationConditions conditions, NipsCiOptions options)
   for (int i = 0; i < options.num_bitmaps; ++i) {
     bitmaps_.emplace_back(conditions_, options_.nips);
   }
+  // Pre-register the pipeline metrics (merge/serialize counters included)
+  // so a snapshot taken before any such event still lists them at zero.
+  IMPLISTAT_IF_METRICS(NipsCiMetrics::Get());
 }
 
-void NipsCi::Observe(ItemsetKey a, ItemsetKey b) {
+void NipsCi::ObserveImpl(ItemsetKey a, ItemsetKey b) {
   uint64_t h = hasher_->Hash(a);
   size_t which = h & (bitmaps_.size() - 1);
   int cell = RhoLsb(h >> route_bits_);
   bitmaps_[which].ObserveAt(cell, a, b);
 }
 
+void NipsCi::Observe(ItemsetKey a, ItemsetKey b) {
+  if constexpr (obs::kMetricsEnabled) {
+    // The common path costs one decrement-and-test of a hot member; the
+    // registry's atomics and the clock live in the outlined 1-in-1024
+    // path (and in FlushMetrics at read boundaries).
+    if (--sample_countdown_ == 0) [[unlikely]] {
+      ObserveSampled(a, b);
+      return;
+    }
+  }
+  ObserveImpl(a, b);
+}
+
+__attribute__((noinline)) void NipsCi::ObserveSampled(ItemsetKey a,
+                                                      ItemsetKey b) {
+  // The countdown just hit zero: close this sampling window before the
+  // refill so ObserveCalls() stays exact across the reset.
+  observe_count_base_ += obs::kLatencySampleMask + 1;
+  sample_countdown_ = obs::kLatencySampleMask + 1;
+  NipsCiMetrics& m = NipsCiMetrics::Get();
+  m.tuples_observed->Increment(ObserveCalls() - observe_flushed_);
+  observe_flushed_ = ObserveCalls();
+  obs::ScopedTimer timer(m.observe_latency_ns);
+  ObserveImpl(a, b);
+}
+
+void NipsCi::FlushMetrics() const {
+  if constexpr (obs::kMetricsEnabled) {
+    if (ObserveCalls() != observe_flushed_) {
+      NipsCiMetrics::Get().tuples_observed->Increment(ObserveCalls() -
+                                                      observe_flushed_);
+      observe_flushed_ = ObserveCalls();
+    }
+    for (const Nips& nips : bitmaps_) nips.FlushMetrics();
+  }
+}
+
 CiEstimate NipsCi::Estimate() const {
+  FlushMetrics();
   return CiFromEnsemble(std::span<const Nips>(bitmaps_));
 }
 
@@ -62,6 +141,7 @@ Status NipsCi::Merge(const NipsCi& other) {
   for (size_t i = 0; i < bitmaps_.size(); ++i) {
     IMPLISTAT_RETURN_NOT_OK(bitmaps_[i].Merge(other.bitmaps_[i]));
   }
+  IMPLISTAT_IF_METRICS(NipsCiMetrics::Get().merges->Increment());
   return Status::OK();
 }
 
@@ -70,13 +150,20 @@ constexpr uint8_t kNipsCiFormatVersion = 1;
 }  // namespace
 
 std::string NipsCi::Serialize() const {
+  FlushMetrics();
   ByteWriter out;
   out.PutU8(kNipsCiFormatVersion);
   out.PutU32(static_cast<uint32_t>(options_.num_bitmaps));
   out.PutU8(static_cast<uint8_t>(options_.hash_kind));
   out.PutU64(options_.seed);
   for (const Nips& nips : bitmaps_) nips.SerializeTo(&out);
-  return out.Release();
+  std::string bytes = out.Release();
+  IMPLISTAT_IF_METRICS({
+    NipsCiMetrics& m = NipsCiMetrics::Get();
+    m.serializes->Increment();
+    m.serialize_bytes->Increment(bytes.size());
+  });
+  return bytes;
 }
 
 StatusOr<NipsCi> NipsCi::Deserialize(std::string_view bytes) {
@@ -121,16 +208,19 @@ StatusOr<NipsCi> NipsCi::Deserialize(std::string_view bytes) {
     }
   }
   out.bitmaps_ = std::move(bitmaps);
+  IMPLISTAT_IF_METRICS(NipsCiMetrics::Get().deserializes->Increment());
   return out;
 }
 
 size_t NipsCi::MemoryBytes() const {
+  FlushMetrics();
   size_t bytes = sizeof(*this);
   for (const Nips& nips : bitmaps_) bytes += nips.MemoryBytes();
   return bytes;
 }
 
 size_t NipsCi::TrackedItemsets() const {
+  FlushMetrics();
   size_t n = 0;
   for (const Nips& nips : bitmaps_) n += nips.TrackedItemsets();
   return n;

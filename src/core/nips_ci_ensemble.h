@@ -17,6 +17,7 @@
 #include "core/estimator.h"
 #include "core/nips.h"
 #include "hash/hash_family.h"
+#include "obs/metrics.h"
 
 namespace implistat {
 
@@ -47,6 +48,13 @@ class NipsCi final : public ImplicationEstimator {
   /// Total itemsets currently held across all fringes (the §4.6 budget).
   size_t TrackedItemsets() const;
 
+  /// Folds the batched ingest count and every bitmap's pending fringe
+  /// events into the global metrics registry. Observe() stays atomic-free:
+  /// it counts into a plain member and this drains it at read boundaries
+  /// (Estimate / Serialize / MemoryBytes / TrackedItemsets all call it),
+  /// so any snapshot taken after an estimate is exact.
+  void FlushMetrics() const;
+
   /// Folds another node's ensemble into this one. Both must be configured
   /// identically — same conditions, bitmap count/options, hash kind and
   /// seed — so their bitmaps are hash-compatible. This is the distributed
@@ -65,11 +73,32 @@ class NipsCi final : public ImplicationEstimator {
   const ImplicationConditions& conditions() const { return conditions_; }
 
  private:
+  void ObserveImpl(ItemsetKey a, ItemsetKey b);
+  // Cold 1-in-1024 path: flushes the batched tuple count and times the
+  // observe. Outlined (and kept out of Observe) so the hot path keeps a
+  // single ObserveImpl call site and inlines exactly like a metrics-off
+  // build.
+  void ObserveSampled(ItemsetKey a, ItemsetKey b);
+
   ImplicationConditions conditions_;
   NipsCiOptions options_;
   std::unique_ptr<Hasher64> hasher_;
   std::vector<Nips> bitmaps_;
+  // Exact ingest count, kept as (completed windows, countdown within the
+  // window) so the per-tuple cost is a single decrement-and-test of a hot
+  // member — no atomics, no registry. ObserveSampled refills the window;
+  // ObserveCalls() reconstructs the exact total; FlushMetrics pushes the
+  // delta into the registry at read boundaries (mutable: flushing from
+  // const readers is a bookkeeping side effect).
+  uint64_t ObserveCalls() const {
+    return observe_count_base_ +
+           (obs::kLatencySampleMask + 1 - sample_countdown_);
+  }
+
   int route_bits_;
+  uint64_t sample_countdown_ = obs::kLatencySampleMask + 1;
+  uint64_t observe_count_base_ = 0;
+  mutable uint64_t observe_flushed_ = 0;
 };
 
 }  // namespace implistat

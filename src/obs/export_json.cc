@@ -1,0 +1,136 @@
+#include "obs/export_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace implistat::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  AppendEscaped(out, s);
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+// The "le" bound as Prometheus would print it, kept identical across the
+// two exporters so a snapshot round-trips between them.
+std::string BucketBoundLabel(int i) {
+  if (i >= kHistogramBuckets - 1) return "+Inf";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, HistogramBucketUpperBound(i));
+  return buf;
+}
+
+}  // namespace
+
+std::string WriteMetricsJson(const RegistrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + snapshot.metrics.size() * 128);
+  out.append("{\n  \"format\": \"implistat-metrics-v1\",\n  \"metrics\": [");
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n    {\"name\": ");
+    AppendString(&out, m.name);
+    out.append(", \"type\": ");
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out.append("\"counter\"");
+        break;
+      case MetricKind::kGauge:
+        out.append("\"gauge\"");
+        break;
+      case MetricKind::kHistogram:
+        out.append("\"histogram\"");
+        break;
+    }
+    if (!m.help.empty()) {
+      out.append(", \"help\": ");
+      AppendString(&out, m.help);
+    }
+    if (!m.label_key.empty()) {
+      out.append(", \"labels\": {");
+      AppendString(&out, m.label_key);
+      out.append(": ");
+      AppendString(&out, m.label_value);
+      out.push_back('}');
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out.append(", \"value\": ");
+        AppendU64(&out, m.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out.append(", \"value\": ");
+        AppendI64(&out, m.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out.append(", \"count\": ");
+        AppendU64(&out, m.hist_count);
+        out.append(", \"sum\": ");
+        AppendU64(&out, m.hist_sum);
+        out.append(", \"buckets\": [");
+        int highest = -1;
+        for (int i = 0; i < static_cast<int>(m.hist_buckets.size()); ++i) {
+          if (m.hist_buckets[static_cast<size_t>(i)] != 0) highest = i;
+        }
+        for (int i = 0; i <= highest; ++i) {
+          if (i > 0) out.append(", ");
+          out.append("{\"le\": ");
+          AppendString(&out, BucketBoundLabel(i));
+          out.append(", \"count\": ");
+          AppendU64(&out, m.hist_buckets[static_cast<size_t>(i)]);
+          out.push_back('}');
+        }
+        out.push_back(']');
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out.append("\n  ]\n}\n");
+  return out;
+}
+
+}  // namespace implistat::obs

@@ -1,0 +1,32 @@
+// JSON snapshot exporter — a pure function over a RegistrySnapshot, so the
+// core needs no I/O (the caller decides where the string goes).
+//
+// Layout (one object per metric, histogram buckets trimmed to the highest
+// non-empty bucket, "le" bounds as strings so 2^63-1 survives double-only
+// JSON readers):
+//
+//   {
+//     "format": "implistat-metrics-v1",
+//     "metrics": [
+//       {"name": "...", "type": "counter", "help": "...",
+//        "labels": {"condition": "confidence"}, "value": 42},
+//       {"name": "...", "type": "gauge", "value": -3},
+//       {"name": "...", "type": "histogram", "count": 7, "sum": 123,
+//        "buckets": [{"le": "0", "count": 1}, {"le": "1", "count": 2}]}
+//     ]
+//   }
+
+#ifndef IMPLISTAT_OBS_EXPORT_JSON_H_
+#define IMPLISTAT_OBS_EXPORT_JSON_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace implistat::obs {
+
+std::string WriteMetricsJson(const RegistrySnapshot& snapshot);
+
+}  // namespace implistat::obs
+
+#endif  // IMPLISTAT_OBS_EXPORT_JSON_H_

@@ -1,0 +1,150 @@
+#include "obs/export_prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace implistat::obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+// HELP lines escape backslash and newline; label values additionally
+// escape the double quote (exposition format 0.0.4).
+void AppendHelpEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendLabelValueEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '"') {
+      out->append("\\\"");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendLabel(std::string* out, const std::string& key,
+                 const std::string& value, bool* any) {
+  out->push_back(*any ? ',' : '{');
+  *any = true;
+  out->append(key);
+  out->append("=\"");
+  AppendLabelValueEscaped(out, value);
+  out->push_back('"');
+}
+
+// Series line: name[{labels}] value\n. `extra_key`/`extra_value` append a
+// synthetic label (used for histogram `le`).
+void AppendSeries(std::string* out, const std::string& name,
+                  const MetricSnapshot& m, const std::string& extra_key,
+                  const std::string& extra_value, uint64_t value) {
+  out->append(name);
+  bool any = false;
+  if (!m.label_key.empty()) AppendLabel(out, m.label_key, m.label_value, &any);
+  if (!extra_key.empty()) AppendLabel(out, extra_key, extra_value, &any);
+  if (any) out->push_back('}');
+  out->push_back(' ');
+  AppendU64(out, value);
+  out->push_back('\n');
+}
+
+std::string BucketBoundLabel(int i) {
+  if (i >= kHistogramBuckets - 1) return "+Inf";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, HistogramBucketUpperBound(i));
+  return buf;
+}
+
+void AppendHeader(std::string* out, const MetricSnapshot& m) {
+  out->append("# HELP ");
+  out->append(m.name);
+  out->push_back(' ');
+  AppendHelpEscaped(out, m.help.empty() ? m.name : m.help);
+  out->append("\n# TYPE ");
+  out->append(m.name);
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      out->append(" counter\n");
+      break;
+    case MetricKind::kGauge:
+      out->append(" gauge\n");
+      break;
+    case MetricKind::kHistogram:
+      out->append(" histogram\n");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string WriteMetricsPrometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + snapshot.metrics.size() * 160);
+  const std::string* prev_name = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    // The snapshot is sorted, so label variants of one family are
+    // contiguous: emit HELP/TYPE once per name.
+    if (prev_name == nullptr || *prev_name != m.name) AppendHeader(&out, m);
+    prev_name = &m.name;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        AppendSeries(&out, m.name, m, "", "", m.counter_value);
+        break;
+      case MetricKind::kGauge: {
+        out.append(m.name);
+        if (!m.label_key.empty()) {
+          bool any = false;
+          AppendLabel(&out, m.label_key, m.label_value, &any);
+          out.push_back('}');
+        }
+        out.push_back(' ');
+        AppendI64(&out, m.gauge_value);
+        out.push_back('\n');
+        break;
+      }
+      case MetricKind::kHistogram: {
+        int highest = -1;
+        for (int i = 0; i < static_cast<int>(m.hist_buckets.size()); ++i) {
+          if (m.hist_buckets[static_cast<size_t>(i)] != 0) highest = i;
+        }
+        uint64_t cumulative = 0;
+        for (int i = 0; i <= highest && i < kHistogramBuckets - 1; ++i) {
+          cumulative += m.hist_buckets[static_cast<size_t>(i)];
+          AppendSeries(&out, m.name + "_bucket", m, "le", BucketBoundLabel(i),
+                       cumulative);
+        }
+        AppendSeries(&out, m.name + "_bucket", m, "le", "+Inf", m.hist_count);
+        AppendSeries(&out, m.name + "_sum", m, "", "", m.hist_sum);
+        AppendSeries(&out, m.name + "_count", m, "", "", m.hist_count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace implistat::obs

@@ -1,0 +1,23 @@
+// Prometheus text-format exporter (exposition format 0.0.4) — a pure
+// function over a RegistrySnapshot.
+//
+// One # HELP / # TYPE pair per metric family (label variants of the same
+// name share them); histograms expand to the conventional
+// `_bucket{le="..."}` / `_sum` / `_count` series with cumulative bucket
+// counts. Bucket lists are trimmed: bounds above the highest non-empty
+// bucket collapse into the mandatory `le="+Inf"` line.
+
+#ifndef IMPLISTAT_OBS_EXPORT_PROMETHEUS_H_
+#define IMPLISTAT_OBS_EXPORT_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace implistat::obs {
+
+std::string WriteMetricsPrometheus(const RegistrySnapshot& snapshot);
+
+}  // namespace implistat::obs
+
+#endif  // IMPLISTAT_OBS_EXPORT_PROMETHEUS_H_

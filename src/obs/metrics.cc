@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include "util/logging.h"
+
+namespace implistat::obs::real {
+
+namespace {
+
+std::string MetricKey(std::string_view name, std::string_view label_key,
+                      std::string_view label_value) {
+  std::string key;
+  key.reserve(name.size() + label_key.size() + label_value.size() + 2);
+  key.append(name);
+  key.push_back('\x01');
+  key.append(label_key);
+  key.push_back('\x01');
+  key.append(label_value);
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(MetricKind kind,
+                                                  std::string_view name,
+                                                  std::string_view help,
+                                                  std::string_view label_key,
+                                                  std::string_view label_value) {
+  IMPLISTAT_CHECK(!name.empty()) << "metric name must not be empty";
+  IMPLISTAT_CHECK(label_key.empty() == label_value.empty())
+      << "metric " << name << ": label key and value must come together";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      metrics_.try_emplace(MetricKey(name, label_key, label_value));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    entry.name = std::string(name);
+    entry.help = std::string(help);
+    entry.label_key = std::string(label_key);
+    entry.label_value = std::string(label_value);
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else {
+    IMPLISTAT_CHECK(entry.kind == kind)
+        << "metric " << name << " re-registered under a different kind";
+    if (entry.help.empty() && !help.empty()) entry.help = std::string(help);
+  }
+  return entry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     std::string_view label_key,
+                                     std::string_view label_value) {
+  return GetEntry(MetricKind::kCounter, name, help, label_key, label_value)
+      .counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 std::string_view label_key,
+                                 std::string_view label_value) {
+  return GetEntry(MetricKind::kGauge, name, help, label_key, label_value)
+      .gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  return GetEntry(MetricKind::kHistogram, name, help, label_key, label_value)
+      .histogram.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(metrics_.size());
+  for (const auto& [key, entry] : metrics_) {
+    MetricSnapshot m;
+    m.name = entry.name;
+    m.help = entry.help;
+    m.label_key = entry.label_key;
+    m.label_value = entry.label_value;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        m.counter_value = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        m.gauge_value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        m.hist_count = entry.histogram->Count();
+        m.hist_sum = entry.histogram->Sum();
+        m.hist_buckets.resize(kHistogramBuckets);
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          m.hist_buckets[static_cast<size_t>(i)] =
+              entry.histogram->BucketCount(i);
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace implistat::obs::real

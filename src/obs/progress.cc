@@ -1,0 +1,98 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+
+namespace implistat::obs {
+
+namespace {
+
+constexpr const char* kTrackedGaugeHelp =
+    "Itemsets currently tracked across all fringes (the section 4.6 "
+    "budget occupancy); refreshed at progress-report boundaries";
+constexpr const char* kBudgetGaugeHelp =
+    "Configured itemset budget: num_bitmaps * capacity_factor * (2^F - 1); "
+    "0 when unbounded";
+constexpr const char* kMemoryGaugeHelp =
+    "MemoryBytes() of the probed estimator, fringe-cell heap included; "
+    "refreshed at progress-report boundaries";
+
+}  // namespace
+
+StreamProgressReporter::StreamProgressReporter(StreamProgressOptions options,
+                                               Probe probe)
+    : every_(options.every),
+      options_(options),
+      probe_(std::move(probe)),
+      rate_(options.rate_horizon >= 1 ? options.rate_horizon : 1),
+      start_(std::chrono::steady_clock::now()),
+      last_report_(start_),
+      tracked_gauge_(MetricsRegistry::Global().GetGauge(
+          "nips_tracked_itemsets", kTrackedGaugeHelp)),
+      budget_gauge_(MetricsRegistry::Global().GetGauge("nips_itemset_budget",
+                                                       kBudgetGaugeHelp)),
+      memory_gauge_(MetricsRegistry::Global().GetGauge(
+          "implistat_estimator_memory_bytes", kMemoryGaugeHelp)) {}
+
+void StreamProgressReporter::TickBatch(uint64_t n) {
+  if (n == 0) return;
+  uint64_t before = tuples_;
+  tuples_ += n;
+  if (every_ != 0 && tuples_ / every_ != before / every_) {
+    Report(/*final=*/false);
+  }
+}
+
+void StreamProgressReporter::Report(bool final) {
+  auto now = std::chrono::steady_clock::now();
+  double interval_s =
+      std::chrono::duration<double>(now - last_report_).count();
+  uint64_t interval_tuples = tuples_ - last_reported_tuples_;
+  if (interval_tuples > 0 && interval_s > 0) {
+    rate_.AddSample(static_cast<double>(interval_tuples) / interval_s);
+  }
+  last_report_ = now;
+  last_reported_tuples_ = tuples_;
+
+  ProgressStats stats;
+  if (probe_) stats = probe_();
+  tracked_gauge_->Set(static_cast<int64_t>(stats.tracked_itemsets));
+  budget_gauge_->Set(static_cast<int64_t>(stats.itemset_budget));
+  memory_gauge_->Set(static_cast<int64_t>(stats.memory_bytes));
+
+  char line[256];
+  int n = std::snprintf(line, sizeof(line), "[%s] %stuples=%" PRIu64
+                        " rate=%.3g/s",
+                        options_.tag, final ? "done: " : "", tuples_,
+                        rate_.Average());
+  auto append = [&](const char* fmt, auto... args) {
+    if (n < 0 || n >= static_cast<int>(sizeof(line))) return;
+    int r = std::snprintf(line + n, sizeof(line) - static_cast<size_t>(n),
+                          fmt, args...);
+    if (r > 0) n += r;
+  };
+  if (stats.has_estimates) {
+    if (stats.implication >= 0) append(" S=%.1f", stats.implication);
+    if (stats.non_implication >= 0) append(" ~S=%.1f", stats.non_implication);
+  }
+  if (stats.has_tracking) {
+    if (stats.itemset_budget > 0) {
+      append(" tracked=%zu/%zu", stats.tracked_itemsets,
+             stats.itemset_budget);
+    } else {
+      append(" tracked=%zu", stats.tracked_itemsets);
+    }
+  }
+  if (stats.memory_bytes > 0) append(" mem=%zuB", stats.memory_bytes);
+  if (final) {
+    append(" elapsed=%.2fs",
+           std::chrono::duration<double>(now - start_).count());
+  }
+
+  std::ostream& out = options_.out != nullptr ? *options_.out : std::cerr;
+  out << line << "\n";
+  out.flush();
+}
+
+}  // namespace implistat::obs

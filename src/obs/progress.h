@@ -1,0 +1,100 @@
+// StreamProgressReporter: one-line pipeline progress every N tuples.
+//
+// The paper's pitch (§4.6) is a fixed budget — 64 bitmaps × fringe 4 →
+// 1920 tracked itemsets — that holds while the stream grows without
+// bound. This reporter makes that visible while a stream drains:
+//
+//   [implistat] tuples=300000 rate=2.41e+06/s S=812.4 ~S=190.2
+//       tracked=1887/1920 mem=145312B
+//
+// Throughput is a MovingAverage over the last few reporting intervals
+// (so a rate dip is visible instead of being averaged into the whole
+// run); estimates come from an optional probe callback the caller
+// supplies (see obs/estimator_probe.h for the standard one), invoked only
+// at reporting boundaries so the per-tuple cost is one increment and one
+// compare. Each report also refreshes the nips_tracked_itemsets /
+// nips_itemset_budget / implistat_estimator_memory_bytes gauges so
+// snapshot exports agree with the printed line.
+
+#ifndef IMPLISTAT_OBS_PROGRESS_H_
+#define IMPLISTAT_OBS_PROGRESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "core/moving_average.h"
+#include "obs/metrics.h"
+
+namespace implistat::obs {
+
+/// What the probe reports at a boundary. Negative estimates mean "cannot
+/// answer" (mirrors ImplicationEstimator) and are omitted from the line;
+/// zero budget means "no fringe budget to compare against".
+struct ProgressStats {
+  double implication = -1.0;
+  double non_implication = -1.0;
+  size_t tracked_itemsets = 0;
+  size_t itemset_budget = 0;
+  size_t memory_bytes = 0;
+  bool has_estimates = false;
+  bool has_tracking = false;
+};
+
+struct StreamProgressOptions {
+  /// Report every `every` tuples; 0 reports only on Finish().
+  uint64_t every = 100000;
+  /// MovingAverage horizon, in reporting intervals, for the rate.
+  size_t rate_horizon = 8;
+  /// Destination stream; nullptr means std::cerr.
+  std::ostream* out = nullptr;
+  /// Line prefix tag.
+  const char* tag = "implistat";
+};
+
+class StreamProgressReporter {
+ public:
+  using Probe = std::function<ProgressStats()>;
+
+  explicit StreamProgressReporter(StreamProgressOptions options,
+                                  Probe probe = nullptr);
+
+  /// Counts one tuple; emits a report line every `options.every` tuples.
+  void Tick() {
+    ++tuples_;
+    if (every_ != 0 && tuples_ % every_ == 0) Report(/*final=*/false);
+  }
+
+  /// Counts `n` tuples at once (batch ingest); reports at most once.
+  void TickBatch(uint64_t n);
+
+  /// Emits a final summary line and refreshes the gauges. Idempotent in
+  /// the sense that each call reports the state at that moment.
+  void Finish() { Report(/*final=*/true); }
+
+  uint64_t tuples_seen() const { return tuples_; }
+
+  /// Mean tuples/sec over the MovingAverage horizon (0 before the first
+  /// report).
+  double RateTuplesPerSec() const { return rate_.Average(); }
+
+ private:
+  void Report(bool final);
+
+  uint64_t every_;
+  StreamProgressOptions options_;
+  Probe probe_;
+  uint64_t tuples_ = 0;
+  uint64_t last_reported_tuples_ = 0;
+  MovingAverage rate_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_report_;
+  Gauge* tracked_gauge_;
+  Gauge* budget_gauge_;
+  Gauge* memory_gauge_;
+};
+
+}  // namespace implistat::obs
+
+#endif  // IMPLISTAT_OBS_PROGRESS_H_

@@ -1,5 +1,6 @@
 #include "query/engine.h"
 
+#include "obs/instrumented_estimator.h"
 #include "query/parser.h"
 
 namespace implistat {
@@ -48,6 +49,9 @@ StatusOr<QueryId> QueryEngine::Register(ImplicationQuerySpec spec) {
   IMPLISTAT_ASSIGN_OR_RETURN(
       query.estimator,
       MakeEstimator(query.spec.conditions, query.spec.estimator));
+  // Every engine-built estimator reports comparable per-estimator ingest
+  // metrics (no-op wrapper removal when metrics are compiled out).
+  query.estimator = obs::MaybeInstrument(std::move(query.estimator));
   queries_.push_back(std::move(query));
   return static_cast<QueryId>(queries_.size()) - 1;
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace implistat {
 namespace {
 
@@ -193,6 +195,41 @@ TEST(NipsTest, TrackedItemsetsNeverExceedsBudget) {
     nips.ObserveAt(i % 8, 5000 + i, 1);
   }
   EXPECT_LE(nips.TrackedItemsets(), nips.ItemBudget());
+}
+
+TEST(NipsTest, FringeTrafficCountersMatchTrackedItemsets) {
+  // Every itemset that enters a fringe leaves it exactly once — evicted
+  // by §4.3.3 budget fixation or promoted when its cell settles — so the
+  // counter deltas over any workload must balance the live population:
+  //   insertions − evictions − promotions == Σ TrackedItemsets().
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with IMPLISTAT_METRICS=OFF";
+  }
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* insertions = reg.GetCounter("nips_fringe_insertions_total");
+  obs::Counter* evictions = reg.GetCounter("nips_fringe_evictions_total");
+  obs::Counter* promotions = reg.GetCounter("nips_settled_promotions_total");
+  uint64_t ins0 = insertions->Value();
+  uint64_t ev0 = evictions->Value();
+  uint64_t pr0 = promotions->Value();
+
+  // A budget-pressured bitmap (evictions) plus an unbounded one whose
+  // K=1 violations settle cells (promotions), observed interleaved.
+  Nips bounded(OneToOne(2), Bounded(4, 2));
+  Nips unbounded(OneToOne(1), Unbounded());
+  for (int i = 0; i < 5000; ++i) {
+    bounded.ObserveAt(i % 16, 1000 + i % 300, i % 5);
+    unbounded.ObserveAt(i % 16, 1000 + i % 300, i % 3);
+  }
+
+  // TrackedItemsets() is the read boundary that folds each bitmap's
+  // batched events into the registry — take it first, then the deltas.
+  size_t live = bounded.TrackedItemsets() + unbounded.TrackedItemsets();
+  uint64_t inserted = insertions->Value() - ins0;
+  uint64_t evicted = evictions->Value() - ev0;
+  uint64_t promoted = promotions->Value() - pr0;
+  EXPECT_GT(inserted, 0u);
+  EXPECT_EQ(inserted - evicted - promoted, live);
 }
 
 TEST(NipsTest, MemoryShrinksAsCellsDecide) {

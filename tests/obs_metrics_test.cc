@@ -1,0 +1,317 @@
+// Tests for the obs metrics core: counter/gauge/histogram semantics,
+// power-of-two bucket boundaries, registry identity and snapshot
+// isolation, and golden checks for the JSON / Prometheus exporters.
+//
+// Everything here drives `obs::real::` types on local registries, so the
+// suite is meaningful in both -DIMPLISTAT_METRICS=ON and OFF builds (the
+// real implementation is always compiled; only the aliases switch).
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nips_ci_ensemble.h"
+#include "obs/export_json.h"
+#include "obs/export_prometheus.h"
+#include "obs/metrics.h"
+
+namespace implistat::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  real::Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  real::Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(10);
+  g.Add(-15);
+  EXPECT_EQ(g.Value(), -5);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  real::Histogram h;
+  h.Record(0);  // bucket 0: exactly the zeros
+  h.Record(1);  // bucket 1
+  h.Record(5);  // bit_width(5) == 3
+  h.Record(8);  // bit_width(8) == 4
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 14u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+}
+
+TEST(HistogramTest, PowerOfTwoBoundaries) {
+  // 2^k - 1 is the inclusive upper bound of bucket k; 2^k opens bucket
+  // k + 1.
+  for (int k = 1; k < 63; ++k) {
+    real::Histogram h;
+    uint64_t bound = (uint64_t{1} << k) - 1;
+    h.Record(bound);
+    h.Record(bound + 1);
+    EXPECT_EQ(h.BucketCount(k), 1u) << "k=" << k;
+    EXPECT_EQ(h.BucketCount(k + 1), 1u) << "k=" << k;
+  }
+  real::Histogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.BucketCount(64), 1u);
+}
+
+TEST(HistogramTest, UpperBoundTable) {
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(1), 1u);
+  EXPECT_EQ(HistogramBucketUpperBound(2), 3u);
+  EXPECT_EQ(HistogramBucketUpperBound(10), 1023u);
+  EXPECT_EQ(HistogramBucketUpperBound(63), (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(HistogramBucketUpperBound(64), ~uint64_t{0});
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleAndToleratesNull) {
+  real::Histogram h;
+  { real::ScopedTimer t(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+  { real::ScopedTimer t(nullptr); }  // must not crash
+}
+
+TEST(RegistryTest, ReRegistrationReturnsTheSameHandle) {
+  real::MetricsRegistry reg;
+  real::Counter* a = reg.GetCounter("x_total", "first help");
+  real::Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.NumMetrics(), 1u);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(RegistryTest, LabelsAreDistinctSeries) {
+  real::MetricsRegistry reg;
+  real::Counter* a = reg.GetCounter("hits_total", "", "site", "a");
+  real::Counter* b = reg.GetCounter("hits_total", "", "site", "b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.NumMetrics(), 2u);
+  EXPECT_EQ(a, reg.GetCounter("hits_total", "", "site", "a"));
+}
+
+TEST(RegistryTest, HelpBackfillsOnLaterRegistration) {
+  real::MetricsRegistry reg;
+  reg.GetCounter("x_total");
+  reg.GetCounter("x_total", "late help");
+  RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].help, "late help");
+}
+
+TEST(RegistryTest, SnapshotIsIsolatedFromLaterMutation) {
+  real::MetricsRegistry reg;
+  real::Counter* c = reg.GetCounter("x_total");
+  real::Histogram* h = reg.GetHistogram("lat");
+  c->Increment(5);
+  h->Record(9);
+  RegistrySnapshot snap = reg.Snapshot();
+  c->Increment(100);
+  h->Record(1000);
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  // Sorted by name: "lat" < "x_total".
+  EXPECT_EQ(snap.metrics[0].name, "lat");
+  EXPECT_EQ(snap.metrics[0].hist_count, 1u);
+  EXPECT_EQ(snap.metrics[0].hist_sum, 9u);
+  EXPECT_EQ(snap.metrics[1].counter_value, 5u);
+}
+
+TEST(RegistryTest, SnapshotSortsNamesAndLabelVariants) {
+  real::MetricsRegistry reg;
+  reg.GetCounter("z_total");
+  reg.GetCounter("a_total", "", "k", "v2");
+  reg.GetCounter("a_total", "", "k", "v1");
+  RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "a_total");
+  EXPECT_EQ(snap.metrics[0].label_value, "v1");
+  EXPECT_EQ(snap.metrics[1].label_value, "v2");
+  EXPECT_EQ(snap.metrics[2].name, "z_total");
+}
+
+// Builds the small registry both exporter goldens use: a labelled
+// histogram, an unlabelled gauge and an unlabelled counter.
+RegistrySnapshot GoldenSnapshot() {
+  real::MetricsRegistry reg;
+  reg.GetCounter("requests_total", "Total requests")->Increment(3);
+  reg.GetGauge("queue_depth")->Set(-2);
+  real::Histogram* h = reg.GetHistogram("lat", "Latency", "stage", "parse");
+  h->Record(0);
+  h->Record(1);
+  h->Record(5);
+  h->Record(8);
+  return reg.Snapshot();
+}
+
+TEST(JsonExportTest, Golden) {
+  const std::string expected =
+      "{\n"
+      "  \"format\": \"implistat-metrics-v1\",\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"lat\", \"type\": \"histogram\", \"help\": "
+      "\"Latency\", \"labels\": {\"stage\": \"parse\"}, \"count\": 4, "
+      "\"sum\": 14, \"buckets\": [{\"le\": \"0\", \"count\": 1}, "
+      "{\"le\": \"1\", \"count\": 1}, {\"le\": \"3\", \"count\": 0}, "
+      "{\"le\": \"7\", \"count\": 1}, {\"le\": \"15\", \"count\": 1}]},\n"
+      "    {\"name\": \"queue_depth\", \"type\": \"gauge\", \"value\": -2},\n"
+      "    {\"name\": \"requests_total\", \"type\": \"counter\", \"help\": "
+      "\"Total requests\", \"value\": 3}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(WriteMetricsJson(GoldenSnapshot()), expected);
+}
+
+TEST(JsonExportTest, EscapesStrings) {
+  real::MetricsRegistry reg;
+  reg.GetCounter("x_total", "line\nbreak \"quoted\" back\\slash");
+  std::string json = WriteMetricsJson(reg.Snapshot());
+  EXPECT_NE(json.find("line\\nbreak \\\"quoted\\\" back\\\\slash"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, Golden) {
+  const std::string expected =
+      "# HELP lat Latency\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{stage=\"parse\",le=\"0\"} 1\n"
+      "lat_bucket{stage=\"parse\",le=\"1\"} 2\n"
+      "lat_bucket{stage=\"parse\",le=\"3\"} 2\n"
+      "lat_bucket{stage=\"parse\",le=\"7\"} 3\n"
+      "lat_bucket{stage=\"parse\",le=\"15\"} 4\n"
+      "lat_bucket{stage=\"parse\",le=\"+Inf\"} 4\n"
+      "lat_sum{stage=\"parse\"} 14\n"
+      "lat_count{stage=\"parse\"} 4\n"
+      "# HELP queue_depth queue_depth\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth -2\n"
+      "# HELP requests_total Total requests\n"
+      "# TYPE requests_total counter\n"
+      "requests_total 3\n";
+  EXPECT_EQ(WriteMetricsPrometheus(GoldenSnapshot()), expected);
+}
+
+TEST(PrometheusExportTest, OneHeaderPerLabelledFamily) {
+  real::MetricsRegistry reg;
+  reg.GetCounter("hits_total", "", "site", "a")->Increment(1);
+  reg.GetCounter("hits_total", "", "site", "b")->Increment(2);
+  const std::string expected =
+      "# HELP hits_total hits_total\n"
+      "# TYPE hits_total counter\n"
+      "hits_total{site=\"a\"} 1\n"
+      "hits_total{site=\"b\"} 2\n";
+  EXPECT_EQ(WriteMetricsPrometheus(reg.Snapshot()), expected);
+}
+
+TEST(PrometheusExportTest, EscapesLabelValuesAndHelp) {
+  real::MetricsRegistry reg;
+  reg.GetCounter("x_total", "help with \\ and\nnewline", "k", "v\"q\\b");
+  std::string text = WriteMetricsPrometheus(reg.Snapshot());
+  EXPECT_NE(text.find("# HELP x_total help with \\\\ and\\nnewline\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("x_total{k=\"v\\\"q\\\\b\"} 0\n"), std::string::npos);
+}
+
+// Structural validity of a Prometheus exposition: every TYPE declared at
+// most once per family, and every sample line shaped
+// name{label="value",...} <integer>.
+void CheckPrometheusParses(const std::string& text) {
+  std::set<std::string> typed;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string family = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(typed.insert(family).second)
+          << "duplicate TYPE for " << family;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    ASSERT_FALSE(line[0] == '#') << line;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    EXPECT_NE(value.find_first_of("0123456789"), std::string::npos) << line;
+    size_t brace = series.find('{');
+    std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    ASSERT_FALSE(name.empty());
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric name char in " << line;
+    }
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      std::string labels = series.substr(brace + 1, series.size() - brace - 2);
+      // Each label is key="value"; values here never contain commas.
+      std::istringstream ls(labels);
+      std::string label;
+      while (std::getline(ls, label, ',')) {
+        size_t eq = label.find('=');
+        ASSERT_NE(eq, std::string::npos) << line;
+        EXPECT_EQ(label[eq + 1], '"') << line;
+        EXPECT_EQ(label.back(), '"') << line;
+      }
+    }
+  }
+}
+
+TEST(PrometheusExportTest, RealPipelineSnapshotParses) {
+  // Drive actual NIPS/CI traffic through the global registry and validate
+  // the full export. With IMPLISTAT_METRICS=OFF the snapshot is empty and
+  // the check is vacuous (the golden tests above still cover the writer).
+  ImplicationConditions conditions;
+  conditions.max_multiplicity = 1;
+  conditions.min_support = 1;
+  conditions.min_top_confidence = 1.0;
+  NipsCiOptions options;
+  options.num_bitmaps = 8;
+  options.nips.fringe_size = 4;
+  NipsCi nips(conditions, options);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    nips.Observe(ItemsetKey{i % 977}, ItemsetKey{i % 13});
+  }
+  std::string blob = nips.Serialize();
+  ASSERT_TRUE(NipsCi::Deserialize(blob).ok());
+
+  RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::string text = WriteMetricsPrometheus(snap);
+  CheckPrometheusParses(text);
+  if constexpr (kMetricsEnabled) {
+    EXPECT_NE(text.find("implistat_tuples_observed_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("nips_fringe_insertions_total"), std::string::npos);
+    EXPECT_NE(text.find("nips_serialize_bytes_total"), std::string::npos);
+  }
+}
+
+TEST(ExportersTest, EmptySnapshotIsWellFormed) {
+  RegistrySnapshot empty;
+  EXPECT_EQ(WriteMetricsJson(empty),
+            "{\n  \"format\": \"implistat-metrics-v1\",\n  \"metrics\": "
+            "[\n  ]\n}\n");
+  EXPECT_EQ(WriteMetricsPrometheus(empty), "");
+}
+
+}  // namespace
+}  // namespace implistat::obs

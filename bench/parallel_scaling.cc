@@ -1,0 +1,211 @@
+// Parallel ingest scaling: sequential NipsCi (per-tuple and batched)
+// against ShardedNipsCi at T = 1, 2, 4, 8 worker threads, on the
+// loyal/violator micro workload. Every sharded configuration is checked
+// bit-identical to the sequential sketch before its numbers are reported
+// — a run that loses determinism fails loudly instead of printing a
+// speedup.
+//
+// Scale knobs: IMPLISTAT_TRIALS (default 3), IMPLISTAT_FULL=1 (4M-tuple
+// stream instead of 800k). An optional argv[1] names a JSON output file
+// (results/BENCH_parallel_scaling.json is the checked-in copy); the JSON
+// records host_cpus because speedup is only meaningful relative to the
+// cores the run actually had.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/nips_ci_ensemble.h"
+#include "parallel/sharded_nips_ci.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions BenchConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 5;
+  cond.min_top_confidence = 0.8;
+  cond.confidence_c = 1;
+  cond.strict_multiplicity = false;
+  return cond;
+}
+
+NipsCiOptions EnsembleOptions() {
+  NipsCiOptions opts;
+  opts.seed = 3;
+  return opts;
+}
+
+std::vector<ItemsetPair> MakeTuples(uint64_t distinct) {
+  std::vector<ItemsetPair> tuples;
+  tuples.reserve(distinct * 8);
+  Rng rng(99);
+  for (uint64_t a = 0; a < distinct; ++a) {
+    bool loyal = (a % 2) == 0;
+    for (int rep = 0; rep < 8; ++rep) {
+      tuples.push_back(ItemsetPair{a, loyal ? 7 : rng.Uniform(1000)});
+    }
+  }
+  for (size_t i = tuples.size() - 1; i > 0; --i) {
+    size_t j = rng.Uniform(i + 1);
+    std::swap(tuples[i], tuples[j]);
+  }
+  return tuples;
+}
+
+constexpr size_t kSpan = 4096;
+
+struct ConfigResult {
+  std::string name;
+  int threads = 1;
+  bench::MeanStd tuples_per_sec;
+  double speedup = 1.0;
+  bool bit_identical = true;
+};
+
+// Times `run` (construct + ingest + one Estimate, so sharded configs pay
+// their drain) over `trials` runs.
+bench::MeanStd Throughput(size_t n, int trials,
+                          const std::function<void()>& run) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    auto start = std::chrono::steady_clock::now();
+    run();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    rates.push_back(static_cast<double>(n) / elapsed.count());
+  }
+  return bench::Summarize(rates);
+}
+
+}  // namespace
+}  // namespace implistat
+
+int main(int argc, char** argv) {
+  using namespace implistat;
+  const uint64_t distinct = bench::EnvFull() ? 500000 : 100000;
+  const int trials = bench::EnvTrials();
+  const std::vector<ItemsetPair> tuples = MakeTuples(distinct);
+  const std::span<const ItemsetPair> all(tuples);
+  const size_t n = tuples.size();
+
+  bench::PrintHeaderBanner(
+      "Parallel ingest scaling (ShardedNipsCi vs sequential NipsCi)",
+      "64 bitmaps, fringe 4, capacity 2; loyal/violator workload");
+  std::printf("n=%zu tuples, trials=%d, host_cpus=%u\n", n, trials,
+              std::thread::hardware_concurrency());
+
+  // Reference sketch: all sharded runs must reproduce these bytes.
+  std::string reference;
+  {
+    NipsCi seq(BenchConditions(), EnsembleOptions());
+    for (const ItemsetPair& p : all) seq.Observe(p.a, p.b);
+    reference = seq.Serialize();
+  }
+
+  std::vector<ConfigResult> results;
+
+  ConfigResult seq_observe;
+  seq_observe.name = "sequential_observe";
+  seq_observe.tuples_per_sec = Throughput(n, trials, [&] {
+    NipsCi est(BenchConditions(), EnsembleOptions());
+    for (const ItemsetPair& p : all) est.Observe(p.a, p.b);
+    est.Estimate();
+  });
+  results.push_back(seq_observe);
+  const double base = seq_observe.tuples_per_sec.mean;
+
+  ConfigResult seq_batch;
+  seq_batch.name = "sequential_observe_batch";
+  seq_batch.tuples_per_sec = Throughput(n, trials, [&] {
+    NipsCi est(BenchConditions(), EnsembleOptions());
+    for (size_t i = 0; i < all.size(); i += kSpan) {
+      est.ObserveBatch(all.subspan(i, std::min(kSpan, all.size() - i)));
+    }
+    est.Estimate();
+  });
+  seq_batch.speedup = seq_batch.tuples_per_sec.mean / base;
+  results.push_back(seq_batch);
+
+  for (int threads : {1, 2, 4, 8}) {
+    ConfigResult r;
+    r.name = "sharded_t" + std::to_string(threads);
+    r.threads = threads;
+    bool identical = true;
+    r.tuples_per_sec = Throughput(n, trials, [&] {
+      ShardedNipsCiOptions opts;
+      opts.threads = threads;
+      opts.ensemble = EnsembleOptions();
+      ShardedNipsCi est(BenchConditions(), opts);
+      for (size_t i = 0; i < all.size(); i += kSpan) {
+        est.ObserveBatch(all.subspan(i, std::min(kSpan, all.size() - i)));
+      }
+      est.Estimate();
+      identical = identical && est.Serialize() == reference;
+    });
+    r.speedup = r.tuples_per_sec.mean / base;
+    r.bit_identical = identical;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: sharded T=%d diverged from the sequential "
+                   "sketch — determinism broken\n",
+                   threads);
+      return 1;
+    }
+    results.push_back(r);
+  }
+
+  std::printf("%-26s %8s %14s %12s %10s\n", "config", "threads",
+              "tuples/sec", "stddev", "speedup");
+  for (const ConfigResult& r : results) {
+    std::printf("%-26s %8d %14.0f %12.0f %9.2fx\n", r.name.c_str(),
+                r.threads, r.tuples_per_sec.mean, r.tuples_per_sec.stddev,
+                r.speedup);
+  }
+
+  if (argc > 1) {
+    std::ofstream json(argv[1]);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"parallel_scaling\",\n"
+         << "  \"workload\": \"loyal/violator micro workload, "
+         << distinct << " distinct itemsets x 8 tuples, shuffled\",\n"
+         << "  \"n_tuples\": " << n << ",\n"
+         << "  \"trials\": " << trials << ",\n"
+         << "  \"host_cpus\": " << std::thread::hardware_concurrency()
+         << ",\n"
+         << "  \"note\": \"speedup is relative to sequential_observe on "
+         << "the same host; with host_cpus=1 the sharded pipeline can "
+         << "only show its overhead, not parallel speedup\",\n"
+         << "  \"configs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ConfigResult& r = results[i];
+      json << "    {\"name\": \"" << r.name << "\", \"threads\": "
+           << r.threads << ", \"tuples_per_sec\": "
+           << static_cast<uint64_t>(r.tuples_per_sec.mean)
+           << ", \"stddev\": "
+           << static_cast<uint64_t>(r.tuples_per_sec.stddev)
+           << ", \"speedup_vs_sequential\": " << r.speedup
+           << ", \"bit_identical\": "
+           << (r.bit_identical ? "true" : "false") << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::fprintf(stderr, "[implistat] scaling results -> %s\n", argv[1]);
+  }
+  bench::MaybeWriteMetricsJson();
+  return 0;
+}

@@ -40,6 +40,10 @@ int Usage(const char* argv0) {
       << "usage: " << argv0
       << " [options] <file.csv|-> \"QUERY\" ...\n\n"
       << "options:\n"
+      << "  --threads N           parallel ingest for NIPS estimators: a\n"
+      << "                        sharded pipeline with N worker threads\n"
+      << "                        (bit-identical results; ignored by exact\n"
+      << "                        baselines and windowed queries)\n"
       << "  --metrics-every N     progress line to stderr every N tuples\n"
       << "  --metrics-json PATH   final JSON metrics snapshot\n"
       << "  --metrics-prom PATH   final Prometheus-text metrics snapshot\n\n"
@@ -66,6 +70,7 @@ bool WriteFile(const std::string& path, const std::string& contents,
 int main(int argc, char** argv) {
   using namespace implistat;
 
+  int threads = 1;
   uint64_t metrics_every = 0;
   std::string metrics_json_path;
   std::string metrics_prom_path;
@@ -79,7 +84,15 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--metrics-every") {
+    if (arg == "--threads") {
+      const char* v = take_value("--threads");
+      if (v == nullptr) return 2;
+      threads = std::atoi(v);
+      if (threads < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--metrics-every") {
       const char* v = take_value("--metrics-every");
       if (v == nullptr) return 2;
       metrics_every = std::strtoull(v, nullptr, 10);
@@ -128,6 +141,7 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
+    spec->estimator.threads = threads;
     auto id = engine.Register(std::move(spec).value());
     if (!id.ok()) {
       std::cerr << "register error in query " << i << ": " << id.status()

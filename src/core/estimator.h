@@ -11,11 +11,18 @@
 #define IMPLISTAT_CORE_ESTIMATOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "stream/itemset.h"
 
 namespace implistat {
+
+/// One stream element: the packed projections of a tuple on A and B.
+struct ItemsetPair {
+  ItemsetKey a;
+  ItemsetKey b;
+};
 
 class ImplicationEstimator {
  public:
@@ -24,6 +31,15 @@ class ImplicationEstimator {
   /// Feeds one stream element: itemset `a` of A appeared with itemset `b`
   /// of B in a tuple.
   virtual void Observe(ItemsetKey a, ItemsetKey b) = 0;
+
+  /// Feeds a batch of stream elements; semantically identical to calling
+  /// Observe on each element in order. Estimators override this to
+  /// amortize dispatch across the batch (one virtual call instead of
+  /// `batch.size()`, hashes precomputed, target cells prefetched — see
+  /// NipsCi::ObserveBatch); the default simply loops.
+  virtual void ObserveBatch(std::span<const ItemsetPair> batch) {
+    for (const ItemsetPair& p : batch) Observe(p.a, p.b);
+  }
 
   /// Estimate of the implication count S = |{a : a → B}|.
   virtual double EstimateImplicationCount() const = 0;

@@ -63,6 +63,16 @@ class Nips {
   /// cell.
   void ObserveAt(int cell, ItemsetKey a, ItemsetKey b);
 
+  /// Cache hint that `cell`'s slot is about to be touched by ObserveAt.
+  /// The batched ingest paths (NipsCi::ObserveBatch, the shard workers of
+  /// src/parallel) issue these a few records ahead so the cell loads of a
+  /// batch overlap instead of serializing on misses.
+  void PrefetchCell(int cell) const {
+    if (cell >= options_.bitmap_bits) cell = options_.bitmap_bits - 1;
+    __builtin_prefetch(&cells_[static_cast<size_t>(cell)], /*rw=*/1,
+                       /*locality=*/1);
+  }
+
   /// Raw position R_~S: index of the leftmost cell whose value is not 1.
   /// Feeds the non-implication estimate (Algorithm 2, lines 5–8).
   int RNonImplication() const;

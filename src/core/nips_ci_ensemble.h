@@ -18,6 +18,7 @@
 #include "core/nips.h"
 #include "hash/hash_family.h"
 #include "obs/metrics.h"
+#include "util/bits.h"
 
 namespace implistat {
 
@@ -36,6 +37,37 @@ class NipsCi final : public ImplicationEstimator {
 
   void Observe(ItemsetKey a, ItemsetKey b) override;
 
+  /// Batched fast path: one virtual call per batch, hashes precomputed in
+  /// a tight loop, each target cell software-prefetched before its update.
+  /// Bit-identical to calling Observe per element (same routing, same
+  /// per-bitmap order); the ingest count stays exact, only the sampled
+  /// latency histogram skips batch-fed tuples.
+  void ObserveBatch(std::span<const ItemsetPair> batch) override;
+
+  /// Where a key lands: which bitmap of the ensemble (the §4.5 stochastic-
+  /// averaging routing bits) and which cell of that bitmap (p() of the
+  /// remaining bits). Exposed so an external ingest layer can hash once on
+  /// a router thread and apply the observation elsewhere — this struct and
+  /// ObserveRouted are the entire contract between NipsCi and the sharded
+  /// pipeline in src/parallel/sharded_nips_ci.h.
+  struct Route {
+    uint32_t bitmap;
+    int32_t cell;
+  };
+  Route RouteOf(ItemsetKey a) const {
+    uint64_t h = hasher_->Hash(a);
+    return Route{static_cast<uint32_t>(h & (bitmaps_.size() - 1)),
+                 static_cast<int32_t>(RhoLsb(h >> route_bits_))};
+  }
+
+  /// Applies one pre-routed observation. Does NOT count toward the ingest
+  /// metrics (the routing layer owns tuple accounting). Concurrent calls
+  /// are safe if and only if no two threads ever touch the same bitmap —
+  /// the disjoint-shard guarantee ShardedNipsCi maintains.
+  void ObserveRouted(Route route, ItemsetKey a, ItemsetKey b) {
+    bitmaps_[route.bitmap].ObserveAt(route.cell, a, b);
+  }
+
   double EstimateImplicationCount() const override;
   double EstimateNonImplicationCount() const override;
   double EstimateSupportedDistinct() const override;
@@ -53,6 +85,14 @@ class NipsCi final : public ImplicationEstimator {
   /// it counts into a plain member and this drains it at read boundaries
   /// (Estimate / Serialize / MemoryBytes / TrackedItemsets all call it),
   /// so any snapshot taken after an estimate is exact.
+  ///
+  /// Thread contract (quiesce-before-read): despite being const, this —
+  /// and therefore every read accessor above — mutates unsynchronized
+  /// bookkeeping and walks the bitmaps. It must never run concurrently
+  /// with ObserveRouted/ObserveAt on any bitmap of this ensemble. Parallel
+  /// ingest must drain its queues and barrier its workers first;
+  /// ShardedNipsCi enforces exactly that before touching these reads (see
+  /// src/parallel/sharded_nips_ci.h).
   void FlushMetrics() const;
 
   /// Folds another node's ensemble into this one. Both must be configured

@@ -52,6 +52,13 @@ class InstrumentedEstimator final : public ImplicationEstimator {
     inner_->Observe(a, b);
   }
 
+  // Batch-fed elements are bulk-counted (no per-element sampling); the
+  // count reaches the shared counter at the next read boundary.
+  void ObserveBatch(std::span<const ItemsetPair> batch) override {
+    calls_ += batch.size();
+    inner_->ObserveBatch(batch);
+  }
+
   double EstimateImplicationCount() const override {
     Flush();
     return inner_->EstimateImplicationCount();

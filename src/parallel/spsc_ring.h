@@ -1,0 +1,174 @@
+// Bounded single-producer / single-consumer ring with in-place slots.
+//
+// The parallel ingest layer (sharded_nips_ci.h) moves fixed-size record
+// batches from the router thread to each shard worker through one of
+// these. The slots live inside the ring, so the producer fills the tail
+// slot in place and publishes it with one release store — no allocation,
+// no copying, no locks on the steady-state path.
+//
+// Protocol (exactly one producer thread, one consumer thread):
+//   producer:  T* s = ring.BeginPushWait();  fill *s;  ring.CommitPush();
+//   consumer:  T* s = ring.FrontWait();      use *s;   ring.PopFront();
+// A slot returned by BeginPush stays owned by the producer until
+// CommitPush; a slot returned by Front stays owned by the consumer until
+// PopFront (it may be reset in place before the pop — the producer will
+// reuse it).
+//
+// Blocking: both waits spin briefly, then park on the C++20 atomic
+// wait/notify futex. The notifying side pays a syscall only when the
+// peer is actually parked, so a keeping-up pipeline never enters the
+// kernel. On an oversubscribed host (fewer cores than threads) parking
+// kicks in immediately after the spin budget, which is what makes the
+// 1-core degenerate case degrade gracefully instead of livelocking.
+//
+// Memory ordering: CommitPush stores tail_ with release and PopFront
+// stores head_ with release, so everything the producer wrote into a slot
+// happens-before the consumer's use of it, and everything the consumer
+// did while holding a slot (including side effects like bitmap updates)
+// happens-before the producer observing the slot free — WaitEmpty's
+// acquire load of head_ is the quiesce barrier ShardedNipsCi::Drain
+// relies on.
+
+#ifndef IMPLISTAT_PARALLEL_SPSC_RING_H_
+#define IMPLISTAT_PARALLEL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace implistat {
+
+/// Pause hint for spin loops; a no-op where the ISA has none.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(size_t min_capacity)
+      : slots_(NextPowerOfTwo(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // ---- producer side -------------------------------------------------
+
+  /// The tail slot to fill, or nullptr when the ring is full. Repeated
+  /// calls before CommitPush return the same slot.
+  T* BeginPush() {
+    uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ == slots_.size()) return nullptr;
+    }
+    return &slots_[t & mask_];
+  }
+
+  /// BeginPush that spins briefly, then parks until the consumer frees a
+  /// slot.
+  T* BeginPushWait() {
+    if (T* slot = BeginPush()) return slot;
+    for (int spin = 0; spin < kSpinsBeforePark; ++spin) {
+      CpuRelax();
+      if (T* slot = BeginPush()) return slot;
+    }
+    for (;;) {
+      uint64_t h = head_.load(std::memory_order_acquire);
+      if (T* slot = BeginPush()) return slot;
+      head_.wait(h, std::memory_order_acquire);
+    }
+  }
+
+  /// Publishes the slot handed out by BeginPush.
+  void CommitPush() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+    tail_.notify_one();
+  }
+
+  /// Producer-side barrier: returns once the consumer has popped every
+  /// committed slot. On return, all consumer-side effects of processing
+  /// them are visible to the caller.
+  void WaitEmpty() const {
+    for (;;) {
+      uint64_t h = head_.load(std::memory_order_acquire);
+      if (h == tail_.load(std::memory_order_relaxed)) return;
+      for (int spin = 0; spin < kSpinsBeforePark; ++spin) {
+        CpuRelax();
+        if (head_.load(std::memory_order_acquire) != h) break;
+      }
+      head_.wait(h, std::memory_order_acquire);
+    }
+  }
+
+  // ---- consumer side -------------------------------------------------
+
+  /// Oldest committed slot, or nullptr when the ring is empty. Repeated
+  /// calls before PopFront return the same slot.
+  T* Front() {
+    uint64_t h = head_.load(std::memory_order_relaxed);
+    if (tail_cache_ == h) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (tail_cache_ == h) return nullptr;
+    }
+    return &slots_[h & mask_];
+  }
+
+  /// Front that spins briefly, then parks until the producer commits.
+  T* FrontWait() {
+    if (T* slot = Front()) return slot;
+    for (int spin = 0; spin < kSpinsBeforePark; ++spin) {
+      CpuRelax();
+      if (T* slot = Front()) return slot;
+    }
+    for (;;) {
+      uint64_t t = tail_.load(std::memory_order_acquire);
+      if (T* slot = Front()) return slot;
+      tail_.wait(t, std::memory_order_acquire);
+    }
+  }
+
+  /// Releases the slot handed out by Front back to the producer.
+  void PopFront() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+    head_.notify_one();
+  }
+
+  // ---- either side (approximate) -------------------------------------
+
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  // ~1 µs of spinning before the futex; batches arrive on a much coarser
+  // cadence, so a keeping-up peer is caught in the spin window.
+  static constexpr int kSpinsBeforePark = 1024;
+
+  std::vector<T> slots_;
+  const uint64_t mask_;
+  // Producer-owned line: published tail plus the producer's cached view
+  // of head. Consumer-owned line likewise. Keeping the pairs on separate
+  // cache lines avoids ping-ponging the indices between cores.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+};
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_PARALLEL_SPSC_RING_H_

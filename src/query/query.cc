@@ -1,7 +1,10 @@
 #include "query/query.h"
 
+#include <algorithm>
+
 #include "baseline/exact_counter.h"
 #include "core/sliding.h"
+#include "parallel/sharded_nips_ci.h"
 #include "util/logging.h"
 
 namespace implistat {
@@ -28,6 +31,13 @@ StatusOr<std::unique_ptr<ImplicationEstimator>> MakeEstimator(
   }
   switch (config.kind) {
     case EstimatorKind::kNipsCi:
+      if (config.threads > 1) {
+        ShardedNipsCiOptions sharded;
+        sharded.threads = std::min(config.threads, config.nips.num_bitmaps);
+        sharded.ensemble = config.nips;
+        return std::unique_ptr<ImplicationEstimator>(
+            std::make_unique<ShardedNipsCi>(conditions, sharded));
+      }
       return std::unique_ptr<ImplicationEstimator>(
           std::make_unique<NipsCi>(conditions, config.nips));
     case EstimatorKind::kExact:

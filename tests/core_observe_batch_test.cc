@@ -1,0 +1,159 @@
+// ObserveBatch — the amortized-dispatch ingest fast path — must be an
+// exact semantic no-op relative to per-tuple Observe: same sketch bytes
+// on NipsCi, same counts through the default base-class fallback, same
+// answers through the QueryEngine's internally batched ObserveStream.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/exact_counter.h"
+#include "core/nips_ci_ensemble.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+#include "stream/tuple_stream.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions TestConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 3;
+  cond.min_top_confidence = 0.8;
+  cond.confidence_c = 1;
+  cond.strict_multiplicity = false;
+  return cond;
+}
+
+NipsCiOptions EnsembleOptions() {
+  NipsCiOptions opts;
+  opts.num_bitmaps = 64;
+  opts.nips.fringe_size = 4;
+  opts.nips.capacity_factor = 2;
+  opts.seed = 42;
+  return opts;
+}
+
+std::vector<ItemsetPair> MakeStream(size_t n, uint64_t seed) {
+  std::vector<ItemsetPair> tuples;
+  tuples.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = rng.Uniform(20000);
+    tuples.push_back(ItemsetPair{a, (a % 3 == 0) ? 9 : rng.Uniform(500)});
+  }
+  return tuples;
+}
+
+uint64_t TuplesObservedTotal() {
+  uint64_t sum = 0;
+  for (const obs::MetricSnapshot& m :
+       obs::MetricsRegistry::Global().Snapshot().metrics) {
+    if (m.name == "implistat_tuples_observed_total") sum += m.counter_value;
+  }
+  return sum;
+}
+
+// Span lengths that straddle the internal 32-tuple hash/prefetch chunk:
+// sub-chunk, exact multiples, off-by-one, and a large tail.
+TEST(ObserveBatchTest, NipsCiBatchIsBitIdenticalToPerTuple) {
+  const std::vector<ItemsetPair> stream = MakeStream(50000, 11);
+  NipsCi per_tuple(TestConditions(), EnsembleOptions());
+  for (const ItemsetPair& p : stream) per_tuple.Observe(p.a, p.b);
+
+  for (size_t span : {1u, 7u, 32u, 33u, 256u, 4096u}) {
+    NipsCi batched(TestConditions(), EnsembleOptions());
+    std::span<const ItemsetPair> all(stream);
+    for (size_t i = 0; i < all.size(); i += span) {
+      batched.ObserveBatch(all.subspan(i, std::min(span, all.size() - i)));
+    }
+    EXPECT_TRUE(batched.Serialize() == per_tuple.Serialize())
+        << "sketch differs at span size " << span;
+    CiEstimate a = batched.Estimate();
+    CiEstimate b = per_tuple.Estimate();
+    EXPECT_EQ(a.implication, b.implication);
+    EXPECT_EQ(a.non_implication, b.non_implication);
+  }
+}
+
+TEST(ObserveBatchTest, BatchIngestCountStaysExact) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const std::vector<ItemsetPair> stream = MakeStream(10000, 3);
+  NipsCi nips(TestConditions(), EnsembleOptions());
+  (void)nips.Estimate();  // flush construction-time state
+  const uint64_t before = TuplesObservedTotal();
+  // Mixed ingest: a batch, some singles, another batch.
+  std::span<const ItemsetPair> all(stream);
+  nips.ObserveBatch(all.subspan(0, 4000));
+  for (size_t i = 4000; i < 6000; ++i) nips.Observe(all[i].a, all[i].b);
+  nips.ObserveBatch(all.subspan(6000));
+  (void)nips.Estimate();  // read boundary folds the count in
+  EXPECT_EQ(TuplesObservedTotal(), before + stream.size());
+}
+
+TEST(ObserveBatchTest, BaseClassFallbackMatchesPerTuple) {
+  // Estimators without a specialized override get the base-class loop;
+  // results must be identical to per-tuple ingest.
+  const std::vector<ItemsetPair> stream = MakeStream(20000, 5);
+  ExactImplicationCounter per_tuple(TestConditions());
+  ExactImplicationCounter batched(TestConditions());
+  for (const ItemsetPair& p : stream) per_tuple.Observe(p.a, p.b);
+  std::span<const ItemsetPair> all(stream);
+  for (size_t i = 0; i < all.size(); i += 1000) {
+    ImplicationEstimator& base = batched;  // force the virtual fallback
+    base.ObserveBatch(all.subspan(i, std::min<size_t>(1000, all.size() - i)));
+  }
+  EXPECT_EQ(batched.ImplicationCount(), per_tuple.ImplicationCount());
+  EXPECT_EQ(batched.NonImplicationCount(), per_tuple.NonImplicationCount());
+  EXPECT_EQ(batched.tuples_seen(), per_tuple.tuples_seen());
+}
+
+TEST(ObserveBatchTest, EngineBatchedStreamMatchesPerTupleLoop) {
+  // ObserveStream buffers per-query batches internally; a second engine
+  // fed tuple-by-tuple through ObserveTuple must answer identically —
+  // for both the exact oracle and the sketch (bit-identical routing).
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("A", 1000).ok());
+  ASSERT_TRUE(schema.AddAttribute("B", 50).ok());
+  std::vector<ValueId> flat;
+  Rng rng(17);
+  constexpr size_t kTuples = 3000;  // > the engine's internal batch size
+  for (size_t i = 0; i < kTuples; ++i) {
+    ValueId a = static_cast<ValueId>(rng.Uniform(1000));
+    flat.push_back(a);
+    flat.push_back(static_cast<ValueId>(a % 4 == 0 ? 7 : rng.Uniform(50)));
+  }
+
+  QueryEngine streamed(schema);
+  QueryEngine looped(schema);
+  for (QueryEngine* engine : {&streamed, &looped}) {
+    for (EstimatorKind kind : {EstimatorKind::kExact, EstimatorKind::kNipsCi}) {
+      ImplicationQuerySpec spec;
+      spec.a_attributes = {"A"};
+      spec.b_attributes = {"B"};
+      spec.conditions = TestConditions();
+      spec.estimator.kind = kind;
+      spec.estimator.nips.seed = 42;
+      ASSERT_TRUE(engine->Register(std::move(spec)).ok());
+    }
+  }
+
+  VectorStream stream(schema, flat);
+  ASSERT_TRUE(streamed.ObserveStream(stream).ok());
+  ASSERT_TRUE(stream.Reset().ok());
+  while (auto tuple = stream.Next()) looped.ObserveTuple(*tuple);
+
+  EXPECT_EQ(streamed.tuples_seen(), looped.tuples_seen());
+  for (QueryId id = 0; id < streamed.num_queries(); ++id) {
+    EXPECT_EQ(streamed.Answer(id).value(), looped.Answer(id).value())
+        << "query " << id;
+  }
+}
+
+}  // namespace
+}  // namespace implistat

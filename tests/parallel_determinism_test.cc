@@ -1,0 +1,184 @@
+// The parallel ingest pipeline must be invisible in the output: for any
+// thread count, ShardedNipsCi over a shuffled million-tuple stream must
+// produce byte-identical Serialize() output (hence identical estimates)
+// to a sequential NipsCi with the same options and seed. This is the
+// ordering guarantee of src/parallel/sharded_nips_ci.h, and the test that
+// runs under ThreadSanitizer in CI (label: parallel).
+
+#include "parallel/sharded_nips_ci.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/nips_ci_ensemble.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+ImplicationConditions TestConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 5;
+  cond.min_top_confidence = 0.8;
+  cond.confidence_c = 1;
+  cond.strict_multiplicity = false;
+  return cond;
+}
+
+NipsCiOptions EnsembleOptions() {
+  NipsCiOptions opts;
+  opts.num_bitmaps = 64;
+  opts.nips.fringe_size = 4;
+  opts.nips.capacity_factor = 2;
+  opts.seed = 42;
+  return opts;
+}
+
+// A shuffled stream: `distinct` itemsets with 8 tuples each, half loyal
+// (one partner) and half violators (random partners).
+std::vector<ItemsetPair> MakeShuffledStream(uint64_t distinct,
+                                            uint64_t seed) {
+  std::vector<ItemsetPair> tuples;
+  tuples.reserve(distinct * 8);
+  Rng rng(seed);
+  for (uint64_t a = 0; a < distinct; ++a) {
+    bool loyal = (a % 2) == 0;
+    for (int rep = 0; rep < 8; ++rep) {
+      tuples.push_back(
+          ItemsetPair{a, loyal ? 7 : rng.Uniform(1000)});
+    }
+  }
+  for (size_t i = tuples.size() - 1; i > 0; --i) {
+    size_t j = rng.Uniform(i + 1);
+    std::swap(tuples[i], tuples[j]);
+  }
+  return tuples;
+}
+
+std::string SequentialBytes(std::span<const ItemsetPair> stream) {
+  NipsCi sequential(TestConditions(), EnsembleOptions());
+  for (const ItemsetPair& p : stream) sequential.Observe(p.a, p.b);
+  return sequential.Serialize();
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  // 125k distinct itemsets × 8 tuples = 1M tuples, shuffled.
+  static constexpr uint64_t kDistinct = 125000;
+  static void SetUpTestSuite() {
+    stream_ = new std::vector<ItemsetPair>(MakeShuffledStream(kDistinct, 7));
+    sequential_bytes_ = new std::string(SequentialBytes(*stream_));
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    delete sequential_bytes_;
+    stream_ = nullptr;
+    sequential_bytes_ = nullptr;
+  }
+  static std::vector<ItemsetPair>* stream_;
+  static std::string* sequential_bytes_;
+};
+
+std::vector<ItemsetPair>* ParallelDeterminismTest::stream_ = nullptr;
+std::string* ParallelDeterminismTest::sequential_bytes_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  for (int threads : {1, 2, 8}) {
+    ShardedNipsCiOptions opts;
+    opts.threads = threads;
+    opts.ensemble = EnsembleOptions();
+    ShardedNipsCi sharded(TestConditions(), opts);
+    for (const ItemsetPair& p : *stream_) sharded.Observe(p.a, p.b);
+    EXPECT_EQ(sharded.RoutedTuples(), stream_->size());
+    EXPECT_TRUE(sharded.Serialize() == *sequential_bytes_)
+        << "serialized sketch differs from sequential at T=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, BatchIngestMatchesToo) {
+  ShardedNipsCiOptions opts;
+  opts.threads = 4;
+  opts.ensemble = EnsembleOptions();
+  ShardedNipsCi sharded(TestConditions(), opts);
+  constexpr size_t kSpan = 1000;
+  std::span<const ItemsetPair> all(*stream_);
+  for (size_t i = 0; i < all.size(); i += kSpan) {
+    sharded.ObserveBatch(all.subspan(i, std::min(kSpan, all.size() - i)));
+  }
+  EXPECT_TRUE(sharded.Serialize() == *sequential_bytes_);
+}
+
+TEST_F(ParallelDeterminismTest, MidStreamReadsQuiesceAndStayExact) {
+  // A read boundary mid-stream drains the pipeline, answers from the
+  // quiesced ensemble, and ingest resumes — the final sketch must still
+  // be bit-identical, and the mid-stream answers must equal a sequential
+  // estimator cut at the same point.
+  ShardedNipsCiOptions opts;
+  opts.threads = 8;
+  opts.ensemble = EnsembleOptions();
+  ShardedNipsCi sharded(TestConditions(), opts);
+  NipsCi sequential(TestConditions(), EnsembleOptions());
+  const size_t half = stream_->size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    sharded.Observe((*stream_)[i].a, (*stream_)[i].b);
+    sequential.Observe((*stream_)[i].a, (*stream_)[i].b);
+  }
+  CiEstimate mid_parallel = sharded.Estimate();
+  CiEstimate mid_sequential = sequential.Estimate();
+  EXPECT_EQ(mid_parallel.implication, mid_sequential.implication);
+  EXPECT_EQ(mid_parallel.non_implication, mid_sequential.non_implication);
+  EXPECT_EQ(sharded.TrackedItemsets(), sequential.TrackedItemsets());
+  for (size_t i = half; i < stream_->size(); ++i) {
+    sharded.Observe((*stream_)[i].a, (*stream_)[i].b);
+  }
+  EXPECT_TRUE(sharded.Serialize() == *sequential_bytes_);
+}
+
+TEST_F(ParallelDeterminismTest, MergedShardedHalvesMatchMergedSequential) {
+  // Distributed aggregation: two nodes each ingest half the stream in
+  // parallel, serialize, and an aggregator merges the decoded sketches.
+  // The merged result must be byte-identical to merging two sequential
+  // half-stream sketches.
+  const size_t half = stream_->size() / 2;
+  std::span<const ItemsetPair> first(*stream_);
+  std::span<const ItemsetPair> second = first.subspan(half);
+  first = first.subspan(0, half);
+
+  NipsCi seq_a(TestConditions(), EnsembleOptions());
+  NipsCi seq_b(TestConditions(), EnsembleOptions());
+  for (const ItemsetPair& p : first) seq_a.Observe(p.a, p.b);
+  for (const ItemsetPair& p : second) seq_b.Observe(p.a, p.b);
+  // Ship the sequential halves through the same wire round-trip the
+  // sharded ones take, so the comparison isolates the parallel layer.
+  auto seq_shipped_a = NipsCi::Deserialize(seq_a.Serialize());
+  auto seq_shipped_b = NipsCi::Deserialize(seq_b.Serialize());
+  ASSERT_TRUE(seq_shipped_a.ok());
+  ASSERT_TRUE(seq_shipped_b.ok());
+  ASSERT_TRUE(seq_shipped_a->Merge(*seq_shipped_b).ok());
+  const std::string merged_sequential = seq_shipped_a->Serialize();
+
+  ShardedNipsCiOptions opts_a;
+  opts_a.threads = 2;
+  opts_a.ensemble = EnsembleOptions();
+  ShardedNipsCi par_a(TestConditions(), opts_a);
+  ShardedNipsCiOptions opts_b;
+  opts_b.threads = 8;
+  opts_b.ensemble = EnsembleOptions();
+  ShardedNipsCi par_b(TestConditions(), opts_b);
+  for (const ItemsetPair& p : first) par_a.Observe(p.a, p.b);
+  for (const ItemsetPair& p : second) par_b.Observe(p.a, p.b);
+
+  auto shipped_a = NipsCi::Deserialize(par_a.Serialize());
+  auto shipped_b = NipsCi::Deserialize(par_b.Serialize());
+  ASSERT_TRUE(shipped_a.ok());
+  ASSERT_TRUE(shipped_b.ok());
+  ASSERT_TRUE(shipped_a->Merge(*shipped_b).ok());
+  EXPECT_TRUE(shipped_a->Serialize() == merged_sequential);
+}
+
+}  // namespace
+}  // namespace implistat

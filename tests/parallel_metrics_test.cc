@@ -1,0 +1,137 @@
+// Observability and thread-contract enforcement for the parallel ingest
+// layer: per-shard tuple counters fold in exactly at read boundaries
+// (the PR 1 batched-flush pattern), queue-depth gauges are registered per
+// shard, and the single-router contract aborts instead of silently
+// corrupting the SPSC rings.
+
+#include "parallel/sharded_nips_ci.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define IMPLISTAT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IMPLISTAT_TSAN 1
+#endif
+#endif
+
+namespace implistat {
+namespace {
+
+ImplicationConditions TestConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 5;
+  cond.min_top_confidence = 0.8;
+  cond.confidence_c = 1;
+  cond.strict_multiplicity = false;
+  return cond;
+}
+
+ShardedNipsCiOptions Options(int threads) {
+  ShardedNipsCiOptions opts;
+  opts.threads = threads;
+  opts.ensemble.num_bitmaps = 64;
+  opts.ensemble.nips.fringe_size = 4;
+  opts.ensemble.nips.capacity_factor = 2;
+  opts.ensemble.seed = 42;
+  return opts;
+}
+
+// Sum of implistat_shard_tuples_total over all shard labels. The registry
+// is global and shard labels are shared across instances, so tests
+// measure deltas around their own ingest.
+uint64_t ShardTuplesTotal() {
+  uint64_t sum = 0;
+  obs::RegistrySnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  for (const obs::MetricSnapshot& m : snap.metrics) {
+    if (m.name == "implistat_shard_tuples_total") sum += m.counter_value;
+  }
+  return sum;
+}
+
+int QueueDepthGauges() {
+  int count = 0;
+  obs::RegistrySnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  for (const obs::MetricSnapshot& m : snap.metrics) {
+    if (m.name == "implistat_queue_depth") {
+      EXPECT_EQ(m.kind, obs::MetricKind::kGauge);
+      EXPECT_EQ(m.label_key, "shard");
+      EXPECT_GE(m.gauge_value, 0);
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(ShardedMetricsTest, TupleCountersFoldAtReadBoundariesOnly) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const uint64_t before = ShardTuplesTotal();
+  ShardedNipsCi sharded(TestConditions(), Options(4));
+  constexpr uint64_t kTuples = 10000;
+  for (uint64_t i = 0; i < kTuples; ++i) sharded.Observe(i, i % 7);
+
+  // No read boundary yet: the routed count lives in router-side plain
+  // members (exact via RoutedTuples), not in the registry.
+  EXPECT_EQ(sharded.RoutedTuples(), kTuples);
+  EXPECT_EQ(ShardTuplesTotal(), before);
+
+  // Any read drains, and the drain folds the per-shard deltas in.
+  (void)sharded.Estimate();
+  EXPECT_EQ(ShardTuplesTotal(), before + kTuples);
+
+  // Draining again without new ingest must not double-count.
+  (void)sharded.TrackedItemsets();
+  EXPECT_EQ(ShardTuplesTotal(), before + kTuples);
+}
+
+TEST(ShardedMetricsTest, QueueDepthGaugePerShard) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  ShardedNipsCi sharded(TestConditions(), Options(8));
+  for (uint64_t i = 0; i < 5000; ++i) sharded.Observe(i, 3);
+  (void)sharded.Estimate();
+  // Labels are shard indices shared across instances; an 8-thread
+  // instance guarantees at least shards 0..7 exist.
+  EXPECT_GE(QueueDepthGauges(), 8);
+}
+
+TEST(ShardedMetricsTest, ThreadCountIsValidated) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ShardedNipsCi(TestConditions(), Options(0)), "threads");
+  EXPECT_DEATH(ShardedNipsCi(TestConditions(), Options(65)), "threads");
+}
+
+#if !defined(IMPLISTAT_TSAN)
+// The single-router contract: ingest from a second thread must abort
+// (IMPLISTAT_CHECK on the batch-open path) rather than corrupt the SPSC
+// rings. The violating thread intentionally races on router-owned state,
+// so this test is compiled out under TSAN — the sanitizer would flag the
+// very race the check exists to catch before the check fires.
+TEST(ShardedContractDeathTest, SecondThreadRoutingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ShardedNipsCi sharded(TestConditions(), Options(2));
+        sharded.Observe(1, 2);  // latches the router thread id
+        std::thread violator([&sharded] {
+          // Same key every time → same shard; enough tuples to force a
+          // batch-open (the checked cold path) from this thread.
+          for (size_t i = 0; i < 2 * kIngestBatchCapacity; ++i) {
+            sharded.Observe(1, 2);
+          }
+        });
+        violator.join();
+      },
+      "single-router contract");
+}
+#endif  // !IMPLISTAT_TSAN
+
+}  // namespace
+}  // namespace implistat

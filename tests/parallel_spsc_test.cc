@@ -1,0 +1,117 @@
+#include "parallel/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace implistat {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(32).capacity(), 32u);
+  EXPECT_EQ(SpscRing<int>(33).capacity(), 64u);
+}
+
+TEST(SpscRingTest, SingleThreadFifoOrder) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);
+  for (int i = 0; i < 4; ++i) {
+    int* slot = ring.BeginPush();
+    ASSERT_NE(slot, nullptr);
+    *slot = i;
+    ring.CommitPush();
+  }
+  EXPECT_EQ(ring.BeginPush(), nullptr);  // full
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int* slot = ring.Front();
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(*slot, i);
+    ring.PopFront();
+  }
+  EXPECT_EQ(ring.Front(), nullptr);
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+TEST(SpscRingTest, BeginPushIsIdempotentUntilCommit) {
+  SpscRing<int> ring(4);
+  int* first = ring.BeginPush();
+  EXPECT_EQ(ring.BeginPush(), first);
+  *first = 7;
+  ring.CommitPush();
+  EXPECT_NE(ring.BeginPush(), nullptr);
+  EXPECT_EQ(*ring.Front(), 7);
+}
+
+TEST(SpscRingTest, SlotsAreReusedInPlace) {
+  SpscRing<int> ring(2);
+  for (int round = 0; round < 10; ++round) {
+    int* slot = ring.BeginPush();
+    ASSERT_NE(slot, nullptr);
+    *slot = round;
+    ring.CommitPush();
+    EXPECT_EQ(*ring.Front(), round);
+    ring.PopFront();
+  }
+}
+
+// A producer and a consumer thread move a million values through a tiny
+// ring; the consumer checks strict FIFO order. With blocking on both
+// sides this exercises the park/wake paths even on a single-core host.
+TEST(SpscRingTest, TwoThreadsPreserveOrderUnderPressure) {
+  constexpr uint64_t kItems = 1000000;
+  SpscRing<uint64_t> ring(8);
+  uint64_t mismatches = 0;
+  std::thread consumer([&ring, &mismatches] {
+    for (uint64_t expected = 0; expected < kItems; ++expected) {
+      uint64_t* slot = ring.FrontWait();
+      if (*slot != expected) ++mismatches;
+      ring.PopFront();
+    }
+  });
+  for (uint64_t i = 0; i < kItems; ++i) {
+    uint64_t* slot = ring.BeginPushWait();
+    *slot = i;
+    ring.CommitPush();
+  }
+  ring.WaitEmpty();
+  consumer.join();
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+// WaitEmpty must establish visibility of everything the consumer did
+// while processing the popped slots.
+TEST(SpscRingTest, WaitEmptyPublishesConsumerEffects) {
+  SpscRing<int> ring(4);
+  std::vector<int> consumed;  // written by consumer, read after WaitEmpty
+  constexpr int kItems = 10000;
+  std::thread consumer([&ring, &consumed] {
+    for (int i = 0; i < kItems; ++i) {
+      int* slot = ring.FrontWait();
+      consumed.push_back(*slot);
+      ring.PopFront();
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    int* slot = ring.BeginPushWait();
+    *slot = i;
+    ring.CommitPush();
+    if (i % 1000 == 999) {
+      ring.WaitEmpty();
+      ASSERT_EQ(consumed.size(), static_cast<size_t>(i) + 1);
+      EXPECT_EQ(consumed.back(), i);
+    }
+  }
+  ring.WaitEmpty();
+  consumer.join();
+  EXPECT_EQ(consumed.size(), static_cast<size_t>(kItems));
+}
+
+}  // namespace
+}  // namespace implistat

@@ -44,6 +44,13 @@ int Usage(const char* argv0) {
       << "                        sharded pipeline with N worker threads\n"
       << "                        (bit-identical results; ignored by exact\n"
       << "                        baselines and windowed queries)\n"
+      << "  --checkpoint PATH     write an atomic engine checkpoint to PATH\n"
+      << "                        after the stream (and during it with\n"
+      << "                        --checkpoint-every)\n"
+      << "  --checkpoint-every N  also checkpoint every N tuples\n"
+      << "  --restore PATH        resume from a checkpoint: queries, their\n"
+      << "                        estimator states and the tuple count all\n"
+      << "                        come from the file (pass no QUERY args)\n"
       << "  --metrics-every N     progress line to stderr every N tuples\n"
       << "  --metrics-json PATH   final JSON metrics snapshot\n"
       << "  --metrics-prom PATH   final Prometheus-text metrics snapshot\n\n"
@@ -71,6 +78,9 @@ int main(int argc, char** argv) {
   using namespace implistat;
 
   int threads = 1;
+  std::string checkpoint_path;
+  uint64_t checkpoint_every = 0;
+  std::string restore_path;
   uint64_t metrics_every = 0;
   std::string metrics_json_path;
   std::string metrics_prom_path;
@@ -92,6 +102,18 @@ int main(int argc, char** argv) {
         std::cerr << "--threads must be >= 1\n";
         return 2;
       }
+    } else if (arg == "--checkpoint") {
+      const char* v = take_value("--checkpoint");
+      if (v == nullptr) return 2;
+      checkpoint_path = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = take_value("--checkpoint-every");
+      if (v == nullptr) return 2;
+      checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--restore") {
+      const char* v = take_value("--restore");
+      if (v == nullptr) return 2;
+      restore_path = v;
     } else if (arg == "--metrics-every") {
       const char* v = take_value("--metrics-every");
       if (v == nullptr) return 2;
@@ -111,7 +133,19 @@ int main(int argc, char** argv) {
       positional.push_back(std::move(arg));
     }
   }
-  if (positional.size() < 2) return Usage(argv[0]);
+  // With --restore, the checkpoint is the source of truth for queries:
+  // only the input file is positional. Without it, at least one query.
+  if (restore_path.empty()) {
+    if (positional.size() < 2) return Usage(argv[0]);
+  } else if (positional.size() != 1) {
+    std::cerr << "--restore takes its queries from the checkpoint; pass "
+                 "only the input file\n";
+    return 2;
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    std::cerr << "--checkpoint-every needs --checkpoint PATH\n";
+    return 2;
+  }
   const bool metrics_requested = metrics_every > 0 ||
                                  !metrics_json_path.empty() ||
                                  !metrics_prom_path.empty();
@@ -128,6 +162,20 @@ int main(int argc, char** argv) {
   }
 
   QueryEngine engine(table->schema);
+  if (!restore_path.empty()) {
+    Status restored = engine.Restore(restore_path);
+    if (!restored.ok()) {
+      std::cerr << "restore error: " << restored << "\n";
+      return 1;
+    }
+    if (engine.num_queries() == 0) {
+      std::cerr << "restore error: checkpoint holds no queries\n";
+      return 1;
+    }
+    std::cerr << "restored " << engine.num_queries() << " queries at "
+              << engine.tuples_seen() << " tuples from " << restore_path
+              << "\n";
+  }
   for (size_t i = 1; i < positional.size(); ++i) {
     auto parsed = ParseImplicationQuery(positional[i]);
     if (!parsed.ok()) {
@@ -161,6 +209,22 @@ int main(int argc, char** argv) {
   while (auto tuple = table->stream.Next()) {
     engine.ObserveTuple(*tuple);
     reporter.Tick();
+    if (checkpoint_every > 0 &&
+        engine.tuples_seen() % checkpoint_every == 0) {
+      Status status = engine.Checkpoint(checkpoint_path);
+      if (!status.ok()) {
+        std::cerr << "checkpoint error at " << engine.tuples_seen()
+                  << " tuples: " << status << "\n";
+        return 1;
+      }
+    }
+  }
+  if (!checkpoint_path.empty()) {
+    Status status = engine.Checkpoint(checkpoint_path);
+    if (!status.ok()) {
+      std::cerr << "final checkpoint error: " << status << "\n";
+      return 1;
+    }
   }
 
   std::cout << "# " << engine.tuples_seen() << " tuples\n";

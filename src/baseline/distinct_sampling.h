@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/conditions.h"
@@ -61,6 +62,18 @@ class DistinctSampling final : public ImplicationEstimator {
 
   int level() const { return level_; }
   size_t sample_size() const { return sample_.size(); }
+
+  /// Durable-state contract (core/estimator.h): level, options, and the
+  /// full sample round-trip, so a restored DS continues the identical
+  /// sampling process. MergeFrom unions two samples taken with the same
+  /// hash (level rises to the max of the two, then to fit the budget) —
+  /// the classic distinct-sampling composability.
+  StatusOr<std::string> SerializeState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  Status MergeFrom(const ImplicationEstimator& other) override;
+
+  /// Direct merge of another DS with identical conditions and options.
+  Status Merge(const DistinctSampling& other);
 
  private:
   // Drops every sampled itemset whose level is below the (raised)

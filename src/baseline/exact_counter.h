@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/conditions.h"
@@ -47,6 +48,21 @@ class ExactImplicationCounter final : public ImplicationEstimator {
   uint64_t tuples_seen() const { return tuples_; }
 
   const ImplicationConditions& conditions() const { return conditions_; }
+
+  /// Durable-state contract (core/estimator.h): the full hash table —
+  /// every itemset's state machine — round-trips, so a restored counter
+  /// answers identically on any stream suffix. MergeFrom folds another
+  /// exact counter's table in (distributed ground truth).
+  StatusOr<std::string> SerializeState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  Status MergeFrom(const ImplicationEstimator& other) override;
+
+  /// Direct merge of another exact counter with the same conditions.
+  Status Merge(const ExactImplicationCounter& other);
+
+  /// Buckets in the underlying hash table; exposed so tests can assert
+  /// the MemoryBytes accounting covers the bucket array.
+  size_t HashBucketCount() const { return items_.bucket_count(); }
 
  private:
   ImplicationConditions conditions_;

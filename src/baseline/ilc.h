@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -57,6 +58,19 @@ class Ilc final : public ImplicationEstimator {
   size_t num_entries() const { return entries_.size() + dirty_.size(); }
   size_t num_dirty() const { return dirty_.size(); }
   uint64_t tuples_seen() const { return count_; }
+
+  /// Durable-state contract (core/estimator.h). The full synopsis —
+  /// live entries with their pair counters, the dirty set, and the
+  /// bucket clock — round-trips exactly. MergeFrom combines two ILC
+  /// synopses the Manku–Motwani way: counts add, error terms (Δ) add,
+  /// then one prune pass at the combined bucket; the ε·T guarantee holds
+  /// for the concatenated stream with the summed error bound.
+  StatusOr<std::string> SerializeState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  Status MergeFrom(const ImplicationEstimator& other) override;
+
+  /// Direct merge of another ILC with identical conditions and ε.
+  Status Merge(const Ilc& other);
 
  private:
   struct PairEntry {

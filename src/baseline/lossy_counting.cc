@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace implistat {
 
@@ -48,6 +49,63 @@ std::vector<std::pair<uint64_t, uint64_t>> LossyCounting::ItemsAbove(
     if (entry.count >= threshold) out.emplace_back(key, entry.count);
   }
   return out;
+}
+
+StatusOr<std::string> LossyCounting::SerializeState() const {
+  ByteWriter out;
+  out.PutDouble(epsilon_);
+  out.PutVarint64(count_);
+  out.PutVarint64(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.PutU64(key);
+    out.PutVarint64(entry.count);
+    out.PutVarint64(entry.delta);
+  }
+  return WrapSnapshot(SnapshotKind::kLossyCounting, out.Release());
+}
+
+Status LossyCounting::RestoreState(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(snapshot, SnapshotKind::kLossyCounting));
+  ByteReader in(payload);
+  double epsilon;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadDouble(&epsilon));
+  // Positively phrased so NaN fails (the constructor CHECK-aborts on a
+  // bad ε; corrupt snapshots must fail with a Status instead).
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::InvalidArgument("LossyCounting: bad epsilon");
+  }
+  uint64_t count;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+  uint64_t num_entries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_entries));
+  if (num_entries > in.remaining() / 10 + 1) {
+    return Status::InvalidArgument("LossyCounting: implausible entry count");
+  }
+  std::unordered_map<uint64_t, Entry> entries;
+  entries.reserve(num_entries);
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint64_t key;
+    Entry entry;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&key));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&entry.count));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&entry.delta));
+    if (!entries.emplace(key, entry).second) {
+      return Status::InvalidArgument("LossyCounting: duplicate key");
+    }
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument("LossyCounting: trailing bytes");
+  }
+  epsilon_ = epsilon;
+  width_ = static_cast<uint64_t>(std::ceil(1.0 / epsilon));
+  count_ = count;
+  // Derived: Observe advances the bucket right after each full width, so
+  // this is the unique clock value consistent with count_.
+  current_bucket_ = count_ / width_ + 1;
+  entries_ = std::move(entries);
+  return Status::OK();
 }
 
 }  // namespace implistat

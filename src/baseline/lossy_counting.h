@@ -11,8 +11,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/status.h"
+#include "util/status_or.h"
 
 namespace implistat {
 
@@ -37,6 +42,13 @@ class LossyCounting {
   size_t num_entries() const { return entries_.size(); }
   uint64_t tuples_seen() const { return count_; }
   double epsilon() const { return epsilon_; }
+
+  /// Durable state: the same envelope contract the estimators implement
+  /// (kLossyCounting kind), non-virtual since LossyCounting is not an
+  /// ImplicationEstimator. A restored synopsis continues the stream with
+  /// identical answers.
+  StatusOr<std::string> SerializeState() const;
+  Status RestoreState(std::string_view snapshot);
 
  private:
   struct Entry {

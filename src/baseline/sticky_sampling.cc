@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/bits.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace implistat {
 
@@ -18,6 +20,67 @@ uint64_t ComputeT(const StickySamplingOptions& options) {
   double t = (1.0 / options.epsilon) *
              std::log(1.0 / (options.support * options.delta));
   return std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(t)));
+}
+
+// Snapshot helpers shared by StickySampling and ImplicationStickySampling.
+// ComputeT (and the constructors) CHECK-abort on bad parameters, so a
+// snapshot's options must be fully validated — positively phrased, which
+// rejects NaN — before anything is constructed from them.
+Status ValidateStickyOptions(const StickySamplingOptions& options) {
+  if (!(options.epsilon > 0 && options.epsilon < 1) ||
+      !(options.delta > 0 && options.delta < 1) ||
+      !(options.support > 0 && options.support < 1)) {
+    return Status::InvalidArgument("StickySampling: bad options");
+  }
+  return Status::OK();
+}
+
+void PutStickyOptions(ByteWriter* out, const StickySamplingOptions& options) {
+  out->PutDouble(options.epsilon);
+  out->PutDouble(options.delta);
+  out->PutDouble(options.support);
+  out->PutU64(options.seed);
+}
+
+Status ReadStickyOptions(ByteReader* in, StickySamplingOptions* options) {
+  IMPLISTAT_RETURN_NOT_OK(in->ReadDouble(&options->epsilon));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadDouble(&options->delta));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadDouble(&options->support));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU64(&options->seed));
+  return ValidateStickyOptions(*options);
+}
+
+void PutRngState(ByteWriter* out, const Rng& rng) {
+  Rng::State state = rng.state();
+  for (uint64_t word : state.words) out->PutU64(word);
+}
+
+Status ReadRngState(ByteReader* in, Rng* rng) {
+  Rng::State state;
+  for (uint64_t& word : state.words) {
+    IMPLISTAT_RETURN_NOT_OK(in->ReadU64(&word));
+  }
+  if (!rng->set_state(state)) {
+    return Status::InvalidArgument("StickySampling: all-zero PRNG state");
+  }
+  return Status::OK();
+}
+
+// The rate schedule invariant: rate doubles from 1 (so it is a power of
+// two) and the window boundary is always 2·rate·t. Validating both keeps
+// a corrupt snapshot from installing an unreachable schedule.
+Status ValidateRateSchedule(uint64_t rate, uint64_t count, uint64_t t,
+                            uint64_t* window_end) {
+  if (rate == 0 || !IsPowerOfTwo(rate) || rate > (uint64_t{1} << 48) ||
+      t > ~uint64_t{0} / (2 * rate)) {
+    return Status::InvalidArgument("StickySampling: bad sampling rate");
+  }
+  *window_end = 2 * rate * t;
+  if (count > *window_end) {
+    return Status::InvalidArgument(
+        "StickySampling: count past the window boundary");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -51,14 +114,19 @@ void StickySampling::DiminishEntries() {
   // For each entry, repeatedly toss an unbiased coin and diminish the
   // count by one per tail, stopping at the first head; drop on zero. This
   // re-levels counts as if sampled at the doubled rate from the start.
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  // Visit keys in sorted order so the coin-flip sequence is a function of
+  // the synopsis contents, not of the hash table's insertion history — a
+  // checkpoint-restored synopsis must spend its (serialized) PRNG state
+  // on the same entries the uninterrupted one does.
+  std::vector<uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, count] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    auto it = entries_.find(key);
     uint64_t& c = it->second;
     while (c > 0 && rng_.Bernoulli(0.5)) --c;
-    if (c == 0) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
+    if (c == 0) entries_.erase(it);
   }
 }
 
@@ -74,6 +142,66 @@ std::vector<std::pair<uint64_t, uint64_t>> StickySampling::ItemsAbove(
     if (count >= threshold) out.emplace_back(key, count);
   }
   return out;
+}
+
+StatusOr<std::string> StickySampling::SerializeState() const {
+  ByteWriter out;
+  PutStickyOptions(&out, options_);
+  PutRngState(&out, rng_);
+  out.PutVarint64(count_);
+  out.PutVarint64(rate_);
+  out.PutVarint64(entries_.size());
+  for (const auto& [key, count] : entries_) {
+    out.PutU64(key);
+    out.PutVarint64(count);
+  }
+  return WrapSnapshot(SnapshotKind::kStickySampling, out.Release());
+}
+
+Status StickySampling::RestoreState(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(snapshot, SnapshotKind::kStickySampling));
+  ByteReader in(payload);
+  StickySamplingOptions options;
+  IMPLISTAT_RETURN_NOT_OK(ReadStickyOptions(&in, &options));
+  Rng rng(0);
+  IMPLISTAT_RETURN_NOT_OK(ReadRngState(&in, &rng));
+  uint64_t count, rate;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&rate));
+  const uint64_t t = ComputeT(options);  // options validated above
+  uint64_t window_end;
+  IMPLISTAT_RETURN_NOT_OK(ValidateRateSchedule(rate, count, t, &window_end));
+  uint64_t num_entries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_entries));
+  if (num_entries > in.remaining() / 9 + 1) {
+    return Status::InvalidArgument("StickySampling: implausible entry count");
+  }
+  std::unordered_map<uint64_t, uint64_t> entries;
+  entries.reserve(num_entries);
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint64_t key, c;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&key));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&c));
+    if (c == 0) {
+      return Status::InvalidArgument("StickySampling: zero-count entry");
+    }
+    if (!entries.emplace(key, c).second) {
+      return Status::InvalidArgument("StickySampling: duplicate key");
+    }
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument("StickySampling: trailing bytes");
+  }
+  options_ = options;
+  rng_ = rng;
+  t_ = t;
+  count_ = count;
+  rate_ = rate;
+  window_end_ = window_end;
+  entries_ = std::move(entries);
+  return Status::OK();
 }
 
 ImplicationStickySampling::ImplicationStickySampling(
@@ -141,15 +269,19 @@ void ImplicationStickySampling::MaybeAdvanceRate() {
 
 void ImplicationStickySampling::DiminishEntries() {
   // Dirty itemsets live in their own set and are never diminished; only
-  // the counts of live entries are re-leveled.
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  // the counts of live entries are re-leveled. Sorted key order for the
+  // same reason as StickySampling::DiminishEntries: the PRNG draws must
+  // depend on the synopsis contents, not the map's insertion history, or
+  // a restored synopsis diverges from its uninterrupted twin.
+  std::vector<ItemsetKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (ItemsetKey key : keys) {
+    auto it = entries_.find(key);
     Entry& entry = it->second;
     while (entry.count > 0 && rng_.Bernoulli(0.5)) --entry.count;
-    if (entry.count == 0) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
+    if (entry.count == 0) entries_.erase(it);
   }
 }
 
@@ -162,13 +294,114 @@ double ImplicationStickySampling::EstimateImplicationCount() const {
 }
 
 size_t ImplicationStickySampling::MemoryBytes() const {
-  size_t bytes = sizeof(*this);
+  size_t bytes = sizeof(*this) +
+                 entries_.bucket_count() * sizeof(void*) +
+                 dirty_.bucket_count() * sizeof(void*);
   for (const auto& [key, entry] : entries_) {
     bytes += sizeof(key) + sizeof(Entry) +
              entry.pairs.capacity() * sizeof(PairCount) + 2 * sizeof(void*);
   }
   bytes += dirty_.size() * (sizeof(ItemsetKey) + 2 * sizeof(void*));
   return bytes;
+}
+
+StatusOr<std::string> ImplicationStickySampling::SerializeState() const {
+  ByteWriter out;
+  conditions_.SerializeTo(&out);
+  PutStickyOptions(&out, options_);
+  PutRngState(&out, rng_);
+  out.PutVarint64(count_);
+  out.PutVarint64(rate_);
+  out.PutVarint64(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.PutU64(key);
+    out.PutVarint64(entry.count);
+    out.PutVarint64(entry.pairs.size());
+    for (const PairCount& p : entry.pairs) {
+      out.PutU64(p.b);
+      out.PutVarint64(p.count);
+    }
+  }
+  out.PutVarint64(dirty_.size());
+  for (ItemsetKey key : dirty_) out.PutU64(key);
+  return WrapSnapshot(SnapshotKind::kIss, out.Release());
+}
+
+Status ImplicationStickySampling::RestoreState(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string_view payload,
+                             UnwrapSnapshot(snapshot, SnapshotKind::kIss));
+  ByteReader in(payload);
+  IMPLISTAT_ASSIGN_OR_RETURN(ImplicationConditions conditions,
+                             ImplicationConditions::Deserialize(&in));
+  StickySamplingOptions options;
+  IMPLISTAT_RETURN_NOT_OK(ReadStickyOptions(&in, &options));
+  Rng rng(0);
+  IMPLISTAT_RETURN_NOT_OK(ReadRngState(&in, &rng));
+  uint64_t count, rate;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&rate));
+  const uint64_t t = ComputeT(options);  // options validated above
+  uint64_t window_end;
+  IMPLISTAT_RETURN_NOT_OK(ValidateRateSchedule(rate, count, t, &window_end));
+  uint64_t num_entries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_entries));
+  if (num_entries > in.remaining() / 10 + 1) {
+    return Status::InvalidArgument("ISS: implausible entry count");
+  }
+  std::unordered_map<ItemsetKey, Entry> entries;
+  entries.reserve(num_entries);
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    ItemsetKey key;
+    Entry entry;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&key));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&entry.count));
+    if (entry.count == 0) {
+      return Status::InvalidArgument("ISS: zero-count entry");
+    }
+    uint64_t num_pairs;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_pairs));
+    if (num_pairs > in.remaining() / 9 + 1) {
+      return Status::InvalidArgument("ISS: implausible pair count");
+    }
+    entry.pairs.reserve(num_pairs);
+    for (uint64_t j = 0; j < num_pairs; ++j) {
+      PairCount p;
+      IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&p.b));
+      IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&p.count));
+      entry.pairs.push_back(p);
+    }
+    if (!entries.emplace(key, std::move(entry)).second) {
+      return Status::InvalidArgument("ISS: duplicate entry key");
+    }
+  }
+  uint64_t num_dirty;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_dirty));
+  if (num_dirty > in.remaining() / 8 + 1) {
+    return Status::InvalidArgument("ISS: implausible dirty count");
+  }
+  std::unordered_set<ItemsetKey> dirty;
+  dirty.reserve(num_dirty);
+  for (uint64_t i = 0; i < num_dirty; ++i) {
+    ItemsetKey key;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&key));
+    if (entries.contains(key)) {
+      return Status::InvalidArgument("ISS: key both live and dirty");
+    }
+    if (!dirty.insert(key).second) {
+      return Status::InvalidArgument("ISS: duplicate dirty key");
+    }
+  }
+  if (!in.AtEnd()) return Status::InvalidArgument("ISS: trailing bytes");
+  conditions_ = conditions;
+  options_ = options;
+  rng_ = rng;
+  t_ = t;
+  count_ = count;
+  rate_ = rate;
+  window_end_ = window_end;
+  entries_ = std::move(entries);
+  dirty_ = std::move(dirty);
+  return Status::OK();
 }
 
 }  // namespace implistat

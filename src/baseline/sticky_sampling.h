@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -46,6 +47,12 @@ class StickySampling {
   uint64_t sampling_rate() const { return rate_; }
   uint64_t tuples_seen() const { return count_; }
 
+  /// Durable state (kStickySampling envelope; non-virtual — this is not
+  /// an ImplicationEstimator). The PRNG state rides along, so a restored
+  /// synopsis makes the exact coin flips the saved one would have.
+  StatusOr<std::string> SerializeState() const;
+  Status RestoreState(std::string_view snapshot);
+
  private:
   void MaybeAdvanceRate();
   void DiminishEntries();
@@ -73,6 +80,14 @@ class ImplicationStickySampling final : public ImplicationEstimator {
 
   size_t num_entries() const { return entries_.size() + dirty_.size(); }
   size_t num_dirty() const { return dirty_.size(); }
+
+  /// Durable-state contract (core/estimator.h). The sample, the dirty
+  /// set, the rate schedule, and the PRNG state all round-trip, so a
+  /// restored ISS is bit-identical to the uninterrupted run on any
+  /// stream suffix. MergeFrom stays Unimplemented: two sticky samples
+  /// taken at independent rate schedules have no sound combination.
+  StatusOr<std::string> SerializeState() const override;
+  Status RestoreState(std::string_view snapshot) override;
 
  private:
   struct PairCount {

@@ -209,7 +209,10 @@ StatusOr<ItemsetState> ItemsetState::Deserialize(ByteReader* in) {
   IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&state.unlimited_tracking_));
   uint64_t pairs;
   IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&pairs));
-  if (pairs > (uint64_t{1} << 24)) {
+  // Each pair costs at least 9 encoded bytes (fixed u64 + 1-byte varint):
+  // bounding the count by the bytes actually present keeps a corrupt
+  // length from forcing a huge reserve before the reads fail.
+  if (pairs > (uint64_t{1} << 24) || pairs > in->remaining() / 9) {
     return Status::InvalidArgument("ItemsetState: implausible pair count");
   }
   state.b_counts_.reserve(pairs);

@@ -13,8 +13,11 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "stream/itemset.h"
+#include "util/status.h"
+#include "util/status_or.h"
 
 namespace implistat {
 
@@ -56,6 +59,41 @@ class ImplicationEstimator {
   virtual size_t MemoryBytes() const = 0;
 
   virtual std::string name() const = 0;
+
+  // --- Durable state -------------------------------------------------------
+  //
+  // The paper's distributed settings ship estimator *state*, not streams:
+  // sensor nodes and routers snapshot their summaries, hand them up a
+  // hierarchy, and merge them (§1-2, §5). These three methods are that
+  // contract. Snapshots are self-describing envelopes (util/serde.h) —
+  // versioned, kind-tagged, CRC-protected — so they can cross process
+  // restarts, binary upgrades, and unreliable links.
+  //
+  // Defaults are honest Unimplemented errors rather than silent no-ops:
+  // an estimator that cannot checkpoint must say so, not fake it.
+
+  /// Serializes the full estimator state into a snapshot envelope.
+  virtual StatusOr<std::string> SerializeState() const {
+    return Status::Unimplemented(name() + ": SerializeState not supported");
+  }
+
+  /// Replaces this estimator's state with a snapshot produced by
+  /// SerializeState on a compatible estimator. On failure the estimator
+  /// is left exactly as it was (no partial mutation).
+  virtual Status RestoreState(std::string_view snapshot) {
+    (void)snapshot;
+    return Status::Unimplemented(name() + ": RestoreState not supported");
+  }
+
+  /// Folds another estimator's state into this one, as if this estimator
+  /// had also observed the other's stream. Implementations accept any
+  /// `other` whose SerializeState produces a compatible snapshot (e.g.
+  /// sharded and sequential NIPS/CI merge freely). On failure this
+  /// estimator is unchanged.
+  virtual Status MergeFrom(const ImplicationEstimator& other) {
+    (void)other;
+    return Status::Unimplemented(name() + ": MergeFrom not supported");
+  }
 };
 
 }  // namespace implistat

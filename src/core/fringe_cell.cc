@@ -1,5 +1,8 @@
 #include "core/fringe_cell.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "obs/metrics.h"
 
 namespace implistat {
@@ -104,9 +107,17 @@ FringeCell::Outcome FringeCell::Merge(const FringeCell& other,
 void FringeCell::SerializeTo(ByteWriter* out) const {
   out->PutBool(has_supported_);
   out->PutVarint64(items_.size());
-  for (const auto& [key, state] : items_) {
+  // Canonical order: the map iterates in insertion-history order, which a
+  // restore cannot reproduce, so sort by key — two cells with the same
+  // tracked itemsets serialize to the same bytes no matter how they got
+  // there (live stream, merge, or an earlier restore).
+  std::vector<ItemsetKey> keys;
+  keys.reserve(items_.size());
+  for (const auto& [key, state] : items_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (ItemsetKey key : keys) {
     out->PutU64(key);
-    state.SerializeTo(out);
+    items_.at(key).SerializeTo(out);
   }
 }
 

@@ -1,6 +1,7 @@
 #include "core/incremental.h"
 
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace implistat {
 
@@ -17,6 +18,51 @@ Checkpoint IncrementalTracker::Mark(std::string label) {
   cp.label = std::move(label);
   checkpoints_.push_back(cp);
   return cp;
+}
+
+StatusOr<std::string> IncrementalTracker::SerializeState() const {
+  ByteWriter out;
+  out.PutVarint64(tuples_);
+  out.PutVarint64(checkpoints_.size());
+  for (const Checkpoint& cp : checkpoints_) {
+    out.PutVarint64(cp.tuples);
+    out.PutDouble(cp.implication);
+    out.PutDouble(cp.non_implication);
+    out.PutLengthPrefixed(cp.label);
+  }
+  return WrapSnapshot(SnapshotKind::kIncrementalTracker, out.Release());
+}
+
+Status IncrementalTracker::RestoreState(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(snapshot, SnapshotKind::kIncrementalTracker));
+  ByteReader in(payload);
+  uint64_t tuples, num_checkpoints;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_checkpoints));
+  if (num_checkpoints > in.remaining() / 18 + 1) {
+    return Status::InvalidArgument(
+        "IncrementalTracker: implausible checkpoint count");
+  }
+  std::vector<Checkpoint> checkpoints;
+  checkpoints.reserve(num_checkpoints);
+  for (uint64_t i = 0; i < num_checkpoints; ++i) {
+    Checkpoint cp;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&cp.tuples));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadDouble(&cp.implication));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadDouble(&cp.non_implication));
+    std::string_view label;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&label));
+    cp.label.assign(label);
+    checkpoints.push_back(std::move(cp));
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument("IncrementalTracker: trailing bytes");
+  }
+  tuples_ = tuples;
+  checkpoints_ = std::move(checkpoints);
+  return Status::OK();
 }
 
 }  // namespace implistat

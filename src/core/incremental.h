@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/estimator.h"
@@ -46,6 +47,13 @@ class IncrementalTracker {
 
   const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
   uint64_t tuples() const { return tuples_; }
+
+  /// Durable state (kIncrementalTracker envelope): the stream clock and
+  /// the checkpoint vector. The tracked estimator persists separately via
+  /// its own SerializeState — together the pair survives a restart with
+  /// incremental differencing intact.
+  StatusOr<std::string> SerializeState() const;
+  Status RestoreState(std::string_view snapshot);
 
  private:
   const ImplicationEstimator* estimator_;

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace implistat {
 
@@ -234,6 +235,33 @@ StatusOr<NipsCi> NipsCi::Deserialize(std::string_view bytes) {
   out.bitmaps_ = std::move(bitmaps);
   IMPLISTAT_IF_METRICS(NipsCiMetrics::Get().deserializes->Increment());
   return out;
+}
+
+StatusOr<std::string> NipsCi::SerializeState() const {
+  return WrapSnapshot(SnapshotKind::kNipsCi, Serialize());
+}
+
+Status NipsCi::RestoreState(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string_view payload,
+                             UnwrapSnapshot(snapshot, SnapshotKind::kNipsCi));
+  // Decode into a temporary first: *this is only touched once the whole
+  // snapshot has validated, so a corrupt input cannot leave a half state.
+  IMPLISTAT_ASSIGN_OR_RETURN(NipsCi restored, Deserialize(payload));
+  *this = std::move(restored);
+  return Status::OK();
+}
+
+Status NipsCi::MergeFrom(const ImplicationEstimator& other) {
+  if (const auto* nips = dynamic_cast<const NipsCi*>(&other)) {
+    return Merge(*nips);
+  }
+  // Anything else that snapshots as a NIPS/CI ensemble — the sharded
+  // pipeline, instrumented wrappers — merges through the wire contract.
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string snapshot, other.SerializeState());
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string_view payload,
+                             UnwrapSnapshot(snapshot, SnapshotKind::kNipsCi));
+  IMPLISTAT_ASSIGN_OR_RETURN(NipsCi decoded, Deserialize(payload));
+  return Merge(decoded);
 }
 
 size_t NipsCi::MemoryBytes() const {

@@ -104,9 +104,20 @@ class NipsCi final : public ImplicationEstimator {
   /// first-hop/last-hop scenario).
   Status Merge(const NipsCi& other);
 
-  /// Wire format for shipping the sketch between nodes.
+  /// Wire format for shipping the sketch between nodes. Raw payload, no
+  /// envelope — SerializeState wraps this in the self-describing snapshot
+  /// envelope (util/serde.h) for durable use.
   std::string Serialize() const;
   static StatusOr<NipsCi> Deserialize(std::string_view bytes);
+
+  /// Durable-state contract (core/estimator.h): Serialize/Deserialize/
+  /// Merge behind the kNipsCi snapshot envelope. MergeFrom accepts any
+  /// estimator whose snapshot is a hash-compatible NIPS/CI ensemble —
+  /// notably ShardedNipsCi, whose snapshots are interchangeable with
+  /// sequential ones.
+  StatusOr<std::string> SerializeState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  Status MergeFrom(const ImplicationEstimator& other) override;
 
   int num_bitmaps() const { return static_cast<int>(bitmaps_.size()); }
   const Nips& bitmap(int i) const { return bitmaps_[i]; }

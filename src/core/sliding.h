@@ -51,6 +51,13 @@ class SlidingNipsCi {
   uint64_t tuples_seen() const { return tuples_; }
   size_t MemoryBytes() const;
 
+  /// Durable state (kSlidingNipsCi envelope): the tuple clock, the seed
+  /// cursor, and every live origin's sketch round-trip, so a restored
+  /// window continues opening/retiring origins exactly where the saved
+  /// one would have.
+  StatusOr<std::string> SerializeState() const;
+  Status RestoreState(std::string_view snapshot);
+
  private:
   struct Origin {
     uint64_t start;  // stream position at which this estimator began
@@ -84,6 +91,16 @@ class SlidingNipsCiEstimator final : public ImplicationEstimator {
   }
   size_t MemoryBytes() const override { return sliding_.MemoryBytes(); }
   std::string name() const override { return "NIPS/CI-sliding"; }
+
+  /// Durable-state contract (core/estimator.h), forwarded to the wrapped
+  /// window. MergeFrom stays Unimplemented: two windows' origins are not
+  /// aligned on a shared stream position, so there is no sound merge.
+  StatusOr<std::string> SerializeState() const override {
+    return sliding_.SerializeState();
+  }
+  Status RestoreState(std::string_view snapshot) override {
+    return sliding_.RestoreState(snapshot);
+  }
 
   const SlidingNipsCi& sliding() const { return sliding_; }
 

@@ -77,6 +77,26 @@ class InstrumentedEstimator final : public ImplicationEstimator {
   }
   std::string name() const override { return inner_->name(); }
 
+  // Durable state passes straight through to the wrapped estimator: the
+  // decorator's counters are observability, not state. A snapshot taken
+  // through the wrapper restores into a bare estimator and vice versa.
+  StatusOr<std::string> SerializeState() const override {
+    Flush();
+    return inner_->SerializeState();
+  }
+  Status RestoreState(std::string_view snapshot) override {
+    return inner_->RestoreState(snapshot);
+  }
+  Status MergeFrom(const ImplicationEstimator& other) override {
+    // Unwrap the other side too, so wrapper-to-wrapper merges hit the
+    // concrete estimators' fast paths instead of the wire fallback.
+    if (const auto* wrapped =
+            dynamic_cast<const InstrumentedEstimator*>(&other)) {
+      return inner_->MergeFrom(*wrapped->inner());
+    }
+    return inner_->MergeFrom(other);
+  }
+
   const ImplicationEstimator* inner() const { return inner_.get(); }
   ImplicationEstimator* inner() { return inner_.get(); }
 

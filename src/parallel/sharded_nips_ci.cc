@@ -5,6 +5,7 @@
 #include "core/fringe_cell.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace implistat {
 
@@ -216,6 +217,42 @@ size_t ShardedNipsCi::TrackedItemsets() const {
 std::string ShardedNipsCi::Serialize() const {
   Drain();
   return inner_.Serialize();
+}
+
+StatusOr<std::string> ShardedNipsCi::SerializeState() const {
+  Drain();
+  return WrapSnapshot(SnapshotKind::kNipsCi, inner_.Serialize());
+}
+
+Status ShardedNipsCi::RestoreState(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string_view payload,
+                             UnwrapSnapshot(snapshot, SnapshotKind::kNipsCi));
+  IMPLISTAT_ASSIGN_OR_RETURN(NipsCi restored, NipsCi::Deserialize(payload));
+  // The bitmap→shard partition (shard_of_) and the worker count were sized
+  // for this pipeline's m; a snapshot with a different ensemble width
+  // cannot be adopted in place.
+  if (restored.num_bitmaps() != inner_.num_bitmaps()) {
+    return Status::InvalidArgument(
+        "ShardedNipsCi::RestoreState: snapshot has " +
+        std::to_string(restored.num_bitmaps()) + " bitmaps, pipeline has " +
+        std::to_string(inner_.num_bitmaps()));
+  }
+  // Quiesce, then swap the inner ensemble while every worker is parked in
+  // FrontWait with the rings empty; the next ring handoff (release →
+  // acquire) publishes the restored state to the workers.
+  Drain();
+  inner_ = std::move(restored);
+  return Status::OK();
+}
+
+Status ShardedNipsCi::MergeFrom(const ImplicationEstimator& other) {
+  Drain();
+  if (const auto* sharded = dynamic_cast<const ShardedNipsCi*>(&other)) {
+    return inner_.Merge(sharded->ensemble());  // ensemble() drains `other`
+  }
+  // NipsCi::MergeFrom handles both the direct NipsCi cast and the
+  // wire-contract fallback for anything else that snapshots as kNipsCi.
+  return inner_.MergeFrom(other);
 }
 
 const NipsCi& ShardedNipsCi::ensemble() const {

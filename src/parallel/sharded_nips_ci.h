@@ -122,6 +122,15 @@ class ShardedNipsCi final : public ImplicationEstimator {
   size_t TrackedItemsets() const;
   std::string Serialize() const;
 
+  /// Durable-state contract (core/estimator.h). Snapshots drain first and
+  /// carry the kNipsCi kind — a sharded checkpoint restores into a
+  /// sequential NipsCi and vice versa, byte-for-byte interchangeable.
+  /// RestoreState additionally requires the snapshot's bitmap count to
+  /// match this pipeline's (the bitmap→shard partition depends on m).
+  StatusOr<std::string> SerializeState() const override;
+  Status RestoreState(std::string_view snapshot) override;
+  Status MergeFrom(const ImplicationEstimator& other) override;
+
   /// The quiesced inner ensemble (drains first) — for Merge with /
   /// comparison against sequential sketches and for probes.
   const NipsCi& ensemble() const;

@@ -1,9 +1,67 @@
 #include "query/engine.h"
 
 #include "obs/instrumented_estimator.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
+#include "util/fileio.h"
+#include "util/serde.h"
 
 namespace implistat {
+
+namespace {
+
+// Checkpoint instrumentation (PR 1 registry). Registered lazily on the
+// first checkpoint/restore — this is a cold path, so no flush batching.
+struct CheckpointMetrics {
+  obs::Counter* checkpoints_total;
+  obs::Counter* restores_total;
+  obs::Histogram* bytes;
+  obs::Histogram* checkpoint_duration_ns;
+  obs::Histogram* restore_duration_ns;
+
+  static const CheckpointMetrics& Get() {
+    static const CheckpointMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return CheckpointMetrics{
+          reg.GetCounter("implistat_checkpoints_total",
+                         "Engine checkpoints successfully written"),
+          reg.GetCounter("implistat_restores_total",
+                         "Engine restores successfully completed"),
+          reg.GetHistogram("implistat_checkpoint_bytes",
+                           "Serialized checkpoint size in bytes "
+                           "(envelope included)"),
+          reg.GetHistogram("implistat_checkpoint_duration_ns",
+                           "Wall time of QueryEngine::Checkpoint — "
+                           "serialize, atomic write, fsync"),
+          reg.GetHistogram("implistat_restore_duration_ns",
+                           "Wall time of QueryEngine::Restore — read, "
+                           "decode, re-register"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const Schema& schema) {
+  // Digest an unambiguous encoding (lengths prefixed) so ("ab","c")
+  // cannot collide with ("a","bc").
+  ByteWriter buf;
+  buf.PutVarint64(static_cast<uint64_t>(schema.num_attributes()));
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    const AttributeDef& attr = schema.attribute(i);
+    buf.PutLengthPrefixed(attr.name);
+    buf.PutVarint64(attr.cardinality);
+  }
+  const std::string bytes = buf.Release();
+  uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 QueryEngine::QueryEngine(Schema schema) : schema_(std::move(schema)) {}
 
@@ -120,6 +178,95 @@ StatusOr<const ImplicationEstimator*> QueryEngine::Estimator(
   }
   return const_cast<const ImplicationEstimator*>(
       queries_[id].estimator.get());
+}
+
+StatusOr<std::string> QueryEngine::SerializeState() const {
+  ByteWriter payload;
+  payload.PutU64(SchemaFingerprint(schema_));
+  payload.PutVarint64(static_cast<uint64_t>(schema_.num_attributes()));
+  payload.PutVarint64(tuples_);
+  payload.PutVarint64(queries_.size());
+  for (const RegisteredQuery& query : queries_) {
+    query.spec.SerializeTo(&payload);
+    IMPLISTAT_ASSIGN_OR_RETURN(std::string estimator_state,
+                               query.estimator->SerializeState());
+    payload.PutLengthPrefixed(estimator_state);
+  }
+  return WrapSnapshot(SnapshotKind::kQueryEngine, payload.Release());
+}
+
+Status QueryEngine::RestoreState(std::string_view snapshot) {
+  if (!queries_.empty() || tuples_ != 0) {
+    return Status::FailedPrecondition(
+        "restore requires a fresh engine (no queries, no observed tuples)");
+  }
+  Status status = RestoreStateImpl(snapshot);
+  if (!status.ok()) {
+    // The engine was fresh on entry, so dropping everything restores it
+    // exactly — no partially registered query survives a bad snapshot.
+    queries_.clear();
+    tuples_ = 0;
+  }
+  return status;
+}
+
+Status QueryEngine::RestoreStateImpl(std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngine));
+  ByteReader in(payload);
+  uint64_t fingerprint;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&fingerprint));
+  if (fingerprint != SchemaFingerprint(schema_)) {
+    return Status::FailedPrecondition(
+        "checkpoint was taken over a different schema");
+  }
+  uint64_t width;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&width));
+  if (width != static_cast<uint64_t>(schema_.num_attributes())) {
+    return Status::InvalidArgument(
+        "checkpoint: schema width disagrees with fingerprint");
+  }
+  uint64_t tuples;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples));
+  uint64_t num_queries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_queries));
+  if (num_queries > in.remaining()) {  // every query costs many bytes
+    return Status::InvalidArgument("checkpoint: implausible query count");
+  }
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        ImplicationQuerySpec spec,
+        ImplicationQuerySpec::Deserialize(&in, schema_.num_attributes()));
+    std::string_view estimator_state;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&estimator_state));
+    IMPLISTAT_ASSIGN_OR_RETURN(QueryId id, Register(std::move(spec)));
+    IMPLISTAT_RETURN_NOT_OK(
+        queries_[id].estimator->RestoreState(estimator_state));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("checkpoint: trailing bytes");
+  }
+  tuples_ = tuples;
+  return Status::OK();
+}
+
+Status QueryEngine::Checkpoint(const std::string& path) const {
+  obs::ScopedTimer timer(CheckpointMetrics::Get().checkpoint_duration_ns);
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string bytes, SerializeState());
+  IMPLISTAT_RETURN_NOT_OK(WriteFileAtomic(path, bytes));
+  const CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.checkpoints_total->Increment();
+  metrics.bytes->Record(bytes.size());
+  return Status::OK();
+}
+
+Status QueryEngine::Restore(const std::string& path) {
+  obs::ScopedTimer timer(CheckpointMetrics::Get().restore_duration_ns);
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  IMPLISTAT_RETURN_NOT_OK(RestoreState(bytes));
+  CheckpointMetrics::Get().restores_total->Increment();
+  return Status::OK();
 }
 
 }  // namespace implistat

@@ -11,6 +11,7 @@
 #define IMPLISTAT_QUERY_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -59,6 +60,31 @@ class QueryEngine {
   uint64_t tuples_seen() const { return tuples_; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
 
+  // --- Durable state -------------------------------------------------------
+  //
+  // A checkpoint captures the whole engine — schema fingerprint, every
+  // registered query spec (WHERE clause included), tuples_seen, and each
+  // estimator's serialized state — in one kQueryEngine snapshot envelope
+  // (util/serde.h). Restoring onto an engine built over the same schema
+  // re-registers the queries and resumes the stream exactly where the
+  // checkpoint left it.
+
+  /// Serializes the engine into a kQueryEngine snapshot envelope.
+  StatusOr<std::string> SerializeState() const;
+
+  /// Rebuilds the engine from SerializeState bytes. Requires a fresh
+  /// engine (no registered queries, no observed tuples) whose schema
+  /// matches the one the checkpoint was taken over. On failure the
+  /// engine is left fresh (no partial registration survives).
+  Status RestoreState(std::string_view snapshot);
+
+  /// Writes SerializeState to `path` atomically (write temp file, fsync,
+  /// rename), so a crash mid-checkpoint never clobbers the previous one.
+  Status Checkpoint(const std::string& path) const;
+
+  /// Reads a Checkpoint file and RestoreStates from it.
+  Status Restore(const std::string& path);
+
  private:
   struct RegisteredQuery {
     ImplicationQuerySpec spec;
@@ -67,10 +93,17 @@ class QueryEngine {
     std::unique_ptr<ImplicationEstimator> estimator;
   };
 
+  Status RestoreStateImpl(std::string_view snapshot);
+
   Schema schema_;
   std::vector<RegisteredQuery> queries_;
   uint64_t tuples_ = 0;
 };
+
+/// Order-sensitive digest (FNV-1a 64) of the schema's attribute names and
+/// declared cardinalities. Stored in every checkpoint; restore refuses a
+/// snapshot whose fingerprint differs from the restoring engine's schema.
+uint64_t SchemaFingerprint(const Schema& schema);
 
 }  // namespace implistat
 

@@ -4,6 +4,12 @@
 // A predicate filters the stream before the implication machinery sees it;
 // the composition classes cover the conjunctive/disjunctive conditions of
 // the paper's example queries.
+//
+// Predicates serialize as a tagged pre-order tree so registered queries —
+// WHERE clause included — survive a QueryEngine checkpoint/restore.
+// DeserializePredicate validates every attribute index against the schema
+// width and bounds the tree depth, so a corrupt checkpoint can never
+// produce a predicate that reads out of a tuple's bounds.
 
 #ifndef IMPLISTAT_QUERY_PREDICATE_H_
 #define IMPLISTAT_QUERY_PREDICATE_H_
@@ -12,6 +18,8 @@
 #include <vector>
 
 #include "stream/itemset.h"
+#include "util/serde.h"
+#include "util/status_or.h"
 
 namespace implistat {
 
@@ -19,12 +27,23 @@ class Predicate {
  public:
   virtual ~Predicate() = default;
   virtual bool Matches(TupleRef tuple) const = 0;
+
+  /// Appends this node (tag + operands + children, pre-order) to `out`.
+  virtual void SerializeTo(ByteWriter* out) const = 0;
 };
+
+/// Reads one predicate tree written by SerializeTo. Attribute indices are
+/// validated against `num_attributes` (the schema width the restored
+/// query will run over) and nesting is capped, so malformed bytes yield a
+/// Status, never an out-of-bounds tuple access or unbounded recursion.
+StatusOr<std::shared_ptr<const Predicate>> DeserializePredicate(
+    ByteReader* in, int num_attributes);
 
 /// Matches everything (the unconditional query).
 class TruePredicate final : public Predicate {
  public:
   bool Matches(TupleRef) const override { return true; }
+  void SerializeTo(ByteWriter* out) const override;
 };
 
 /// attribute == value.
@@ -35,6 +54,7 @@ class EqualsPredicate final : public Predicate {
   bool Matches(TupleRef tuple) const override {
     return tuple[attribute_] == value_;
   }
+  void SerializeTo(ByteWriter* out) const override;
 
  private:
   int attribute_;
@@ -47,6 +67,7 @@ class InSetPredicate final : public Predicate {
   InSetPredicate(int attribute_index, std::vector<ValueId> values)
       : attribute_(attribute_index), values_(std::move(values)) {}
   bool Matches(TupleRef tuple) const override;
+  void SerializeTo(ByteWriter* out) const override;
 
  private:
   int attribute_;
@@ -63,6 +84,7 @@ class RangePredicate final : public Predicate {
     ValueId v = tuple[attribute_];
     return lo_ <= v && v <= hi_;
   }
+  void SerializeTo(ByteWriter* out) const override;
 
  private:
   int attribute_;
@@ -75,6 +97,7 @@ class AndPredicate final : public Predicate {
   explicit AndPredicate(std::vector<std::shared_ptr<const Predicate>> parts)
       : parts_(std::move(parts)) {}
   bool Matches(TupleRef tuple) const override;
+  void SerializeTo(ByteWriter* out) const override;
 
  private:
   std::vector<std::shared_ptr<const Predicate>> parts_;
@@ -85,6 +108,7 @@ class OrPredicate final : public Predicate {
   explicit OrPredicate(std::vector<std::shared_ptr<const Predicate>> parts)
       : parts_(std::move(parts)) {}
   bool Matches(TupleRef tuple) const override;
+  void SerializeTo(ByteWriter* out) const override;
 
  private:
   std::vector<std::shared_ptr<const Predicate>> parts_;
@@ -97,6 +121,7 @@ class NotPredicate final : public Predicate {
   bool Matches(TupleRef tuple) const override {
     return !inner_->Matches(tuple);
   }
+  void SerializeTo(ByteWriter* out) const override;
 
  private:
   std::shared_ptr<const Predicate> inner_;

@@ -57,6 +57,13 @@ struct EstimatorConfig {
   DistinctSamplingOptions ds;
   IlcOptions ilc;
   StickySamplingOptions iss;
+
+  /// Checkpoint wire format (raw fields, no envelope — configs only travel
+  /// inside a kQueryEngine snapshot). Deserialize re-validates every field
+  /// an estimator constructor would assert on, so a corrupt-but-CRC-valid
+  /// checkpoint yields a Status instead of an abort.
+  void SerializeTo(ByteWriter* out) const;
+  static StatusOr<EstimatorConfig> Deserialize(ByteReader* in);
 };
 
 struct ImplicationQuerySpec {
@@ -72,6 +79,13 @@ struct ImplicationQuerySpec {
   EstimatorConfig estimator;
   /// Optional human-readable label for reports.
   std::string label;
+
+  /// Checkpoint wire format for the whole spec, WHERE clause included.
+  /// `num_attributes` is the schema width the restored query will run
+  /// over; predicate attribute indices are validated against it.
+  void SerializeTo(ByteWriter* out) const;
+  static StatusOr<ImplicationQuerySpec> Deserialize(ByteReader* in,
+                                                    int num_attributes);
 };
 
 /// Builds the configured estimator. Fails for invalid combinations

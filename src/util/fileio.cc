@@ -1,0 +1,96 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace implistat {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Directory of `path` for the post-rename fsync ("." when no separator).
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+
+  auto fail = [&](const std::string& what) {
+    Status status = Errno(what, tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+
+  std::string_view rest = contents;
+  while (!rest.empty()) {
+    ssize_t n = ::write(fd, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write");
+    }
+    rest.remove_prefix(static_cast<size_t>(n));
+  }
+  if (::fsync(fd) != 0) return fail("fsync");
+  if (::close(fd) != 0) {
+    Status status = Errno("close", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  // Make the rename durable: fsync the directory entry. Failure here is
+  // reported (the data might not survive a power cut) but the file is
+  // already complete and consistent.
+  const std::string dir = DirnameOf(path);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return Errno("open directory", dir);
+  if (::fsync(dfd) != 0) {
+    Status status = Errno("fsync directory", dir);
+    ::close(dfd);
+    return status;
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+}  // namespace implistat

@@ -1,0 +1,31 @@
+// Durable file I/O for checkpoints.
+//
+// A checkpoint that can be torn by a crash mid-write is worse than no
+// checkpoint: restore would read half a snapshot and (at best) fail the
+// CRC. WriteFileAtomic gives the standard write-temp → fsync → rename →
+// fsync-directory sequence, so a checkpoint file is either the complete
+// old version or the complete new version, never a mix.
+
+#ifndef IMPLISTAT_UTIL_FILEIO_H_
+#define IMPLISTAT_UTIL_FILEIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/status_or.h"
+
+namespace implistat {
+
+/// Reads the entire file at `path` into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp.<pid>,
+/// fsyncs it, renames over `path`, then fsyncs the containing directory
+/// so the rename itself is durable. On any failure the temp file is
+/// unlinked and `path` is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_UTIL_FILEIO_H_

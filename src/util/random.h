@@ -46,6 +46,25 @@ class Rng {
   /// an experiment its own stream without correlated state.
   Rng Fork();
 
+  /// The raw 256-bit generator state, for checkpointing. A restored Rng
+  /// continues the exact sequence the saved one would have produced.
+  struct State {
+    uint64_t words[4];
+  };
+  State state() const { return {{s_[0], s_[1], s_[2], s_[3]}}; }
+
+  /// Restores a previously captured state. Returns false (and leaves the
+  /// generator unchanged) for the all-zero state, which Xoshiro256**
+  /// cannot escape.
+  bool set_state(const State& state) {
+    if ((state.words[0] | state.words[1] | state.words[2] |
+         state.words[3]) == 0) {
+      return false;
+    }
+    for (int i = 0; i < 4; ++i) s_[i] = state.words[i];
+    return true;
+  }
+
  private:
   uint64_t s_[4];
 };

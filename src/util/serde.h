@@ -1,4 +1,4 @@
-// Byte-level serialization primitives.
+// Byte-level serialization primitives and the snapshot envelope.
 //
 // NIPS/CI sketches are mergeable (see core/nips.h), which makes them
 // useful in the paper's distributed settings — sensor networks and router
@@ -6,6 +6,12 @@
 // helpers give the sketches a compact wire format: little-endian fixed
 // integers, LEB128 varints, IEEE doubles. Readers validate bounds and
 // return Status instead of crashing on malformed input.
+//
+// Durable state (checkpoints shipped between processes or written to disk)
+// additionally travels inside a self-describing envelope — magic, format
+// version, estimator kind, payload length, CRC32C trailer — so a reader can
+// reject truncation, bit-flips, version skew, and kind mismatch before it
+// ever parses a payload byte. See DESIGN.md §7 for the wire format.
 
 #ifndef IMPLISTAT_UTIL_SERDE_H_
 #define IMPLISTAT_UTIL_SERDE_H_
@@ -16,6 +22,7 @@
 #include <string_view>
 
 #include "util/status.h"
+#include "util/status_or.h"
 
 namespace implistat {
 
@@ -32,6 +39,15 @@ class ByteWriter {
   void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
 
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix (caller must know the length on read).
+  void PutBytes(std::string_view bytes) { out_.append(bytes); }
+
+  /// Varint length followed by the bytes; pairs with ReadLengthPrefixed.
+  void PutLengthPrefixed(std::string_view bytes) {
+    PutVarint64(bytes.size());
+    out_.append(bytes);
+  }
 
   const std::string& str() const { return out_; }
   std::string Release() { return std::move(out_); }
@@ -57,6 +73,12 @@ class ByteReader {
   Status ReadDouble(double* v);
   Status ReadBool(bool* v);
 
+  /// Reads exactly `n` raw bytes; the view aliases the reader's buffer.
+  Status ReadBytes(size_t n, std::string_view* out);
+
+  /// Reads a varint length then that many bytes (view into the buffer).
+  Status ReadLengthPrefixed(std::string_view* out);
+
   bool AtEnd() const { return pos_ >= data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
@@ -66,6 +88,58 @@ class ByteReader {
   std::string_view data_;
   size_t pos_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Snapshot envelope.
+//
+//   offset  field
+//   ------  -----------------------------------------------------------
+//   0       magic "IMPS" (4 bytes, little-endian u32 0x53504d49)
+//   4       format version (varint; currently kSnapshotFormatVersion)
+//   ..      snapshot kind (1 byte, SnapshotKind)
+//   ..      payload length (varint)
+//   ..      payload bytes
+//   end-4   CRC32C (little-endian u32) over every preceding byte
+//
+// Readers check, in order: magic, version, kind, length vs available
+// bytes, and the checksum — each failure is a distinct Status, never a
+// crash, and never a partial parse of the payload.
+// ---------------------------------------------------------------------------
+
+/// Identifies which estimator (or container) produced a snapshot payload.
+/// Values are part of the wire format — append only, never renumber.
+enum class SnapshotKind : uint8_t {
+  kNipsCi = 1,           // NipsCi and ShardedNipsCi (interchangeable)
+  kExactCounter = 2,     // ExactImplicationCounter
+  kDistinctSampling = 3, // DistinctSampling
+  kIlc = 4,              // Ilc (Implication Lossy Counting)
+  kIss = 5,              // ImplicationStickySampling
+  kLossyCounting = 6,    // plain frequent-items LossyCounting
+  kStickySampling = 7,   // plain frequent-items StickySampling
+  kSlidingNipsCi = 8,    // SlidingNipsCi / SlidingNipsCiEstimator
+  kQueryEngine = 9,      // full QueryEngine checkpoint
+  kIncrementalTracker = 10,  // IncrementalTracker checkpoint vector
+};
+
+inline constexpr uint32_t kSnapshotMagic = 0x53504d49;  // "IMPS"
+inline constexpr uint64_t kSnapshotFormatVersion = 1;
+
+/// CRC32C (Castagnoli) of `data`; software table implementation.
+uint32_t Crc32c(std::string_view data);
+
+/// Wraps `payload` in the envelope described above.
+std::string WrapSnapshot(SnapshotKind kind, std::string_view payload);
+
+/// Validates the envelope and returns a view of the payload (aliasing
+/// `bytes`, which must outlive the result). Rejects bad magic, version
+/// skew, kind mismatch against `expected_kind`, truncation/length
+/// mismatch, and checksum failure — each with a descriptive Status.
+StatusOr<std::string_view> UnwrapSnapshot(std::string_view bytes,
+                                          SnapshotKind expected_kind);
+
+/// Reads just the kind tag of a valid-looking envelope (magic + version
+/// checked, checksum not). Useful for dispatch before full validation.
+StatusOr<SnapshotKind> PeekSnapshotKind(std::string_view bytes);
 
 }  // namespace implistat
 

@@ -147,5 +147,29 @@ TEST(ExactCounterTest, MemoryGrowsWithDistinctItemsets) {
   EXPECT_GT(exact.MemoryBytes(), empty + 10000 * sizeof(ItemsetKey));
 }
 
+TEST(ExactCounterTest, MemoryBytesCoversBucketArrayAndNodes) {
+  // The accounting must include the unordered_map's bucket array, not
+  // just the nodes hanging off it. With K=1 strict, a second distinct b
+  // marks every itemset dirty and frees its per-pair tracking, so the
+  // remaining footprint is a clean lower bound: one node (key + state +
+  // two list pointers) per itemset plus one bucket pointer per bucket.
+  constexpr ItemsetKey kItems = 4096;
+  ExactImplicationCounter exact(Cond(1, 1, 1.0, 1));
+  for (ItemsetKey a = 0; a < kItems; ++a) {
+    exact.Observe(a, 1);
+    exact.Observe(a, 2);  // second distinct b -> dirty, pair map freed
+  }
+  ASSERT_EQ(exact.NonImplicationCount(), kItems);
+  const size_t bucket_array = exact.HashBucketCount() * sizeof(void*);
+  // The bucket array alone is tens of KB here; the old accounting that
+  // omitted it fails this bound.
+  EXPECT_GE(exact.HashBucketCount(), static_cast<size_t>(kItems));
+  const size_t per_node =
+      sizeof(ItemsetKey) + sizeof(ItemsetState) + 2 * sizeof(void*);
+  EXPECT_GE(exact.MemoryBytes(),
+            sizeof(ExactImplicationCounter) + bucket_array +
+                kItems * per_node);
+}
+
 }  // namespace
 }  // namespace implistat

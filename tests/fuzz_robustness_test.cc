@@ -4,12 +4,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "baseline/distinct_sampling.h"
+#include "baseline/exact_counter.h"
+#include "baseline/ilc.h"
+#include "baseline/lossy_counting.h"
+#include "baseline/sticky_sampling.h"
 #include "core/nips_ci_ensemble.h"
+#include "core/sliding.h"
+#include "parallel/sharded_nips_ci.h"
+#include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
 #include "util/random.h"
+#include "util/serde.h"
 
 namespace implistat {
 namespace {
@@ -104,6 +116,319 @@ TEST(SerdeFuzzTest, BitflippedValidSketchNeverCrashes) {
       // A surviving corruption must still yield a usable sketch.
       (void)result->EstimateImplicationCount();
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable-state robustness: every estimator kind's RestoreState must turn
+// arbitrary corruption into a clean Status — no crash, no hang, and no
+// partial mutation of the restore target.
+// ---------------------------------------------------------------------------
+
+ImplicationConditions StateCond() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 2;
+  cond.min_support = 2;
+  cond.min_top_confidence = 0.9;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+struct DurableKind {
+  std::string name;
+  std::unique_ptr<ImplicationEstimator> (*make)();
+};
+
+const std::vector<DurableKind>& DurableKinds() {
+  static const std::vector<DurableKind> kinds = {
+      {"nips_ci",
+       [] {
+         NipsCiOptions o;
+         o.num_bitmaps = 8;
+         o.seed = 21;
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<NipsCi>(StateCond(), o));
+       }},
+      {"sharded_nips_ci",
+       [] {
+         ShardedNipsCiOptions o;
+         o.threads = 2;
+         o.ensemble.num_bitmaps = 8;
+         o.ensemble.seed = 21;
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<ShardedNipsCi>(StateCond(), o));
+       }},
+      {"exact",
+       [] {
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<ExactImplicationCounter>(StateCond()));
+       }},
+      {"distinct_sampling",
+       [] {
+         DistinctSamplingOptions o;
+         o.max_sample_entries = 48;
+         o.per_value_bound = 6;
+         o.seed = 23;
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<DistinctSampling>(StateCond(), o));
+       }},
+      {"ilc",
+       [] {
+         IlcOptions o;
+         o.epsilon = 0.05;
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<Ilc>(StateCond(), o));
+       }},
+      {"iss",
+       [] {
+         StickySamplingOptions o;
+         o.epsilon = 0.05;
+         o.delta = 0.05;
+         o.support = 0.05;
+         o.seed = 25;
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<ImplicationStickySampling>(StateCond(), o));
+       }},
+      {"sliding_nips_ci",
+       [] {
+         SlidingOptions o;
+         o.window = 256;
+         o.stride = 32;
+         o.estimator.num_bitmaps = 8;
+         o.estimator.seed = 21;
+         return std::unique_ptr<ImplicationEstimator>(
+             std::make_unique<SlidingNipsCiEstimator>(StateCond(), o));
+       }},
+  };
+  return kinds;
+}
+
+void FeedState(ImplicationEstimator* est, uint64_t begin, uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
+    ItemsetKey a = i % 150;
+    est->Observe(a, (a % 9 == 0) ? (i % 3) : (a % 4));
+  }
+}
+
+// Restoring a corrupt snapshot must fail cleanly AND leave the target
+// exactly as it was — the decode-into-temporary contract.
+void ExpectRejectedWithoutMutation(ImplicationEstimator* target,
+                                   std::string_view corrupt,
+                                   double baseline_estimate,
+                                   const char* what) {
+  Status status = target->RestoreState(corrupt);
+  EXPECT_FALSE(status.ok()) << what << " unexpectedly restored";
+  EXPECT_EQ(target->EstimateImplicationCount(), baseline_estimate)
+      << what << " mutated the target on failure";
+}
+
+TEST(StateFuzzTest, EveryKindRoundTripsItsOwnSnapshot) {
+  for (const DurableKind& kind : DurableKinds()) {
+    SCOPED_TRACE(kind.name);
+    auto source = kind.make();
+    FeedState(source.get(), 0, 1200);
+    auto snapshot = source->SerializeState();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    auto target = kind.make();
+    ASSERT_TRUE(target->RestoreState(*snapshot).ok());
+    EXPECT_DOUBLE_EQ(target->EstimateImplicationCount(),
+                     source->EstimateImplicationCount());
+  }
+}
+
+TEST(StateFuzzTest, TruncatedSnapshotsRejectedCleanly) {
+  for (const DurableKind& kind : DurableKinds()) {
+    SCOPED_TRACE(kind.name);
+    auto source = kind.make();
+    FeedState(source.get(), 0, 1200);
+    auto snapshot = source->SerializeState();
+    ASSERT_TRUE(snapshot.ok());
+    auto target = kind.make();
+    FeedState(target.get(), 300, 500);
+    const double baseline = target->EstimateImplicationCount();
+    // Every short length near the envelope header, then a spread of cuts
+    // through the payload.
+    const size_t step = snapshot->size() / 97 + 1;
+    for (size_t len = 0; len < snapshot->size(); len += (len < 32 ? 1 : step)) {
+      ExpectRejectedWithoutMutation(target.get(), snapshot->substr(0, len),
+                                    baseline, "truncation");
+    }
+  }
+}
+
+TEST(StateFuzzTest, BitflippedSnapshotsNeverCrashOrPartiallyApply) {
+  Rng rng(31);
+  for (const DurableKind& kind : DurableKinds()) {
+    SCOPED_TRACE(kind.name);
+    auto source = kind.make();
+    FeedState(source.get(), 0, 1200);
+    auto snapshot = source->SerializeState();
+    ASSERT_TRUE(snapshot.ok());
+    auto target = kind.make();
+    FeedState(target.get(), 300, 500);
+    double baseline = target->EstimateImplicationCount();
+    for (int iter = 0; iter < 400; ++iter) {
+      std::string corrupted = *snapshot;
+      int flips = 1 + static_cast<int>(rng.Uniform(6));
+      for (int f = 0; f < flips; ++f) {
+        size_t pos = rng.Uniform(corrupted.size());
+        corrupted[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+      }
+      // CRC32C catches essentially all of these; any that slip through
+      // must still decode into a usable estimator, and any rejection must
+      // leave the target untouched.
+      Status status = target->RestoreState(corrupted);
+      if (status.ok()) {
+        (void)target->EstimateImplicationCount();
+        ASSERT_TRUE(target->RestoreState(*snapshot).ok());
+        baseline = target->EstimateImplicationCount();
+      } else {
+        EXPECT_EQ(target->EstimateImplicationCount(), baseline);
+      }
+    }
+  }
+}
+
+TEST(StateFuzzTest, RandomGarbageRejectedByEveryKind) {
+  Rng rng(37);
+  for (const DurableKind& kind : DurableKinds()) {
+    SCOPED_TRACE(kind.name);
+    auto target = kind.make();
+    FeedState(target.get(), 0, 200);
+    const double baseline = target->EstimateImplicationCount();
+    for (int iter = 0; iter < 300; ++iter) {
+      std::string garbage;
+      size_t len = rng.Uniform(200);
+      for (size_t i = 0; i < len; ++i) {
+        garbage.push_back(static_cast<char>(rng.Next64() & 0xff));
+      }
+      ExpectRejectedWithoutMutation(target.get(), garbage, baseline,
+                                    "random garbage");
+    }
+  }
+}
+
+TEST(StateFuzzTest, WrongKindSnapshotsRejected) {
+  // Pre-serialize one snapshot per kind, then try every (snapshot, target)
+  // pair. Only matching kinds — plus the sharded/sequential NIPS/CI pair,
+  // which shares a wire format by design — may restore.
+  std::vector<std::string> snapshots;
+  for (const DurableKind& kind : DurableKinds()) {
+    auto source = kind.make();
+    FeedState(source.get(), 0, 600);
+    auto snapshot = source->SerializeState();
+    ASSERT_TRUE(snapshot.ok()) << kind.name;
+    snapshots.push_back(std::move(*snapshot));
+  }
+  const auto& kinds = DurableKinds();
+  auto nips_compatible = [](const std::string& name) {
+    return name == "nips_ci" || name == "sharded_nips_ci";
+  };
+  for (size_t s = 0; s < kinds.size(); ++s) {
+    for (size_t t = 0; t < kinds.size(); ++t) {
+      const bool compatible =
+          s == t || (nips_compatible(kinds[s].name) &&
+                     nips_compatible(kinds[t].name));
+      auto target = kinds[t].make();
+      FeedState(target.get(), 100, 300);
+      const double baseline = target->EstimateImplicationCount();
+      Status status = target->RestoreState(snapshots[s]);
+      if (compatible) {
+        EXPECT_TRUE(status.ok())
+            << kinds[s].name << " -> " << kinds[t].name << ": " << status;
+      } else {
+        EXPECT_FALSE(status.ok())
+            << kinds[s].name << " restored into " << kinds[t].name;
+        EXPECT_EQ(target->EstimateImplicationCount(), baseline);
+      }
+    }
+  }
+}
+
+TEST(StateFuzzTest, FutureVersionSnapshotsRejected) {
+  for (const DurableKind& kind : DurableKinds()) {
+    SCOPED_TRACE(kind.name);
+    auto source = kind.make();
+    FeedState(source.get(), 0, 400);
+    auto snapshot = source->SerializeState();
+    ASSERT_TRUE(snapshot.ok());
+    // The version varint sits after the 4-byte magic; bump it and re-seal
+    // the CRC trailer so only the version check can object.
+    std::string future = *snapshot;
+    ASSERT_EQ(future[4], static_cast<char>(kSnapshotFormatVersion));
+    future[4] = static_cast<char>(kSnapshotFormatVersion + 1);
+    uint32_t crc = Crc32c(
+        std::string_view(future).substr(0, future.size() - sizeof(uint32_t)));
+    std::memcpy(future.data() + future.size() - sizeof(crc), &crc,
+                sizeof(crc));
+    auto target = kind.make();
+    Status status = target->RestoreState(future);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("version"), std::string_view::npos);
+  }
+}
+
+TEST(StateFuzzTest, LossyCountingSnapshotFuzz) {
+  LossyCounting lossy(0.05);
+  for (uint64_t i = 0; i < 3000; ++i) lossy.Observe(i % 41);
+  auto snapshot = lossy.SerializeState();
+  ASSERT_TRUE(snapshot.ok());
+  LossyCounting target(0.05);
+  ASSERT_TRUE(target.RestoreState(*snapshot).ok());
+  Rng rng(43);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string corrupted = *snapshot;
+    size_t pos = rng.Uniform(corrupted.size());
+    corrupted[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+    Status status = target.RestoreState(corrupted);
+    if (!status.ok()) {
+      // Target must still hold the last good state.
+      ASSERT_TRUE(target.RestoreState(*snapshot).ok());
+    }
+  }
+  for (size_t len = 0; len < snapshot->size(); len += 7) {
+    EXPECT_FALSE(target.RestoreState(snapshot->substr(0, len)).ok());
+  }
+}
+
+TEST(StateFuzzTest, QueryEngineSnapshotFuzz) {
+  QueryEngine engine(Schema({{"A", 64}, {"B", 32}}));
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"A"};
+  spec.b_attributes = {"B"};
+  spec.conditions = StateCond();
+  spec.estimator.kind = EstimatorKind::kExact;
+  ASSERT_TRUE(engine.Register(std::move(spec)).ok());
+  std::vector<ValueId> row(2);
+  for (uint64_t i = 0; i < 400; ++i) {
+    row[0] = static_cast<ValueId>(i % 63);
+    row[1] = static_cast<ValueId>(i % 17);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+  auto snapshot = engine.SerializeState();
+  ASSERT_TRUE(snapshot.ok());
+  Rng rng(47);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string corrupted = *snapshot;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(corrupted.size());
+      corrupted[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+    }
+    QueryEngine victim(Schema({{"A", 64}, {"B", 32}}));
+    Status status = victim.RestoreState(corrupted);
+    if (!status.ok()) {
+      // A failed engine restore leaves a fresh, reusable engine.
+      EXPECT_EQ(victim.num_queries(), 0);
+      EXPECT_EQ(victim.tuples_seen(), 0u);
+      EXPECT_TRUE(victim.RestoreState(*snapshot).ok());
+    }
+  }
+  for (size_t len = 0; len < snapshot->size();
+       len += snapshot->size() / 61 + 1) {
+    QueryEngine victim(Schema({{"A", 64}, {"B", 32}}));
+    EXPECT_FALSE(victim.RestoreState(snapshot->substr(0, len)).ok());
+    EXPECT_EQ(victim.num_queries(), 0);
   }
 }
 

@@ -32,6 +32,7 @@
 #include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
+#include "util/fileio.h"
 
 namespace {
 
@@ -150,11 +151,31 @@ int main(int argc, char** argv) {
                                  !metrics_json_path.empty() ||
                                  !metrics_prom_path.empty();
 
+  // A checkpoint embeds the value dictionaries of the run that wrote it.
+  // Seeding the CSV reader with them makes the replayed file's ids line
+  // up with the estimator states no matter how its rows are ordered —
+  // first-appearance interning order stops mattering across restarts.
+  std::vector<ValueDictionary> seed;
+  if (!restore_path.empty()) {
+    StatusOr<std::string> bytes = ReadFileToString(restore_path);
+    if (!bytes.ok()) {
+      std::cerr << "restore error: " << bytes.status() << "\n";
+      return 1;
+    }
+    StatusOr<std::vector<ValueDictionary>> peeked =
+        PeekCheckpointDictionaries(*bytes);
+    if (!peeked.ok()) {
+      std::cerr << "restore error: " << peeked.status() << "\n";
+      return 1;
+    }
+    seed = std::move(peeked).value();
+  }
+
   StatusOr<CsvTable> table = [&]() -> StatusOr<CsvTable> {
-    if (positional[0] == "-") return ReadCsv(std::cin);
+    if (positional[0] == "-") return ReadCsv(std::cin, std::move(seed));
     std::ifstream file(positional[0]);
     if (!file) return Status::IOError("cannot open " + positional[0]);
-    return ReadCsv(file);
+    return ReadCsv(file, std::move(seed));
   }();
   if (!table.ok()) {
     std::cerr << "input error: " << table.status() << "\n";
@@ -162,6 +183,12 @@ int main(int argc, char** argv) {
   }
 
   QueryEngine engine(table->schema);
+  // Attach the dictionaries so checkpoints carry them.
+  if (Status status = engine.SetDictionaries(table->dictionaries);
+      !status.ok()) {
+    std::cerr << "dictionary error: " << status << "\n";
+    return 1;
+  }
   if (!restore_path.empty()) {
     Status restored = engine.Restore(restore_path);
     if (!restored.ok()) {

@@ -1,0 +1,247 @@
+// implistat_client: command-line client for implistat_server.
+//
+//   implistat_client --port P [--host H] <command> [args]
+//
+// commands:
+//   ping                      liveness round trip
+//   observe <file.csv|->      ship CSV rows (header skipped) as
+//                             OBSERVE_BATCH value batches
+//   query [id ...]            estimates + error bars (all queries when
+//                             no ids given)
+//   snapshot <id> <out>       save query <id>'s estimator state to <out>
+//   merge <id> <snapshot>     fold a saved snapshot into query <id>
+//   metrics                   print the server's Prometheus metrics
+//   checkpoint                ask the server to write its checkpoint
+//   shutdown                  graceful server drain
+//
+// See README "Running as a service" for the two-terminal walkthrough.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "util/fileio.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --port P [--host H] "
+               "ping|observe|query|snapshot|merge|metrics|checkpoint|"
+               "shutdown [args]\n";
+  return 2;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+int Observe(implistat::net::Client& client, std::istream& in) {
+  using implistat::net::ObserveBatchRequest;
+  using implistat::net::ObserveEncoding;
+  std::string line;
+  if (!std::getline(in, line)) {
+    std::cerr << "empty CSV input (no header)\n";
+    return 1;
+  }
+  const size_t width = SplitCsvLine(line).size();
+  constexpr size_t kRowsPerBatch = 1024;
+  ObserveBatchRequest batch;
+  batch.encoding = ObserveEncoding::kValues;
+  batch.width = static_cast<uint32_t>(width);
+  uint64_t total = 0;
+  uint64_t rows = 0;
+  auto flush = [&]() -> bool {
+    if (batch.values.empty()) return true;
+    auto seen = client.ObserveBatch(batch);
+    if (!seen.ok()) {
+      std::cerr << "observe error: " << seen.status() << "\n";
+      return false;
+    }
+    total = *seen;
+    batch.values.clear();
+    return true;
+  };
+  size_t row_no = 1;
+  while (std::getline(in, line)) {
+    ++row_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != width) {
+      std::cerr << "row " << row_no << " has " << fields.size()
+                << " fields, expected " << width << "\n";
+      return 1;
+    }
+    for (std::string& field : fields) batch.values.push_back(std::move(field));
+    ++rows;
+    if (batch.num_tuples() >= kRowsPerBatch && !flush()) return 1;
+  }
+  if (!flush()) return 1;
+  std::cout << "shipped " << rows << " tuples; server total " << total
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace implistat;
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      const char* v = take_value("--host");
+      if (v == nullptr) return 2;
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = take_value("--port");
+      if (v == nullptr) return 2;
+      port = std::atoi(v);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.empty() || port <= 0 || port > 65535) return Usage(argv[0]);
+  const std::string& command = positional[0];
+
+  StatusOr<net::Client> client =
+      net::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::cerr << "connect error: " << client.status() << "\n";
+    return 1;
+  }
+
+  if (command == "ping") {
+    if (Status status = client->Ping(); !status.ok()) {
+      std::cerr << "ping error: " << status << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (command == "observe") {
+    if (positional.size() != 2) return Usage(argv[0]);
+    if (positional[1] == "-") return Observe(*client, std::cin);
+    std::ifstream file(positional[1]);
+    if (!file) {
+      std::cerr << "cannot open " << positional[1] << "\n";
+      return 1;
+    }
+    return Observe(*client, file);
+  }
+  if (command == "query") {
+    std::vector<uint32_t> ids;
+    for (size_t i = 1; i < positional.size(); ++i) {
+      ids.push_back(
+          static_cast<uint32_t>(std::strtoul(positional[i].c_str(),
+                                             nullptr, 10)));
+    }
+    auto response = client->Query(ids);
+    if (!response.ok()) {
+      std::cerr << "query error: " << response.status() << "\n";
+      return 1;
+    }
+    std::cout << "# " << response->tuples_seen << " tuples\n";
+    for (const auto& result : response->results) {
+      std::cout << "query " << result.id << " [" << result.estimator_name
+                << "]: " << result.estimate;
+      if (result.std_error >= 0) std::cout << " +/- " << result.std_error;
+      std::cout << "   (memory: " << result.memory_bytes << " bytes)";
+      if (!result.label.empty()) std::cout << "  " << result.label;
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  if (command == "snapshot") {
+    if (positional.size() != 3) return Usage(argv[0]);
+    auto snapshot = client->Snapshot(
+        static_cast<uint32_t>(std::strtoul(positional[1].c_str(), nullptr,
+                                           10)));
+    if (!snapshot.ok()) {
+      std::cerr << "snapshot error: " << snapshot.status() << "\n";
+      return 1;
+    }
+    if (Status status = WriteFileAtomic(positional[2], *snapshot);
+        !status.ok()) {
+      std::cerr << "write error: " << status << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << snapshot->size() << " bytes to "
+              << positional[2] << "\n";
+    return 0;
+  }
+  if (command == "merge") {
+    if (positional.size() != 3) return Usage(argv[0]);
+    auto bytes = ReadFileToString(positional[2]);
+    if (!bytes.ok()) {
+      std::cerr << "read error: " << bytes.status() << "\n";
+      return 1;
+    }
+    Status status = client->Merge(
+        static_cast<uint32_t>(std::strtoul(positional[1].c_str(), nullptr,
+                                           10)),
+        *bytes);
+    if (!status.ok()) {
+      std::cerr << "merge error: " << status << "\n";
+      return 1;
+    }
+    std::cout << "merged\n";
+    return 0;
+  }
+  if (command == "metrics") {
+    auto text = client->Metrics();
+    if (!text.ok()) {
+      std::cerr << "metrics error: " << text.status() << "\n";
+      return 1;
+    }
+    std::cout << *text;
+    return 0;
+  }
+  if (command == "checkpoint") {
+    auto path = client->Checkpoint();
+    if (!path.ok()) {
+      std::cerr << "checkpoint error: " << path.status() << "\n";
+      return 1;
+    }
+    std::cout << "checkpoint written to " << *path << "\n";
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (Status status = client->Shutdown(); !status.ok()) {
+      std::cerr << "shutdown error: " << status << "\n";
+      return 1;
+    }
+    std::cout << "server draining\n";
+    return 0;
+  }
+  std::cerr << "unknown command " << command << "\n";
+  return Usage(argv[0]);
+}

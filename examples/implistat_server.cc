@@ -1,0 +1,216 @@
+// implistat_server: serve implication queries over a socket.
+//
+//   implistat_server [options] <file.csv|-> "QUERY" ["QUERY" ...]
+//   implistat_server [options] --restore PATH <file.csv|->
+//
+// Loads a CSV (dictionary-coding its values), registers the queries, and
+// serves the wire protocol (src/net/wire.h): remote OBSERVE_BATCH ingest,
+// QUERY readouts with error bars, SNAPSHOT/MERGE aggregation, METRICS,
+// CHECKPOINT and graceful SHUTDOWN. SIGTERM/SIGINT drain cleanly; with
+// --checkpoint they leave a restorable engine checkpoint behind.
+//
+// Pass an empty CSV body (header only) to start a blank aggregator that
+// only ever ingests remotely. See README "Running as a service".
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/server.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "stream/csv_io.h"
+#include "util/fileio.h"
+
+namespace {
+
+implistat::net::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] <file.csv|-> \"QUERY\" ...\n\n"
+      << "options:\n"
+      << "  --port N              TCP port (default 0 = ephemeral; the\n"
+      << "                        bound port prints to stdout)\n"
+      << "  --bind ADDR           bind address (default 127.0.0.1)\n"
+      << "  --threads N           parallel ingest threads for NIPS queries\n"
+      << "  --checkpoint PATH     serve CHECKPOINT requests at PATH and\n"
+      << "                        write a final checkpoint on shutdown\n"
+      << "  --restore PATH        resume queries + estimator state + value\n"
+      << "                        dictionaries from a checkpoint (pass no\n"
+      << "                        QUERY args)\n"
+      << "  --idle-timeout-ms N   drop connections idle for N ms\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace implistat;
+
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  int threads = 1;
+  std::string checkpoint_path;
+  std::string restore_path;
+  int64_t idle_timeout_ms = 0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* v = take_value("--port");
+      if (v == nullptr) return 2;
+      port = std::atoi(v);
+    } else if (arg == "--bind") {
+      const char* v = take_value("--bind");
+      if (v == nullptr) return 2;
+      bind_address = v;
+    } else if (arg == "--threads") {
+      const char* v = take_value("--threads");
+      if (v == nullptr) return 2;
+      threads = std::atoi(v);
+    } else if (arg == "--checkpoint") {
+      const char* v = take_value("--checkpoint");
+      if (v == nullptr) return 2;
+      checkpoint_path = v;
+    } else if (arg == "--restore") {
+      const char* v = take_value("--restore");
+      if (v == nullptr) return 2;
+      restore_path = v;
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = take_value("--idle-timeout-ms");
+      if (v == nullptr) return 2;
+      idle_timeout_ms = std::atoll(v);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (restore_path.empty()) {
+    if (positional.size() < 2) return Usage(argv[0]);
+  } else if (positional.size() != 1) {
+    std::cerr << "--restore takes its queries from the checkpoint; pass "
+                 "only the input file\n";
+    return 2;
+  }
+  if (port < 0 || port > 65535) {
+    std::cerr << "--port out of range\n";
+    return 2;
+  }
+
+  // Same restore flow as implistat_cli: recover the checkpoint's value
+  // dictionaries first and seed the CSV reader, so ids line up with the
+  // saved estimator states regardless of the replayed file's row order.
+  std::vector<ValueDictionary> seed;
+  if (!restore_path.empty()) {
+    StatusOr<std::string> bytes = ReadFileToString(restore_path);
+    if (!bytes.ok()) {
+      std::cerr << "restore error: " << bytes.status() << "\n";
+      return 1;
+    }
+    StatusOr<std::vector<ValueDictionary>> peeked =
+        PeekCheckpointDictionaries(*bytes);
+    if (!peeked.ok()) {
+      std::cerr << "restore error: " << peeked.status() << "\n";
+      return 1;
+    }
+    seed = std::move(peeked).value();
+  }
+
+  StatusOr<CsvTable> table = [&]() -> StatusOr<CsvTable> {
+    if (positional[0] == "-") return ReadCsv(std::cin, std::move(seed));
+    std::ifstream file(positional[0]);
+    if (!file) return Status::IOError("cannot open " + positional[0]);
+    return ReadCsv(file, std::move(seed));
+  }();
+  if (!table.ok()) {
+    std::cerr << "input error: " << table.status() << "\n";
+    return 1;
+  }
+
+  QueryEngine engine(table->schema);
+  if (Status status = engine.SetDictionaries(table->dictionaries);
+      !status.ok()) {
+    std::cerr << "dictionary error: " << status << "\n";
+    return 1;
+  }
+  if (!restore_path.empty()) {
+    if (Status status = engine.Restore(restore_path); !status.ok()) {
+      std::cerr << "restore error: " << status << "\n";
+      return 1;
+    }
+    std::cerr << "restored " << engine.num_queries() << " queries at "
+              << engine.tuples_seen() << " tuples\n";
+  }
+  for (size_t i = 1; i < positional.size(); ++i) {
+    auto parsed = ParseImplicationQuery(positional[i]);
+    if (!parsed.ok()) {
+      std::cerr << "parse error in query " << i << ": " << parsed.status()
+                << "\n";
+      return 1;
+    }
+    auto spec = BindQuery(*parsed, table->schema, &table->dictionaries);
+    if (!spec.ok()) {
+      std::cerr << "bind error in query " << i << ": " << spec.status()
+                << "\n";
+      return 1;
+    }
+    spec->estimator.threads = threads;
+    auto id = engine.Register(std::move(spec).value());
+    if (!id.ok()) {
+      std::cerr << "register error in query " << i << ": " << id.status()
+                << "\n";
+      return 1;
+    }
+  }
+
+  // Feed the local CSV rows before serving — the server's own share of
+  // the stream; remote batches then continue the count.
+  while (auto tuple = table->stream.Next()) engine.ObserveTuple(*tuple);
+
+  net::ServerOptions options;
+  options.bind_address = bind_address;
+  options.port = static_cast<uint16_t>(port);
+  options.checkpoint_path = checkpoint_path;
+  options.idle_timeout_ms = idle_timeout_ms;
+  net::Server server(&engine, options);
+  if (Status status = server.Start(); !status.ok()) {
+    std::cerr << "start error: " << status << "\n";
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  // The port line is the startup handshake: scripts read it to find an
+  // ephemeral port, and its presence means the socket is accepting.
+  std::cout << "listening on " << bind_address << ":" << server.port()
+            << std::endl;
+  std::cerr << "serving " << engine.num_queries() << " queries at "
+            << engine.tuples_seen() << " tuples\n";
+
+  Status status = server.Run();
+  g_server = nullptr;
+  if (!status.ok()) {
+    std::cerr << "serve error: " << status << "\n";
+    return 1;
+  }
+  std::cerr << "drained at " << engine.tuples_seen() << " tuples\n";
+  return 0;
+}

@@ -34,6 +34,7 @@ class ExactImplicationCounter final : public ImplicationEstimator {
   double EstimateSupportedDistinct() const override {
     return static_cast<double>(SupportedDistinct());
   }
+  double EstimateStdError() const override { return 0.0; }  // exact
   size_t MemoryBytes() const override;
   std::string name() const override { return "Exact"; }
 

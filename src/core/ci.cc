@@ -53,6 +53,49 @@ CiEstimate CiFromEnsemble(std::span<const Nips> bitmaps) {
   return Finish(supported, non_impl);
 }
 
+CiEstimate CiEnsembleStdError(std::span<const Nips> bitmaps) {
+  CiEstimate se;  // zero-initialized fields double as the m < 2 answer
+  const size_t m = bitmaps.size();
+  if (m < 2) return se;
+  double sum_r_sup = 0;
+  double sum_r_non = 0;
+  for (const Nips& nips : bitmaps) {
+    sum_r_sup += nips.RSupport();
+    sum_r_non += nips.RNonImplication();
+  }
+  // Leave-one-out readouts, each rescaled from the (m−1)/m key share the
+  // reduced ensemble saw back to the full stream.
+  std::vector<CiEstimate> loo(m);
+  CiEstimate mean;
+  const double dm = static_cast<double>(m);
+  for (size_t i = 0; i < m; ++i) {
+    const double mean_sup = (sum_r_sup - bitmaps[i].RSupport()) / (dm - 1);
+    const double mean_non =
+        (sum_r_non - bitmaps[i].RNonImplication()) / (dm - 1);
+    loo[i].supported_distinct = dm * FmInvertMeanRank(mean_sup);
+    loo[i].non_implication = dm * FmInvertMeanRank(mean_non);
+    loo[i].implication =
+        std::max(0.0, loo[i].supported_distinct - loo[i].non_implication);
+    mean.supported_distinct += loo[i].supported_distinct / dm;
+    mean.non_implication += loo[i].non_implication / dm;
+    mean.implication += loo[i].implication / dm;
+  }
+  double var_sup = 0, var_non = 0, var_impl = 0;
+  for (const CiEstimate& est : loo) {
+    var_sup += (est.supported_distinct - mean.supported_distinct) *
+               (est.supported_distinct - mean.supported_distinct);
+    var_non += (est.non_implication - mean.non_implication) *
+               (est.non_implication - mean.non_implication);
+    var_impl += (est.implication - mean.implication) *
+                (est.implication - mean.implication);
+  }
+  const double scale = (dm - 1) / dm;
+  se.supported_distinct = std::sqrt(scale * var_sup);
+  se.non_implication = std::sqrt(scale * var_non);
+  se.implication = std::sqrt(scale * var_impl);
+  return se;
+}
+
 double CiRawEstimate(const Nips& nips) {
   return std::pow(2.0, nips.RSupport()) -
          std::pow(2.0, nips.RNonImplication());

@@ -33,6 +33,14 @@ CiEstimate CiFromBitmap(const Nips& nips);
 /// Estimates from an ensemble of bitmaps via stochastic averaging.
 CiEstimate CiFromEnsemble(std::span<const Nips> bitmaps);
 
+/// Leave-one-bitmap-out jackknife standard errors for the ensemble
+/// readout: each field holds the 1σ error bar of the corresponding
+/// CiFromEnsemble estimate. Stochastic averaging routes ~1/m of the keys
+/// to each bitmap, so every leave-one-out readout is rescaled by m/(m−1)
+/// before the usual jackknife variance. All-zero for m < 2 (a single
+/// bitmap carries no dispersion information).
+CiEstimate CiEnsembleStdError(std::span<const Nips> bitmaps);
+
 /// The literal Algorithm 2 return value, 2^R_F0sup − 2^R_~S, without the φ
 /// correction (single bitmap).
 double CiRawEstimate(const Nips& nips);

@@ -51,6 +51,12 @@ class ImplicationEstimator {
   /// violate a condition). Negative when the estimator cannot answer.
   virtual double EstimateNonImplicationCount() const { return -1.0; }
 
+  /// 1σ error bar on EstimateImplicationCount, when the estimator can
+  /// quantify its own uncertainty (NIPS/CI answers with a
+  /// leave-one-bitmap-out jackknife, the exact counter with 0). Negative
+  /// when unknown — the default for the sampling baselines.
+  virtual double EstimateStdError() const { return -1.0; }
+
   /// Estimate of F0_sup(A): distinct itemsets meeting the minimum support.
   /// Negative when the estimator cannot answer.
   virtual double EstimateSupportedDistinct() const { return -1.0; }

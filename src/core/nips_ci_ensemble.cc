@@ -153,6 +153,11 @@ double NipsCi::EstimateSupportedDistinct() const {
   return Estimate().supported_distinct;
 }
 
+double NipsCi::EstimateStdError() const {
+  FlushMetrics();
+  return CiEnsembleStdError(std::span<const Nips>(bitmaps_)).implication;
+}
+
 Status NipsCi::Merge(const NipsCi& other) {
   if (!(conditions_ == other.conditions_)) {
     return Status::InvalidArgument("NipsCi::Merge: conditions differ");

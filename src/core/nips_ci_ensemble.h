@@ -71,6 +71,9 @@ class NipsCi final : public ImplicationEstimator {
   double EstimateImplicationCount() const override;
   double EstimateNonImplicationCount() const override;
   double EstimateSupportedDistinct() const override;
+  /// Leave-one-bitmap-out jackknife 1σ on the implication count (see
+  /// core/ci.h); 0 for m = 1.
+  double EstimateStdError() const override;
   size_t MemoryBytes() const override;
   std::string name() const override { return "NIPS/CI"; }
 

@@ -1,0 +1,158 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace implistat::net {
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 ClientOptions options) {
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError(std::string("connect: ") +
+                                    strerror(errno));
+    close(fd);
+    return status;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd, std::move(options));
+}
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd),
+      options_(options),
+      decoder_(std::make_unique<FrameDecoder>(options.max_frame_bytes)) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(std::string_view bytes) { return SendAll(bytes); }
+
+StatusOr<Frame> Client::ReadResponse(MsgType expected_type) {
+  char buf[65536];
+  for (;;) {
+    IMPLISTAT_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_->Next());
+    if (frame.has_value()) {
+      if (!frame->is_response() || frame->type() != expected_type) {
+        return Status::Internal(
+            "out-of-order response: expected " +
+            std::string(MsgTypeName(expected_type)) + ", got tag " +
+            std::to_string(static_cast<int>(frame->tag)));
+      }
+      return *std::move(frame);
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      IMPLISTAT_RETURN_NOT_OK(
+          decoder_->Append(std::string_view(buf, static_cast<size_t>(n))));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-response");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + strerror(errno));
+  }
+}
+
+StatusOr<std::string> Client::RoundTrip(MsgType type,
+                                        std::string_view payload) {
+  IMPLISTAT_RETURN_NOT_OK(SendAll(EncodeRequestFrame(type, payload)));
+  IMPLISTAT_ASSIGN_OR_RETURN(Frame frame, ReadResponse(type));
+  IMPLISTAT_ASSIGN_OR_RETURN(auto decoded,
+                             DecodeResponsePayload(frame.payload));
+  IMPLISTAT_RETURN_NOT_OK(decoded.first);
+  return std::string(decoded.second);
+}
+
+Status Client::Ping() { return RoundTrip(MsgType::kPing, {}).status(); }
+
+StatusOr<uint64_t> Client::ObserveBatch(const ObserveBatchRequest& request) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(MsgType::kObserveBatch, EncodeObserveBatchRequest(request)));
+  return DecodeObserveBatchResponse(body);
+}
+
+StatusOr<QueryResponse> Client::Query(const std::vector<uint32_t>& ids) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string body, RoundTrip(MsgType::kQuery, EncodeQueryRequest(ids)));
+  return DecodeQueryResponse(body);
+}
+
+StatusOr<std::string> Client::Snapshot(uint32_t query_id) {
+  return RoundTrip(MsgType::kSnapshot, EncodeSnapshotRequest(query_id));
+}
+
+Status Client::Merge(uint32_t query_id, std::string_view snapshot) {
+  return RoundTrip(MsgType::kMerge,
+                   EncodeMergeRequest(query_id, snapshot))
+      .status();
+}
+
+StatusOr<std::string> Client::Metrics() {
+  return RoundTrip(MsgType::kMetrics, {});
+}
+
+StatusOr<std::string> Client::Checkpoint() {
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string body,
+                             RoundTrip(MsgType::kCheckpoint, {}));
+  return DecodeCheckpointResponse(body);
+}
+
+Status Client::Shutdown() {
+  return RoundTrip(MsgType::kShutdown, {}).status();
+}
+
+}  // namespace implistat::net

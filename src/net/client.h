@@ -1,0 +1,97 @@
+// Client: blocking request/response connection to an implistat server.
+//
+// One method per protocol request (net/wire.h); each sends a frame and
+// blocks until the matching response arrives (responses come back in
+// request order, so no correlation bookkeeping). The outer Status/
+// StatusOr reports transport or wire-format trouble; a server-side
+// refusal (bad query id, unknown value, backpressure) comes back as the
+// decoded Status itself.
+//
+// Not thread-safe: one connection, one thread. Open several clients for
+// concurrency — the server multiplexes them.
+
+#ifndef IMPLISTAT_NET_CLIENT_H_
+#define IMPLISTAT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/messages.h"
+#include "net/wire.h"
+
+namespace implistat::net {
+
+struct ClientOptions {
+  /// Largest response frame to accept (metrics text and estimator
+  /// snapshots are the big ones).
+  size_t max_frame_bytes = 64u << 20;
+};
+
+class Client {
+ public:
+  /// Connects to `host:port` (IPv4 dotted quad or "localhost").
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                  ClientOptions options = ClientOptions());
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Liveness probe.
+  Status Ping();
+
+  /// Ships a batch of tuples; returns the server's total tuple count
+  /// after ingesting it.
+  StatusOr<uint64_t> ObserveBatch(const ObserveBatchRequest& request);
+
+  /// Fetches estimates (and error bars) for the given query ids, or for
+  /// every registered query when `ids` is empty.
+  StatusOr<QueryResponse> Query(const std::vector<uint32_t>& ids = {});
+
+  /// Pulls query `id`'s serialized estimator state — the kilobyte
+  /// summary an edge ships instead of its stream.
+  StatusOr<std::string> Snapshot(uint32_t query_id);
+
+  /// Folds a snapshot (from this or another node's Snapshot call) into
+  /// the server's query `id`.
+  Status Merge(uint32_t query_id, std::string_view snapshot);
+
+  /// The server's metrics registry as Prometheus text.
+  StatusOr<std::string> Metrics();
+
+  /// Asks the server to write its engine checkpoint; returns the path.
+  StatusOr<std::string> Checkpoint();
+
+  /// Asks the server to drain and exit.
+  Status Shutdown();
+
+  /// Sends one request frame and waits for its response body, checking
+  /// type and embedded status. Building block for the typed calls above.
+  StatusOr<std::string> RoundTrip(MsgType type, std::string_view payload);
+
+  /// Writes raw bytes to the socket, bypassing framing — robustness
+  /// tests inject garbage and truncations with this.
+  Status SendRaw(std::string_view bytes);
+
+  /// The underlying socket (tests: abrupt disconnects, timeouts).
+  int fd() const { return fd_; }
+
+ private:
+  Client(int fd, ClientOptions options);
+
+  Status SendAll(std::string_view bytes);
+  StatusOr<Frame> ReadResponse(MsgType expected_type);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  std::unique_ptr<FrameDecoder> decoder_;
+};
+
+}  // namespace implistat::net
+
+#endif  // IMPLISTAT_NET_CLIENT_H_

@@ -1,0 +1,240 @@
+#include "net/messages.h"
+
+#include <limits>
+
+namespace implistat::net {
+
+namespace {
+
+// Every row costs at least one byte per cell on the wire, so a count
+// whose cells exceed the remaining bytes is hostile; checking before the
+// reserve keeps a forged header from ballooning an allocation.
+Status CheckCellCount(uint64_t tuples, uint64_t width,
+                      size_t remaining_bytes) {
+  if (tuples == 0) return Status::OK();
+  if (width == 0) {
+    return Status::InvalidArgument("observe_batch: tuples with zero width");
+  }
+  // Dividing keeps the check overflow-proof for hostile counts.
+  if (tuples > remaining_bytes / width) {
+    return Status::InvalidArgument(
+        "observe_batch: implausible tuple count " + std::to_string(tuples));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeObserveBatchRequest(const ObserveBatchRequest& request) {
+  ByteWriter out;
+  out.PutU8(static_cast<uint8_t>(request.encoding));
+  out.PutVarint64(request.width);
+  out.PutVarint64(request.num_tuples());
+  if (request.encoding == ObserveEncoding::kIds) {
+    for (ValueId id : request.ids) out.PutVarint64(id);
+  } else {
+    for (const std::string& value : request.values) {
+      out.PutLengthPrefixed(value);
+    }
+  }
+  return out.Release();
+}
+
+StatusOr<ObserveBatchRequest> DecodeObserveBatchRequest(
+    std::string_view payload) {
+  ByteReader in(payload);
+  uint8_t encoding;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&encoding));
+  if (encoding > static_cast<uint8_t>(ObserveEncoding::kValues)) {
+    return Status::InvalidArgument("observe_batch: unknown tuple encoding " +
+                                   std::to_string(encoding));
+  }
+  uint64_t width;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&width));
+  if (width > 4096) {
+    return Status::InvalidArgument("observe_batch: implausible width " +
+                                   std::to_string(width));
+  }
+  uint64_t tuples;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples));
+  IMPLISTAT_RETURN_NOT_OK(CheckCellCount(tuples, width, in.remaining()));
+  ObserveBatchRequest request;
+  request.encoding = static_cast<ObserveEncoding>(encoding);
+  request.width = static_cast<uint32_t>(width);
+  const size_t cells = static_cast<size_t>(tuples * width);
+  if (request.encoding == ObserveEncoding::kIds) {
+    request.ids.reserve(cells);
+    for (size_t i = 0; i < cells; ++i) {
+      uint64_t id;
+      IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&id));
+      if (id > std::numeric_limits<ValueId>::max()) {
+        return Status::InvalidArgument("observe_batch: value id overflow");
+      }
+      request.ids.push_back(static_cast<ValueId>(id));
+    }
+  } else {
+    request.values.reserve(cells);
+    for (size_t i = 0; i < cells; ++i) {
+      std::string_view value;
+      IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&value));
+      request.values.emplace_back(value);
+    }
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("observe_batch: trailing bytes");
+  }
+  return request;
+}
+
+std::string EncodeObserveBatchResponse(uint64_t tuples_seen) {
+  ByteWriter out;
+  out.PutVarint64(tuples_seen);
+  return out.Release();
+}
+
+StatusOr<uint64_t> DecodeObserveBatchResponse(std::string_view body) {
+  ByteReader in(body);
+  uint64_t tuples_seen;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples_seen));
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("observe_batch response: trailing bytes");
+  }
+  return tuples_seen;
+}
+
+std::string EncodeQueryRequest(const std::vector<uint32_t>& ids) {
+  ByteWriter out;
+  out.PutVarint64(ids.size());
+  for (uint32_t id : ids) out.PutVarint64(id);
+  return out.Release();
+}
+
+StatusOr<std::vector<uint32_t>> DecodeQueryRequest(std::string_view payload) {
+  ByteReader in(payload);
+  uint64_t count;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+  if (count > in.remaining()) {
+    return Status::InvalidArgument("query: implausible id count");
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&id));
+    if (id > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("query: id overflow");
+    }
+    ids.push_back(static_cast<uint32_t>(id));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("query: trailing bytes");
+  }
+  return ids;
+}
+
+std::string EncodeQueryResponse(const QueryResponse& response) {
+  ByteWriter out;
+  out.PutVarint64(response.tuples_seen);
+  out.PutVarint64(response.results.size());
+  for (const QueryResult& result : response.results) {
+    out.PutVarint64(result.id);
+    out.PutLengthPrefixed(result.label);
+    out.PutLengthPrefixed(result.estimator_name);
+    out.PutDouble(result.estimate);
+    out.PutDouble(result.std_error);
+    out.PutVarint64(result.memory_bytes);
+  }
+  return out.Release();
+}
+
+StatusOr<QueryResponse> DecodeQueryResponse(std::string_view body) {
+  ByteReader in(body);
+  QueryResponse response;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&response.tuples_seen));
+  uint64_t count;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+  if (count > in.remaining()) {
+    return Status::InvalidArgument("query response: implausible result count");
+  }
+  response.results.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    QueryResult result;
+    uint64_t id;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&id));
+    if (id > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("query response: id overflow");
+    }
+    result.id = static_cast<uint32_t>(id);
+    std::string_view label;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&label));
+    result.label = std::string(label);
+    std::string_view name;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&name));
+    result.estimator_name = std::string(name);
+    IMPLISTAT_RETURN_NOT_OK(in.ReadDouble(&result.estimate));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadDouble(&result.std_error));
+    IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&result.memory_bytes));
+    response.results.push_back(std::move(result));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("query response: trailing bytes");
+  }
+  return response;
+}
+
+std::string EncodeSnapshotRequest(uint32_t query_id) {
+  ByteWriter out;
+  out.PutVarint64(query_id);
+  return out.Release();
+}
+
+StatusOr<uint32_t> DecodeSnapshotRequest(std::string_view payload) {
+  ByteReader in(payload);
+  uint64_t id;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&id));
+  if (id > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("snapshot: id overflow");
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("snapshot: trailing bytes");
+  }
+  return static_cast<uint32_t>(id);
+}
+
+std::string EncodeMergeRequest(uint32_t query_id, std::string_view snapshot) {
+  ByteWriter out;
+  out.PutVarint64(query_id);
+  out.PutBytes(snapshot);
+  return out.Release();
+}
+
+StatusOr<std::pair<uint32_t, std::string_view>> DecodeMergeRequest(
+    std::string_view payload) {
+  ByteReader in(payload);
+  uint64_t id;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&id));
+  if (id > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("merge: id overflow");
+  }
+  std::string_view snapshot;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), &snapshot));
+  return std::make_pair(static_cast<uint32_t>(id), snapshot);
+}
+
+std::string EncodeCheckpointResponse(std::string_view path) {
+  ByteWriter out;
+  out.PutLengthPrefixed(path);
+  return out.Release();
+}
+
+StatusOr<std::string> DecodeCheckpointResponse(std::string_view body) {
+  ByteReader in(body);
+  std::string_view path;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&path));
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("checkpoint response: trailing bytes");
+  }
+  return std::string(path);
+}
+
+}  // namespace implistat::net

@@ -1,0 +1,110 @@
+// Request/response payload codecs for the serving protocol (net/wire.h).
+//
+// Payloads are plain serde byte strings — no nested envelope (the frame
+// already carries magic/version/CRC). Every decoder validates lengths and
+// counts against the bytes actually present, so a hostile payload yields
+// a Status, never an allocation balloon or an overread.
+
+#ifndef IMPLISTAT_NET_MESSAGES_H_
+#define IMPLISTAT_NET_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/types.h"
+#include "util/serde.h"
+
+namespace implistat::net {
+
+// --- OBSERVE_BATCH ---------------------------------------------------------
+//
+// Two tuple encodings, picked by the first byte:
+//  * kIds: rows of varint value ids, width values per row — the
+//    constrained-edge fast path (edges are dictionary-coded already;
+//    synthetic generators mint ids directly).
+//  * kValues: rows of length-prefixed value strings. The server interns
+//    each through its dictionaries with Find (never GetOrAdd — itemset
+//    packers sized at registration must stay sound), so a value outside
+//    the server's universe is a clean InvalidArgument, and matching rows
+//    decode to the same ids regardless of client-side interning order.
+
+enum class ObserveEncoding : uint8_t { kIds = 0, kValues = 1 };
+
+struct ObserveBatchRequest {
+  ObserveEncoding encoding = ObserveEncoding::kIds;
+  uint32_t width = 0;
+  /// kIds: row-major value ids, num_tuples() * width entries.
+  std::vector<ValueId> ids;
+  /// kValues: row-major value strings, num_tuples() * width entries.
+  std::vector<std::string> values;
+
+  size_t num_tuples() const {
+    const size_t cells =
+        encoding == ObserveEncoding::kIds ? ids.size() : values.size();
+    return width == 0 ? 0 : cells / width;
+  }
+};
+
+std::string EncodeObserveBatchRequest(const ObserveBatchRequest& request);
+StatusOr<ObserveBatchRequest> DecodeObserveBatchRequest(
+    std::string_view payload);
+
+/// Response body: varint tuples_seen (the server's total after the batch).
+std::string EncodeObserveBatchResponse(uint64_t tuples_seen);
+StatusOr<uint64_t> DecodeObserveBatchResponse(std::string_view body);
+
+// --- QUERY -----------------------------------------------------------------
+
+/// Request body: varint count of query ids, then the ids; count 0 asks
+/// for every registered query.
+std::string EncodeQueryRequest(const std::vector<uint32_t>& ids = {});
+StatusOr<std::vector<uint32_t>> DecodeQueryRequest(std::string_view payload);
+
+struct QueryResult {
+  uint32_t id = 0;
+  std::string label;
+  std::string estimator_name;
+  /// The query's answer (S, or ~S for complement queries).
+  double estimate = 0;
+  /// 1σ error bar on the implication-count estimate (leave-one-bitmap-out
+  /// jackknife for NIPS/CI, 0 for exact); negative when the estimator
+  /// cannot quantify its uncertainty.
+  double std_error = -1;
+  uint64_t memory_bytes = 0;
+};
+
+struct QueryResponse {
+  uint64_t tuples_seen = 0;
+  std::vector<QueryResult> results;
+};
+
+std::string EncodeQueryResponse(const QueryResponse& response);
+StatusOr<QueryResponse> DecodeQueryResponse(std::string_view body);
+
+// --- SNAPSHOT / MERGE ------------------------------------------------------
+
+/// SNAPSHOT request body: varint query id. Response body: the raw
+/// estimator snapshot envelope (SerializeState bytes).
+std::string EncodeSnapshotRequest(uint32_t query_id);
+StatusOr<uint32_t> DecodeSnapshotRequest(std::string_view payload);
+
+/// MERGE request body: varint query id, then the snapshot bytes verbatim
+/// to the end of the payload. Response body: empty.
+std::string EncodeMergeRequest(uint32_t query_id, std::string_view snapshot);
+StatusOr<std::pair<uint32_t, std::string_view>> DecodeMergeRequest(
+    std::string_view payload);
+
+// --- CHECKPOINT ------------------------------------------------------------
+
+/// Request body: empty. Response body: length-prefixed path written.
+std::string EncodeCheckpointResponse(std::string_view path);
+StatusOr<std::string> DecodeCheckpointResponse(std::string_view body);
+
+// PING, METRICS and SHUTDOWN need no codecs: empty request bodies, and
+// METRICS answers with the raw Prometheus text.
+
+}  // namespace implistat::net
+
+#endif  // IMPLISTAT_NET_MESSAGES_H_

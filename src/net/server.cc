@@ -1,0 +1,574 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/messages.h"
+#include "obs/export_prometheus.h"
+#include "stream/tuple_stream.h"
+
+namespace implistat::net {
+
+namespace {
+
+int64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Per-request instrumentation (the PR 1 registry). Counters are labelled
+// by message type; handles are cached once at Start().
+struct Server::Metrics {
+  obs::Counter* requests_by_type[9];  // indexed by MsgType value; 0 unused
+  obs::Histogram* request_duration_ns;
+  obs::Counter* bytes_rx;
+  obs::Counter* bytes_tx;
+  obs::Counter* frame_errors;
+  obs::Gauge* connections;
+  obs::Gauge* write_buffer_bytes;
+
+  static const Metrics& Get() {
+    static const Metrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      Metrics m{};
+      for (int t = 1; t <= 8; ++t) {
+        m.requests_by_type[t] = reg.GetCounter(
+            "implistat_net_requests_total", "Requests handled, by type",
+            "type", MsgTypeName(static_cast<MsgType>(t)));
+      }
+      m.request_duration_ns = reg.GetHistogram(
+          "implistat_net_request_duration_ns",
+          "Wall time from complete request frame to enqueued response");
+      m.bytes_rx = reg.GetCounter("implistat_net_bytes_rx_total",
+                                  "Bytes read from client sockets");
+      m.bytes_tx = reg.GetCounter("implistat_net_bytes_tx_total",
+                                  "Bytes written to client sockets");
+      m.frame_errors = reg.GetCounter(
+          "implistat_net_frame_errors_total",
+          "Connections dropped for framing/CRC violations");
+      m.connections = reg.GetGauge("implistat_net_connections",
+                                   "Currently open client connections");
+      m.write_buffer_bytes = reg.GetGauge(
+          "implistat_net_write_buffer_bytes",
+          "Pending response bytes across all connections (queue depth)");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+struct Server::Connection {
+  explicit Connection(int fd_in, size_t max_frame_bytes)
+      : fd(fd_in), decoder(max_frame_bytes) {}
+
+  int fd;
+  FrameDecoder decoder;
+  std::string write_buf;
+  size_t write_pos = 0;
+  bool close_after_flush = false;
+  int64_t last_active_ms = 0;
+
+  size_t pending() const { return write_buf.size() - write_pos; }
+};
+
+Server::Server(QueryEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Server::~Server() {
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) close(conn->fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+}
+
+Status Server::Start() {
+  metrics_ = &Metrics::Get();
+  if (pipe(wake_fds_) != 0) {
+    return Status::IOError(std::string("pipe: ") + strerror(errno));
+  }
+  IMPLISTAT_RETURN_NOT_OK(SetNonBlocking(wake_fds_[0]));
+  IMPLISTAT_RETURN_NOT_OK(SetNonBlocking(wake_fds_[1]));
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") + strerror(errno));
+  }
+  if (listen(listen_fd_, options_.listen_backlog) != 0) {
+    return Status::IOError(std::string("listen: ") + strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &len) != 0) {
+    return Status::IOError(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  IMPLISTAT_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  // Async-signal-safe: a single write to the self-pipe. A full pipe means
+  // a wakeup is already pending, which is just as good.
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN: backlog drained. Anything else: transient; retry on the
+      // next poll round rather than killing the server.
+      return;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(fd, options_.max_frame_bytes);
+    conn->last_active_ms = NowMs();
+    connections_.push_back(std::move(conn));
+    metrics_->connections->Set(static_cast<int64_t>(connections_.size()));
+  }
+}
+
+void Server::CloseConnection(size_t index) {
+  close(connections_[index]->fd);
+  connections_.erase(connections_.begin() + static_cast<long>(index));
+  metrics_->connections->Set(static_cast<int64_t>(connections_.size()));
+}
+
+void Server::EnqueueResponse(Connection* conn, MsgType type,
+                             const Status& status, std::string_view body) {
+  std::string frame =
+      EncodeResponseFrame(type, EncodeResponsePayload(status, body));
+  if (conn->pending() + frame.size() > options_.max_write_buffer_bytes) {
+    // Backpressure: the consumer is not keeping up. Drop the oversized
+    // result, answer with a small RESOURCE_EXHAUSTED instead, and close
+    // once it flushes — pending bytes stay bounded by the cap plus one
+    // error frame.
+    frame = EncodeResponseFrame(
+        type, EncodeResponsePayload(Status::ResourceExhausted(
+                  "response exceeds the connection's write-buffer bound")));
+    conn->close_after_flush = true;
+  }
+  // Compact the consumed prefix before growing the buffer.
+  if (conn->write_pos > 0) {
+    conn->write_buf.erase(0, conn->write_pos);
+    conn->write_pos = 0;
+  }
+  conn->write_buf.append(frame);
+}
+
+void Server::HandleObserveBatch(Connection* conn, std::string_view payload) {
+  StatusOr<ObserveBatchRequest> request = DecodeObserveBatchRequest(payload);
+  if (!request.ok()) {
+    EnqueueResponse(conn, MsgType::kObserveBatch, request.status());
+    return;
+  }
+  const Schema& schema = engine_->schema();
+  if (request->width != static_cast<uint32_t>(schema.num_attributes())) {
+    EnqueueResponse(conn, MsgType::kObserveBatch,
+                    Status::InvalidArgument(
+                        "observe_batch: width " +
+                        std::to_string(request->width) +
+                        " disagrees with schema width " +
+                        std::to_string(schema.num_attributes())));
+    return;
+  }
+  // Validate (or intern) every cell into an id row-major buffer before
+  // any tuple reaches the engine, so a bad batch mutates nothing.
+  std::vector<ValueId> flat;
+  if (request->encoding == ObserveEncoding::kIds) {
+    for (size_t i = 0; i < request->ids.size(); ++i) {
+      const uint64_t card =
+          schema.attribute(static_cast<int>(i % request->width)).cardinality;
+      if (card != 0 && request->ids[i] >= card) {
+        EnqueueResponse(conn, MsgType::kObserveBatch,
+                        Status::InvalidArgument(
+                            "observe_batch: value id " +
+                            std::to_string(request->ids[i]) +
+                            " outside declared cardinality"));
+        return;
+      }
+    }
+    flat = std::move(request->ids);
+  } else {
+    const std::vector<ValueDictionary>& dicts = engine_->dictionaries();
+    if (dicts.empty()) {
+      EnqueueResponse(
+          conn, MsgType::kObserveBatch,
+          Status::FailedPrecondition(
+              "observe_batch: server has no value dictionaries; send ids"));
+      return;
+    }
+    flat.reserve(request->values.size());
+    for (size_t i = 0; i < request->values.size(); ++i) {
+      // Find, never GetOrAdd: itemset packers were sized at registration,
+      // so the value universe is closed.
+      StatusOr<ValueId> id =
+          dicts[i % request->width].Find(request->values[i]);
+      if (!id.ok()) {
+        EnqueueResponse(conn, MsgType::kObserveBatch, id.status());
+        return;
+      }
+      flat.push_back(*id);
+    }
+  }
+  VectorStream stream(engine_->schema(), std::move(flat));
+  Status status = engine_->ObserveStream(stream);
+  if (!status.ok()) {
+    EnqueueResponse(conn, MsgType::kObserveBatch, status);
+    return;
+  }
+  EnqueueResponse(conn, MsgType::kObserveBatch, Status::OK(),
+                  EncodeObserveBatchResponse(engine_->tuples_seen()));
+}
+
+void Server::HandleQuery(Connection* conn, std::string_view payload) {
+  StatusOr<std::vector<uint32_t>> ids = DecodeQueryRequest(payload);
+  if (!ids.ok()) {
+    EnqueueResponse(conn, MsgType::kQuery, ids.status());
+    return;
+  }
+  if (ids->empty()) {
+    for (int i = 0; i < engine_->num_queries(); ++i) {
+      ids->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  QueryResponse response;
+  response.tuples_seen = engine_->tuples_seen();
+  for (uint32_t id : *ids) {
+    StatusOr<double> answer = engine_->Answer(static_cast<QueryId>(id));
+    if (!answer.ok()) {
+      EnqueueResponse(conn, MsgType::kQuery, answer.status());
+      return;
+    }
+    const ImplicationEstimator* est =
+        engine_->Estimator(static_cast<QueryId>(id)).value();
+    const ImplicationQuerySpec* spec =
+        engine_->Spec(static_cast<QueryId>(id)).value();
+    QueryResult result;
+    result.id = id;
+    result.label = spec->label;
+    result.estimator_name = est->name();
+    result.estimate = *answer;
+    result.std_error = est->EstimateStdError();
+    result.memory_bytes = est->MemoryBytes();
+    response.results.push_back(std::move(result));
+  }
+  EnqueueResponse(conn, MsgType::kQuery, Status::OK(),
+                  EncodeQueryResponse(response));
+}
+
+void Server::HandleSnapshot(Connection* conn, std::string_view payload) {
+  StatusOr<uint32_t> id = DecodeSnapshotRequest(payload);
+  if (!id.ok()) {
+    EnqueueResponse(conn, MsgType::kSnapshot, id.status());
+    return;
+  }
+  StatusOr<const ImplicationEstimator*> est =
+      engine_->Estimator(static_cast<QueryId>(*id));
+  if (!est.ok()) {
+    EnqueueResponse(conn, MsgType::kSnapshot, est.status());
+    return;
+  }
+  StatusOr<std::string> snapshot = (*est)->SerializeState();
+  if (!snapshot.ok()) {
+    EnqueueResponse(conn, MsgType::kSnapshot, snapshot.status());
+    return;
+  }
+  EnqueueResponse(conn, MsgType::kSnapshot, Status::OK(), *snapshot);
+}
+
+void Server::HandleMerge(Connection* conn, std::string_view payload) {
+  auto decoded = DecodeMergeRequest(payload);
+  if (!decoded.ok()) {
+    EnqueueResponse(conn, MsgType::kMerge, decoded.status());
+    return;
+  }
+  Status status = engine_->MergeEstimatorState(
+      static_cast<QueryId>(decoded->first), decoded->second);
+  EnqueueResponse(conn, MsgType::kMerge, status);
+}
+
+void Server::HandleMetrics(Connection* conn) {
+  obs::RegistrySnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EnqueueResponse(conn, MsgType::kMetrics, Status::OK(),
+                  obs::WriteMetricsPrometheus(snapshot));
+}
+
+void Server::HandleCheckpoint(Connection* conn) {
+  if (options_.checkpoint_path.empty()) {
+    EnqueueResponse(conn, MsgType::kCheckpoint,
+                    Status::FailedPrecondition(
+                        "server started without a checkpoint path"));
+    return;
+  }
+  Status status = engine_->Checkpoint(options_.checkpoint_path);
+  if (!status.ok()) {
+    EnqueueResponse(conn, MsgType::kCheckpoint, status);
+    return;
+  }
+  EnqueueResponse(conn, MsgType::kCheckpoint, Status::OK(),
+                  EncodeCheckpointResponse(options_.checkpoint_path));
+}
+
+void Server::HandleFrame(Connection* conn, const Frame& frame) {
+  obs::ScopedTimer timer(metrics_->request_duration_ns);
+  const uint8_t raw = frame.tag & ~kResponseFlag;
+  if (raw >= 1 && raw <= 8) {
+    metrics_->requests_by_type[raw]->Increment();
+  }
+  if (frame.is_response()) {
+    // A server never receives responses; protocol confusion is fatal.
+    conn->close_after_flush = true;
+    return;
+  }
+  switch (frame.type()) {
+    case MsgType::kPing:
+      EnqueueResponse(conn, MsgType::kPing, Status::OK());
+      return;
+    case MsgType::kObserveBatch:
+      HandleObserveBatch(conn, frame.payload);
+      return;
+    case MsgType::kQuery:
+      HandleQuery(conn, frame.payload);
+      return;
+    case MsgType::kSnapshot:
+      HandleSnapshot(conn, frame.payload);
+      return;
+    case MsgType::kMerge:
+      HandleMerge(conn, frame.payload);
+      return;
+    case MsgType::kMetrics:
+      HandleMetrics(conn);
+      return;
+    case MsgType::kCheckpoint:
+      HandleCheckpoint(conn);
+      return;
+    case MsgType::kShutdown:
+      EnqueueResponse(conn, MsgType::kShutdown, Status::OK());
+      conn->close_after_flush = true;
+      shutdown_requested_ = true;
+      return;
+  }
+  EnqueueResponse(conn, frame.type(),
+                  Status::InvalidArgument(
+                      "unknown request type " +
+                      std::to_string(static_cast<int>(frame.tag))));
+}
+
+Status Server::HandleReadable(Connection* conn) {
+  char buf[65536];
+  for (;;) {
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      metrics_->bytes_rx->Increment(static_cast<uint64_t>(n));
+      conn->last_active_ms = NowMs();
+      IMPLISTAT_RETURN_NOT_OK(
+          conn->decoder.Append(std::string_view(buf, static_cast<size_t>(n))));
+      for (;;) {
+        IMPLISTAT_ASSIGN_OR_RETURN(std::optional<Frame> frame,
+                                   conn->decoder.Next());
+        if (!frame.has_value()) break;
+        HandleFrame(conn, *frame);
+        // Backpressure: once marked for close, stop servicing pipelined
+        // requests — their bytes stay unread in the kernel.
+        if (conn->close_after_flush) return Status::OK();
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return Status::OK();
+      continue;  // buffer was full; more may be waiting
+    }
+    if (n == 0) return Status::IOError("peer closed");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + strerror(errno));
+  }
+}
+
+Status Server::FlushWrites(Connection* conn) {
+  while (conn->pending() > 0) {
+    ssize_t n = send(conn->fd, conn->write_buf.data() + conn->write_pos,
+                     conn->pending(), MSG_NOSIGNAL);
+    if (n > 0) {
+      metrics_->bytes_tx->Increment(static_cast<uint64_t>(n));
+      conn->write_pos += static_cast<size_t>(n);
+      conn->last_active_ms = NowMs();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") + strerror(errno));
+  }
+  if (conn->write_pos > 0) {
+    conn->write_buf.clear();
+    conn->write_pos = 0;
+  }
+  return Status::OK();
+}
+
+Status Server::Run() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Run() before Start()");
+  }
+  std::vector<struct pollfd> fds;
+  while (!shutdown_requested_) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    // Only this prefix of connections_ has a pollfd this round; accepts
+    // during the round append past it and wait for the next poll.
+    const size_t polled = connections_.size();
+    for (const auto& conn : connections_) {
+      short events = 0;
+      // Stop reading once a connection is closing — flush only.
+      if (!conn->close_after_flush) events |= POLLIN;
+      if (conn->pending() > 0) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int timeout_ms = -1;
+    if (options_.idle_timeout_ms > 0 && !connections_.empty()) {
+      const int64_t now = NowMs();
+      int64_t soonest = options_.idle_timeout_ms;
+      for (const auto& conn : connections_) {
+        const int64_t left =
+            conn->last_active_ms + options_.idle_timeout_ms - now;
+        soonest = std::min(soonest, std::max<int64_t>(left, 0));
+      }
+      timeout_ms = static_cast<int>(std::min<int64_t>(soonest, 60'000) + 1);
+    }
+
+    int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + strerror(errno));
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[64];
+      while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+      shutdown_requested_ = true;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+
+    // Walk connections back to front so CloseConnection's erase cannot
+    // shift an index we have yet to visit.
+    const int64_t now = NowMs();
+    for (size_t i = polled; i-- > 0;) {
+      Connection* conn = connections_[i].get();
+      const short revents = fds[2 + i].revents;
+      bool drop = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                  (revents & POLLIN) == 0;
+      if (!drop && (revents & POLLIN) != 0) {
+        Status status = HandleReadable(conn);
+        if (!status.ok()) {
+          metrics_->frame_errors->Increment();
+          drop = true;
+        }
+      }
+      if (!drop && conn->pending() > 0) {
+        drop = !FlushWrites(conn).ok();
+      }
+      if (!drop && conn->close_after_flush && conn->pending() == 0) {
+        drop = true;
+      }
+      if (!drop && options_.idle_timeout_ms > 0 &&
+          now - conn->last_active_ms >= options_.idle_timeout_ms) {
+        drop = true;
+      }
+      if (drop) CloseConnection(i);
+    }
+
+    size_t pending_total = 0;
+    for (const auto& conn : connections_) pending_total += conn->pending();
+    metrics_->write_buffer_bytes->Set(static_cast<int64_t>(pending_total));
+
+    if (shutdown_requested_) break;
+  }
+  return DrainAndClose();
+}
+
+Status Server::DrainAndClose() {
+  // Stop accepting, flush what is pending (bounded: a stuck peer gets a
+  // short grace window, not a hung server), then close everything.
+  close(listen_fd_);
+  listen_fd_ = -1;
+  const int64_t deadline = NowMs() + 2000;
+  while (!connections_.empty() && NowMs() < deadline) {
+    std::vector<struct pollfd> fds;
+    bool any_pending = false;
+    for (const auto& conn : connections_) {
+      fds.push_back(
+          {conn->fd, static_cast<short>(conn->pending() > 0 ? POLLOUT : 0),
+           0});
+      any_pending = any_pending || conn->pending() > 0;
+    }
+    if (!any_pending) break;
+    int ready = poll(fds.data(), fds.size(),
+                     static_cast<int>(std::max<int64_t>(deadline - NowMs(),
+                                                        0)));
+    if (ready <= 0 && errno != EINTR) break;
+    for (size_t i = connections_.size(); i-- > 0;) {
+      if ((fds[i].revents & POLLOUT) != 0 &&
+          !FlushWrites(connections_[i].get()).ok()) {
+        CloseConnection(i);
+      }
+    }
+  }
+  while (!connections_.empty()) CloseConnection(connections_.size() - 1);
+
+  if (!options_.checkpoint_path.empty()) {
+    // The drain checkpoint: SIGTERM (or a SHUTDOWN request) leaves a
+    // restorable engine state behind.
+    IMPLISTAT_RETURN_NOT_OK(engine_->Checkpoint(options_.checkpoint_path));
+  }
+  return Status::OK();
+}
+
+}  // namespace implistat::net

@@ -1,0 +1,136 @@
+// Server: a poll()-driven event loop hosting a QueryEngine behind the
+// wire protocol (net/wire.h) — the "node in a distributed environment"
+// of §3, reachable over a socket.
+//
+// Topology (§1-2, §5): edges run their own engines, stream locally, and
+// either ship OBSERVE_BATCH tuples upward or — the constrained-link mode
+// — ship kilobyte SNAPSHOT summaries that an aggregator folds in with
+// MERGE. One server plays either role; examples/implistat_server.cc is
+// the binary.
+//
+// Concurrency model: a single thread owns everything — listener,
+// connections, and the engine. Requests on one connection are answered
+// strictly in order; requests across connections interleave at frame
+// granularity. The engine may itself run a sharded ingest pipeline
+// (EstimatorConfig::threads): its quiesce-before-read contract holds
+// because only the loop thread ever touches it. Shutdown() is the one
+// cross-thread (and async-signal-safe) entry point: it writes a byte to
+// a self-pipe the loop polls.
+//
+// Robustness:
+//  * Corrupt frames (bad magic/version/CRC/framing) are connection-fatal
+//    — the decoder's sticky error closes the connection; engine state is
+//    untouched (decode-into-temporaries end to end).
+//  * Malformed request payloads inside valid frames get an error
+//    response; the connection lives on.
+//  * Bounded buffers: reads are bounded by the frame-size cap; a
+//    connection whose pending writes exceed max_write_buffer_bytes gets
+//    its oversized response replaced by a RESOURCE_EXHAUSTED response
+//    and is closed once that flushes — a slow consumer can never grow
+//    server memory without bound.
+//  * Idle connections are closed after idle_timeout_ms of silence.
+//  * Graceful drain: on Shutdown (or a SHUTDOWN request) the listener
+//    closes, pending responses flush, and — when a checkpoint path is
+//    configured — a final engine checkpoint is written before Run()
+//    returns.
+
+#ifndef IMPLISTAT_NET_SERVER_H_
+#define IMPLISTAT_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+
+namespace implistat::net {
+
+struct ServerOptions {
+  /// Interface to bind; loopback by default (tests, single-host demos).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Largest frame a client may send (envelope part, past the length
+  /// prefix). Snapshots of big exact counters are the largest legitimate
+  /// request payloads.
+  size_t max_frame_bytes = 64u << 20;
+  /// Pending-response bound per connection; exceeding it triggers the
+  /// RESOURCE_EXHAUSTED backpressure path.
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// Close connections silent for this long; 0 disables the timeout.
+  int64_t idle_timeout_ms = 0;
+  /// Where CHECKPOINT requests and the shutdown drain write the engine
+  /// checkpoint; empty refuses CHECKPOINT and skips the drain write.
+  std::string checkpoint_path;
+};
+
+class Server {
+ public:
+  /// The engine is borrowed, not owned; it must outlive the server, and
+  /// after Start() only the thread running Run() may touch it.
+  Server(QueryEngine* engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. After it returns OK, port() is the bound port
+  /// and clients may connect (frames queue in the accept backlog until
+  /// Run() starts servicing them).
+  Status Start();
+
+  /// The bound TCP port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Serves until Shutdown() — blocks the calling thread. Returns OK on
+  /// a clean drain, or the error that stopped the loop.
+  Status Run();
+
+  /// Requests a graceful drain. Async-signal-safe and callable from any
+  /// thread (a SIGTERM handler is the intended caller): the only work
+  /// here is a write() to a self-pipe.
+  void Shutdown();
+
+ private:
+  struct Connection;
+
+  Status HandleReadable(Connection* conn);
+  void HandleFrame(Connection* conn, const Frame& frame);
+  // Appends a response frame, applying the write-buffer bound: an
+  // oversize result is dropped in favor of a RESOURCE_EXHAUSTED response
+  // and the connection is marked close-after-flush.
+  void EnqueueResponse(Connection* conn, MsgType type, const Status& status,
+                       std::string_view body = {});
+  Status FlushWrites(Connection* conn);
+  void AcceptPending();
+  void CloseConnection(size_t index);
+  Status DrainAndClose();
+
+  // Request handlers: each returns the response (status, body) pair via
+  // EnqueueResponse.
+  void HandleObserveBatch(Connection* conn, std::string_view payload);
+  void HandleQuery(Connection* conn, std::string_view payload);
+  void HandleSnapshot(Connection* conn, std::string_view payload);
+  void HandleMerge(Connection* conn, std::string_view payload);
+  void HandleMetrics(Connection* conn);
+  void HandleCheckpoint(Connection* conn);
+
+  QueryEngine* engine_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  bool shutdown_requested_ = false;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  struct Metrics;
+  const Metrics* metrics_ = nullptr;  // registered lazily in Start()
+};
+
+}  // namespace implistat::net
+
+#endif  // IMPLISTAT_NET_SERVER_H_

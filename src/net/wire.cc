@@ -1,0 +1,126 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace implistat::net {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kObserveBatch: return "observe_batch";
+    case MsgType::kQuery: return "query";
+    case MsgType::kSnapshot: return "snapshot";
+    case MsgType::kMerge: return "merge";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kCheckpoint: return "checkpoint";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string EncodeFrame(uint8_t tag, std::string_view payload) {
+  std::string envelope = WrapEnvelope(kWireEnvelope, tag, payload);
+  std::string frame;
+  frame.reserve(sizeof(uint32_t) + envelope.size());
+  uint32_t len = static_cast<uint32_t>(envelope.size());
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.append(envelope);
+  return frame;
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(MsgType type, std::string_view payload) {
+  return EncodeFrame(static_cast<uint8_t>(type), payload);
+}
+
+std::string EncodeResponseFrame(MsgType type, std::string_view payload) {
+  return EncodeFrame(static_cast<uint8_t>(type) | kResponseFlag, payload);
+}
+
+std::string EncodeResponsePayload(const Status& status,
+                                  std::string_view body) {
+  ByteWriter out;
+  out.PutVarint64(static_cast<uint64_t>(status.code()));
+  out.PutLengthPrefixed(status.message());
+  out.PutBytes(body);
+  return out.Release();
+}
+
+StatusOr<std::pair<Status, std::string_view>> DecodeResponsePayload(
+    std::string_view payload) {
+  ByteReader in(payload);
+  uint64_t code;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&code));
+  if (code > static_cast<uint64_t>(StatusCode::kIOError)) {
+    return Status::InvalidArgument("response: unknown status code " +
+                                   std::to_string(code));
+  }
+  std::string_view message;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&message));
+  std::string_view body;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), &body));
+  return std::make_pair(
+      Status(static_cast<StatusCode>(code), std::string(message)), body);
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes < kAbsoluteMaxFrameBytes
+                           ? max_frame_bytes
+                           : kAbsoluteMaxFrameBytes) {}
+
+Status FrameDecoder::Append(std::string_view bytes) {
+  IMPLISTAT_RETURN_NOT_OK(failed_);
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection doesn't grow its buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+  return Status::OK();
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+  IMPLISTAT_RETURN_NOT_OK(failed_);
+  const std::string_view pending = std::string_view(buf_).substr(pos_);
+  if (pending.size() < sizeof(uint32_t)) return std::optional<Frame>();
+  uint32_t envelope_len;
+  std::memcpy(&envelope_len, pending.data(), sizeof(envelope_len));
+  if (envelope_len > max_frame_bytes_) {
+    failed_ = Status::ResourceExhausted(
+        "frame: declared length " + std::to_string(envelope_len) +
+        " exceeds the frame bound " + std::to_string(max_frame_bytes_));
+    return failed_;
+  }
+  // A frame smaller than the envelope overhead (magic + version + tag +
+  // zero-length payload + CRC) cannot be valid; fail fast instead of
+  // waiting for bytes that will only confirm the corruption.
+  constexpr uint32_t kMinEnvelopeBytes = 4 + 1 + 1 + 1 + 4;
+  if (envelope_len < kMinEnvelopeBytes) {
+    failed_ = Status::InvalidArgument("frame: declared length " +
+                                      std::to_string(envelope_len) +
+                                      " is below the envelope minimum");
+    return failed_;
+  }
+  if (pending.size() - sizeof(uint32_t) < envelope_len) {
+    return std::optional<Frame>();
+  }
+  const std::string_view envelope =
+      pending.substr(sizeof(uint32_t), envelope_len);
+  uint8_t tag;
+  auto payload = UnwrapEnvelope(kWireEnvelope, envelope, &tag);
+  if (!payload.ok()) {
+    failed_ = payload.status();
+    return failed_;
+  }
+  Frame frame;
+  frame.tag = tag;
+  frame.payload = std::string(*payload);
+  pos_ += sizeof(uint32_t) + envelope_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace implistat::net

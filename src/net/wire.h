@@ -1,0 +1,138 @@
+// Wire protocol framing for the implistat serving layer.
+//
+// A frame is a length-prefixed envelope (util/envelope.h) — the same
+// magic / version / tag / payload-length / CRC32C discipline that guards
+// checkpoints, under a distinct magic so a frame can never be mistaken
+// for a snapshot file (or vice versa):
+//
+//   offset  field
+//   ------  -----------------------------------------------------------
+//   0       frame length N (little-endian u32; bytes that follow)
+//   4       magic "IMPW" (little-endian u32 0x57504d49)
+//   8       protocol version (varint; currently kWireProtocolVersion)
+//   ..      message type (1 byte; high bit set on responses)
+//   ..      payload length (varint; redundant with N, cross-checked)
+//   ..      payload bytes
+//   4+N-4   CRC32C (little-endian u32) over bytes [4, 4+N-4)
+//
+// The outer length prefix lets a stream reader buffer exactly one frame
+// before validating it; the inner envelope then rejects truncation,
+// bit-flips, version skew and length mismatch exactly like a corrupt
+// checkpoint — decode goes into temporaries, the connection state never
+// partially mutates. Corrupt frames are connection-fatal: a peer that
+// fails CRC once cannot be trusted to be in sync again.
+//
+// Requests and responses travel in strict order on a connection (the
+// server is a single-threaded event loop), so no correlation id is
+// needed: the k-th response answers the k-th request. Responses carry a
+// Status header in the payload (see EncodeResponsePayload).
+
+#ifndef IMPLISTAT_NET_WIRE_H_
+#define IMPLISTAT_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/envelope.h"
+#include "util/serde.h"
+
+namespace implistat::net {
+
+/// Request types of the serving protocol. Part of the wire format —
+/// append only, never renumber. The response to type T is tagged
+/// T | kResponseFlag.
+enum class MsgType : uint8_t {
+  kPing = 1,          // liveness probe; empty payload both ways
+  kObserveBatch = 2,  // packed tuples -> engine ObserveStream
+  kQuery = 3,         // estimates + error bars per registered query
+  kSnapshot = 4,      // ship one estimator's serialized state
+  kMerge = 5,         // fold a shipped estimator state into a query
+  kMetrics = 6,       // Prometheus text of the global registry
+  kCheckpoint = 7,    // trigger a durable engine checkpoint
+  kShutdown = 8,      // graceful drain (final checkpoint, then exit)
+};
+
+inline constexpr uint8_t kResponseFlag = 0x80;
+
+const char* MsgTypeName(MsgType type);
+
+inline constexpr uint32_t kWireMagic = 0x57504d49;  // "IMPW"
+inline constexpr uint64_t kWireProtocolVersion = 1;
+
+inline constexpr EnvelopeFamily kWireEnvelope{kWireMagic,
+                                              kWireProtocolVersion, "frame"};
+
+/// Hard ceiling on the envelope part of a frame (the u32 length prefix
+/// could name 4 GiB; nothing legitimate comes close). Individual servers
+/// and clients configure tighter bounds.
+inline constexpr size_t kAbsoluteMaxFrameBytes = 256u << 20;
+
+/// One decoded frame: the raw tag (type byte, response flag included) and
+/// an owned copy of the payload.
+struct Frame {
+  uint8_t tag = 0;
+  std::string payload;
+
+  MsgType type() const {
+    return static_cast<MsgType>(tag & ~kResponseFlag);
+  }
+  bool is_response() const { return (tag & kResponseFlag) != 0; }
+};
+
+/// Encodes a request frame (length prefix + envelope).
+std::string EncodeRequestFrame(MsgType type, std::string_view payload);
+
+/// Encodes a response frame for `type` (tag = type | kResponseFlag).
+std::string EncodeResponseFrame(MsgType type, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Response payload = Status header + body:
+//   varint status code, length-prefixed message, then the body bytes.
+// An OK response carries code 0 and an empty message.
+// ---------------------------------------------------------------------------
+
+std::string EncodeResponsePayload(const Status& status,
+                                  std::string_view body = {});
+
+/// Splits a response payload into its Status and body view (aliasing
+/// `payload`). The outer StatusOr is a wire-format error; the inner
+/// Status is the server's verdict on the request.
+StatusOr<std::pair<Status, std::string_view>> DecodeResponsePayload(
+    std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Incremental frame decoder for a stream socket. Append() raw bytes as
+// they arrive; Next() yields complete validated frames. Any framing or
+// checksum failure is sticky and connection-fatal.
+// ---------------------------------------------------------------------------
+
+class FrameDecoder {
+ public:
+  /// `max_frame_bytes` bounds the envelope size a peer may declare; a
+  /// larger declared frame fails immediately (no buffering of the body),
+  /// so a hostile length prefix cannot balloon memory.
+  explicit FrameDecoder(size_t max_frame_bytes);
+
+  /// Buffers incoming bytes. Fails (sticky) if the peer overruns the
+  /// frame bound.
+  Status Append(std::string_view bytes);
+
+  /// Returns the next complete frame, std::nullopt if more bytes are
+  /// needed, or a sticky error on protocol violation.
+  StatusOr<std::optional<Frame>> Next();
+
+  /// Bytes currently buffered (tests and backpressure accounting).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status failed_;   // sticky protocol error
+};
+
+}  // namespace implistat::net
+
+#endif  // IMPLISTAT_NET_WIRE_H_

@@ -71,6 +71,10 @@ class InstrumentedEstimator final : public ImplicationEstimator {
     Flush();
     return inner_->EstimateSupportedDistinct();
   }
+  double EstimateStdError() const override {
+    Flush();
+    return inner_->EstimateStdError();
+  }
   size_t MemoryBytes() const override {
     Flush();
     return inner_->MemoryBytes();

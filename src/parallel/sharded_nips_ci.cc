@@ -200,6 +200,10 @@ double ShardedNipsCi::EstimateSupportedDistinct() const {
   return Estimate().supported_distinct;
 }
 
+double ShardedNipsCi::EstimateStdError() const {
+  return ensemble().EstimateStdError();  // ensemble() drains first
+}
+
 size_t ShardedNipsCi::MemoryBytes() const {
   Drain();
   size_t bytes = sizeof(*this) + inner_.MemoryBytes();

@@ -116,6 +116,7 @@ class ShardedNipsCi final : public ImplicationEstimator {
   double EstimateImplicationCount() const override;
   double EstimateNonImplicationCount() const override;
   double EstimateSupportedDistinct() const override;
+  double EstimateStdError() const override;
   size_t MemoryBytes() const override;
   std::string name() const override { return "NIPS/CI[sharded]"; }
 

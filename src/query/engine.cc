@@ -180,11 +180,57 @@ StatusOr<const ImplicationEstimator*> QueryEngine::Estimator(
       queries_[id].estimator.get());
 }
 
+StatusOr<const ImplicationQuerySpec*> QueryEngine::Spec(QueryId id) const {
+  if (id < 0 || id >= num_queries()) {
+    return Status::NotFound("no such query id");
+  }
+  return &queries_[id].spec;
+}
+
+Status QueryEngine::MergeEstimatorState(QueryId id,
+                                        std::string_view snapshot) {
+  if (id < 0 || id >= num_queries()) {
+    return Status::NotFound("no such query id");
+  }
+  RegisteredQuery& query = queries_[id];
+  // Decode into a sequential twin built from the same config: cheap to
+  // construct, and sharded/sequential snapshots are interchangeable, so a
+  // threads=1 twin accepts either without spinning up a pipeline.
+  EstimatorConfig twin_config = query.spec.estimator;
+  twin_config.threads = 1;
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::unique_ptr<ImplicationEstimator> twin,
+      MakeEstimator(query.spec.conditions, twin_config));
+  IMPLISTAT_RETURN_NOT_OK(twin->RestoreState(snapshot));
+  // MergeFrom leaves the target untouched on failure (estimator
+  // contract), so a bad snapshot never half-mutates the live query.
+  return query.estimator->MergeFrom(*twin);
+}
+
+Status QueryEngine::SetDictionaries(
+    std::vector<ValueDictionary> dictionaries) {
+  if (!dictionaries.empty() &&
+      dictionaries.size() !=
+          static_cast<size_t>(schema_.num_attributes())) {
+    return Status::InvalidArgument(
+        "need one dictionary per schema attribute (or none)");
+  }
+  dictionaries_ = std::move(dictionaries);
+  return Status::OK();
+}
+
 StatusOr<std::string> QueryEngine::SerializeState() const {
   ByteWriter payload;
   payload.PutU64(SchemaFingerprint(schema_));
   payload.PutVarint64(static_cast<uint64_t>(schema_.num_attributes()));
   payload.PutVarint64(tuples_);
+  // Dictionary section (before the specs, so PeekCheckpointDictionaries
+  // can stop here): presence byte, then a nested kValueDictionary
+  // envelope — its own CRC makes the blob independently checkable.
+  payload.PutU8(dictionaries_.empty() ? 0 : 1);
+  if (!dictionaries_.empty()) {
+    payload.PutLengthPrefixed(SerializeValueDictionaries(dictionaries_));
+  }
   payload.PutVarint64(queries_.size());
   for (const RegisteredQuery& query : queries_) {
     query.spec.SerializeTo(&payload);
@@ -229,6 +275,22 @@ Status QueryEngine::RestoreStateImpl(std::string_view snapshot) {
   }
   uint64_t tuples;
   IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples));
+  uint8_t has_dictionaries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&has_dictionaries));
+  if (has_dictionaries > 1) {
+    return Status::InvalidArgument("checkpoint: bad dictionary flag");
+  }
+  std::vector<ValueDictionary> dictionaries;
+  if (has_dictionaries != 0) {
+    std::string_view blob;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&blob));
+    IMPLISTAT_ASSIGN_OR_RETURN(dictionaries, RestoreValueDictionaries(blob));
+    if (dictionaries.size() !=
+        static_cast<size_t>(schema_.num_attributes())) {
+      return Status::InvalidArgument(
+          "checkpoint: dictionary count disagrees with schema width");
+    }
+  }
   uint64_t num_queries;
   IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_queries));
   if (num_queries > in.remaining()) {  // every query costs many bytes
@@ -248,7 +310,29 @@ Status QueryEngine::RestoreStateImpl(std::string_view snapshot) {
     return Status::InvalidArgument("checkpoint: trailing bytes");
   }
   tuples_ = tuples;
+  dictionaries_ = std::move(dictionaries);
   return Status::OK();
+}
+
+StatusOr<std::vector<ValueDictionary>> PeekCheckpointDictionaries(
+    std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngine));
+  ByteReader in(payload);
+  uint64_t fingerprint, width, tuples;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&fingerprint));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&width));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples));
+  uint8_t has_dictionaries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&has_dictionaries));
+  if (has_dictionaries > 1) {
+    return Status::InvalidArgument("checkpoint: bad dictionary flag");
+  }
+  if (has_dictionaries == 0) return std::vector<ValueDictionary>{};
+  std::string_view blob;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&blob));
+  return RestoreValueDictionaries(blob);
 }
 
 Status QueryEngine::Checkpoint(const std::string& path) const {

@@ -56,9 +56,41 @@ class QueryEngine {
   /// such as F0_sup or memory accounting).
   StatusOr<const ImplicationEstimator*> Estimator(QueryId id) const;
 
+  /// The registered spec (label, conditions, estimator config).
+  StatusOr<const ImplicationQuerySpec*> Spec(QueryId id) const;
+
+  /// Folds a remote estimator snapshot (SerializeState bytes from a
+  /// compatible estimator) into query `id`'s estimator: decode into a
+  /// twin built from the same config, then MergeFrom. This is the
+  /// aggregation half of the paper's edge→aggregator topology — edges
+  /// ship kilobyte summaries, the aggregator merges them as if it had
+  /// observed the combined stream. On failure the query is unchanged.
+  /// The shipped tuple count is the caller's to account (the snapshot
+  /// does not carry one).
+  Status MergeEstimatorState(QueryId id, std::string_view snapshot);
+
   const Schema& schema() const { return schema_; }
   uint64_t tuples_seen() const { return tuples_; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  // --- Value dictionaries --------------------------------------------------
+  //
+  // Dictionary-coded text streams (CSV) assign ids by first appearance,
+  // so an estimator state is only meaningful together with the mapping
+  // that produced it. An engine fed from text carries that mapping here;
+  // checkpoints embed it, and PeekCheckpointDictionaries recovers it
+  // before the schema is even known — restart seeds its CSV reader with
+  // the old mapping and ids line up no matter how the replayed file is
+  // ordered.
+
+  /// Attaches the per-attribute dictionaries (one per schema attribute,
+  /// or empty to detach). They ride along in SerializeState/Checkpoint.
+  Status SetDictionaries(std::vector<ValueDictionary> dictionaries);
+
+  /// The attached dictionaries; empty when the stream is id-coded.
+  const std::vector<ValueDictionary>& dictionaries() const {
+    return dictionaries_;
+  }
 
   // --- Durable state -------------------------------------------------------
   //
@@ -97,8 +129,16 @@ class QueryEngine {
 
   Schema schema_;
   std::vector<RegisteredQuery> queries_;
+  std::vector<ValueDictionary> dictionaries_;
   uint64_t tuples_ = 0;
 };
+
+/// Extracts the value dictionaries embedded in a kQueryEngine checkpoint
+/// without restoring it (and without knowing the schema — the dictionary
+/// section precedes the query specs). Returns an empty vector when the
+/// checkpoint carries none (id-coded streams).
+StatusOr<std::vector<ValueDictionary>> PeekCheckpointDictionaries(
+    std::string_view snapshot);
 
 /// Order-sensitive digest (FNV-1a 64) of the schema's attribute names and
 /// declared cardinalities. Stored in every checkpoint; restore refuses a

@@ -26,6 +26,11 @@ std::vector<std::string> SplitLine(const std::string& line) {
 }  // namespace
 
 StatusOr<CsvTable> ReadCsv(std::istream& in) {
+  return ReadCsv(in, {});
+}
+
+StatusOr<CsvTable> ReadCsv(std::istream& in,
+                           std::vector<ValueDictionary> seed) {
   std::string line;
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty CSV input (no header)");
@@ -35,7 +40,12 @@ StatusOr<CsvTable> ReadCsv(std::istream& in) {
   for (auto& name : names) {
     IMPLISTAT_RETURN_NOT_OK(schema.AddAttribute(name).status());
   }
-  std::vector<ValueDictionary> dictionaries(names.size());
+  if (!seed.empty() && seed.size() != names.size()) {
+    return Status::InvalidArgument("seed dictionaries disagree with header");
+  }
+  std::vector<ValueDictionary> dictionaries =
+      seed.empty() ? std::vector<ValueDictionary>(names.size())
+                   : std::move(seed);
   std::vector<ValueId> flat;
   size_t row = 1;
   while (std::getline(in, line)) {

@@ -28,6 +28,14 @@ struct CsvTable {
 /// Cardinalities in the returned schema are the observed distinct counts.
 StatusOr<CsvTable> ReadCsv(std::istream& in);
 
+/// As above, but interns values into `seed` dictionaries (one per header
+/// attribute, checked) instead of starting empty. Seeding with the
+/// dictionaries recovered from a checkpoint (PeekCheckpointDictionaries)
+/// makes re-read ids match the original run no matter how the replayed
+/// file is ordered — the restart path for dictionary-coded text streams.
+StatusOr<CsvTable> ReadCsv(std::istream& in,
+                           std::vector<ValueDictionary> seed);
+
 /// Convenience overload over a string.
 StatusOr<CsvTable> ReadCsvString(const std::string& text);
 

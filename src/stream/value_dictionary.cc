@@ -1,5 +1,6 @@
 #include "stream/value_dictionary.h"
 
+#include "util/envelope.h"
 #include "util/logging.h"
 
 namespace implistat {
@@ -24,6 +25,65 @@ StatusOr<ValueId> ValueDictionary::Find(std::string_view value) const {
 const std::string& ValueDictionary::ValueOf(ValueId id) const {
   IMPLISTAT_CHECK(id < values_.size()) << "value id out of range";
   return values_[id];
+}
+
+void ValueDictionary::SerializeTo(ByteWriter* out) const {
+  out->PutVarint64(values_.size());
+  for (const std::string& value : values_) out->PutLengthPrefixed(value);
+}
+
+StatusOr<ValueDictionary> ValueDictionary::Deserialize(ByteReader* in) {
+  uint64_t count;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&count));
+  // Every entry costs at least its length byte, so a count beyond the
+  // remaining bytes is hostile; check before reserving.
+  if (count > in->remaining()) {
+    return Status::InvalidArgument("value dictionary: implausible entry count");
+  }
+  ValueDictionary dict;
+  dict.values_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view value;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadLengthPrefixed(&value));
+    if (dict.GetOrAdd(value) != i) {
+      return Status::InvalidArgument(
+          "value dictionary: duplicate value '" + std::string(value) + "'");
+    }
+  }
+  return dict;
+}
+
+std::string SerializeValueDictionaries(
+    const std::vector<ValueDictionary>& dictionaries) {
+  ByteWriter payload;
+  payload.PutVarint64(dictionaries.size());
+  for (const ValueDictionary& dict : dictionaries) dict.SerializeTo(&payload);
+  return WrapSnapshot(SnapshotKind::kValueDictionary, payload.Release());
+}
+
+StatusOr<std::vector<ValueDictionary>> RestoreValueDictionaries(
+    std::string_view snapshot) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(snapshot, SnapshotKind::kValueDictionary));
+  ByteReader in(payload);
+  uint64_t count;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+  if (count > in.remaining()) {
+    return Status::InvalidArgument(
+        "value dictionaries: implausible attribute count");
+  }
+  std::vector<ValueDictionary> dictionaries;
+  dictionaries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    IMPLISTAT_ASSIGN_OR_RETURN(ValueDictionary dict,
+                               ValueDictionary::Deserialize(&in));
+    dictionaries.push_back(std::move(dict));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("value dictionaries: trailing bytes");
+  }
+  return dictionaries;
 }
 
 }  // namespace implistat

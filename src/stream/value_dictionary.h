@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "stream/types.h"
+#include "util/serde.h"
 #include "util/status_or.h"
 
 namespace implistat {
@@ -32,10 +33,26 @@ class ValueDictionary {
 
   size_t size() const { return values_.size(); }
 
+  /// Checkpoint wire format: values in id order (raw fields, no envelope —
+  /// dictionaries travel inside a kValueDictionary blob or a kQueryEngine
+  /// snapshot). Deserialize rejects duplicate values, so ids round-trip
+  /// exactly: ValueOf/Find on the restored dictionary answer as before.
+  void SerializeTo(ByteWriter* out) const;
+  static StatusOr<ValueDictionary> Deserialize(ByteReader* in);
+
  private:
   std::unordered_map<std::string, ValueId> index_;
   std::vector<std::string> values_;
 };
+
+/// Wraps the per-attribute dictionaries of a stream in a kValueDictionary
+/// snapshot envelope (util/envelope.h) — the persistence fix for
+/// dictionary-coded text streams: ids assigned by first appearance only
+/// stay meaningful across restarts if the mapping itself is durable.
+std::string SerializeValueDictionaries(
+    const std::vector<ValueDictionary>& dictionaries);
+StatusOr<std::vector<ValueDictionary>> RestoreValueDictionaries(
+    std::string_view snapshot);
 
 }  // namespace implistat
 

@@ -69,132 +69,4 @@ Status ByteReader::ReadLengthPrefixed(std::string_view* out) {
   return ReadBytes(static_cast<size_t>(len), out);
 }
 
-namespace {
-
-// CRC32C (Castagnoli, reflected polynomial 0x82f63b78), one 256-entry
-// table built at static-init time. Throughput is irrelevant here: the
-// checksum guards checkpoint files, not the ingest hot path.
-struct Crc32cTable {
-  uint32_t entries[256];
-  Crc32cTable() {
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
-      }
-      entries[i] = crc;
-    }
-  }
-};
-
-const Crc32cTable& CrcTable() {
-  static const Crc32cTable table;
-  return table;
-}
-
-}  // namespace
-
-uint32_t Crc32c(std::string_view data) {
-  const Crc32cTable& table = CrcTable();
-  uint32_t crc = ~0u;
-  for (char c : data) {
-    crc = (crc >> 8) ^ table.entries[(crc ^ static_cast<uint8_t>(c)) & 0xff];
-  }
-  return ~crc;
-}
-
-std::string WrapSnapshot(SnapshotKind kind, std::string_view payload) {
-  ByteWriter out;
-  out.PutU32(kSnapshotMagic);
-  out.PutVarint64(kSnapshotFormatVersion);
-  out.PutU8(static_cast<uint8_t>(kind));
-  out.PutVarint64(payload.size());
-  out.PutBytes(payload);
-  std::string bytes = out.Release();
-  uint32_t crc = Crc32c(bytes);
-  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  return bytes;
-}
-
-namespace {
-
-const char* SnapshotKindName(SnapshotKind kind) {
-  switch (kind) {
-    case SnapshotKind::kNipsCi: return "nips_ci";
-    case SnapshotKind::kExactCounter: return "exact_counter";
-    case SnapshotKind::kDistinctSampling: return "distinct_sampling";
-    case SnapshotKind::kIlc: return "ilc";
-    case SnapshotKind::kIss: return "implication_sticky_sampling";
-    case SnapshotKind::kLossyCounting: return "lossy_counting";
-    case SnapshotKind::kStickySampling: return "sticky_sampling";
-    case SnapshotKind::kSlidingNipsCi: return "sliding_nips_ci";
-    case SnapshotKind::kQueryEngine: return "query_engine";
-    case SnapshotKind::kIncrementalTracker: return "incremental_tracker";
-  }
-  return "unknown";
-}
-
-// Shared header parse for UnwrapSnapshot / PeekSnapshotKind: checks magic
-// and version, leaves `reader` positioned at the kind byte.
-Status ReadSnapshotHeader(ByteReader& reader) {
-  uint32_t magic;
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadU32(&magic));
-  if (magic != kSnapshotMagic) {
-    return Status::InvalidArgument("snapshot: bad magic (not a snapshot?)");
-  }
-  uint64_t version;
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadVarint64(&version));
-  if (version != kSnapshotFormatVersion) {
-    return Status::InvalidArgument(
-        "snapshot: unsupported format version " + std::to_string(version) +
-        " (this build reads version " +
-        std::to_string(kSnapshotFormatVersion) + ")");
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-StatusOr<std::string_view> UnwrapSnapshot(std::string_view bytes,
-                                          SnapshotKind expected_kind) {
-  // The CRC trailer covers everything before it; verify before trusting
-  // any header field beyond the magic/version sanity checks.
-  ByteReader reader(bytes);
-  IMPLISTAT_RETURN_NOT_OK(ReadSnapshotHeader(reader));
-  uint8_t kind_byte;
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadU8(&kind_byte));
-  uint64_t payload_len;
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadVarint64(&payload_len));
-  if (payload_len > reader.remaining()) {
-    return Status::OutOfRange("snapshot: truncated payload");
-  }
-  std::string_view payload;
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadBytes(payload_len, &payload));
-  uint32_t stored_crc;
-  if (reader.remaining() != sizeof(stored_crc)) {
-    return Status::InvalidArgument(
-        "snapshot: trailing bytes after payload");
-  }
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadU32(&stored_crc));
-  uint32_t actual_crc = Crc32c(bytes.substr(0, bytes.size() - sizeof(stored_crc)));
-  if (stored_crc != actual_crc) {
-    return Status::InvalidArgument("snapshot: CRC32C mismatch (corrupt snapshot)");
-  }
-  if (kind_byte != static_cast<uint8_t>(expected_kind)) {
-    return Status::InvalidArgument(
-        std::string("snapshot: kind mismatch: expected ") +
-        SnapshotKindName(expected_kind) + ", found tag " +
-        std::to_string(kind_byte));
-  }
-  return payload;
-}
-
-StatusOr<SnapshotKind> PeekSnapshotKind(std::string_view bytes) {
-  ByteReader reader(bytes);
-  IMPLISTAT_RETURN_NOT_OK(ReadSnapshotHeader(reader));
-  uint8_t kind_byte;
-  IMPLISTAT_RETURN_NOT_OK(reader.ReadU8(&kind_byte));
-  return static_cast<SnapshotKind>(kind_byte);
-}
-
 }  // namespace implistat

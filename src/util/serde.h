@@ -11,7 +11,8 @@
 // additionally travels inside a self-describing envelope — magic, format
 // version, estimator kind, payload length, CRC32C trailer — so a reader can
 // reject truncation, bit-flips, version skew, and kind mismatch before it
-// ever parses a payload byte. See DESIGN.md §7 for the wire format.
+// ever parses a payload byte. The envelope lives in util/envelope.h
+// (included here for compatibility); see DESIGN.md §7 for the wire format.
 
 #ifndef IMPLISTAT_UTIL_SERDE_H_
 #define IMPLISTAT_UTIL_SERDE_H_
@@ -21,6 +22,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/envelope.h"
 #include "util/status.h"
 #include "util/status_or.h"
 
@@ -88,58 +90,6 @@ class ByteReader {
   std::string_view data_;
   size_t pos_ = 0;
 };
-
-// ---------------------------------------------------------------------------
-// Snapshot envelope.
-//
-//   offset  field
-//   ------  -----------------------------------------------------------
-//   0       magic "IMPS" (4 bytes, little-endian u32 0x53504d49)
-//   4       format version (varint; currently kSnapshotFormatVersion)
-//   ..      snapshot kind (1 byte, SnapshotKind)
-//   ..      payload length (varint)
-//   ..      payload bytes
-//   end-4   CRC32C (little-endian u32) over every preceding byte
-//
-// Readers check, in order: magic, version, kind, length vs available
-// bytes, and the checksum — each failure is a distinct Status, never a
-// crash, and never a partial parse of the payload.
-// ---------------------------------------------------------------------------
-
-/// Identifies which estimator (or container) produced a snapshot payload.
-/// Values are part of the wire format — append only, never renumber.
-enum class SnapshotKind : uint8_t {
-  kNipsCi = 1,           // NipsCi and ShardedNipsCi (interchangeable)
-  kExactCounter = 2,     // ExactImplicationCounter
-  kDistinctSampling = 3, // DistinctSampling
-  kIlc = 4,              // Ilc (Implication Lossy Counting)
-  kIss = 5,              // ImplicationStickySampling
-  kLossyCounting = 6,    // plain frequent-items LossyCounting
-  kStickySampling = 7,   // plain frequent-items StickySampling
-  kSlidingNipsCi = 8,    // SlidingNipsCi / SlidingNipsCiEstimator
-  kQueryEngine = 9,      // full QueryEngine checkpoint
-  kIncrementalTracker = 10,  // IncrementalTracker checkpoint vector
-};
-
-inline constexpr uint32_t kSnapshotMagic = 0x53504d49;  // "IMPS"
-inline constexpr uint64_t kSnapshotFormatVersion = 1;
-
-/// CRC32C (Castagnoli) of `data`; software table implementation.
-uint32_t Crc32c(std::string_view data);
-
-/// Wraps `payload` in the envelope described above.
-std::string WrapSnapshot(SnapshotKind kind, std::string_view payload);
-
-/// Validates the envelope and returns a view of the payload (aliasing
-/// `bytes`, which must outlive the result). Rejects bad magic, version
-/// skew, kind mismatch against `expected_kind`, truncation/length
-/// mismatch, and checksum failure — each with a descriptive Status.
-StatusOr<std::string_view> UnwrapSnapshot(std::string_view bytes,
-                                          SnapshotKind expected_kind);
-
-/// Reads just the kind tag of a valid-looking envelope (magic + version
-/// checked, checksum not). Useful for dispatch before full validation.
-StatusOr<SnapshotKind> PeekSnapshotKind(std::string_view bytes);
 
 }  // namespace implistat
 

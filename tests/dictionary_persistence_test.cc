@@ -1,0 +1,203 @@
+// ValueDictionary persistence: the kValueDictionary snapshot blob, its
+// ride-along inside engine checkpoints, and the restart path for
+// dictionary-coded text streams — seed the CSV reader with the recovered
+// mapping and ids line up no matter how the replayed file is ordered.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/engine.h"
+#include "stream/csv_io.h"
+#include "stream/value_dictionary.h"
+#include "util/envelope.h"
+
+namespace implistat {
+namespace {
+
+std::vector<ValueDictionary> MakeDicts() {
+  std::vector<ValueDictionary> dicts(2);
+  dicts[0].GetOrAdd("alice");
+  dicts[0].GetOrAdd("bob");
+  dicts[0].GetOrAdd("carol");
+  dicts[1].GetOrAdd("read");
+  dicts[1].GetOrAdd("write");
+  return dicts;
+}
+
+TEST(DictionaryPersistenceTest, BlobRoundTripPreservesIds) {
+  std::vector<ValueDictionary> dicts = MakeDicts();
+  const std::string blob = SerializeValueDictionaries(dicts);
+  EXPECT_EQ(*PeekSnapshotKind(blob), SnapshotKind::kValueDictionary);
+
+  auto restored = RestoreValueDictionaries(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ((*restored)[0].size(), 3u);
+  EXPECT_EQ(*(*restored)[0].Find("bob"), 1u);
+  EXPECT_EQ((*restored)[0].ValueOf(2), "carol");
+  EXPECT_EQ(*(*restored)[1].Find("write"), 1u);
+  EXPECT_FALSE((*restored)[1].Find("execute").ok());
+  // Restored dictionaries keep interning past the saved universe.
+  EXPECT_EQ((*restored)[1].GetOrAdd("execute"), 2u);
+
+  // Empty vector round trips too (id-coded streams).
+  auto empty = RestoreValueDictionaries(SerializeValueDictionaries({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(DictionaryPersistenceTest, CorruptBlobRejected) {
+  const std::string blob = SerializeValueDictionaries(MakeDicts());
+  for (size_t i = 0; i < blob.size(); i += blob.size() / 17 + 1) {
+    std::string corrupted = blob;
+    corrupted[i] ^= 0x04;
+    EXPECT_FALSE(RestoreValueDictionaries(corrupted).ok())
+        << "flip at byte " << i << " undetected";
+  }
+  for (size_t len = 0; len < blob.size(); len += blob.size() / 11 + 1) {
+    EXPECT_FALSE(RestoreValueDictionaries(blob.substr(0, len)).ok());
+  }
+}
+
+TEST(DictionaryPersistenceTest, DuplicateValuesRejected) {
+  // Forge a dictionary payload listing the same value twice: ids could
+  // not round-trip (the second entry would re-resolve to the first), so
+  // decode must refuse.
+  ByteWriter payload;
+  payload.PutVarint64(1);  // one dictionary
+  payload.PutVarint64(2);  // claiming two entries...
+  payload.PutLengthPrefixed("dup");
+  payload.PutLengthPrefixed("dup");  // ...that are the same value
+  const std::string blob =
+      WrapSnapshot(SnapshotKind::kValueDictionary, payload.Release());
+  auto restored = RestoreValueDictionaries(blob);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DictionaryPersistenceTest, EngineCheckpointCarriesDictionaries) {
+  Schema schema({{"User", 3}, {"Action", 2}});
+  QueryEngine engine(schema);
+  ASSERT_TRUE(engine.SetDictionaries(MakeDicts()).ok());
+
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"User"};
+  spec.b_attributes = {"Action"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  ASSERT_TRUE(engine.Register(std::move(spec)).ok());
+  std::vector<ValueId> row = {1, 0};
+  engine.ObserveTuple(TupleRef(row.data(), row.size()));
+
+  auto snapshot = engine.SerializeState();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  // Peek recovers the mapping without restoring (and before the restart
+  // even knows the schema).
+  auto peeked = PeekCheckpointDictionaries(*snapshot);
+  ASSERT_TRUE(peeked.ok()) << peeked.status();
+  ASSERT_EQ(peeked->size(), 2u);
+  EXPECT_EQ(*(*peeked)[0].Find("carol"), 2u);
+
+  QueryEngine restored(schema);
+  ASSERT_TRUE(restored.RestoreState(*snapshot).ok());
+  ASSERT_EQ(restored.dictionaries().size(), 2u);
+  EXPECT_EQ(*restored.dictionaries()[0].Find("bob"), 1u);
+  EXPECT_EQ(restored.dictionaries()[1].ValueOf(0), "read");
+
+  // An engine without dictionaries checkpoints a none-present marker.
+  QueryEngine bare(schema);
+  auto bare_snapshot = bare.SerializeState();
+  ASSERT_TRUE(bare_snapshot.ok());
+  auto bare_peek = PeekCheckpointDictionaries(*bare_snapshot);
+  ASSERT_TRUE(bare_peek.ok());
+  EXPECT_TRUE(bare_peek->empty());
+}
+
+TEST(DictionaryPersistenceTest, SetDictionariesChecksWidth) {
+  QueryEngine engine(Schema({{"User", 3}, {"Action", 2}, {"Hour", 24}}));
+  EXPECT_FALSE(engine.SetDictionaries(MakeDicts()).ok());  // 2 != 3
+  EXPECT_TRUE(engine.SetDictionaries({}).ok());            // detach is fine
+}
+
+// The caveat this subsystem deletes: CSV ids are assigned by first
+// appearance, so a reordered replay used to silently renumber values.
+// Seeding the reader with the checkpoint's dictionaries pins the mapping.
+TEST(DictionaryPersistenceTest, SeededCsvRereadSurvivesRowReordering) {
+  const std::string original =
+      "User,Action\n"
+      "alice,read\n"
+      "bob,write\n"
+      "carol,read\n"
+      "alice,write\n";
+  // Same rows, different first-appearance order.
+  const std::string reordered =
+      "User,Action\n"
+      "carol,read\n"
+      "alice,write\n"
+      "bob,write\n"
+      "alice,read\n";
+
+  std::istringstream first_in(original);
+  auto first = ReadCsv(first_in);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  QueryEngine engine(first->schema);
+  ASSERT_TRUE(engine.SetDictionaries(first->dictionaries).ok());
+  ASSERT_TRUE(engine
+                  .RegisterSql(
+                      "SELECT COUNT(DISTINCT User) FROM log "
+                      "WHERE User IMPLIES Action WITH ESTIMATOR = EXACT",
+                      &first->dictionaries)
+                  .ok());
+  ASSERT_TRUE(engine.ObserveStream(first->stream).ok());
+  auto snapshot = engine.SerializeState();
+  ASSERT_TRUE(snapshot.ok());
+
+  // Restart: recover the mapping, re-read the *reordered* file seeded
+  // with it. Ids (hence schema cardinalities and the fingerprint) match,
+  // so restore succeeds and answers are identical.
+  auto seed = PeekCheckpointDictionaries(*snapshot);
+  ASSERT_TRUE(seed.ok());
+  std::istringstream second_in(reordered);
+  auto second = ReadCsv(second_in, *seed);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*second->dictionaries[0].Find("alice"),
+            *first->dictionaries[0].Find("alice"));
+  EXPECT_EQ(*second->dictionaries[1].Find("write"),
+            *first->dictionaries[1].Find("write"));
+
+  QueryEngine resumed(second->schema);
+  ASSERT_TRUE(resumed.SetDictionaries(second->dictionaries).ok());
+  Status restored = resumed.RestoreState(*snapshot);
+  ASSERT_TRUE(restored.ok()) << restored;
+  EXPECT_EQ(*resumed.Answer(0), *engine.Answer(0));
+
+  // Unseeded re-read of the reordered file: ids shuffle. Restoring over
+  // that mapping must refuse (the estimator states would be garbage).
+  std::istringstream unseeded_in(reordered);
+  auto unseeded = ReadCsv(unseeded_in);
+  ASSERT_TRUE(unseeded.ok());
+  EXPECT_NE(*unseeded->dictionaries[0].Find("alice"),
+            *first->dictionaries[0].Find("alice"));
+
+  // A replay with a brand-new value changes the cardinality: the schema
+  // fingerprint catches the divergence.
+  std::istringstream grown_in(
+      "User,Action\nmallory,read\nalice,write\n");
+  auto grown = ReadCsv(grown_in, *seed);
+  ASSERT_TRUE(grown.ok());
+  QueryEngine refused(grown->schema);
+  ASSERT_TRUE(refused.SetDictionaries(grown->dictionaries).ok());
+  EXPECT_EQ(refused.RestoreState(*snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace implistat

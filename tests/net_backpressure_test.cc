@@ -1,0 +1,179 @@
+// Backpressure: a consumer that requests more than it reads must never
+// grow the server's memory without bound. The per-connection write buffer
+// is capped; an overflowing response is replaced by a small
+// RESOURCE_EXHAUSTED frame and the connection closes once that flushes —
+// while every other connection keeps being served.
+//
+// The oversized responses here are estimator snapshots of an exact
+// counter fed many distinct pairs — their size is a property of the
+// estimator state, identical under IMPLISTAT_METRICS=OFF.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "query/engine.h"
+
+namespace implistat::net {
+namespace {
+
+Schema TestSchema() { return Schema({{"A", 4096}, {"B", 4096}}); }
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"A"};
+  spec.b_attributes = {"B"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+class BoundedServer {
+ public:
+  /// The engine carries one exact query over `distinct_pairs` distinct
+  /// tuples, so query 0's snapshot is a response body whose size the
+  /// test controls (and the metrics build configuration does not).
+  BoundedServer(size_t max_write_buffer_bytes, size_t distinct_pairs)
+      : engine_(TestSchema()) {
+    options_.max_write_buffer_bytes = max_write_buffer_bytes;
+    EXPECT_TRUE(engine_.Register(ExactSpec()).ok());
+    for (size_t i = 0; i < distinct_pairs; ++i) {
+      std::vector<ValueId> row = {static_cast<ValueId>(i % 4096),
+                                  static_cast<ValueId>((i * 7 + 1) % 4096)};
+      engine_.ObserveTuple(TupleRef(row.data(), row.size()));
+    }
+  }
+
+  ~BoundedServer() {
+    if (thread_.joinable()) {
+      server_->Shutdown();
+      thread_.join();
+    }
+  }
+
+  void Start() {
+    server_ = std::make_unique<Server>(&engine_, options_);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    thread_ = std::thread([this] { (void)server_->Run(); });
+  }
+
+  StatusOr<Client> Connect() {
+    return Client::Connect("127.0.0.1", server_->port());
+  }
+
+  size_t SnapshotBytes() {
+    auto estimator = engine_.Estimator(0);
+    EXPECT_TRUE(estimator.ok());
+    auto state = (*estimator)->SerializeState();
+    EXPECT_TRUE(state.ok());
+    return state->size();
+  }
+
+ private:
+  QueryEngine engine_;
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+// A single response bigger than the whole write budget: replaced, never
+// buffered.
+TEST(NetBackpressureTest, OversizeResponseBecomesResourceExhausted) {
+  BoundedServer server(256, 600);
+  ASSERT_GT(server.SnapshotBytes(), 512u);  // dwarfs the 256-byte budget
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto snapshot = client->Snapshot(0);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kResourceExhausted);
+  // The connection closes after the error frame flushes.
+  EXPECT_FALSE(client->Ping().ok());
+
+  // The server itself is fine; pings are tiny and fit the budget.
+  auto fresh = server.Connect();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Ping().ok());
+}
+
+// A pipelining consumer that doesn't read: responses accumulate against
+// the cap, the overflowing one is swapped for RESOURCE_EXHAUSTED, the
+// requests behind it are never serviced, and the connection is closed —
+// the documented slow-consumer bound.
+TEST(NetBackpressureTest, SlowConsumerIsBoundedAndCutOff) {
+  constexpr size_t kCap = 8 * 1024;
+  BoundedServer server(kCap, 600);
+  // Each snapshot response runs kilobytes, so 64 of them would pile up
+  // far past the cap unless backpressure intervenes.
+  ASSERT_GT(server.SnapshotBytes() * 64, 8 * kCap);
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+
+  // 64 snapshot requests in one burst, reading nothing. The server
+  // handles them back to back within poll rounds, so pending responses
+  // accumulate between flushes.
+  std::string burst;
+  for (int i = 0; i < 64; ++i) {
+    burst += EncodeRequestFrame(MsgType::kSnapshot, EncodeSnapshotRequest(0));
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+
+  // Now drain what the server actually sent: some OK responses, then
+  // exactly one RESOURCE_EXHAUSTED, then EOF. Total bytes received stay
+  // in the vicinity of the cap — not 64 full snapshots.
+  FrameDecoder decoder(1 << 20);
+  size_t total_rx = 0;
+  size_t ok_responses = 0;
+  size_t exhausted_responses = 0;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = recv(client->fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF: the server cut the connection
+    total_rx += static_cast<size_t>(n);
+    ASSERT_TRUE(decoder.Append(std::string_view(buf,
+                                                static_cast<size_t>(n)))
+                    .ok());
+    for (;;) {
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.ok()) << frame.status();
+      if (!frame->has_value()) break;
+      auto decoded = DecodeResponsePayload((*frame)->payload);
+      ASSERT_TRUE(decoded.ok());
+      if (decoded->first.ok()) {
+        ++ok_responses;
+      } else {
+        EXPECT_EQ(decoded->first.code(), StatusCode::kResourceExhausted);
+        ++exhausted_responses;
+      }
+    }
+  }
+  EXPECT_EQ(exhausted_responses, 1u);
+  EXPECT_LT(ok_responses, 64u);
+  // Everything that arrived fit the budget plus one error frame (with
+  // socket-buffer slack from flushes between poll rounds, well under the
+  // 64-response pile-up a boundless server would have sent).
+  EXPECT_LT(total_rx, 4 * kCap);
+
+  // Other connections never noticed.
+  auto fresh = server.Connect();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Ping().ok());
+}
+
+}  // namespace
+}  // namespace implistat::net

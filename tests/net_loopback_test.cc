@@ -1,0 +1,482 @@
+// Loopback integration tests for the serving layer: a real Server on a
+// real socket, driven by Client connections — remote ingest, queries with
+// error bars, the edge→aggregator snapshot/merge topology, corruption and
+// disconnect robustness, and the graceful shutdown drain.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+#include "util/fileio.h"
+#include "util/random.h"
+
+namespace implistat::net {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationConditions TestConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = 1;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions = TestConditions();
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+ImplicationQuerySpec NipsSpec() {
+  ImplicationQuerySpec spec = ExactSpec();
+  spec.estimator.kind = EstimatorKind::kNipsCi;
+  spec.estimator.nips.num_bitmaps = 8;
+  spec.label = "nips";
+  return spec;
+}
+
+// Deterministic synthetic rows; [begin, end) indexes a fixed stream, so
+// twin engines can be fed the exact same tuples in-process.
+std::vector<ValueId> Row(uint64_t i) {
+  return {static_cast<ValueId>(i % 97),
+          static_cast<ValueId>((i % 7 == 0) ? i % 47 : (i % 97) % 13),
+          static_cast<ValueId>(i % 24)};
+}
+
+void FeedLocal(QueryEngine& engine, uint64_t begin, uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
+    std::vector<ValueId> row = Row(i);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+}
+
+ObserveBatchRequest IdBatch(uint64_t begin, uint64_t end) {
+  ObserveBatchRequest batch;
+  batch.encoding = ObserveEncoding::kIds;
+  batch.width = 3;
+  for (uint64_t i = begin; i < end; ++i) {
+    for (ValueId id : Row(i)) batch.ids.push_back(id);
+  }
+  return batch;
+}
+
+// A Server running on its own thread, with the engine it hosts. The
+// engine may only be touched before Start() and after Stop() — while the
+// loop runs, it belongs to the server thread.
+class LoopbackServer {
+ public:
+  explicit LoopbackServer(ServerOptions options = {})
+      : engine_(TestSchema()), options_(std::move(options)) {}
+
+  ~LoopbackServer() { Stop(); }
+
+  QueryEngine& engine() { return engine_; }
+
+  void Start() {
+    server_ = std::make_unique<Server>(&engine_, options_);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    thread_ = std::thread([this] { run_status_ = server_->Run(); });
+  }
+
+  // Idempotent; also reached when a SHUTDOWN request already stopped the
+  // loop (the extra self-pipe byte is harmless).
+  void Stop() {
+    if (!thread_.joinable()) return;
+    server_->Shutdown();
+    thread_.join();
+  }
+
+  uint16_t port() const { return server_->port(); }
+  const Status& run_status() const { return run_status_; }
+
+  StatusOr<Client> Connect() {
+    return Client::Connect("127.0.0.1", server_->port());
+  }
+
+ private:
+  QueryEngine engine_;
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  Status run_status_;
+};
+
+TEST(NetLoopbackTest, PingObserveQueryMetricsRoundTrip) {
+  LoopbackServer server;
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  ASSERT_TRUE(server.engine().Register(NipsSpec()).ok());
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto seen = client->ObserveBatch(IdBatch(0, 400));
+  ASSERT_TRUE(seen.ok()) << seen.status();
+  EXPECT_EQ(*seen, 400u);
+
+  // The remote answers must equal an engine fed the same rows in-process.
+  QueryEngine twin(TestSchema());
+  ASSERT_TRUE(twin.Register(ExactSpec()).ok());
+  ASSERT_TRUE(twin.Register(NipsSpec()).ok());
+  FeedLocal(twin, 0, 400);
+
+  auto response = client->Query({});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->tuples_seen, 400u);
+  ASSERT_EQ(response->results.size(), 2u);
+  for (const QueryResult& result : response->results) {
+    auto expected = twin.Answer(static_cast<QueryId>(result.id));
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(result.estimate, *expected) << result.label;
+    EXPECT_GT(result.memory_bytes, 0u);
+  }
+  EXPECT_EQ(response->results[0].label, "exact");
+  EXPECT_EQ(response->results[0].std_error, 0.0);  // ground truth
+  EXPECT_GE(response->results[1].std_error, 0.0);  // jackknife bar
+
+  auto subset = client->Query({1});
+  ASSERT_TRUE(subset.ok());
+  ASSERT_EQ(subset->results.size(), 1u);
+  EXPECT_EQ(subset->results[0].label, "nips");
+
+  auto metrics = client->Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  if (obs::kMetricsEnabled) {
+    EXPECT_NE(metrics->find("implistat_net_requests_total"),
+              std::string::npos);
+    EXPECT_NE(metrics->find("implistat_net_bytes_rx_total"),
+              std::string::npos);
+    EXPECT_NE(metrics->find("implistat_net_connections"), std::string::npos);
+  }
+}
+
+TEST(NetLoopbackTest, ConcurrentClientsInterleaveAtFrameGranularity) {
+  LoopbackServer server;
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  ASSERT_TRUE(server.engine().Register(NipsSpec()).ok());
+  server.Start();
+
+  constexpr int kClients = 4;
+  constexpr uint64_t kRowsEach = 250;
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = server.Connect();
+      if (!client.ok()) {
+        statuses[c] = client.status();
+        return;
+      }
+      const uint64_t begin = static_cast<uint64_t>(c) * kRowsEach;
+      // Several small batches per client to force interleaving.
+      for (uint64_t at = begin; at < begin + kRowsEach; at += 50) {
+        auto seen = client->ObserveBatch(IdBatch(at, at + 50));
+        if (!seen.ok()) {
+          statuses[c] = seen.status();
+          return;
+        }
+      }
+      statuses[c] = client->Ping();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const Status& status : statuses) ASSERT_TRUE(status.ok()) << status;
+
+  // Estimators here are order-independent, so any interleaving of the
+  // four disjoint ranges answers like one sequential feed.
+  QueryEngine twin(TestSchema());
+  ASSERT_TRUE(twin.Register(ExactSpec()).ok());
+  ASSERT_TRUE(twin.Register(NipsSpec()).ok());
+  FeedLocal(twin, 0, kClients * kRowsEach);
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  auto response = client->Query({});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->tuples_seen, kClients * kRowsEach);
+  for (const QueryResult& result : response->results) {
+    EXPECT_EQ(result.estimate,
+              *twin.Answer(static_cast<QueryId>(result.id)))
+        << result.label;
+  }
+}
+
+// The acceptance demo: two edges stream disjoint halves, ship kilobyte
+// snapshots, and the aggregator's merged estimate is byte-identical to a
+// single process that observed the concatenated stream.
+TEST(NetLoopbackTest, EdgeToAggregatorMergeIsByteIdentical) {
+  LoopbackServer edge_a;
+  LoopbackServer edge_b;
+  LoopbackServer aggregator;
+  for (LoopbackServer* node : {&edge_a, &edge_b, &aggregator}) {
+    ASSERT_TRUE(node->engine().Register(NipsSpec()).ok());
+  }
+  edge_a.Start();
+  edge_b.Start();
+  aggregator.Start();
+
+  auto client_a = edge_a.Connect();
+  auto client_b = edge_b.Connect();
+  auto client_agg = aggregator.Connect();
+  ASSERT_TRUE(client_a.ok() && client_b.ok() && client_agg.ok());
+
+  ASSERT_TRUE(client_a->ObserveBatch(IdBatch(0, 600)).ok());
+  ASSERT_TRUE(client_b->ObserveBatch(IdBatch(600, 1200)).ok());
+
+  // Ship each edge's estimator state over the wire and fold it in.
+  auto snapshot_a = client_a->Snapshot(0);
+  auto snapshot_b = client_b->Snapshot(0);
+  ASSERT_TRUE(snapshot_a.ok()) << snapshot_a.status();
+  ASSERT_TRUE(snapshot_b.ok());
+  ASSERT_TRUE(client_agg->Merge(0, *snapshot_a).ok());
+  ASSERT_TRUE(client_agg->Merge(0, *snapshot_b).ok());
+
+  QueryEngine single(TestSchema());
+  ASSERT_TRUE(single.Register(NipsSpec()).ok());
+  FeedLocal(single, 0, 1200);
+
+  auto merged = client_agg->Query({0});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->results.size(), 1u);
+  // Exact double equality, not a tolerance: NIPS bitmap state merges by
+  // OR, so the fold must reproduce the concatenated run bit for bit.
+  EXPECT_EQ(merged->results[0].estimate, *single.Answer(0));
+
+  // A snapshot for an unknown query is a clean error, not a crash.
+  EXPECT_FALSE(client_a->Snapshot(99).ok());
+  // Merging garbage refuses without corrupting the aggregator.
+  EXPECT_FALSE(client_agg->Merge(0, "not a snapshot").ok());
+  auto after = client_agg->Query({0});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->results[0].estimate, *single.Answer(0));
+}
+
+TEST(NetLoopbackTest, CorruptFramesAreConnectionFatalServerSurvives) {
+  LoopbackServer server;
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  {
+    auto client = server.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ObserveBatch(IdBatch(0, 100)).ok());
+  }
+
+  // Bit flips across a valid frame: every corrupted envelope must kill
+  // that connection (no response, or an orderly close) and nothing else.
+  const std::string frame = EncodeRequestFrame(
+      MsgType::kObserveBatch, EncodeObserveBatchRequest(IdBatch(100, 120)));
+  for (size_t byte = 4; byte < frame.size(); byte += frame.size() / 13 + 1) {
+    std::string corrupted = frame;
+    corrupted[byte] ^= 0x10;
+    auto client = server.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw(corrupted).ok());
+    EXPECT_FALSE(client->Ping().ok()) << "flip at byte " << byte;
+  }
+
+  // Truncations: ship a prefix, then vanish (mid-stream disconnect).
+  for (size_t len = 1; len < frame.size(); len += frame.size() / 7 + 1) {
+    auto client = server.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw(frame.substr(0, len)).ok());
+  }
+
+  // Random garbage.
+  Rng rng(17);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string garbage;
+    for (int i = 0; i < 64; ++i) {
+      garbage.push_back(static_cast<char>(rng.Next64() & 0xff));
+    }
+    auto client = server.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw(garbage).ok());
+  }
+
+  // A hostile length prefix (4 GiB frame) must be refused immediately.
+  {
+    auto client = server.Connect();
+    ASSERT_TRUE(client.ok());
+    const uint32_t huge = 0xfffffff0;
+    ASSERT_TRUE(
+        client
+            ->SendRaw(std::string(reinterpret_cast<const char*>(&huge),
+                                  sizeof(huge)))
+            .ok());
+    EXPECT_FALSE(client->Ping().ok());
+  }
+
+  // Through all of that: the server still answers, and none of the
+  // corrupt traffic mutated the engine.
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto response = client->Query({});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->tuples_seen, 100u);
+}
+
+TEST(NetLoopbackTest, MalformedPayloadInValidFrameKeepsConnectionAlive) {
+  LoopbackServer server;
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+
+  // The frame passes CRC; the payload inside is junk. That is a request
+  // error, not a protocol violation — the connection must live on.
+  auto junk = client->RoundTrip(MsgType::kObserveBatch, "junk");
+  ASSERT_FALSE(junk.ok());
+  EXPECT_EQ(junk.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(client->Ping().ok());
+  auto seen = client->ObserveBatch(IdBatch(0, 10));
+  ASSERT_TRUE(seen.ok()) << seen.status();
+
+  // Width mismatch and out-of-cardinality ids: rejected atomically.
+  ObserveBatchRequest narrow;
+  narrow.encoding = ObserveEncoding::kIds;
+  narrow.width = 2;
+  narrow.ids = {1, 2};
+  EXPECT_FALSE(client->ObserveBatch(narrow).ok());
+
+  ObserveBatchRequest wild = IdBatch(0, 2);
+  wild.ids[3] = 40000;  // Destination cardinality is 47
+  EXPECT_FALSE(client->ObserveBatch(wild).ok());
+
+  auto response = client->Query({});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->tuples_seen, 10u);  // only the valid batch landed
+}
+
+TEST(NetLoopbackTest, ValuesEncodingInternsThroughServerDictionaries) {
+  LoopbackServer server;
+  std::vector<ValueDictionary> dicts(3);
+  for (int v = 0; v < 97; ++v) dicts[0].GetOrAdd("src" + std::to_string(v));
+  for (int v = 0; v < 47; ++v) dicts[1].GetOrAdd("dst" + std::to_string(v));
+  for (int v = 0; v < 24; ++v) dicts[2].GetOrAdd("h" + std::to_string(v));
+  ASSERT_TRUE(server.engine().SetDictionaries(dicts).ok());
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+
+  ObserveBatchRequest batch;
+  batch.encoding = ObserveEncoding::kValues;
+  batch.width = 3;
+  for (uint64_t i = 0; i < 200; ++i) {
+    std::vector<ValueId> row = Row(i);
+    batch.values.push_back("src" + std::to_string(row[0]));
+    batch.values.push_back("dst" + std::to_string(row[1]));
+    batch.values.push_back("h" + std::to_string(row[2]));
+  }
+  auto seen = client->ObserveBatch(batch);
+  ASSERT_TRUE(seen.ok()) << seen.status();
+  EXPECT_EQ(*seen, 200u);
+
+  // Values outside the server's closed universe: whole batch refused.
+  ObserveBatchRequest unknown = batch;
+  unknown.values[10] = "never-seen";
+  EXPECT_FALSE(client->ObserveBatch(unknown).ok());
+
+  QueryEngine twin(TestSchema());
+  ASSERT_TRUE(twin.Register(ExactSpec()).ok());
+  FeedLocal(twin, 0, 200);
+  auto response = client->Query({0});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->tuples_seen, 200u);
+  EXPECT_EQ(response->results[0].estimate, *twin.Answer(0));
+}
+
+TEST(NetLoopbackTest, ShutdownRequestDrainsAndCheckpointRestores) {
+  const std::string path = ::testing::TempDir() + "/net_drain.ckpt";
+  ServerOptions options;
+  options.checkpoint_path = path;
+  LoopbackServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  ASSERT_TRUE(server.engine().Register(NipsSpec()).ok());
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->ObserveBatch(IdBatch(0, 300)).ok());
+
+  // An explicit CHECKPOINT first, then the drain overwrites it.
+  auto checkpointed = client->Checkpoint();
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status();
+  EXPECT_EQ(*checkpointed, path);
+
+  ASSERT_TRUE(client->ObserveBatch(IdBatch(300, 500)).ok());
+  ASSERT_TRUE(client->Shutdown().ok());
+  server.Stop();
+  ASSERT_TRUE(server.run_status().ok()) << server.run_status();
+
+  // The drain checkpoint resumes exactly where the server stopped.
+  QueryEngine resumed(TestSchema());
+  ASSERT_TRUE(resumed.Restore(path).ok());
+  EXPECT_EQ(resumed.tuples_seen(), 500u);
+  for (QueryId id = 0; id < 2; ++id) {
+    EXPECT_EQ(*resumed.Answer(id), *server.engine().Answer(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NetLoopbackTest, SignalStyleShutdownDrains) {
+  // What the SIGTERM handler does: Shutdown() from another thread.
+  LoopbackServer server;
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->ObserveBatch(IdBatch(0, 50)).ok());
+  server.Stop();
+  ASSERT_TRUE(server.run_status().ok()) << server.run_status();
+  EXPECT_EQ(server.engine().tuples_seen(), 50u);
+  // New connections are refused once drained.
+  EXPECT_FALSE(server.Connect().ok());
+}
+
+TEST(NetLoopbackTest, IdleConnectionsAreDropped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 80;
+  LoopbackServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  auto idle = server.Connect();
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(idle->Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The server hung up on the silent connection...
+  EXPECT_FALSE(idle->Ping().ok());
+  // ...but fresh activity is served as usual.
+  auto fresh = server.Connect();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Ping().ok());
+}
+
+}  // namespace
+}  // namespace implistat::net

@@ -170,6 +170,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "# " << response->tuples_seen << " tuples\n";
+    for (const auto& warning : response->warnings) {
+      std::cout << "# warning: " << warning << "\n";
+    }
     for (const auto& result : response->results) {
       std::cout << "query " << result.id << " [" << result.estimator_name
                 << "]: " << result.estimate;
@@ -189,13 +192,13 @@ int main(int argc, char** argv) {
       std::cerr << "snapshot error: " << snapshot.status() << "\n";
       return 1;
     }
-    if (Status status = WriteFileAtomic(positional[2], *snapshot);
+    if (Status status = WriteFileAtomic(positional[2], snapshot->state);
         !status.ok()) {
       std::cerr << "write error: " << status << "\n";
       return 1;
     }
-    std::cout << "wrote " << snapshot->size() << " bytes to "
-              << positional[2] << "\n";
+    std::cout << "wrote " << snapshot->state.size() << " bytes to "
+              << positional[2] << " (epoch " << snapshot->epoch << ")\n";
     return 0;
   }
   if (command == "merge") {

@@ -1,0 +1,446 @@
+#include "cluster/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace implistat::cluster {
+
+namespace {
+
+int64_t MonotonicNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<PeerConfig> ParsePeerSpec(std::string_view spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("peer spec must be host:port, got '" +
+                                   std::string(spec) + "'");
+  }
+  PeerConfig config;
+  config.host = std::string(spec.substr(0, colon));
+  std::string port_text(spec.substr(colon + 1));
+  char* end = nullptr;
+  long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad peer port in '" + std::string(spec) +
+                                   "'");
+  }
+  config.port = static_cast<uint16_t>(port);
+  config.name = std::string(spec);
+  return config;
+}
+
+const char* PeerHealthName(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kHealthy:
+      return "HEALTHY";
+    case PeerHealth::kDegraded:
+      return "DEGRADED";
+    case PeerHealth::kStale:
+      return "STALE";
+  }
+  return "UNKNOWN";
+}
+
+int64_t BackoffDelayMs(const SupervisorOptions& options,
+                       int consecutive_failures, Rng& rng) {
+  int64_t delay = options.backoff_initial_ms;
+  for (int i = 1; i < consecutive_failures && delay < options.backoff_max_ms;
+       ++i) {
+    delay = std::min(options.backoff_max_ms, delay * 2);
+  }
+  delay = std::min(delay, options.backoff_max_ms);
+  if (delay <= 0) {
+    rng.Next64();  // keep the one-draw-per-call contract
+    return 0;
+  }
+  int64_t half = delay / 2;
+  return half +
+         static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(delay - half) + 1));
+}
+
+// Unlabelled cluster-wide handles; per-peer gauges live on each Peer.
+struct AggregatorSupervisor::Metrics {
+  obs::Counter* folds_total;
+  obs::Counter* fold_errors_total;
+  obs::Counter* refolds_skipped_total;
+  obs::Counter* pulls_total;
+  obs::Counter* pull_failures_total;
+
+  static const Metrics* Get() {
+    static const Metrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new Metrics();
+      metrics->folds_total = reg.GetCounter(
+          "implistat_cluster_folds_total",
+          "Completed replace-then-refold passes over the aggregate engine");
+      metrics->fold_errors_total = reg.GetCounter(
+          "implistat_cluster_fold_errors_total",
+          "Refold passes that failed and left the previous aggregate in place");
+      metrics->refolds_skipped_total = reg.GetCounter(
+          "implistat_cluster_refolds_skipped_total",
+          "Successful poll rounds that changed nothing (epochs unchanged)");
+      metrics->pulls_total =
+          reg.GetCounter("implistat_cluster_pulls_total",
+                         "SNAPSHOT pull attempts across all peers");
+      metrics->pull_failures_total =
+          reg.GetCounter("implistat_cluster_pull_failures_total",
+                         "SNAPSHOT pull attempts that failed");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+struct AggregatorSupervisor::Peer {
+  PeerConfig config;
+  std::optional<net::Client> client;
+
+  // Contribution: the latest full set of per-query snapshots, keyed by
+  // the epoch they were serialized at. Poll-thread only.
+  std::vector<std::string> snapshots;
+  bool has_contribution = false;
+
+  // Reader-visible fields (guarded by the supervisor's mu_).
+  PeerHealth health = PeerHealth::kHealthy;
+  int consecutive_failures = 0;
+  uint64_t epoch = 0;
+  int64_t last_success_ms = -1;
+  uint64_t epoch_regressions = 0;
+  std::string last_error;
+
+  // Schedule (poll-thread only).
+  int64_t next_attempt_ms = 0;
+
+  // Per-peer metric handles (label: peer name).
+  obs::Gauge* age_gauge = nullptr;
+  obs::Gauge* failures_gauge = nullptr;
+  obs::Gauge* health_gauge = nullptr;
+  obs::Counter* regressions_total = nullptr;
+};
+
+AggregatorSupervisor::AggregatorSupervisor(QueryEngine* aggregate,
+                                           std::vector<PeerConfig> peers,
+                                           SupervisorOptions options,
+                                           TaskRunner fold_runner)
+    : engine_(aggregate),
+      options_(options),
+      fold_runner_(std::move(fold_runner)),
+      jitter_rng_(SplitMix64(options.jitter_seed)) {
+  if (!fold_runner_) {
+    fold_runner_ = [](std::function<void()> task) { task(); };
+  }
+  metrics_ = Metrics::Get();
+  auto& reg = obs::MetricsRegistry::Global();
+  for (PeerConfig& config : peers) {
+    auto peer = std::make_unique<Peer>();
+    if (config.name.empty()) {
+      config.name = config.host + ":" + std::to_string(config.port);
+    }
+    peer->config = std::move(config);
+    const std::string& name = peer->config.name;
+    peer->age_gauge = reg.GetGauge(
+        "implistat_peer_last_success_age_ms",
+        "Milliseconds since the last successful snapshot pull (-1: never)",
+        "peer", name);
+    peer->age_gauge->Set(-1);
+    peer->failures_gauge = reg.GetGauge(
+        "implistat_peer_consecutive_failures",
+        "Consecutive failed pull attempts against this peer", "peer", name);
+    peer->health_gauge = reg.GetGauge(
+        "implistat_peer_health",
+        "Peer health state: 0 HEALTHY, 1 DEGRADED, 2 STALE", "peer", name);
+    peer->regressions_total = reg.GetCounter(
+        "implistat_peer_epoch_regressions_total",
+        "Pulls whose epoch went backwards (edge restarted from checkpoint)",
+        "peer", name);
+    peers_.push_back(std::move(peer));
+  }
+}
+
+AggregatorSupervisor::~AggregatorSupervisor() { Stop(); }
+
+Status AggregatorSupervisor::Init() {
+  if (initialized_) {
+    return Status::FailedPrecondition("supervisor already initialized");
+  }
+  num_queries_ = engine_->num_queries();
+  if (num_queries_ == 0) {
+    return Status::FailedPrecondition(
+        "aggregate engine has no registered queries to supervise");
+  }
+  if (engine_->tuples_seen() > 0) {
+    base_tuples_ = engine_->tuples_seen();
+    base_snapshots_.reserve(static_cast<size_t>(num_queries_));
+    for (QueryId id = 0; id < num_queries_; ++id) {
+      IMPLISTAT_ASSIGN_OR_RETURN(const ImplicationEstimator* estimator,
+                                 engine_->Estimator(id));
+      IMPLISTAT_ASSIGN_OR_RETURN(std::string state,
+                                 estimator->SerializeState());
+      base_snapshots_.push_back(std::move(state));
+    }
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status AggregatorSupervisor::PullPeer(Peer& peer, int64_t now_ms) {
+  (void)now_ms;
+  if (!peer.client.has_value()) {
+    net::ClientOptions client_options;
+    client_options.connect_timeout_ms = options_.connect_timeout_ms;
+    client_options.request_timeout_ms = options_.rpc_deadline_ms;
+    auto connected = net::Client::Connect(peer.config.host, peer.config.port,
+                                          client_options);
+    if (!connected.ok()) return connected.status();
+    peer.client.emplace(std::move(connected).value());
+  } else if (peer.client->connection_lost()) {
+    IMPLISTAT_RETURN_NOT_OK(peer.client->Reconnect());
+  }
+
+  // Pull every query's snapshot. The edge may keep ingesting between the
+  // per-query round trips, so the epochs can differ slightly; the set is
+  // keyed by the last one (refolds are estimates over near-simultaneous
+  // views, and the next poll replaces the set wholesale anyway).
+  uint64_t epoch = 0;
+  std::vector<std::string> snapshots;
+  snapshots.reserve(static_cast<size_t>(num_queries_));
+  for (int q = 0; q < num_queries_; ++q) {
+    auto response = peer.client->Snapshot(static_cast<uint32_t>(q));
+    if (!response.ok()) return response.status();
+    epoch = response->epoch;
+    snapshots.push_back(std::move(response->state));
+  }
+
+  bool changed = !peer.has_contribution || epoch != peer.epoch ||
+                 snapshots != peer.snapshots;
+  bool was_included = peer.has_contribution && peer.health != PeerHealth::kStale;
+  if (peer.has_contribution && epoch < peer.epoch) {
+    peer.regressions_total->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++peer.epoch_regressions;
+  }
+  peer.snapshots = std::move(snapshots);
+  peer.has_contribution = true;
+  if (changed || !was_included) {
+    fold_dirty_ = true;
+  } else {
+    metrics_->refolds_skipped_total->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.epoch = epoch;
+  }
+  return Status::OK();
+}
+
+void AggregatorSupervisor::ScheduleRefold(int64_t now_ms) {
+  (void)now_ms;
+  // Assemble the fold input: base contribution plus every included
+  // (non-STALE, pulled-at-least-once) peer's latest snapshots. Copies are
+  // taken so the closure is self-contained — it may run later, on another
+  // thread (Server::InjectTask), after peers_ has moved on.
+  auto per_query = std::make_shared<std::vector<std::vector<std::string>>>();
+  per_query->resize(static_cast<size_t>(num_queries_));
+  uint64_t total_tuples = base_tuples_;
+  for (int q = 0; q < num_queries_; ++q) {
+    if (!base_snapshots_.empty()) {
+      (*per_query)[static_cast<size_t>(q)].push_back(
+          base_snapshots_[static_cast<size_t>(q)]);
+    }
+  }
+  for (const auto& peer : peers_) {
+    if (!peer->has_contribution || peer->health == PeerHealth::kStale) {
+      continue;
+    }
+    total_tuples += peer->epoch;
+    for (int q = 0; q < num_queries_; ++q) {
+      (*per_query)[static_cast<size_t>(q)].push_back(
+          peer->snapshots[static_cast<size_t>(q)]);
+    }
+  }
+
+  QueryEngine* engine = engine_;
+  const Metrics* metrics = metrics_;
+  auto folds_completed = folds_completed_;
+  int num_queries = num_queries_;
+  fold_runner_([engine, metrics, folds_completed, num_queries, per_query,
+                total_tuples] {
+    bool ok = true;
+    for (int q = 0; q < num_queries; ++q) {
+      const std::vector<std::string>& contributions =
+          (*per_query)[static_cast<size_t>(q)];
+      std::vector<std::string_view> views(contributions.begin(),
+                                          contributions.end());
+      Status status = engine->RefoldEstimatorState(q, views);
+      if (!status.ok()) {
+        std::cerr << "implistat: cluster refold failed for query " << q << ": "
+                  << status.ToString() << std::endl;
+        ok = false;
+      }
+    }
+    if (ok) {
+      engine->SetTuplesSeen(total_tuples);
+      metrics->folds_total->Increment();
+      folds_completed->fetch_add(1, std::memory_order_release);
+    } else {
+      metrics->fold_errors_total->Increment();
+    }
+  });
+}
+
+PollStats AggregatorSupervisor::PollOnce(int64_t now_ms) {
+  IMPLISTAT_CHECK(initialized_) << "PollOnce before Init()";
+  PollStats stats;
+  for (auto& peer_ptr : peers_) {
+    Peer& peer = *peer_ptr;
+    if (now_ms < peer.next_attempt_ms) continue;
+    ++stats.attempted;
+    metrics_->pulls_total->Increment();
+    Status status = PullPeer(peer, now_ms);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      ++stats.succeeded;
+      bool was_stale = peer.health == PeerHealth::kStale;
+      peer.health = PeerHealth::kHealthy;
+      peer.consecutive_failures = 0;
+      peer.last_success_ms = now_ms;
+      peer.last_error.clear();
+      peer.next_attempt_ms = now_ms + options_.poll_interval_ms;
+      if (was_stale) fold_dirty_ = true;  // re-inclusion changes the fold
+    } else {
+      ++stats.failed;
+      metrics_->pull_failures_total->Increment();
+      ++peer.consecutive_failures;
+      bool was_included =
+          peer.has_contribution && peer.health != PeerHealth::kStale;
+      peer.health = peer.consecutive_failures >= options_.stale_after_failures
+                        ? PeerHealth::kStale
+                        : PeerHealth::kDegraded;
+      if (was_included && peer.health == PeerHealth::kStale) {
+        fold_dirty_ = true;  // exclusion changes the fold
+      }
+      peer.last_error = status.ToString();
+      peer.next_attempt_ms =
+          now_ms +
+          BackoffDelayMs(options_, peer.consecutive_failures, jitter_rng_);
+    }
+    peer.failures_gauge->Set(peer.consecutive_failures);
+    peer.health_gauge->Set(static_cast<int64_t>(peer.health));
+  }
+  for (auto& peer_ptr : peers_) {
+    Peer& peer = *peer_ptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.age_gauge->Set(peer.last_success_ms < 0 ? -1
+                                                 : now_ms - peer.last_success_ms);
+  }
+  if (fold_dirty_) {
+    fold_dirty_ = false;
+    stats.refolded = true;
+    ScheduleRefold(now_ms);
+  }
+  return stats;
+}
+
+PollStats AggregatorSupervisor::PollOnce() { return PollOnce(MonotonicNowMs()); }
+
+int64_t AggregatorSupervisor::NextAttemptAtMs(int64_t now_ms) const {
+  int64_t next = now_ms + options_.poll_interval_ms;
+  for (const auto& peer : peers_) {
+    next = std::min(next, peer->next_attempt_ms);
+  }
+  return std::max(next, now_ms);
+}
+
+void AggregatorSupervisor::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void AggregatorSupervisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    stop_requested_ = true;
+  }
+  loop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AggregatorSupervisor::RunLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(loop_mu_);
+      if (stop_requested_) return;
+    }
+    int64_t now = MonotonicNowMs();
+    PollOnce(now);
+    int64_t wake_at = NextAttemptAtMs(MonotonicNowMs());
+    int64_t sleep_ms = std::max<int64_t>(wake_at - MonotonicNowMs(), 10);
+    std::unique_lock<std::mutex> lock(loop_mu_);
+    loop_cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms),
+                      [this] { return stop_requested_; });
+    if (stop_requested_) return;
+  }
+}
+
+std::vector<PeerStatus> AggregatorSupervisor::PeerStatuses() const {
+  int64_t now = MonotonicNowMs();
+  std::vector<PeerStatus> statuses;
+  statuses.reserve(peers_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& peer : peers_) {
+    PeerStatus status;
+    status.name = peer->config.name;
+    status.health = peer->health;
+    status.consecutive_failures = peer->consecutive_failures;
+    status.epoch = peer->epoch;
+    status.last_success_age_ms =
+        peer->last_success_ms < 0 ? -1 : now - peer->last_success_ms;
+    status.epoch_regressions = peer->epoch_regressions;
+    status.last_error = peer->last_error;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+std::vector<std::string> AggregatorSupervisor::QueryWarnings() const {
+  std::vector<std::string> warnings;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& peer : peers_) {
+    if (peer->health != PeerHealth::kStale) continue;
+    std::ostringstream line;
+    line << "peer " << peer->config.name
+         << " STALE: excluded from aggregate (consecutive_failures="
+         << peer->consecutive_failures;
+    if (!peer->last_error.empty()) {
+      line << ", last error: " << peer->last_error;
+    }
+    line << ")";
+    warnings.push_back(line.str());
+  }
+  return warnings;
+}
+
+uint64_t AggregatorSupervisor::folds_completed() const {
+  return folds_completed_->load(std::memory_order_acquire);
+}
+
+}  // namespace implistat::cluster

@@ -2,18 +2,69 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <utility>
 
 namespace implistat::net {
 
-StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
-                                 ClientOptions options) {
+namespace {
+
+int64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+Status SetBlocking(int fd, bool blocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::IOError(std::string("fcntl: ") + strerror(errno));
+  }
+  flags = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::IOError(std::string("fcntl: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+// Waits for `events` on `fd` until the absolute deadline (-1 = forever).
+// OK means ready; kDeadlineExceeded means the deadline fired first.
+Status PollUntil(int fd, short events, int64_t deadline_ms,
+                 const char* what) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline_ms >= 0) {
+      const int64_t left = deadline_ms - NowMs();
+      if (left <= 0) {
+        return Status::DeadlineExceeded(std::string(what) +
+                                        ": deadline exceeded");
+      }
+      timeout = static_cast<int>(left);
+    }
+    struct pollfd pfd{fd, events, 0};
+    int ready = poll(&pfd, 1, timeout);
+    if (ready > 0) return Status::OK();
+    if (ready == 0) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": deadline exceeded");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("poll: ") + strerror(errno));
+  }
+}
+
+// Dials host:port; a positive timeout bounds the TCP handshake via a
+// non-blocking connect + poll (the socket is returned in blocking mode).
+StatusOr<int> Dial(const std::string& host, uint16_t port,
+                   int64_t connect_timeout_ms) {
   struct sockaddr_in addr;
   memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -26,25 +77,63 @@ StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + strerror(errno));
   }
-  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    Status status = Status::IOError(std::string("connect: ") +
-                                    strerror(errno));
+  Status status = Status::OK();
+  if (connect_timeout_ms > 0) {
+    status = SetBlocking(fd, false);
+    if (status.ok() &&
+        connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      if (errno == EINPROGRESS) {
+        status = PollUntil(fd, POLLOUT, NowMs() + connect_timeout_ms,
+                           "connect");
+        if (status.ok()) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+              err != 0) {
+            status = Status::IOError(std::string("connect: ") +
+                                     strerror(err != 0 ? err : errno));
+          }
+        }
+      } else {
+        status = Status::IOError(std::string("connect: ") + strerror(errno));
+      }
+    }
+    if (status.ok()) status = SetBlocking(fd, true);
+  } else if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)) != 0) {
+    status = Status::IOError(std::string("connect: ") + strerror(errno));
+  }
+  if (!status.ok()) {
     close(fd);
     return status;
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Client(fd, std::move(options));
+  return fd;
 }
 
-Client::Client(int fd, ClientOptions options)
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 ClientOptions options) {
+  IMPLISTAT_ASSIGN_OR_RETURN(int fd,
+                             Dial(host, port, options.connect_timeout_ms));
+  return Client(fd, host, port, std::move(options));
+}
+
+Client::Client(int fd, std::string host, uint16_t port, ClientOptions options)
     : fd_(fd),
+      host_(std::move(host)),
+      port_(port),
       options_(options),
       decoder_(std::make_unique<FrameDecoder>(options.max_frame_bytes)) {}
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      lost_(other.lost_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
       options_(other.options_),
       decoder_(std::move(other.decoder_)) {}
 
@@ -52,6 +141,9 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    lost_ = other.lost_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     options_ = other.options_;
     decoder_ = std::move(other.decoder_);
   }
@@ -62,9 +154,39 @@ Client::~Client() {
   if (fd_ >= 0) close(fd_);
 }
 
-Status Client::SendAll(std::string_view bytes) {
+Status Client::Reconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  lost_ = true;  // stays lost if the dial fails
+  IMPLISTAT_ASSIGN_OR_RETURN(int fd,
+                             Dial(host_, port_, options_.connect_timeout_ms));
+  fd_ = fd;
+  lost_ = false;
+  // A fresh decoder: any half-buffered response from the old connection
+  // is garbage on the new one.
+  decoder_ = std::make_unique<FrameDecoder>(options_.max_frame_bytes);
+  return Status::OK();
+}
+
+Status Client::MarkLost(Status status) {
+  lost_ = true;
+  return status;
+}
+
+Status Client::SendAll(std::string_view bytes, int64_t deadline_ms) {
   size_t sent = 0;
   while (sent < bytes.size()) {
+    if (deadline_ms >= 0) {
+      Status ready = PollUntil(fd_, POLLOUT, deadline_ms, "send");
+      if (!ready.ok()) {
+        return MarkLost(ready.code() == StatusCode::kDeadlineExceeded
+                            ? std::move(ready)
+                            : Status::Unavailable("connection lost: " +
+                                                  ready.ToString()));
+      }
+    }
     ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
                      MSG_NOSIGNAL);
     if (n > 0) {
@@ -72,25 +194,41 @@ Status Client::SendAll(std::string_view bytes) {
       continue;
     }
     if (errno == EINTR) continue;
-    return Status::IOError(std::string("send: ") + strerror(errno));
+    return MarkLost(Status::Unavailable(std::string("connection lost: send: ") +
+                                        strerror(errno)));
   }
   return Status::OK();
 }
 
-Status Client::SendRaw(std::string_view bytes) { return SendAll(bytes); }
+Status Client::SendRaw(std::string_view bytes) {
+  if (connection_lost()) {
+    return Status::Unavailable("connection lost (call Reconnect)");
+  }
+  return SendAll(bytes, -1);
+}
 
-StatusOr<Frame> Client::ReadResponse(MsgType expected_type) {
+StatusOr<Frame> Client::ReadResponse(MsgType expected_type,
+                                     int64_t deadline_ms) {
   char buf[65536];
   for (;;) {
     IMPLISTAT_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_->Next());
     if (frame.has_value()) {
       if (!frame->is_response() || frame->type() != expected_type) {
-        return Status::Internal(
+        return MarkLost(Status::Internal(
             "out-of-order response: expected " +
             std::string(MsgTypeName(expected_type)) + ", got tag " +
-            std::to_string(static_cast<int>(frame->tag)));
+            std::to_string(static_cast<int>(frame->tag))));
       }
       return *std::move(frame);
+    }
+    if (deadline_ms >= 0) {
+      Status ready = PollUntil(fd_, POLLIN, deadline_ms, "recv");
+      if (!ready.ok()) {
+        return MarkLost(ready.code() == StatusCode::kDeadlineExceeded
+                            ? std::move(ready)
+                            : Status::Unavailable("connection lost: " +
+                                                  ready.ToString()));
+      }
     }
     ssize_t n = recv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
@@ -99,19 +237,35 @@ StatusOr<Frame> Client::ReadResponse(MsgType expected_type) {
       continue;
     }
     if (n == 0) {
-      return Status::IOError("server closed the connection mid-response");
+      return MarkLost(
+          Status::Unavailable("connection lost: server closed the "
+                              "connection mid-response"));
     }
     if (errno == EINTR) continue;
-    return Status::IOError(std::string("recv: ") + strerror(errno));
+    return MarkLost(Status::Unavailable(std::string("connection lost: recv: ") +
+                                        strerror(errno)));
   }
 }
 
 StatusOr<std::string> Client::RoundTrip(MsgType type,
                                         std::string_view payload) {
-  IMPLISTAT_RETURN_NOT_OK(SendAll(EncodeRequestFrame(type, payload)));
-  IMPLISTAT_ASSIGN_OR_RETURN(Frame frame, ReadResponse(type));
+  if (connection_lost()) {
+    return Status::Unavailable("connection lost (call Reconnect)");
+  }
+  const int64_t deadline_ms = options_.request_timeout_ms > 0
+                                  ? NowMs() + options_.request_timeout_ms
+                                  : -1;
+  IMPLISTAT_RETURN_NOT_OK(
+      SendAll(EncodeRequestFrame(type, payload), deadline_ms));
+  StatusOr<Frame> frame = ReadResponse(type, deadline_ms);
+  if (!frame.ok()) {
+    // Framing/CRC violations leave the stream unparseable; after one, no
+    // later response can be trusted to line up with its request.
+    lost_ = true;
+    return frame.status();
+  }
   IMPLISTAT_ASSIGN_OR_RETURN(auto decoded,
-                             DecodeResponsePayload(frame.payload));
+                             DecodeResponsePayload(frame->payload));
   IMPLISTAT_RETURN_NOT_OK(decoded.first);
   return std::string(decoded.second);
 }
@@ -131,8 +285,11 @@ StatusOr<QueryResponse> Client::Query(const std::vector<uint32_t>& ids) {
   return DecodeQueryResponse(body);
 }
 
-StatusOr<std::string> Client::Snapshot(uint32_t query_id) {
-  return RoundTrip(MsgType::kSnapshot, EncodeSnapshotRequest(query_id));
+StatusOr<SnapshotResponse> Client::Snapshot(uint32_t query_id) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(MsgType::kSnapshot, EncodeSnapshotRequest(query_id)));
+  return DecodeSnapshotResponse(body);
 }
 
 Status Client::Merge(uint32_t query_id, std::string_view snapshot) {

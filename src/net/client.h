@@ -7,6 +7,24 @@
 // refusal (bad query id, unknown value, backpressure) comes back as the
 // decoded Status itself.
 //
+// Deadlines: ClientOptions carries a connect timeout and a per-request
+// deadline. A request that misses its deadline fails with
+// kDeadlineExceeded — and because the response may still be in flight,
+// the connection is desynchronized and marked lost.
+//
+// Failure taxonomy (what the aggregation tier keys its retry logic on):
+//  * kUnavailable    — CONNECTION_LOST: the transport failed (send/recv
+//    error, peer hung up) or a previous failure already poisoned the
+//    connection. Reconnect() and retry is safe.
+//  * kDeadlineExceeded — the per-request deadline fired. Also marks the
+//    connection lost (a late response would answer the wrong request).
+//  * anything else from the outer Status — a malformed or out-of-order
+//    response: the peer speaks the protocol wrongly. Reconnecting may
+//    not help; report it rather than hot-loop.
+// After any of these, connection_lost() is true and every call returns
+// kUnavailable until Reconnect() succeeds — one Client object serves a
+// peer across arbitrarily many peer restarts.
+//
 // Not thread-safe: one connection, one thread. Open several clients for
 // concurrency — the server multiplexes them.
 
@@ -28,6 +46,13 @@ struct ClientOptions {
   /// Largest response frame to accept (metrics text and estimator
   /// snapshots are the big ones).
   size_t max_frame_bytes = 64u << 20;
+  /// TCP connect timeout in milliseconds; 0 blocks on the OS default
+  /// (minutes against a black-holed peer — supervisors want seconds).
+  int64_t connect_timeout_ms = 0;
+  /// Per-request deadline in milliseconds, covering send + wait + recv of
+  /// one RoundTrip; 0 means no deadline. A hung server then costs at most
+  /// one deadline, not a wedged caller.
+  int64_t request_timeout_ms = 0;
 };
 
 class Client {
@@ -42,6 +67,16 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
+  /// Drops the current connection (if any) and dials the same host:port
+  /// with the same options again. Clears connection_lost() on success; on
+  /// failure the client stays lost and Reconnect() may be retried.
+  Status Reconnect();
+
+  /// True once a transport failure, deadline, or protocol violation has
+  /// poisoned the connection; every request refuses with kUnavailable
+  /// until Reconnect() succeeds.
+  bool connection_lost() const { return lost_ || fd_ < 0; }
+
   /// Liveness probe.
   Status Ping();
 
@@ -54,8 +89,9 @@ class Client {
   StatusOr<QueryResponse> Query(const std::vector<uint32_t>& ids = {});
 
   /// Pulls query `id`'s serialized estimator state — the kilobyte
-  /// summary an edge ships instead of its stream.
-  StatusOr<std::string> Snapshot(uint32_t query_id);
+  /// summary an edge ships instead of its stream — together with the
+  /// edge's epoch (its tuples_seen at serialize time).
+  StatusOr<SnapshotResponse> Snapshot(uint32_t query_id);
 
   /// Folds a snapshot (from this or another node's Snapshot call) into
   /// the server's query `id`.
@@ -82,12 +118,19 @@ class Client {
   int fd() const { return fd_; }
 
  private:
-  Client(int fd, ClientOptions options);
+  Client(int fd, std::string host, uint16_t port, ClientOptions options);
 
-  Status SendAll(std::string_view bytes);
-  StatusOr<Frame> ReadResponse(MsgType expected_type);
+  /// Marks the connection unusable and passes `status` through.
+  Status MarkLost(Status status);
+
+  // `deadline_ms` is an absolute CLOCK_MONOTONIC time; -1 means none.
+  Status SendAll(std::string_view bytes, int64_t deadline_ms);
+  StatusOr<Frame> ReadResponse(MsgType expected_type, int64_t deadline_ms);
 
   int fd_ = -1;
+  bool lost_ = false;
+  std::string host_;
+  uint16_t port_ = 0;
   ClientOptions options_;
   std::unique_ptr<FrameDecoder> decoder_;
 };

@@ -144,6 +144,10 @@ std::string EncodeQueryResponse(const QueryResponse& response) {
     out.PutDouble(result.std_error);
     out.PutVarint64(result.memory_bytes);
   }
+  out.PutVarint64(response.warnings.size());
+  for (const std::string& warning : response.warnings) {
+    out.PutLengthPrefixed(warning);
+  }
   return out.Release();
 }
 
@@ -176,6 +180,18 @@ StatusOr<QueryResponse> DecodeQueryResponse(std::string_view body) {
     IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&result.memory_bytes));
     response.results.push_back(std::move(result));
   }
+  uint64_t warning_count;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&warning_count));
+  if (warning_count > in.remaining()) {
+    return Status::InvalidArgument(
+        "query response: implausible warning count");
+  }
+  response.warnings.reserve(static_cast<size_t>(warning_count));
+  for (uint64_t i = 0; i < warning_count; ++i) {
+    std::string_view warning;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&warning));
+    response.warnings.emplace_back(warning);
+  }
   if (in.remaining() != 0) {
     return Status::InvalidArgument("query response: trailing bytes");
   }
@@ -199,6 +215,23 @@ StatusOr<uint32_t> DecodeSnapshotRequest(std::string_view payload) {
     return Status::InvalidArgument("snapshot: trailing bytes");
   }
   return static_cast<uint32_t>(id);
+}
+
+std::string EncodeSnapshotResponse(uint64_t epoch, std::string_view state) {
+  ByteWriter out;
+  out.PutVarint64(epoch);
+  out.PutBytes(state);
+  return out.Release();
+}
+
+StatusOr<SnapshotResponse> DecodeSnapshotResponse(std::string_view body) {
+  ByteReader in(body);
+  SnapshotResponse response;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&response.epoch));
+  std::string_view state;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), &state));
+  response.state = std::string(state);
+  return response;
 }
 
 std::string EncodeMergeRequest(uint32_t query_id, std::string_view snapshot) {

@@ -78,6 +78,10 @@ struct QueryResult {
 struct QueryResponse {
   uint64_t tuples_seen = 0;
   std::vector<QueryResult> results;
+  /// Server-side caveats about the answers — an aggregator lists peers
+  /// whose contribution is excluded as STALE here, so a reader knows the
+  /// estimate is a partial view. Empty on healthy nodes.
+  std::vector<std::string> warnings;
 };
 
 std::string EncodeQueryResponse(const QueryResponse& response);
@@ -85,10 +89,22 @@ StatusOr<QueryResponse> DecodeQueryResponse(std::string_view body);
 
 // --- SNAPSHOT / MERGE ------------------------------------------------------
 
-/// SNAPSHOT request body: varint query id. Response body: the raw
-/// estimator snapshot envelope (SerializeState bytes).
+/// SNAPSHOT request body: varint query id. Response body: varint epoch,
+/// then the raw estimator snapshot envelope (SerializeState bytes).
 std::string EncodeSnapshotRequest(uint32_t query_id);
 StatusOr<uint32_t> DecodeSnapshotRequest(std::string_view payload);
+
+/// A shipped snapshot plus the edge's epoch — the server's tuples_seen at
+/// serialize time. The epoch keys replace-then-refold at an aggregator:
+/// an unchanged epoch means an unchanged snapshot (skip the refold), and
+/// a regressed epoch flags an edge that restarted from a checkpoint.
+struct SnapshotResponse {
+  uint64_t epoch = 0;
+  std::string state;
+};
+
+std::string EncodeSnapshotResponse(uint64_t epoch, std::string_view state);
+StatusOr<SnapshotResponse> DecodeSnapshotResponse(std::string_view body);
 
 /// MERGE request body: varint query id, then the snapshot bytes verbatim
 /// to the end of the payload. Response body: empty.

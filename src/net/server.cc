@@ -147,10 +147,30 @@ Status Server::Start() {
 }
 
 void Server::Shutdown() {
-  // Async-signal-safe: a single write to the self-pipe. A full pipe means
-  // a wakeup is already pending, which is just as good.
+  // Async-signal-safe: an atomic store plus a single write to the
+  // self-pipe. A full pipe means a wakeup is already pending, which is
+  // just as good.
+  stop_flag_.store(true, std::memory_order_release);
   char byte = 1;
   [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+}
+
+void Server::InjectTask(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+}
+
+void Server::RunInjectedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
 }
 
 void Server::AcceptPending() {
@@ -299,6 +319,9 @@ void Server::HandleQuery(Connection* conn, std::string_view payload) {
     result.memory_bytes = est->MemoryBytes();
     response.results.push_back(std::move(result));
   }
+  if (options_.query_warnings) {
+    response.warnings = options_.query_warnings();
+  }
   EnqueueResponse(conn, MsgType::kQuery, Status::OK(),
                   EncodeQueryResponse(response));
 }
@@ -320,7 +343,11 @@ void Server::HandleSnapshot(Connection* conn, std::string_view payload) {
     EnqueueResponse(conn, MsgType::kSnapshot, snapshot.status());
     return;
   }
-  EnqueueResponse(conn, MsgType::kSnapshot, Status::OK(), *snapshot);
+  // The epoch stamps how much stream this state covers; an aggregator
+  // skips refolding a peer whose epoch (and therefore state) is
+  // unchanged, and spots an edge that restarted from a checkpoint.
+  EnqueueResponse(conn, MsgType::kSnapshot, Status::OK(),
+                  EncodeSnapshotResponse(engine_->tuples_seen(), *snapshot));
 }
 
 void Server::HandleMerge(Connection* conn, std::string_view payload) {
@@ -492,8 +519,13 @@ Status Server::Run() {
       char drain[64];
       while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
       }
-      shutdown_requested_ = true;
-      break;
+      // The self-pipe wakes the loop for two reasons: injected tasks
+      // (run them, keep serving) and Shutdown (drain and exit).
+      RunInjectedTasks();
+      if (stop_flag_.load(std::memory_order_acquire)) {
+        shutdown_requested_ = true;
+        break;
+      }
     }
     if ((fds[0].revents & POLLIN) != 0) AcceptPending();
 
@@ -562,6 +594,10 @@ Status Server::DrainAndClose() {
     }
   }
   while (!connections_.empty()) CloseConnection(connections_.size() - 1);
+
+  // Folds injected while the loop was draining still land before the
+  // final checkpoint.
+  RunInjectedTasks();
 
   if (!options_.checkpoint_path.empty()) {
     // The drain checkpoint: SIGTERM (or a SHUTDOWN request) leaves a

@@ -37,8 +37,11 @@
 #ifndef IMPLISTAT_NET_SERVER_H_
 #define IMPLISTAT_NET_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +69,12 @@ struct ServerOptions {
   /// Where CHECKPOINT requests and the shutdown drain write the engine
   /// checkpoint; empty refuses CHECKPOINT and skips the drain write.
   std::string checkpoint_path;
+  /// Optional per-QUERY warning source: each QUERY response carries
+  /// whatever strings this returns at answer time. An aggregator wires
+  /// its supervisor's stale-peer report in here so clients can see that
+  /// an estimate is a partial view. Called on the loop thread; must be
+  /// thread-safe if the provider mutates state elsewhere.
+  std::function<std::vector<std::string>()> query_warnings;
 };
 
 class Server {
@@ -92,8 +101,16 @@ class Server {
 
   /// Requests a graceful drain. Async-signal-safe and callable from any
   /// thread (a SIGTERM handler is the intended caller): the only work
-  /// here is a write() to a self-pipe.
+  /// here is an atomic store and a write() to a self-pipe.
   void Shutdown();
+
+  /// Enqueues `task` to run on the loop thread between poll rounds — the
+  /// one sanctioned way for another thread to touch the hosted engine
+  /// (the aggregation tier injects its snapshot folds through here).
+  /// Thread-safe; tasks run in FIFO order. Tasks still queued when the
+  /// loop drains are executed before the final checkpoint, so a fold
+  /// that raced shutdown is not lost.
+  void InjectTask(std::function<void()> task);
 
  private:
   struct Connection;
@@ -119,12 +136,17 @@ class Server {
   void HandleMetrics(Connection* conn);
   void HandleCheckpoint(Connection* conn);
 
+  void RunInjectedTasks();
+
   QueryEngine* engine_;
   ServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
   bool shutdown_requested_ = false;
+  std::atomic<bool> stop_flag_{false};
+  std::mutex task_mu_;
+  std::vector<std::function<void()>> tasks_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
   struct Metrics;

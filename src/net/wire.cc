@@ -54,7 +54,7 @@ StatusOr<std::pair<Status, std::string_view>> DecodeResponsePayload(
   ByteReader in(payload);
   uint64_t code;
   IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&code));
-  if (code > static_cast<uint64_t>(StatusCode::kIOError)) {
+  if (code > static_cast<uint64_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("response: unknown status code " +
                                    std::to_string(code));
   }

@@ -59,7 +59,11 @@ inline constexpr uint8_t kResponseFlag = 0x80;
 const char* MsgTypeName(MsgType type);
 
 inline constexpr uint32_t kWireMagic = 0x57504d49;  // "IMPW"
-inline constexpr uint64_t kWireProtocolVersion = 1;
+/// v2: SNAPSHOT responses carry an epoch header (see
+/// messages.h SnapshotResponse) and QUERY responses a trailing warnings
+/// section. Peers of mismatched versions refuse each other's frames at
+/// the envelope check rather than misparsing payloads.
+inline constexpr uint64_t kWireProtocolVersion = 2;
 
 inline constexpr EnvelopeFamily kWireEnvelope{kWireMagic,
                                               kWireProtocolVersion, "frame"};

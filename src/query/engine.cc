@@ -207,6 +207,33 @@ Status QueryEngine::MergeEstimatorState(QueryId id,
   return query.estimator->MergeFrom(*twin);
 }
 
+Status QueryEngine::RefoldEstimatorState(
+    QueryId id, const std::vector<std::string_view>& snapshots) {
+  if (id < 0 || id >= num_queries()) {
+    return Status::NotFound("no such query id");
+  }
+  RegisteredQuery& query = queries_[id];
+  // Build the replacement from the registered config so the refolded
+  // query keeps its ingest shape (threads, window), then fold each
+  // snapshot through a sequential twin exactly like MergeEstimatorState.
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::unique_ptr<ImplicationEstimator> fresh,
+      MakeEstimator(query.spec.conditions, query.spec.estimator));
+  EstimatorConfig twin_config = query.spec.estimator;
+  twin_config.threads = 1;
+  for (std::string_view snapshot : snapshots) {
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        std::unique_ptr<ImplicationEstimator> twin,
+        MakeEstimator(query.spec.conditions, twin_config));
+    IMPLISTAT_RETURN_NOT_OK(twin->RestoreState(snapshot));
+    IMPLISTAT_RETURN_NOT_OK(fresh->MergeFrom(*twin));
+  }
+  // Everything decoded and folded cleanly — only now replace the live
+  // estimator (same instrumentation wrap as Register).
+  query.estimator = obs::MaybeInstrument(std::move(fresh));
+  return Status::OK();
+}
+
 Status QueryEngine::SetDictionaries(
     std::vector<ValueDictionary> dictionaries) {
   if (!dictionaries.empty() &&

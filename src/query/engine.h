@@ -69,6 +69,25 @@ class QueryEngine {
   /// does not carry one).
   Status MergeEstimatorState(QueryId id, std::string_view snapshot);
 
+  /// Replace-then-refold: rebuilds query `id`'s estimator from scratch
+  /// and folds every snapshot in `snapshots` into the fresh instance,
+  /// then swaps it in for the old one. Unlike MergeEstimatorState (which
+  /// accumulates), refolding is idempotent by construction — feeding the
+  /// same set of per-peer snapshots twice yields the same state, so a
+  /// retried or duplicated ship can never double-count. This is the
+  /// aggregation tier's fold primitive (src/cluster/): the aggregate is
+  /// always "the fold of every peer's latest snapshot", never a running
+  /// sum. Builds into temporaries and swaps last: on failure the query
+  /// keeps its previous estimator untouched.
+  Status RefoldEstimatorState(QueryId id,
+                              const std::vector<std::string_view>& snapshots);
+
+  /// Overrides the tuples-seen counter. Aggregation-tier hook only: a
+  /// refolded aggregate did not observe its tuples through ObserveTuple,
+  /// so the supervisor sets the sum of the folded peers' epochs here to
+  /// keep QUERY readouts meaningful.
+  void SetTuplesSeen(uint64_t tuples) { tuples_ = tuples; }
+
   const Schema& schema() const { return schema_; }
   uint64_t tuples_seen() const { return tuples_; }
   int num_queries() const { return static_cast<int>(queries_.size()); }

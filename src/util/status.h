@@ -27,6 +27,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIOError,
+  kUnavailable,        // transport lost; retry after reconnecting
+  kDeadlineExceeded,   // the caller's deadline expired before completion
 };
 
 /// Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -78,6 +80,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -1,0 +1,248 @@
+// Two-level aggregation: edges → mid-tier aggregator → root. The
+// mid-tier runs the production wiring — a real Server hosting the
+// aggregate engine, folds injected with Server::InjectTask, stale-peer
+// warnings exposed through ServerOptions::query_warnings — and the root
+// supervises the mid-tier exactly as the mid-tier supervises edges
+// (SNAPSHOT of a folded aggregate carries epoch = sum of folded peer
+// epochs). The root's answer must equal the single-process run over the
+// union of the edge streams.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/supervisor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "query/engine.h"
+
+namespace implistat::cluster {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+ImplicationQuerySpec NipsSpec() {
+  ImplicationQuerySpec spec = ExactSpec();
+  spec.estimator.kind = EstimatorKind::kNipsCi;
+  spec.estimator.nips.num_bitmaps = 8;
+  spec.label = "nips";
+  return spec;
+}
+
+void RegisterSuite(QueryEngine& engine) {
+  ASSERT_TRUE(engine.Register(ExactSpec()).ok());
+  ASSERT_TRUE(engine.Register(NipsSpec()).ok());
+}
+
+std::vector<ValueId> Row(uint64_t i) {
+  return {static_cast<ValueId>(i % 97),
+          static_cast<ValueId>((i % 7 == 0) ? i % 47 : (i % 97) % 13),
+          static_cast<ValueId>(i % 24)};
+}
+
+void FeedLocal(QueryEngine& engine, uint64_t begin, uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
+    std::vector<ValueId> row = Row(i);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+}
+
+class Edge {
+ public:
+  Edge() : engine_(std::make_unique<QueryEngine>(TestSchema())) {}
+  ~Edge() { Stop(); }
+
+  QueryEngine& engine() { return *engine_; }
+
+  void Start() {
+    server_ = std::make_unique<net::Server>(engine_.get(), net::ServerOptions{});
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    thread_ = std::thread([this] { (void)server_->Run(); });
+  }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    server_->Shutdown();
+    thread_.join();
+    server_.reset();
+  }
+
+  PeerConfig Config(const std::string& name) const {
+    return PeerConfig{"127.0.0.1", server_->port(), name};
+  }
+
+ private:
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+};
+
+// The production mid-tier shape: supervisor + served engine, folds on
+// the serving loop via InjectTask, warnings wired into QUERY responses.
+class MidTier {
+ public:
+  explicit MidTier(std::vector<PeerConfig> peers) { Boot(std::move(peers)); }
+
+  // ASSERT_* needs a void context, which a constructor is not.
+  void Boot(std::vector<PeerConfig> peers) {
+    engine_ = std::make_unique<QueryEngine>(TestSchema());
+    RegisterSuite(*engine_);
+    SupervisorOptions options;
+    options.poll_interval_ms = 50;
+    options.rpc_deadline_ms = 2000;
+    options.connect_timeout_ms = 500;
+    options.backoff_initial_ms = 20;
+    options.backoff_max_ms = 50;
+    options.stale_after_failures = 3;
+    supervisor_ = std::make_unique<AggregatorSupervisor>(
+        engine_.get(), std::move(peers), options,
+        [this](std::function<void()> task) {
+          server_->InjectTask(std::move(task));
+        });
+    ASSERT_TRUE(supervisor_->Init().ok());
+    net::ServerOptions server_options;
+    server_options.query_warnings = [this] {
+      return supervisor_->QueryWarnings();
+    };
+    server_ = std::make_unique<net::Server>(engine_.get(), server_options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    thread_ = std::thread([this] { (void)server_->Run(); });
+    supervisor_->Start();
+  }
+
+  ~MidTier() {
+    supervisor_->Stop();
+    server_->Shutdown();
+    thread_.join();
+  }
+
+  AggregatorSupervisor& supervisor() { return *supervisor_; }
+  uint16_t port() const { return server_->port(); }
+  PeerConfig Config(const std::string& name) const {
+    return PeerConfig{"127.0.0.1", server_->port(), name};
+  }
+
+  // Waits until at least `count` folds have landed on the serving loop.
+  void AwaitFolds(uint64_t count) {
+    for (int i = 0; i < 500; ++i) {
+      if (supervisor_->folds_completed() >= count) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "mid-tier never reached " << count << " folds";
+  }
+
+ private:
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<AggregatorSupervisor> supervisor_;
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+};
+
+TEST(ClusterHierarchyTest, EdgeMidRootEqualsSingleProcess) {
+  Edge edges[3];
+  for (int i = 0; i < 3; ++i) {
+    RegisterSuite(edges[i].engine());
+    FeedLocal(edges[i].engine(), static_cast<uint64_t>(i) * 400,
+              static_cast<uint64_t>(i + 1) * 400);
+    edges[i].Start();
+  }
+
+  MidTier mid({edges[0].Config("edge-a"), edges[1].Config("edge-b"),
+               edges[2].Config("edge-c")});
+  mid.AwaitFolds(1);
+
+  // Root supervises the mid-tier like any edge; its SNAPSHOT carries the
+  // folded state at epoch = 1200 (the folded peers' epochs summed).
+  QueryEngine root(TestSchema());
+  RegisterSuite(root);
+  AggregatorSupervisor root_supervisor(&root, {mid.Config("mid")},
+                                       SupervisorOptions());
+  ASSERT_TRUE(root_supervisor.Init().ok());
+  PollStats stats = root_supervisor.PollOnce(0);
+  EXPECT_EQ(stats.succeeded, 1);
+  EXPECT_TRUE(stats.refolded);
+
+  QueryEngine single(TestSchema());
+  RegisterSuite(single);
+  FeedLocal(single, 0, 1200);
+  ASSERT_EQ(root.num_queries(), single.num_queries());
+  for (QueryId id = 0; id < root.num_queries(); ++id) {
+    auto got = root.Answer(id);
+    auto want = single.Answer(id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+  EXPECT_EQ(root.tuples_seen(), 1200u);
+  EXPECT_EQ(root_supervisor.PeerStatuses()[0].epoch, 1200u);
+}
+
+TEST(ClusterHierarchyTest, StaleEdgeWarningsReachRemoteQueryClients) {
+  Edge alive;
+  Edge doomed;
+  RegisterSuite(alive.engine());
+  RegisterSuite(doomed.engine());
+  FeedLocal(alive.engine(), 0, 300);
+  FeedLocal(doomed.engine(), 300, 600);
+  alive.Start();
+  doomed.Start();
+
+  MidTier mid({alive.Config("alive"), doomed.Config("doomed")});
+  mid.AwaitFolds(1);
+
+  // A remote client of the healthy aggregate sees no warnings.
+  auto client = net::Client::Connect("127.0.0.1", mid.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto healthy = client->Query({});
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->warnings.empty());
+  EXPECT_EQ(healthy->tuples_seen, 600u);
+
+  // Kill one edge and let the mid-tier's own poll loop drive it STALE;
+  // the exclusion then shows up in QUERY responses over the wire.
+  doomed.Stop();
+  bool warned = false;
+  for (int i = 0; i < 500 && !warned; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto response = client->Query({});
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (!response->warnings.empty()) {
+      warned = true;
+      EXPECT_NE(response->warnings[0].find("doomed"), std::string::npos)
+          << response->warnings[0];
+      EXPECT_NE(response->warnings[0].find("STALE"), std::string::npos);
+    }
+  }
+  ASSERT_TRUE(warned) << "stale-peer warning never surfaced over the wire";
+
+  // The exclusion refold lands on the serving loop just after the
+  // warning becomes visible; once it does, the excluded peer's rows are
+  // gone from the served aggregate.
+  mid.AwaitFolds(2);
+  auto partial = client->Query({});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->tuples_seen, 300u);
+}
+
+}  // namespace
+}  // namespace implistat::cluster

@@ -1,0 +1,414 @@
+// AggregatorSupervisor tests over real edge servers on loopback:
+// multi-edge convergence to the single-process answer, idempotent
+// re-shipping (replace-then-refold), HEALTHY → DEGRADED → STALE health
+// transitions with fold exclusion and warning reporting, backoff
+// scheduling, and the crash → restore-from-checkpoint → rejoin flow
+// converging with no double counting. Polls are driven with a synthetic
+// clock so every backoff and staleness transition is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/supervisor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "query/engine.h"
+#include "util/random.h"
+
+namespace implistat::cluster {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+ImplicationQuerySpec NipsSpec() {
+  ImplicationQuerySpec spec = ExactSpec();
+  spec.estimator.kind = EstimatorKind::kNipsCi;
+  spec.estimator.nips.num_bitmaps = 8;
+  spec.label = "nips";
+  return spec;
+}
+
+void RegisterSuite(QueryEngine& engine) {
+  ASSERT_TRUE(engine.Register(ExactSpec()).ok());
+  ASSERT_TRUE(engine.Register(NipsSpec()).ok());
+}
+
+std::vector<ValueId> Row(uint64_t i) {
+  return {static_cast<ValueId>(i % 97),
+          static_cast<ValueId>((i % 7 == 0) ? i % 47 : (i % 97) % 13),
+          static_cast<ValueId>(i % 24)};
+}
+
+void FeedLocal(QueryEngine& engine, uint64_t begin, uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
+    std::vector<ValueId> row = Row(i);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+}
+
+net::ObserveBatchRequest IdBatch(uint64_t begin, uint64_t end) {
+  net::ObserveBatchRequest batch;
+  batch.encoding = net::ObserveEncoding::kIds;
+  batch.width = 3;
+  for (uint64_t i = begin; i < end; ++i) {
+    for (ValueId id : Row(i)) batch.ids.push_back(id);
+  }
+  return batch;
+}
+
+// An edge server the tests can stop and restart (optionally from a
+// checkpoint) on a stable port — the supervisor's view of a crashing,
+// rejoining fleet member.
+class Edge {
+ public:
+  Edge() { Reset(); }
+  ~Edge() { Stop(); }
+
+  // Replaces the engine with a fresh one (only while stopped).
+  void Reset() { engine_ = std::make_unique<QueryEngine>(TestSchema()); }
+
+  QueryEngine& engine() { return *engine_; }
+
+  void Start() {
+    net::ServerOptions options;
+    options.port = port_;  // 0 first time; the bound port afterwards
+    server_ = std::make_unique<net::Server>(engine_.get(), options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    port_ = server_->port();
+    thread_ = std::thread([this] { (void)server_->Run(); });
+  }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    server_->Shutdown();
+    thread_.join();
+    server_.reset();
+  }
+
+  uint16_t port() const { return port_; }
+  PeerConfig Config(const std::string& name) const {
+    return PeerConfig{"127.0.0.1", port_, name};
+  }
+
+  StatusOr<net::Client> Connect() {
+    return net::Client::Connect("127.0.0.1", port_);
+  }
+
+ private:
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+  uint16_t port_ = 0;
+};
+
+// Fast, fully deterministic supervision timings for synthetic clocks.
+SupervisorOptions TestOptions() {
+  SupervisorOptions options;
+  options.poll_interval_ms = 1000;
+  options.rpc_deadline_ms = 2000;
+  options.connect_timeout_ms = 500;
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 400;
+  options.stale_after_failures = 3;
+  options.jitter_seed = 42;
+  return options;
+}
+
+void ExpectSameAnswers(QueryEngine& aggregate, QueryEngine& expected) {
+  ASSERT_EQ(aggregate.num_queries(), expected.num_queries());
+  for (QueryId id = 0; id < aggregate.num_queries(); ++id) {
+    auto got = aggregate.Answer(id);
+    auto want = expected.Answer(id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    // Exact double equality: the exact estimator is ground truth and the
+    // NIPS bitmap fold is an OR, so a correct fold is bit-identical to
+    // the single-process run — any tolerance would hide double counting.
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+}
+
+TEST(ClusterBackoffTest, DelaysDoubleAndCapWithJitterInRange) {
+  SupervisorOptions options = TestOptions();
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 5000;
+  Rng rng(7);
+  for (int failures = 1; failures <= 12; ++failures) {
+    int64_t raw = options.backoff_initial_ms;
+    for (int i = 1; i < failures && raw < options.backoff_max_ms; ++i) {
+      raw = std::min<int64_t>(options.backoff_max_ms, raw * 2);
+    }
+    for (int draw = 0; draw < 8; ++draw) {
+      int64_t delay = BackoffDelayMs(options, failures, rng);
+      EXPECT_GE(delay, raw / 2) << "failures=" << failures;
+      EXPECT_LE(delay, raw) << "failures=" << failures;
+    }
+  }
+  // Same seed, same schedule: the jitter is deterministic.
+  Rng a(99), b(99);
+  for (int failures = 1; failures <= 6; ++failures) {
+    EXPECT_EQ(BackoffDelayMs(options, failures, a),
+              BackoffDelayMs(options, failures, b));
+  }
+}
+
+TEST(ClusterSupervisorTest, ThreeEdgeConvergenceAndIdempotentReship) {
+  Edge edges[3];
+  for (int i = 0; i < 3; ++i) {
+    RegisterSuite(edges[i].engine());
+    FeedLocal(edges[i].engine(), static_cast<uint64_t>(i) * 400,
+              static_cast<uint64_t>(i + 1) * 400);
+    edges[i].Start();
+  }
+
+  QueryEngine aggregate(TestSchema());
+  RegisterSuite(aggregate);
+  AggregatorSupervisor supervisor(
+      &aggregate,
+      {edges[0].Config("a"), edges[1].Config("b"), edges[2].Config("c")},
+      TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+
+  PollStats first = supervisor.PollOnce(0);
+  EXPECT_EQ(first.attempted, 3);
+  EXPECT_EQ(first.succeeded, 3);
+  EXPECT_TRUE(first.refolded);
+  EXPECT_EQ(supervisor.folds_completed(), 1u);
+
+  QueryEngine single(TestSchema());
+  RegisterSuite(single);
+  FeedLocal(single, 0, 1200);
+  ExpectSameAnswers(aggregate, single);
+  EXPECT_EQ(aggregate.tuples_seen(), 1200u);
+
+  // Nothing changed at the edges: re-pulling the same snapshots (the
+  // "retried ship") is recognized by the unchanged epochs and refolded
+  // zero times — and even if it were refolded, replace-then-refold would
+  // produce the same state. No double counting either way.
+  PollStats second = supervisor.PollOnce(1000);
+  EXPECT_EQ(second.succeeded, 3);
+  EXPECT_FALSE(second.refolded);
+  EXPECT_EQ(supervisor.folds_completed(), 1u);
+  ExpectSameAnswers(aggregate, single);
+  EXPECT_EQ(aggregate.tuples_seen(), 1200u);
+
+  // New rows at one edge flow through on the next poll.
+  {
+    auto client = edges[0].Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ObserveBatch(IdBatch(1200, 1500)).ok());
+  }
+  PollStats third = supervisor.PollOnce(2000);
+  EXPECT_TRUE(third.refolded);
+  FeedLocal(single, 1200, 1500);
+  ExpectSameAnswers(aggregate, single);
+  EXPECT_EQ(aggregate.tuples_seen(), 1500u);
+
+  auto statuses = supervisor.PeerStatuses();
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const PeerStatus& status : statuses) {
+    EXPECT_EQ(status.health, PeerHealth::kHealthy) << status.name;
+    EXPECT_EQ(status.consecutive_failures, 0);
+  }
+  EXPECT_TRUE(supervisor.QueryWarnings().empty());
+}
+
+TEST(ClusterSupervisorTest, LocalBaseStateJoinsTheFold) {
+  Edge edge;
+  RegisterSuite(edge.engine());
+  FeedLocal(edge.engine(), 0, 500);
+  edge.Start();
+
+  // The aggregate engine has its own locally observed rows before
+  // supervision begins; they must survive every refold.
+  QueryEngine aggregate(TestSchema());
+  RegisterSuite(aggregate);
+  FeedLocal(aggregate, 500, 800);
+
+  AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge")},
+                                  TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+  EXPECT_TRUE(supervisor.PollOnce(0).refolded);
+
+  QueryEngine single(TestSchema());
+  RegisterSuite(single);
+  FeedLocal(single, 0, 800);
+  ExpectSameAnswers(aggregate, single);
+  EXPECT_EQ(aggregate.tuples_seen(), 800u);
+}
+
+TEST(ClusterSupervisorTest, HealthTransitionsStaleExclusionAndRecovery) {
+  Edge edge_a;
+  Edge edge_b;
+  RegisterSuite(edge_a.engine());
+  RegisterSuite(edge_b.engine());
+  FeedLocal(edge_a.engine(), 0, 300);
+  FeedLocal(edge_b.engine(), 300, 600);
+  edge_a.Start();
+  edge_b.Start();
+
+  QueryEngine aggregate(TestSchema());
+  RegisterSuite(aggregate);
+  AggregatorSupervisor supervisor(&aggregate,
+                                  {edge_a.Config("a"), edge_b.Config("b")},
+                                  TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+  EXPECT_TRUE(supervisor.PollOnce(0).refolded);
+
+  QueryEngine both(TestSchema());
+  RegisterSuite(both);
+  FeedLocal(both, 0, 600);
+  ExpectSameAnswers(aggregate, both);
+
+  // Edge A dies. Failures accumulate across backoff windows: DEGRADED
+  // keeps its last snapshot in the fold; the stale_after_failures-th
+  // failure tips it to STALE and out of the fold.
+  edge_a.Stop();
+  int64_t now = 1000;
+  PollStats degraded = supervisor.PollOnce(now);
+  EXPECT_EQ(degraded.failed, 1);
+  EXPECT_FALSE(degraded.refolded);  // still included, fold unchanged
+  auto statuses = supervisor.PeerStatuses();
+  EXPECT_EQ(statuses[0].health, PeerHealth::kDegraded);
+  EXPECT_EQ(statuses[0].consecutive_failures, 1);
+  ExpectSameAnswers(aggregate, both);  // last good snapshot still folded
+  EXPECT_TRUE(supervisor.QueryWarnings().empty());
+
+  // Step past each backoff window until the peer goes STALE.
+  int rounds = 0;
+  while (supervisor.PeerStatuses()[0].health != PeerHealth::kStale) {
+    now += 1000;  // > backoff_max_ms, so the retry is always due
+    supervisor.PollOnce(now);
+    ASSERT_LT(++rounds, 10) << "peer never went STALE";
+  }
+  EXPECT_GE(supervisor.PeerStatuses()[0].consecutive_failures, 3);
+
+  // STALE excludes the contribution: the aggregate now answers from B
+  // alone, and QUERY warnings say so.
+  QueryEngine only_b(TestSchema());
+  RegisterSuite(only_b);
+  FeedLocal(only_b, 300, 600);
+  ExpectSameAnswers(aggregate, only_b);
+  EXPECT_EQ(aggregate.tuples_seen(), 300u);
+  auto warnings = supervisor.QueryWarnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("peer a"), std::string::npos) << warnings[0];
+  EXPECT_NE(warnings[0].find("STALE"), std::string::npos) << warnings[0];
+
+  // The edge comes back with its data intact: one successful pull makes
+  // it HEALTHY again and the fold re-converges to the full answer.
+  edge_a.Reset();
+  RegisterSuite(edge_a.engine());
+  FeedLocal(edge_a.engine(), 0, 300);
+  edge_a.Start();
+  now += 10000;
+  PollStats recovered = supervisor.PollOnce(now);
+  EXPECT_EQ(recovered.failed, 0);
+  EXPECT_TRUE(recovered.refolded);
+  EXPECT_EQ(supervisor.PeerStatuses()[0].health, PeerHealth::kHealthy);
+  EXPECT_TRUE(supervisor.QueryWarnings().empty());
+  ExpectSameAnswers(aggregate, both);
+  EXPECT_EQ(aggregate.tuples_seen(), 600u);
+}
+
+TEST(ClusterSupervisorTest, CheckpointRestartRejoinConvergesNoDoubleCount) {
+  const std::string ckpt = ::testing::TempDir() + "/cluster_edge_a.ckpt";
+
+  // Edge A checkpoints mid-stream, then keeps going; edge B is steady.
+  Edge edge_a;
+  Edge edge_b;
+  RegisterSuite(edge_a.engine());
+  FeedLocal(edge_a.engine(), 0, 400);
+  ASSERT_TRUE(edge_a.engine().Checkpoint(ckpt).ok());
+  FeedLocal(edge_a.engine(), 400, 600);
+  RegisterSuite(edge_b.engine());
+  FeedLocal(edge_b.engine(), 600, 1200);
+  edge_a.Start();
+  edge_b.Start();
+
+  QueryEngine aggregate(TestSchema());
+  RegisterSuite(aggregate);
+  SupervisorOptions options = TestOptions();
+  AggregatorSupervisor supervisor(&aggregate,
+                                  {edge_a.Config("a"), edge_b.Config("b")},
+                                  options);
+  ASSERT_TRUE(supervisor.Init().ok());
+  EXPECT_TRUE(supervisor.PollOnce(0).refolded);
+
+  QueryEngine full(TestSchema());
+  RegisterSuite(full);
+  FeedLocal(full, 0, 1200);
+  ExpectSameAnswers(aggregate, full);
+  EXPECT_EQ(supervisor.PeerStatuses()[0].epoch, 600u);
+
+  // Crash edge A (kill mid-ship: the supervisor's in-flight pulls fail)
+  // and drive it STALE.
+  edge_a.Stop();
+  int64_t now = 0;
+  int rounds = 0;
+  while (supervisor.PeerStatuses()[0].health != PeerHealth::kStale) {
+    now += 1000;
+    supervisor.PollOnce(now);
+    ASSERT_LT(++rounds, 10);
+  }
+
+  // Restart from the checkpoint: the edge rejoins at epoch 400 — an
+  // epoch regression the supervisor records — and its stale 600-tuple
+  // contribution is REPLACED by the 400-tuple one, not added to it.
+  edge_a.Reset();
+  ASSERT_TRUE(edge_a.engine().Restore(ckpt).ok());
+  ASSERT_EQ(edge_a.engine().tuples_seen(), 400u);
+  edge_a.Start();
+  now += 10000;
+  PollStats rejoin = supervisor.PollOnce(now);
+  EXPECT_TRUE(rejoin.refolded);
+  auto status_a = supervisor.PeerStatuses()[0];
+  EXPECT_EQ(status_a.health, PeerHealth::kHealthy);
+  EXPECT_EQ(status_a.epoch, 400u);
+  EXPECT_EQ(status_a.epoch_regressions, 1u);
+
+  QueryEngine partial(TestSchema());
+  RegisterSuite(partial);
+  FeedLocal(partial, 0, 400);
+  FeedLocal(partial, 600, 1200);
+  ExpectSameAnswers(aggregate, partial);
+  EXPECT_EQ(aggregate.tuples_seen(), 1000u);
+
+  // The edge replays its lost tail; the next poll converges the cluster
+  // back to the exact single-process answer. The exact-estimator match
+  // proves nothing was counted twice across the crash/rejoin cycle.
+  {
+    auto client = edge_a.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ObserveBatch(IdBatch(400, 600)).ok());
+  }
+  now += 1000;
+  EXPECT_TRUE(supervisor.PollOnce(now).refolded);
+  ExpectSameAnswers(aggregate, full);
+  EXPECT_EQ(aggregate.tuples_seen(), 1200u);
+
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace implistat::cluster

@@ -32,9 +32,11 @@ std::string FromHex(std::string_view hex) {
 // Known-answer vectors: the exact bytes of two minimal frames. A change
 // here is a wire-format break — old clients stop interoperating. The CRC
 // trailers are Castagnoli CRC32C values over the envelope bytes.
+// (Version byte is 0x02 since protocol v2: SNAPSHOT epoch header, QUERY
+// warnings section.)
 TEST(FrameKatTest, PingRequestBytes) {
   EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}),
-            FromHex("0b000000494d505701010072f43281"));
+            FromHex("0b000000494d50570201000134" "1c6b"));
 }
 
 TEST(FrameKatTest, QueryOkResponseBytes) {
@@ -42,7 +44,7 @@ TEST(FrameKatTest, QueryOkResponseBytes) {
   // (code 0 varint, empty message).
   EXPECT_EQ(EncodeResponseFrame(MsgType::kQuery,
                                 EncodeResponsePayload(Status::OK())),
-            FromHex("0d000000494d50570183020000505221ff"));
+            FromHex("0d000000494d505702830200" "00a4e212b7"));
 }
 
 TEST(FrameKatTest, HeaderFieldsWhereDocumented) {

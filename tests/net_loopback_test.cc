@@ -248,8 +248,12 @@ TEST(NetLoopbackTest, EdgeToAggregatorMergeIsByteIdentical) {
   auto snapshot_b = client_b->Snapshot(0);
   ASSERT_TRUE(snapshot_a.ok()) << snapshot_a.status();
   ASSERT_TRUE(snapshot_b.ok());
-  ASSERT_TRUE(client_agg->Merge(0, *snapshot_a).ok());
-  ASSERT_TRUE(client_agg->Merge(0, *snapshot_b).ok());
+  // The epoch rides along with the state: each edge reports the tuples it
+  // had folded in when it serialized.
+  EXPECT_EQ(snapshot_a->epoch, 600u);
+  EXPECT_EQ(snapshot_b->epoch, 600u);
+  ASSERT_TRUE(client_agg->Merge(0, snapshot_a->state).ok());
+  ASSERT_TRUE(client_agg->Merge(0, snapshot_b->state).ok());
 
   QueryEngine single(TestSchema());
   ASSERT_TRUE(single.Register(NipsSpec()).ok());

@@ -1,0 +1,213 @@
+// Client deadline and reconnection tests: bounded connect against a peer
+// that never completes the handshake, per-request deadlines against an
+// accepted-but-silent socket, CONNECTION_LOST classification after the
+// server goes away, and Reconnect() resuming against a restarted server
+// on the same port. These are the failure paths the aggregation tier's
+// retry logic is keyed on.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "query/engine.h"
+
+namespace implistat::net {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A raw loopback listener that accepts nothing (or, with Accept(), takes
+// connections but never speaks the protocol). Gives the tests a peer
+// that is reachable at the TCP level but silent above it.
+class SilentListener {
+ public:
+  explicit SilentListener(int backlog) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_OK(fd_ >= 0);
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_OK(::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+    ASSERT_OK(::listen(fd_, backlog) == 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_OK(::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                            &len) == 0);
+    port_ = ntohs(addr.sin_port);
+  }
+
+  ~SilentListener() {
+    for (int fd : accepted_) ::close(fd);
+    for (int fd : fillers_) ::close(fd);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+  // Accepts one pending connection and keeps it open, silent.
+  void AcceptOne() {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    ASSERT_OK(fd >= 0);
+    accepted_.push_back(fd);
+  }
+
+  // Fires non-blocking connects to fill the accept backlog so that the
+  // next real connect hangs in the SYN queue instead of completing.
+  void FillBacklog(int count) {
+    for (int i = 0; i < count; ++i) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_OK(fd >= 0);
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      struct sockaddr_in addr;
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port_);
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+      fillers_.push_back(fd);
+    }
+    // Give the SYNs a moment to land in the accept queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+ private:
+  // gtest ASSERT_* needs a void-returning context; this keeps the ctor
+  // readable without scattering helper methods.
+  static void ASSERT_OK(bool ok) { ASSERT_TRUE(ok) << strerror(errno); }
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<int> accepted_;
+  std::vector<int> fillers_;
+};
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+TEST(NetTimeoutTest, ConnectTimeoutIsBounded) {
+  SilentListener listener(/*backlog=*/0);
+  // Saturate the accept queue: further connects get their SYN dropped and
+  // would block for the OS connect timeout (minutes) without our bound.
+  listener.FillBacklog(4);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 300;
+  int64_t start = NowMs();
+  auto client = Client::Connect("127.0.0.1", listener.port(), options);
+  int64_t elapsed = NowMs() - start;
+  ASSERT_FALSE(client.ok());
+  // The exact code depends on how the kernel reports the stall (timeout
+  // vs refusal); the bound is the contract: seconds, not minutes.
+  EXPECT_LT(elapsed, 5000) << client.status();
+}
+
+TEST(NetTimeoutTest, RequestDeadlineFiresOnSilentServer) {
+  SilentListener listener(/*backlog=*/4);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 1000;
+  options.request_timeout_ms = 200;
+  auto client = Client::Connect("127.0.0.1", listener.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  listener.AcceptOne();
+
+  int64_t start = NowMs();
+  Status status = client->Ping();
+  int64_t elapsed = NowMs() - start;
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status;
+  EXPECT_GE(elapsed, 150);
+  EXPECT_LT(elapsed, 5000);
+
+  // A missed deadline desynchronizes the stream: the connection is lost
+  // and further requests refuse immediately.
+  EXPECT_TRUE(client->connection_lost());
+  EXPECT_EQ(client->Ping().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetTimeoutTest, ServerGoneIsConnectionLostAndReconnectResumes) {
+  auto engine = std::make_unique<QueryEngine>(TestSchema());
+  ASSERT_TRUE(engine->Register(ExactSpec()).ok());
+  ServerOptions server_options;
+  auto server = std::make_unique<Server>(engine.get(), server_options);
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+  std::thread run([&server] { (void)server->Run(); });
+
+  ClientOptions options;
+  options.connect_timeout_ms = 1000;
+  options.request_timeout_ms = 1000;
+  auto client = Client::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(client->Ping().ok());
+
+  // Take the server down: in-flight and future requests are
+  // CONNECTION_LOST (kUnavailable), distinguished from protocol errors.
+  server->Shutdown();
+  run.join();
+  server.reset();
+  Status down = client->Ping();
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable) << down;
+  EXPECT_TRUE(client->connection_lost());
+
+  // While the port is dark, Reconnect() fails but leaves the client
+  // retryable.
+  EXPECT_FALSE(client->Reconnect().ok());
+  EXPECT_TRUE(client->connection_lost());
+
+  // Restart on the same port (SO_REUSEADDR): Reconnect() resumes the
+  // same Client object against the new process.
+  auto engine2 = std::make_unique<QueryEngine>(TestSchema());
+  ASSERT_TRUE(engine2->Register(ExactSpec()).ok());
+  server_options.port = port;
+  auto revived = std::make_unique<Server>(engine2.get(), server_options);
+  ASSERT_TRUE(revived->Start().ok());
+  std::thread run2([&revived] { (void)revived->Run(); });
+
+  ASSERT_TRUE(client->Reconnect().ok());
+  EXPECT_FALSE(client->connection_lost());
+  EXPECT_TRUE(client->Ping().ok());
+  auto query = client->Query({});
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->results.size(), 1u);
+
+  revived->Shutdown();
+  run2.join();
+}
+
+}  // namespace
+}  // namespace implistat::net

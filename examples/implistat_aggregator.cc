@@ -34,9 +34,11 @@
 
 #include "cluster/supervisor.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
+#include "util/fileio.h"
 
 namespace {
 
@@ -65,7 +67,11 @@ int Usage(const char* argv0) {
       << "  --rpc-deadline-ms N     per-RPC deadline (default 2000)\n"
       << "  --connect-timeout-ms N  TCP connect timeout (default 2000)\n"
       << "  --stale-after N         consecutive failures before a peer is\n"
-      << "                          STALE and excluded (default 3)\n";
+      << "                          STALE and excluded (default 3)\n"
+      << "  --trace-sample N        record 1 in N traces (default 64;\n"
+      << "                          1 = every poll/request, 0 = none)\n"
+      << "  --trace-json PATH       dump recorded spans as Chrome\n"
+      << "                          trace_event JSON to PATH on shutdown\n";
   return 2;
 }
 
@@ -78,6 +84,8 @@ int main(int argc, char** argv) {
   std::string bind_address = "127.0.0.1";
   std::string checkpoint_path;
   int64_t idle_timeout_ms = 0;
+  int trace_sample = -1;  // -1: keep the compiled-in default (64)
+  std::string trace_json_path;
   cluster::SupervisorOptions supervisor_options;
   std::vector<cluster::PeerConfig> peers;
   std::vector<std::string> positional;
@@ -131,6 +139,18 @@ int main(int argc, char** argv) {
       const char* v = take_value("--stale-after");
       if (v == nullptr) return 2;
       supervisor_options.stale_after_failures = std::atoi(v);
+    } else if (arg == "--trace-sample") {
+      const char* v = take_value("--trace-sample");
+      if (v == nullptr) return 2;
+      trace_sample = std::atoi(v);
+      if (trace_sample < 0) {
+        std::cerr << "--trace-sample must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--trace-json") {
+      const char* v = take_value("--trace-json");
+      if (v == nullptr) return 2;
+      trace_json_path = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -204,6 +224,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (trace_sample >= 0) {
+    obs::Tracer::SetSampleEveryN(static_cast<uint32_t>(trace_sample));
+  }
+
   net::ServerOptions options;
   options.bind_address = bind_address;
   options.port = static_cast<uint16_t>(port);
@@ -231,6 +255,15 @@ int main(int argc, char** argv) {
   Status status = server.Run();
   g_server = nullptr;
   supervisor.Stop();
+  if (!trace_json_path.empty()) {
+    Status dumped = WriteFileAtomic(
+        trace_json_path, obs::WriteTraceJson(obs::Tracer::Snapshot()));
+    if (!dumped.ok()) {
+      std::cerr << "trace dump error: " << dumped << "\n";
+    } else {
+      std::cerr << "wrote trace to " << trace_json_path << "\n";
+    }
+  }
   if (!status.ok()) {
     std::cerr << "serve error: " << status << "\n";
     return 1;

@@ -11,6 +11,9 @@
 //   snapshot <id> <out>       save query <id>'s estimator state to <out>
 //   merge <id> <snapshot>     fold a saved snapshot into query <id>
 //   metrics                   print the server's Prometheus metrics
+//   trace [out.json]          pull the server's recent spans as Chrome
+//                             trace_event JSON (stdout or a file; load
+//                             it in Perfetto / chrome://tracing)
 //   checkpoint                ask the server to write its checkpoint
 //   shutdown                  graceful server drain
 //
@@ -31,7 +34,7 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --port P [--host H] "
-               "ping|observe|query|snapshot|merge|metrics|checkpoint|"
+               "ping|observe|query|snapshot|merge|metrics|trace|checkpoint|"
                "shutdown [args]\n";
   return 2;
 }
@@ -226,6 +229,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << *text;
+    return 0;
+  }
+  if (command == "trace") {
+    if (positional.size() > 2) return Usage(argv[0]);
+    auto json = client->TraceDump();
+    if (!json.ok()) {
+      std::cerr << "trace error: " << json.status() << "\n";
+      return 1;
+    }
+    if (positional.size() == 2) {
+      if (Status status = WriteFileAtomic(positional[1], *json);
+          !status.ok()) {
+        std::cerr << "write error: " << status << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << json->size() << " bytes to " << positional[1]
+                << "\n";
+    } else {
+      std::cout << *json << "\n";
+    }
     return 0;
   }
   if (command == "checkpoint") {

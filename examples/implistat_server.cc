@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/server.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
@@ -46,7 +47,12 @@ int Usage(const char* argv0) {
       << "  --restore PATH        resume queries + estimator state + value\n"
       << "                        dictionaries from a checkpoint (pass no\n"
       << "                        QUERY args)\n"
-      << "  --idle-timeout-ms N   drop connections idle for N ms\n";
+      << "  --idle-timeout-ms N   drop connections idle for N ms\n"
+      << "  --trace-sample N      record 1 in N traces (default 64;\n"
+      << "                        1 = every request, 0 = no new traces)\n"
+      << "  --trace-json PATH     dump recorded spans as Chrome\n"
+      << "                        trace_event JSON (Perfetto-loadable)\n"
+      << "                        to PATH on shutdown\n";
   return 2;
 }
 
@@ -61,6 +67,8 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::string restore_path;
   int64_t idle_timeout_ms = 0;
+  int trace_sample = -1;  // -1: keep the compiled-in default (64)
+  std::string trace_json_path;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -95,6 +103,18 @@ int main(int argc, char** argv) {
       const char* v = take_value("--idle-timeout-ms");
       if (v == nullptr) return 2;
       idle_timeout_ms = std::atoll(v);
+    } else if (arg == "--trace-sample") {
+      const char* v = take_value("--trace-sample");
+      if (v == nullptr) return 2;
+      trace_sample = std::atoi(v);
+      if (trace_sample < 0) {
+        std::cerr << "--trace-sample must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--trace-json") {
+      const char* v = take_value("--trace-json");
+      if (v == nullptr) return 2;
+      trace_json_path = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -184,6 +204,10 @@ int main(int argc, char** argv) {
   // the stream; remote batches then continue the count.
   while (auto tuple = table->stream.Next()) engine.ObserveTuple(*tuple);
 
+  if (trace_sample >= 0) {
+    obs::Tracer::SetSampleEveryN(static_cast<uint32_t>(trace_sample));
+  }
+
   net::ServerOptions options;
   options.bind_address = bind_address;
   options.port = static_cast<uint16_t>(port);
@@ -207,6 +231,15 @@ int main(int argc, char** argv) {
 
   Status status = server.Run();
   g_server = nullptr;
+  if (!trace_json_path.empty()) {
+    Status dumped = WriteFileAtomic(
+        trace_json_path, obs::WriteTraceJson(obs::Tracer::Snapshot()));
+    if (!dumped.ok()) {
+      std::cerr << "trace dump error: " << dumped << "\n";
+    } else {
+      std::cerr << "wrote trace to " << trace_json_path << "\n";
+    }
+  }
   if (!status.ok()) {
     std::cerr << "serve error: " << status << "\n";
     return 1;

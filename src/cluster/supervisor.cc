@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <iostream>
 #include <optional>
 #include <sstream>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace implistat::cluster {
@@ -231,6 +232,10 @@ Status AggregatorSupervisor::PullPeer(Peer& peer, int64_t now_ms) {
   bool was_included = peer.has_contribution && peer.health != PeerHealth::kStale;
   if (peer.has_contribution && epoch < peer.epoch) {
     peer.regressions_total->Increment();
+    obs::LogEvent(obs::LogLevel::kInfo, "cluster", "epoch_regression")
+        .Str("peer", peer.config.name)
+        .U64("previous_epoch", peer.epoch)
+        .U64("epoch", epoch);
     std::lock_guard<std::mutex> lock(mu_);
     ++peer.epoch_regressions;
   }
@@ -278,8 +283,16 @@ void AggregatorSupervisor::ScheduleRefold(int64_t now_ms) {
   const Metrics* metrics = metrics_;
   auto folds_completed = folds_completed_;
   int num_queries = num_queries_;
+  // The fold may run later on another thread (Server::InjectTask), where
+  // the poll span is no longer on the stack — so its context is captured
+  // by value and handed to the fold span as an explicit parent, keeping
+  // the whole poll -> pull -> fold chain on one trace id.
+  const obs::SpanContext poll_context = obs::Tracer::CurrentContext();
   fold_runner_([engine, metrics, folds_completed, num_queries, per_query,
-                total_tuples] {
+                total_tuples, poll_context] {
+    obs::ScopedSpan span("cluster.fold", "cluster", poll_context);
+    span.Annotate("queries", static_cast<uint64_t>(num_queries));
+    span.Annotate("tuples", total_tuples);
     bool ok = true;
     for (int q = 0; q < num_queries; ++q) {
       const std::vector<std::string>& contributions =
@@ -288,8 +301,9 @@ void AggregatorSupervisor::ScheduleRefold(int64_t now_ms) {
                                           contributions.end());
       Status status = engine->RefoldEstimatorState(q, views);
       if (!status.ok()) {
-        std::cerr << "implistat: cluster refold failed for query " << q << ": "
-                  << status.ToString() << std::endl;
+        obs::LogEvent(obs::LogLevel::kError, "cluster", "refold_failed")
+            .U64("query", static_cast<uint64_t>(q))
+            .Str("error", status.ToString());
         ok = false;
       }
     }
@@ -306,12 +320,22 @@ void AggregatorSupervisor::ScheduleRefold(int64_t now_ms) {
 PollStats AggregatorSupervisor::PollOnce(int64_t now_ms) {
   IMPLISTAT_CHECK(initialized_) << "PollOnce before Init()";
   PollStats stats;
+  // The round's root span; per-peer pulls (and the fold the round
+  // schedules) hang off it, so one poll reads as one trace covering the
+  // whole fan-out.
+  obs::ScopedSpan poll_span("cluster.poll", "cluster");
   for (auto& peer_ptr : peers_) {
     Peer& peer = *peer_ptr;
     if (now_ms < peer.next_attempt_ms) continue;
     ++stats.attempted;
     metrics_->pulls_total->Increment();
-    Status status = PullPeer(peer, now_ms);
+    Status status;
+    {
+      obs::ScopedSpan pull_span("cluster.pull", "cluster");
+      pull_span.SetDetail(peer.config.name.c_str());
+      status = PullPeer(peer, now_ms);
+    }
+    const PeerHealth previous_health = peer.health;
     std::lock_guard<std::mutex> lock(mu_);
     if (status.ok()) {
       ++stats.succeeded;
@@ -338,6 +362,19 @@ PollStats AggregatorSupervisor::PollOnce(int64_t now_ms) {
       peer.next_attempt_ms =
           now_ms +
           BackoffDelayMs(options_, peer.consecutive_failures, jitter_rng_);
+    }
+    if (peer.health != previous_health) {
+      // STALE means the peer left the fold — that is operator-visible
+      // (warn); the intermediate downgrade and the recovery are info.
+      obs::LogEvent(peer.health == PeerHealth::kStale ? obs::LogLevel::kWarn
+                                                      : obs::LogLevel::kInfo,
+                    "cluster", "peer_health")
+          .Str("peer", peer.config.name)
+          .Str("from", PeerHealthName(previous_health))
+          .Str("to", PeerHealthName(peer.health))
+          .U64("consecutive_failures",
+               static_cast<uint64_t>(peer.consecutive_failures))
+          .Str("last_error", peer.last_error);
     }
     peer.failures_gauge->Set(peer.consecutive_failures);
     peer.health_gauge->Set(static_cast<int64_t>(peer.health));

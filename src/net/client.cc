@@ -13,6 +13,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace implistat::net {
 
 namespace {
@@ -252,11 +254,18 @@ StatusOr<std::string> Client::RoundTrip(MsgType type,
   if (connection_lost()) {
     return Status::Unavailable("connection lost (call Reconnect)");
   }
+  // The RPC span covers send + wait + decode; its context rides the v3
+  // frame so the server's handle span joins the same trace. When the
+  // caller already has a span open (a supervisor pull, a traced tool)
+  // this nests under it; otherwise it roots a new sampled-1-in-N trace.
+  obs::ScopedSpan span("client.roundtrip", "client");
+  span.SetDetail(MsgTypeName(type));
+  span.Annotate("request_bytes", payload.size());
   const int64_t deadline_ms = options_.request_timeout_ms > 0
                                   ? NowMs() + options_.request_timeout_ms
                                   : -1;
   IMPLISTAT_RETURN_NOT_OK(
-      SendAll(EncodeRequestFrame(type, payload), deadline_ms));
+      SendAll(EncodeRequestFrame(type, payload, span.context()), deadline_ms));
   StatusOr<Frame> frame = ReadResponse(type, deadline_ms);
   if (!frame.ok()) {
     // Framing/CRC violations leave the stream unparseable; after one, no
@@ -267,6 +276,7 @@ StatusOr<std::string> Client::RoundTrip(MsgType type,
   IMPLISTAT_ASSIGN_OR_RETURN(auto decoded,
                              DecodeResponsePayload(frame->payload));
   IMPLISTAT_RETURN_NOT_OK(decoded.first);
+  span.Annotate("response_bytes", decoded.second.size());
   return std::string(decoded.second);
 }
 
@@ -300,6 +310,10 @@ Status Client::Merge(uint32_t query_id, std::string_view snapshot) {
 
 StatusOr<std::string> Client::Metrics() {
   return RoundTrip(MsgType::kMetrics, {});
+}
+
+StatusOr<std::string> Client::TraceDump() {
+  return RoundTrip(MsgType::kTraceDump, {});
 }
 
 StatusOr<std::string> Client::Checkpoint() {

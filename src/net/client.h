@@ -100,6 +100,11 @@ class Client {
   /// The server's metrics registry as Prometheus text.
   StatusOr<std::string> Metrics();
 
+  /// The server's recent spans as Chrome trace_event JSON (loads in
+  /// Perfetto). An empty traceEvents list means the server was built
+  /// with tracing compiled out or has recorded nothing yet.
+  StatusOr<std::string> TraceDump();
+
   /// Asks the server to write its engine checkpoint; returns the path.
   StatusOr<std::string> Checkpoint();
 

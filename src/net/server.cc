@@ -16,6 +16,8 @@
 
 #include "net/messages.h"
 #include "obs/export_prometheus.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "stream/tuple_stream.h"
 
 namespace implistat::net {
@@ -38,11 +40,17 @@ Status SetNonBlocking(int fd) {
 
 }  // namespace
 
-// Per-request instrumentation (the PR 1 registry). Counters are labelled
-// by message type; handles are cached once at Start().
+// Per-request instrumentation (the PR 1 registry). Counters and
+// histograms are labelled by message type — one latency distribution per
+// type, not a single global one, so a cheap PING can no longer hide a
+// slow SNAPSHOT in a shared median. Handles are cached once at Start().
 struct Server::Metrics {
-  obs::Counter* requests_by_type[9];  // indexed by MsgType value; 0 unused
-  obs::Histogram* request_duration_ns;
+  // All per-type arrays are indexed by MsgType value; slot 0 is unused.
+  static constexpr int kMaxType = static_cast<int>(MsgType::kTraceDump);
+  obs::Counter* requests_by_type[kMaxType + 1];
+  obs::Histogram* duration_by_type[kMaxType + 1];
+  obs::Histogram* request_bytes_by_type[kMaxType + 1];
+  obs::Histogram* response_bytes_by_type[kMaxType + 1];
   obs::Counter* bytes_rx;
   obs::Counter* bytes_tx;
   obs::Counter* frame_errors;
@@ -53,14 +61,22 @@ struct Server::Metrics {
     static const Metrics metrics = [] {
       auto& reg = obs::MetricsRegistry::Global();
       Metrics m{};
-      for (int t = 1; t <= 8; ++t) {
+      for (int t = 1; t <= kMaxType; ++t) {
+        const char* name = MsgTypeName(static_cast<MsgType>(t));
         m.requests_by_type[t] = reg.GetCounter(
             "implistat_net_requests_total", "Requests handled, by type",
-            "type", MsgTypeName(static_cast<MsgType>(t)));
+            "type", name);
+        m.duration_by_type[t] = reg.GetHistogram(
+            "implistat_net_request_duration_ns",
+            "Wall time from complete request frame to enqueued response",
+            "type", name);
+        m.request_bytes_by_type[t] = reg.GetHistogram(
+            "implistat_net_request_payload_bytes",
+            "Request payload size per handled frame", "type", name);
+        m.response_bytes_by_type[t] = reg.GetHistogram(
+            "implistat_net_response_payload_bytes",
+            "Response payload size per enqueued response", "type", name);
       }
-      m.request_duration_ns = reg.GetHistogram(
-          "implistat_net_request_duration_ns",
-          "Wall time from complete request frame to enqueued response");
       m.bytes_rx = reg.GetCounter("implistat_net_bytes_rx_total",
                                   "Bytes read from client sockets");
       m.bytes_tx = reg.GetCounter("implistat_net_bytes_tx_total",
@@ -89,6 +105,12 @@ struct Server::Connection {
   size_t write_pos = 0;
   bool close_after_flush = false;
   int64_t last_active_ms = 0;
+  /// Dialect of the most recent request; responses are encoded in it so
+  /// a v2 client never sees a v3 payload.
+  uint64_t version = kWireProtocolVersion;
+  /// Span context of the request being handled — parents the write-phase
+  /// span, which runs after the handle span has closed.
+  obs::SpanContext active_trace;
 
   size_t pending() const { return write_buf.size() - write_pos; }
 };
@@ -191,10 +213,16 @@ void Server::AcceptPending() {
     conn->last_active_ms = NowMs();
     connections_.push_back(std::move(conn));
     metrics_->connections->Set(static_cast<int64_t>(connections_.size()));
+    obs::LogEvent(obs::LogLevel::kDebug, "net.server", "conn_accept")
+        .U64("fd", static_cast<uint64_t>(fd))
+        .U64("connections", connections_.size());
   }
 }
 
 void Server::CloseConnection(size_t index) {
+  obs::LogEvent(obs::LogLevel::kDebug, "net.server", "conn_close")
+      .U64("fd", static_cast<uint64_t>(connections_[index]->fd))
+      .U64("connections", connections_.size() - 1);
   close(connections_[index]->fd);
   connections_.erase(connections_.begin() + static_cast<long>(index));
   metrics_->connections->Set(static_cast<int64_t>(connections_.size()));
@@ -202,16 +230,29 @@ void Server::CloseConnection(size_t index) {
 
 void Server::EnqueueResponse(Connection* conn, MsgType type,
                              const Status& status, std::string_view body) {
-  std::string frame =
-      EncodeResponseFrame(type, EncodeResponsePayload(status, body));
+  obs::ScopedSpan span("server.encode", "server");
+  span.Annotate("body_bytes", body.size());
+  const int t = static_cast<int>(type);
+  if (t >= 1 && t <= Metrics::kMaxType) {
+    metrics_->response_bytes_by_type[t]->Record(body.size());
+  }
+  std::string frame = EncodeResponseFrame(
+      type, EncodeResponsePayload(status, body), conn->version);
   if (conn->pending() + frame.size() > options_.max_write_buffer_bytes) {
     // Backpressure: the consumer is not keeping up. Drop the oversized
     // result, answer with a small RESOURCE_EXHAUSTED instead, and close
     // once it flushes — pending bytes stay bounded by the cap plus one
     // error frame.
+    obs::LogEvent(obs::LogLevel::kWarn, "net.server", "backpressure_close")
+        .U64("fd", static_cast<uint64_t>(conn->fd))
+        .Str("type", MsgTypeName(type))
+        .U64("response_bytes", frame.size())
+        .U64("pending_bytes", conn->pending())
+        .U64("bound_bytes", options_.max_write_buffer_bytes);
     frame = EncodeResponseFrame(
         type, EncodeResponsePayload(Status::ResourceExhausted(
-                  "response exceeds the connection's write-buffer bound")));
+                  "response exceeds the connection's write-buffer bound")),
+        conn->version);
     conn->close_after_flush = true;
   }
   // Compact the consumed prefix before growing the buffer.
@@ -223,7 +264,10 @@ void Server::EnqueueResponse(Connection* conn, MsgType type,
 }
 
 void Server::HandleObserveBatch(Connection* conn, std::string_view payload) {
-  StatusOr<ObserveBatchRequest> request = DecodeObserveBatchRequest(payload);
+  StatusOr<ObserveBatchRequest> request = [&] {
+    obs::ScopedSpan decode("server.decode", "server");
+    return DecodeObserveBatchRequest(payload);
+  }();
   if (!request.ok()) {
     EnqueueResponse(conn, MsgType::kObserveBatch, request.status());
     return;
@@ -278,7 +322,11 @@ void Server::HandleObserveBatch(Connection* conn, std::string_view payload) {
     }
   }
   VectorStream stream(engine_->schema(), std::move(flat));
-  Status status = engine_->ObserveStream(stream);
+  Status status = [&] {
+    obs::ScopedSpan apply("server.apply", "server");
+    apply.Annotate("tuples", stream.num_tuples());
+    return engine_->ObserveStream(stream);
+  }();
   if (!status.ok()) {
     EnqueueResponse(conn, MsgType::kObserveBatch, status);
     return;
@@ -288,7 +336,10 @@ void Server::HandleObserveBatch(Connection* conn, std::string_view payload) {
 }
 
 void Server::HandleQuery(Connection* conn, std::string_view payload) {
-  StatusOr<std::vector<uint32_t>> ids = DecodeQueryRequest(payload);
+  StatusOr<std::vector<uint32_t>> ids = [&] {
+    obs::ScopedSpan decode("server.decode", "server");
+    return DecodeQueryRequest(payload);
+  }();
   if (!ids.ok()) {
     EnqueueResponse(conn, MsgType::kQuery, ids.status());
     return;
@@ -300,24 +351,28 @@ void Server::HandleQuery(Connection* conn, std::string_view payload) {
   }
   QueryResponse response;
   response.tuples_seen = engine_->tuples_seen();
-  for (uint32_t id : *ids) {
-    StatusOr<double> answer = engine_->Answer(static_cast<QueryId>(id));
-    if (!answer.ok()) {
-      EnqueueResponse(conn, MsgType::kQuery, answer.status());
-      return;
+  {
+    obs::ScopedSpan apply("server.apply", "server");
+    apply.Annotate("queries", ids->size());
+    for (uint32_t id : *ids) {
+      StatusOr<double> answer = engine_->Answer(static_cast<QueryId>(id));
+      if (!answer.ok()) {
+        EnqueueResponse(conn, MsgType::kQuery, answer.status());
+        return;
+      }
+      const ImplicationEstimator* est =
+          engine_->Estimator(static_cast<QueryId>(id)).value();
+      const ImplicationQuerySpec* spec =
+          engine_->Spec(static_cast<QueryId>(id)).value();
+      QueryResult result;
+      result.id = id;
+      result.label = spec->label;
+      result.estimator_name = est->name();
+      result.estimate = *answer;
+      result.std_error = est->EstimateStdError();
+      result.memory_bytes = est->MemoryBytes();
+      response.results.push_back(std::move(result));
     }
-    const ImplicationEstimator* est =
-        engine_->Estimator(static_cast<QueryId>(id)).value();
-    const ImplicationQuerySpec* spec =
-        engine_->Spec(static_cast<QueryId>(id)).value();
-    QueryResult result;
-    result.id = id;
-    result.label = spec->label;
-    result.estimator_name = est->name();
-    result.estimate = *answer;
-    result.std_error = est->EstimateStdError();
-    result.memory_bytes = est->MemoryBytes();
-    response.results.push_back(std::move(result));
   }
   if (options_.query_warnings) {
     response.warnings = options_.query_warnings();
@@ -338,7 +393,10 @@ void Server::HandleSnapshot(Connection* conn, std::string_view payload) {
     EnqueueResponse(conn, MsgType::kSnapshot, est.status());
     return;
   }
-  StatusOr<std::string> snapshot = (*est)->SerializeState();
+  StatusOr<std::string> snapshot = [&] {
+    obs::ScopedSpan apply("server.apply", "server");
+    return (*est)->SerializeState();
+  }();
   if (!snapshot.ok()) {
     EnqueueResponse(conn, MsgType::kSnapshot, snapshot.status());
     return;
@@ -356,8 +414,12 @@ void Server::HandleMerge(Connection* conn, std::string_view payload) {
     EnqueueResponse(conn, MsgType::kMerge, decoded.status());
     return;
   }
-  Status status = engine_->MergeEstimatorState(
-      static_cast<QueryId>(decoded->first), decoded->second);
+  Status status = [&] {
+    obs::ScopedSpan apply("server.apply", "server");
+    apply.Annotate("state_bytes", decoded->second.size());
+    return engine_->MergeEstimatorState(static_cast<QueryId>(decoded->first),
+                                        decoded->second);
+  }();
   EnqueueResponse(conn, MsgType::kMerge, status);
 }
 
@@ -367,6 +429,15 @@ void Server::HandleMetrics(Connection* conn) {
                   obs::WriteMetricsPrometheus(snapshot));
 }
 
+void Server::HandleTraceDump(Connection* conn) {
+  // Every thread's recent spans as Chrome trace_event JSON. In a build
+  // with tracing compiled out the snapshot is empty and the body is a
+  // valid JSON document with zero events — remote tooling need not care
+  // how the server was built.
+  EnqueueResponse(conn, MsgType::kTraceDump, Status::OK(),
+                  obs::WriteTraceJson(obs::Tracer::Snapshot()));
+}
+
 void Server::HandleCheckpoint(Connection* conn) {
   if (options_.checkpoint_path.empty()) {
     EnqueueResponse(conn, MsgType::kCheckpoint,
@@ -374,20 +445,40 @@ void Server::HandleCheckpoint(Connection* conn) {
                         "server started without a checkpoint path"));
     return;
   }
-  Status status = engine_->Checkpoint(options_.checkpoint_path);
+  Status status = [&] {
+    obs::ScopedSpan apply("server.apply", "server");
+    return engine_->Checkpoint(options_.checkpoint_path);
+  }();
   if (!status.ok()) {
+    obs::LogEvent(obs::LogLevel::kError, "net.server", "checkpoint_failed")
+        .Str("path", options_.checkpoint_path)
+        .Str("error", status.ToString());
     EnqueueResponse(conn, MsgType::kCheckpoint, status);
     return;
   }
+  obs::LogEvent(obs::LogLevel::kInfo, "net.server", "checkpoint_written")
+      .Str("path", options_.checkpoint_path)
+      .U64("tuples_seen", engine_->tuples_seen());
   EnqueueResponse(conn, MsgType::kCheckpoint, Status::OK(),
                   EncodeCheckpointResponse(options_.checkpoint_path));
 }
 
 void Server::HandleFrame(Connection* conn, const Frame& frame) {
-  obs::ScopedTimer timer(metrics_->request_duration_ns);
+  conn->version = frame.version;
+  // The handle span adopts the client's trace context when the frame
+  // carried one (v3), so the client's RPC span and every server phase
+  // below share one trace id across the socket.
+  obs::ScopedSpan span("server.handle", "server", frame.trace);
+  span.SetDetail(MsgTypeName(frame.type()));
+  span.Annotate("payload_bytes", frame.payload.size());
+  conn->active_trace = span.context();
   const uint8_t raw = frame.tag & ~kResponseFlag;
-  if (raw >= 1 && raw <= 8) {
+  obs::ScopedTimer timer(
+      raw >= 1 && raw <= Metrics::kMaxType ? metrics_->duration_by_type[raw]
+                                           : nullptr);
+  if (raw >= 1 && raw <= Metrics::kMaxType) {
     metrics_->requests_by_type[raw]->Increment();
+    metrics_->request_bytes_by_type[raw]->Record(frame.payload.size());
   }
   if (frame.is_response()) {
     // A server never receives responses; protocol confusion is fatal.
@@ -417,9 +508,14 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
       HandleCheckpoint(conn);
       return;
     case MsgType::kShutdown:
+      obs::LogEvent(obs::LogLevel::kInfo, "net.server", "shutdown_request")
+          .U64("fd", static_cast<uint64_t>(conn->fd));
       EnqueueResponse(conn, MsgType::kShutdown, Status::OK());
       conn->close_after_flush = true;
       shutdown_requested_ = true;
+      return;
+    case MsgType::kTraceDump:
+      HandleTraceDump(conn);
       return;
   }
   EnqueueResponse(conn, frame.type(),
@@ -457,6 +553,10 @@ Status Server::HandleReadable(Connection* conn) {
 }
 
 Status Server::FlushWrites(Connection* conn) {
+  // The write phase runs after the handle span closed, so it parents
+  // itself on the recorded request context rather than the span stack.
+  obs::ScopedSpan span("server.write", "server", conn->active_trace);
+  span.Annotate("pending_bytes", conn->pending());
   while (conn->pending() > 0) {
     ssize_t n = send(conn->fd, conn->write_buf.data() + conn->write_pos,
                      conn->pending(), MSG_NOSIGNAL);
@@ -541,6 +641,9 @@ Status Server::Run() {
         Status status = HandleReadable(conn);
         if (!status.ok()) {
           metrics_->frame_errors->Increment();
+          obs::LogEvent(obs::LogLevel::kWarn, "net.server", "conn_error")
+              .U64("fd", static_cast<uint64_t>(conn->fd))
+              .Str("error", status.ToString());
           drop = true;
         }
       }
@@ -602,7 +705,17 @@ Status Server::DrainAndClose() {
   if (!options_.checkpoint_path.empty()) {
     // The drain checkpoint: SIGTERM (or a SHUTDOWN request) leaves a
     // restorable engine state behind.
-    IMPLISTAT_RETURN_NOT_OK(engine_->Checkpoint(options_.checkpoint_path));
+    Status status = engine_->Checkpoint(options_.checkpoint_path);
+    if (!status.ok()) {
+      obs::LogEvent(obs::LogLevel::kError, "net.server", "checkpoint_failed")
+          .Str("path", options_.checkpoint_path)
+          .Str("error", status.ToString());
+      return status;
+    }
+    obs::LogEvent(obs::LogLevel::kInfo, "net.server", "checkpoint_written")
+        .Str("path", options_.checkpoint_path)
+        .U64("tuples_seen", engine_->tuples_seen())
+        .Bool("drain", true);
   }
   return Status::OK();
 }

@@ -135,6 +135,7 @@ class Server {
   void HandleMerge(Connection* conn, std::string_view payload);
   void HandleMetrics(Connection* conn);
   void HandleCheckpoint(Connection* conn);
+  void HandleTraceDump(Connection* conn);
 
   void RunInjectedTasks();
 

@@ -14,14 +14,40 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kMetrics: return "metrics";
     case MsgType::kCheckpoint: return "checkpoint";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kTraceDump: return "trace_dump";
   }
   return "unknown";
 }
 
 namespace {
 
-std::string EncodeFrame(uint8_t tag, std::string_view payload) {
-  std::string envelope = WrapEnvelope(kWireEnvelope, tag, payload);
+// v3 envelope payload: extension block (length-prefixed TLV run) then
+// the message payload. v2 has no extension block.
+std::string EncodeFramePayload(std::string_view payload,
+                               const obs::SpanContext& trace,
+                               uint64_t version) {
+  if (version < 3) return std::string(payload);
+  ByteWriter ext;
+  if (trace.valid()) {
+    ext.PutU8(kExtTagTraceContext);
+    ext.PutVarint64(kTraceContextExtBytes);
+    ext.PutU64(trace.trace_hi);
+    ext.PutU64(trace.trace_lo);
+    ext.PutU64(trace.span_id);
+    ext.PutU8(trace.sampled ? kTraceFlagSampled : 0);
+  }
+  std::string ext_bytes = ext.Release();
+  ByteWriter out;
+  out.PutVarint64(ext_bytes.size());
+  out.PutBytes(ext_bytes);
+  out.PutBytes(payload);
+  return out.Release();
+}
+
+std::string EncodeFrame(uint8_t tag, std::string_view payload,
+                        const obs::SpanContext& trace, uint64_t version) {
+  std::string envelope = WrapEnvelopeAt(
+      kWireEnvelope, version, tag, EncodeFramePayload(payload, trace, version));
   std::string frame;
   frame.reserve(sizeof(uint32_t) + envelope.size());
   uint32_t len = static_cast<uint32_t>(envelope.size());
@@ -30,14 +56,63 @@ std::string EncodeFrame(uint8_t tag, std::string_view payload) {
   return frame;
 }
 
-}  // namespace
-
-std::string EncodeRequestFrame(MsgType type, std::string_view payload) {
-  return EncodeFrame(static_cast<uint8_t>(type), payload);
+// Splits a v3 envelope payload into extension block and message payload,
+// filling `frame->trace` from a trace-context entry if present. Unknown
+// extension tags are skipped (forward compatibility); structural damage
+// (truncated TLV, length overrun) is an error — the extension block is
+// CRC-protected with the rest of the envelope, so damage here means a
+// peer that cannot be trusted.
+Status DecodeFramePayloadV3(std::string_view envelope_payload, Frame* frame) {
+  ByteReader in(envelope_payload);
+  uint64_t ext_len;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&ext_len));
+  if (ext_len > in.remaining()) {
+    return Status::InvalidArgument("frame: truncated extension block");
+  }
+  std::string_view ext;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(ext_len, &ext));
+  ByteReader ext_in(ext);
+  while (ext_in.remaining() > 0) {
+    uint8_t ext_tag;
+    IMPLISTAT_RETURN_NOT_OK(ext_in.ReadU8(&ext_tag));
+    uint64_t entry_len;
+    IMPLISTAT_RETURN_NOT_OK(ext_in.ReadVarint64(&entry_len));
+    if (entry_len > ext_in.remaining()) {
+      return Status::InvalidArgument("frame: truncated extension entry");
+    }
+    std::string_view entry;
+    IMPLISTAT_RETURN_NOT_OK(ext_in.ReadBytes(entry_len, &entry));
+    if (ext_tag == kExtTagTraceContext &&
+        entry.size() == kTraceContextExtBytes) {
+      ByteReader tc(entry);
+      uint8_t flags;
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&frame->trace.trace_hi));
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&frame->trace.trace_lo));
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&frame->trace.span_id));
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU8(&flags));
+      frame->trace.sampled = (flags & kTraceFlagSampled) != 0;
+    }
+    // Any other tag (or a trace entry of an unexpected size, i.e. a
+    // future revision) is deliberately ignored.
+  }
+  std::string_view payload;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), &payload));
+  frame->payload = std::string(payload);
+  return Status::OK();
 }
 
-std::string EncodeResponseFrame(MsgType type, std::string_view payload) {
-  return EncodeFrame(static_cast<uint8_t>(type) | kResponseFlag, payload);
+}  // namespace
+
+std::string EncodeRequestFrame(MsgType type, std::string_view payload,
+                               const obs::SpanContext& trace,
+                               uint64_t version) {
+  return EncodeFrame(static_cast<uint8_t>(type), payload, trace, version);
+}
+
+std::string EncodeResponseFrame(MsgType type, std::string_view payload,
+                                uint64_t version) {
+  return EncodeFrame(static_cast<uint8_t>(type) | kResponseFlag, payload,
+                     obs::SpanContext(), version);
 }
 
 std::string EncodeResponsePayload(const Status& status,
@@ -111,14 +186,25 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
   const std::string_view envelope =
       pending.substr(sizeof(uint32_t), envelope_len);
   uint8_t tag;
-  auto payload = UnwrapEnvelope(kWireEnvelope, envelope, &tag);
+  uint64_t version;
+  auto payload = UnwrapEnvelopeRange(kWireEnvelope, kWireMinProtocolVersion,
+                                     envelope, &tag, &version);
   if (!payload.ok()) {
     failed_ = payload.status();
     return failed_;
   }
   Frame frame;
   frame.tag = tag;
-  frame.payload = std::string(*payload);
+  frame.version = version;
+  if (version >= 3) {
+    Status ext = DecodeFramePayloadV3(*payload, &frame);
+    if (!ext.ok()) {
+      failed_ = ext;
+      return failed_;
+    }
+  } else {
+    frame.payload = std::string(*payload);
+  }
   pos_ += sizeof(uint32_t) + envelope_len;
   return std::optional<Frame>(std::move(frame));
 }

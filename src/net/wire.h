@@ -35,6 +35,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace.h"
 #include "util/envelope.h"
 #include "util/serde.h"
 
@@ -52,6 +53,7 @@ enum class MsgType : uint8_t {
   kMetrics = 6,       // Prometheus text of the global registry
   kCheckpoint = 7,    // trigger a durable engine checkpoint
   kShutdown = 8,      // graceful drain (final checkpoint, then exit)
+  kTraceDump = 9,     // Chrome trace_event JSON of recent spans (v3+)
 };
 
 inline constexpr uint8_t kResponseFlag = 0x80;
@@ -61,23 +63,44 @@ const char* MsgTypeName(MsgType type);
 inline constexpr uint32_t kWireMagic = 0x57504d49;  // "IMPW"
 /// v2: SNAPSHOT responses carry an epoch header (see
 /// messages.h SnapshotResponse) and QUERY responses a trailing warnings
-/// section. Peers of mismatched versions refuse each other's frames at
-/// the envelope check rather than misparsing payloads.
-inline constexpr uint64_t kWireProtocolVersion = 2;
+/// section.
+/// v3: the envelope payload gains a leading extension block —
+/// varint ext length, then (u8 tag, varint length, bytes) entries —
+/// before the message payload. Unknown extension tags are skipped, so
+/// v3 readers tolerate fields minted after them. Defined tags:
+///   1  trace context (25 bytes: u64 trace_hi, u64 trace_lo,
+///      u64 span_id, u8 flags; flag bit 0 = sampled) — propagates one
+///      trace across client->server and supervisor->edge hops.
+/// A v3 endpoint still accepts v2 frames (no extension block) and
+/// answers them in v2, so old clients keep working; versions outside
+/// [kWireMinProtocolVersion, kWireProtocolVersion] are refused at the
+/// envelope check rather than misparsing payloads.
+inline constexpr uint64_t kWireProtocolVersion = 3;
+inline constexpr uint64_t kWireMinProtocolVersion = 2;
 
 inline constexpr EnvelopeFamily kWireEnvelope{kWireMagic,
                                               kWireProtocolVersion, "frame"};
+
+/// Extension tags of the v3 extension block (append only).
+inline constexpr uint8_t kExtTagTraceContext = 1;
+/// Encoded size of the trace-context extension value.
+inline constexpr size_t kTraceContextExtBytes = 8 + 8 + 8 + 1;
+inline constexpr uint8_t kTraceFlagSampled = 0x01;
 
 /// Hard ceiling on the envelope part of a frame (the u32 length prefix
 /// could name 4 GiB; nothing legitimate comes close). Individual servers
 /// and clients configure tighter bounds.
 inline constexpr size_t kAbsoluteMaxFrameBytes = 256u << 20;
 
-/// One decoded frame: the raw tag (type byte, response flag included) and
-/// an owned copy of the payload.
+/// One decoded frame: the raw tag (type byte, response flag included),
+/// an owned copy of the message payload (extension block already
+/// stripped), the envelope version it arrived in, and the trace context
+/// if the peer attached one (invalid otherwise).
 struct Frame {
   uint8_t tag = 0;
   std::string payload;
+  uint64_t version = kWireProtocolVersion;
+  obs::SpanContext trace;
 
   MsgType type() const {
     return static_cast<MsgType>(tag & ~kResponseFlag);
@@ -85,11 +108,19 @@ struct Frame {
   bool is_response() const { return (tag & kResponseFlag) != 0; }
 };
 
-/// Encodes a request frame (length prefix + envelope).
-std::string EncodeRequestFrame(MsgType type, std::string_view payload);
+/// Encodes a request frame (length prefix + envelope). With a valid
+/// `trace`, the context rides the v3 extension block; `version` lets
+/// compatibility tests and v2-pinned callers emit the old dialect
+/// (which has no extension block — any trace is dropped).
+std::string EncodeRequestFrame(MsgType type, std::string_view payload,
+                               const obs::SpanContext& trace = {},
+                               uint64_t version = kWireProtocolVersion);
 
-/// Encodes a response frame for `type` (tag = type | kResponseFlag).
-std::string EncodeResponseFrame(MsgType type, std::string_view payload);
+/// Encodes a response frame for `type` (tag = type | kResponseFlag) in
+/// the dialect of `version` — servers answer in the version the request
+/// arrived with, so a v2 client never sees a v3 payload.
+std::string EncodeResponseFrame(MsgType type, std::string_view payload,
+                                uint64_t version = kWireProtocolVersion);
 
 // ---------------------------------------------------------------------------
 // Response payload = Status header + body:

@@ -1,0 +1,180 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+namespace implistat::obs {
+
+namespace {
+
+std::atomic<uint8_t> g_min_level{static_cast<uint8_t>(LogLevel::kInfo)};
+
+// Leaked (never destroyed): log statements may run during static teardown.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+// stderr, serialized so concurrent events never interleave mid-line.
+std::mutex& StderrMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+void DefaultSink(std::string_view line) {
+  std::lock_guard<std::mutex> lock(StderrMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void Emit(std::string_view line) {
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = SinkSlot();
+  }
+  if (sink) {
+    sink(line);
+  } else {
+    DefaultSink(line);
+  }
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+uint64_t NowEpochMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = SinkSlot();
+  SinkSlot() = std::move(sink);
+  return previous;
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view component,
+                   std::string_view event)
+    : enabled_(static_cast<uint8_t>(level) >=
+               g_min_level.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  line_.reserve(160);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "{\"ts_ms\":%" PRIu64 ",\"level\":\"",
+                NowEpochMs());
+  line_.append(buf);
+  line_.append(LogLevelName(level));
+  line_.append("\",\"component\":\"");
+  AppendEscaped(&line_, component);
+  line_.append("\",\"event\":\"");
+  AppendEscaped(&line_, event);
+  line_.push_back('"');
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  line_.push_back('}');
+  Emit(line_);
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  line_.append(",\"");
+  line_.append(key);
+  line_.append("\":\"");
+  AppendEscaped(&line_, value);
+  line_.push_back('"');
+  return *this;
+}
+
+LogEvent& LogEvent::U64(std::string_view key, uint64_t value) {
+  if (!enabled_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  line_.append(",\"");
+  line_.append(key);
+  line_.append("\":");
+  line_.append(buf);
+  return *this;
+}
+
+LogEvent& LogEvent::I64(std::string_view key, int64_t value) {
+  if (!enabled_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  line_.append(",\"");
+  line_.append(key);
+  line_.append("\":");
+  line_.append(buf);
+  return *this;
+}
+
+LogEvent& LogEvent::F64(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  line_.append(",\"");
+  line_.append(key);
+  line_.append("\":");
+  line_.append(buf);
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  if (!enabled_) return *this;
+  line_.append(",\"");
+  line_.append(key);
+  line_.append("\":");
+  line_.append(value ? "true" : "false");
+  return *this;
+}
+
+}  // namespace implistat::obs

@@ -1,0 +1,76 @@
+// Leveled structured logging: one JSON object per line, machine-parseable
+// where the old scattered std::cerr one-liners were not. The serving and
+// cluster tiers emit events here for the things an operator greps for at
+// 3am — connection accepts/closes, backpressure drops, peer health
+// transitions (HEALTHY -> DEGRADED -> STALE), checkpoint writes, fold
+// failures.
+//
+//   {"ts_ms":1723200000123,"level":"warn","component":"cluster",
+//    "event":"peer_health","peer":"127.0.0.1:7070","from":"DEGRADED",
+//    "to":"STALE","consecutive_failures":3}
+//
+// Usage: the builder emits on destruction, so a log statement is one
+// expression:
+//
+//   obs::LogEvent(obs::LogLevel::kInfo, "net.server", "conn_accept")
+//       .U64("fd", fd).I64("connections", n);
+//
+// Events below the global level (SetMinLogLevel) cost one relaxed load
+// and build nothing. The sink defaults to stderr behind a mutex (whole
+// lines, so concurrent writers never interleave mid-line); tests install
+// a capturing sink via SetLogSink. This is control-plane logging —
+// events fire on connection/peer/checkpoint cadence, never per tuple —
+// so unlike metrics and traces it stays compiled in under
+// IMPLISTAT_METRICS=OFF: a constrained edge still wants to say why it
+// dropped a connection.
+
+#ifndef IMPLISTAT_OBS_LOG_H_
+#define IMPLISTAT_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace implistat::obs {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Events below `level` are discarded at the call site. Default: kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// Receives one complete JSON line (no trailing newline). Must be
+/// thread-safe or internally serialized; pass nullptr to restore the
+/// default stderr sink. The previous sink is returned so tests can
+/// restore it.
+using LogSink = std::function<void(std::string_view line)>;
+LogSink SetLogSink(LogSink sink);
+
+/// One structured event; fields append in call order and the line is
+/// emitted when the builder dies. Field keys must be plain ASCII
+/// identifiers (they are not escaped); values are escaped as needed.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view component,
+           std::string_view event);
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+  ~LogEvent();
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& U64(std::string_view key, uint64_t value);
+  LogEvent& I64(std::string_view key, int64_t value);
+  LogEvent& F64(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+ private:
+  bool enabled_;
+  std::string line_;
+};
+
+}  // namespace implistat::obs
+
+#endif  // IMPLISTAT_OBS_LOG_H_

@@ -1,0 +1,293 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/random.h"
+
+namespace implistat::obs {
+
+namespace tracereal {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One thread's flight recorder. Created on the thread's first span, kept
+// alive by the global registry after the thread exits so late Snapshot()
+// calls still see its spans. The mutex is only ever *held* briefly: a
+// writer try_locks (and drops the span on collision), a snapshotter
+// locks for the copy.
+struct SpanRing {
+  std::mutex mu;
+  std::vector<SpanRecord> slots{Tracer::kRingCapacity};
+  uint64_t head = 0;  // total spans ever written; slot = head % capacity
+  uint32_t tid = 0;
+};
+
+std::atomic<uint32_t> g_sample_every_n{64};
+std::atomic<uint64_t> g_dropped{0};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+// Never destroyed: rings must outlive any thread and any static-teardown
+// snapshot.
+std::vector<std::shared_ptr<SpanRing>>& Rings() {
+  static auto* rings = new std::vector<std::shared_ptr<SpanRing>>();
+  return *rings;
+}
+
+struct ThreadState {
+  std::shared_ptr<SpanRing> ring;
+  SpanContext stack[Tracer::kMaxDepth];
+  size_t depth = 0;
+  uint64_t root_counter = 0;
+  Rng rng;
+
+  ThreadState()
+      : rng(SplitMix64(NowNs() ^
+                       (static_cast<uint64_t>(getpid()) << 32) ^
+                       reinterpret_cast<uint64_t>(this))) {
+    ring = std::make_shared<SpanRing>();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    ring->tid = static_cast<uint32_t>(Rings().size());
+    Rings().push_back(ring);
+  }
+
+  uint64_t NonZero64() {
+    uint64_t v;
+    do {
+      v = rng.Next64();
+    } while (v == 0);
+    return v;
+  }
+};
+
+ThreadState& Tls() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+void Tracer::SetSampleEveryN(uint32_t n) {
+  g_sample_every_n.store(n, std::memory_order_relaxed);
+}
+
+uint32_t Tracer::SampleEveryN() {
+  return g_sample_every_n.load(std::memory_order_relaxed);
+}
+
+SpanContext Tracer::CurrentContext() {
+  ThreadState& state = Tls();
+  if (state.depth == 0) return SpanContext();
+  return state.stack[state.depth - 1];
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() {
+  // Copy the ring list first so ring locks are never held while the
+  // registry lock is (and vice versa) — no ordering to get wrong.
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    rings = Rings();
+  }
+  std::vector<SpanRecord> spans;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const uint64_t capacity = ring->slots.size();
+    const uint64_t first = ring->head > capacity ? ring->head - capacity : 0;
+    for (uint64_t i = first; i < ring->head; ++i) {
+      spans.push_back(ring->slots[i % capacity]);
+    }
+  }
+  return spans;
+}
+
+uint64_t Tracer::Dropped() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) {
+  Begin(name, category, SpanContext(), false);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category,
+                       const SpanContext& parent) {
+  Begin(name, category, parent, true);
+}
+
+void ScopedSpan::Begin(const char* name, const char* category,
+                       const SpanContext& parent, bool force_inherit) {
+  ThreadState& state = Tls();
+  SpanContext effective = parent;
+  if (!force_inherit || !effective.valid()) {
+    effective = state.depth > 0 ? state.stack[state.depth - 1] : SpanContext();
+  }
+  if (effective.valid()) {
+    // Nested or remote-parented: the root's sampling decision rides
+    // along, so a trace is recorded everywhere or nowhere.
+    sampled_ = effective.sampled;
+    context_.trace_hi = effective.trace_hi;
+    context_.trace_lo = effective.trace_lo;
+    record_.parent_id = effective.span_id;
+  } else {
+    const uint32_t n = Tracer::SampleEveryN();
+    sampled_ = n != 0 && (state.root_counter++ % n) == 0;
+    context_.trace_hi = state.NonZero64();
+    context_.trace_lo = state.NonZero64();
+    record_.parent_id = 0;
+  }
+  context_.span_id = state.NonZero64();
+  context_.sampled = sampled_;
+  if (state.depth < Tracer::kMaxDepth) {
+    state.stack[state.depth++] = context_;
+    pushed_ = true;
+  }
+  if (!sampled_) return;
+  record_.trace_hi = context_.trace_hi;
+  record_.trace_lo = context_.trace_lo;
+  record_.span_id = context_.span_id;
+  record_.name = name;
+  record_.category = category;
+  record_.start_ns = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  ThreadState& state = Tls();
+  if (pushed_) --state.depth;
+  if (!sampled_) return;
+  record_.duration_ns = NowNs() - record_.start_ns;
+  SpanRing& ring = *state.ring;
+  record_.tid = ring.tid;
+  // Never block a serving thread on the dump path: a collision with a
+  // concurrent Snapshot() drops this one span.
+  if (!ring.mu.try_lock()) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring.slots[ring.head % ring.slots.size()] = record_;
+  ++ring.head;
+  ring.mu.unlock();
+}
+
+void ScopedSpan::Annotate(const char* key, uint64_t value) {
+  if (!sampled_) return;
+  for (auto& slot : record_.annotations) {
+    if (slot.key == nullptr) {
+      slot.key = key;
+      slot.value = value;
+      return;
+    }
+  }
+}
+
+void ScopedSpan::SetDetail(const char* detail) {
+  if (!sampled_) return;
+  std::snprintf(record_.detail, sizeof(record_.detail), "%s", detail);
+}
+
+}  // namespace tracereal
+
+// ---------------------------------------------------------------------------
+// Export — compiled unconditionally (pure functions over plain structs),
+// like the metric exporters.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string TraceIdHex(uint64_t trace_hi, uint64_t trace_lo) {
+  std::string hex;
+  hex.reserve(32);
+  AppendHex64(&hex, trace_hi);
+  AppendHex64(&hex, trace_lo);
+  return hex;
+}
+
+std::string WriteTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  out.reserve(64 + spans.size() * 256);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  const long pid = static_cast<long>(getpid());
+  bool first = true;
+  char buf[160];
+  for (const SpanRecord& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, span.name);
+    out.append("\",\"cat\":\"");
+    AppendEscaped(&out, span.category);
+    // trace_event ts/dur are microseconds; keep nanosecond precision in
+    // the fraction so sub-microsecond phases stay visible.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%ld,"
+                  "\"tid\":%u,\"args\":{",
+                  static_cast<double>(span.start_ns) / 1000.0,
+                  static_cast<double>(span.duration_ns) / 1000.0, pid,
+                  span.tid);
+    out.append(buf);
+    out.append("\"trace_id\":\"");
+    AppendHex64(&out, span.trace_hi);
+    AppendHex64(&out, span.trace_lo);
+    out.append("\",\"span_id\":\"");
+    AppendHex64(&out, span.span_id);
+    out.append("\",\"parent_id\":\"");
+    AppendHex64(&out, span.parent_id);
+    out.push_back('"');
+    if (span.detail[0] != '\0') {
+      out.append(",\"detail\":\"");
+      AppendEscaped(&out, span.detail);
+      out.push_back('"');
+    }
+    for (const auto& annotation : span.annotations) {
+      if (annotation.key == nullptr) continue;
+      out.append(",\"");
+      AppendEscaped(&out, annotation.key);
+      std::snprintf(buf, sizeof(buf), "\":%" PRIu64, annotation.value);
+      out.append(buf);
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace implistat::obs

@@ -30,9 +30,11 @@ const Crc32cTable& CrcTable() {
   return table;
 }
 
-// Shared header parse for unwrap/peek: checks magic and version, leaves
-// `reader` positioned at the tag byte.
-Status ReadEnvelopeHeader(const EnvelopeFamily& family, ByteReader& reader) {
+// Shared header parse for unwrap/peek: checks magic and that the version
+// falls in [min_version, family.version], leaves `reader` positioned at
+// the tag byte. `version_out` may be null.
+Status ReadEnvelopeHeader(const EnvelopeFamily& family, uint64_t min_version,
+                          ByteReader& reader, uint64_t* version_out) {
   const std::string what(family.name);
   uint32_t magic;
   IMPLISTAT_RETURN_NOT_OK(reader.ReadU32(&magic));
@@ -42,46 +44,23 @@ Status ReadEnvelopeHeader(const EnvelopeFamily& family, ByteReader& reader) {
   }
   uint64_t version;
   IMPLISTAT_RETURN_NOT_OK(reader.ReadVarint64(&version));
-  if (version != family.version) {
+  if (version < min_version || version > family.version) {
     return Status::InvalidArgument(
         what + ": unsupported format version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(family.version) +
-        ")");
+        " (this build reads versions " + std::to_string(min_version) +
+        ".." + std::to_string(family.version) + ")");
   }
+  if (version_out != nullptr) *version_out = version;
   return Status::OK();
 }
 
-}  // namespace
-
-uint32_t Crc32c(std::string_view data) {
-  const Crc32cTable& table = CrcTable();
-  uint32_t crc = ~0u;
-  for (char c : data) {
-    crc = (crc >> 8) ^ table.entries[(crc ^ static_cast<uint8_t>(c)) & 0xff];
-  }
-  return ~crc;
-}
-
-std::string WrapEnvelope(const EnvelopeFamily& family, uint8_t tag,
-                         std::string_view payload) {
-  ByteWriter out;
-  out.PutU32(family.magic);
-  out.PutVarint64(family.version);
-  out.PutU8(tag);
-  out.PutVarint64(payload.size());
-  out.PutBytes(payload);
-  std::string bytes = out.Release();
-  uint32_t crc = Crc32c(bytes);
-  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  return bytes;
-}
-
-StatusOr<std::string_view> UnwrapEnvelope(const EnvelopeFamily& family,
-                                          std::string_view bytes,
-                                          uint8_t* tag) {
+// Body shared by the exact and ranged unwraps: tag, payload length,
+// payload, CRC — with `reader` already past the header.
+StatusOr<std::string_view> UnwrapEnvelopeBody(const EnvelopeFamily& family,
+                                              std::string_view bytes,
+                                              ByteReader& reader,
+                                              uint8_t* tag) {
   const std::string what(family.name);
-  ByteReader reader(bytes);
-  IMPLISTAT_RETURN_NOT_OK(ReadEnvelopeHeader(family, reader));
   uint8_t tag_byte;
   IMPLISTAT_RETURN_NOT_OK(reader.ReadU8(&tag_byte));
   uint64_t payload_len;
@@ -107,10 +86,61 @@ StatusOr<std::string_view> UnwrapEnvelope(const EnvelopeFamily& family,
   return payload;
 }
 
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  const Crc32cTable& table = CrcTable();
+  uint32_t crc = ~0u;
+  for (char c : data) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ static_cast<uint8_t>(c)) & 0xff];
+  }
+  return ~crc;
+}
+
+std::string WrapEnvelope(const EnvelopeFamily& family, uint8_t tag,
+                         std::string_view payload) {
+  return WrapEnvelopeAt(family, family.version, tag, payload);
+}
+
+std::string WrapEnvelopeAt(const EnvelopeFamily& family, uint64_t version,
+                           uint8_t tag, std::string_view payload) {
+  ByteWriter out;
+  out.PutU32(family.magic);
+  out.PutVarint64(version);
+  out.PutU8(tag);
+  out.PutVarint64(payload.size());
+  out.PutBytes(payload);
+  std::string bytes = out.Release();
+  uint32_t crc = Crc32c(bytes);
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return bytes;
+}
+
+StatusOr<std::string_view> UnwrapEnvelope(const EnvelopeFamily& family,
+                                          std::string_view bytes,
+                                          uint8_t* tag) {
+  ByteReader reader(bytes);
+  IMPLISTAT_RETURN_NOT_OK(
+      ReadEnvelopeHeader(family, family.version, reader, nullptr));
+  return UnwrapEnvelopeBody(family, bytes, reader, tag);
+}
+
+StatusOr<std::string_view> UnwrapEnvelopeRange(const EnvelopeFamily& family,
+                                               uint64_t min_version,
+                                               std::string_view bytes,
+                                               uint8_t* tag,
+                                               uint64_t* version) {
+  ByteReader reader(bytes);
+  IMPLISTAT_RETURN_NOT_OK(
+      ReadEnvelopeHeader(family, min_version, reader, version));
+  return UnwrapEnvelopeBody(family, bytes, reader, tag);
+}
+
 StatusOr<uint8_t> PeekEnvelopeTag(const EnvelopeFamily& family,
                                   std::string_view bytes) {
   ByteReader reader(bytes);
-  IMPLISTAT_RETURN_NOT_OK(ReadEnvelopeHeader(family, reader));
+  IMPLISTAT_RETURN_NOT_OK(
+      ReadEnvelopeHeader(family, family.version, reader, nullptr));
   uint8_t tag_byte;
   IMPLISTAT_RETURN_NOT_OK(reader.ReadU8(&tag_byte));
   return tag_byte;

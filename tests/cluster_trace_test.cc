@@ -1,0 +1,281 @@
+// Cluster-tier observability tests: one poll round's trace crossing
+// from the supervisor (cluster.poll → cluster.pull → client.roundtrip)
+// over a real socket into the edge server's phases (server.handle), the
+// fold span joining the same trace, and the structured peer_health log
+// events pinning the HEALTHY → DEGRADED → STALE → HEALTHY sequence an
+// operator greps for after a kill/rejoin cycle.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/supervisor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "query/engine.h"
+
+namespace implistat::cluster {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+std::vector<ValueId> Row(uint64_t i) {
+  return {static_cast<ValueId>(i % 97),
+          static_cast<ValueId>((i % 7 == 0) ? i % 47 : (i % 97) % 13),
+          static_cast<ValueId>(i % 24)};
+}
+
+void FeedLocal(QueryEngine& engine, uint64_t begin, uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
+    std::vector<ValueId> row = Row(i);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+}
+
+// A restartable edge server (see cluster_supervisor_test.cc).
+class Edge {
+ public:
+  Edge() { Reset(); }
+  ~Edge() { Stop(); }
+
+  void Reset() { engine_ = std::make_unique<QueryEngine>(TestSchema()); }
+  QueryEngine& engine() { return *engine_; }
+
+  void Start() {
+    net::ServerOptions options;
+    options.port = port_;
+    server_ = std::make_unique<net::Server>(engine_.get(), options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    port_ = server_->port();
+    thread_ = std::thread([this] { (void)server_->Run(); });
+  }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    server_->Shutdown();
+    thread_.join();
+    server_.reset();
+  }
+
+  uint16_t port() const { return port_; }
+  PeerConfig Config(const std::string& name) const {
+    return PeerConfig{"127.0.0.1", port_, name};
+  }
+  StatusOr<net::Client> Connect() {
+    return net::Client::Connect("127.0.0.1", port_);
+  }
+
+ private:
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+  uint16_t port_ = 0;
+};
+
+SupervisorOptions TestOptions() {
+  SupervisorOptions options;
+  options.poll_interval_ms = 1000;
+  options.rpc_deadline_ms = 2000;
+  options.connect_timeout_ms = 500;
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 400;
+  options.stale_after_failures = 3;
+  options.jitter_seed = 42;
+  return options;
+}
+
+// Thread-safe capturing sink: server and supervisor threads both log.
+class CaptureLog {
+ public:
+  CaptureLog() {
+    obs::SetLogSink([this](std::string_view line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.emplace_back(line);
+    });
+  }
+  ~CaptureLog() { obs::SetLogSink(nullptr); }
+
+  std::vector<std::string> Lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+  // Captured lines for one event name, in emission order.
+  std::vector<std::string> Events(const std::string& event) const {
+    std::vector<std::string> out;
+    for (const std::string& line : Lines()) {
+      if (line.find("\"event\":\"" + event + "\"") != std::string::npos) {
+        out.push_back(line);
+      }
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(ClusterTraceTest, PollTraceSpansSupervisorSocketAndEdge) {
+  if (!obs::kTraceEnabled) {
+    GTEST_SKIP() << "tracing compiled out (IMPLISTAT_METRICS=OFF)";
+  }
+  const uint32_t previous_rate = obs::Tracer::SampleEveryN();
+  obs::Tracer::SetSampleEveryN(1);
+
+  Edge edge;
+  ASSERT_TRUE(edge.engine().Register(ExactSpec()).ok());
+  FeedLocal(edge.engine(), 0, 300);
+  edge.Start();
+
+  QueryEngine aggregate(TestSchema());
+  ASSERT_TRUE(aggregate.Register(ExactSpec()).ok());
+  AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge-a")},
+                                  TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+
+  PollStats stats = supervisor.PollOnce(0);
+  ASSERT_EQ(stats.succeeded, 1);
+  ASSERT_TRUE(stats.refolded);
+
+  // Serialize behind the edge's event loop so the SNAPSHOT handle span
+  // has been recorded before we read the rings.
+  {
+    auto client = edge.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->Ping().ok());
+  }
+
+  auto spans = obs::Tracer::Snapshot();
+  const obs::SpanRecord* poll = nullptr;
+  for (const auto& span : spans) {
+    if (std::string_view(span.name) == "cluster.poll") poll = &span;
+  }
+  ASSERT_NE(poll, nullptr);
+  EXPECT_EQ(poll->parent_id, 0u);  // the poll roots the trace
+
+  const obs::SpanRecord* pull = nullptr;
+  const obs::SpanRecord* roundtrip = nullptr;
+  const obs::SpanRecord* handle = nullptr;
+  const obs::SpanRecord* fold = nullptr;
+  for (const auto& span : spans) {
+    if (span.trace_hi != poll->trace_hi || span.trace_lo != poll->trace_lo) {
+      continue;
+    }
+    const std::string_view name(span.name);
+    if (name == "cluster.pull") pull = &span;
+    if (name == "client.roundtrip") roundtrip = &span;
+    if (name == "server.handle") handle = &span;
+    if (name == "cluster.fold") fold = &span;
+  }
+  // Level 1: the per-peer pull nests in the poll, labeled with the peer.
+  ASSERT_NE(pull, nullptr);
+  EXPECT_EQ(pull->parent_id, poll->span_id);
+  EXPECT_EQ(std::string_view(pull->detail), "edge-a");
+  // Level 2: the SNAPSHOT RPC nests in the pull.
+  ASSERT_NE(roundtrip, nullptr);
+  EXPECT_EQ(roundtrip->parent_id, pull->span_id);
+  EXPECT_EQ(std::string_view(roundtrip->detail), "snapshot");
+  // Level 3: ACROSS the socket — the edge server's handle span carries
+  // the same 128-bit trace id, parented on the supervisor's RPC span,
+  // recorded on the edge's serving thread.
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->parent_id, roundtrip->span_id);
+  EXPECT_NE(handle->tid, roundtrip->tid);
+  // And the refold joins the same trace (it may run on another thread;
+  // the poll context is captured into the closure explicitly).
+  ASSERT_NE(fold, nullptr);
+  EXPECT_EQ(fold->parent_id, poll->span_id);
+
+  obs::Tracer::SetSampleEveryN(previous_rate);
+}
+
+TEST(ClusterTraceTest, KillStaleRejoinEmitsPinnedHealthEventSequence) {
+  CaptureLog capture;
+
+  Edge edge;
+  ASSERT_TRUE(edge.engine().Register(ExactSpec()).ok());
+  FeedLocal(edge.engine(), 0, 300);
+  edge.Start();
+
+  QueryEngine aggregate(TestSchema());
+  ASSERT_TRUE(aggregate.Register(ExactSpec()).ok());
+  AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge-a")},
+                                  TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+
+  // Healthy pulls emit no transition events.
+  ASSERT_EQ(supervisor.PollOnce(0).succeeded, 1);
+  EXPECT_TRUE(capture.Events("peer_health").empty());
+
+  // Kill the edge and poll through the backoff windows until STALE.
+  edge.Stop();
+  int64_t now = 1000;
+  int rounds = 0;
+  while (supervisor.PeerStatuses()[0].health != PeerHealth::kStale) {
+    supervisor.PollOnce(now);
+    now += 1000;
+    ASSERT_LT(++rounds, 10) << "peer never went STALE";
+  }
+
+  // Rejoin with the same data: one good pull restores HEALTHY.
+  edge.Reset();
+  ASSERT_TRUE(edge.engine().Register(ExactSpec()).ok());
+  FeedLocal(edge.engine(), 0, 300);
+  edge.Start();
+  now += 10000;
+  ASSERT_EQ(supervisor.PollOnce(now).succeeded, 1);
+  ASSERT_EQ(supervisor.PeerStatuses()[0].health, PeerHealth::kHealthy);
+
+  // The exact transition sequence, in order, each naming the peer:
+  //   HEALTHY -> DEGRADED (info), DEGRADED -> STALE (warn),
+  //   STALE -> HEALTHY (info). Repeated failures inside DEGRADED emit
+  //   nothing — transitions are events, levels are state.
+  auto events = capture.Events("peer_health");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_NE(events[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"from\":\"HEALTHY\",\"to\":\"DEGRADED\""),
+            std::string::npos)
+      << events[0];
+  EXPECT_NE(events[1].find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(events[1].find("\"from\":\"DEGRADED\",\"to\":\"STALE\""),
+            std::string::npos)
+      << events[1];
+  EXPECT_NE(events[1].find("\"consecutive_failures\":3"), std::string::npos)
+      << events[1];
+  EXPECT_NE(events[1].find("\"last_error\":"), std::string::npos);
+  EXPECT_NE(events[2].find("\"from\":\"STALE\",\"to\":\"HEALTHY\""),
+            std::string::npos)
+      << events[2];
+  for (const std::string& event : events) {
+    EXPECT_NE(event.find("\"peer\":\"edge-a\""), std::string::npos) << event;
+    EXPECT_NE(event.find("\"component\":\"cluster\""), std::string::npos);
+  }
+  // A healthy kill/rejoin cycle never fails a refold.
+  EXPECT_TRUE(capture.Events("refold_failed").empty());
+}
+
+}  // namespace
+}  // namespace implistat::cluster

@@ -32,19 +32,49 @@ std::string FromHex(std::string_view hex) {
 // Known-answer vectors: the exact bytes of two minimal frames. A change
 // here is a wire-format break — old clients stop interoperating. The CRC
 // trailers are Castagnoli CRC32C values over the envelope bytes.
-// (Version byte is 0x02 since protocol v2: SNAPSHOT epoch header, QUERY
-// warnings section.)
+// (Version byte is 0x03 since protocol v3: the envelope payload opens
+// with a varint extension-block length — 0x00 when no trace context
+// rides the frame — before the message payload.)
 TEST(FrameKatTest, PingRequestBytes) {
   EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}),
-            FromHex("0b000000494d50570201000134" "1c6b"));
+            FromHex("0c000000494d505703010100" "a9fe9a6e"));
 }
 
 TEST(FrameKatTest, QueryOkResponseBytes) {
-  // Tag 0x83 = kQuery | kResponseFlag; payload = OK status header
-  // (code 0 varint, empty message).
+  // Tag 0x83 = kQuery | kResponseFlag; payload = empty ext block, then
+  // OK status header (code 0 varint, empty message).
   EXPECT_EQ(EncodeResponseFrame(MsgType::kQuery,
                                 EncodeResponsePayload(Status::OK())),
+            FromHex("0e000000494d5057038303000000" "aba26e05"));
+}
+
+// The v2 dialect must keep emitting byte-identical frames: that is what
+// lets a v3 server answer a v2 client without the client noticing.
+TEST(FrameKatTest, V2DialectBytesUnchanged) {
+  EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}, {}, /*version=*/2),
+            FromHex("0b000000494d50570201000134" "1c6b"));
+  EXPECT_EQ(EncodeResponseFrame(MsgType::kQuery,
+                                EncodeResponsePayload(Status::OK()),
+                                /*version=*/2),
             FromHex("0d000000494d505702830200" "00a4e212b7"));
+}
+
+// A sampled trace context rides as extension tag 1: 25 bytes of
+// little-endian trace_hi, trace_lo, span_id, then the flags byte.
+TEST(FrameKatTest, TracedPingRequestBytes) {
+  obs::SpanContext trace;
+  trace.trace_hi = 0x0123456789abcdefULL;
+  trace.trace_lo = 0xfedcba9876543210ULL;
+  trace.span_id = 0x1122334455667788ULL;
+  trace.sampled = true;
+  EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}, trace),
+            FromHex("27000000494d505703011c"
+                    "1b0119"                  // ext_len, tag 1, entry len 25
+                    "efcdab8967452301"        // trace_hi
+                    "1032547698badcfe"        // trace_lo
+                    "8877665544332211"        // span_id
+                    "01"                      // flags: sampled
+                    "172e5f75"));
 }
 
 TEST(FrameKatTest, HeaderFieldsWhereDocumented) {
@@ -61,6 +91,8 @@ TEST(FrameKatTest, HeaderFieldsWhereDocumented) {
   // Version varint, then the tag byte.
   EXPECT_EQ(frame[8], static_cast<char>(kWireProtocolVersion));
   EXPECT_EQ(frame[9], static_cast<char>(MsgType::kPing));
+  // Envelope payload opens with the ext-block length (empty here).
+  EXPECT_EQ(frame[11], 0);
   // Distinct from the snapshot magic: a frame can never pass for a file.
   EXPECT_NE(kWireMagic, kSnapshotMagic);
 }

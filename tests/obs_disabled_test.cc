@@ -24,6 +24,7 @@
 #include "obs/export_json.h"
 #include "obs/export_prometheus.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace implistat::obs {
 namespace {
@@ -80,6 +81,47 @@ TEST(DisabledMetricsTest, ExportersHandleTheEmptySnapshot) {
             "{\n  \"format\": \"implistat-metrics-v1\",\n  \"metrics\": "
             "[\n  ]\n}\n");
   EXPECT_EQ(WriteMetricsPrometheus(snap), "");
+}
+
+static_assert(std::is_same_v<Tracer, tracenull::Tracer>);
+static_assert(std::is_same_v<ScopedSpan, tracenull::ScopedSpan>);
+
+TEST(DisabledTraceTest, SpansAreInertAndRecordNothing) {
+  Tracer::SetSampleEveryN(1);   // must not enable anything
+  EXPECT_EQ(Tracer::SampleEveryN(), 0u);
+  {
+    ScopedSpan span("test.disabled", "test");
+    EXPECT_FALSE(span.sampled());
+    span.Annotate("bytes", 123);
+    span.SetDetail("ignored");
+    // No span is ever "open": nothing to propagate to the wire.
+    EXPECT_FALSE(Tracer::CurrentContext().valid());
+    EXPECT_FALSE(span.context().valid());
+  }
+  EXPECT_TRUE(Tracer::Snapshot().empty());
+  EXPECT_EQ(Tracer::Dropped(), 0u);
+  // A disabled build keeps no flight recorder at all.
+  EXPECT_EQ(Tracer::kRingCapacity, 0u);
+}
+
+TEST(DisabledTraceTest, WireDataAndExporterStayReal) {
+  // SpanContext is wire data and the exporter is a pure function — both
+  // must keep working in a disabled build, so a tracing-off edge can
+  // still forward contexts and a dump of zero spans is valid JSON.
+  SpanContext ctx;
+  ctx.trace_hi = 1;
+  ctx.trace_lo = 2;
+  ctx.span_id = 3;
+  ctx.sampled = true;
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(TraceIdHex(ctx.trace_hi, ctx.trace_lo),
+            "00000000000000010000000000000002");
+  EXPECT_EQ(WriteTraceJson({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+  SpanRecord record;
+  record.name = "still.exports";
+  EXPECT_NE(WriteTraceJson({record}).find("still.exports"),
+            std::string::npos);
 }
 
 TEST(DisabledMetricsTest, RealImplementationStillCompiles) {

@@ -1,0 +1,172 @@
+// Structured logging tests: one JSON object per line, level gating,
+// field typing and escaping, and the pluggable sink tests and tools use
+// to capture the event stream.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace implistat::obs {
+namespace {
+
+// Installs a capturing sink for the test body and restores the default
+// stderr sink (and the default level) afterwards.
+class CaptureLog {
+ public:
+  CaptureLog() {
+    SetLogSink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+  }
+  ~CaptureLog() {
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+// Minimal structural JSON check: balanced braces outside strings, no
+// raw control characters, object start/end. (Full parsing belongs to
+// the CI smoke job's python check; here we pin the invariants the
+// emitter owns.)
+void ExpectJsonObjectLine(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control char";
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // escaped char, skip
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(LogTest, EmitsOneJsonLineWithStandardFields) {
+  CaptureLog capture;
+  LogEvent(LogLevel::kInfo, "net.server", "conn_accept")
+      .Str("peer", "127.0.0.1:9999")
+      .U64("fd", 7);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  ExpectJsonObjectLine(line);
+  EXPECT_EQ(line.find("{\"ts_ms\":"), 0u);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"component\":\"net.server\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"conn_accept\""), std::string::npos);
+  EXPECT_NE(line.find("\"peer\":\"127.0.0.1:9999\""), std::string::npos);
+  EXPECT_NE(line.find("\"fd\":7"), std::string::npos);
+}
+
+TEST(LogTest, FieldTypesSerializeDistinctly) {
+  CaptureLog capture;
+  LogEvent(LogLevel::kWarn, "test", "types")
+      .I64("negative", -42)
+      .U64("big", 18446744073709551615ULL)
+      .F64("ratio", 0.5)
+      .Bool("yes", true)
+      .Bool("no", false);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  ExpectJsonObjectLine(line);
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"negative\":-42"), std::string::npos);
+  EXPECT_NE(line.find("\"big\":18446744073709551615"), std::string::npos);
+  EXPECT_NE(line.find("\"yes\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"no\":false"), std::string::npos);
+}
+
+TEST(LogTest, EscapesQuotesBackslashesAndControlChars) {
+  CaptureLog capture;
+  LogEvent(LogLevel::kError, "test", "escape")
+      .Str("path", "C:\\tmp\\\"quoted\"")
+      .Str("multiline", "line1\nline2\ttabbed");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  ExpectJsonObjectLine(line);
+  EXPECT_NE(line.find("C:\\\\tmp\\\\\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(line.find("line1\\u000aline2\\u0009tabbed"), std::string::npos);
+  // The embedded newline must never split the line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LogTest, MinLevelGatesAtTheCallSite) {
+  CaptureLog capture;
+  SetMinLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kWarn);
+  LogEvent(LogLevel::kDebug, "test", "dropped_debug");
+  LogEvent(LogLevel::kInfo, "test", "dropped_info").Str("k", "v");
+  LogEvent(LogLevel::kWarn, "test", "kept_warn");
+  LogEvent(LogLevel::kError, "test", "kept_error");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("kept_warn"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("kept_error"), std::string::npos);
+
+  SetMinLogLevel(LogLevel::kDebug);
+  LogEvent(LogLevel::kDebug, "test", "now_visible");
+  ASSERT_EQ(capture.lines().size(), 3u);
+  EXPECT_NE(capture.lines()[2].find("\"level\":\"debug\""),
+            std::string::npos);
+}
+
+TEST(LogTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(LogTest, SetLogSinkReturnsPreviousSinkForRestoration) {
+  std::vector<std::string> outer_lines;
+  LogSink original = SetLogSink([&outer_lines](std::string_view line) {
+    outer_lines.emplace_back(line);
+  });
+  // Swap in a second sink; the first comes back out.
+  std::vector<std::string> inner_lines;
+  LogSink previous = SetLogSink([&inner_lines](std::string_view line) {
+    inner_lines.emplace_back(line);
+  });
+  ASSERT_TRUE(previous);
+  LogEvent(LogLevel::kInfo, "test", "to_inner");
+  SetLogSink(std::move(previous));
+  LogEvent(LogLevel::kInfo, "test", "to_outer");
+  SetLogSink(nullptr);  // back to stderr for everyone after us
+  EXPECT_EQ(inner_lines.size(), 1u);
+  ASSERT_EQ(outer_lines.size(), 1u);
+  EXPECT_NE(outer_lines[0].find("to_outer"), std::string::npos);
+}
+
+TEST(LogTest, EventsEmitInCallOrder) {
+  CaptureLog capture;
+  for (int i = 0; i < 10; ++i) {
+    LogEvent(LogLevel::kInfo, "test", "seq").I64("i", i);
+  }
+  ASSERT_EQ(capture.lines().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(capture.lines()[static_cast<size_t>(i)].find(
+                  "\"i\":" + std::to_string(i)),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace implistat::obs

@@ -1,0 +1,272 @@
+// Tracing subsystem tests: sampling decisions (root 1-in-N, propagated
+// contexts keep the root's verdict), parent/child linkage through the
+// thread-local span stack and across explicit remote parents, ring
+// overwrite semantics, and the Chrome trace_event JSON exporter.
+//
+// The tracer is process-global (rings outlive threads by design), so
+// every test uses its own span names and filters snapshots by them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace implistat::obs {
+namespace {
+
+// Exercise the real implementation by its own name: like the real::
+// metrics registry, tracereal is compiled in every build mode, so this
+// suite tests identical behavior whether or not the build's obs::Tracer
+// alias points here. (obs_disabled_test covers the null view.)
+using Tracer = tracereal::Tracer;
+using ScopedSpan = tracereal::ScopedSpan;
+
+// Pins the sampling rate for a test and restores the previous one.
+class SampleEveryN {
+ public:
+  explicit SampleEveryN(uint32_t n) : previous_(Tracer::SampleEveryN()) {
+    Tracer::SetSampleEveryN(n);
+  }
+  ~SampleEveryN() { Tracer::SetSampleEveryN(previous_); }
+
+ private:
+  uint32_t previous_;
+};
+
+std::vector<SpanRecord> SpansNamed(const char* name) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : Tracer::Snapshot()) {
+    if (std::string_view(span.name) == name) out.push_back(span);
+  }
+  return out;
+}
+
+TEST(TraceIdTest, HexIsThirtyTwoLowercaseDigits) {
+  EXPECT_EQ(TraceIdHex(0x0123456789abcdefULL, 0x00000000000000ffULL),
+            "0123456789abcdef00000000000000ff");
+  EXPECT_EQ(TraceIdHex(0, 0), std::string(32, '0'));
+}
+
+TEST(TracerTest, NestedSpansShareTraceAndLinkParents) {
+  SampleEveryN sample(1);
+  SpanContext outer_ctx;
+  SpanContext inner_ctx;
+  {
+    ScopedSpan outer("test.trace.outer", "test");
+    ASSERT_TRUE(outer.sampled());
+    outer_ctx = outer.context();
+    EXPECT_TRUE(outer_ctx.valid());
+    EXPECT_NE(outer_ctx.span_id, 0u);
+    {
+      ScopedSpan inner("test.trace.inner", "test");
+      ASSERT_TRUE(inner.sampled());
+      inner_ctx = inner.context();
+    }
+  }
+  // Same 128-bit trace id, distinct span ids.
+  EXPECT_EQ(inner_ctx.trace_hi, outer_ctx.trace_hi);
+  EXPECT_EQ(inner_ctx.trace_lo, outer_ctx.trace_lo);
+  EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+
+  auto outers = SpansNamed("test.trace.outer");
+  auto inners = SpansNamed("test.trace.inner");
+  ASSERT_EQ(outers.size(), 1u);
+  ASSERT_EQ(inners.size(), 1u);
+  EXPECT_EQ(outers[0].parent_id, 0u);  // local root
+  EXPECT_EQ(inners[0].parent_id, outer_ctx.span_id);
+  EXPECT_EQ(std::string_view(outers[0].category), "test");
+  // The inner span closed first and nests inside the outer interval.
+  EXPECT_GE(inners[0].start_ns, outers[0].start_ns);
+  EXPECT_LE(inners[0].start_ns + inners[0].duration_ns,
+            outers[0].start_ns + outers[0].duration_ns);
+}
+
+TEST(TracerTest, CurrentContextTracksTheOpenSpan) {
+  SampleEveryN sample(1);
+  EXPECT_FALSE(Tracer::CurrentContext().valid());
+  {
+    ScopedSpan span("test.trace.current", "test");
+    SpanContext current = Tracer::CurrentContext();
+    EXPECT_TRUE(current.valid());
+    EXPECT_EQ(current.span_id, span.context().span_id);
+  }
+  EXPECT_FALSE(Tracer::CurrentContext().valid());
+}
+
+TEST(TracerTest, SamplingZeroRecordsNothing) {
+  SampleEveryN sample(0);
+  {
+    ScopedSpan span("test.trace.never", "test");
+    EXPECT_FALSE(span.sampled());
+    span.Annotate("ignored", 1);  // must be a harmless no-op
+  }
+  EXPECT_TRUE(SpansNamed("test.trace.never").empty());
+}
+
+TEST(TracerTest, OneInNSamplesExactlyByCounter) {
+  SampleEveryN sample(4);
+  for (int i = 0; i < 400; ++i) {
+    ScopedSpan span("test.trace.one_in_four", "test");
+  }
+  // The root counter is per thread and the 400 roots are consecutive, so
+  // exactly a quarter sample regardless of the counter's starting phase.
+  EXPECT_EQ(SpansNamed("test.trace.one_in_four").size(), 100u);
+}
+
+TEST(TracerTest, RemoteParentPropagatesTraceAndSamplingDecision) {
+  // Local sampling off: only the remote root's decision can record.
+  SampleEveryN sample(0);
+  SpanContext remote;
+  remote.trace_hi = 0xaaaabbbbccccddddULL;
+  remote.trace_lo = 0x1111222233334444ULL;
+  remote.span_id = 0x5555666677778888ULL;
+  remote.sampled = true;
+  {
+    ScopedSpan span("test.trace.remote", "server", remote);
+    EXPECT_TRUE(span.sampled());
+    EXPECT_EQ(span.context().trace_hi, remote.trace_hi);
+    EXPECT_EQ(span.context().trace_lo, remote.trace_lo);
+    EXPECT_NE(span.context().span_id, remote.span_id);
+  }
+  auto spans = SpansNamed("test.trace.remote");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_hi, remote.trace_hi);
+  EXPECT_EQ(spans[0].trace_lo, remote.trace_lo);
+  EXPECT_EQ(spans[0].parent_id, remote.span_id);
+
+  // An unsampled remote root suppresses the whole subtree here too.
+  remote.sampled = false;
+  {
+    ScopedSpan span("test.trace.remote_unsampled", "server", remote);
+    EXPECT_FALSE(span.sampled());
+  }
+  EXPECT_TRUE(SpansNamed("test.trace.remote_unsampled").empty());
+
+  // An invalid explicit parent falls back to the local-root rule (which
+  // is "never" at sample rate 0).
+  {
+    ScopedSpan span("test.trace.invalid_parent", "server", SpanContext());
+    EXPECT_FALSE(span.sampled());
+  }
+  EXPECT_TRUE(SpansNamed("test.trace.invalid_parent").empty());
+}
+
+TEST(TracerTest, AnnotationsDetailAndOverflow) {
+  SampleEveryN sample(1);
+  {
+    ScopedSpan span("test.trace.annotated", "test");
+    span.SetDetail("a detail string that is longer than the inline buffer");
+    for (uint64_t i = 0; i < 6; ++i) span.Annotate("key", i);
+  }
+  auto spans = SpansNamed("test.trace.annotated");
+  ASSERT_EQ(spans.size(), 1u);
+  // Detail truncates to the inline buffer, NUL included.
+  EXPECT_EQ(std::string_view(spans[0].detail),
+            std::string_view("a detail string that is longer "
+                             "than the inline buffer")
+                .substr(0, sizeof(spans[0].detail) - 1));
+  // First four annotations stick, the rest drop silently.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NE(spans[0].annotations[i].key, nullptr);
+    EXPECT_EQ(spans[0].annotations[i].value, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(TracerTest, RingOverwritesOldestKeepsNewest) {
+  SampleEveryN sample(1);
+  const size_t total = Tracer::kRingCapacity + 50;
+  for (size_t i = 0; i < total; ++i) {
+    ScopedSpan span("test.trace.overflow", "test");
+    span.Annotate("i", i);
+  }
+  auto spans = SpansNamed("test.trace.overflow");
+  // The flight recorder keeps at most one ring of spans; since the
+  // overflow spans were the last writes on this thread, the survivors
+  // are exactly the newest kRingCapacity of them.
+  ASSERT_EQ(spans.size(), Tracer::kRingCapacity);
+  uint64_t min_i = total;
+  uint64_t max_i = 0;
+  for (const SpanRecord& span : spans) {
+    min_i = std::min(min_i, span.annotations[0].value);
+    max_i = std::max(max_i, span.annotations[0].value);
+  }
+  EXPECT_EQ(min_i, 50u);
+  EXPECT_EQ(max_i, total - 1);
+}
+
+TEST(TracerTest, SpansFromExitedThreadsSurviveInSnapshot) {
+  SampleEveryN sample(1);
+  uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    ScopedSpan span("test.trace.worker", "test");
+    span.Annotate("answer", 42);
+  });
+  worker.join();
+  // The registry keeps the dead thread's ring alive.
+  auto spans = SpansNamed("test.trace.worker");
+  ASSERT_EQ(spans.size(), 1u);
+  worker_tid = spans[0].tid;
+  // Worker spans land on a different ring (tid) than this thread's.
+  {
+    ScopedSpan span("test.trace.main_tid", "test");
+  }
+  auto main_spans = SpansNamed("test.trace.main_tid");
+  ASSERT_EQ(main_spans.size(), 1u);
+  EXPECT_NE(main_spans[0].tid, worker_tid);
+}
+
+TEST(TraceJsonTest, EmptySnapshotIsStillLoadableJson) {
+  EXPECT_EQ(WriteTraceJson({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(TraceJsonTest, SpansExportAsCompleteEventsWithTraceArgs) {
+  SpanRecord span;
+  span.trace_hi = 0x0123456789abcdefULL;
+  span.trace_lo = 0xfedcba9876543210ULL;
+  span.span_id = 0x1111111111111111ULL;
+  span.parent_id = 0x2222222222222222ULL;
+  span.start_ns = 1500;  // 1.5 us
+  span.duration_ns = 2250;
+  span.name = "server.handle";
+  span.category = "server";
+  std::snprintf(span.detail, sizeof(span.detail), "%s", "query");
+  span.annotations[0] = {"payload_bytes", 77};
+  span.tid = 3;
+
+  const std::string json = WriteTraceJson({span});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"server.handle\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Microseconds with the nanosecond fraction preserved.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.250"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"trace_id\":\"0123456789abcdeffedcba9876543210\""),
+      std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":\"1111111111111111\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":\"2222222222222222\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"payload_bytes\":77"), std::string::npos);
+}
+
+TEST(TraceJsonTest, EscapesHostileNamesAndDetails) {
+  SpanRecord span;
+  span.name = "quote\"back\\slash";
+  span.category = "test";
+  std::snprintf(span.detail, sizeof(span.detail), "%s", "ctl\x01tab\tend");
+  const std::string json = WriteTraceJson({span});
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("ctl\\u0001tab\\u0009end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace implistat::obs

@@ -33,9 +33,13 @@ namespace {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --port P [--host H] "
+            << " --port P [--host H] [--pipeline N] "
                "ping|observe|query|snapshot|merge|metrics|trace|checkpoint|"
-               "shutdown [args]\n";
+               "shutdown [args]\n"
+            << "  --pipeline N   keep up to N OBSERVE batches in flight\n"
+            << "                 instead of blocking per batch (default 1;\n"
+            << "                 stay at or under the server's\n"
+            << "                 --pipeline-depth)\n";
   return 2;
 }
 
@@ -54,7 +58,9 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return fields;
 }
 
-int Observe(implistat::net::Client& client, std::istream& in) {
+int Observe(implistat::net::Client& client, std::istream& in,
+            size_t pipeline) {
+  using implistat::net::MsgType;
   using implistat::net::ObserveBatchRequest;
   using implistat::net::ObserveEncoding;
   std::string line;
@@ -69,14 +75,41 @@ int Observe(implistat::net::Client& client, std::istream& in) {
   batch.width = static_cast<uint32_t>(width);
   uint64_t total = 0;
   uint64_t rows = 0;
-  auto flush = [&]() -> bool {
-    if (batch.values.empty()) return true;
-    auto seen = client.ObserveBatch(batch);
+  // Responses come back in request order, so the last Await's total is
+  // the running server count regardless of window size.
+  auto await_one = [&]() -> bool {
+    auto body = client.Await();
+    if (!body.ok()) {
+      std::cerr << "observe error: " << body.status() << "\n";
+      return false;
+    }
+    auto seen = implistat::net::DecodeObserveBatchResponse(*body);
     if (!seen.ok()) {
       std::cerr << "observe error: " << seen.status() << "\n";
       return false;
     }
     total = *seen;
+    return true;
+  };
+  auto flush = [&]() -> bool {
+    if (batch.values.empty()) return true;
+    if (pipeline <= 1) {
+      auto seen = client.ObserveBatch(batch);
+      if (!seen.ok()) {
+        std::cerr << "observe error: " << seen.status() << "\n";
+        return false;
+      }
+      total = *seen;
+    } else {
+      if (client.in_flight() >= pipeline && !await_one()) return false;
+      implistat::Status sent =
+          client.Submit(MsgType::kObserveBatch,
+                        implistat::net::EncodeObserveBatchRequest(batch));
+      if (!sent.ok()) {
+        std::cerr << "observe error: " << sent << "\n";
+        return false;
+      }
+    }
     batch.values.clear();
     return true;
   };
@@ -95,6 +128,9 @@ int Observe(implistat::net::Client& client, std::istream& in) {
     if (batch.num_tuples() >= kRowsPerBatch && !flush()) return 1;
   }
   if (!flush()) return 1;
+  while (client.in_flight() > 0) {
+    if (!await_one()) return 1;
+  }
   std::cout << "shipped " << rows << " tuples; server total " << total
             << "\n";
   return 0;
@@ -107,6 +143,7 @@ int main(int argc, char** argv) {
 
   std::string host = "127.0.0.1";
   int port = 0;
+  int pipeline = 1;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -125,6 +162,14 @@ int main(int argc, char** argv) {
       const char* v = take_value("--port");
       if (v == nullptr) return 2;
       port = std::atoi(v);
+    } else if (arg == "--pipeline") {
+      const char* v = take_value("--pipeline");
+      if (v == nullptr) return 2;
+      pipeline = std::atoi(v);
+      if (pipeline < 1) {
+        std::cerr << "--pipeline must be >= 1\n";
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -135,8 +180,10 @@ int main(int argc, char** argv) {
   if (positional.empty() || port <= 0 || port > 65535) return Usage(argv[0]);
   const std::string& command = positional[0];
 
-  StatusOr<net::Client> client =
-      net::Client::Connect(host, static_cast<uint16_t>(port));
+  net::ClientOptions client_options;
+  client_options.max_in_flight = static_cast<size_t>(pipeline);
+  StatusOr<net::Client> client = net::Client::Connect(
+      host, static_cast<uint16_t>(port), client_options);
   if (!client.ok()) {
     std::cerr << "connect error: " << client.status() << "\n";
     return 1;
@@ -152,13 +199,14 @@ int main(int argc, char** argv) {
   }
   if (command == "observe") {
     if (positional.size() != 2) return Usage(argv[0]);
-    if (positional[1] == "-") return Observe(*client, std::cin);
+    const size_t window = static_cast<size_t>(pipeline);
+    if (positional[1] == "-") return Observe(*client, std::cin, window);
     std::ifstream file(positional[1]);
     if (!file) {
       std::cerr << "cannot open " << positional[1] << "\n";
       return 1;
     }
-    return Observe(*client, file);
+    return Observe(*client, file, window);
   }
   if (command == "query") {
     std::vector<uint32_t> ids;

@@ -42,6 +42,12 @@ int Usage(const char* argv0) {
       << "                        bound port prints to stdout)\n"
       << "  --bind ADDR           bind address (default 127.0.0.1)\n"
       << "  --threads N           parallel ingest threads for NIPS queries\n"
+      << "  --reactors N          epoll reactor threads serving\n"
+      << "                        connections (default 1; the engine\n"
+      << "                        still applies on exactly one thread)\n"
+      << "  --pipeline-depth N    open requests allowed per connection\n"
+      << "                        before the server pauses reading it\n"
+      << "                        (default 128)\n"
       << "  --checkpoint PATH     serve CHECKPOINT requests at PATH and\n"
       << "                        write a final checkpoint on shutdown\n"
       << "  --restore PATH        resume queries + estimator state + value\n"
@@ -64,6 +70,8 @@ int main(int argc, char** argv) {
   int port = 0;
   std::string bind_address = "127.0.0.1";
   int threads = 1;
+  int reactors = 1;
+  int pipeline_depth = 128;
   std::string checkpoint_path;
   std::string restore_path;
   int64_t idle_timeout_ms = 0;
@@ -91,6 +99,22 @@ int main(int argc, char** argv) {
       const char* v = take_value("--threads");
       if (v == nullptr) return 2;
       threads = std::atoi(v);
+    } else if (arg == "--reactors") {
+      const char* v = take_value("--reactors");
+      if (v == nullptr) return 2;
+      reactors = std::atoi(v);
+      if (reactors < 1) {
+        std::cerr << "--reactors must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--pipeline-depth") {
+      const char* v = take_value("--pipeline-depth");
+      if (v == nullptr) return 2;
+      pipeline_depth = std::atoi(v);
+      if (pipeline_depth < 1) {
+        std::cerr << "--pipeline-depth must be >= 1\n";
+        return 2;
+      }
     } else if (arg == "--checkpoint") {
       const char* v = take_value("--checkpoint");
       if (v == nullptr) return 2;
@@ -211,6 +235,8 @@ int main(int argc, char** argv) {
   net::ServerOptions options;
   options.bind_address = bind_address;
   options.port = static_cast<uint16_t>(port);
+  options.reactors = reactors;
+  options.max_pipeline_depth = static_cast<size_t>(pipeline_depth);
   options.checkpoint_path = checkpoint_path;
   options.idle_timeout_ms = idle_timeout_ms;
   net::Server server(&engine, options);

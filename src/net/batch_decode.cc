@@ -1,0 +1,142 @@
+#include "net/batch_decode.h"
+
+#include <limits>
+
+namespace implistat::net {
+
+namespace {
+
+// Inline varint reader with a one-byte fast path. Returns nullptr on a
+// truncated or over-long encoding; the caller turns that into a Status
+// once, outside the per-cell loop.
+inline const uint8_t* ReadVarint(const uint8_t* p, const uint8_t* end,
+                                 uint64_t* v) {
+  if (p < end && *p < 0x80) {
+    *v = *p;
+    return p + 1;
+  }
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    const uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+Status TruncatedBatch() {
+  return Status::InvalidArgument("observe_batch: truncated payload");
+}
+
+}  // namespace
+
+StatusOr<size_t> DecodeObserveBatchInto(
+    std::string_view payload, const Schema& schema,
+    const std::vector<ValueDictionary>& dicts, std::vector<ValueId>* flat) {
+  const size_t restore_size = flat->size();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
+  const uint8_t* const end = p + payload.size();
+
+  if (p >= end) return TruncatedBatch();
+  const uint8_t encoding = *p++;
+  if (encoding > static_cast<uint8_t>(ObserveEncoding::kValues)) {
+    return Status::InvalidArgument("observe_batch: unknown tuple encoding " +
+                                   std::to_string(encoding));
+  }
+  uint64_t width;
+  if ((p = ReadVarint(p, end, &width)) == nullptr) return TruncatedBatch();
+  uint64_t tuples;
+  if ((p = ReadVarint(p, end, &tuples)) == nullptr) return TruncatedBatch();
+
+  const uint64_t schema_width =
+      static_cast<uint64_t>(schema.num_attributes());
+  if (width != schema_width) {
+    return Status::InvalidArgument(
+        "observe_batch: width " + std::to_string(width) +
+        " disagrees with schema width " + std::to_string(schema_width));
+  }
+  if (tuples != 0 && width == 0) {
+    return Status::InvalidArgument("observe_batch: tuples with zero width");
+  }
+  // Every cell costs at least one byte on the wire, so a count whose
+  // cells exceed the remaining bytes is hostile; checking before the
+  // resize keeps a forged header from ballooning an allocation. The
+  // division keeps the check overflow-proof.
+  const size_t remaining = static_cast<size_t>(end - p);
+  if (tuples != 0 && tuples > remaining / width) {
+    return Status::InvalidArgument("observe_batch: implausible tuple count " +
+                                   std::to_string(tuples));
+  }
+  const size_t cells = static_cast<size_t>(tuples * width);
+
+  if (encoding == static_cast<uint8_t>(ObserveEncoding::kIds)) {
+    // Snapshot the per-column cardinality bounds once; the cell loop
+    // then validates with one compare per id (card 0 = unbounded, mapped
+    // to the id domain maximum so the compare stays branch-free).
+    constexpr uint64_t kNoBound =
+        static_cast<uint64_t>(std::numeric_limits<ValueId>::max()) + 1;
+    std::vector<uint64_t> bounds(static_cast<size_t>(width));
+    for (size_t col = 0; col < bounds.size(); ++col) {
+      const uint64_t card = schema.attribute(static_cast<int>(col)).cardinality;
+      bounds[col] = (card == 0 || card > kNoBound) ? kNoBound : card;
+    }
+    flat->resize(restore_size + cells);
+    ValueId* out = flat->data() + restore_size;
+    size_t col = 0;
+    for (size_t i = 0; i < cells; ++i) {
+      uint64_t id;
+      if ((p = ReadVarint(p, end, &id)) == nullptr) {
+        flat->resize(restore_size);
+        return TruncatedBatch();
+      }
+      if (id >= bounds[col]) {
+        flat->resize(restore_size);
+        if (id > std::numeric_limits<ValueId>::max()) {
+          return Status::InvalidArgument("observe_batch: value id overflow");
+        }
+        return Status::InvalidArgument("observe_batch: value id " +
+                                       std::to_string(id) +
+                                       " outside declared cardinality");
+      }
+      out[i] = static_cast<ValueId>(id);
+      col = col + 1 == width ? 0 : col + 1;
+    }
+  } else {
+    if (dicts.size() < width) {
+      return Status::FailedPrecondition(
+          "observe_batch: server has no value dictionaries; send ids");
+    }
+    flat->reserve(restore_size + cells);
+    size_t col = 0;
+    for (size_t i = 0; i < cells; ++i) {
+      uint64_t len;
+      if ((p = ReadVarint(p, end, &len)) == nullptr ||
+          len > static_cast<size_t>(end - p)) {
+        flat->resize(restore_size);
+        return TruncatedBatch();
+      }
+      const std::string_view value(reinterpret_cast<const char*>(p),
+                                   static_cast<size_t>(len));
+      p += len;
+      StatusOr<ValueId> id = dicts[col].Find(value);
+      if (!id.ok()) {
+        flat->resize(restore_size);
+        return id.status();
+      }
+      flat->push_back(*id);
+      col = col + 1 == width ? 0 : col + 1;
+    }
+  }
+  if (p != end) {
+    flat->resize(restore_size);
+    return Status::InvalidArgument("observe_batch: trailing bytes");
+  }
+  return static_cast<size_t>(tuples);
+}
+
+}  // namespace implistat::net

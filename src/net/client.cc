@@ -137,7 +137,8 @@ Client::Client(Client&& other) noexcept
       host_(std::move(other.host_)),
       port_(other.port_),
       options_(other.options_),
-      decoder_(std::move(other.decoder_)) {}
+      decoder_(std::move(other.decoder_)),
+      pipeline_(std::move(other.pipeline_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -148,6 +149,7 @@ Client& Client::operator=(Client&& other) noexcept {
     port_ = other.port_;
     options_ = other.options_;
     decoder_ = std::move(other.decoder_);
+    pipeline_ = std::move(other.pipeline_);
   }
   return *this;
 }
@@ -167,8 +169,10 @@ Status Client::Reconnect() {
   fd_ = fd;
   lost_ = false;
   // A fresh decoder: any half-buffered response from the old connection
-  // is garbage on the new one.
+  // is garbage on the new one. In-flight pipelined requests died with
+  // the old connection; their Awaits must not eat new responses.
   decoder_ = std::make_unique<FrameDecoder>(options_.max_frame_bytes);
+  pipeline_.clear();
   return Status::OK();
 }
 
@@ -249,10 +253,102 @@ StatusOr<Frame> Client::ReadResponse(MsgType expected_type,
   }
 }
 
+Status Client::SendDraining(std::string_view bytes, int64_t deadline_ms) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_DONTWAIT on a blocking socket: try the write, and when the
+    // send buffer is full, wait for EITHER direction — draining inbound
+    // responses into the decode buffer is what frees the server to read
+    // (and therefore, eventually, our send buffer). Waiting on POLLOUT
+    // alone deadlocks once both directions fill.
+    ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return MarkLost(Status::Unavailable(
+          std::string("connection lost: send: ") + strerror(errno)));
+    }
+    Status ready = PollUntil(fd_, POLLOUT | POLLIN, deadline_ms, "send");
+    if (!ready.ok()) {
+      return MarkLost(ready.code() == StatusCode::kDeadlineExceeded
+                          ? std::move(ready)
+                          : Status::Unavailable("connection lost: " +
+                                                ready.ToString()));
+    }
+    char buf[65536];
+    ssize_t r = recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r > 0) {
+      Status appended =
+          decoder_->Append(std::string_view(buf, static_cast<size_t>(r)));
+      if (!appended.ok()) return MarkLost(std::move(appended));
+    } else if (r == 0) {
+      return MarkLost(Status::Unavailable(
+          "connection lost: server closed the connection mid-send"));
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::Submit(MsgType type, std::string_view bytes,
+                      bool pre_encoded) {
+  if (connection_lost()) {
+    return Status::Unavailable("connection lost (call Reconnect)");
+  }
+  if (pipeline_.size() >= options_.max_in_flight) {
+    return Status::ResourceExhausted(
+        "pipeline window full (" + std::to_string(pipeline_.size()) +
+        " in flight); Await() to make room");
+  }
+  const int64_t deadline_ms = options_.request_timeout_ms > 0
+                                  ? NowMs() + options_.request_timeout_ms
+                                  : -1;
+  Status sent;
+  if (pre_encoded) {
+    sent = SendDraining(bytes, deadline_ms);
+  } else {
+    sent = SendDraining(
+        EncodeRequestFrame(type, bytes, obs::Tracer::CurrentContext()),
+        deadline_ms);
+  }
+  IMPLISTAT_RETURN_NOT_OK(std::move(sent));
+  pipeline_.push_back(type);
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::Await() {
+  if (pipeline_.empty()) {
+    return Status::FailedPrecondition("Await() with nothing in flight");
+  }
+  if (connection_lost()) {
+    return Status::Unavailable("connection lost (call Reconnect)");
+  }
+  const int64_t deadline_ms = options_.request_timeout_ms > 0
+                                  ? NowMs() + options_.request_timeout_ms
+                                  : -1;
+  StatusOr<Frame> frame = ReadResponse(pipeline_.front(), deadline_ms);
+  if (!frame.ok()) {
+    lost_ = true;
+    return frame.status();
+  }
+  pipeline_.pop_front();
+  IMPLISTAT_ASSIGN_OR_RETURN(auto decoded,
+                             DecodeResponsePayload(frame->payload));
+  IMPLISTAT_RETURN_NOT_OK(decoded.first);
+  return std::string(decoded.second);
+}
+
 StatusOr<std::string> Client::RoundTrip(MsgType type,
                                         std::string_view payload) {
   if (connection_lost()) {
     return Status::Unavailable("connection lost (call Reconnect)");
+  }
+  if (!pipeline_.empty()) {
+    return Status::FailedPrecondition(
+        "RoundTrip with " + std::to_string(pipeline_.size()) +
+        " pipelined requests in flight; Await() them first");
   }
   // The RPC span covers send + wait + decode; its context rides the v3
   // frame so the server's handle span joins the same trace. When the

@@ -25,6 +25,18 @@
 // kUnavailable until Reconnect() succeeds — one Client object serves a
 // peer across arbitrarily many peer restarts.
 //
+// Pipelining: Submit() ships a request without waiting; Await() blocks
+// for the oldest outstanding response. Responses arrive in request order
+// (the wire protocol's FIFO contract), so correlation is positional —
+// the client keeps a deque of expected types and matches strictly in
+// order. The in-flight window is bounded by ClientOptions::max_in_flight
+// (keep it at or under the server's max_pipeline_depth, or the server
+// pauses reading and the pipeline degrades to TCP flow control). Submit
+// never deadlocks against a full send buffer: while blocked on POLLOUT
+// it also drains POLLIN into the decode buffer, so the server can always
+// make progress. Mixing styles is refused: RoundTrip() while requests
+// are in flight fails rather than desynchronize.
+//
 // Not thread-safe: one connection, one thread. Open several clients for
 // concurrency — the server multiplexes them.
 
@@ -32,6 +44,7 @@
 #define IMPLISTAT_NET_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -51,8 +64,12 @@ struct ClientOptions {
   int64_t connect_timeout_ms = 0;
   /// Per-request deadline in milliseconds, covering send + wait + recv of
   /// one RoundTrip; 0 means no deadline. A hung server then costs at most
-  /// one deadline, not a wedged caller.
+  /// one deadline, not a wedged caller. For pipelined use, the deadline
+  /// applies separately to each Submit (send) and Await (wait + recv).
   int64_t request_timeout_ms = 0;
+  /// Pipelining window: Submit() refuses once this many requests are
+  /// outstanding. Keep at or under the server's max_pipeline_depth.
+  size_t max_in_flight = 64;
 };
 
 class Client {
@@ -113,7 +130,27 @@ class Client {
 
   /// Sends one request frame and waits for its response body, checking
   /// type and embedded status. Building block for the typed calls above.
+  /// Refuses (kFailedPrecondition) while pipelined requests are in
+  /// flight — Await() them first.
   StatusOr<std::string> RoundTrip(MsgType type, std::string_view payload);
+
+  // --- pipelined mode ---
+
+  /// Ships one request without waiting for its response. Refuses with
+  /// kResourceExhausted when the in-flight window is full (Await() to
+  /// make room). `frame` must be a pre-encoded request frame when
+  /// `pre_encoded` is true (EncodeRequestFrame; benchmarks pre-encode
+  /// outside the timed region), otherwise it is the request payload.
+  Status Submit(MsgType type, std::string_view bytes,
+                bool pre_encoded = false);
+
+  /// Blocks for the oldest in-flight response and returns its body (the
+  /// embedded server status is unwrapped, exactly like RoundTrip).
+  /// Refuses (kFailedPrecondition) when nothing is in flight.
+  StatusOr<std::string> Await();
+
+  /// Outstanding pipelined requests (submitted, not yet awaited).
+  size_t in_flight() const { return pipeline_.size(); }
 
   /// Writes raw bytes to the socket, bypassing framing — robustness
   /// tests inject garbage and truncations with this.
@@ -130,6 +167,9 @@ class Client {
 
   // `deadline_ms` is an absolute CLOCK_MONOTONIC time; -1 means none.
   Status SendAll(std::string_view bytes, int64_t deadline_ms);
+  /// SendAll that also drains inbound bytes into the decoder while the
+  /// send buffer is full — the pipelined send path (see header comment).
+  Status SendDraining(std::string_view bytes, int64_t deadline_ms);
   StatusOr<Frame> ReadResponse(MsgType expected_type, int64_t deadline_ms);
 
   int fd_ = -1;
@@ -138,6 +178,7 @@ class Client {
   uint16_t port_ = 0;
   ClientOptions options_;
   std::unique_ptr<FrameDecoder> decoder_;
+  std::deque<MsgType> pipeline_;  // expected response types, FIFO
 };
 
 }  // namespace implistat::net

@@ -12,10 +12,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "net/messages.h"
-#include "obs/export_prometheus.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "stream/tuple_stream.h"
@@ -30,6 +32,13 @@ int64_t NowMs() {
   return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
 }
 
+uint64_t NowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
 Status SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -40,95 +49,32 @@ Status SetNonBlocking(int fd) {
 
 }  // namespace
 
-// Per-request instrumentation (the PR 1 registry). Counters and
-// histograms are labelled by message type — one latency distribution per
-// type, not a single global one, so a cheap PING can no longer hide a
-// slow SNAPSHOT in a shared median. Handles are cached once at Start().
-struct Server::Metrics {
-  // All per-type arrays are indexed by MsgType value; slot 0 is unused.
-  static constexpr int kMaxType = static_cast<int>(MsgType::kTraceDump);
-  obs::Counter* requests_by_type[kMaxType + 1];
-  obs::Histogram* duration_by_type[kMaxType + 1];
-  obs::Histogram* request_bytes_by_type[kMaxType + 1];
-  obs::Histogram* response_bytes_by_type[kMaxType + 1];
-  obs::Counter* bytes_rx;
-  obs::Counter* bytes_tx;
-  obs::Counter* frame_errors;
-  obs::Gauge* connections;
-  obs::Gauge* write_buffer_bytes;
-
-  static const Metrics& Get() {
-    static const Metrics metrics = [] {
-      auto& reg = obs::MetricsRegistry::Global();
-      Metrics m{};
-      for (int t = 1; t <= kMaxType; ++t) {
-        const char* name = MsgTypeName(static_cast<MsgType>(t));
-        m.requests_by_type[t] = reg.GetCounter(
-            "implistat_net_requests_total", "Requests handled, by type",
-            "type", name);
-        m.duration_by_type[t] = reg.GetHistogram(
-            "implistat_net_request_duration_ns",
-            "Wall time from complete request frame to enqueued response",
-            "type", name);
-        m.request_bytes_by_type[t] = reg.GetHistogram(
-            "implistat_net_request_payload_bytes",
-            "Request payload size per handled frame", "type", name);
-        m.response_bytes_by_type[t] = reg.GetHistogram(
-            "implistat_net_response_payload_bytes",
-            "Response payload size per enqueued response", "type", name);
-      }
-      m.bytes_rx = reg.GetCounter("implistat_net_bytes_rx_total",
-                                  "Bytes read from client sockets");
-      m.bytes_tx = reg.GetCounter("implistat_net_bytes_tx_total",
-                                  "Bytes written to client sockets");
-      m.frame_errors = reg.GetCounter(
-          "implistat_net_frame_errors_total",
-          "Connections dropped for framing/CRC violations");
-      m.connections = reg.GetGauge("implistat_net_connections",
-                                   "Currently open client connections");
-      m.write_buffer_bytes = reg.GetGauge(
-          "implistat_net_write_buffer_bytes",
-          "Pending response bytes across all connections (queue depth)");
-      return m;
-    }();
-    return metrics;
+/// The single-writer check: every engine apply verifies it runs on the
+/// thread that entered this instance's Run(). Always on (one thread-id
+/// compare per op, not per tuple) — a violation means estimator state
+/// is being mutated concurrently, which corrupts silently; aborting
+/// loudly is strictly better.
+void Server::CheckWriterThread() const {
+  if (std::this_thread::get_id() != writer_thread_) {
+    std::fprintf(stderr,
+                 "implistat fatal: engine op applied off the writer thread "
+                 "(single-writer invariant violated)\n");
+    std::abort();
   }
-};
-
-struct Server::Connection {
-  explicit Connection(int fd_in, size_t max_frame_bytes)
-      : fd(fd_in), decoder(max_frame_bytes) {}
-
-  int fd;
-  FrameDecoder decoder;
-  std::string write_buf;
-  size_t write_pos = 0;
-  bool close_after_flush = false;
-  int64_t last_active_ms = 0;
-  /// Dialect of the most recent request; responses are encoded in it so
-  /// a v2 client never sees a v3 payload.
-  uint64_t version = kWireProtocolVersion;
-  /// Span context of the request being handled — parents the write-phase
-  /// span, which runs after the handle span has closed.
-  obs::SpanContext active_trace;
-
-  size_t pending() const { return write_buf.size() - write_pos; }
-};
+}
 
 Server::Server(QueryEngine* engine, ServerOptions options)
     : engine_(engine), options_(std::move(options)) {}
 
 Server::~Server() {
-  for (auto& conn : connections_) {
-    if (conn->fd >= 0) close(conn->fd);
-  }
+  reactors_.clear();  // joins threads, closes owned connections
   if (listen_fd_ >= 0) close(listen_fd_);
   if (wake_fds_[0] >= 0) close(wake_fds_[0]);
   if (wake_fds_[1] >= 0) close(wake_fds_[1]);
 }
 
 Status Server::Start() {
-  metrics_ = &Metrics::Get();
+  metrics_ = &NetMetrics::Get();
   if (pipe(wake_fds_) != 0) {
     return Status::IOError(std::string("pipe: ") + strerror(errno));
   }
@@ -165,6 +111,20 @@ Status Server::Start() {
   }
   port_ = ntohs(addr.sin_port);
   IMPLISTAT_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  ReactorConfig config;
+  config.max_frame_bytes = options_.max_frame_bytes;
+  config.max_write_buffer_bytes = options_.max_write_buffer_bytes;
+  config.max_pipeline_depth = std::max<size_t>(options_.max_pipeline_depth,
+                                               1);
+  config.idle_timeout_ms = options_.idle_timeout_ms;
+  config.schema = &engine_->schema();
+  config.dicts = &engine_->dictionaries();
+  const int n = std::max(options_.reactors, 1);
+  for (int i = 0; i < n; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(this, i, config));
+    IMPLISTAT_RETURN_NOT_OK(reactors_.back()->Init());
+  }
   return Status::OK();
 }
 
@@ -195,12 +155,34 @@ void Server::RunInjectedTasks() {
   for (auto& task : tasks) task();
 }
 
+void Server::EnqueueOps(std::vector<EngineOp> ops) {
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    if (ops_.empty()) {
+      ops_ = std::move(ops);
+    } else {
+      for (auto& op : ops) ops_.push_back(std::move(op));
+    }
+    depth = ops_.size();
+  }
+  metrics_->writer_queue_depth->Set(static_cast<int64_t>(depth));
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+}
+
+void Server::NotifyQuiesced() {
+  quiesced_.fetch_add(1, std::memory_order_acq_rel);
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+}
+
 void Server::AcceptPending() {
   for (;;) {
     int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       // EAGAIN: backlog drained. Anything else: transient; retry on the
-      // next poll round rather than killing the server.
+      // next round rather than killing the server.
       return;
     }
     if (!SetNonBlocking(fd).ok()) {
@@ -209,155 +191,105 @@ void Server::AcceptPending() {
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>(fd, options_.max_frame_bytes);
-    conn->last_active_ms = NowMs();
-    connections_.push_back(std::move(conn));
-    metrics_->connections->Set(static_cast<int64_t>(connections_.size()));
-    obs::LogEvent(obs::LogLevel::kDebug, "net.server", "conn_accept")
-        .U64("fd", static_cast<uint64_t>(fd))
-        .U64("connections", connections_.size());
+    reactors_[next_reactor_]->AddConnection(fd);
+    next_reactor_ = (next_reactor_ + 1) % reactors_.size();
   }
 }
 
-void Server::CloseConnection(size_t index) {
-  obs::LogEvent(obs::LogLevel::kDebug, "net.server", "conn_close")
-      .U64("fd", static_cast<uint64_t>(connections_[index]->fd))
-      .U64("connections", connections_.size() - 1);
-  close(connections_[index]->fd);
-  connections_.erase(connections_.begin() + static_cast<long>(index));
-  metrics_->connections->Set(static_cast<int64_t>(connections_.size()));
+void Server::ProcessOps() {
+  std::vector<EngineOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    ops.swap(ops_);
+  }
+  if (ops.empty()) return;
+  metrics_->writer_queue_depth->Set(0);
+  // One completion batch per reactor: the owning reactor gets a single
+  // wakeup for everything this round produced for it.
+  std::vector<std::vector<Completion>> done(reactors_.size());
+  for (EngineOp& op : ops) {
+    const size_t r = static_cast<size_t>(op.reactor);
+    done[r].push_back(ApplyOp(op));
+  }
+  for (size_t r = 0; r < done.size(); ++r) {
+    if (!done[r].empty()) reactors_[r]->PostCompletions(std::move(done[r]));
+  }
 }
 
-void Server::EnqueueResponse(Connection* conn, MsgType type,
-                             const Status& status, std::string_view body) {
-  obs::ScopedSpan span("server.encode", "server");
-  span.Annotate("body_bytes", body.size());
-  const int t = static_cast<int>(type);
-  if (t >= 1 && t <= Metrics::kMaxType) {
-    metrics_->response_bytes_by_type[t]->Record(body.size());
+Completion Server::ApplyOp(EngineOp& op) {
+  CheckWriterThread();
+  Completion done;
+  done.conn_id = op.conn_id;
+  done.seq = op.seq;
+  // The handoff span stitches the reactor's handle span to the writer's
+  // apply in trace dumps, and prices the queue wait.
+  obs::ScopedSpan handoff("server.reactor_handoff", "server", op.trace);
+  handoff.SetDetail(MsgTypeName(op.type));
+  handoff.Annotate("reactor", static_cast<uint64_t>(op.reactor));
+  handoff.Annotate("queue_ns", NowNs() - op.enqueue_ns);
+  switch (op.type) {
+    case MsgType::kObserveBatch:
+      ApplyObserveBatch(op, &done);
+      break;
+    case MsgType::kQuery:
+      ApplyQuery(op, &done);
+      break;
+    case MsgType::kSnapshot:
+      ApplySnapshot(op, &done);
+      break;
+    case MsgType::kMerge:
+      ApplyMerge(op, &done);
+      break;
+    case MsgType::kCheckpoint:
+      ApplyCheckpoint(&done);
+      break;
+    case MsgType::kShutdown:
+      obs::LogEvent(obs::LogLevel::kInfo, "net.server", "shutdown_request")
+          .U64("reactor", static_cast<uint64_t>(op.reactor));
+      done.status = Status::OK();
+      done.close_conn = true;
+      shutdown_requested_ = true;
+      break;
+    default:
+      // Reactors only post the types above.
+      done.status = Status::Internal("unroutable engine op");
+      break;
   }
-  std::string frame = EncodeResponseFrame(
-      type, EncodeResponsePayload(status, body), conn->version);
-  if (conn->pending() + frame.size() > options_.max_write_buffer_bytes) {
-    // Backpressure: the consumer is not keeping up. Drop the oversized
-    // result, answer with a small RESOURCE_EXHAUSTED instead, and close
-    // once it flushes — pending bytes stay bounded by the cap plus one
-    // error frame.
-    obs::LogEvent(obs::LogLevel::kWarn, "net.server", "backpressure_close")
-        .U64("fd", static_cast<uint64_t>(conn->fd))
-        .Str("type", MsgTypeName(type))
-        .U64("response_bytes", frame.size())
-        .U64("pending_bytes", conn->pending())
-        .U64("bound_bytes", options_.max_write_buffer_bytes);
-    frame = EncodeResponseFrame(
-        type, EncodeResponsePayload(Status::ResourceExhausted(
-                  "response exceeds the connection's write-buffer bound")),
-        conn->version);
-    conn->close_after_flush = true;
-  }
-  // Compact the consumed prefix before growing the buffer.
-  if (conn->write_pos > 0) {
-    conn->write_buf.erase(0, conn->write_pos);
-    conn->write_pos = 0;
-  }
-  conn->write_buf.append(frame);
+  return done;
 }
 
-void Server::HandleObserveBatch(Connection* conn, std::string_view payload) {
-  StatusOr<ObserveBatchRequest> request = [&] {
-    obs::ScopedSpan decode("server.decode", "server");
-    return DecodeObserveBatchRequest(payload);
-  }();
-  if (!request.ok()) {
-    EnqueueResponse(conn, MsgType::kObserveBatch, request.status());
-    return;
-  }
-  const Schema& schema = engine_->schema();
-  if (request->width != static_cast<uint32_t>(schema.num_attributes())) {
-    EnqueueResponse(conn, MsgType::kObserveBatch,
-                    Status::InvalidArgument(
-                        "observe_batch: width " +
-                        std::to_string(request->width) +
-                        " disagrees with schema width " +
-                        std::to_string(schema.num_attributes())));
-    return;
-  }
-  // Validate (or intern) every cell into an id row-major buffer before
-  // any tuple reaches the engine, so a bad batch mutates nothing.
-  std::vector<ValueId> flat;
-  if (request->encoding == ObserveEncoding::kIds) {
-    for (size_t i = 0; i < request->ids.size(); ++i) {
-      const uint64_t card =
-          schema.attribute(static_cast<int>(i % request->width)).cardinality;
-      if (card != 0 && request->ids[i] >= card) {
-        EnqueueResponse(conn, MsgType::kObserveBatch,
-                        Status::InvalidArgument(
-                            "observe_batch: value id " +
-                            std::to_string(request->ids[i]) +
-                            " outside declared cardinality"));
-        return;
-      }
-    }
-    flat = std::move(request->ids);
-  } else {
-    const std::vector<ValueDictionary>& dicts = engine_->dictionaries();
-    if (dicts.empty()) {
-      EnqueueResponse(
-          conn, MsgType::kObserveBatch,
-          Status::FailedPrecondition(
-              "observe_batch: server has no value dictionaries; send ids"));
-      return;
-    }
-    flat.reserve(request->values.size());
-    for (size_t i = 0; i < request->values.size(); ++i) {
-      // Find, never GetOrAdd: itemset packers were sized at registration,
-      // so the value universe is closed.
-      StatusOr<ValueId> id =
-          dicts[i % request->width].Find(request->values[i]);
-      if (!id.ok()) {
-        EnqueueResponse(conn, MsgType::kObserveBatch, id.status());
-        return;
-      }
-      flat.push_back(*id);
-    }
-  }
-  VectorStream stream(engine_->schema(), std::move(flat));
+void Server::ApplyObserveBatch(EngineOp& op, Completion* done) {
+  // The reactor already validated every id against the schema, so this
+  // is pure apply: no decode, no allocation beyond the stream wrapper.
+  VectorStream stream(engine_->schema(), std::move(op.flat));
   Status status = [&] {
     obs::ScopedSpan apply("server.apply", "server");
     apply.Annotate("tuples", stream.num_tuples());
     return engine_->ObserveStream(stream);
   }();
   if (!status.ok()) {
-    EnqueueResponse(conn, MsgType::kObserveBatch, status);
+    done->status = std::move(status);
     return;
   }
-  EnqueueResponse(conn, MsgType::kObserveBatch, Status::OK(),
-                  EncodeObserveBatchResponse(engine_->tuples_seen()));
+  done->body = EncodeObserveBatchResponse(engine_->tuples_seen());
 }
 
-void Server::HandleQuery(Connection* conn, std::string_view payload) {
-  StatusOr<std::vector<uint32_t>> ids = [&] {
-    obs::ScopedSpan decode("server.decode", "server");
-    return DecodeQueryRequest(payload);
-  }();
-  if (!ids.ok()) {
-    EnqueueResponse(conn, MsgType::kQuery, ids.status());
-    return;
-  }
-  if (ids->empty()) {
+void Server::ApplyQuery(EngineOp& op, Completion* done) {
+  std::vector<uint32_t>& ids = op.query_ids;
+  if (ids.empty()) {
     for (int i = 0; i < engine_->num_queries(); ++i) {
-      ids->push_back(static_cast<uint32_t>(i));
+      ids.push_back(static_cast<uint32_t>(i));
     }
   }
   QueryResponse response;
   response.tuples_seen = engine_->tuples_seen();
   {
     obs::ScopedSpan apply("server.apply", "server");
-    apply.Annotate("queries", ids->size());
-    for (uint32_t id : *ids) {
+    apply.Annotate("queries", ids.size());
+    for (uint32_t id : ids) {
       StatusOr<double> answer = engine_->Answer(static_cast<QueryId>(id));
       if (!answer.ok()) {
-        EnqueueResponse(conn, MsgType::kQuery, answer.status());
+        done->status = answer.status();
         return;
       }
       const ImplicationEstimator* est =
@@ -377,20 +309,14 @@ void Server::HandleQuery(Connection* conn, std::string_view payload) {
   if (options_.query_warnings) {
     response.warnings = options_.query_warnings();
   }
-  EnqueueResponse(conn, MsgType::kQuery, Status::OK(),
-                  EncodeQueryResponse(response));
+  done->body = EncodeQueryResponse(response);
 }
 
-void Server::HandleSnapshot(Connection* conn, std::string_view payload) {
-  StatusOr<uint32_t> id = DecodeSnapshotRequest(payload);
-  if (!id.ok()) {
-    EnqueueResponse(conn, MsgType::kSnapshot, id.status());
-    return;
-  }
+void Server::ApplySnapshot(EngineOp& op, Completion* done) {
   StatusOr<const ImplicationEstimator*> est =
-      engine_->Estimator(static_cast<QueryId>(*id));
+      engine_->Estimator(static_cast<QueryId>(op.query_id));
   if (!est.ok()) {
-    EnqueueResponse(conn, MsgType::kSnapshot, est.status());
+    done->status = est.status();
     return;
   }
   StatusOr<std::string> snapshot = [&] {
@@ -398,51 +324,28 @@ void Server::HandleSnapshot(Connection* conn, std::string_view payload) {
     return (*est)->SerializeState();
   }();
   if (!snapshot.ok()) {
-    EnqueueResponse(conn, MsgType::kSnapshot, snapshot.status());
+    done->status = snapshot.status();
     return;
   }
   // The epoch stamps how much stream this state covers; an aggregator
   // skips refolding a peer whose epoch (and therefore state) is
   // unchanged, and spots an edge that restarted from a checkpoint.
-  EnqueueResponse(conn, MsgType::kSnapshot, Status::OK(),
-                  EncodeSnapshotResponse(engine_->tuples_seen(), *snapshot));
+  done->body = EncodeSnapshotResponse(engine_->tuples_seen(), *snapshot);
 }
 
-void Server::HandleMerge(Connection* conn, std::string_view payload) {
-  auto decoded = DecodeMergeRequest(payload);
-  if (!decoded.ok()) {
-    EnqueueResponse(conn, MsgType::kMerge, decoded.status());
-    return;
-  }
-  Status status = [&] {
+void Server::ApplyMerge(EngineOp& op, Completion* done) {
+  done->status = [&] {
     obs::ScopedSpan apply("server.apply", "server");
-    apply.Annotate("state_bytes", decoded->second.size());
-    return engine_->MergeEstimatorState(static_cast<QueryId>(decoded->first),
-                                        decoded->second);
+    apply.Annotate("state_bytes", op.snapshot.size());
+    return engine_->MergeEstimatorState(static_cast<QueryId>(op.query_id),
+                                        op.snapshot);
   }();
-  EnqueueResponse(conn, MsgType::kMerge, status);
 }
 
-void Server::HandleMetrics(Connection* conn) {
-  obs::RegistrySnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
-  EnqueueResponse(conn, MsgType::kMetrics, Status::OK(),
-                  obs::WriteMetricsPrometheus(snapshot));
-}
-
-void Server::HandleTraceDump(Connection* conn) {
-  // Every thread's recent spans as Chrome trace_event JSON. In a build
-  // with tracing compiled out the snapshot is empty and the body is a
-  // valid JSON document with zero events — remote tooling need not care
-  // how the server was built.
-  EnqueueResponse(conn, MsgType::kTraceDump, Status::OK(),
-                  obs::WriteTraceJson(obs::Tracer::Snapshot()));
-}
-
-void Server::HandleCheckpoint(Connection* conn) {
+void Server::ApplyCheckpoint(Completion* done) {
   if (options_.checkpoint_path.empty()) {
-    EnqueueResponse(conn, MsgType::kCheckpoint,
-                    Status::FailedPrecondition(
-                        "server started without a checkpoint path"));
+    done->status = Status::FailedPrecondition(
+        "server started without a checkpoint path");
     return;
   }
   Status status = [&] {
@@ -453,250 +356,83 @@ void Server::HandleCheckpoint(Connection* conn) {
     obs::LogEvent(obs::LogLevel::kError, "net.server", "checkpoint_failed")
         .Str("path", options_.checkpoint_path)
         .Str("error", status.ToString());
-    EnqueueResponse(conn, MsgType::kCheckpoint, status);
+    done->status = std::move(status);
     return;
   }
   obs::LogEvent(obs::LogLevel::kInfo, "net.server", "checkpoint_written")
       .Str("path", options_.checkpoint_path)
       .U64("tuples_seen", engine_->tuples_seen());
-  EnqueueResponse(conn, MsgType::kCheckpoint, Status::OK(),
-                  EncodeCheckpointResponse(options_.checkpoint_path));
-}
-
-void Server::HandleFrame(Connection* conn, const Frame& frame) {
-  conn->version = frame.version;
-  // The handle span adopts the client's trace context when the frame
-  // carried one (v3), so the client's RPC span and every server phase
-  // below share one trace id across the socket.
-  obs::ScopedSpan span("server.handle", "server", frame.trace);
-  span.SetDetail(MsgTypeName(frame.type()));
-  span.Annotate("payload_bytes", frame.payload.size());
-  conn->active_trace = span.context();
-  const uint8_t raw = frame.tag & ~kResponseFlag;
-  obs::ScopedTimer timer(
-      raw >= 1 && raw <= Metrics::kMaxType ? metrics_->duration_by_type[raw]
-                                           : nullptr);
-  if (raw >= 1 && raw <= Metrics::kMaxType) {
-    metrics_->requests_by_type[raw]->Increment();
-    metrics_->request_bytes_by_type[raw]->Record(frame.payload.size());
-  }
-  if (frame.is_response()) {
-    // A server never receives responses; protocol confusion is fatal.
-    conn->close_after_flush = true;
-    return;
-  }
-  switch (frame.type()) {
-    case MsgType::kPing:
-      EnqueueResponse(conn, MsgType::kPing, Status::OK());
-      return;
-    case MsgType::kObserveBatch:
-      HandleObserveBatch(conn, frame.payload);
-      return;
-    case MsgType::kQuery:
-      HandleQuery(conn, frame.payload);
-      return;
-    case MsgType::kSnapshot:
-      HandleSnapshot(conn, frame.payload);
-      return;
-    case MsgType::kMerge:
-      HandleMerge(conn, frame.payload);
-      return;
-    case MsgType::kMetrics:
-      HandleMetrics(conn);
-      return;
-    case MsgType::kCheckpoint:
-      HandleCheckpoint(conn);
-      return;
-    case MsgType::kShutdown:
-      obs::LogEvent(obs::LogLevel::kInfo, "net.server", "shutdown_request")
-          .U64("fd", static_cast<uint64_t>(conn->fd));
-      EnqueueResponse(conn, MsgType::kShutdown, Status::OK());
-      conn->close_after_flush = true;
-      shutdown_requested_ = true;
-      return;
-    case MsgType::kTraceDump:
-      HandleTraceDump(conn);
-      return;
-  }
-  EnqueueResponse(conn, frame.type(),
-                  Status::InvalidArgument(
-                      "unknown request type " +
-                      std::to_string(static_cast<int>(frame.tag))));
-}
-
-Status Server::HandleReadable(Connection* conn) {
-  char buf[65536];
-  for (;;) {
-    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      metrics_->bytes_rx->Increment(static_cast<uint64_t>(n));
-      conn->last_active_ms = NowMs();
-      IMPLISTAT_RETURN_NOT_OK(
-          conn->decoder.Append(std::string_view(buf, static_cast<size_t>(n))));
-      for (;;) {
-        IMPLISTAT_ASSIGN_OR_RETURN(std::optional<Frame> frame,
-                                   conn->decoder.Next());
-        if (!frame.has_value()) break;
-        HandleFrame(conn, *frame);
-        // Backpressure: once marked for close, stop servicing pipelined
-        // requests — their bytes stay unread in the kernel.
-        if (conn->close_after_flush) return Status::OK();
-      }
-      if (n < static_cast<ssize_t>(sizeof(buf))) return Status::OK();
-      continue;  // buffer was full; more may be waiting
-    }
-    if (n == 0) return Status::IOError("peer closed");
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
-    if (errno == EINTR) continue;
-    return Status::IOError(std::string("recv: ") + strerror(errno));
-  }
-}
-
-Status Server::FlushWrites(Connection* conn) {
-  // The write phase runs after the handle span closed, so it parents
-  // itself on the recorded request context rather than the span stack.
-  obs::ScopedSpan span("server.write", "server", conn->active_trace);
-  span.Annotate("pending_bytes", conn->pending());
-  while (conn->pending() > 0) {
-    ssize_t n = send(conn->fd, conn->write_buf.data() + conn->write_pos,
-                     conn->pending(), MSG_NOSIGNAL);
-    if (n > 0) {
-      metrics_->bytes_tx->Increment(static_cast<uint64_t>(n));
-      conn->write_pos += static_cast<size_t>(n);
-      conn->last_active_ms = NowMs();
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
-    if (errno == EINTR) continue;
-    return Status::IOError(std::string("send: ") + strerror(errno));
-  }
-  if (conn->write_pos > 0) {
-    conn->write_buf.clear();
-    conn->write_pos = 0;
-  }
-  return Status::OK();
+  done->body = EncodeCheckpointResponse(options_.checkpoint_path);
 }
 
 Status Server::Run() {
   if (listen_fd_ < 0) {
     return Status::FailedPrecondition("Run() before Start()");
   }
-  std::vector<struct pollfd> fds;
+  writer_thread_ = std::this_thread::get_id();
+  for (auto& reactor : reactors_) reactor->Start();
+
+  struct pollfd fds[2];
   while (!shutdown_requested_) {
-    fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_fds_[0], POLLIN, 0});
-    // Only this prefix of connections_ has a pollfd this round; accepts
-    // during the round append past it and wait for the next poll.
-    const size_t polled = connections_.size();
-    for (const auto& conn : connections_) {
-      short events = 0;
-      // Stop reading once a connection is closing — flush only.
-      if (!conn->close_after_flush) events |= POLLIN;
-      if (conn->pending() > 0) events |= POLLOUT;
-      fds.push_back({conn->fd, events, 0});
-    }
-
-    int timeout_ms = -1;
-    if (options_.idle_timeout_ms > 0 && !connections_.empty()) {
-      const int64_t now = NowMs();
-      int64_t soonest = options_.idle_timeout_ms;
-      for (const auto& conn : connections_) {
-        const int64_t left =
-            conn->last_active_ms + options_.idle_timeout_ms - now;
-        soonest = std::min(soonest, std::max<int64_t>(left, 0));
-      }
-      timeout_ms = static_cast<int>(std::min<int64_t>(soonest, 60'000) + 1);
-    }
-
-    int ready = poll(fds.data(), fds.size(), timeout_ms);
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    const int ready = poll(fds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("poll: ") + strerror(errno));
+      const Status status =
+          Status::IOError(std::string("poll: ") + strerror(errno));
+      (void)DrainAndClose();
+      return status;
     }
-
     if ((fds[1].revents & POLLIN) != 0) {
       char drain[64];
       while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
       }
-      // The self-pipe wakes the loop for two reasons: injected tasks
-      // (run them, keep serving) and Shutdown (drain and exit).
-      RunInjectedTasks();
-      if (stop_flag_.load(std::memory_order_acquire)) {
-        shutdown_requested_ = true;
-        break;
-      }
+    }
+    // The self-pipe wakes the loop for reactor ops, injected tasks, and
+    // Shutdown; all three are cheap to check unconditionally.
+    ProcessOps();
+    RunInjectedTasks();
+    if (stop_flag_.load(std::memory_order_acquire)) {
+      shutdown_requested_ = true;
+      break;
     }
     if ((fds[0].revents & POLLIN) != 0) AcceptPending();
-
-    // Walk connections back to front so CloseConnection's erase cannot
-    // shift an index we have yet to visit.
-    const int64_t now = NowMs();
-    for (size_t i = polled; i-- > 0;) {
-      Connection* conn = connections_[i].get();
-      const short revents = fds[2 + i].revents;
-      bool drop = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-                  (revents & POLLIN) == 0;
-      if (!drop && (revents & POLLIN) != 0) {
-        Status status = HandleReadable(conn);
-        if (!status.ok()) {
-          metrics_->frame_errors->Increment();
-          obs::LogEvent(obs::LogLevel::kWarn, "net.server", "conn_error")
-              .U64("fd", static_cast<uint64_t>(conn->fd))
-              .Str("error", status.ToString());
-          drop = true;
-        }
-      }
-      if (!drop && conn->pending() > 0) {
-        drop = !FlushWrites(conn).ok();
-      }
-      if (!drop && conn->close_after_flush && conn->pending() == 0) {
-        drop = true;
-      }
-      if (!drop && options_.idle_timeout_ms > 0 &&
-          now - conn->last_active_ms >= options_.idle_timeout_ms) {
-        drop = true;
-      }
-      if (drop) CloseConnection(i);
-    }
-
-    size_t pending_total = 0;
-    for (const auto& conn : connections_) pending_total += conn->pending();
-    metrics_->write_buffer_bytes->Set(static_cast<int64_t>(pending_total));
-
-    if (shutdown_requested_) break;
   }
   return DrainAndClose();
 }
 
 Status Server::DrainAndClose() {
-  // Stop accepting, flush what is pending (bounded: a stuck peer gets a
-  // short grace window, not a hung server), then close everything.
+  // 1. Stop accepting.
   close(listen_fd_);
   listen_fd_ = -1;
-  const int64_t deadline = NowMs() + 2000;
-  while (!connections_.empty() && NowMs() < deadline) {
-    std::vector<struct pollfd> fds;
-    bool any_pending = false;
-    for (const auto& conn : connections_) {
-      fds.push_back(
-          {conn->fd, static_cast<short>(conn->pending() > 0 ? POLLOUT : 0),
-           0});
-      any_pending = any_pending || conn->pending() > 0;
+
+  // 2. Quiesce the reactors: each stops reading, then acks; ops already
+  //    in flight keep arriving until the last ack, so keep applying.
+  for (auto& reactor : reactors_) reactor->BeginDrain();
+  const int64_t quiesce_deadline = NowMs() + 2000;
+  while (quiesced_.load(std::memory_order_acquire) <
+             static_cast<int>(reactors_.size()) &&
+         NowMs() < quiesce_deadline) {
+    struct pollfd p = {wake_fds_[0], POLLIN, 0};
+    const int ready = poll(
+        &p, 1,
+        static_cast<int>(std::max<int64_t>(quiesce_deadline - NowMs(), 1)));
+    if (ready < 0 && errno != EINTR) break;
+    char drain[64];
+    while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
     }
-    if (!any_pending) break;
-    int ready = poll(fds.data(), fds.size(),
-                     static_cast<int>(std::max<int64_t>(deadline - NowMs(),
-                                                        0)));
-    if (ready <= 0 && errno != EINTR) break;
-    for (size_t i = connections_.size(); i-- > 0;) {
-      if ((fds[i].revents & POLLOUT) != 0 &&
-          !FlushWrites(connections_[i].get()).ok()) {
-        CloseConnection(i);
-      }
-    }
+    ProcessOps();
   }
-  while (!connections_.empty()) CloseConnection(connections_.size() - 1);
+  // After the last ack the queue can no longer grow; one final sweep
+  // posts the last completions.
+  ProcessOps();
+
+  // 3. Let the reactors flush pending responses (bounded: a stuck peer
+  //    gets a short grace window, not a hung server), then exit.
+  const int64_t exit_deadline = NowMs() + 2000;
+  for (auto& reactor : reactors_) reactor->RequestExit(exit_deadline);
+  for (auto& reactor : reactors_) reactor->Join();
 
   // Folds injected while the loop was draining still land before the
   // final checkpoint.

@@ -1,4 +1,4 @@
-// Server: a poll()-driven event loop hosting a QueryEngine behind the
+// Server: a multi-reactor epoll server hosting a QueryEngine behind the
 // wire protocol (net/wire.h) — the "node in a distributed environment"
 // of §3, reachable over a socket.
 //
@@ -8,31 +8,44 @@
 // MERGE. One server plays either role; examples/implistat_server.cc is
 // the binary.
 //
-// Concurrency model: a single thread owns everything — listener,
-// connections, and the engine. Requests on one connection are answered
-// strictly in order; requests across connections interleave at frame
-// granularity. The engine may itself run a sharded ingest pipeline
-// (EstimatorConfig::threads): its quiesce-before-read contract holds
-// because only the loop thread ever touches it. Shutdown() is the one
-// cross-thread (and async-signal-safe) entry point: it writes a byte to
-// a self-pipe the loop polls.
+// Concurrency model — one writer, N reactors:
 //
-// Robustness:
+//             accept ──round robin──┐
+//   ┌──────────────┐          ┌─────▼─────┐ epoll, decode, validate
+//   │ WRITER       │◄──ops────┤ reactor 0 │ encode, flush
+//   │ Run() thread │──done───►└───────────┘
+//   │ owns engine  │          ┌───────────┐
+//   │ + listener   │◄──ops────┤ reactor 1 │ ...
+//   └──────────────┘──done───►└───────────┘
+//
+// The thread running Run() is the engine's single writer: it accepts,
+// hands each connection to a reactor (round-robin), applies the decoded
+// EngineOps the reactors ship over an MPSC queue, and posts completions
+// back. Reactors (net/reactor.h) own connections and do every byte of
+// socket I/O and codec work — they never touch the engine (their only
+// engine knowledge is a read-only view of the immutable-while-serving
+// schema and dictionaries). Requests on one connection are answered
+// strictly in order; requests across connections interleave at frame
+// granularity, exactly as before — the single writer serializes all
+// engine mutation, so estimator state remains identical to a
+// single-threaded run over the same arrival order.
+//
+// Robustness (unchanged contracts, now enforced per reactor):
 //  * Corrupt frames (bad magic/version/CRC/framing) are connection-fatal
 //    — the decoder's sticky error closes the connection; engine state is
 //    untouched (decode-into-temporaries end to end).
 //  * Malformed request payloads inside valid frames get an error
 //    response; the connection lives on.
-//  * Bounded buffers: reads are bounded by the frame-size cap; a
-//    connection whose pending writes exceed max_write_buffer_bytes gets
-//    its oversized response replaced by a RESOURCE_EXHAUSTED response
-//    and is closed once that flushes — a slow consumer can never grow
-//    server memory without bound.
+//  * Bounded buffers: reads are bounded by the frame-size cap and the
+//    pipeline-depth cap (a client that pipelines past it is paused via
+//    TCP flow control); a connection whose pending writes exceed
+//    max_write_buffer_bytes gets its oversized response replaced by a
+//    RESOURCE_EXHAUSTED response and is closed once that flushes.
 //  * Idle connections are closed after idle_timeout_ms of silence.
 //  * Graceful drain: on Shutdown (or a SHUTDOWN request) the listener
-//    closes, pending responses flush, and — when a checkpoint path is
-//    configured — a final engine checkpoint is written before Run()
-//    returns.
+//    closes, reactors quiesce, in-flight ops complete and flush, and —
+//    when a checkpoint path is configured — a final engine checkpoint is
+//    written before Run() returns.
 
 #ifndef IMPLISTAT_NET_SERVER_H_
 #define IMPLISTAT_NET_SERVER_H_
@@ -43,10 +56,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/reactor.h"
 #include "net/wire.h"
-#include "obs/metrics.h"
 #include "query/engine.h"
 
 namespace implistat::net {
@@ -57,6 +71,9 @@ struct ServerOptions {
   /// TCP port; 0 picks an ephemeral port (read it back via port()).
   uint16_t port = 0;
   int listen_backlog = 64;
+  /// Reactor (event-loop) threads serving connections; the engine still
+  /// runs on exactly one thread regardless. Clamped to at least 1.
+  int reactors = 1;
   /// Largest frame a client may send (envelope part, past the length
   /// prefix). Snapshots of big exact counters are the largest legitimate
   /// request payloads.
@@ -64,6 +81,10 @@ struct ServerOptions {
   /// Pending-response bound per connection; exceeding it triggers the
   /// RESOURCE_EXHAUSTED backpressure path.
   size_t max_write_buffer_bytes = 4u << 20;
+  /// Open (answered-later) requests allowed per connection before the
+  /// server stops reading from it — the pipelining bound a client's
+  /// in-flight window must stay under to avoid TCP-level stalls.
+  size_t max_pipeline_depth = 128;
   /// Close connections silent for this long; 0 disables the timeout.
   int64_t idle_timeout_ms = 0;
   /// Where CHECKPOINT requests and the shutdown drain write the engine
@@ -72,7 +93,7 @@ struct ServerOptions {
   /// Optional per-QUERY warning source: each QUERY response carries
   /// whatever strings this returns at answer time. An aggregator wires
   /// its supervisor's stale-peer report in here so clients can see that
-  /// an estimate is a partial view. Called on the loop thread; must be
+  /// an estimate is a partial view. Called on the writer thread; must be
   /// thread-safe if the provider mutates state elsewhere.
   std::function<std::vector<std::string>()> query_warnings;
 };
@@ -87,16 +108,17 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens. After it returns OK, port() is the bound port
-  /// and clients may connect (frames queue in the accept backlog until
-  /// Run() starts servicing them).
+  /// Binds, listens, and initializes the reactors. After it returns OK,
+  /// port() is the bound port and clients may connect (frames queue in
+  /// the accept backlog until Run() starts servicing them).
   Status Start();
 
   /// The bound TCP port (valid after Start()).
   uint16_t port() const { return port_; }
 
-  /// Serves until Shutdown() — blocks the calling thread. Returns OK on
-  /// a clean drain, or the error that stopped the loop.
+  /// Serves until Shutdown() — blocks the calling thread, which becomes
+  /// the engine's single writer. Returns OK on a clean drain, or the
+  /// error that stopped the loop.
   Status Run();
 
   /// Requests a graceful drain. Async-signal-safe and callable from any
@@ -104,7 +126,7 @@ class Server {
   /// here is an atomic store and a write() to a self-pipe.
   void Shutdown();
 
-  /// Enqueues `task` to run on the loop thread between poll rounds — the
+  /// Enqueues `task` to run on the writer thread between rounds — the
   /// one sanctioned way for another thread to touch the hosted engine
   /// (the aggregation tier injects its snapshot folds through here).
   /// Thread-safe; tasks run in FIFO order. Tasks still queued when the
@@ -113,31 +135,28 @@ class Server {
   void InjectTask(std::function<void()> task);
 
  private:
-  struct Connection;
+  friend class Reactor;
 
-  Status HandleReadable(Connection* conn);
-  void HandleFrame(Connection* conn, const Frame& frame);
-  // Appends a response frame, applying the write-buffer bound: an
-  // oversize result is dropped in favor of a RESOURCE_EXHAUSTED response
-  // and the connection is marked close-after-flush.
-  void EnqueueResponse(Connection* conn, MsgType type, const Status& status,
-                       std::string_view body = {});
-  Status FlushWrites(Connection* conn);
+  // --- reactor -> writer entry points (any reactor thread) ---
+
+  /// Appends a batch of decoded ops to the writer queue (one wakeup).
+  void EnqueueOps(std::vector<EngineOp> ops);
+  /// Acks BeginDrain(): this reactor will post no further ops.
+  void NotifyQuiesced();
+
+  // --- writer thread ---
+
   void AcceptPending();
-  void CloseConnection(size_t index);
-  Status DrainAndClose();
-
-  // Request handlers: each returns the response (status, body) pair via
-  // EnqueueResponse.
-  void HandleObserveBatch(Connection* conn, std::string_view payload);
-  void HandleQuery(Connection* conn, std::string_view payload);
-  void HandleSnapshot(Connection* conn, std::string_view payload);
-  void HandleMerge(Connection* conn, std::string_view payload);
-  void HandleMetrics(Connection* conn);
-  void HandleCheckpoint(Connection* conn);
-  void HandleTraceDump(Connection* conn);
-
+  void ProcessOps();
+  void CheckWriterThread() const;
+  Completion ApplyOp(EngineOp& op);
+  void ApplyObserveBatch(EngineOp& op, Completion* done);
+  void ApplyQuery(EngineOp& op, Completion* done);
+  void ApplySnapshot(EngineOp& op, Completion* done);
+  void ApplyMerge(EngineOp& op, Completion* done);
+  void ApplyCheckpoint(Completion* done);
   void RunInjectedTasks();
+  Status DrainAndClose();
 
   QueryEngine* engine_;
   ServerOptions options_;
@@ -146,12 +165,19 @@ class Server {
   int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
   bool shutdown_requested_ = false;
   std::atomic<bool> stop_flag_{false};
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  size_t next_reactor_ = 0;  // round-robin accept cursor
+  std::thread::id writer_thread_;  // set when Run() enters; per instance
+
+  std::mutex op_mu_;
+  std::vector<EngineOp> ops_;
+  std::atomic<int> quiesced_{0};
+
   std::mutex task_mu_;
   std::vector<std::function<void()>> tasks_;
-  std::vector<std::unique_ptr<Connection>> connections_;
 
-  struct Metrics;
-  const Metrics* metrics_ = nullptr;  // registered lazily in Start()
+  const NetMetrics* metrics_ = nullptr;  // registered lazily in Start()
 };
 
 }  // namespace implistat::net

@@ -56,13 +56,15 @@ std::string EncodeFrame(uint8_t tag, std::string_view payload,
   return frame;
 }
 
-// Splits a v3 envelope payload into extension block and message payload,
-// filling `frame->trace` from a trace-context entry if present. Unknown
-// extension tags are skipped (forward compatibility); structural damage
-// (truncated TLV, length overrun) is an error — the extension block is
-// CRC-protected with the rest of the envelope, so damage here means a
-// peer that cannot be trusted.
-Status DecodeFramePayloadV3(std::string_view envelope_payload, Frame* frame) {
+// Splits a v3 envelope payload into extension block and message payload
+// (a view into `envelope_payload`), filling `trace` from a trace-context
+// entry if present. Unknown extension tags are skipped (forward
+// compatibility); structural damage (truncated TLV, length overrun) is
+// an error — the extension block is CRC-protected with the rest of the
+// envelope, so damage here means a peer that cannot be trusted.
+Status DecodeFramePayloadV3(std::string_view envelope_payload,
+                            obs::SpanContext* trace,
+                            std::string_view* message_payload) {
   ByteReader in(envelope_payload);
   uint64_t ext_len;
   IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&ext_len));
@@ -86,18 +88,16 @@ Status DecodeFramePayloadV3(std::string_view envelope_payload, Frame* frame) {
         entry.size() == kTraceContextExtBytes) {
       ByteReader tc(entry);
       uint8_t flags;
-      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&frame->trace.trace_hi));
-      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&frame->trace.trace_lo));
-      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&frame->trace.span_id));
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&trace->trace_hi));
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&trace->trace_lo));
+      IMPLISTAT_RETURN_NOT_OK(tc.ReadU64(&trace->span_id));
       IMPLISTAT_RETURN_NOT_OK(tc.ReadU8(&flags));
-      frame->trace.sampled = (flags & kTraceFlagSampled) != 0;
+      trace->sampled = (flags & kTraceFlagSampled) != 0;
     }
     // Any other tag (or a trace entry of an unexpected size, i.e. a
     // future revision) is deliberately ignored.
   }
-  std::string_view payload;
-  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), &payload));
-  frame->payload = std::string(payload);
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), message_payload));
   return Status::OK();
 }
 
@@ -148,20 +148,38 @@ FrameDecoder::FrameDecoder(size_t max_frame_bytes)
 
 Status FrameDecoder::Append(std::string_view bytes) {
   IMPLISTAT_RETURN_NOT_OK(failed_);
-  // Compact once the consumed prefix dominates, so a long-lived
-  // connection doesn't grow its buffer without bound.
-  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
-    buf_.erase(0, pos_);
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    // Fully drained. Reset, and give back the heap a large frame left
+    // behind — a connection that shipped one oversize batch must not pin
+    // that high-water mark for its whole lifetime.
+    buf_.clear();
+    pos_ = 0;
+    if (buf_.capacity() > kBufferShrinkBytes) buf_.shrink_to_fit();
+  } else if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection doesn't grow its buffer without bound. If a large
+    // consumed frame left the capacity far above the surviving tail
+    // (e.g. a partial next frame buffered behind an oversize batch),
+    // rebuild small instead of compacting in place — same no-pinning
+    // guarantee as the fully-drained branch.
+    if (buf_.capacity() > kBufferShrinkBytes &&
+        buf_.size() - pos_ < kBufferShrinkBytes / 2) {
+      std::string tail(buf_, pos_);
+      buf_.swap(tail);
+      buf_.shrink_to_fit();
+    } else {
+      buf_.erase(0, pos_);
+    }
     pos_ = 0;
   }
   buf_.append(bytes);
   return Status::OK();
 }
 
-StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+StatusOr<std::optional<FrameView>> FrameDecoder::NextView() {
   IMPLISTAT_RETURN_NOT_OK(failed_);
   const std::string_view pending = std::string_view(buf_).substr(pos_);
-  if (pending.size() < sizeof(uint32_t)) return std::optional<Frame>();
+  if (pending.size() < sizeof(uint32_t)) return std::optional<FrameView>();
   uint32_t envelope_len;
   std::memcpy(&envelope_len, pending.data(), sizeof(envelope_len));
   if (envelope_len > max_frame_bytes_) {
@@ -181,7 +199,7 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
     return failed_;
   }
   if (pending.size() - sizeof(uint32_t) < envelope_len) {
-    return std::optional<Frame>();
+    return std::optional<FrameView>();
   }
   const std::string_view envelope =
       pending.substr(sizeof(uint32_t), envelope_len);
@@ -193,19 +211,30 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
     failed_ = payload.status();
     return failed_;
   }
-  Frame frame;
+  FrameView frame;
   frame.tag = tag;
   frame.version = version;
   if (version >= 3) {
-    Status ext = DecodeFramePayloadV3(*payload, &frame);
+    Status ext = DecodeFramePayloadV3(*payload, &frame.trace, &frame.payload);
     if (!ext.ok()) {
       failed_ = ext;
       return failed_;
     }
   } else {
-    frame.payload = std::string(*payload);
+    frame.payload = *payload;
   }
   pos_ += sizeof(uint32_t) + envelope_len;
+  return std::optional<FrameView>(frame);
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+  IMPLISTAT_ASSIGN_OR_RETURN(std::optional<FrameView> view, NextView());
+  if (!view.has_value()) return std::optional<Frame>();
+  Frame frame;
+  frame.tag = view->tag;
+  frame.version = view->version;
+  frame.trace = view->trace;
+  frame.payload = std::string(view->payload);
   return std::optional<Frame>(std::move(frame));
 }
 

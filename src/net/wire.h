@@ -108,6 +108,23 @@ struct Frame {
   bool is_response() const { return (tag & kResponseFlag) != 0; }
 };
 
+/// A decoded frame whose payload aliases the decoder's buffer instead of
+/// owning a copy — the zero-copy fast path the server's reactors decode
+/// OBSERVE_BATCH tuples straight out of. The view is valid only until
+/// the next Append()/Next()/NextView() call on the decoder that produced
+/// it; copy (or finish decoding) before touching the decoder again.
+struct FrameView {
+  uint8_t tag = 0;
+  std::string_view payload;
+  uint64_t version = kWireProtocolVersion;
+  obs::SpanContext trace;
+
+  MsgType type() const {
+    return static_cast<MsgType>(tag & ~kResponseFlag);
+  }
+  bool is_response() const { return (tag & kResponseFlag) != 0; }
+};
+
 /// Encodes a request frame (length prefix + envelope). With a valid
 /// `trace`, the context rides the v3 extension block; `version` lets
 /// compatibility tests and v2-pinned callers emit the old dialect
@@ -155,11 +172,28 @@ class FrameDecoder {
   Status Append(std::string_view bytes);
 
   /// Returns the next complete frame, std::nullopt if more bytes are
-  /// needed, or a sticky error on protocol violation.
+  /// needed, or a sticky error on protocol violation. Owns its payload;
+  /// use NextView() on hot paths that can decode in place.
   StatusOr<std::optional<Frame>> Next();
+
+  /// Zero-copy variant of Next(): the returned frame's payload aliases
+  /// the decoder buffer and is invalidated by the next Append()/Next()/
+  /// NextView() call. Everything else (validation order, sticky errors,
+  /// consumption) is identical to Next().
+  StatusOr<std::optional<FrameView>> NextView();
 
   /// Bytes currently buffered (tests and backpressure accounting).
   size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Heap currently held by the internal buffer. After a large frame is
+  /// consumed the buffer shrinks back under kBufferShrinkBytes on the
+  /// next Append(), so one oversize batch cannot pin a connection's
+  /// memory at its high-water mark forever.
+  size_t buffer_capacity() const { return buf_.capacity(); }
+
+  /// Retained-capacity cap: an empty buffer holding more than this is
+  /// released before new bytes are appended.
+  static constexpr size_t kBufferShrinkBytes = 64u << 10;
 
  private:
   size_t max_frame_bytes_;

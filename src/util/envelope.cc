@@ -1,5 +1,6 @@
 #include "util/envelope.h"
 
+#include <cstring>
 #include <string>
 
 #include "util/serde.h"
@@ -8,10 +9,11 @@ namespace implistat {
 
 namespace {
 
-// CRC32C (Castagnoli, reflected polynomial 0x82f63b78), one 256-entry
-// table built at static-init time. Throughput is irrelevant here: the
-// checksum guards checkpoint files and control-plane frames, not the
-// ingest hot path.
+// CRC32C (Castagnoli, reflected polynomial 0x82f63b78). Every wire
+// frame — including the OBSERVE_BATCH ingest path — and every
+// checkpoint passes through this, so it dispatches at first use to the
+// SSE4.2 crc32 instruction when the CPU has it (8 bytes/cycle-ish) and
+// falls back to a 256-entry table built at static-init time.
 struct Crc32cTable {
   uint32_t entries[256];
   Crc32cTable() {
@@ -88,13 +90,52 @@ StatusOr<std::string_view> UnwrapEnvelopeBody(const EnvelopeFamily& family,
 
 }  // namespace
 
-uint32_t Crc32c(std::string_view data) {
+namespace {
+
+uint32_t Crc32cTableWalk(std::string_view data) {
   const Crc32cTable& table = CrcTable();
   uint32_t crc = ~0u;
   for (char c : data) {
     crc = (crc >> 8) ^ table.entries[(crc ^ static_cast<uint8_t>(c)) & 0xff];
   }
   return ~crc;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    std::string_view data) {
+  uint64_t crc = ~0u;
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = __builtin_ia32_crc32di(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (n > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, static_cast<uint8_t>(*p));
+    ++p;
+    --n;
+  }
+  return ~crc32;
+}
+#endif
+
+uint32_t (*ResolveCrc32c())(std::string_view) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("sse4.2")) return &Crc32cHardware;
+#endif
+  return &Crc32cTableWalk;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  static uint32_t (*const impl)(std::string_view) = ResolveCrc32c();
+  return impl(data);
 }
 
 std::string WrapEnvelope(const EnvelopeFamily& family, uint8_t tag,

@@ -321,6 +321,95 @@ TEST(MessageCodecTest, MergeRequestCarriesSnapshotVerbatim) {
   EXPECT_EQ(decoded->second, snapshot);
 }
 
+TEST(FrameDecoderTest, NextViewAliasesBufferAndMatchesNext) {
+  FrameDecoder viewer(1u << 20);
+  FrameDecoder copier(1u << 20);
+  const std::string payload(1000, 'x');
+  const std::string wire =
+      EncodeRequestFrame(MsgType::kObserveBatch, payload);
+  ASSERT_TRUE(viewer.Append(wire).ok());
+  ASSERT_TRUE(copier.Append(wire).ok());
+
+  auto view = viewer.NextView();
+  auto frame = copier.Next();
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(view->has_value());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*view)->tag, (*frame)->tag);
+  EXPECT_EQ((*view)->version, (*frame)->version);
+  EXPECT_EQ((*view)->payload, std::string_view((*frame)->payload));
+
+  // Nothing buffered behind it: both report end-of-input the same way.
+  auto view2 = viewer.NextView();
+  ASSERT_TRUE(view2.ok());
+  EXPECT_FALSE(view2->has_value());
+}
+
+TEST(FrameDecoderTest, NextViewPipelinedFramesStayInOrder) {
+  FrameDecoder decoder(1u << 20);
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += EncodeRequestFrame(MsgType::kQuery,
+                               std::string(static_cast<size_t>(i) + 1,
+                                           static_cast<char>('a' + i)));
+  }
+  ASSERT_TRUE(decoder.Append(wire).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto view = decoder.NextView();
+    ASSERT_TRUE(view.ok());
+    ASSERT_TRUE(view->has_value()) << "frame " << i;
+    EXPECT_EQ((*view)->payload, std::string(static_cast<size_t>(i) + 1,
+                                            static_cast<char>('a' + i)));
+  }
+}
+
+TEST(FrameDecoderTest, BufferShrinksAfterLargeFrame) {
+  // A decoder that has carried one multi-megabyte snapshot frame must
+  // not hold that high-water allocation for the rest of the (possibly
+  // long-lived) connection.
+  FrameDecoder decoder(64u << 20);
+  const std::string big(8u << 20, 's');
+  ASSERT_TRUE(decoder.Append(EncodeRequestFrame(MsgType::kMerge, big)).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  ASSERT_EQ((*frame)->payload.size(), big.size());
+  EXPECT_GE(decoder.buffer_capacity(), big.size());
+
+  // The shrink happens on the next Append once the big frame has been
+  // consumed; a small ping must come back to a small buffer.
+  ASSERT_TRUE(decoder.Append(EncodeRequestFrame(MsgType::kPing, {})).ok());
+  auto ping = decoder.Next();
+  ASSERT_TRUE(ping.ok());
+  ASSERT_TRUE(ping->has_value());
+  EXPECT_LE(decoder.buffer_capacity(), FrameDecoder::kBufferShrinkBytes);
+}
+
+TEST(FrameDecoderTest, ShrinkPreservesPartialNextFrame) {
+  // The dangerous case: a big frame is consumed while the next frame is
+  // already partially buffered behind it. The shrink must compact, not
+  // truncate.
+  FrameDecoder decoder(64u << 20);
+  const std::string big(4u << 20, 'b');
+  const std::string next =
+      EncodeRequestFrame(MsgType::kQuery, std::string(200, 'q'));
+  std::string wire = EncodeRequestFrame(MsgType::kMerge, big);
+  wire += next.substr(0, next.size() / 2);  // half of the follower
+  ASSERT_TRUE(decoder.Append(wire).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  ASSERT_EQ((*frame)->payload.size(), big.size());
+
+  ASSERT_TRUE(decoder.Append(next.substr(next.size() / 2)).ok());
+  auto follower = decoder.Next();
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(follower->has_value());
+  EXPECT_EQ((*follower)->payload, std::string(200, 'q'));
+  EXPECT_LE(decoder.buffer_capacity(), FrameDecoder::kBufferShrinkBytes);
+}
+
 TEST(MessageCodecTest, CodecFuzzNeverCrashes) {
   Rng rng(73);
   for (int iter = 0; iter < 2000; ++iter) {

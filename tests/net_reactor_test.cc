@@ -1,0 +1,468 @@
+// Multi-reactor torture tests: a Server with several reactor threads
+// under concurrent pipelined clients, interleaved partial frames,
+// mid-request disconnects, and slow consumers — asserting the serving
+// path's core invariant throughout: the engine sees every complete batch
+// exactly once, applied on one thread, so its final state is
+// byte-identical to a single-threaded engine fed the same batches in the
+// server's arrival order. Run under TSAN via the "net" ctest label.
+
+#include <gtest/gtest.h>
+
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/messages.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "query/engine.h"
+#include "util/random.h"
+
+namespace implistat::net {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationConditions TestConditions() {
+  ImplicationConditions cond;
+  cond.max_multiplicity = 1;
+  cond.min_support = 1;
+  cond.min_top_confidence = 1.0;
+  cond.confidence_c = 1;
+  return cond;
+}
+
+ImplicationQuerySpec ExactSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions = TestConditions();
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = "exact";
+  return spec;
+}
+
+ImplicationQuerySpec NipsSpec() {
+  ImplicationQuerySpec spec = ExactSpec();
+  spec.estimator.kind = EstimatorKind::kNipsCi;
+  spec.estimator.nips.num_bitmaps = 8;
+  spec.label = "nips";
+  return spec;
+}
+
+std::vector<ValueId> Row(uint64_t i) {
+  return {static_cast<ValueId>(i % 97),
+          static_cast<ValueId>((i % 7 == 0) ? i % 47 : (i % 97) % 13),
+          static_cast<ValueId>(i % 24)};
+}
+
+// Batch `b` of the deterministic stream: rows [b*size, (b+1)*size).
+ObserveBatchRequest IdBatch(uint64_t b, uint64_t size) {
+  ObserveBatchRequest batch;
+  batch.encoding = ObserveEncoding::kIds;
+  batch.width = 3;
+  for (uint64_t i = b * size; i < (b + 1) * size; ++i) {
+    for (ValueId id : Row(i)) batch.ids.push_back(id);
+  }
+  return batch;
+}
+
+class ReactorServer {
+ public:
+  explicit ReactorServer(ServerOptions options) : engine_(TestSchema()) {
+    options_ = std::move(options);
+  }
+  ~ReactorServer() { Stop(); }
+
+  QueryEngine& engine() { return engine_; }
+
+  void Start() {
+    server_ = std::make_unique<Server>(&engine_, options_);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    thread_ = std::thread([this] { run_status_ = server_->Run(); });
+  }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    server_->Shutdown();
+    thread_.join();
+  }
+
+  StatusOr<Client> Connect(ClientOptions options = {}) {
+    return Client::Connect("127.0.0.1", server_->port(), options);
+  }
+
+  uint16_t port() const { return server_->port(); }
+  const Status& run_status() const { return run_status_; }
+
+ private:
+  QueryEngine engine_;
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  Status run_status_;
+};
+
+// The core invariant: C clients pipelining disjoint slices of a
+// deterministic stream through R reactors leave the engine in a state
+// BYTE-IDENTICAL to a single-threaded engine fed the same batches in the
+// server's arrival order. Each OBSERVE response carries tuples_seen
+// after that batch; with equal-sized batches, sorting (response, batch)
+// pairs by tuples_seen reconstructs the exact arrival order.
+TEST(NetReactorTest, ConcurrentPipelinedClientsYieldByteIdenticalState) {
+  constexpr int kClients = 8;
+  constexpr uint64_t kBatchesPerClient = 24;
+  constexpr uint64_t kBatchSize = 64;
+
+  ServerOptions options;
+  options.reactors = 3;
+  ReactorServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  ASSERT_TRUE(server.engine().Register(NipsSpec()).ok());
+  server.Start();
+
+  // (tuples_seen after apply, global batch index) from every client.
+  std::vector<std::pair<uint64_t, uint64_t>> arrivals(
+      kClients * kBatchesPerClient);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.max_in_flight = 8;
+      auto client = Client::Connect("127.0.0.1", server.port(), copts);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<uint64_t> submitted;  // global batch ids, FIFO
+      uint64_t done = 0;
+      auto await_one = [&]() {
+        auto body = client->Await();
+        if (!body.ok()) {
+          failures.fetch_add(1);
+          return false;
+        }
+        auto seen = DecodeObserveBatchResponse(*body);
+        if (!seen.ok()) {
+          failures.fetch_add(1);
+          return false;
+        }
+        const uint64_t global = submitted[done++];
+        arrivals[global] = {*seen, global};
+        return true;
+      };
+      for (uint64_t b = 0; b < kBatchesPerClient; ++b) {
+        const uint64_t global =
+            static_cast<uint64_t>(c) * kBatchesPerClient + b;
+        if (client->in_flight() >= copts.max_in_flight && !await_one()) {
+          return;
+        }
+        Status sent = client->Submit(
+            MsgType::kObserveBatch,
+            EncodeObserveBatchRequest(IdBatch(global, kBatchSize)));
+        if (!sent.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        submitted.push_back(global);
+      }
+      while (client->in_flight() > 0) {
+        if (!await_one()) return;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  server.Stop();
+  ASSERT_TRUE(server.run_status().ok()) << server.run_status();
+  ASSERT_EQ(server.engine().tuples_seen(),
+            kClients * kBatchesPerClient * kBatchSize);
+
+  // Reconstruct arrival order and replay it into a twin engine.
+  std::sort(arrivals.begin(), arrivals.end());
+  QueryEngine twin(TestSchema());
+  ASSERT_TRUE(twin.Register(ExactSpec()).ok());
+  ASSERT_TRUE(twin.Register(NipsSpec()).ok());
+  for (const auto& [seen, global] : arrivals) {
+    for (uint64_t i = global * kBatchSize; i < (global + 1) * kBatchSize;
+         ++i) {
+      std::vector<ValueId> row = Row(i);
+      twin.ObserveTuple(TupleRef(row.data(), row.size()));
+    }
+  }
+  auto state = server.engine().SerializeState();
+  auto twin_state = twin.SerializeState();
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(twin_state.ok());
+  EXPECT_EQ(*state, *twin_state) << "multi-reactor serving diverged from "
+                                    "single-threaded apply order";
+}
+
+// Frames trickled across many sends — including splits inside the length
+// prefix and envelope — decode exactly as whole frames do, even while
+// other connections hammer the same reactors at full speed.
+TEST(NetReactorTest, InterleavedPartialFramesDecodeCorrectly) {
+  ServerOptions options;
+  options.reactors = 2;
+  ReactorServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+
+  // Background load: two clients in a tight observe loop.
+  std::vector<std::thread> load;
+  for (int c = 0; c < 2; ++c) {
+    load.emplace_back([&, c] {
+      auto client = server.Connect();
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t b = 1000 + static_cast<uint64_t>(c) * 10000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto seen = client->ObserveBatch(IdBatch(b++, 16));
+        if (!seen.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // Foreground: trickle 40 requests in random-sized chunks. SendRaw
+  // ships the prefix; Submit ships the tail and records the expected
+  // type, so Await correlates normally.
+  {
+    auto client = server.Connect();
+    ASSERT_TRUE(client.ok());
+    Rng rng(7);
+    for (int iter = 0; iter < 40; ++iter) {
+      const ObserveBatchRequest batch = IdBatch(static_cast<uint64_t>(iter),
+                                                8);
+      const std::string frame = EncodeRequestFrame(
+          MsgType::kObserveBatch, EncodeObserveBatchRequest(batch));
+      size_t cut = 1 + rng.Uniform(frame.size() - 1);
+      ASSERT_TRUE(client->SendRaw(frame.substr(0, cut)).ok());
+      std::this_thread::yield();
+      ASSERT_TRUE(client
+                      ->Submit(MsgType::kObserveBatch, frame.substr(cut),
+                               /*pre_encoded=*/true)
+                      .ok());
+      auto body = client->Await();
+      ASSERT_TRUE(body.ok()) << body.status();
+      auto seen = DecodeObserveBatchResponse(*body);
+      ASSERT_TRUE(seen.ok());
+      EXPECT_GT(*seen, 0u);
+    }
+  }
+
+  stop.store(true);
+  for (auto& t : load) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+  EXPECT_TRUE(server.run_status().ok());
+}
+
+// Connections that die mid-frame (partial length prefix, partial
+// envelope, or mid-pipeline) must not wedge a reactor, leak the partial
+// batch into the engine, or poison later connections.
+TEST(NetReactorTest, MidRequestDisconnectsLeaveServerServing) {
+  ServerOptions options;
+  options.reactors = 2;
+  ReactorServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  const std::string frame = EncodeRequestFrame(
+      MsgType::kObserveBatch, EncodeObserveBatchRequest(IdBatch(0, 32)));
+
+  Rng rng(41);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto victim = server.Connect();
+    ASSERT_TRUE(victim.ok());
+    // Sometimes ship whole pipelined frames first, then die mid-frame.
+    if (iter % 3 == 0) {
+      ASSERT_TRUE(victim->SendRaw(frame).ok());
+    }
+    const size_t cut = 1 + rng.Uniform(frame.size() - 1);
+    ASSERT_TRUE(victim->SendRaw(frame.substr(0, cut)).ok());
+    // Abrupt close: the destructor closes the fd with bytes in flight.
+  }
+
+  // The server is still healthy for a well-behaved client, and only
+  // COMPLETE batches were ever applied (tuples_seen % batch size == 0).
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto response = client->Query({});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->tuples_seen % 32, 0u);
+
+  server.Stop();
+  EXPECT_TRUE(server.run_status().ok());
+}
+
+// Slow consumers (never reading) hit the write-buffer bound and are cut
+// off with RESOURCE_EXHAUSTED on every reactor, while a healthy client
+// on the same server stays unaffected.
+TEST(NetReactorTest, SlowConsumersAreCutOffPerReactor) {
+  ServerOptions options;
+  options.reactors = 2;
+  options.max_write_buffer_bytes = 8 * 1024;
+  ReactorServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  // Grow the snapshot so responses are a few KB each.
+  {
+    auto feeder = server.Connect();
+    ASSERT_TRUE(feeder.ok());
+    ASSERT_TRUE(feeder->ObserveBatch(IdBatch(0, 512)).ok());
+  }
+
+  const std::string snap_frame =
+      EncodeRequestFrame(MsgType::kSnapshot, EncodeSnapshotRequest(0));
+
+  // Two slow consumers (round-robin lands one per reactor): burst 64
+  // snapshot requests each, read nothing until cut off.
+  std::vector<Client> slows;
+  for (int i = 0; i < 2; ++i) {
+    auto slow = server.Connect();
+    ASSERT_TRUE(slow.ok());
+    std::string burst;
+    for (int j = 0; j < 64; ++j) burst += snap_frame;
+    ASSERT_TRUE(slow->SendRaw(burst).ok());
+    slows.push_back(std::move(*slow));
+  }
+
+  // A healthy client interleaves fine.
+  auto healthy = server.Connect();
+  ASSERT_TRUE(healthy.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(healthy->Ping().ok());
+  }
+
+  // Drain each slow connection: some OK snapshots, then exactly one
+  // RESOURCE_EXHAUSTED, then EOF.
+  for (Client& slow : slows) {
+    FrameDecoder decoder(64u << 20);
+    std::string rx;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = recv(slow.fd(), buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      rx.append(buf, static_cast<size_t>(n));
+    }
+    ASSERT_TRUE(decoder.Append(rx).ok());
+    int ok = 0;
+    int exhausted = 0;
+    for (;;) {
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.ok());
+      if (!frame->has_value()) break;
+      auto decoded = DecodeResponsePayload((*frame)->payload);
+      ASSERT_TRUE(decoded.ok());
+      if (decoded->first.ok()) {
+        ++ok;
+      } else {
+        EXPECT_EQ(decoded->first.code(), StatusCode::kResourceExhausted);
+        ++exhausted;
+      }
+    }
+    EXPECT_EQ(exhausted, 1) << "expected exactly one cut-off response";
+    EXPECT_LT(ok, 64);
+  }
+
+  ASSERT_TRUE(healthy->Ping().ok());
+  server.Stop();
+  EXPECT_TRUE(server.run_status().ok());
+}
+
+// Pipelining deeper than the server's per-connection depth cap: the
+// server pauses reading (TCP flow control), resumes as completions
+// drain, and every request still gets its answer in order.
+TEST(NetReactorTest, PipelineDeeperThanServerDepthStillCompletes) {
+  ServerOptions options;
+  options.reactors = 2;
+  options.max_pipeline_depth = 4;
+  ReactorServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  ClientOptions copts;
+  copts.max_in_flight = 32;
+  auto client = server.Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  constexpr uint64_t kBatches = 64;
+  constexpr uint64_t kBatchSize = 32;
+  uint64_t submitted = 0;
+  uint64_t awaited = 0;
+  uint64_t last_seen = 0;
+  while (awaited < kBatches) {
+    while (submitted < kBatches &&
+           client->in_flight() < copts.max_in_flight) {
+      ASSERT_TRUE(client
+                      ->Submit(MsgType::kObserveBatch,
+                               EncodeObserveBatchRequest(
+                                   IdBatch(submitted, kBatchSize)))
+                      .ok());
+      ++submitted;
+    }
+    auto body = client->Await();
+    ASSERT_TRUE(body.ok()) << body.status();
+    auto seen = DecodeObserveBatchResponse(*body);
+    ASSERT_TRUE(seen.ok());
+    // One connection, FIFO: totals grow by exactly one batch per answer.
+    EXPECT_EQ(*seen, last_seen + kBatchSize);
+    last_seen = *seen;
+    ++awaited;
+  }
+  EXPECT_EQ(last_seen, kBatches * kBatchSize);
+
+  server.Stop();
+  EXPECT_TRUE(server.run_status().ok());
+}
+
+// RoundTrip and Submit must not silently interleave: mixing is refused
+// with the pipeline intact, and draining the pipeline re-enables the
+// blocking API.
+TEST(NetReactorTest, RoundTripRefusedWhilePipelined) {
+  ServerOptions options;
+  options.reactors = 1;
+  ReactorServer server(options);
+  ASSERT_TRUE(server.engine().Register(ExactSpec()).ok());
+  server.Start();
+
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Submit(MsgType::kPing, "").ok());
+  EXPECT_EQ(client->Ping().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client->in_flight(), 1u);
+  ASSERT_TRUE(client->Await().ok());
+  EXPECT_TRUE(client->Ping().ok());
+
+  // An empty pipeline refuses Await.
+  EXPECT_EQ(client->Await().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace implistat::net

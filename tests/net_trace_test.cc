@@ -407,6 +407,7 @@ TEST(WireTraceTest, OneTraceCrossesTheSocketIntoServerPhases) {
   };
   const obs::SpanRecord* roundtrip = nullptr;
   const obs::SpanRecord* handle = nullptr;
+  const obs::SpanRecord* handoff = nullptr;
   const obs::SpanRecord* apply = nullptr;
   for (const auto& span : spans) {
     if (!in_trace(span)) continue;
@@ -414,6 +415,8 @@ TEST(WireTraceTest, OneTraceCrossesTheSocketIntoServerPhases) {
       roundtrip = &span;
     } else if (std::string_view(span.name) == "server.handle") {
       handle = &span;
+    } else if (std::string_view(span.name) == "server.reactor_handoff") {
+      handoff = &span;
     } else if (std::string_view(span.name) == "server.apply") {
       apply = &span;
     }
@@ -426,10 +429,15 @@ TEST(WireTraceTest, OneTraceCrossesTheSocketIntoServerPhases) {
   // the socket, parented on the client's RPC span...
   ASSERT_NE(handle, nullptr);
   EXPECT_EQ(handle->parent_id, roundtrip->span_id);
-  EXPECT_NE(handle->tid, roundtrip->tid);  // recorded on the server thread
-  // ...and its engine phase nests inside the handle span.
+  EXPECT_NE(handle->tid, roundtrip->tid);  // recorded on a reactor thread
+  // ...the reactor-to-writer handoff nests inside the handle span (and
+  // carries the op across the thread hop)...
+  ASSERT_NE(handoff, nullptr);
+  EXPECT_EQ(handoff->parent_id, handle->span_id);
+  // ...and the engine phase nests inside the handoff, on the writer.
   ASSERT_NE(apply, nullptr);
-  EXPECT_EQ(apply->parent_id, handle->span_id);
+  EXPECT_EQ(apply->parent_id, handoff->span_id);
+  EXPECT_NE(apply->tid, handle->tid);  // writer thread, not the reactor
 
   // TRACE_DUMP ships the same story as Perfetto-loadable JSON.
   auto json = client->TraceDump();

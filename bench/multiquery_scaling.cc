@@ -1,0 +1,245 @@
+// Multi-query scaling: memory and ingest throughput for N overlapping
+// queries with the shared synopsis store on vs. off (the
+// --no-query-sharing layout).
+//
+// Workload: N tenant queries drawn from a fixed pool of 16 distinct
+// templates — the multi-tenant shape where many dashboards register the
+// same statistic. With sharing on, the engine collapses the N
+// registrations onto one synopsis per template, so memory is flat in N
+// while the dedicated layout grows linearly; ingest scales with live
+// synopses instead of registered queries.
+//
+// The run self-verifies the tentpole claim before reporting: every
+// query's answer under sharing is BIT-IDENTICAL to the dedicated run
+// (same estimator bytes, same observation sequence) — any mismatch
+// aborts the bench.
+//
+// Scale knobs: IMPLISTAT_FULL=1 (200k tuples; default 20k). An optional
+// argv[1] names a JSON output file (results/BENCH_multiquery.json is
+// the checked-in copy; the CI bench-regression job gates on its
+// N=1024 memory ratio).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/engine.h"
+#include "util/random.h"
+
+namespace implistat {
+namespace {
+
+Schema BenchSchema() {
+  return Schema({{"Source", 50000},
+                 {"Destination", 1000},
+                 {"Service", 32},
+                 {"Hour", 24}});
+}
+
+// 16 distinct templates: every (A, B) pairing below at each of four
+// condition settings. All NIPS/CI with the same ensemble config, so a
+// template is one synopsis key.
+std::vector<ImplicationQuerySpec> Templates() {
+  struct Shape {
+    std::vector<std::string> a, b;
+  };
+  const std::vector<Shape> shapes = {
+      {{"Source"}, {"Destination"}},
+      {{"Destination"}, {"Source"}},
+      {{"Source", "Service"}, {"Destination"}},
+      {{"Service"}, {"Destination"}},
+  };
+  struct Knobs {
+    uint32_t k;
+    double gamma;
+    uint32_t c;
+  };
+  const std::vector<Knobs> knobs = {
+      {1, 1.0, 1}, {2, 0.9, 1}, {1, 0.8, 2}, {4, 0.95, 2}};
+  std::vector<ImplicationQuerySpec> templates;
+  for (const Shape& shape : shapes) {
+    for (const Knobs& knob : knobs) {
+      ImplicationQuerySpec spec;
+      spec.a_attributes = shape.a;
+      spec.b_attributes = shape.b;
+      spec.conditions.max_multiplicity = knob.k;
+      spec.conditions.min_support = 2;
+      spec.conditions.min_top_confidence = knob.gamma;
+      spec.conditions.confidence_c = knob.c;
+      spec.conditions.strict_multiplicity = false;
+      spec.estimator.kind = EstimatorKind::kNipsCi;
+      spec.estimator.nips.num_bitmaps = 32;
+      spec.estimator.nips.seed = 17;
+      templates.push_back(std::move(spec));
+    }
+  }
+  return templates;
+}
+
+struct EngineStats {
+  int synopses = 0;
+  uint64_t memory_bytes = 0;
+  double register_ms = 0;
+  double ingest_mtps = 0;
+};
+
+double ElapsedSec(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+}  // namespace
+}  // namespace implistat
+
+int main(int argc, char** argv) {
+  using namespace implistat;
+  const uint64_t n_tuples = bench::EnvFull() ? 200000 : 20000;
+  const std::vector<int> fleet_sizes = {64, 256, 1024};
+
+  bench::PrintHeaderBanner(
+      "Multi-query scaling (shared synopsis store vs --no-query-sharing)",
+      "N tenants over 16 templates; answers verified bit-identical");
+  std::printf("n=%llu tuples per engine\n\n",
+              static_cast<unsigned long long>(n_tuples));
+
+  // One fixed tuple sequence for every engine: half the sources loyal to
+  // one destination, half churning, services and hours cycling.
+  Rng rng(99);
+  std::vector<std::vector<ValueId>> rows;
+  rows.reserve(n_tuples);
+  for (uint64_t i = 0; i < n_tuples; ++i) {
+    const ValueId source = static_cast<ValueId>(rng.Uniform(50000));
+    const bool loyal = (source % 2) == 0;
+    rows.push_back({source,
+                    static_cast<ValueId>(loyal ? source % 1000
+                                               : rng.Uniform(1000)),
+                    static_cast<ValueId>(i % 32),
+                    static_cast<ValueId>(i % 24)});
+  }
+
+  const std::vector<ImplicationQuerySpec> templates = Templates();
+
+  struct Round {
+    int n_queries;
+    EngineStats sharing;
+    EngineStats dedicated;
+  };
+  std::vector<Round> rounds;
+
+  for (int n_queries : fleet_sizes) {
+    Round round;
+    round.n_queries = n_queries;
+    QueryEngine shared_engine(BenchSchema());
+    QueryEngine dedicated_engine(BenchSchema(), QueryEngineOptions{false});
+    struct Arm {
+      QueryEngine* engine;
+      EngineStats* stats;
+    };
+    for (Arm arm : {Arm{&shared_engine, &round.sharing},
+                    Arm{&dedicated_engine, &round.dedicated}}) {
+      arm.stats->register_ms = 1e3 * ElapsedSec([&] {
+        for (int q = 0; q < n_queries; ++q) {
+          auto id = arm.engine->Register(templates[q % templates.size()]);
+          if (!id.ok()) {
+            std::fprintf(stderr, "register failed: %s\n",
+                         std::string(id.status().message()).c_str());
+            std::exit(1);
+          }
+        }
+      });
+      const double seconds = ElapsedSec([&] {
+        for (const std::vector<ValueId>& row : rows) {
+          arm.engine->ObserveTuple(TupleRef(row.data(), row.size()));
+        }
+      });
+      arm.stats->synopses = arm.engine->num_synopses();
+      arm.stats->memory_bytes = arm.engine->TotalSynopsisMemoryBytes();
+      arm.stats->ingest_mtps =
+          static_cast<double>(n_tuples) / seconds / 1e6;
+    }
+
+    // Self-verification: sharing must be invisible in the answers. All
+    // templates are NIPS sketches, whose serialization is order-stable,
+    // so we can demand byte-identical estimator state per query — not
+    // just equal doubles.
+    for (QueryId id = 0; id < n_queries; ++id) {
+      auto a = shared_engine.Answer(id);
+      auto b = dedicated_engine.Answer(id);
+      auto ea = shared_engine.Estimator(id);
+      auto eb = dedicated_engine.Estimator(id);
+      auto sa = ea.ok() ? (*ea)->SerializeState() : StatusOr<std::string>(ea.status());
+      auto sb = eb.ok() ? (*eb)->SerializeState() : StatusOr<std::string>(eb.status());
+      if (!a.ok() || !b.ok() || *a != *b || !sa.ok() || !sb.ok() ||
+          *sa != *sb) {
+        std::fprintf(stderr,
+                     "answer divergence at N=%d query %d: shared vs "
+                     "dedicated are not bit-identical\n",
+                     n_queries, id);
+        return 1;
+      }
+    }
+    rounds.push_back(round);
+  }
+
+  std::printf("%-10s %10s %10s %14s %14s %10s %12s %12s\n", "n_queries",
+              "syn_share", "syn_dedic", "mem_share_B", "mem_dedic_B",
+              "mem_ratio", "mtps_share", "mtps_dedic");
+  for (const Round& r : rounds) {
+    std::printf(
+        "%-10d %10d %10d %14llu %14llu %10.3f %12.2f %12.2f\n",
+        r.n_queries, r.sharing.synopses, r.dedicated.synopses,
+        static_cast<unsigned long long>(r.sharing.memory_bytes),
+        static_cast<unsigned long long>(r.dedicated.memory_bytes),
+        static_cast<double>(r.sharing.memory_bytes) /
+            static_cast<double>(r.dedicated.memory_bytes),
+        r.sharing.ingest_mtps, r.dedicated.ingest_mtps);
+  }
+
+  if (argc > 1) {
+    std::ofstream json(argv[1]);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"multiquery_scaling\",\n"
+         << "  \"n_tuples\": " << n_tuples << ",\n"
+         << "  \"templates\": " << templates.size() << ",\n"
+         << "  \"note\": \"every round verified: each of the N queries "
+         << "answers bit-identically with sharing on and off before the "
+         << "row is reported\",\n"
+         << "  \"rounds\": [\n";
+    for (size_t i = 0; i < rounds.size(); ++i) {
+      const Round& r = rounds[i];
+      auto arm = [&](const char* name, const EngineStats& s,
+                     bool last) {
+        json << "      \"" << name << "\": {\"synopses\": " << s.synopses
+             << ", \"memory_bytes\": " << s.memory_bytes
+             << ", \"register_ms\": " << s.register_ms
+             << ", \"ingest_million_tuples_per_sec\": " << s.ingest_mtps
+             << "}" << (last ? "" : ",") << "\n";
+      };
+      json << "    {\"n_queries\": " << r.n_queries << ",\n";
+      arm("sharing", r.sharing, false);
+      arm("dedicated", r.dedicated, false);
+      json << "      \"memory_ratio\": "
+           << (static_cast<double>(r.sharing.memory_bytes) /
+               static_cast<double>(r.dedicated.memory_bytes))
+           << ",\n      \"answers_identical\": true}"
+           << (i + 1 < rounds.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::fprintf(stderr, "[implistat] multi-query scaling -> %s\n",
+                 argv[1]);
+  }
+  bench::MaybeWriteMetricsJson();
+  return 0;
+}

@@ -71,7 +71,9 @@ int Usage(const char* argv0) {
       << "  --trace-sample N        record 1 in N traces (default 64;\n"
       << "                          1 = every poll/request, 0 = none)\n"
       << "  --trace-json PATH       dump recorded spans as Chrome\n"
-      << "                          trace_event JSON to PATH on shutdown\n";
+      << "                          trace_event JSON to PATH on shutdown\n"
+      << "  --no-query-sharing      dedicated estimator per query (disable\n"
+      << "                          the shared synopsis store)\n";
   return 2;
 }
 
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
   int trace_sample = -1;  // -1: keep the compiled-in default (64)
   std::string trace_json_path;
   cluster::SupervisorOptions supervisor_options;
+  QueryEngineOptions engine_options;
   std::vector<cluster::PeerConfig> peers;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -151,6 +154,8 @@ int main(int argc, char** argv) {
       const char* v = take_value("--trace-json");
       if (v == nullptr) return 2;
       trace_json_path = v;
+    } else if (arg == "--no-query-sharing") {
+      engine_options.query_sharing = false;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -179,7 +184,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  QueryEngine engine(table->schema);
+  QueryEngine engine(table->schema, engine_options);
   if (Status status = engine.SetDictionaries(table->dictionaries);
       !status.ok()) {
     std::cerr << "dictionary error: " << status << "\n";

@@ -54,7 +54,9 @@ int Usage(const char* argv0) {
       << "                        come from the file (pass no QUERY args)\n"
       << "  --metrics-every N     progress line to stderr every N tuples\n"
       << "  --metrics-json PATH   final JSON metrics snapshot\n"
-      << "  --metrics-prom PATH   final Prometheus-text metrics snapshot\n\n"
+      << "  --metrics-prom PATH   final Prometheus-text metrics snapshot\n"
+      << "  --no-query-sharing    dedicated estimator per query (disable\n"
+      << "                        the shared synopsis store)\n\n"
       << "example query:\n"
       << "  SELECT COUNT(DISTINCT Destination) FROM t\n"
       << "  WHERE Destination IMPLIES Source\n"
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   uint64_t metrics_every = 0;
   std::string metrics_json_path;
   std::string metrics_prom_path;
+  QueryEngineOptions engine_options;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -127,6 +130,8 @@ int main(int argc, char** argv) {
       const char* v = take_value("--metrics-prom");
       if (v == nullptr) return 2;
       metrics_prom_path = v;
+    } else if (arg == "--no-query-sharing") {
+      engine_options.query_sharing = false;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -182,7 +187,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  QueryEngine engine(table->schema);
+  QueryEngine engine(table->schema, engine_options);
   // Attach the dictionaries so checkpoints carry them.
   if (Status status = engine.SetDictionaries(table->dictionaries);
       !status.ok()) {

@@ -58,7 +58,9 @@ int Usage(const char* argv0) {
       << "                        1 = every request, 0 = no new traces)\n"
       << "  --trace-json PATH     dump recorded spans as Chrome\n"
       << "                        trace_event JSON (Perfetto-loadable)\n"
-      << "                        to PATH on shutdown\n";
+      << "                        to PATH on shutdown\n"
+      << "  --no-query-sharing    dedicated estimator per query (disable\n"
+      << "                        the shared synopsis store)\n";
   return 2;
 }
 
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   int64_t idle_timeout_ms = 0;
   int trace_sample = -1;  // -1: keep the compiled-in default (64)
   std::string trace_json_path;
+  QueryEngineOptions engine_options;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -139,6 +142,8 @@ int main(int argc, char** argv) {
       const char* v = take_value("--trace-json");
       if (v == nullptr) return 2;
       trace_json_path = v;
+    } else if (arg == "--no-query-sharing") {
+      engine_options.query_sharing = false;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -188,7 +193,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  QueryEngine engine(table->schema);
+  QueryEngine engine(table->schema, engine_options);
   if (Status status = engine.SetDictionaries(table->dictionaries);
       !status.ok()) {
     std::cerr << "dictionary error: " << status << "\n";

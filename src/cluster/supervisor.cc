@@ -179,17 +179,17 @@ Status AggregatorSupervisor::Init() {
   if (initialized_) {
     return Status::FailedPrecondition("supervisor already initialized");
   }
-  num_queries_ = engine_->num_queries();
-  if (num_queries_ == 0) {
+  fold_units_ = engine_->FoldUnits();
+  if (fold_units_.empty()) {
     return Status::FailedPrecondition(
         "aggregate engine has no registered queries to supervise");
   }
   if (engine_->tuples_seen() > 0) {
     base_tuples_ = engine_->tuples_seen();
-    base_snapshots_.reserve(static_cast<size_t>(num_queries_));
-    for (QueryId id = 0; id < num_queries_; ++id) {
+    base_snapshots_.reserve(fold_units_.size());
+    for (const QueryEngine::FoldUnit& unit : fold_units_) {
       IMPLISTAT_ASSIGN_OR_RETURN(const ImplicationEstimator* estimator,
-                                 engine_->Estimator(id));
+                                 engine_->Estimator(unit.representative));
       IMPLISTAT_ASSIGN_OR_RETURN(std::string state,
                                  estimator->SerializeState());
       base_snapshots_.push_back(std::move(state));
@@ -213,15 +213,19 @@ Status AggregatorSupervisor::PullPeer(Peer& peer, int64_t now_ms) {
     IMPLISTAT_RETURN_NOT_OK(peer.client->Reconnect());
   }
 
-  // Pull every query's snapshot. The edge may keep ingesting between the
-  // per-query round trips, so the epochs can differ slightly; the set is
-  // keyed by the last one (refolds are estimates over near-simultaneous
-  // views, and the next poll replaces the set wholesale anyway).
+  // Pull one snapshot per fold unit, addressed by the unit's
+  // representative query id (the wire names estimator state by query;
+  // the edge resolves it to the same shared synopsis). The edge may keep
+  // ingesting between the per-unit round trips, so the epochs can differ
+  // slightly; the set is keyed by the last one (refolds are estimates
+  // over near-simultaneous views, and the next poll replaces the set
+  // wholesale anyway).
   uint64_t epoch = 0;
   std::vector<std::string> snapshots;
-  snapshots.reserve(static_cast<size_t>(num_queries_));
-  for (int q = 0; q < num_queries_; ++q) {
-    auto response = peer.client->Snapshot(static_cast<uint32_t>(q));
+  snapshots.reserve(fold_units_.size());
+  for (const QueryEngine::FoldUnit& unit : fold_units_) {
+    auto response =
+        peer.client->Snapshot(static_cast<uint32_t>(unit.representative));
     if (!response.ok()) return response.status();
     epoch = response->epoch;
     snapshots.push_back(std::move(response->state));
@@ -259,13 +263,13 @@ void AggregatorSupervisor::ScheduleRefold(int64_t now_ms) {
   // (non-STALE, pulled-at-least-once) peer's latest snapshots. Copies are
   // taken so the closure is self-contained — it may run later, on another
   // thread (Server::InjectTask), after peers_ has moved on.
-  auto per_query = std::make_shared<std::vector<std::vector<std::string>>>();
-  per_query->resize(static_cast<size_t>(num_queries_));
+  const size_t num_units = fold_units_.size();
+  auto per_unit = std::make_shared<std::vector<std::vector<std::string>>>();
+  per_unit->resize(num_units);
   uint64_t total_tuples = base_tuples_;
-  for (int q = 0; q < num_queries_; ++q) {
+  for (size_t u = 0; u < num_units; ++u) {
     if (!base_snapshots_.empty()) {
-      (*per_query)[static_cast<size_t>(q)].push_back(
-          base_snapshots_[static_cast<size_t>(q)]);
+      (*per_unit)[u].push_back(base_snapshots_[u]);
     }
   }
   for (const auto& peer : peers_) {
@@ -273,36 +277,37 @@ void AggregatorSupervisor::ScheduleRefold(int64_t now_ms) {
       continue;
     }
     total_tuples += peer->epoch;
-    for (int q = 0; q < num_queries_; ++q) {
-      (*per_query)[static_cast<size_t>(q)].push_back(
-          peer->snapshots[static_cast<size_t>(q)]);
+    for (size_t u = 0; u < num_units; ++u) {
+      (*per_unit)[u].push_back(peer->snapshots[u]);
     }
   }
 
   QueryEngine* engine = engine_;
   const Metrics* metrics = metrics_;
   auto folds_completed = folds_completed_;
-  int num_queries = num_queries_;
+  // Copied so the closure stays self-contained off-thread.
+  std::vector<QueryEngine::FoldUnit> fold_units = fold_units_;
   // The fold may run later on another thread (Server::InjectTask), where
   // the poll span is no longer on the stack — so its context is captured
   // by value and handed to the fold span as an explicit parent, keeping
   // the whole poll -> pull -> fold chain on one trace id.
   const obs::SpanContext poll_context = obs::Tracer::CurrentContext();
-  fold_runner_([engine, metrics, folds_completed, num_queries, per_query,
+  fold_runner_([engine, metrics, folds_completed, fold_units, per_unit,
                 total_tuples, poll_context] {
     obs::ScopedSpan span("cluster.fold", "cluster", poll_context);
-    span.Annotate("queries", static_cast<uint64_t>(num_queries));
+    span.Annotate("fold_units", static_cast<uint64_t>(fold_units.size()));
     span.Annotate("tuples", total_tuples);
     bool ok = true;
-    for (int q = 0; q < num_queries; ++q) {
-      const std::vector<std::string>& contributions =
-          (*per_query)[static_cast<size_t>(q)];
+    for (size_t u = 0; u < fold_units.size(); ++u) {
+      const std::vector<std::string>& contributions = (*per_unit)[u];
       std::vector<std::string_view> views(contributions.begin(),
                                           contributions.end());
-      Status status = engine->RefoldEstimatorState(q, views);
+      // Keyed by synopsis: every query sharing it sees this one fold.
+      Status status =
+          engine->RefoldSynopsisState(fold_units[u].synopsis, views);
       if (!status.ok()) {
         obs::LogEvent(obs::LogLevel::kError, "cluster", "refold_failed")
-            .U64("query", static_cast<uint64_t>(q))
+            .U64("synopsis", static_cast<uint64_t>(fold_units[u].synopsis))
             .Str("error", status.ToString());
         ok = false;
       }

@@ -178,7 +178,7 @@ class AggregatorSupervisor {
   struct Peer;
   struct Metrics;
 
-  // Pulls every query's snapshot from `peer`; OK only if all arrive.
+  // Pulls every fold unit's snapshot from `peer`; OK only if all arrive.
   Status PullPeer(Peer& peer, int64_t now_ms);
   void ScheduleRefold(int64_t now_ms);
   void RunLoop();
@@ -186,7 +186,12 @@ class AggregatorSupervisor {
   QueryEngine* engine_;
   SupervisorOptions options_;
   TaskRunner fold_runner_;
-  int num_queries_ = 0;
+  /// The aggregate engine's fold units, captured at Init(): one per live
+  /// synopsis, addressed over the wire by its representative query id.
+  /// Folding per unit (not per query) means a synopsis shared by n
+  /// queries is pulled and refolded exactly once per round instead of n
+  /// times — and can never double-count.
+  std::vector<QueryEngine::FoldUnit> fold_units_;
 
   // Base contribution (the engine's own pre-supervision state).
   std::vector<std::string> base_snapshots_;

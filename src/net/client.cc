@@ -341,7 +341,8 @@ StatusOr<std::string> Client::Await() {
 }
 
 StatusOr<std::string> Client::RoundTrip(MsgType type,
-                                        std::string_view payload) {
+                                        std::string_view payload,
+                                        uint64_t* response_version) {
   if (connection_lost()) {
     return Status::Unavailable("connection lost (call Reconnect)");
   }
@@ -373,6 +374,7 @@ StatusOr<std::string> Client::RoundTrip(MsgType type,
                              DecodeResponsePayload(frame->payload));
   IMPLISTAT_RETURN_NOT_OK(decoded.first);
   span.Annotate("response_bytes", decoded.second.size());
+  if (response_version != nullptr) *response_version = frame->version;
   return std::string(decoded.second);
 }
 
@@ -386,9 +388,13 @@ StatusOr<uint64_t> Client::ObserveBatch(const ObserveBatchRequest& request) {
 }
 
 StatusOr<QueryResponse> Client::Query(const std::vector<uint32_t>& ids) {
+  // The response dialect drives the decode: a v3 server answers a v4
+  // client in v3 (no derivation section), and the decoder must agree.
+  uint64_t version = kWireProtocolVersion;
   IMPLISTAT_ASSIGN_OR_RETURN(
-      std::string body, RoundTrip(MsgType::kQuery, EncodeQueryRequest(ids)));
-  return DecodeQueryResponse(body);
+      std::string body,
+      RoundTrip(MsgType::kQuery, EncodeQueryRequest(ids), &version));
+  return DecodeQueryResponse(body, version);
 }
 
 StatusOr<SnapshotResponse> Client::Snapshot(uint32_t query_id) {

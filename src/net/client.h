@@ -131,8 +131,11 @@ class Client {
   /// Sends one request frame and waits for its response body, checking
   /// type and embedded status. Building block for the typed calls above.
   /// Refuses (kFailedPrecondition) while pipelined requests are in
-  /// flight — Await() them first.
-  StatusOr<std::string> RoundTrip(MsgType type, std::string_view payload);
+  /// flight — Await() them first. When `response_version` is non-null it
+  /// receives the response frame's wire dialect, which version-sensitive
+  /// decoders (QUERY) need.
+  StatusOr<std::string> RoundTrip(MsgType type, std::string_view payload,
+                                  uint64_t* response_version = nullptr);
 
   // --- pipelined mode ---
 

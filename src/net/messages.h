@@ -70,9 +70,17 @@ struct QueryResult {
   double estimate = 0;
   /// 1σ error bar on the implication-count estimate (leave-one-bitmap-out
   /// jackknife for NIPS/CI, 0 for exact); negative when the estimator
-  /// cannot quantify its uncertainty.
+  /// cannot quantify its uncertainty. For derived answers, the bound
+  /// half-width.
   double std_error = -1;
   uint64_t memory_bytes = 0;
+  /// True when the answer came from entailment bounds over existing
+  /// synopses instead of a dedicated estimator (wire v4+; always false
+  /// when decoded from an older dialect).
+  bool derived = false;
+  /// The entailment interval; only meaningful when derived.
+  double lower = 0;
+  double upper = 0;
 };
 
 struct QueryResponse {
@@ -84,8 +92,13 @@ struct QueryResponse {
   std::vector<std::string> warnings;
 };
 
-std::string EncodeQueryResponse(const QueryResponse& response);
-StatusOr<QueryResponse> DecodeQueryResponse(std::string_view body);
+/// `version` is the wire dialect of the conversation (the request
+/// frame's version on the server, the response frame's on the client):
+/// v4 bodies carry the per-result derivation section, older ones do not.
+std::string EncodeQueryResponse(const QueryResponse& response,
+                                uint64_t version = 4);
+StatusOr<QueryResponse> DecodeQueryResponse(std::string_view body,
+                                            uint64_t version = 4);
 
 // --- SNAPSHOT / MERGE ------------------------------------------------------
 

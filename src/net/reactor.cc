@@ -436,6 +436,7 @@ void Reactor::HandleFrame(Conn* conn, const FrameView& view) {
   op.conn_id = conn->id;
   op.seq = seq;
   op.trace = handle.context();
+  op.version = view.version;
 
   switch (view.type()) {
     case MsgType::kPing:

@@ -103,6 +103,9 @@ struct EngineOp {
   obs::SpanContext trace;
   /// CLOCK_MONOTONIC ns at handoff, for queue-wait accounting.
   uint64_t enqueue_ns = 0;
+  /// The request frame's wire dialect; the writer encodes
+  /// version-sensitive response bodies (QUERY) to match.
+  uint64_t version = kWireProtocolVersion;
   /// OBSERVE_BATCH: validated row-major value ids.
   std::vector<ValueId> flat;
   /// QUERY: requested ids (empty = every registered query).

@@ -277,8 +277,8 @@ void Server::ApplyObserveBatch(EngineOp& op, Completion* done) {
 void Server::ApplyQuery(EngineOp& op, Completion* done) {
   std::vector<uint32_t>& ids = op.query_ids;
   if (ids.empty()) {
-    for (int i = 0; i < engine_->num_queries(); ++i) {
-      ids.push_back(static_cast<uint32_t>(i));
+    for (QueryId id : engine_->ActiveQueryIds()) {
+      ids.push_back(static_cast<uint32_t>(id));
     }
   }
   QueryResponse response;
@@ -287,7 +287,8 @@ void Server::ApplyQuery(EngineOp& op, Completion* done) {
     obs::ScopedSpan apply("server.apply", "server");
     apply.Annotate("queries", ids.size());
     for (uint32_t id : ids) {
-      StatusOr<double> answer = engine_->Answer(static_cast<QueryId>(id));
+      StatusOr<QueryAnswer> answer =
+          engine_->AnswerEx(static_cast<QueryId>(id));
       if (!answer.ok()) {
         done->status = answer.status();
         return;
@@ -300,16 +301,21 @@ void Server::ApplyQuery(EngineOp& op, Completion* done) {
       result.id = id;
       result.label = spec->label;
       result.estimator_name = est->name();
-      result.estimate = *answer;
-      result.std_error = est->EstimateStdError();
+      result.estimate = answer->estimate;
+      result.std_error = answer->std_error;
       result.memory_bytes = est->MemoryBytes();
+      result.derived = answer->derived;
+      result.lower = answer->lower;
+      result.upper = answer->upper;
       response.results.push_back(std::move(result));
     }
   }
   if (options_.query_warnings) {
     response.warnings = options_.query_warnings();
   }
-  done->body = EncodeQueryResponse(response);
+  // Answer in the request's dialect: v4 carries the derivation section,
+  // older clients get the pre-derivation layout.
+  done->body = EncodeQueryResponse(response, op.version);
 }
 
 void Server::ApplySnapshot(EngineOp& op, Completion* done) {

@@ -71,11 +71,17 @@ inline constexpr uint32_t kWireMagic = 0x57504d49;  // "IMPW"
 ///   1  trace context (25 bytes: u64 trace_hi, u64 trace_lo,
 ///      u64 span_id, u8 flags; flag bit 0 = sampled) — propagates one
 ///      trace across client->server and supervisor->edge hops.
-/// A v3 endpoint still accepts v2 frames (no extension block) and
-/// answers them in v2, so old clients keep working; versions outside
+/// v4: QUERY responses carry a per-result derivation section — u8
+/// derived flag plus the entailment bounds [lower, upper] (see
+/// messages.h QueryResult) — so a client can tell a bound-derived
+/// answer from a dedicated-estimator one. Request formats are
+/// unchanged.
+/// An endpoint still accepts older frames (down to
+/// kWireMinProtocolVersion) and answers them in the request's dialect,
+/// so old clients keep working; versions outside
 /// [kWireMinProtocolVersion, kWireProtocolVersion] are refused at the
 /// envelope check rather than misparsing payloads.
-inline constexpr uint64_t kWireProtocolVersion = 3;
+inline constexpr uint64_t kWireProtocolVersion = 4;
 inline constexpr uint64_t kWireMinProtocolVersion = 2;
 
 inline constexpr EnvelopeFamily kWireEnvelope{kWireMagic,

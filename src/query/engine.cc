@@ -1,8 +1,11 @@
 #include "query/engine.h"
 
+#include <algorithm>
+
 #include "obs/instrumented_estimator.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
+#include "util/envelope.h"
 #include "util/fileio.h"
 #include "util/serde.h"
 
@@ -42,6 +45,42 @@ struct CheckpointMetrics {
   }
 };
 
+// Multi-query sharing instrumentation.
+struct SharingMetrics {
+  obs::Counter* queries_shared_total;
+  obs::Counter* derived_answers_total;
+
+  static const SharingMetrics& Get() {
+    static const SharingMetrics metrics = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return SharingMetrics{
+          reg.GetCounter("implistat_queries_shared_total",
+                         "Registrations answered by an existing synopsis "
+                         "(exact key hit)"),
+          reg.GetCounter("implistat_derived_answers_total",
+                         "Answers produced from entailment bounds instead "
+                         "of a dedicated estimator"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+// The sources a derived query holds references on, deduplicated (the
+// same synopsis can serve as both upper source and F0 cap).
+std::vector<SynopsisId> DistinctSources(const DerivationSources& d) {
+  std::vector<SynopsisId> out;
+  for (SynopsisId id : {d.lower, d.upper, d.f0}) {
+    if (id == -1) continue;
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+  return out;
+}
+
+// Query-record flag bits in the kQueryEngineV2 container.
+constexpr uint8_t kFlagActive = 1;
+constexpr uint8_t kFlagAllowDerived = 2;
+
 }  // namespace
 
 uint64_t SchemaFingerprint(const Schema& schema) {
@@ -63,7 +102,8 @@ uint64_t SchemaFingerprint(const Schema& schema) {
   return h;
 }
 
-QueryEngine::QueryEngine(Schema schema) : schema_(std::move(schema)) {}
+QueryEngine::QueryEngine(Schema schema, QueryEngineOptions options)
+    : schema_(std::move(schema)), options_(options), store_(&schema_) {}
 
 StatusOr<QueryId> QueryEngine::RegisterSql(
     std::string_view text,
@@ -77,6 +117,14 @@ StatusOr<QueryId> QueryEngine::RegisterSql(
 }
 
 StatusOr<QueryId> QueryEngine::Register(ImplicationQuerySpec spec) {
+  return RegisterInternal(std::move(spec),
+                          /*force_new_synopsis=*/!options_.query_sharing,
+                          /*check_label=*/true);
+}
+
+StatusOr<QueryId> QueryEngine::RegisterInternal(ImplicationQuerySpec spec,
+                                                bool force_new_synopsis,
+                                                bool check_label) {
   if (spec.a_attributes.empty()) {
     return Status::InvalidArgument("query needs at least one A attribute");
   }
@@ -98,30 +146,96 @@ StatusOr<QueryId> QueryEngine::Register(ImplicationQuerySpec spec) {
         "complement queries need an estimator that answers ~S "
         "(NIPS/CI, Exact or DS)");
   }
-  RegisteredQuery query{
-      std::move(spec),
-      ItemsetPacker(schema_, a_set),
-      ItemsetPacker(schema_, b_set),
-      nullptr,
-  };
+  if (check_label && !spec.label.empty()) {
+    for (const RegisteredQuery& query : queries_) {
+      if (query.active && query.spec.label == spec.label) {
+        return Status::AlreadyExists(
+            "a registered query already carries this label");
+      }
+    }
+  }
+
+  RegisteredQuery query;
+  if (!force_new_synopsis) {
+    // Exact-key hit: an existing synopsis already maintains precisely
+    // this statistic — bind to it and skip the allocation entirely.
+    const std::string key = CanonicalSynopsisKey(
+        a_set, b_set, spec.where.get(), spec.conditions, spec.estimator);
+    const SynopsisId hit = store_.Find(key);
+    if (hit != -1) {
+      store_.AddRef(hit);
+      query.binding = QueryBinding::kShared;
+      query.synopsis = hit;
+      query.spec = std::move(spec);
+      queries_.push_back(std::move(query));
+      SharingMetrics::Get().queries_shared_total->Increment();
+      return static_cast<QueryId>(queries_.size()) - 1;
+    }
+    if (spec.allow_derived) {
+      const DerivationSources sources =
+          DeriveFromSynopses(a_set, b_set, spec.where.get(), spec.conditions,
+                             spec.estimator, spec.complement, store_);
+      if (sources.viable()) {
+        for (SynopsisId id : DistinctSources(sources)) store_.AddRef(id);
+        query.binding = QueryBinding::kDerived;
+        query.synopsis = sources.primary();
+        query.derivation = sources;
+        query.spec = std::move(spec);
+        queries_.push_back(std::move(query));
+        return static_cast<QueryId>(queries_.size()) - 1;
+      }
+    }
+  }
+
   IMPLISTAT_ASSIGN_OR_RETURN(
-      query.estimator,
-      MakeEstimator(query.spec.conditions, query.spec.estimator));
-  // Every engine-built estimator reports comparable per-estimator ingest
-  // metrics (no-op wrapper removal when metrics are compiled out).
-  query.estimator = obs::MaybeInstrument(std::move(query.estimator));
+      SynopsisId sid,
+      store_.Create(a_set, b_set, spec.where, spec.conditions,
+                    spec.estimator));
+  store_.AddRef(sid);
+  query.binding = QueryBinding::kOwner;
+  query.synopsis = sid;
+  query.spec = std::move(spec);
   queries_.push_back(std::move(query));
   return static_cast<QueryId>(queries_.size()) - 1;
 }
 
+Status QueryEngine::CheckQueryId(QueryId id) const {
+  if (id < 0 || id >= num_queries()) {
+    return Status::NotFound("no such query id");
+  }
+  if (!queries_[id].active) {
+    return Status::NotFound("query was deregistered");
+  }
+  return Status::OK();
+}
+
+const SynopsisEntry& QueryEngine::EntryOf(const RegisteredQuery& query) const {
+  return store_.entry(query.synopsis);
+}
+
+Status QueryEngine::Deregister(QueryId id) {
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  RegisteredQuery& query = queries_[id];
+  if (query.binding == QueryBinding::kDerived) {
+    for (SynopsisId sid : DistinctSources(query.derivation)) {
+      store_.Release(sid);
+    }
+  } else {
+    store_.Release(query.synopsis);
+  }
+  query.active = false;
+  return Status::OK();
+}
+
 void QueryEngine::ObserveTuple(TupleRef tuple) {
   ++tuples_;
-  for (RegisteredQuery& query : queries_) {
-    if (query.spec.where != nullptr && !query.spec.where->Matches(tuple)) {
-      continue;
-    }
-    query.estimator->Observe(query.a_packer.Pack(tuple),
-                             query.b_packer.Pack(tuple));
+  // Synopses, not queries: a statistic shared by n queries filters and
+  // packs the tuple once.
+  for (SynopsisEntry& entry : store_.entries()) {
+    if (!entry.live()) continue;
+    if (entry.where != nullptr && !entry.where->Matches(tuple)) continue;
+    entry.estimator->Observe(entry.a_packer.Pack(tuple),
+                             entry.b_packer.Pack(tuple));
   }
 }
 
@@ -129,109 +243,172 @@ Status QueryEngine::ObserveStream(TupleStream& stream) {
   if (stream.schema().num_attributes() != schema_.num_attributes()) {
     return Status::InvalidArgument("stream schema width mismatch");
   }
-  // Batched drain: per-query pair buffers feed the estimators through
+  // Batched drain: per-synopsis pair buffers feed the estimators through
   // ObserveBatch, amortizing the virtual dispatch and enabling the
   // NipsCi/ShardedNipsCi fast paths. Each estimator still sees its
   // elements in exact stream order, so answers are identical to the
   // per-tuple ObserveTuple path.
   constexpr size_t kBatch = 256;
-  std::vector<std::vector<ItemsetPair>> pending(queries_.size());
+  std::vector<SynopsisEntry>& entries = store_.entries();
+  std::vector<std::vector<ItemsetPair>> pending(entries.size());
   for (auto& batch : pending) batch.reserve(kBatch);
   while (auto tuple = stream.Next()) {
     ++tuples_;
-    for (size_t i = 0; i < queries_.size(); ++i) {
-      RegisteredQuery& query = queries_[i];
-      if (query.spec.where != nullptr && !query.spec.where->Matches(*tuple)) {
-        continue;
-      }
-      pending[i].push_back(ItemsetPair{query.a_packer.Pack(*tuple),
-                                       query.b_packer.Pack(*tuple)});
+    for (size_t i = 0; i < entries.size(); ++i) {
+      SynopsisEntry& entry = entries[i];
+      if (!entry.live()) continue;
+      if (entry.where != nullptr && !entry.where->Matches(*tuple)) continue;
+      pending[i].push_back(ItemsetPair{entry.a_packer.Pack(*tuple),
+                                       entry.b_packer.Pack(*tuple)});
       if (pending[i].size() == kBatch) {
-        query.estimator->ObserveBatch(pending[i]);
+        entry.estimator->ObserveBatch(pending[i]);
         pending[i].clear();
       }
     }
   }
-  for (size_t i = 0; i < queries_.size(); ++i) {
-    if (!pending[i].empty()) queries_[i].estimator->ObserveBatch(pending[i]);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (!pending[i].empty()) entries[i].estimator->ObserveBatch(pending[i]);
   }
   return Status::OK();
 }
 
 StatusOr<double> QueryEngine::Answer(QueryId id) const {
-  IMPLISTAT_ASSIGN_OR_RETURN(const ImplicationEstimator* est, Estimator(id));
-  if (queries_[id].spec.complement) {
-    double non_impl = est->EstimateNonImplicationCount();
+  IMPLISTAT_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerEx(id));
+  return answer.estimate;
+}
+
+StatusOr<QueryAnswer> QueryEngine::AnswerEx(QueryId id) const {
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  const RegisteredQuery& query = queries_[id];
+  QueryAnswer answer;
+  if (query.binding == QueryBinding::kDerived) {
+    const DerivedBounds bounds =
+        EvaluateDerivedBounds(query.derivation, store_);
+    answer.derived = true;
+    answer.lower = bounds.lower;
+    answer.upper = bounds.upper;
+    answer.estimate = (bounds.lower + bounds.upper) / 2;
+    answer.std_error = (bounds.upper - bounds.lower) / 2;
+    SharingMetrics::Get().derived_answers_total->Increment();
+    return answer;
+  }
+  const ImplicationEstimator* est = EntryOf(query).estimator.get();
+  if (query.spec.complement) {
+    const double non_impl = est->EstimateNonImplicationCount();
     if (non_impl < 0) {
       return Status::FailedPrecondition(
           "estimator cannot answer non-implication counts");
     }
-    return non_impl;
+    answer.estimate = non_impl;
+  } else {
+    answer.estimate = est->EstimateImplicationCount();
   }
-  return est->EstimateImplicationCount();
+  answer.std_error = est->EstimateStdError();
+  return answer;
 }
 
 StatusOr<const ImplicationEstimator*> QueryEngine::Estimator(
     QueryId id) const {
-  if (id < 0 || id >= num_queries()) {
-    return Status::NotFound("no such query id");
-  }
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
   return const_cast<const ImplicationEstimator*>(
-      queries_[id].estimator.get());
+      EntryOf(queries_[id]).estimator.get());
 }
 
 StatusOr<const ImplicationQuerySpec*> QueryEngine::Spec(QueryId id) const {
-  if (id < 0 || id >= num_queries()) {
-    return Status::NotFound("no such query id");
-  }
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
   return &queries_[id].spec;
+}
+
+StatusOr<QueryBinding> QueryEngine::Binding(QueryId id) const {
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  return queries_[id].binding;
+}
+
+StatusOr<SynopsisId> QueryEngine::SynopsisOf(QueryId id) const {
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  return queries_[id].synopsis;
+}
+
+std::vector<QueryId> QueryEngine::ActiveQueryIds() const {
+  std::vector<QueryId> ids;
+  for (QueryId id = 0; id < num_queries(); ++id) {
+    if (queries_[id].active) ids.push_back(id);
+  }
+  return ids;
 }
 
 Status QueryEngine::MergeEstimatorState(QueryId id,
                                         std::string_view snapshot) {
-  if (id < 0 || id >= num_queries()) {
-    return Status::NotFound("no such query id");
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  const RegisteredQuery& query = queries_[id];
+  if (query.binding == QueryBinding::kDerived) {
+    return Status::FailedPrecondition(
+        "derived queries own no synopsis to merge into");
   }
-  RegisteredQuery& query = queries_[id];
+  SynopsisEntry& entry = store_.entry(query.synopsis);
   // Decode into a sequential twin built from the same config: cheap to
   // construct, and sharded/sequential snapshots are interchangeable, so a
   // threads=1 twin accepts either without spinning up a pipeline.
-  EstimatorConfig twin_config = query.spec.estimator;
+  EstimatorConfig twin_config = entry.config;
   twin_config.threads = 1;
-  IMPLISTAT_ASSIGN_OR_RETURN(
-      std::unique_ptr<ImplicationEstimator> twin,
-      MakeEstimator(query.spec.conditions, twin_config));
+  IMPLISTAT_ASSIGN_OR_RETURN(std::unique_ptr<ImplicationEstimator> twin,
+                             MakeEstimator(entry.conditions, twin_config));
   IMPLISTAT_RETURN_NOT_OK(twin->RestoreState(snapshot));
   // MergeFrom leaves the target untouched on failure (estimator
-  // contract), so a bad snapshot never half-mutates the live query.
-  return query.estimator->MergeFrom(*twin);
+  // contract), so a bad snapshot never half-mutates the live synopsis.
+  return entry.estimator->MergeFrom(*twin);
 }
 
 Status QueryEngine::RefoldEstimatorState(
     QueryId id, const std::vector<std::string_view>& snapshots) {
-  if (id < 0 || id >= num_queries()) {
-    return Status::NotFound("no such query id");
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  const RegisteredQuery& query = queries_[id];
+  if (query.binding == QueryBinding::kDerived) {
+    return Status::FailedPrecondition(
+        "derived queries own no synopsis to refold");
   }
-  RegisteredQuery& query = queries_[id];
-  // Build the replacement from the registered config so the refolded
-  // query keeps its ingest shape (threads, window), then fold each
+  return RefoldSynopsisState(query.synopsis, snapshots);
+}
+
+Status QueryEngine::RefoldSynopsisState(
+    SynopsisId id, const std::vector<std::string_view>& snapshots) {
+  if (id < 0 || id >= store_.size() || !store_.entry(id).live()) {
+    return Status::NotFound("no such synopsis");
+  }
+  SynopsisEntry& entry = store_.entry(id);
+  // Build the replacement from the synopsis config so the refolded
+  // estimator keeps its ingest shape (threads, window), then fold each
   // snapshot through a sequential twin exactly like MergeEstimatorState.
-  IMPLISTAT_ASSIGN_OR_RETURN(
-      std::unique_ptr<ImplicationEstimator> fresh,
-      MakeEstimator(query.spec.conditions, query.spec.estimator));
-  EstimatorConfig twin_config = query.spec.estimator;
+  IMPLISTAT_ASSIGN_OR_RETURN(std::unique_ptr<ImplicationEstimator> fresh,
+                             MakeEstimator(entry.conditions, entry.config));
+  EstimatorConfig twin_config = entry.config;
   twin_config.threads = 1;
   for (std::string_view snapshot : snapshots) {
-    IMPLISTAT_ASSIGN_OR_RETURN(
-        std::unique_ptr<ImplicationEstimator> twin,
-        MakeEstimator(query.spec.conditions, twin_config));
+    IMPLISTAT_ASSIGN_OR_RETURN(std::unique_ptr<ImplicationEstimator> twin,
+                               MakeEstimator(entry.conditions, twin_config));
     IMPLISTAT_RETURN_NOT_OK(twin->RestoreState(snapshot));
     IMPLISTAT_RETURN_NOT_OK(fresh->MergeFrom(*twin));
   }
   // Everything decoded and folded cleanly — only now replace the live
   // estimator (same instrumentation wrap as Register).
-  query.estimator = obs::MaybeInstrument(std::move(fresh));
+  entry.estimator = obs::MaybeInstrument(std::move(fresh));
   return Status::OK();
+}
+
+std::vector<QueryEngine::FoldUnit> QueryEngine::FoldUnits() const {
+  std::vector<FoldUnit> units;
+  for (SynopsisId sid = 0; sid < store_.size(); ++sid) {
+    if (!store_.entry(sid).live()) continue;
+    for (QueryId qid = 0; qid < num_queries(); ++qid) {
+      const RegisteredQuery& query = queries_[qid];
+      if (query.active && query.binding != QueryBinding::kDerived &&
+          query.synopsis == sid) {
+        units.push_back(FoldUnit{sid, qid});
+        break;
+      }
+    }
+  }
+  return units;
 }
 
 Status QueryEngine::SetDictionaries(
@@ -243,6 +420,109 @@ Status QueryEngine::SetDictionaries(
         "need one dictionary per schema attribute (or none)");
   }
   dictionaries_ = std::move(dictionaries);
+  return Status::OK();
+}
+
+StatusOr<std::string> QueryEngine::SerializeSynopsisStore() const {
+  // Self-contained section: per live synopsis the full recipe (attribute
+  // indices, WHERE bytes, conditions, config) plus the estimator state.
+  // Restore reconstructs entries from here alone — a synopsis can outlive
+  // every owning query (kept alive by derived references), so deriving
+  // the recipes from query specs would not cover all entries. Tombstones
+  // serialize as a single dead byte to keep ids dense.
+  ByteWriter payload;
+  payload.PutVarint64(static_cast<uint64_t>(store_.size()));
+  for (SynopsisId sid = 0; sid < store_.size(); ++sid) {
+    const SynopsisEntry& entry = store_.entry(sid);
+    payload.PutU8(entry.live() ? 1 : 0);
+    if (!entry.live()) continue;
+    payload.PutVarint64(static_cast<uint64_t>(entry.a_set.size()));
+    for (int index : entry.a_set.indices()) {
+      payload.PutVarint64(static_cast<uint64_t>(index));
+    }
+    payload.PutVarint64(static_cast<uint64_t>(entry.b_set.size()));
+    for (int index : entry.b_set.indices()) {
+      payload.PutVarint64(static_cast<uint64_t>(index));
+    }
+    payload.PutBool(entry.where != nullptr);
+    if (entry.where != nullptr) entry.where->SerializeTo(&payload);
+    entry.conditions.SerializeTo(&payload);
+    entry.config.SerializeTo(&payload);
+    IMPLISTAT_ASSIGN_OR_RETURN(std::string state,
+                               entry.estimator->SerializeState());
+    payload.PutLengthPrefixed(state);
+  }
+  return WrapSnapshot(SnapshotKind::kSynopsisStore, payload.Release());
+}
+
+Status QueryEngine::RestoreSynopsisStore(std::string_view blob) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapSnapshot(blob, SnapshotKind::kSynopsisStore));
+  ByteReader in(payload);
+  uint64_t num_entries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_entries));
+  if (num_entries > in.remaining() + 1) {  // every entry costs >= 1 byte
+    return Status::InvalidArgument(
+        "synopsis store: implausible entry count");
+  }
+  const uint64_t width = static_cast<uint64_t>(schema_.num_attributes());
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint8_t live;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&live));
+    if (live > 1) {
+      return Status::InvalidArgument("synopsis store: bad liveness flag");
+    }
+    if (live == 0) {
+      store_.CreateTombstone();
+      continue;
+    }
+    auto read_indices =
+        [&](std::vector<int>* out) -> Status {
+      uint64_t count;
+      IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&count));
+      if (count == 0 || count > width) {
+        return Status::InvalidArgument(
+            "synopsis store: bad attribute set size");
+      }
+      for (uint64_t k = 0; k < count; ++k) {
+        uint64_t index;
+        IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&index));
+        if (index >= width) {
+          return Status::InvalidArgument(
+              "synopsis store: attribute index out of range");
+        }
+        out->push_back(static_cast<int>(index));
+      }
+      return Status::OK();
+    };
+    std::vector<int> a_indices, b_indices;
+    IMPLISTAT_RETURN_NOT_OK(read_indices(&a_indices));
+    IMPLISTAT_RETURN_NOT_OK(read_indices(&b_indices));
+    bool has_where;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadBool(&has_where));
+    std::shared_ptr<const Predicate> where;
+    if (has_where) {
+      IMPLISTAT_ASSIGN_OR_RETURN(
+          where, DeserializePredicate(&in, schema_.num_attributes()));
+    }
+    IMPLISTAT_ASSIGN_OR_RETURN(ImplicationConditions conditions,
+                               ImplicationConditions::Deserialize(&in));
+    IMPLISTAT_ASSIGN_OR_RETURN(EstimatorConfig config,
+                               EstimatorConfig::Deserialize(&in));
+    std::string_view state;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&state));
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        SynopsisId sid,
+        store_.Create(AttributeSet(std::move(a_indices)),
+                      AttributeSet(std::move(b_indices)), std::move(where),
+                      conditions, config));
+    IMPLISTAT_RETURN_NOT_OK(
+        store_.entry(sid).estimator->RestoreState(state));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("synopsis store: trailing bytes");
+  }
   return Status::OK();
 }
 
@@ -258,66 +538,119 @@ StatusOr<std::string> QueryEngine::SerializeState() const {
   if (!dictionaries_.empty()) {
     payload.PutLengthPrefixed(SerializeValueDictionaries(dictionaries_));
   }
+  // The synopsis store rides as a nested envelope: every shared
+  // estimator serialized once, then the query records reference entries
+  // by id.
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string store_blob,
+                             SerializeSynopsisStore());
+  payload.PutLengthPrefixed(store_blob);
   payload.PutVarint64(queries_.size());
   for (const RegisteredQuery& query : queries_) {
     query.spec.SerializeTo(&payload);
-    IMPLISTAT_ASSIGN_OR_RETURN(std::string estimator_state,
-                               query.estimator->SerializeState());
-    payload.PutLengthPrefixed(estimator_state);
+    // allow_derived postdates the frozen v1 spec format, so it rides in
+    // the container's flag byte instead.
+    uint8_t flags = 0;
+    if (query.active) flags |= kFlagActive;
+    if (query.spec.allow_derived) flags |= kFlagAllowDerived;
+    payload.PutU8(flags);
+    payload.PutU8(static_cast<uint8_t>(query.binding));
+    if (query.binding == QueryBinding::kDerived) {
+      // +1 bias so the no-source sentinel (-1) encodes as 0.
+      payload.PutVarint64(
+          static_cast<uint64_t>(query.derivation.lower + 1));
+      payload.PutVarint64(
+          static_cast<uint64_t>(query.derivation.upper + 1));
+      payload.PutVarint64(static_cast<uint64_t>(query.derivation.f0 + 1));
+    } else {
+      payload.PutVarint64(static_cast<uint64_t>(query.synopsis));
+    }
   }
-  return WrapSnapshot(SnapshotKind::kQueryEngine, payload.Release());
+  return WrapSnapshot(SnapshotKind::kQueryEngineV2, payload.Release());
 }
 
 Status QueryEngine::RestoreState(std::string_view snapshot) {
-  if (!queries_.empty() || tuples_ != 0) {
+  if (!queries_.empty() || store_.size() != 0 || tuples_ != 0) {
     return Status::FailedPrecondition(
         "restore requires a fresh engine (no queries, no observed tuples)");
   }
   Status status = RestoreStateImpl(snapshot);
   if (!status.ok()) {
     // The engine was fresh on entry, so dropping everything restores it
-    // exactly — no partially registered query survives a bad snapshot.
+    // exactly — no partially registered query or synopsis survives a bad
+    // snapshot.
     queries_.clear();
+    store_.Clear();
     tuples_ = 0;
   }
   return status;
 }
 
 Status QueryEngine::RestoreStateImpl(std::string_view snapshot) {
-  IMPLISTAT_ASSIGN_OR_RETURN(
-      std::string_view payload,
-      UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngine));
-  ByteReader in(payload);
+  IMPLISTAT_ASSIGN_OR_RETURN(SnapshotKind kind, PeekSnapshotKind(snapshot));
+  if (kind == SnapshotKind::kQueryEngine) {
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        std::string_view payload,
+        UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngine));
+    return RestoreLegacy(payload);
+  }
+  if (kind == SnapshotKind::kQueryEngineV2) {
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        std::string_view payload,
+        UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngineV2));
+    return RestoreV2(payload);
+  }
+  return Status::InvalidArgument("not a query engine checkpoint");
+}
+
+// Shared prefix of the legacy and v2 layouts: fingerprint, width, tuple
+// count, optional dictionary blob.
+namespace {
+
+struct CheckpointPrefix {
+  uint64_t tuples = 0;
+  std::vector<ValueDictionary> dictionaries;
+};
+
+Status ReadCheckpointPrefix(ByteReader* in, const Schema& schema,
+                            CheckpointPrefix* out) {
   uint64_t fingerprint;
-  IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&fingerprint));
-  if (fingerprint != SchemaFingerprint(schema_)) {
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU64(&fingerprint));
+  if (fingerprint != SchemaFingerprint(schema)) {
     return Status::FailedPrecondition(
         "checkpoint was taken over a different schema");
   }
   uint64_t width;
-  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&width));
-  if (width != static_cast<uint64_t>(schema_.num_attributes())) {
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&width));
+  if (width != static_cast<uint64_t>(schema.num_attributes())) {
     return Status::InvalidArgument(
         "checkpoint: schema width disagrees with fingerprint");
   }
-  uint64_t tuples;
-  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&tuples));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&out->tuples));
   uint8_t has_dictionaries;
-  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&has_dictionaries));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadU8(&has_dictionaries));
   if (has_dictionaries > 1) {
     return Status::InvalidArgument("checkpoint: bad dictionary flag");
   }
-  std::vector<ValueDictionary> dictionaries;
   if (has_dictionaries != 0) {
     std::string_view blob;
-    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&blob));
-    IMPLISTAT_ASSIGN_OR_RETURN(dictionaries, RestoreValueDictionaries(blob));
-    if (dictionaries.size() !=
-        static_cast<size_t>(schema_.num_attributes())) {
+    IMPLISTAT_RETURN_NOT_OK(in->ReadLengthPrefixed(&blob));
+    IMPLISTAT_ASSIGN_OR_RETURN(out->dictionaries,
+                               RestoreValueDictionaries(blob));
+    if (out->dictionaries.size() !=
+        static_cast<size_t>(schema.num_attributes())) {
       return Status::InvalidArgument(
           "checkpoint: dictionary count disagrees with schema width");
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status QueryEngine::RestoreLegacy(std::string_view payload) {
+  ByteReader in(payload);
+  CheckpointPrefix prefix;
+  IMPLISTAT_RETURN_NOT_OK(ReadCheckpointPrefix(&in, schema_, &prefix));
   uint64_t num_queries;
   IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_queries));
   if (num_queries > in.remaining()) {  // every query costs many bytes
@@ -329,23 +662,134 @@ Status QueryEngine::RestoreStateImpl(std::string_view snapshot) {
         ImplicationQuerySpec::Deserialize(&in, schema_.num_attributes()));
     std::string_view estimator_state;
     IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&estimator_state));
-    IMPLISTAT_ASSIGN_OR_RETURN(QueryId id, Register(std::move(spec)));
-    IMPLISTAT_RETURN_NOT_OK(
-        queries_[id].estimator->RestoreState(estimator_state));
+    // Legacy checkpoints predate the store: every query owned its own
+    // estimator, and two key-identical estimators could still hold
+    // different bytes (independent merges). Force a dedicated synopsis
+    // per query so each restores its own state; the label check stays
+    // off because old engines accepted duplicates.
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        QueryId id, RegisterInternal(std::move(spec),
+                                     /*force_new_synopsis=*/true,
+                                     /*check_label=*/false));
+    IMPLISTAT_RETURN_NOT_OK(store_.entry(queries_[id].synopsis)
+                                .estimator->RestoreState(estimator_state));
   }
   if (in.remaining() != 0) {
     return Status::InvalidArgument("checkpoint: trailing bytes");
   }
-  tuples_ = tuples;
-  dictionaries_ = std::move(dictionaries);
+  tuples_ = prefix.tuples;
+  dictionaries_ = std::move(prefix.dictionaries);
+  return Status::OK();
+}
+
+Status QueryEngine::RestoreV2(std::string_view payload) {
+  ByteReader in(payload);
+  CheckpointPrefix prefix;
+  IMPLISTAT_RETURN_NOT_OK(ReadCheckpointPrefix(&in, schema_, &prefix));
+  std::string_view store_blob;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&store_blob));
+  IMPLISTAT_RETURN_NOT_OK(RestoreSynopsisStore(store_blob));
+  uint64_t num_queries;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_queries));
+  if (num_queries > in.remaining()) {  // every query costs many bytes
+    return Status::InvalidArgument("checkpoint: implausible query count");
+  }
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        ImplicationQuerySpec spec,
+        ImplicationQuerySpec::Deserialize(&in, schema_.num_attributes()));
+    uint8_t flags;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&flags));
+    if (flags > (kFlagActive | kFlagAllowDerived)) {
+      return Status::InvalidArgument("checkpoint: bad query flags");
+    }
+    uint8_t binding_byte;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&binding_byte));
+    if (binding_byte > static_cast<uint8_t>(QueryBinding::kDerived)) {
+      return Status::InvalidArgument("checkpoint: bad query binding");
+    }
+    RegisteredQuery query;
+    query.binding = static_cast<QueryBinding>(binding_byte);
+    query.active = (flags & kFlagActive) != 0;
+    spec.allow_derived = (flags & kFlagAllowDerived) != 0;
+
+    auto read_ref = [&](int bias, SynopsisId* out) -> Status {
+      uint64_t raw;
+      IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&raw));
+      const int64_t sid = static_cast<int64_t>(raw) - bias;
+      if (sid < (bias == 0 ? 0 : -1) ||
+          sid >= static_cast<int64_t>(store_.size())) {
+        return Status::InvalidArgument(
+            "checkpoint: dangling synopsis reference");
+      }
+      *out = static_cast<SynopsisId>(sid);
+      return Status::OK();
+    };
+    if (query.binding == QueryBinding::kDerived) {
+      IMPLISTAT_RETURN_NOT_OK(read_ref(1, &query.derivation.lower));
+      IMPLISTAT_RETURN_NOT_OK(read_ref(1, &query.derivation.upper));
+      IMPLISTAT_RETURN_NOT_OK(read_ref(1, &query.derivation.f0));
+      query.synopsis = query.derivation.primary();
+      if (query.active) {
+        if (!query.derivation.viable()) {
+          return Status::InvalidArgument(
+              "checkpoint: derived query without a capping source");
+        }
+        for (SynopsisId sid : DistinctSources(query.derivation)) {
+          if (!store_.entry(sid).live()) {
+            return Status::InvalidArgument(
+                "checkpoint: dangling synopsis reference");
+          }
+          store_.AddRef(sid);
+        }
+      }
+    } else {
+      IMPLISTAT_RETURN_NOT_OK(read_ref(0, &query.synopsis));
+      if (query.active) {
+        const SynopsisEntry& entry = store_.entry(query.synopsis);
+        if (!entry.live()) {
+          return Status::InvalidArgument(
+              "checkpoint: dangling synopsis reference");
+        }
+        // Structural cross-check the envelope CRC cannot do: the bound
+        // synopsis must maintain exactly the statistic the spec asks
+        // for. Registration only ever binds on key equality, so a
+        // mismatch here means a corrupted or hand-edited checkpoint.
+        IMPLISTAT_ASSIGN_OR_RETURN(
+            AttributeSet a_set,
+            AttributeSet::FromNames(schema_, spec.a_attributes));
+        IMPLISTAT_ASSIGN_OR_RETURN(
+            AttributeSet b_set,
+            AttributeSet::FromNames(schema_, spec.b_attributes));
+        if (entry.key !=
+            CanonicalSynopsisKey(a_set, b_set, spec.where.get(),
+                                 spec.conditions, spec.estimator)) {
+          return Status::InvalidArgument(
+              "checkpoint: query bound to a mismatched synopsis");
+        }
+        store_.AddRef(query.synopsis);
+      }
+    }
+    query.spec = std::move(spec);
+    queries_.push_back(std::move(query));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("checkpoint: trailing bytes");
+  }
+  tuples_ = prefix.tuples;
+  dictionaries_ = std::move(prefix.dictionaries);
   return Status::OK();
 }
 
 StatusOr<std::vector<ValueDictionary>> PeekCheckpointDictionaries(
     std::string_view snapshot) {
-  IMPLISTAT_ASSIGN_OR_RETURN(
-      std::string_view payload,
-      UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngine));
+  IMPLISTAT_ASSIGN_OR_RETURN(SnapshotKind kind, PeekSnapshotKind(snapshot));
+  if (kind != SnapshotKind::kQueryEngine &&
+      kind != SnapshotKind::kQueryEngineV2) {
+    return Status::InvalidArgument("not a query engine checkpoint");
+  }
+  IMPLISTAT_ASSIGN_OR_RETURN(std::string_view payload,
+                             UnwrapSnapshot(snapshot, kind));
   ByteReader in(payload);
   uint64_t fingerprint, width, tuples;
   IMPLISTAT_RETURN_NOT_OK(in.ReadU64(&fingerprint));

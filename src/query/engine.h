@@ -3,9 +3,26 @@
 // of data and wants to maintain a series of statistics about various
 // implicated attributes" of §3.
 //
-// Each registered query gets its own projection packers, WHERE filter and
-// estimator; ObserveTuple routes a tuple to every matching query in one
-// pass.
+// Ownership model (the multi-tenant refactor): queries do not own
+// estimators. A SynopsisStore (query/synopsis_store.h) holds each
+// estimator once, keyed by everything that determines its bytes, and
+// queries hold reference-counted bindings:
+//
+//   * kOwner  — the query created the synopsis.
+//   * kShared — registration hit an existing key; answers are
+//               byte-identical to a dedicated run (same estimator, same
+//               observation sequence) at 1/n the memory.
+//   * kDerived — no key hit, but the entailment pass
+//               (query/entailment.h) found existing synopses that bound
+//               the answer; the query allocates nothing and answers with
+//               derived=true plus [lower, upper] bounds (opt-in via
+//               ImplicationQuerySpec::allow_derived).
+//
+// ObserveTuple/ObserveStream iterate synopses, not queries, so a WHERE
+// clause shared by a thousand queries is evaluated once per tuple.
+// Sharing is on by default; QueryEngineOptions::query_sharing = false
+// (the --no-query-sharing flag) restores the degenerate 1:1 layout for
+// A/B tests and bisection.
 
 #ifndef IMPLISTAT_QUERY_ENGINE_H_
 #define IMPLISTAT_QUERY_ENGINE_H_
@@ -15,7 +32,9 @@
 #include <string_view>
 #include <vector>
 
+#include "query/entailment.h"
 #include "query/query.h"
+#include "query/synopsis_store.h"
 #include "stream/itemset.h"
 #include "stream/schema.h"
 #include "stream/tuple_stream.h"
@@ -26,14 +45,40 @@ namespace implistat {
 
 using QueryId = int;
 
+/// How a registered query is bound to its synopsis. Values are part of
+/// the kQueryEngineV2 checkpoint format — append only.
+enum class QueryBinding : uint8_t { kOwner = 0, kShared = 1, kDerived = 2 };
+
+struct QueryEngineOptions {
+  /// Share synopses between key-identical queries and run the entailment
+  /// pass for allow_derived ones. Off = every query gets a dedicated
+  /// estimator (the pre-refactor behavior).
+  bool query_sharing = true;
+};
+
+/// A query's full answer: the estimate plus the derivation metadata the
+/// wire QUERY response carries.
+struct QueryAnswer {
+  double estimate = 0;
+  /// 1σ error bar from the estimator; for derived answers, the bound
+  /// half-width (upper - lower) / 2. Negative = unquantified.
+  double std_error = -1;
+  bool derived = false;
+  /// Entailment bounds; only meaningful when derived.
+  double lower = 0;
+  double upper = 0;
+};
+
 class QueryEngine {
  public:
-  explicit QueryEngine(Schema schema);
+  explicit QueryEngine(Schema schema, QueryEngineOptions options = {});
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Validates and registers a query; returns its id.
+  /// Validates and registers a query; returns its id. A non-empty label
+  /// already carried by an active query is rejected with AlreadyExists —
+  /// a silent shadow registration was never answerable by label.
   StatusOr<QueryId> Register(ImplicationQuerySpec spec);
 
   /// Parses, binds and registers a query in the paper's SQL-like syntax
@@ -43,44 +88,78 @@ class QueryEngine {
       std::string_view text,
       const std::vector<ValueDictionary>* dictionaries = nullptr);
 
-  /// Feeds one tuple to every registered query.
+  /// Unbinds the query and drops its synopsis references; an estimator
+  /// whose last reference drops is freed. The id stays allocated (ids
+  /// never shift) but answers NotFound from here on.
+  Status Deregister(QueryId id);
+
+  /// Feeds one tuple to every live synopsis.
   void ObserveTuple(TupleRef tuple);
 
   /// Drains a whole stream. The stream's schema must match.
   Status ObserveStream(TupleStream& stream);
 
-  /// The query's current answer: S, or ~S for complement queries.
+  /// The query's current answer: S, or ~S for complement queries. For
+  /// derived queries, the bound midpoint (see AnswerEx).
   StatusOr<double> Answer(QueryId id) const;
 
+  /// Answer plus derivation metadata (flag, bounds, error bar).
+  StatusOr<QueryAnswer> AnswerEx(QueryId id) const;
+
   /// Direct access to the underlying estimator (for the richer readouts
-  /// such as F0_sup or memory accounting).
+  /// such as F0_sup or memory accounting). For kShared queries this is
+  /// the shared instance; for kDerived, the primary bound source.
   StatusOr<const ImplicationEstimator*> Estimator(QueryId id) const;
 
   /// The registered spec (label, conditions, estimator config).
   StatusOr<const ImplicationQuerySpec*> Spec(QueryId id) const;
 
+  /// The query's binding mode and synopsis id.
+  StatusOr<QueryBinding> Binding(QueryId id) const;
+  StatusOr<SynopsisId> SynopsisOf(QueryId id) const;
+
+  /// Ids of queries that are registered and not deregistered — what a
+  /// QUERY request with no explicit ids enumerates.
+  std::vector<QueryId> ActiveQueryIds() const;
+
   /// Folds a remote estimator snapshot (SerializeState bytes from a
-  /// compatible estimator) into query `id`'s estimator: decode into a
+  /// compatible estimator) into query `id`'s synopsis: decode into a
   /// twin built from the same config, then MergeFrom. This is the
   /// aggregation half of the paper's edge→aggregator topology — edges
   /// ship kilobyte summaries, the aggregator merges them as if it had
-  /// observed the combined stream. On failure the query is unchanged.
-  /// The shipped tuple count is the caller's to account (the snapshot
-  /// does not carry one).
+  /// observed the combined stream. On failure the synopsis is unchanged.
+  /// Every query sharing the synopsis sees the fold; derived queries
+  /// (which own no synopsis) refuse with FailedPrecondition.
   Status MergeEstimatorState(QueryId id, std::string_view snapshot);
 
-  /// Replace-then-refold: rebuilds query `id`'s estimator from scratch
-  /// and folds every snapshot in `snapshots` into the fresh instance,
-  /// then swaps it in for the old one. Unlike MergeEstimatorState (which
-  /// accumulates), refolding is idempotent by construction — feeding the
-  /// same set of per-peer snapshots twice yields the same state, so a
-  /// retried or duplicated ship can never double-count. This is the
-  /// aggregation tier's fold primitive (src/cluster/): the aggregate is
-  /// always "the fold of every peer's latest snapshot", never a running
-  /// sum. Builds into temporaries and swaps last: on failure the query
-  /// keeps its previous estimator untouched.
+  /// Replace-then-refold on query `id`'s synopsis — see
+  /// RefoldSynopsisState. Derived queries refuse.
   Status RefoldEstimatorState(QueryId id,
                               const std::vector<std::string_view>& snapshots);
+
+  /// Replace-then-refold: rebuilds the synopsis's estimator from scratch
+  /// and folds every snapshot in `snapshots` into the fresh instance,
+  /// then swaps it in. Unlike MergeEstimatorState (which accumulates),
+  /// refolding is idempotent by construction — feeding the same set of
+  /// per-peer snapshots twice yields the same state, so a retried or
+  /// duplicated ship can never double-count. This is the aggregation
+  /// tier's fold primitive (src/cluster/), keyed by synopsis so a shared
+  /// estimator folds exactly once per fleet poll. Builds into
+  /// temporaries and swaps last: on failure the previous estimator
+  /// stays untouched.
+  Status RefoldSynopsisState(SynopsisId id,
+                             const std::vector<std::string_view>& snapshots);
+
+  /// One fold unit per live synopsis: the synopsis id plus a
+  /// representative (first active, non-derived) query bound to it — the
+  /// query id an aggregator uses for SNAPSHOT pulls, since the wire
+  /// addresses estimator state by query id. Synopses alive only through
+  /// derived references have no representative and are omitted.
+  struct FoldUnit {
+    SynopsisId synopsis = -1;
+    QueryId representative = -1;
+  };
+  std::vector<FoldUnit> FoldUnits() const;
 
   /// Overrides the tuples-seen counter. Aggregation-tier hook only: a
   /// refolded aggregate did not observe its tuples through ObserveTuple,
@@ -91,6 +170,14 @@ class QueryEngine {
   const Schema& schema() const { return schema_; }
   uint64_t tuples_seen() const { return tuples_; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
+  /// Live (estimator-holding) synopses. Equal to the number of active
+  /// queries with sharing off; sub-linear in it with sharing on.
+  int num_synopses() const { return store_.num_live(); }
+  /// Memory over live synopses, each shared estimator counted once.
+  uint64_t TotalSynopsisMemoryBytes() const {
+    return store_.TotalMemoryBytes();
+  }
+  bool query_sharing() const { return options_.query_sharing; }
 
   // --- Value dictionaries --------------------------------------------------
   //
@@ -114,19 +201,24 @@ class QueryEngine {
   // --- Durable state -------------------------------------------------------
   //
   // A checkpoint captures the whole engine — schema fingerprint, every
-  // registered query spec (WHERE clause included), tuples_seen, and each
-  // estimator's serialized state — in one kQueryEngine snapshot envelope
-  // (util/serde.h). Restoring onto an engine built over the same schema
-  // re-registers the queries and resumes the stream exactly where the
-  // checkpoint left it.
+  // registered query spec (WHERE clause included), tuples_seen, and the
+  // synopsis store (each shared estimator serialized ONCE, with
+  // query→synopsis references) — in one kQueryEngineV2 snapshot
+  // envelope. Legacy kQueryEngine checkpoints (pre-store, one estimator
+  // per query) still restore, into a degenerate 1:1 store. Restoring
+  // onto an engine built over the same schema re-registers the queries,
+  // re-establishes the sharing structure recorded in the checkpoint, and
+  // resumes the stream exactly where the checkpoint left it.
 
-  /// Serializes the engine into a kQueryEngine snapshot envelope.
+  /// Serializes the engine into a kQueryEngineV2 snapshot envelope.
   StatusOr<std::string> SerializeState() const;
 
-  /// Rebuilds the engine from SerializeState bytes. Requires a fresh
-  /// engine (no registered queries, no observed tuples) whose schema
-  /// matches the one the checkpoint was taken over. On failure the
-  /// engine is left fresh (no partial registration survives).
+  /// Rebuilds the engine from SerializeState bytes (kQueryEngineV2 or
+  /// legacy kQueryEngine). Requires a fresh engine (no registered
+  /// queries, no observed tuples) whose schema matches the one the
+  /// checkpoint was taken over. On failure the engine is left fresh (no
+  /// partial registration survives); dangling query→synopsis references
+  /// refuse the restore outright.
   Status RestoreState(std::string_view snapshot);
 
   /// Writes SerializeState to `path` atomically (write temp file, fsync,
@@ -139,23 +231,37 @@ class QueryEngine {
  private:
   struct RegisteredQuery {
     ImplicationQuerySpec spec;
-    ItemsetPacker a_packer;
-    ItemsetPacker b_packer;
-    std::unique_ptr<ImplicationEstimator> estimator;
+    QueryBinding binding = QueryBinding::kOwner;
+    /// kOwner/kShared: the bound synopsis. kDerived: the primary source.
+    SynopsisId synopsis = -1;
+    DerivationSources derivation;  // meaningful for kDerived only
+    bool active = true;
   };
 
+  StatusOr<QueryId> RegisterInternal(ImplicationQuerySpec spec,
+                                     bool force_new_synopsis,
+                                     bool check_label);
+  Status CheckQueryId(QueryId id) const;
+  const SynopsisEntry& EntryOf(const RegisteredQuery& query) const;
   Status RestoreStateImpl(std::string_view snapshot);
+  Status RestoreLegacy(std::string_view payload);
+  Status RestoreV2(std::string_view payload);
+  StatusOr<std::string> SerializeSynopsisStore() const;
+  Status RestoreSynopsisStore(std::string_view blob);
 
   Schema schema_;
+  QueryEngineOptions options_;
+  SynopsisStore store_;
   std::vector<RegisteredQuery> queries_;
   std::vector<ValueDictionary> dictionaries_;
   uint64_t tuples_ = 0;
 };
 
-/// Extracts the value dictionaries embedded in a kQueryEngine checkpoint
-/// without restoring it (and without knowing the schema — the dictionary
-/// section precedes the query specs). Returns an empty vector when the
-/// checkpoint carries none (id-coded streams).
+/// Extracts the value dictionaries embedded in a kQueryEngine or
+/// kQueryEngineV2 checkpoint without restoring it (and without knowing
+/// the schema — the dictionary section precedes the query specs).
+/// Returns an empty vector when the checkpoint carries none (id-coded
+/// streams).
 StatusOr<std::vector<ValueDictionary>> PeekCheckpointDictionaries(
     std::string_view snapshot);
 

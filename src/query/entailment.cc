@@ -1,0 +1,129 @@
+#include "query/entailment.h"
+
+#include <algorithm>
+
+#include "util/serde.h"
+
+namespace implistat {
+
+namespace {
+
+// Ordered-subset test over the sets' sorted-free index lists. Attribute
+// sets preserve declaration order, so membership is checked pairwise.
+bool IsSubsetOf(const AttributeSet& small, const AttributeSet& big) {
+  for (int index : small.indices()) {
+    const auto& haystack = big.indices();
+    if (std::find(haystack.begin(), haystack.end(), index) ==
+        haystack.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameAttributeSet(const AttributeSet& a, const AttributeSet& b) {
+  return IsSubsetOf(a, b) && IsSubsetOf(b, a);
+}
+
+std::string PredicateBytes(const Predicate* where) {
+  if (where == nullptr) return {};
+  ByteWriter out;
+  where->SerializeTo(&out);
+  return out.Release();
+}
+
+// Shared-universe preconditions: same counted side, same stream filter,
+// same support threshold, both strict-multiplicity lifetime synopses.
+bool SharesUniverse(const SynopsisEntry& entry, const AttributeSet& a_set,
+                    const std::string& where_bytes,
+                    const ImplicationConditions& conditions) {
+  if (!entry.live()) return false;
+  if (entry.config.window != 0) return false;
+  if (!entry.conditions.strict_multiplicity) return false;
+  if (entry.conditions.min_support != conditions.min_support) return false;
+  if (!SameAttributeSet(entry.a_set, a_set)) return false;
+  return PredicateBytes(entry.where.get()) == where_bytes;
+}
+
+}  // namespace
+
+DerivationSources DeriveFromSynopses(const AttributeSet& a_set,
+                                     const AttributeSet& b_set,
+                                     const Predicate* where,
+                                     const ImplicationConditions& conditions,
+                                     const EstimatorConfig& config,
+                                     bool complement,
+                                     const SynopsisStore& store) {
+  DerivationSources sources;
+  // Eligibility of the query itself — see the header's soundness notes.
+  if (complement || config.window != 0 || !conditions.strict_multiplicity) {
+    return sources;
+  }
+  const std::string where_bytes = PredicateBytes(where);
+
+  double best_lower = -1;
+  double best_upper = -1;
+  double best_f0 = -1;
+  for (SynopsisId id = 0; id < store.size(); ++id) {
+    const SynopsisEntry& entry = store.entry(id);
+    if (!SharesUniverse(entry, a_set, where_bytes, conditions)) continue;
+    const ImplicationConditions& c = entry.conditions;
+
+    // F0 cap: S <= supported-distinct of A, from any universe-sharing
+    // synopsis whose estimator can answer it.
+    const double f0 = entry.estimator->EstimateSupportedDistinct();
+    if (f0 >= 0 && (sources.f0 == -1 || f0 < best_f0)) {
+      sources.f0 = id;
+      best_f0 = f0;
+    }
+
+    const bool b_superset = IsSubsetOf(b_set, entry.b_set);
+    const bool b_subset = IsSubsetOf(entry.b_set, b_set);
+
+    // Lower source: the candidate is at least as strict on every axis,
+    // so every itemset it counts, the query counts too.
+    if (b_superset && c.max_multiplicity <= conditions.max_multiplicity &&
+        c.min_top_confidence >= conditions.min_top_confidence &&
+        c.confidence_c <= conditions.confidence_c) {
+      const double estimate = entry.estimator->EstimateImplicationCount();
+      if (sources.lower == -1 || estimate > best_lower) {
+        sources.lower = id;
+        best_lower = estimate;
+      }
+    }
+    // Upper source: at least as lenient on every axis.
+    if (b_subset && c.max_multiplicity >= conditions.max_multiplicity &&
+        c.min_top_confidence <= conditions.min_top_confidence &&
+        c.confidence_c >= conditions.confidence_c) {
+      const double estimate = entry.estimator->EstimateImplicationCount();
+      if (sources.upper == -1 || estimate < best_upper) {
+        sources.upper = id;
+        best_upper = estimate;
+      }
+    }
+  }
+  return sources;
+}
+
+DerivedBounds EvaluateDerivedBounds(const DerivationSources& sources,
+                                    const SynopsisStore& store) {
+  DerivedBounds bounds;
+  bounds.lower = 0;
+  if (sources.lower != -1) {
+    bounds.lower = std::max(
+        0.0, store.entry(sources.lower).estimator->EstimateImplicationCount());
+  }
+  double upper = -1;
+  if (sources.upper != -1) {
+    upper = store.entry(sources.upper).estimator->EstimateImplicationCount();
+  }
+  if (sources.f0 != -1) {
+    const double f0 =
+        store.entry(sources.f0).estimator->EstimateSupportedDistinct();
+    if (f0 >= 0 && (upper < 0 || f0 < upper)) upper = f0;
+  }
+  bounds.upper = std::max(upper, bounds.lower);
+  return bounds;
+}
+
+}  // namespace implistat

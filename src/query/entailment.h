@@ -1,0 +1,102 @@
+// Entailment-aware derivation: answering a new implication query from
+// synopses the engine already maintains, instead of allocating another
+// estimator.
+//
+// Theory (ROADMAP "entailment-aware multi-query optimizer"; Borchmann's
+// entailment of implications with support/confidence bounds and the
+// Calders–Goethals non-derivable-itemset idea of bounding a count by its
+// neighbours in the attribute-set lattice): under the paper's
+// monotone-dirty semantics (core/conditions.h) the implication count
+//
+//   S(A → B; K, σ, γ, c)  over a fixed (A, WHERE, σ)
+//
+// is monotone in every remaining parameter, with a shared supported
+// universe. At every stream prefix, for the same itemset a of A:
+//
+//   * B' ⊇ B merges nothing: the distinct-b count under B' is >= the
+//     count under the coarser projection B, and the top-c mass is <=
+//     (projection merges pair counters, concentrating confidence). So a
+//     violation under B implies one under B' — S is DECREASING in B.
+//   * K only loosens condition 1 — S is INCREASING in K.
+//   * γ only tightens condition 3 — S is DECREASING in γ.
+//   * c only grows the top-c mass — S is INCREASING in c.
+//   * σ is NOT monotone (it gates both counting and dirtiness), so
+//     derivation requires equal σ. Same for the WHERE clause and A.
+//
+// Dirtiness is "some prefix was supported while violating 1 or 3"; each
+// implication above holds prefix-by-prefix, so it survives the forever
+// semantics. The argument needs strict multiplicity (the Algorithm 1
+// eviction heuristic breaks per-prefix comparability), lifetime counts
+// (windows change the universe), and non-complement queries.
+//
+// A candidate synopsis C with the same (A, WHERE, σ), both strict and
+// unwindowed, therefore bounds the new query Q:
+//
+//   lower source:  B_C ⊇ B_Q, K_C <= K_Q, γ_C >= γ_Q, c_C <= c_Q
+//                  (C is harder everywhere: S_C <= S_Q)
+//   upper source:  the reverse comparisons (S_C >= S_Q)
+//   F0 cap:        any C whose estimator answers EstimateSupportedDistinct
+//                  — S_Q counts a subset of the supported universe, so
+//                  S_Q <= F0_sup(A).
+//
+// The derived answer is the interval [best lower, best upper]; the engine
+// reports its midpoint with derived=true and half-width as the error
+// bound. Bounds are estimates of bounds: exact for kExact sources,
+// estimator-accurate otherwise.
+
+#ifndef IMPLISTAT_QUERY_ENTAILMENT_H_
+#define IMPLISTAT_QUERY_ENTAILMENT_H_
+
+#include "query/synopsis_store.h"
+
+namespace implistat {
+
+/// Which existing synopses bound a derived query; -1 = no source found
+/// on that side. Serialized into kQueryEngineV2 checkpoints (engine.cc),
+/// so the meaning of each field is part of the checkpoint format.
+struct DerivationSources {
+  SynopsisId lower = -1;  // its S lower-bounds the query's S
+  SynopsisId upper = -1;  // its S upper-bounds the query's S
+  SynopsisId f0 = -1;     // its F0_sup(A) caps the query's S
+
+  /// A derivation is worth answering from only when something caps the
+  /// count (a lower bound alone degenerates to [S_C, ∞)).
+  bool viable() const { return upper != -1 || f0 != -1; }
+
+  /// The synopsis exposed as the derived query's estimator (snapshots,
+  /// memory accounting): the tightest upper source, else the F0 cap,
+  /// else the lower source.
+  SynopsisId primary() const {
+    if (upper != -1) return upper;
+    if (f0 != -1) return f0;
+    return lower;
+  }
+};
+
+/// Evaluated bounds at answer time.
+struct DerivedBounds {
+  double lower = 0;
+  double upper = 0;
+};
+
+/// Scans the store's live synopses for sound bound sources for a query
+/// over (a_set → b_set) under `conditions`. Returns a non-viable result
+/// when the query is ineligible (windowed, complement, non-strict) or no
+/// capping source exists; the caller then allocates a dedicated synopsis.
+DerivationSources DeriveFromSynopses(const AttributeSet& a_set,
+                                     const AttributeSet& b_set,
+                                     const Predicate* where,
+                                     const ImplicationConditions& conditions,
+                                     const EstimatorConfig& config,
+                                     bool complement,
+                                     const SynopsisStore& store);
+
+/// Evaluates the sources' current estimates into [lower, upper]. The
+/// interval is normalized (lower clamped to >= 0 and <= upper) so noisy
+/// non-exact sources can never invert it.
+DerivedBounds EvaluateDerivedBounds(const DerivationSources& sources,
+                                    const SynopsisStore& store);
+
+}  // namespace implistat
+
+#endif  // IMPLISTAT_QUERY_ENTAILMENT_H_

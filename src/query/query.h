@@ -77,8 +77,17 @@ struct ImplicationQuerySpec {
   /// Count non-implications (~S) instead of implications (S).
   bool complement = false;
   EstimatorConfig estimator;
-  /// Optional human-readable label for reports.
+  /// Optional human-readable label for reports. Registration rejects a
+  /// non-empty label that another active query already carries.
   std::string label;
+  /// Lets the engine answer this query by entailment bounds from
+  /// already-maintained synopses (query/entailment.h) instead of
+  /// allocating a dedicated estimator, when a sound derivation exists.
+  /// Derived answers are flagged and carry [lower, upper] bounds rather
+  /// than a byte-identical estimate, so this is opt-in. Not part of the
+  /// frozen v1 spec wire format — it rides in the kQueryEngineV2
+  /// checkpoint container instead (see engine.cc).
+  bool allow_derived = false;
 
   /// Checkpoint wire format for the whole spec, WHERE clause included.
   /// `num_attributes` is the schema width the restored query will run

@@ -200,6 +200,8 @@ const char* SnapshotKindName(SnapshotKind kind) {
     case SnapshotKind::kQueryEngine: return "query_engine";
     case SnapshotKind::kIncrementalTracker: return "incremental_tracker";
     case SnapshotKind::kValueDictionary: return "value_dictionary";
+    case SnapshotKind::kQueryEngineV2: return "query_engine_v2";
+    case SnapshotKind::kSynopsisStore: return "synopsis_store";
   }
   return "unknown";
 }

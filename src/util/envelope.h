@@ -95,9 +95,11 @@ enum class SnapshotKind : uint8_t {
   kLossyCounting = 6,    // plain frequent-items LossyCounting
   kStickySampling = 7,   // plain frequent-items StickySampling
   kSlidingNipsCi = 8,    // SlidingNipsCi / SlidingNipsCiEstimator
-  kQueryEngine = 9,      // full QueryEngine checkpoint
+  kQueryEngine = 9,      // full QueryEngine checkpoint (legacy 1:1 layout)
   kIncrementalTracker = 10,  // IncrementalTracker checkpoint vector
   kValueDictionary = 11,     // per-attribute ValueDictionary vector
+  kQueryEngineV2 = 12,   // QueryEngine checkpoint with a synopsis store
+  kSynopsisStore = 13,   // shared-synopsis section nested in kQueryEngineV2
 };
 
 /// Canonical lowercase name of a snapshot kind (for error messages).

@@ -1,0 +1,195 @@
+// Aggregation over a shared synopsis store: the supervisor's fold is
+// keyed by synopsis (QueryEngine::FoldUnits), so a synopsis shared by
+// many queries is pulled and refolded exactly once per fleet poll —
+// never once per query — and the fold still converges bit-identically
+// to the single-process answer for every query bound to it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/supervisor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "query/engine.h"
+
+namespace implistat::cluster {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Source", 97}, {"Destination", 47}, {"Hour", 24}});
+}
+
+ImplicationQuerySpec ExactSpec(std::string label) {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"Source"};
+  spec.b_attributes = {"Destination"};
+  spec.conditions.max_multiplicity = 1;
+  spec.conditions.min_support = 1;
+  spec.conditions.min_top_confidence = 1.0;
+  spec.conditions.confidence_c = 1;
+  spec.estimator.kind = EstimatorKind::kExact;
+  spec.label = std::move(label);
+  return spec;
+}
+
+ImplicationQuerySpec NipsSpec(std::string label) {
+  ImplicationQuerySpec spec = ExactSpec(std::move(label));
+  spec.estimator.kind = EstimatorKind::kNipsCi;
+  spec.estimator.nips.num_bitmaps = 8;
+  return spec;
+}
+
+// Four queries over two synopses: three key-identical exact tenants
+// share one estimator, the NIPS query owns the other.
+void RegisterTenants(QueryEngine& engine) {
+  ASSERT_TRUE(engine.Register(ExactSpec("tenant-a")).ok());
+  ASSERT_TRUE(engine.Register(ExactSpec("tenant-b")).ok());
+  ASSERT_TRUE(engine.Register(ExactSpec("tenant-c")).ok());
+  ASSERT_TRUE(engine.Register(NipsSpec("sketch")).ok());
+  ASSERT_EQ(engine.num_queries(), 4);
+  if (engine.query_sharing()) {
+    ASSERT_EQ(engine.num_synopses(), 2);
+  }
+}
+
+std::vector<ValueId> Row(uint64_t i) {
+  return {static_cast<ValueId>(i % 97),
+          static_cast<ValueId>((i % 7 == 0) ? i % 47 : (i % 97) % 13),
+          static_cast<ValueId>(i % 24)};
+}
+
+void FeedLocal(QueryEngine& engine, uint64_t begin, uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
+    std::vector<ValueId> row = Row(i);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+}
+
+SupervisorOptions TestOptions() {
+  SupervisorOptions options;
+  options.poll_interval_ms = 1000;
+  options.rpc_deadline_ms = 2000;
+  options.connect_timeout_ms = 500;
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 400;
+  options.stale_after_failures = 3;
+  options.jitter_seed = 42;
+  return options;
+}
+
+class Edge {
+ public:
+  explicit Edge(QueryEngineOptions options = {})
+      : engine_(TestSchema(), options) {}
+  ~Edge() {
+    if (thread_.joinable()) {
+      server_->Shutdown();
+      thread_.join();
+    }
+  }
+
+  QueryEngine& engine() { return engine_; }
+
+  void Start() {
+    server_ = std::make_unique<net::Server>(&engine_, net::ServerOptions{});
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    thread_ = std::thread([this] { (void)server_->Run(); });
+  }
+
+  PeerConfig Config(const std::string& name) const {
+    return PeerConfig{"127.0.0.1", server_->port(), name};
+  }
+
+ private:
+  QueryEngine engine_;
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+};
+
+TEST(ClusterSharingTest, SharedSynopsisFoldsOncePerPoll) {
+  Edge edges[2];
+  for (int i = 0; i < 2; ++i) {
+    RegisterTenants(edges[i].engine());
+    FeedLocal(edges[i].engine(), static_cast<uint64_t>(i) * 600,
+              static_cast<uint64_t>(i + 1) * 600);
+    edges[i].Start();
+  }
+
+  QueryEngine aggregate(TestSchema());
+  RegisterTenants(aggregate);
+  // The fold plan is one unit per synopsis: 2 units for 4 queries. This
+  // is the "folds exactly once" contract — the supervisor issues one
+  // SNAPSHOT pull (and one refold) per unit per peer, so the shared
+  // estimator can never be folded once per tenant.
+  ASSERT_EQ(aggregate.FoldUnits().size(), 2u);
+
+  AggregatorSupervisor supervisor(
+      &aggregate, {edges[0].Config("a"), edges[1].Config("b")},
+      TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+  PollStats first = supervisor.PollOnce(0);
+  EXPECT_EQ(first.succeeded, 2);
+  EXPECT_TRUE(first.refolded);
+
+  // Exact-estimator equality against the single-process run is the
+  // double-count detector: folding the shared synopsis once per tenant
+  // would have merged each edge's contribution three times.
+  QueryEngine single(TestSchema());
+  RegisterTenants(single);
+  FeedLocal(single, 0, 1200);
+  for (QueryId id = 0; id < 4; ++id) {
+    EXPECT_EQ(aggregate.Answer(id).value(), single.Answer(id).value())
+        << "query " << id;
+  }
+  EXPECT_EQ(aggregate.tuples_seen(), 1200u);
+
+  // Idempotence holds at the synopsis level too: re-pulling unchanged
+  // edges refolds nothing and changes nothing.
+  PollStats second = supervisor.PollOnce(1000);
+  EXPECT_EQ(second.succeeded, 2);
+  EXPECT_FALSE(second.refolded);
+  for (QueryId id = 0; id < 4; ++id) {
+    EXPECT_EQ(aggregate.Answer(id).value(), single.Answer(id).value());
+  }
+}
+
+TEST(ClusterSharingTest, MixedFleetSharingAndDedicatedEdgesConverge) {
+  // Sharing is a per-process layout choice, invisible on the wire: an
+  // edge running --no-query-sharing serves the same SNAPSHOT bytes per
+  // query id, so a sharing aggregator folds it without noticing.
+  Edge sharing_edge;
+  RegisterTenants(sharing_edge.engine());
+  FeedLocal(sharing_edge.engine(), 0, 500);
+  sharing_edge.Start();
+
+  Edge dedicated_edge{QueryEngineOptions{false}};
+  RegisterTenants(dedicated_edge.engine());
+  ASSERT_EQ(dedicated_edge.engine().num_synopses(), 4);  // 1:1 layout
+  FeedLocal(dedicated_edge.engine(), 500, 1000);
+  dedicated_edge.Start();
+
+  QueryEngine aggregate(TestSchema());
+  RegisterTenants(aggregate);
+  AggregatorSupervisor supervisor(
+      &aggregate,
+      {sharing_edge.Config("shared"), dedicated_edge.Config("dedicated")},
+      TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+  EXPECT_TRUE(supervisor.PollOnce(0).refolded);
+
+  QueryEngine single(TestSchema());
+  RegisterTenants(single);
+  FeedLocal(single, 0, 1000);
+  for (QueryId id = 0; id < 4; ++id) {
+    EXPECT_EQ(aggregate.Answer(id).value(), single.Answer(id).value())
+        << "query " << id;
+  }
+}
+
+}  // namespace
+}  // namespace implistat::cluster

@@ -20,6 +20,7 @@
 #include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
+#include "util/envelope.h"
 #include "util/random.h"
 #include "util/serde.h"
 
@@ -429,6 +430,178 @@ TEST(StateFuzzTest, QueryEngineSnapshotFuzz) {
     QueryEngine victim(Schema({{"A", 64}, {"B", 32}}));
     EXPECT_FALSE(victim.RestoreState(snapshot->substr(0, len)).ok());
     EXPECT_EQ(victim.num_queries(), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kSynopsisStore section robustness. The store rides as a nested
+// envelope inside the kQueryEngineV2 container, so naive bit flips are
+// caught by the outer CRC before the store parser ever runs. These
+// tests re-seal both envelopes around each mutation so the corruption
+// reaches the structural checks — dangling query→synopsis references,
+// truncated entries, bad refcounts — which must refuse the restore and
+// leave the engine fresh.
+// ---------------------------------------------------------------------------
+
+Schema SharingSchema() { return Schema({{"A", 64}, {"B", 32}}); }
+
+ImplicationQuerySpec SharingSpec() {
+  ImplicationQuerySpec spec;
+  spec.a_attributes = {"A"};
+  spec.b_attributes = {"B"};
+  spec.conditions = StateCond();
+  spec.estimator.kind = EstimatorKind::kExact;
+  return spec;
+}
+
+// A checkpoint whose store section is genuinely shared: two queries,
+// one synopsis.
+std::string SharedEngineSnapshot() {
+  QueryEngine engine(SharingSchema());
+  EXPECT_TRUE(engine.Register(SharingSpec()).ok());
+  EXPECT_TRUE(engine.Register(SharingSpec()).ok());
+  std::vector<ValueId> row(2);
+  for (uint64_t i = 0; i < 300; ++i) {
+    row[0] = static_cast<ValueId>(i % 63);
+    row[1] = static_cast<ValueId>(i % 17);
+    engine.ObserveTuple(TupleRef(row.data(), row.size()));
+  }
+  auto snapshot = engine.SerializeState();
+  EXPECT_TRUE(snapshot.ok());
+  return std::move(*snapshot);
+}
+
+// Splits a kQueryEngineV2 container into (head, store payload, tail)
+// and re-seals a container around a replacement store payload — both
+// the inner kSynopsisStore envelope and the outer CRC are recomputed,
+// so only the store parser can object to the mutation.
+struct SplitContainer {
+  std::string head;         // prefix fields before the store blob
+  std::string store_bytes;  // the inner envelope's payload
+  std::string tail;         // query records after the store blob
+};
+
+SplitContainer SplitV2(std::string_view snapshot) {
+  SplitContainer out;
+  auto payload = UnwrapSnapshot(snapshot, SnapshotKind::kQueryEngineV2);
+  EXPECT_TRUE(payload.ok());
+  ByteReader in(*payload);
+  ByteWriter head;
+  uint64_t u64v;
+  uint8_t u8v;
+  EXPECT_TRUE(in.ReadU64(&u64v).ok());
+  head.PutU64(u64v);
+  EXPECT_TRUE(in.ReadVarint64(&u64v).ok());
+  head.PutVarint64(u64v);
+  EXPECT_TRUE(in.ReadVarint64(&u64v).ok());
+  head.PutVarint64(u64v);
+  EXPECT_TRUE(in.ReadU8(&u8v).ok());
+  head.PutU8(u8v);
+  if (u8v != 0) {
+    std::string_view dict;
+    EXPECT_TRUE(in.ReadLengthPrefixed(&dict).ok());
+    head.PutLengthPrefixed(dict);
+  }
+  std::string_view blob;
+  EXPECT_TRUE(in.ReadLengthPrefixed(&blob).ok());
+  auto store = UnwrapSnapshot(blob, SnapshotKind::kSynopsisStore);
+  EXPECT_TRUE(store.ok());
+  out.head = head.Release();
+  out.store_bytes = std::string(*store);
+  out.tail = std::string(payload->substr(payload->size() - in.remaining()));
+  return out;
+}
+
+std::string RewrapV2(const SplitContainer& split,
+                     std::string_view store_bytes) {
+  std::string container = split.head;
+  ByteWriter out;
+  out.PutLengthPrefixed(
+      WrapSnapshot(SnapshotKind::kSynopsisStore, store_bytes));
+  container += out.Release();
+  container += split.tail;
+  return WrapSnapshot(SnapshotKind::kQueryEngineV2, container);
+}
+
+TEST(StateFuzzTest, SynopsisStoreBitflipsRefuseOrRestoreCleanly) {
+  const std::string snapshot = SharedEngineSnapshot();
+  const SplitContainer split = SplitV2(snapshot);
+  Rng rng(53);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mutated = split.store_bytes;
+    int flips = 1 + static_cast<int>(rng.Uniform(5));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+    }
+    QueryEngine victim(SharingSchema());
+    Status status = victim.RestoreState(RewrapV2(split, mutated));
+    if (!status.ok()) {
+      // Refusal must leave a fresh, fully reusable engine — no partial
+      // store, no partial registrations.
+      EXPECT_EQ(victim.num_queries(), 0);
+      EXPECT_EQ(victim.num_synopses(), 0);
+      EXPECT_EQ(victim.tuples_seen(), 0u);
+      EXPECT_TRUE(victim.RestoreState(snapshot).ok());
+    } else {
+      // A mutation that survives every structural check must still
+      // yield answerable queries.
+      for (QueryId id = 0; id < victim.num_queries(); ++id) {
+        (void)victim.Answer(id);
+      }
+    }
+  }
+}
+
+TEST(StateFuzzTest, SynopsisStoreTruncationsRefuseWithoutPartialMutation) {
+  const std::string snapshot = SharedEngineSnapshot();
+  const SplitContainer split = SplitV2(snapshot);
+  for (size_t len = 0; len < split.store_bytes.size(); ++len) {
+    QueryEngine victim(SharingSchema());
+    Status status =
+        victim.RestoreState(RewrapV2(split, split.store_bytes.substr(0, len)));
+    EXPECT_FALSE(status.ok()) << "truncated store section restored at len "
+                              << len;
+    EXPECT_EQ(victim.num_queries(), 0);
+    EXPECT_EQ(victim.num_synopses(), 0);
+    EXPECT_TRUE(victim.RestoreState(snapshot).ok());
+  }
+}
+
+TEST(StateFuzzTest, DanglingSynopsisReferencesRefuseRestore) {
+  const std::string snapshot = SharedEngineSnapshot();
+  const SplitContainer split = SplitV2(snapshot);
+
+  // An empty store (zero entries) with the query records intact: every
+  // active query now references a synopsis that does not exist.
+  {
+    ByteWriter empty_store;
+    empty_store.PutVarint64(0);
+    QueryEngine victim(SharingSchema());
+    Status status =
+        victim.RestoreState(RewrapV2(split, empty_store.Release()));
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("dangling"), std::string_view::npos)
+        << status;
+    EXPECT_EQ(victim.num_queries(), 0);
+    EXPECT_EQ(victim.num_synopses(), 0);
+    EXPECT_TRUE(victim.RestoreState(snapshot).ok());
+  }
+
+  // A store whose only entry is a tombstone: the reference is in range
+  // but points at a dead synopsis — equally dangling.
+  {
+    ByteWriter dead_store;
+    dead_store.PutVarint64(1);
+    dead_store.PutU8(0);  // not live
+    QueryEngine victim(SharingSchema());
+    Status status =
+        victim.RestoreState(RewrapV2(split, dead_store.Release()));
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("dangling"), std::string_view::npos)
+        << status;
+    EXPECT_EQ(victim.num_queries(), 0);
+    EXPECT_TRUE(victim.RestoreState(snapshot).ok());
   }
 }
 

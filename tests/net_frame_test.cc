@@ -32,12 +32,13 @@ std::string FromHex(std::string_view hex) {
 // Known-answer vectors: the exact bytes of two minimal frames. A change
 // here is a wire-format break — old clients stop interoperating. The CRC
 // trailers are Castagnoli CRC32C values over the envelope bytes.
-// (Version byte is 0x03 since protocol v3: the envelope payload opens
-// with a varint extension-block length — 0x00 when no trace context
-// rides the frame — before the message payload.)
+// (Version byte is 0x04 since protocol v4 — the dialect that adds the
+// per-result derivation section to QUERY responses. The envelope payload
+// still opens with a varint extension-block length — 0x00 when no trace
+// context rides the frame — before the message payload, as in v3.)
 TEST(FrameKatTest, PingRequestBytes) {
   EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}),
-            FromHex("0c000000494d505703010100" "a9fe9a6e"));
+            FromHex("0c000000494d505704010100" "63469a77"));
 }
 
 TEST(FrameKatTest, QueryOkResponseBytes) {
@@ -45,7 +46,7 @@ TEST(FrameKatTest, QueryOkResponseBytes) {
   // OK status header (code 0 varint, empty message).
   EXPECT_EQ(EncodeResponseFrame(MsgType::kQuery,
                                 EncodeResponsePayload(Status::OK())),
-            FromHex("0e000000494d5057038303000000" "aba26e05"));
+            FromHex("0e000000494d5057048303000000" "065e2783"));
 }
 
 // The v2 dialect must keep emitting byte-identical frames: that is what
@@ -68,13 +69,57 @@ TEST(FrameKatTest, TracedPingRequestBytes) {
   trace.span_id = 0x1122334455667788ULL;
   trace.sampled = true;
   EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}, trace),
-            FromHex("27000000494d505703011c"
+            FromHex("27000000494d505704011c"
                     "1b0119"                  // ext_len, tag 1, entry len 25
                     "efcdab8967452301"        // trace_hi
                     "1032547698badcfe"        // trace_lo
                     "8877665544332211"        // span_id
                     "01"                      // flags: sampled
-                    "172e5f75"));
+                    "457bc71b"));
+}
+
+// The v4 derivation section round-trips, and the v3 dialect of the same
+// response omits it — an old client decodes the old layout, losing only
+// the derived flag and bounds (midpoint and half-width still arrive as
+// estimate/std_error).
+TEST(FrameKatTest, QueryResponseDerivationSectionPerDialect) {
+  QueryResponse response;
+  response.tuples_seen = 42;
+  QueryResult result;
+  result.id = 7;
+  result.label = "tenant";
+  result.estimator_name = "derived";
+  result.estimate = 12.5;
+  result.std_error = 2.5;
+  result.derived = true;
+  result.lower = 10.0;
+  result.upper = 15.0;
+  response.results.push_back(result);
+
+  auto v4 = DecodeQueryResponse(EncodeQueryResponse(response, 4), 4);
+  ASSERT_TRUE(v4.ok()) << v4.status();
+  ASSERT_EQ(v4->results.size(), 1u);
+  EXPECT_TRUE(v4->results[0].derived);
+  EXPECT_EQ(v4->results[0].lower, 10.0);
+  EXPECT_EQ(v4->results[0].upper, 15.0);
+
+  auto v3 = DecodeQueryResponse(EncodeQueryResponse(response, 3), 3);
+  ASSERT_TRUE(v3.ok()) << v3.status();
+  ASSERT_EQ(v3->results.size(), 1u);
+  EXPECT_FALSE(v3->results[0].derived);  // not on the wire in v3
+  EXPECT_EQ(v3->results[0].estimate, 12.5);
+  EXPECT_EQ(v3->results[0].std_error, 2.5);
+}
+
+TEST(FrameKatTest, QueryResponseBadDerivedFlagRejected) {
+  QueryResponse response;
+  QueryResult result;
+  response.results.push_back(result);
+  std::string body = EncodeQueryResponse(response, 4);
+  // The derived flag is the u8 before the two bound doubles and the
+  // trailing empty-warnings varint.
+  body[body.size() - 2 * sizeof(double) - 2] = 2;
+  EXPECT_FALSE(DecodeQueryResponse(body, 4).ok());
 }
 
 TEST(FrameKatTest, HeaderFieldsWhereDocumented) {

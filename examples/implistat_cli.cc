@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cql/parser.h"
 #include "obs/estimator_probe.h"
 #include "obs/export_json.h"
 #include "obs/export_prometheus.h"
@@ -56,7 +57,12 @@ int Usage(const char* argv0) {
       << "  --metrics-json PATH   final JSON metrics snapshot\n"
       << "  --metrics-prom PATH   final Prometheus-text metrics snapshot\n"
       << "  --no-query-sharing    dedicated estimator per query (disable\n"
-      << "                        the shared synopsis store)\n\n"
+      << "                        the shared synopsis store)\n"
+      << "  --trigger FILE        install CREATE TRIGGER statements (';'-\n"
+      << "                        separated) evaluated while streaming;\n"
+      << "                        firings print to stdout; repeatable\n"
+      << "  --trigger-expr STR    one CREATE TRIGGER statement inline;\n"
+      << "                        repeatable\n\n"
       << "example query:\n"
       << "  SELECT COUNT(DISTINCT Destination) FROM t\n"
       << "  WHERE Destination IMPLIES Source\n"
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
   uint64_t metrics_every = 0;
   std::string metrics_json_path;
   std::string metrics_prom_path;
+  std::vector<std::string> trigger_statements;
   QueryEngineOptions engine_options;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +139,23 @@ int main(int argc, char** argv) {
       metrics_prom_path = v;
     } else if (arg == "--no-query-sharing") {
       engine_options.query_sharing = false;
+    } else if (arg == "--trigger") {
+      const char* v = take_value("--trigger");
+      if (v == nullptr) return 2;
+      StatusOr<std::string> script = ReadFileToString(v);
+      if (!script.ok()) {
+        std::cerr << "cannot read " << v << ": " << script.status() << "\n";
+        return 1;
+      }
+      for (std::string& statement : cql::SplitStatements(*script)) {
+        trigger_statements.push_back(std::move(statement));
+      }
+    } else if (arg == "--trigger-expr") {
+      const char* v = take_value("--trigger-expr");
+      if (v == nullptr) return 2;
+      for (std::string& statement : cql::SplitStatements(v)) {
+        trigger_statements.push_back(std::move(statement));
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -230,6 +254,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const std::string& statement : trigger_statements) {
+    StatusOr<std::string> name = engine.InstallTrigger(statement);
+    if (!name.ok()) {
+      std::cerr << name.status().message() << "\n";
+      return 1;
+    }
+  }
+
   // The progress probe watches the first query's estimator (reports cover
   // the whole registry either way).
   obs::StreamProgressOptions progress_options;
@@ -238,8 +270,17 @@ int main(int argc, char** argv) {
       progress_options,
       obs::MakeEstimatorProbe(engine.Estimator(0).value()));
 
+  auto report_firings = [&engine]() {
+    if (!engine.has_pending_trigger_firings()) return;
+    for (const cql::TriggerFiring& firing : engine.TakeTriggerFirings()) {
+      std::cout << "trigger " << firing.trigger << " fired at epoch "
+                << firing.epoch << " (value " << firing.value << ")\n";
+    }
+  };
+
   while (auto tuple = table->stream.Next()) {
     engine.ObserveTuple(*tuple);
+    report_firings();
     reporter.Tick();
     if (checkpoint_every > 0 &&
         engine.tuples_seen() % checkpoint_every == 0) {
@@ -251,6 +292,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  report_firings();
   if (!checkpoint_path.empty()) {
     Status status = engine.Checkpoint(checkpoint_path);
     if (!status.ok()) {

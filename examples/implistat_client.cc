@@ -16,9 +16,15 @@
 //                             it in Perfetto / chrome://tracing)
 //   checkpoint                ask the server to write its checkpoint
 //   shutdown                  graceful server drain
+//   subscribe [name ...]      install --trigger/--trigger-expr rules,
+//                             subscribe to firings (all triggers when no
+//                             names given) and print each TRIGGER_FIRED
+//                             push as one JSON object per line
 //
-// See README "Running as a service" for the two-terminal walkthrough.
+// See README "Running as a service" for the two-terminal walkthrough and
+// "Triggers & subscriptions" for the push protocol.
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -26,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "cql/parser.h"
 #include "net/client.h"
 #include "util/fileio.h"
 
@@ -35,12 +42,43 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --port P [--host H] [--pipeline N] "
                "ping|observe|query|snapshot|merge|metrics|trace|checkpoint|"
-               "shutdown [args]\n"
-            << "  --pipeline N   keep up to N OBSERVE batches in flight\n"
-            << "                 instead of blocking per batch (default 1;\n"
-            << "                 stay at or under the server's\n"
-            << "                 --pipeline-depth)\n";
+               "shutdown|subscribe [args]\n"
+            << "  --pipeline N        keep up to N OBSERVE batches in flight\n"
+            << "                      instead of blocking per batch (default\n"
+            << "                      1; stay at or under the server's\n"
+            << "                      --pipeline-depth)\n"
+            << "  --trigger FILE      CREATE TRIGGER statements (';'-\n"
+            << "                      separated) to install with subscribe;\n"
+            << "                      repeatable\n"
+            << "  --trigger-expr STR  one CREATE TRIGGER statement inline;\n"
+            << "                      repeatable\n"
+            << "  --count N           exit after N firings (subscribe only;\n"
+            << "                      default 0 = run until killed)\n";
   return 2;
+}
+
+/// Renders a string as a JSON string literal (quotes, backslashes and
+/// control characters escaped) — enough for trigger names.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
 }
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
@@ -144,6 +182,8 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   int pipeline = 1;
+  uint64_t count = 0;
+  std::vector<std::string> trigger_statements;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -170,6 +210,27 @@ int main(int argc, char** argv) {
         std::cerr << "--pipeline must be >= 1\n";
         return 2;
       }
+    } else if (arg == "--trigger") {
+      const char* v = take_value("--trigger");
+      if (v == nullptr) return 2;
+      StatusOr<std::string> script = ReadFileToString(v);
+      if (!script.ok()) {
+        std::cerr << "cannot read " << v << ": " << script.status() << "\n";
+        return 1;
+      }
+      for (std::string& statement : cql::SplitStatements(*script)) {
+        trigger_statements.push_back(std::move(statement));
+      }
+    } else if (arg == "--trigger-expr") {
+      const char* v = take_value("--trigger-expr");
+      if (v == nullptr) return 2;
+      for (std::string& statement : cql::SplitStatements(v)) {
+        trigger_statements.push_back(std::move(statement));
+      }
+    } else if (arg == "--count") {
+      const char* v = take_value("--count");
+      if (v == nullptr) return 2;
+      count = std::strtoull(v, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -314,6 +375,35 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "server draining\n";
+    return 0;
+  }
+  if (command == "subscribe") {
+    net::SubscribeRequest request;
+    request.statements = std::move(trigger_statements);
+    for (size_t i = 1; i < positional.size(); ++i) {
+      request.triggers.push_back(std::move(positional[i]));
+    }
+    uint64_t fired = 0;
+    client->set_on_trigger([&](const net::TriggerFired& firing,
+                               const obs::SpanContext&) {
+      std::cout << "{\"trigger\":" << JsonString(firing.trigger)
+                << ",\"epoch\":" << firing.epoch
+                << ",\"value\":" << firing.value << "}" << std::endl;
+      ++fired;
+    });
+    auto subscribed = client->Subscribe(request);
+    if (!subscribed.ok()) {
+      std::cerr << "subscribe error: " << subscribed.status() << "\n";
+      return 1;
+    }
+    std::cerr << "subscribed: installed " << subscribed->installed
+              << " trigger(s), matching " << subscribed->matched << "\n";
+    while (count == 0 || fired < count) {
+      if (Status status = client->WaitForTrigger(); !status.ok()) {
+        std::cerr << "subscribe error: " << status << "\n";
+        return 1;
+      }
+    }
     return 0;
   }
   std::cerr << "unknown command " << command << "\n";

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cql/parser.h"
 #include "net/server.h"
 #include "obs/trace.h"
 #include "query/engine.h"
@@ -60,7 +61,11 @@ int Usage(const char* argv0) {
       << "                        trace_event JSON (Perfetto-loadable)\n"
       << "                        to PATH on shutdown\n"
       << "  --no-query-sharing    dedicated estimator per query (disable\n"
-      << "                        the shared synopsis store)\n";
+      << "                        the shared synopsis store)\n"
+      << "  --trigger FILE        install CREATE TRIGGER statements (';'-\n"
+      << "                        separated) before serving; repeatable\n"
+      << "  --trigger-expr STR    one CREATE TRIGGER statement inline;\n"
+      << "                        repeatable\n";
   return 2;
 }
 
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
   int64_t idle_timeout_ms = 0;
   int trace_sample = -1;  // -1: keep the compiled-in default (64)
   std::string trace_json_path;
+  std::vector<std::string> trigger_statements;
   QueryEngineOptions engine_options;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -144,6 +150,23 @@ int main(int argc, char** argv) {
       trace_json_path = v;
     } else if (arg == "--no-query-sharing") {
       engine_options.query_sharing = false;
+    } else if (arg == "--trigger") {
+      const char* v = take_value("--trigger");
+      if (v == nullptr) return 2;
+      StatusOr<std::string> script = ReadFileToString(v);
+      if (!script.ok()) {
+        std::cerr << "cannot read " << v << ": " << script.status() << "\n";
+        return 1;
+      }
+      for (std::string& statement : cql::SplitStatements(*script)) {
+        trigger_statements.push_back(std::move(statement));
+      }
+    } else if (arg == "--trigger-expr") {
+      const char* v = take_value("--trigger-expr");
+      if (v == nullptr) return 2;
+      for (std::string& statement : cql::SplitStatements(v)) {
+        trigger_statements.push_back(std::move(statement));
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
       return Usage(argv[0]);
@@ -232,6 +255,20 @@ int main(int argc, char** argv) {
   // Feed the local CSV rows before serving — the server's own share of
   // the stream; remote batches then continue the count.
   while (auto tuple = table->stream.Next()) engine.ObserveTuple(*tuple);
+
+  // Arm triggers after the local feed: pre-serve rows inform the moving
+  // averages only once remote ingest starts, so a subscriber never sees
+  // a firing that predates the socket.
+  for (const std::string& statement : trigger_statements) {
+    StatusOr<std::string> name = engine.InstallTrigger(statement);
+    if (!name.ok()) {
+      std::cerr << name.status().message() << "\n";
+      return 1;
+    }
+  }
+  if (!trigger_statements.empty()) {
+    std::cerr << "armed " << trigger_statements.size() << " trigger(s)\n";
+  }
 
   if (trace_sample >= 0) {
     obs::Tracer::SetSampleEveryN(static_cast<uint32_t>(trace_sample));

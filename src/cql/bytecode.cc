@@ -1,0 +1,185 @@
+#include "cql/bytecode.h"
+
+#include <cmath>
+
+namespace implistat {
+namespace cql {
+
+namespace {
+constexpr uint8_t kProgramFormatVersion = 1;
+constexpr uint8_t kMaxOpCode = static_cast<uint8_t>(OpCode::kNot);
+constexpr size_t kMaxProgramCode = 4096;
+constexpr size_t kMaxProgramConsts = 1024;
+constexpr size_t kMaxProgramSlots = 256;
+constexpr size_t kMaxSlotLabelBytes = 4096;
+}  // namespace
+
+bool Program::Truthy(double value) {
+  return value != 0.0 && !std::isnan(value);
+}
+
+double Program::Eval(const double* slot_values) const {
+  double stack[kMaxEvalStack];
+  size_t sp = 0;
+  for (const Instruction& ins : code) {
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        stack[sp++] = consts[ins.arg];
+        break;
+      case OpCode::kLoadSlot:
+        stack[sp++] = slot_values[ins.arg];
+        break;
+      case OpCode::kNeg:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case OpCode::kNot:
+        stack[sp - 1] = Truthy(stack[sp - 1]) ? 0.0 : 1.0;
+        break;
+      default: {
+        double rhs = stack[--sp];
+        double lhs = stack[sp - 1];
+        double r = 0.0;
+        switch (ins.op) {
+          case OpCode::kAdd: r = lhs + rhs; break;
+          case OpCode::kSub: r = lhs - rhs; break;
+          case OpCode::kMul: r = lhs * rhs; break;
+          case OpCode::kDiv: r = lhs / rhs; break;
+          case OpCode::kMod: r = std::fmod(lhs, rhs); break;
+          case OpCode::kLt: r = lhs < rhs ? 1.0 : 0.0; break;
+          case OpCode::kLe: r = lhs <= rhs ? 1.0 : 0.0; break;
+          case OpCode::kGt: r = lhs > rhs ? 1.0 : 0.0; break;
+          case OpCode::kGe: r = lhs >= rhs ? 1.0 : 0.0; break;
+          case OpCode::kEq: r = lhs == rhs ? 1.0 : 0.0; break;
+          case OpCode::kNe: r = lhs != rhs ? 1.0 : 0.0; break;
+          case OpCode::kAnd: r = Truthy(lhs) && Truthy(rhs) ? 1.0 : 0.0; break;
+          case OpCode::kOr: r = Truthy(lhs) || Truthy(rhs) ? 1.0 : 0.0; break;
+          default: break;  // unreachable: push/unary handled above
+        }
+        stack[sp - 1] = r;
+        break;
+      }
+    }
+  }
+  return sp > 0 ? stack[sp - 1] : 0.0;
+}
+
+void Program::SerializeTo(ByteWriter* out) const {
+  out->PutU8(kProgramFormatVersion);
+  out->PutVarint64(max_stack);
+  out->PutVarint64(code.size());
+  for (const Instruction& ins : code) {
+    out->PutU8(static_cast<uint8_t>(ins.op));
+    out->PutVarint64(ins.arg);
+  }
+  out->PutVarint64(consts.size());
+  for (double c : consts) out->PutDouble(c);
+  out->PutVarint64(slots.size());
+  for (const SlotSpec& s : slots) {
+    out->PutU8(static_cast<uint8_t>(s.kind));
+    out->PutLengthPrefixed(s.label);
+    out->PutVarint64(s.window);
+  }
+}
+
+StatusOr<Program> Program::Deserialize(ByteReader* in) {
+  uint8_t version = 0;
+  if (Status s = in->ReadU8(&version); !s.ok()) return s;
+  if (version != kProgramFormatVersion) {
+    return Status::InvalidArgument("trigger program: unsupported version " +
+                                   std::to_string(version));
+  }
+  Program p;
+  uint64_t max_stack = 0;
+  if (Status s = in->ReadVarint64(&max_stack); !s.ok()) return s;
+  if (max_stack == 0 || max_stack > kMaxEvalStack) {
+    return Status::InvalidArgument("trigger program: bad stack depth");
+  }
+  p.max_stack = static_cast<uint32_t>(max_stack);
+  uint64_t num_code = 0;
+  if (Status s = in->ReadVarint64(&num_code); !s.ok()) return s;
+  if (num_code == 0 || num_code > kMaxProgramCode) {
+    return Status::InvalidArgument("trigger program: bad code length");
+  }
+  p.code.reserve(num_code);
+  for (uint64_t i = 0; i < num_code; ++i) {
+    uint8_t op = 0;
+    uint64_t arg = 0;
+    if (Status s = in->ReadU8(&op); !s.ok()) return s;
+    if (Status s = in->ReadVarint64(&arg); !s.ok()) return s;
+    if (op > kMaxOpCode || arg > UINT16_MAX) {
+      return Status::InvalidArgument("trigger program: bad instruction");
+    }
+    p.code.push_back({static_cast<OpCode>(op), static_cast<uint16_t>(arg)});
+  }
+  uint64_t num_consts = 0;
+  if (Status s = in->ReadVarint64(&num_consts); !s.ok()) return s;
+  if (num_consts > kMaxProgramConsts) {
+    return Status::InvalidArgument("trigger program: too many constants");
+  }
+  p.consts.resize(num_consts);
+  for (double& c : p.consts) {
+    if (Status s = in->ReadDouble(&c); !s.ok()) return s;
+  }
+  uint64_t num_slots = 0;
+  if (Status s = in->ReadVarint64(&num_slots); !s.ok()) return s;
+  if (num_slots > kMaxProgramSlots) {
+    return Status::InvalidArgument("trigger program: too many slots");
+  }
+  p.slots.resize(num_slots);
+  for (SlotSpec& slot : p.slots) {
+    uint8_t kind = 0;
+    std::string_view label;
+    if (Status s = in->ReadU8(&kind); !s.ok()) return s;
+    if (kind > static_cast<uint8_t>(SlotKind::kDelta)) {
+      return Status::InvalidArgument("trigger program: bad slot kind");
+    }
+    if (Status s = in->ReadLengthPrefixed(&label); !s.ok()) return s;
+    if (label.size() > kMaxSlotLabelBytes) {
+      return Status::InvalidArgument("trigger program: slot label too long");
+    }
+    slot.kind = static_cast<SlotKind>(kind);
+    slot.label = std::string(label);
+    if (Status s = in->ReadVarint64(&slot.window); !s.ok()) return s;
+  }
+  // The Eval loop indexes pools without bounds checks, so validate every
+  // operand and simulate stack depth before accepting the program.
+  size_t depth = 0;
+  for (const Instruction& ins : p.code) {
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        if (ins.arg >= p.consts.size()) {
+          return Status::InvalidArgument("trigger program: const out of range");
+        }
+        ++depth;
+        break;
+      case OpCode::kLoadSlot:
+        if (ins.arg >= p.slots.size()) {
+          return Status::InvalidArgument("trigger program: slot out of range");
+        }
+        ++depth;
+        break;
+      case OpCode::kNeg:
+      case OpCode::kNot:
+        if (depth < 1) {
+          return Status::InvalidArgument("trigger program: stack underflow");
+        }
+        break;
+      default:
+        if (depth < 2) {
+          return Status::InvalidArgument("trigger program: stack underflow");
+        }
+        --depth;
+        break;
+    }
+    if (depth > p.max_stack) {
+      return Status::InvalidArgument("trigger program: stack overflow");
+    }
+  }
+  if (depth != 1) {
+    return Status::InvalidArgument("trigger program: unbalanced stack");
+  }
+  return p;
+}
+
+}  // namespace cql
+}  // namespace implistat

@@ -1,0 +1,93 @@
+// Flat postfix bytecode for trigger conditions, plus the stack VM.
+//
+// Sema compiles a type-checked expression into a Program: a constant
+// pool, a slot table naming the runtime inputs (query estimates, moving
+// averages, deltas), and a postfix instruction stream. Evaluation is a
+// single forward pass over the instructions with a fixed-size value
+// stack — no allocation, no pointer chasing — so the ingest path can
+// afford it at every epoch boundary.
+//
+// Programs serialize (versioned, bounds-checked on read) both for the
+// kTriggerStore checkpoint section and for tests' round-trip fuzzing.
+
+#ifndef IMPLISTAT_CQL_BYTECODE_H_
+#define IMPLISTAT_CQL_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/serde.h"
+#include "util/status_or.h"
+
+namespace implistat {
+namespace cql {
+
+enum class OpCode : uint8_t {
+  kPushConst = 0,  // arg: constant pool index
+  kLoadSlot = 1,   // arg: slot table index
+  kAdd = 2,
+  kSub = 3,
+  kMul = 4,
+  kDiv = 5,
+  kMod = 6,
+  kNeg = 7,
+  kLt = 8,
+  kLe = 9,
+  kGt = 10,
+  kGe = 11,
+  kEq = 12,
+  kNe = 13,
+  kAnd = 14,
+  kOr = 15,
+  kNot = 16,
+};
+
+struct Instruction {
+  OpCode op = OpCode::kPushConst;
+  uint16_t arg = 0;
+};
+
+enum class SlotKind : uint8_t {
+  kEstimate = 0,   // current estimate of `label`
+  kMovingAvg = 1,  // ring-buffered average of the last `window` epochs
+  kDelta = 2,      // estimate now minus estimate at the previous epoch
+};
+
+struct SlotSpec {
+  SlotKind kind = SlotKind::kEstimate;
+  std::string label;
+  uint64_t window = 0;  // kMovingAvg only
+
+  bool operator==(const SlotSpec& o) const {
+    return kind == o.kind && label == o.label && window == o.window;
+  }
+};
+
+/// Deepest value stack any program may need; compilation rejects
+/// expressions that exceed it (they would need >64 nested operands).
+inline constexpr size_t kMaxEvalStack = 64;
+
+class Program {
+ public:
+  std::vector<Instruction> code;
+  std::vector<double> consts;
+  std::vector<SlotSpec> slots;
+  uint32_t max_stack = 0;
+
+  /// Evaluates against `slot_values[0..slots.size())`. Boolean results
+  /// are 1.0/0.0; comparisons involving NaN are false. The caller owns
+  /// slot refresh (ring pushes, delta bookkeeping) — the VM only reads.
+  double Eval(const double* slot_values) const;
+
+  /// True iff `value` counts as a satisfied condition (non-zero, non-NaN).
+  static bool Truthy(double value);
+
+  void SerializeTo(ByteWriter* out) const;
+  static StatusOr<Program> Deserialize(ByteReader* in);
+};
+
+}  // namespace cql
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CQL_BYTECODE_H_

@@ -1,0 +1,69 @@
+#include "cql/diag.h"
+
+#include <algorithm>
+
+namespace implistat {
+namespace cql {
+
+LineCol LocateOffset(std::string_view source, size_t offset) {
+  offset = std::min(offset, source.size());
+  LineCol lc;
+  size_t line_start = 0;
+  for (size_t i = 0; i < offset; ++i) {
+    if (source[i] == '\n') {
+      ++lc.line;
+      line_start = i + 1;
+    }
+  }
+  lc.column = offset - line_start + 1;
+  return lc;
+}
+
+namespace {
+
+std::string_view LineContaining(std::string_view source, size_t offset) {
+  offset = std::min(offset, source.size());
+  size_t begin = source.rfind('\n', offset == 0 ? 0 : offset - 1);
+  begin = (begin == std::string_view::npos || offset == 0) ? 0 : begin + 1;
+  if (begin > offset) begin = offset;
+  size_t end = source.find('\n', offset);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string RenderDiagnostic(std::string_view source, const Diagnostic& diag,
+                             std::string_view prefix) {
+  LineCol lc = LocateOffset(source, diag.span.offset);
+  std::string out;
+  out.append(prefix);
+  out.append(" at ");
+  out.append(std::to_string(lc.line));
+  out.push_back(':');
+  out.append(std::to_string(lc.column));
+  out.append(": ");
+  out.append(diag.message);
+  std::string_view line = LineContaining(source, diag.span.offset);
+  if (!line.empty()) {
+    out.append("\n  ");
+    out.append(line);
+    out.append("\n  ");
+    // Tabs keep their width so the caret stays under the right glyph.
+    for (size_t i = 0; i + 1 < lc.column; ++i) {
+      out.push_back(i < line.size() && line[i] == '\t' ? '\t' : ' ');
+    }
+    size_t width = std::max<size_t>(diag.span.length, 1);
+    width = std::min(width, line.size() - std::min(lc.column - 1, line.size()) + 1);
+    for (size_t i = 0; i < std::max<size_t>(width, 1); ++i) out.push_back('^');
+  }
+  return out;
+}
+
+Status DiagnosticToStatus(std::string_view source, const Diagnostic& diag,
+                          std::string_view prefix) {
+  return Status::InvalidArgument(RenderDiagnostic(source, diag, prefix));
+}
+
+}  // namespace cql
+}  // namespace implistat

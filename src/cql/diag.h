@@ -1,0 +1,58 @@
+// Position-annotated diagnostics with source-line caret rendering.
+//
+// Every stage of the continuous-query frontend (lexer, parser, sema)
+// reports errors through Diagnostic rather than bare strings, so a user
+// who typos a trigger rule sees *where* the problem is:
+//
+//   trigger parse error at 1:24: unknown query label 'laoyl'
+//     CREATE TRIGGER t ON x WHEN laoyl > 10
+//                            ^
+//
+// The same machinery backs ParseImplicationQuery's SELECT grammar (see
+// query/parser.cc), keeping one rendering style across both languages.
+
+#ifndef IMPLISTAT_CQL_DIAG_H_
+#define IMPLISTAT_CQL_DIAG_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace implistat {
+namespace cql {
+
+/// A half-open byte range into the source text being compiled. `offset`
+/// is 0-based; rendering converts to 1-based line:column.
+struct SourceSpan {
+  size_t offset = 0;
+  size_t length = 1;
+};
+
+struct Diagnostic {
+  std::string message;
+  SourceSpan span;
+};
+
+/// 1-based line/column for an offset into `source`.
+struct LineCol {
+  size_t line = 1;
+  size_t column = 1;
+};
+LineCol LocateOffset(std::string_view source, size_t offset);
+
+/// Renders `diag` against its source as a multi-line, human-readable
+/// message: a "<prefix> at L:C: <message>" header, the offending source
+/// line, and a caret underlining the span.
+std::string RenderDiagnostic(std::string_view source, const Diagnostic& diag,
+                             std::string_view prefix);
+
+/// Convenience: RenderDiagnostic wrapped in InvalidArgument.
+Status DiagnosticToStatus(std::string_view source, const Diagnostic& diag,
+                          std::string_view prefix);
+
+}  // namespace cql
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CQL_DIAG_H_

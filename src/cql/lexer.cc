@@ -1,0 +1,151 @@
+#include "cql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace implistat {
+namespace cql {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '-';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source,
+                                      Diagnostic* diag) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto fail = [&](size_t at, size_t len, std::string message) -> Status {
+    if (diag != nullptr) *diag = Diagnostic{std::move(message), {at, len}};
+    return Status::InvalidArgument("lex error");
+  };
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      // SQL-style comment to end of line.
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentBody(source[i])) ++i;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = source.substr(start, i - start);
+      t.span = {start, i - start};
+      tokens.push_back(t);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (source[j] == '+' || source[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text(source.substr(start, i - start));
+      char* end = nullptr;
+      double value = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return fail(start, i - start, "malformed numeric literal");
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = source.substr(start, i - start);
+      t.span = {start, i - start};
+      t.number = value;
+      tokens.push_back(t);
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      size_t body = i;
+      while (i < n && source[i] != '\'') ++i;
+      if (i >= n) {
+        return fail(start, 1, "unterminated string literal");
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = source.substr(body, i - body);
+      t.span = {start, i - start + 1};
+      tokens.push_back(t);
+      ++i;  // closing quote
+      continue;
+    }
+    // Two-character operators first, then single punctuation.
+    static constexpr std::string_view kTwoChar[] = {"<=", ">=", "!=", "==",
+                                                    "&&", "||"};
+    std::string_view rest = source.substr(i);
+    bool matched = false;
+    for (std::string_view op : kTwoChar) {
+      if (rest.substr(0, op.size()) == op) {
+        Token t;
+        t.kind = TokenKind::kPunct;
+        t.text = source.substr(i, op.size());
+        t.span = {i, op.size()};
+        tokens.push_back(t);
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneChar = "()+-*/%<>=,!";
+    if (kOneChar.find(c) != std::string_view::npos) {
+      Token t;
+      t.kind = TokenKind::kPunct;
+      t.text = source.substr(i, 1);
+      t.span = {i, 1};
+      tokens.push_back(t);
+      ++i;
+      continue;
+    }
+    return fail(i, 1, std::string("unexpected character '") + c + "'");
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.text = std::string_view();
+  end.span = {n, 1};
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace cql
+}  // namespace implistat

@@ -1,0 +1,51 @@
+// Tokenizer for the continuous-query trigger language.
+//
+// Tokens carry their byte span in the source so every later stage can
+// attach a caret diagnostic (cql/diag.h). Keywords are not distinguished
+// here: identifiers are classified case-insensitively by the parser, so
+// `create trigger` and `CREATE TRIGGER` both work while query labels stay
+// case-sensitive.
+
+#ifndef IMPLISTAT_CQL_LEXER_H_
+#define IMPLISTAT_CQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cql/diag.h"
+#include "util/status_or.h"
+
+namespace implistat {
+namespace cql {
+
+enum class TokenKind : uint8_t {
+  kIdent,   // bare identifier or keyword
+  kNumber,  // decimal literal, optional fraction/exponent
+  kString,  // 'single quoted', used for labels with spaces
+  kPunct,   // operators and delimiters, possibly two chars (<= >= != &&)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string_view text;  // aliases the source buffer
+  SourceSpan span;
+  double number = 0.0;  // valid when kind == kNumber
+
+  bool IsPunct(std::string_view p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  /// Case-insensitive keyword test for kIdent tokens.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes `source` in full (the kEnd sentinel is appended on success).
+/// On failure returns a caret-renderable Diagnostic via `diag`.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source,
+                                      Diagnostic* diag);
+
+}  // namespace cql
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CQL_LEXER_H_

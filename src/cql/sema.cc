@@ -1,0 +1,235 @@
+#include "cql/sema.h"
+
+#include <utility>
+
+#include "cql/parser.h"
+
+namespace implistat {
+namespace cql {
+
+namespace {
+
+enum class ExprType : uint8_t { kNumber, kBool };
+
+class Compiler {
+ public:
+  Compiler(std::string_view source, const LabelCatalog& catalog,
+           std::string_view on_label, Program* program)
+      : source_(source),
+        catalog_(catalog),
+        on_label_(on_label),
+        program_(program) {}
+
+  StatusOr<ExprType> Compile(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral: {
+        uint16_t idx = InternConst(expr.literal);
+        Emit(OpCode::kPushConst, idx);
+        Push(expr.span);
+        return ExprType::kNumber;
+      }
+      case ExprKind::kLabelRef:
+      case ExprKind::kMovingAvg:
+      case ExprKind::kDelta: {
+        StatusOr<std::string> label = ResolveLabel(expr);
+        if (!label.ok()) return label.status();
+        SlotSpec spec;
+        spec.label = std::move(label).value();
+        if (expr.kind == ExprKind::kMovingAvg) {
+          spec.kind = SlotKind::kMovingAvg;
+          if (expr.window < 1 || expr.window > kMaxMovingAvgWindow) {
+            return Fail(expr.span,
+                        "MOVING_AVG window must be between 1 and " +
+                            std::to_string(kMaxMovingAvgWindow));
+          }
+          spec.window = expr.window;
+        } else if (expr.kind == ExprKind::kDelta) {
+          spec.kind = SlotKind::kDelta;
+        }
+        StatusOr<uint16_t> slot = InternSlot(std::move(spec), expr.span);
+        if (!slot.ok()) return slot.status();
+        Emit(OpCode::kLoadSlot, *slot);
+        Push(expr.span);
+        return ExprType::kNumber;
+      }
+      case ExprKind::kUnary: {
+        StatusOr<ExprType> operand = Compile(*expr.lhs);
+        if (!operand.ok()) return operand.status();
+        if (expr.unary_op == UnaryOp::kNeg) {
+          if (*operand != ExprType::kNumber) {
+            return Fail(expr.span, "unary '-' needs a numeric operand");
+          }
+          Emit(OpCode::kNeg, 0);
+          return ExprType::kNumber;
+        }
+        if (*operand != ExprType::kBool) {
+          return Fail(expr.span, "NOT needs a boolean operand");
+        }
+        Emit(OpCode::kNot, 0);
+        return ExprType::kBool;
+      }
+      case ExprKind::kBinary: {
+        StatusOr<ExprType> lhs = Compile(*expr.lhs);
+        if (!lhs.ok()) return lhs.status();
+        StatusOr<ExprType> rhs = Compile(*expr.rhs);
+        if (!rhs.ok()) return rhs.status();
+        --depth_;  // every binary op folds two operands into one
+        switch (expr.binary_op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+          case BinaryOp::kMod:
+            if (*lhs != ExprType::kNumber || *rhs != ExprType::kNumber) {
+              return Fail(expr.span, "arithmetic needs numeric operands");
+            }
+            Emit(ArithOp(expr.binary_op), 0);
+            return ExprType::kNumber;
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+            if (*lhs != ExprType::kNumber || *rhs != ExprType::kNumber) {
+              return Fail(expr.span,
+                          "comparison needs numeric operands (did you chain "
+                          "comparisons? use AND)");
+            }
+            Emit(ArithOp(expr.binary_op), 0);
+            return ExprType::kBool;
+          case BinaryOp::kAnd:
+          case BinaryOp::kOr:
+            if (*lhs != ExprType::kBool || *rhs != ExprType::kBool) {
+              return Fail(expr.span,
+                          "AND/OR need boolean operands (comparisons)");
+            }
+            Emit(expr.binary_op == BinaryOp::kAnd ? OpCode::kAnd : OpCode::kOr,
+                 0);
+            return ExprType::kBool;
+        }
+        return Fail(expr.span, "unknown operator");
+      }
+    }
+    return Fail(expr.span, "unknown expression");
+  }
+
+ private:
+  static OpCode ArithOp(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kAdd: return OpCode::kAdd;
+      case BinaryOp::kSub: return OpCode::kSub;
+      case BinaryOp::kMul: return OpCode::kMul;
+      case BinaryOp::kDiv: return OpCode::kDiv;
+      case BinaryOp::kMod: return OpCode::kMod;
+      case BinaryOp::kLt: return OpCode::kLt;
+      case BinaryOp::kLe: return OpCode::kLe;
+      case BinaryOp::kGt: return OpCode::kGt;
+      case BinaryOp::kGe: return OpCode::kGe;
+      case BinaryOp::kEq: return OpCode::kEq;
+      case BinaryOp::kNe: return OpCode::kNe;
+      default: return OpCode::kAdd;  // unreachable for AND/OR
+    }
+  }
+
+  Status Fail(SourceSpan span, std::string message) {
+    return DiagnosticToStatus(source_, {std::move(message), span},
+                              "trigger error");
+  }
+
+  StatusOr<std::string> ResolveLabel(const Expr& expr) {
+    std::string label =
+        expr.label_is_value ? std::string(on_label_) : expr.label;
+    if (!catalog_.HasLabel(label)) {
+      return Fail(expr.span, "unknown query label '" + label +
+                                 "' (no active query carries it)");
+    }
+    return label;
+  }
+
+  uint16_t InternConst(double value) {
+    for (size_t i = 0; i < program_->consts.size(); ++i) {
+      if (program_->consts[i] == value) return static_cast<uint16_t>(i);
+    }
+    program_->consts.push_back(value);
+    return static_cast<uint16_t>(program_->consts.size() - 1);
+  }
+
+  StatusOr<uint16_t> InternSlot(SlotSpec spec, SourceSpan span) {
+    for (size_t i = 0; i < program_->slots.size(); ++i) {
+      if (program_->slots[i] == spec) return static_cast<uint16_t>(i);
+    }
+    if (program_->slots.size() >= 256) {
+      return Fail(span, "trigger references too many distinct inputs");
+    }
+    program_->slots.push_back(std::move(spec));
+    return static_cast<uint16_t>(program_->slots.size() - 1);
+  }
+
+  void Emit(OpCode op, uint16_t arg) { program_->code.push_back({op, arg}); }
+
+  // depth_ tracks the value stack across emitted pushes so we can cap
+  // max_stack at compile time and keep Eval allocation- and check-free.
+  void Push(SourceSpan span) {
+    (void)span;
+    ++depth_;
+    if (depth_ > program_->max_stack) {
+      program_->max_stack = static_cast<uint32_t>(depth_);
+    }
+  }
+
+  std::string_view source_;
+  const LabelCatalog& catalog_;
+  std::string_view on_label_;
+  Program* program_;
+  size_t depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<CompiledTrigger> CompileTriggerDecl(std::string_view source,
+                                             const TriggerDecl& decl,
+                                             const LabelCatalog& catalog,
+                                             uint64_t default_every) {
+  if (!catalog.HasLabel(decl.on_label)) {
+    return DiagnosticToStatus(
+        source,
+        {"unknown query label '" + decl.on_label +
+             "' (no active query carries it)",
+         decl.on_label_span},
+        "trigger error");
+  }
+  CompiledTrigger out;
+  out.name = decl.name;
+  out.source = std::string(source);
+  out.on_label = decl.on_label;
+  out.every_tuples = decl.every_tuples != 0 ? decl.every_tuples : default_every;
+  out.cooldown_tuples = decl.cooldown_tuples;
+  Compiler compiler(source, catalog, decl.on_label, &out.program);
+  StatusOr<ExprType> type = compiler.Compile(*decl.condition);
+  if (!type.ok()) return type.status();
+  if (*type != ExprType::kBool) {
+    return DiagnosticToStatus(
+        source,
+        {"WHEN condition must be boolean (use a comparison)",
+         decl.condition->span},
+        "trigger error");
+  }
+  if (out.program.max_stack > kMaxEvalStack) {
+    return DiagnosticToStatus(
+        source, {"expression too deeply nested", decl.condition->span},
+        "trigger error");
+  }
+  return out;
+}
+
+StatusOr<CompiledTrigger> CompileTrigger(std::string_view source,
+                                         const LabelCatalog& catalog,
+                                         uint64_t default_every) {
+  StatusOr<TriggerDecl> decl = ParseCreateTrigger(source);
+  if (!decl.ok()) return decl.status();
+  return CompileTriggerDecl(source, *decl, catalog, default_every);
+}
+
+}  // namespace cql
+}  // namespace implistat

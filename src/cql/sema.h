@@ -1,0 +1,60 @@
+// Semantic analysis + compilation: resolve labels against the registered
+// queries, type-check (arithmetic over numbers, comparisons yield
+// booleans, WHEN must be boolean), and lower the AST to postfix bytecode.
+//
+// Label resolution goes through the LabelCatalog interface so this layer
+// stays below query/ in the library graph: QueryEngine implements the
+// catalog, cql never includes it.
+
+#ifndef IMPLISTAT_CQL_SEMA_H_
+#define IMPLISTAT_CQL_SEMA_H_
+
+#include <string>
+#include <string_view>
+
+#include "cql/ast.h"
+#include "cql/bytecode.h"
+#include "util/status_or.h"
+
+namespace implistat {
+namespace cql {
+
+class LabelCatalog {
+ public:
+  virtual ~LabelCatalog() = default;
+  /// True when a registered, active query carries this label.
+  virtual bool HasLabel(std::string_view label) const = 0;
+};
+
+/// Moving-average windows are bounded: each (trigger, slot) keeps a ring
+/// of `window` doubles across checkpoints.
+inline constexpr uint64_t kMaxMovingAvgWindow = 1 << 16;
+
+/// A fully compiled trigger, ready to arm.
+struct CompiledTrigger {
+  std::string name;
+  std::string source;    // original statement text, kept for display
+  std::string on_label;  // resolved subject query
+  uint64_t every_tuples = 0;
+  uint64_t cooldown_tuples = 0;
+  Program program;
+};
+
+/// Parses, resolves, type-checks, and compiles one CREATE TRIGGER
+/// statement. `default_every` fills in a missing EVERY clause. Errors
+/// are caret-rendered against `source`.
+StatusOr<CompiledTrigger> CompileTrigger(std::string_view source,
+                                         const LabelCatalog& catalog,
+                                         uint64_t default_every);
+
+/// Compiles an already-parsed declaration (shared by CompileTrigger and
+/// tests that build ASTs directly).
+StatusOr<CompiledTrigger> CompileTriggerDecl(std::string_view source,
+                                             const TriggerDecl& decl,
+                                             const LabelCatalog& catalog,
+                                             uint64_t default_every);
+
+}  // namespace cql
+}  // namespace implistat
+
+#endif  // IMPLISTAT_CQL_SEMA_H_

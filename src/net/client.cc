@@ -138,7 +138,8 @@ Client::Client(Client&& other) noexcept
       port_(other.port_),
       options_(other.options_),
       decoder_(std::move(other.decoder_)),
-      pipeline_(std::move(other.pipeline_)) {}
+      pipeline_(std::move(other.pipeline_)),
+      on_trigger_(std::move(other.on_trigger_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -150,6 +151,7 @@ Client& Client::operator=(Client&& other) noexcept {
     options_ = other.options_;
     decoder_ = std::move(other.decoder_);
     pipeline_ = std::move(other.pipeline_);
+    on_trigger_ = std::move(other.on_trigger_);
   }
   return *this;
 }
@@ -219,6 +221,14 @@ StatusOr<Frame> Client::ReadResponse(MsgType expected_type,
   for (;;) {
     IMPLISTAT_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_->Next());
     if (frame.has_value()) {
+      // Unsolicited pushes interleave with responses on a subscribed
+      // connection; peel them off before the positional FIFO match so
+      // pipelined correlation never slips.
+      if (frame->is_response() && frame->type() == MsgType::kTriggerFired) {
+        Status dispatched = DispatchTriggerPush(*frame);
+        if (!dispatched.ok()) return MarkLost(std::move(dispatched));
+        continue;
+      }
       if (!frame->is_response() || frame->type() != expected_type) {
         return MarkLost(Status::Internal(
             "out-of-order response: expected " +
@@ -426,6 +436,79 @@ StatusOr<std::string> Client::Checkpoint() {
 
 Status Client::Shutdown() {
   return RoundTrip(MsgType::kShutdown, {}).status();
+}
+
+Status Client::DispatchTriggerPush(const Frame& frame) {
+  StatusOr<TriggerFired> fired = DecodeTriggerFired(frame.payload);
+  if (!fired.ok()) {
+    return Status::Internal("malformed TRIGGER_FIRED push: " +
+                            fired.status().ToString());
+  }
+  if (on_trigger_) on_trigger_(*fired, frame.trace);
+  return Status::OK();
+}
+
+StatusOr<SubscribeResponse> Client::Subscribe(const SubscribeRequest& request) {
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string body,
+      RoundTrip(MsgType::kSubscribe, EncodeSubscribeRequest(request)));
+  return DecodeSubscribeResponse(body);
+}
+
+Status Client::Unsubscribe() {
+  return RoundTrip(MsgType::kUnsubscribe, {}).status();
+}
+
+Status Client::WaitForTrigger(int64_t timeout_ms) {
+  if (connection_lost()) {
+    return Status::Unavailable("connection lost (call Reconnect)");
+  }
+  if (!pipeline_.empty()) {
+    return Status::FailedPrecondition(
+        "WaitForTrigger with pipelined requests in flight; their Awaits "
+        "dispatch pushes");
+  }
+  const int64_t deadline_ms = timeout_ms >= 0 ? NowMs() + timeout_ms : -1;
+  char buf[65536];
+  for (;;) {
+    IMPLISTAT_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_->Next());
+    if (frame.has_value()) {
+      if (!frame->is_response() ||
+          frame->type() != MsgType::kTriggerFired) {
+        return MarkLost(Status::Internal(
+            "unexpected frame while waiting for a push: tag " +
+            std::to_string(static_cast<int>(frame->tag))));
+      }
+      Status dispatched = DispatchTriggerPush(*frame);
+      if (!dispatched.ok()) return MarkLost(std::move(dispatched));
+      return Status::OK();
+    }
+    if (deadline_ms >= 0) {
+      Status ready = PollUntil(fd_, POLLIN, deadline_ms, "wait_for_trigger");
+      if (!ready.ok()) {
+        // A timeout here does NOT poison the connection — nothing is in
+        // flight, so the stream is still aligned; the caller may keep
+        // waiting or issue requests.
+        if (ready.code() == StatusCode::kDeadlineExceeded) return ready;
+        return MarkLost(
+            Status::Unavailable("connection lost: " + ready.ToString()));
+      }
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      IMPLISTAT_RETURN_NOT_OK(
+          decoder_->Append(std::string_view(buf, static_cast<size_t>(n))));
+      continue;
+    }
+    if (n == 0) {
+      return MarkLost(
+          Status::Unavailable("connection lost: server closed the "
+                              "connection while subscribed"));
+    }
+    if (errno == EINTR) continue;
+    return MarkLost(Status::Unavailable(std::string("connection lost: recv: ") +
+                                        strerror(errno)));
+  }
 }
 
 }  // namespace implistat::net

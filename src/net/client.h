@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -128,6 +129,33 @@ class Client {
   /// Asks the server to drain and exit.
   Status Shutdown();
 
+  // --- trigger subscriptions (wire v5) ---
+
+  /// Called for every TRIGGER_FIRED push the client demultiplexes —
+  /// pushes can surface inside any blocking read (RoundTrip, Await,
+  /// WaitForTrigger), so the callback must not call back into this
+  /// client. The second argument is the server's delivery trace context
+  /// (invalid when the server sent none).
+  using TriggerCallback =
+      std::function<void(const TriggerFired&, const obs::SpanContext&)>;
+  void set_on_trigger(TriggerCallback callback) {
+    on_trigger_ = std::move(callback);
+  }
+
+  /// Installs the request's CREATE TRIGGER statements (if any) and
+  /// subscribes this connection to firings. Later pushes are handed to
+  /// the on_trigger callback.
+  StatusOr<SubscribeResponse> Subscribe(const SubscribeRequest& request);
+
+  /// Drops this connection's subscription.
+  Status Unsubscribe();
+
+  /// Blocks until at least one TRIGGER_FIRED push has been dispatched to
+  /// the callback, or `timeout_ms` elapses (kDeadlineExceeded); negative
+  /// means no timeout. Refuses (kFailedPrecondition) while pipelined
+  /// requests are in flight — their Awaits already dispatch pushes.
+  Status WaitForTrigger(int64_t timeout_ms = -1);
+
   /// Sends one request frame and waits for its response body, checking
   /// type and embedded status. Building block for the typed calls above.
   /// Refuses (kFailedPrecondition) while pipelined requests are in
@@ -174,6 +202,9 @@ class Client {
   /// send buffer is full — the pipelined send path (see header comment).
   Status SendDraining(std::string_view bytes, int64_t deadline_ms);
   StatusOr<Frame> ReadResponse(MsgType expected_type, int64_t deadline_ms);
+  /// Decodes a demultiplexed TRIGGER_FIRED frame and runs the callback.
+  /// A malformed push is a protocol violation (connection-fatal).
+  Status DispatchTriggerPush(const Frame& frame);
 
   int fd_ = -1;
   bool lost_ = false;
@@ -182,6 +213,7 @@ class Client {
   ClientOptions options_;
   std::unique_ptr<FrameDecoder> decoder_;
   std::deque<MsgType> pipeline_;  // expected response types, FIFO
+  TriggerCallback on_trigger_;    // null drops pushes on the floor
 };
 
 }  // namespace implistat::net

@@ -290,4 +290,93 @@ StatusOr<std::string> DecodeCheckpointResponse(std::string_view body) {
   return std::string(path);
 }
 
+namespace {
+
+Status DecodeStringList(ByteReader* in, std::string_view what,
+                        std::vector<std::string>* out) {
+  uint64_t count;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&count));
+  if (count > in->remaining()) {
+    return Status::InvalidArgument("subscribe: implausible " +
+                                   std::string(what) + " count");
+  }
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view item;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadLengthPrefixed(&item));
+    out->emplace_back(item);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSubscribeRequest(const SubscribeRequest& request) {
+  ByteWriter out;
+  out.PutVarint64(request.statements.size());
+  for (const std::string& statement : request.statements) {
+    out.PutLengthPrefixed(statement);
+  }
+  out.PutVarint64(request.triggers.size());
+  for (const std::string& trigger : request.triggers) {
+    out.PutLengthPrefixed(trigger);
+  }
+  return out.Release();
+}
+
+StatusOr<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload) {
+  ByteReader in(payload);
+  SubscribeRequest request;
+  IMPLISTAT_RETURN_NOT_OK(
+      DecodeStringList(&in, "statement", &request.statements));
+  IMPLISTAT_RETURN_NOT_OK(DecodeStringList(&in, "trigger", &request.triggers));
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("subscribe: trailing bytes");
+  }
+  return request;
+}
+
+std::string EncodeSubscribeResponse(const SubscribeResponse& response) {
+  ByteWriter out;
+  out.PutVarint64(response.installed);
+  out.PutVarint64(response.matched);
+  return out.Release();
+}
+
+StatusOr<SubscribeResponse> DecodeSubscribeResponse(std::string_view body) {
+  ByteReader in(body);
+  SubscribeResponse response;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&response.installed));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&response.matched));
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("subscribe response: trailing bytes");
+  }
+  return response;
+}
+
+std::string EncodeTriggerFired(const TriggerFired& fired) {
+  ByteWriter out;
+  out.PutLengthPrefixed(fired.trigger);
+  out.PutVarint64(fired.epoch);
+  out.PutDouble(fired.value);
+  return out.Release();
+}
+
+StatusOr<TriggerFired> DecodeTriggerFired(std::string_view payload) {
+  ByteReader in(payload);
+  TriggerFired fired;
+  std::string_view trigger;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&trigger));
+  if (trigger.empty()) {
+    return Status::InvalidArgument("trigger_fired: empty trigger name");
+  }
+  fired.trigger = std::string(trigger);
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&fired.epoch));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadDouble(&fired.value));
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("trigger_fired: trailing bytes");
+  }
+  return fired;
+}
+
 }  // namespace implistat::net

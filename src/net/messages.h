@@ -131,6 +131,50 @@ StatusOr<std::pair<uint32_t, std::string_view>> DecodeMergeRequest(
 std::string EncodeCheckpointResponse(std::string_view path);
 StatusOr<std::string> DecodeCheckpointResponse(std::string_view body);
 
+// --- SUBSCRIBE / UNSUBSCRIBE / TRIGGER_FIRED (wire v5) ---------------------
+//
+// SUBSCRIBE optionally installs CREATE TRIGGER statements (compiled on
+// the engine thread against the registered query labels), then marks the
+// connection as a firing subscriber. TRIGGER_FIRED frames are pushed
+// unsolicited to subscribed connections only — older-dialect clients
+// never see one (wire.h v5 notes).
+
+struct SubscribeRequest {
+  /// CREATE TRIGGER statements to install before subscribing; may be
+  /// empty to subscribe to triggers installed elsewhere.
+  std::vector<std::string> statements;
+  /// Trigger names to subscribe to; empty = all triggers, present and
+  /// future.
+  std::vector<std::string> triggers;
+};
+
+std::string EncodeSubscribeRequest(const SubscribeRequest& request);
+StatusOr<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload);
+
+/// Response body: how many statements were installed and how many armed
+/// triggers the subscription currently matches.
+struct SubscribeResponse {
+  uint64_t installed = 0;
+  uint64_t matched = 0;
+};
+
+std::string EncodeSubscribeResponse(const SubscribeResponse& response);
+StatusOr<SubscribeResponse> DecodeSubscribeResponse(std::string_view body);
+
+// UNSUBSCRIBE request body: empty (drops the connection's subscription
+// wholesale). Response body: empty.
+
+/// One firing, pushed from server to subscriber. The delivery trace
+/// context rides the frame extension block, not this payload.
+struct TriggerFired {
+  std::string trigger;   // CREATE TRIGGER name
+  uint64_t epoch = 0;    // server tuples_seen at the firing evaluation
+  double value = 0.0;    // evaluated WHEN-expression value
+};
+
+std::string EncodeTriggerFired(const TriggerFired& fired);
+StatusOr<TriggerFired> DecodeTriggerFired(std::string_view payload);
+
 // PING, METRICS and SHUTDOWN need no codecs: empty request bodies, and
 // METRICS answers with the raw Prometheus text.
 

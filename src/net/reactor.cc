@@ -155,6 +155,21 @@ void Reactor::PostCompletions(std::vector<Completion> completions) {
   [[maybe_unused]] ssize_t n = write(event_fd_, &one, sizeof(one));
 }
 
+void Reactor::PostPushes(std::vector<TriggerPush> pushes) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    if (inbox_pushes_.empty()) {
+      inbox_pushes_ = std::move(pushes);
+    } else {
+      for (auto& push : pushes) {
+        inbox_pushes_.push_back(std::move(push));
+      }
+    }
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(event_fd_, &one, sizeof(one));
+}
+
 void Reactor::BeginDrain() {
   draining_.store(true, std::memory_order_release);
   uint64_t one = 1;
@@ -264,10 +279,12 @@ void Reactor::Loop() {
 void Reactor::ProcessInbox() {
   std::vector<int> fds;
   std::vector<Completion> completions;
+  std::vector<TriggerPush> pushes;
   {
     std::lock_guard<std::mutex> lock(inbox_mu_);
     fds.swap(inbox_fds_);
     completions.swap(inbox_completions_);
+    pushes.swap(inbox_pushes_);
   }
   const bool draining = draining_.load(std::memory_order_acquire);
   for (int fd : fds) {
@@ -311,6 +328,17 @@ void Reactor::ProcessInbox() {
   }
   for (const Completion& completion : completions) {
     ReapIfDead(completion.conn_id);
+  }
+  // Pushes ride outside the slot FIFO: whole pre-encoded frames appended
+  // straight to the write buffer, so the k-th-response ordering of real
+  // requests is untouched. A push for a connection that closed while the
+  // firing was in flight is dropped (the implicit UNSUBSCRIBE the close
+  // shipped prunes the writer's registry).
+  for (TriggerPush& push : pushes) {
+    auto it = conns_.find(push.conn_id);
+    if (it == conns_.end() || it->second->dead) continue;
+    DeliverPush(it->second.get(), push.frame);
+    ReapIfDead(push.conn_id);
   }
   for (uint64_t id : resumed) {
     auto it = conns_.find(id);
@@ -500,6 +528,45 @@ void Reactor::HandleFrame(Conn* conn, const FrameView& view) {
       op.snapshot = std::string(decoded->second);  // the view dies with us
       break;
     }
+    case MsgType::kSubscribe: {
+      if (view.version < 5) {
+        CompleteSlot(conn, seq,
+                     Status::InvalidArgument(
+                         "SUBSCRIBE requires wire protocol v5"),
+                     {}, false);
+        return;
+      }
+      auto decoded = DecodeSubscribeRequest(view.payload);
+      if (!decoded.ok()) {
+        CompleteSlot(conn, seq, decoded.status(), {}, false);
+        return;
+      }
+      op.statements = std::move(decoded->statements);
+      op.trigger_names = std::move(decoded->triggers);
+      // Marked eagerly so a close always prunes the writer's registry;
+      // if the writer rejects the subscribe, the implicit UNSUBSCRIBE
+      // finds nothing and is a no-op.
+      conn->subscribed = true;
+      break;
+    }
+    case MsgType::kUnsubscribe: {
+      if (view.version < 5) {
+        CompleteSlot(conn, seq,
+                     Status::InvalidArgument(
+                         "UNSUBSCRIBE requires wire protocol v5"),
+                     {}, false);
+        return;
+      }
+      if (!view.payload.empty()) {
+        CompleteSlot(conn, seq,
+                     Status::InvalidArgument(
+                         "unsubscribe: unexpected request payload"),
+                     {}, false);
+        return;
+      }
+      conn->subscribed = false;
+      break;
+    }
     case MsgType::kCheckpoint:
       break;  // no payload; the writer owns the path check
     case MsgType::kShutdown:
@@ -548,6 +615,32 @@ void Reactor::CompleteSlot(Conn* conn, uint64_t seq, const Status& status,
     // completion resumes from ProcessInbox).
     conn->read_paused = false;
   }
+}
+
+void Reactor::DeliverPush(Conn* conn, const std::string& frame) {
+  if (conn->close_after_flush) return;  // already past its last frame
+  if (conn->pending() + frame.size() > config_.max_write_buffer_bytes) {
+    // A subscriber that cannot drain its firings gets the same
+    // slow-consumer treatment as an oversized response — there is no
+    // request to answer with an error, so the connection just closes.
+    obs::LogEvent(obs::LogLevel::kWarn, "net.reactor", "push_backpressure")
+        .U64("fd", static_cast<uint64_t>(conn->fd))
+        .U64("push_bytes", frame.size())
+        .U64("pending_bytes", conn->pending())
+        .U64("bound_bytes", config_.max_write_buffer_bytes);
+    conn->close_after_flush = true;
+    MaybeFlush(conn);
+    return;
+  }
+  const int t = static_cast<int>(MsgType::kTriggerFired);
+  metrics_->response_bytes_by_type[t]->Record(frame.size());
+  if (conn->write_pos > 0) {
+    conn->write_buf.erase(0, conn->write_pos);
+    conn->write_pos = 0;
+  }
+  conn->write_buf.append(frame);
+  metrics_->write_buffer_bytes->Add(static_cast<int64_t>(frame.size()));
+  MaybeFlush(conn);
 }
 
 void Reactor::AppendCompletedPrefix(Conn* conn) {
@@ -647,6 +740,18 @@ void Reactor::ReapIfDead(uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end() || !it->second->dead) return;
   Conn* conn = it->second.get();
+  if (conn->subscribed && !draining_.load(std::memory_order_acquire)) {
+    // Prune the writer's subscriber registry. Post-quiesce the op may
+    // never ship (the drain contract forbids it); the registry dies with
+    // the server then anyway.
+    EngineOp op;
+    op.type = MsgType::kUnsubscribe;
+    op.reactor = index_;
+    op.conn_id = conn->id;
+    op.implicit = true;
+    op.enqueue_ns = NowNs();
+    pending_ops_.push_back(std::move(op));
+  }
   obs::LogEvent(obs::LogLevel::kDebug, "net.reactor", "conn_close")
       .U64("fd", static_cast<uint64_t>(conn->fd))
       .U64("reactor", static_cast<uint64_t>(index_))

@@ -75,7 +75,7 @@ class Server;
 /// process-wide (the registry dedupes by name+label).
 struct NetMetrics {
   // Per-type arrays are indexed by MsgType value; slot 0 is unused.
-  static constexpr int kMaxType = static_cast<int>(MsgType::kTraceDump);
+  static constexpr int kMaxType = static_cast<int>(MsgType::kTriggerFired);
   obs::Counter* requests_by_type[kMaxType + 1];
   obs::Histogram* duration_by_type[kMaxType + 1];
   obs::Histogram* request_bytes_by_type[kMaxType + 1];
@@ -114,6 +114,14 @@ struct EngineOp {
   uint32_t query_id = 0;
   /// MERGE: the shipped estimator state.
   std::string snapshot;
+  /// SUBSCRIBE: CREATE TRIGGER statements to install first.
+  std::vector<std::string> statements;
+  /// SUBSCRIBE: trigger-name filter (empty = all, present and future).
+  std::vector<std::string> trigger_names;
+  /// UNSUBSCRIBE shipped by the reactor itself when a subscribed
+  /// connection dies — prunes the writer's registry; the completion it
+  /// generates finds the connection gone and is dropped.
+  bool implicit = false;
 };
 
 /// The writer's answer to one EngineOp, routed back to the reactor that
@@ -125,6 +133,15 @@ struct Completion {
   std::string body;
   /// Close the connection once this response flushes (SHUTDOWN ack).
   bool close_conn = false;
+};
+
+/// One encoded TRIGGER_FIRED push frame bound for a subscribed
+/// connection. The writer encodes the frame (it owns the trigger engine
+/// and the firing's trace context); the reactor only appends bytes —
+/// whole frames, so responses and pushes never interleave mid-frame.
+struct TriggerPush {
+  uint64_t conn_id = 0;
+  std::string frame;
 };
 
 /// The slice of ServerOptions a reactor needs, plus read-only views of
@@ -167,6 +184,10 @@ class Reactor {
   void AddConnection(int fd);
   /// Delivers a batch of writer completions (one wakeup for the batch).
   void PostCompletions(std::vector<Completion> completions);
+  /// Delivers encoded TRIGGER_FIRED frames for this reactor's subscribed
+  /// connections (one wakeup for the batch). Frames for connections that
+  /// closed in the meantime are dropped.
+  void PostPushes(std::vector<TriggerPush> pushes);
   /// Drain step 1: stop reading; ack via Server::NotifyQuiesced().
   void BeginDrain();
   /// Drain step 3: flush and exit by `deadline_ms` (CLOCK_MONOTONIC).
@@ -201,6 +222,9 @@ class Reactor {
     uint64_t next_seq = 0;
     bool close_after_flush = false;
     bool read_paused = false;
+    /// Saw a SUBSCRIBE on this connection; on close, the reactor ships
+    /// an implicit UNSUBSCRIBE so the writer's registry never leaks.
+    bool subscribed = false;
     /// Set instead of erasing mid-callback; reaped at loop safe points.
     bool dead = false;
     int64_t last_active_ms = 0;
@@ -219,6 +243,7 @@ class Reactor {
   void HandleFrame(Conn* conn, const FrameView& view);
   void CompleteSlot(Conn* conn, uint64_t seq, const Status& status,
                     std::string_view body, bool close_conn);
+  void DeliverPush(Conn* conn, const std::string& frame);
   void AppendCompletedPrefix(Conn* conn);
   void MaybeFlush(Conn* conn);
   Status FlushWrites(Conn* conn);
@@ -240,6 +265,7 @@ class Reactor {
   std::mutex inbox_mu_;
   std::vector<int> inbox_fds_;
   std::vector<Completion> inbox_completions_;
+  std::vector<TriggerPush> inbox_pushes_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> exiting_{false};
   std::atomic<int64_t> exit_deadline_ms_{0};

@@ -75,6 +75,9 @@ Server::~Server() {
 
 Status Server::Start() {
   metrics_ = &NetMetrics::Get();
+  trigger_pushes_ = obs::MetricsRegistry::Global().GetCounter(
+      "implistat_trigger_pushes_total",
+      "TRIGGER_FIRED frames fanned out to subscribed connections");
   if (pipe(wake_fds_) != 0) {
     return Status::IOError(std::string("pipe: ") + strerror(errno));
   }
@@ -152,7 +155,11 @@ void Server::RunInjectedTasks() {
     std::lock_guard<std::mutex> lock(task_mu_);
     tasks.swap(tasks_);
   }
+  if (tasks.empty()) return;
   for (auto& task : tasks) task();
+  // An aggregator's injected folds advance the engine exactly like
+  // OBSERVE_BATCH ops, so its fold-level triggers forward here.
+  DispatchTriggerFirings();
 }
 
 void Server::EnqueueOps(std::vector<EngineOp> ops) {
@@ -214,6 +221,9 @@ void Server::ProcessOps() {
   for (size_t r = 0; r < done.size(); ++r) {
     if (!done[r].empty()) reactors_[r]->PostCompletions(std::move(done[r]));
   }
+  // Epoch boundaries crossed by this round's observes/merges may have
+  // fired triggers; push them in the same round their responses go out.
+  DispatchTriggerFirings();
 }
 
 Completion Server::ApplyOp(EngineOp& op) {
@@ -242,6 +252,12 @@ Completion Server::ApplyOp(EngineOp& op) {
       break;
     case MsgType::kCheckpoint:
       ApplyCheckpoint(&done);
+      break;
+    case MsgType::kSubscribe:
+      ApplySubscribe(op, &done);
+      break;
+    case MsgType::kUnsubscribe:
+      ApplyUnsubscribe(op, &done);
       break;
     case MsgType::kShutdown:
       obs::LogEvent(obs::LogLevel::kInfo, "net.server", "shutdown_request")
@@ -369,6 +385,95 @@ void Server::ApplyCheckpoint(Completion* done) {
       .Str("path", options_.checkpoint_path)
       .U64("tuples_seen", engine_->tuples_seen());
   done->body = EncodeCheckpointResponse(options_.checkpoint_path);
+}
+
+void Server::ApplySubscribe(EngineOp& op, Completion* done) {
+  obs::ScopedSpan apply("server.apply", "server");
+  apply.Annotate("statements", op.statements.size());
+  uint64_t installed = 0;
+  for (const std::string& statement : op.statements) {
+    StatusOr<std::string> name = engine_->InstallTrigger(statement);
+    if (!name.ok()) {
+      // Nothing subscribed; statements installed before the bad one stay
+      // armed (installation is not transactional — the error names the
+      // offending statement via the caret diagnostic).
+      done->status = name.status();
+      return;
+    }
+    obs::LogEvent(obs::LogLevel::kInfo, "net.server", "trigger_installed")
+        .Str("trigger", *name)
+        .U64("reactor", static_cast<uint64_t>(op.reactor));
+    ++installed;
+  }
+  // Re-subscribing replaces this connection's previous filter.
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    if (it->reactor == op.reactor && it->conn_id == op.conn_id) {
+      it = subscribers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Subscriber sub;
+  sub.reactor = op.reactor;
+  sub.conn_id = op.conn_id;
+  sub.names = std::move(op.trigger_names);
+  uint64_t matched = 0;
+  if (engine_->triggers() != nullptr) {
+    for (const cql::TriggerInfo& info : engine_->triggers()->List()) {
+      if (sub.Matches(info.name)) ++matched;
+    }
+  }
+  subscribers_.push_back(std::move(sub));
+  SubscribeResponse response;
+  response.installed = installed;
+  response.matched = matched;
+  done->body = EncodeSubscribeResponse(response);
+}
+
+void Server::ApplyUnsubscribe(EngineOp& op, Completion* done) {
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    if (it->reactor == op.reactor && it->conn_id == op.conn_id) {
+      it = subscribers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  done->status = Status::OK();  // idempotent; implicit prunes land here too
+}
+
+void Server::DispatchTriggerFirings() {
+  if (!engine_->has_pending_trigger_firings()) return;
+  // Always drain — firings must not accumulate while nobody listens.
+  std::vector<cql::TriggerFiring> firings = engine_->TakeTriggerFirings();
+  if (firings.empty() || subscribers_.empty()) return;
+  obs::ScopedSpan span("trigger.deliver", "server");
+  span.Annotate("firings", firings.size());
+  std::vector<std::vector<TriggerPush>> pushes(reactors_.size());
+  uint64_t delivered = 0;
+  for (const cql::TriggerFiring& firing : firings) {
+    TriggerFired fired;
+    fired.trigger = firing.trigger;
+    fired.epoch = firing.epoch;
+    fired.value = firing.value;
+    // One frame per firing, shared by every matching subscriber; the
+    // delivery span context rides the frame's extension block.
+    std::string frame;
+    for (const Subscriber& sub : subscribers_) {
+      if (!sub.Matches(firing.trigger)) continue;
+      if (frame.empty()) {
+        frame = EncodePushFrame(MsgType::kTriggerFired,
+                                EncodeTriggerFired(fired), span.context());
+      }
+      pushes[static_cast<size_t>(sub.reactor)].push_back(
+          TriggerPush{sub.conn_id, frame});
+      ++delivered;
+    }
+  }
+  span.Annotate("pushes", delivered);
+  if (trigger_pushes_ != nullptr) trigger_pushes_->Increment(delivered);
+  for (size_t r = 0; r < pushes.size(); ++r) {
+    if (!pushes[r].empty()) reactors_[r]->PostPushes(std::move(pushes[r]));
+  }
 }
 
 Status Server::Run() {

@@ -155,6 +155,14 @@ class Server {
   void ApplySnapshot(EngineOp& op, Completion* done);
   void ApplyMerge(EngineOp& op, Completion* done);
   void ApplyCheckpoint(Completion* done);
+  void ApplySubscribe(EngineOp& op, Completion* done);
+  void ApplyUnsubscribe(EngineOp& op, Completion* done);
+  /// Drains the engine's pending trigger firings and fans encoded
+  /// TRIGGER_FIRED frames out to subscribed connections, one push batch
+  /// per reactor. Runs after every op/task round, so firings caused by
+  /// injected folds (the aggregation tier) push exactly like firings
+  /// caused by OBSERVE_BATCH.
+  void DispatchTriggerFirings();
   void RunInjectedTasks();
   Status DrainAndClose();
 
@@ -177,7 +185,27 @@ class Server {
   std::mutex task_mu_;
   std::vector<std::function<void()>> tasks_;
 
+  /// One subscribed connection (writer thread only). Cardinality is
+  /// small — a handful of monitoring clients — so linear scans beat a
+  /// keyed map.
+  struct Subscriber {
+    int reactor = 0;
+    uint64_t conn_id = 0;
+    /// Empty = every trigger, present and future.
+    std::vector<std::string> names;
+
+    bool Matches(const std::string& trigger) const {
+      if (names.empty()) return true;
+      for (const std::string& name : names) {
+        if (name == trigger) return true;
+      }
+      return false;
+    }
+  };
+  std::vector<Subscriber> subscribers_;
+
   const NetMetrics* metrics_ = nullptr;  // registered lazily in Start()
+  obs::Counter* trigger_pushes_ = nullptr;
 };
 
 }  // namespace implistat::net

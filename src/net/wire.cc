@@ -15,6 +15,9 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kCheckpoint: return "checkpoint";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kTraceDump: return "trace_dump";
+    case MsgType::kSubscribe: return "subscribe";
+    case MsgType::kUnsubscribe: return "unsubscribe";
+    case MsgType::kTriggerFired: return "trigger_fired";
   }
   return "unknown";
 }
@@ -113,6 +116,12 @@ std::string EncodeResponseFrame(MsgType type, std::string_view payload,
                                 uint64_t version) {
   return EncodeFrame(static_cast<uint8_t>(type) | kResponseFlag, payload,
                      obs::SpanContext(), version);
+}
+
+std::string EncodePushFrame(MsgType type, std::string_view payload,
+                            const obs::SpanContext& trace, uint64_t version) {
+  return EncodeFrame(static_cast<uint8_t>(type) | kResponseFlag, payload,
+                     trace, version);
 }
 
 std::string EncodeResponsePayload(const Status& status,

@@ -54,6 +54,9 @@ enum class MsgType : uint8_t {
   kCheckpoint = 7,    // trigger a durable engine checkpoint
   kShutdown = 8,      // graceful drain (final checkpoint, then exit)
   kTraceDump = 9,     // Chrome trace_event JSON of recent spans (v3+)
+  kSubscribe = 10,    // install trigger rules + subscribe to firings (v5+)
+  kUnsubscribe = 11,  // drop this connection's subscriptions (v5+)
+  kTriggerFired = 12,  // unsolicited server push; never a request (v5+)
 };
 
 inline constexpr uint8_t kResponseFlag = 0x80;
@@ -76,12 +79,18 @@ inline constexpr uint32_t kWireMagic = 0x57504d49;  // "IMPW"
 /// messages.h QueryResult) — so a client can tell a bound-derived
 /// answer from a dedicated-estimator one. Request formats are
 /// unchanged.
+/// v5: SUBSCRIBE/UNSUBSCRIBE requests and the TRIGGER_FIRED push — the
+/// first server-initiated frame. Pushes are tagged
+/// kTriggerFired | kResponseFlag and are delivered only on connections
+/// that sent a v5 SUBSCRIBE, so the k-th-response-answers-the-k-th-
+/// request discipline still holds for every older dialect: a v4 client
+/// can never receive one.
 /// An endpoint still accepts older frames (down to
 /// kWireMinProtocolVersion) and answers them in the request's dialect,
 /// so old clients keep working; versions outside
 /// [kWireMinProtocolVersion, kWireProtocolVersion] are refused at the
 /// envelope check rather than misparsing payloads.
-inline constexpr uint64_t kWireProtocolVersion = 4;
+inline constexpr uint64_t kWireProtocolVersion = 5;
 inline constexpr uint64_t kWireMinProtocolVersion = 2;
 
 inline constexpr EnvelopeFamily kWireEnvelope{kWireMagic,
@@ -144,6 +153,14 @@ std::string EncodeRequestFrame(MsgType type, std::string_view payload,
 /// arrived with, so a v2 client never sees a v3 payload.
 std::string EncodeResponseFrame(MsgType type, std::string_view payload,
                                 uint64_t version = kWireProtocolVersion);
+
+/// Encodes a server-initiated push frame (v5+): tagged like a response
+/// (type | kResponseFlag) so stream direction stays uniform, but not
+/// answering any request. With a valid `trace`, the delivery context
+/// rides the v3 extension block exactly as on requests.
+std::string EncodePushFrame(MsgType type, std::string_view payload,
+                            const obs::SpanContext& trace = {},
+                            uint64_t version = kWireProtocolVersion);
 
 // ---------------------------------------------------------------------------
 // Response payload = Status header + body:

@@ -237,6 +237,9 @@ void QueryEngine::ObserveTuple(TupleRef tuple) {
     entry.estimator->Observe(entry.a_packer.Pack(tuple),
                              entry.b_packer.Pack(tuple));
   }
+  // Off the per-tuple path in effect: Tick is one compare against the
+  // earliest due epoch (bench/trigger_overhead prices this).
+  if (triggers_ != nullptr) triggers_->Tick(tuples_);
 }
 
 Status QueryEngine::ObserveStream(TupleStream& stream) {
@@ -269,12 +272,92 @@ Status QueryEngine::ObserveStream(TupleStream& stream) {
   for (size_t i = 0; i < entries.size(); ++i) {
     if (!pending[i].empty()) entries[i].estimator->ObserveBatch(pending[i]);
   }
+  // Triggers evaluate at the stream edge, once every synopsis has seen
+  // its full batch — estimates are fresh and epoch crossings inside the
+  // batch collapse to one evaluation (see TriggerEngine::Evaluate).
+  if (triggers_ != nullptr) triggers_->Tick(tuples_);
   return Status::OK();
 }
 
 StatusOr<double> QueryEngine::Answer(QueryId id) const {
-  IMPLISTAT_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerEx(id));
-  return answer.estimate;
+  // Deliberately NOT AnswerEx minus fields: the std-error readout runs a
+  // leave-one-out pass over the whole ensemble (two FM inversions per
+  // bitmap), which dwarfs the point estimate. Estimate-only callers —
+  // trigger evaluation polls this every epoch — skip it entirely.
+  IMPLISTAT_RETURN_NOT_OK(CheckQueryId(id));
+  const RegisteredQuery& query = queries_[id];
+  if (query.binding == QueryBinding::kDerived) {
+    const DerivedBounds bounds =
+        EvaluateDerivedBounds(query.derivation, store_);
+    SharingMetrics::Get().derived_answers_total->Increment();
+    return (bounds.lower + bounds.upper) / 2;
+  }
+  const ImplicationEstimator* est = EntryOf(query).estimator.get();
+  if (query.spec.complement) {
+    const double non_impl = est->EstimateNonImplicationCount();
+    if (non_impl < 0) {
+      return Status::FailedPrecondition(
+          "estimator cannot answer non-implication counts");
+    }
+    return non_impl;
+  }
+  return est->EstimateImplicationCount();
+}
+
+QueryId QueryEngine::FindActiveByLabel(std::string_view label) const {
+  if (label.empty()) return -1;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].active && queries_[i].spec.label == label) {
+      return static_cast<QueryId>(i);
+    }
+  }
+  // Positional fallback: `q<N>` names the N-th registered query when no
+  // explicit label claims the name.
+  if (label.size() >= 2 && label[0] == 'q') {
+    uint64_t id = 0;
+    for (size_t i = 1; i < label.size(); ++i) {
+      if (label[i] < '0' || label[i] > '9') return -1;
+      id = id * 10 + static_cast<uint64_t>(label[i] - '0');
+      if (id > queries_.size()) return -1;  // also caps overflow
+    }
+    if (id < queries_.size() && queries_[id].active) {
+      return static_cast<QueryId>(id);
+    }
+  }
+  return -1;
+}
+
+bool QueryEngine::LabelSource::HasLabel(std::string_view label) const {
+  return engine_->FindActiveByLabel(label) >= 0;
+}
+
+StatusOr<double> QueryEngine::LabelSource::EstimateForLabel(
+    std::string_view label) const {
+  QueryId id = engine_->FindActiveByLabel(label);
+  if (id < 0) {
+    return Status::NotFound("no active query labeled '" + std::string(label) +
+                            "'");
+  }
+  return engine_->Answer(id);
+}
+
+StatusOr<std::string> QueryEngine::InstallTrigger(std::string_view statement) {
+  if (triggers_ == nullptr) {
+    triggers_ = std::make_unique<cql::TriggerEngine>(&label_source_);
+  }
+  return triggers_->Install(statement, tuples_);
+}
+
+Status QueryEngine::RemoveTrigger(std::string_view name) {
+  if (triggers_ == nullptr) {
+    return Status::NotFound("no trigger named '" + std::string(name) + "'");
+  }
+  return triggers_->Remove(name);
+}
+
+std::vector<cql::TriggerFiring> QueryEngine::TakeTriggerFirings() {
+  if (triggers_ == nullptr) return {};
+  return triggers_->TakeFirings();
 }
 
 StatusOr<QueryAnswer> QueryEngine::AnswerEx(QueryId id) const {
@@ -565,6 +648,16 @@ StatusOr<std::string> QueryEngine::SerializeState() const {
       payload.PutVarint64(static_cast<uint64_t>(query.synopsis));
     }
   }
+  // Armed-trigger section: optional, so trigger-free checkpoints stay
+  // byte-identical to the pre-trigger format (and restorable by older
+  // readers). Nested kTriggerStore envelope — its own version byte and
+  // CRC make the blob independently checkable.
+  if (triggers_ != nullptr && triggers_->num_triggers() > 0) {
+    ByteWriter trigger_payload;
+    triggers_->SerializeTo(&trigger_payload);
+    payload.PutLengthPrefixed(
+        WrapSnapshot(SnapshotKind::kTriggerStore, trigger_payload.Release()));
+  }
   return WrapSnapshot(SnapshotKind::kQueryEngineV2, payload.Release());
 }
 
@@ -581,6 +674,7 @@ Status QueryEngine::RestoreState(std::string_view snapshot) {
     queries_.clear();
     store_.Clear();
     tuples_ = 0;
+    triggers_.reset();
   }
   return status;
 }
@@ -773,8 +867,21 @@ Status QueryEngine::RestoreV2(std::string_view payload) {
     query.spec = std::move(spec);
     queries_.push_back(std::move(query));
   }
+  // Optional armed-trigger section (absent in trigger-free checkpoints).
+  // Restored after the queries so trigger labels resolve against the
+  // recovered catalog; a bad section refuses the whole restore.
   if (in.remaining() != 0) {
-    return Status::InvalidArgument("checkpoint: trailing bytes");
+    std::string_view trigger_blob;
+    IMPLISTAT_RETURN_NOT_OK(in.ReadLengthPrefixed(&trigger_blob));
+    if (in.remaining() != 0) {
+      return Status::InvalidArgument("checkpoint: trailing bytes");
+    }
+    IMPLISTAT_ASSIGN_OR_RETURN(
+        std::string_view trigger_payload,
+        UnwrapSnapshot(trigger_blob, SnapshotKind::kTriggerStore));
+    auto restored = std::make_unique<cql::TriggerEngine>(&label_source_);
+    IMPLISTAT_RETURN_NOT_OK(restored->RestoreFrom(trigger_payload));
+    triggers_ = std::move(restored);
   }
   tuples_ = prefix.tuples;
   dictionaries_ = std::move(prefix.dictionaries);

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cql/trigger_engine.h"
 #include "query/entailment.h"
 #include "query/query.h"
 #include "query/synopsis_store.h"
@@ -100,7 +101,9 @@ class QueryEngine {
   Status ObserveStream(TupleStream& stream);
 
   /// The query's current answer: S, or ~S for complement queries. For
-  /// derived queries, the bound midpoint (see AnswerEx).
+  /// derived queries, the bound midpoint (see AnswerEx). Estimate only —
+  /// unlike AnswerEx it skips the leave-one-out std-error pass, so it is
+  /// cheap enough for per-epoch polling (trigger evaluation).
   StatusOr<double> Answer(QueryId id) const;
 
   /// Answer plus derivation metadata (flag, bounds, error bar).
@@ -167,6 +170,29 @@ class QueryEngine {
   /// keep QUERY readouts meaningful.
   void SetTuplesSeen(uint64_t tuples) { tuples_ = tuples; }
 
+  // --- Continuous triggers -------------------------------------------------
+  //
+  // CREATE TRIGGER statements (src/cql/) compile against the registered
+  // query labels and arm on the ingest path: the trigger engine is
+  // ticked with the tuple count from ObserveTuple/ObserveStream and
+  // evaluates due programs at their epoch boundaries. Firings accumulate
+  // until TakeTriggerFirings drains them (the net/ writer does this
+  // after every engine-mutating op and fans them out to subscribers).
+
+  /// Compiles and arms one CREATE TRIGGER statement; returns its name.
+  StatusOr<std::string> InstallTrigger(std::string_view statement);
+
+  Status RemoveTrigger(std::string_view name);
+
+  /// The armed trigger engine, or null when none was ever installed.
+  cql::TriggerEngine* triggers() { return triggers_.get(); }
+  const cql::TriggerEngine* triggers() const { return triggers_.get(); }
+
+  bool has_pending_trigger_firings() const {
+    return triggers_ != nullptr && triggers_->has_pending_firings();
+  }
+  std::vector<cql::TriggerFiring> TakeTriggerFirings();
+
   const Schema& schema() const { return schema_; }
   uint64_t tuples_seen() const { return tuples_; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
@@ -229,6 +255,18 @@ class QueryEngine {
   Status Restore(const std::string& path);
 
  private:
+  /// Adapter the trigger subsystem resolves labels/estimates through —
+  /// cql/ stays below query/ in the library graph.
+  class LabelSource : public cql::EstimateSource {
+   public:
+    explicit LabelSource(const QueryEngine* engine) : engine_(engine) {}
+    bool HasLabel(std::string_view label) const override;
+    StatusOr<double> EstimateForLabel(std::string_view label) const override;
+
+   private:
+    const QueryEngine* engine_;
+  };
+
   struct RegisteredQuery {
     ImplicationQuerySpec spec;
     QueryBinding binding = QueryBinding::kOwner;
@@ -249,12 +287,20 @@ class QueryEngine {
   StatusOr<std::string> SerializeSynopsisStore() const;
   Status RestoreSynopsisStore(std::string_view blob);
 
+  /// Resolves a trigger's query label: an explicit spec.label match
+  /// first, then the positional form `q<N>` for the N-th registered
+  /// query (SQL registration assigns no label, so `q0` is how wire
+  /// clients name the first query). Returns -1 when nothing matches.
+  QueryId FindActiveByLabel(std::string_view label) const;
+
   Schema schema_;
   QueryEngineOptions options_;
   SynopsisStore store_;
   std::vector<RegisteredQuery> queries_;
   std::vector<ValueDictionary> dictionaries_;
   uint64_t tuples_ = 0;
+  LabelSource label_source_{this};
+  std::unique_ptr<cql::TriggerEngine> triggers_;  // lazy: null until install
 };
 
 /// Extracts the value dictionaries embedded in a kQueryEngine or

@@ -4,9 +4,15 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "cql/diag.h"
+
 namespace implistat {
 
 namespace {
+
+// Caret-diagnostic prefix for every error out of this parser; the
+// rendering machinery is shared with the trigger language (cql/diag.h).
+constexpr std::string_view kDiagPrefix = "query parse error";
 
 enum class TokenKind {
   kIdent,    // bareword: keyword, attribute, number
@@ -18,6 +24,7 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;
+  cql::SourceSpan span;
 };
 
 std::string ToUpper(std::string_view s) {
@@ -34,21 +41,24 @@ class Lexer {
   StatusOr<std::vector<Token>> Tokenize() {
     std::vector<Token> tokens;
     while (pos_ < text_.size()) {
+      const size_t start = pos_;
       char c = text_[pos_];
       if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
         continue;
       }
       if (c == '(' || c == ')' || c == ',' || c == '=') {
-        tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c)});
+        tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c),
+                               cql::SourceSpan{start, 1}});
         ++pos_;
         continue;
       }
       if (c == '!') {
         if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '=') {
-          return Status::InvalidArgument("query: expected '=' after '!'");
+          return Fail(cql::SourceSpan{start, 1}, "expected '=' after '!'");
         }
-        tokens.push_back(Token{TokenKind::kSymbol, "!="});
+        tokens.push_back(
+            Token{TokenKind::kSymbol, "!=", cql::SourceSpan{start, 2}});
         pos_ += 2;
         continue;
       }
@@ -59,10 +69,12 @@ class Lexer {
           value.push_back(text_[pos_++]);
         }
         if (pos_ >= text_.size()) {
-          return Status::InvalidArgument("query: unterminated string");
+          return Fail(cql::SourceSpan{start, pos_ - start},
+                      "unterminated string");
         }
         ++pos_;  // closing quote
-        tokens.push_back(Token{TokenKind::kString, std::move(value)});
+        tokens.push_back(Token{TokenKind::kString, std::move(value),
+                               cql::SourceSpan{start, pos_ - start}});
         continue;
       }
       if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
@@ -78,24 +90,32 @@ class Lexer {
             break;
           }
         }
-        tokens.push_back(Token{TokenKind::kIdent, std::move(word)});
+        tokens.push_back(Token{TokenKind::kIdent, std::move(word),
+                               cql::SourceSpan{start, pos_ - start}});
         continue;
       }
-      return Status::InvalidArgument(std::string("query: bad character '") +
-                                     c + "'");
+      return Fail(cql::SourceSpan{start, 1},
+                  std::string("bad character '") + c + "'");
     }
-    tokens.push_back(Token{TokenKind::kEnd, ""});
+    tokens.push_back(
+        Token{TokenKind::kEnd, "", cql::SourceSpan{text_.size(), 1}});
     return tokens;
   }
 
  private:
+  Status Fail(cql::SourceSpan span, std::string message) const {
+    return cql::DiagnosticToStatus(
+        text_, cql::Diagnostic{std::move(message), span}, kDiagPrefix);
+  }
+
   std::string_view text_;
   size_t pos_ = 0;
 };
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string_view text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
 
   StatusOr<ParsedQuery> Run() {
     ParsedQuery query;
@@ -125,8 +145,7 @@ class Parser {
       IMPLISTAT_RETURN_NOT_OK(ParseParams(&query));
     }
     if (Peek().kind != TokenKind::kEnd) {
-      return Status::InvalidArgument("query: trailing tokens after '" +
-                                     Peek().text + "'");
+      return Fail(Peek().span, "trailing tokens from '" + Peek().text + "'");
     }
     IMPLISTAT_RETURN_NOT_OK(query.implication.Validate());
     return query;
@@ -136,6 +155,16 @@ class Parser {
   const Token& Peek() const { return tokens_[pos_]; }
   void Advance() { ++pos_; }
 
+  Status Fail(cql::SourceSpan span, std::string message) const {
+    return cql::DiagnosticToStatus(
+        text_, cql::Diagnostic{std::move(message), span}, kDiagPrefix);
+  }
+
+  std::string Found() const {
+    return Peek().kind == TokenKind::kEnd ? std::string("end of input")
+                                          : "'" + Peek().text + "'";
+  }
+
   bool PeekKeyword(std::string_view keyword) const {
     return Peek().kind == TokenKind::kIdent &&
            ToUpper(Peek().text) == keyword;
@@ -143,9 +172,8 @@ class Parser {
 
   Status ExpectKeyword(std::string_view keyword) {
     if (!PeekKeyword(keyword)) {
-      return Status::InvalidArgument("query: expected " +
-                                     std::string(keyword) + " before '" +
-                                     Peek().text + "'");
+      return Fail(Peek().span, "expected " + std::string(keyword) +
+                                   ", found " + Found());
     }
     Advance();
     return Status::OK();
@@ -153,8 +181,8 @@ class Parser {
 
   Status ExpectSymbol(std::string_view symbol) {
     if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
-      return Status::InvalidArgument("query: expected '" +
-                                     std::string(symbol) + "'");
+      return Fail(Peek().span, "expected '" + std::string(symbol) +
+                                   "', found " + Found());
     }
     Advance();
     return Status::OK();
@@ -162,7 +190,7 @@ class Parser {
 
   StatusOr<std::string> ExpectIdent() {
     if (Peek().kind != TokenKind::kIdent) {
-      return Status::InvalidArgument("query: expected identifier");
+      return Fail(Peek().span, "expected identifier, found " + Found());
     }
     std::string text = Peek().text;
     Advance();
@@ -204,11 +232,14 @@ class Parser {
 
   Status ParseParams(ParsedQuery* query) {
     while (true) {
+      const cql::SourceSpan name_span = Peek().span;
       IMPLISTAT_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
       std::string key = ToUpper(name);
       IMPLISTAT_RETURN_NOT_OK(ExpectSymbol("="));
+      const cql::SourceSpan value_span = Peek().span;
       IMPLISTAT_ASSIGN_OR_RETURN(std::string value, ExpectIdent());
-      IMPLISTAT_RETURN_NOT_OK(ApplyParam(key, value, query));
+      IMPLISTAT_RETURN_NOT_OK(
+          ApplyParam(key, value, name_span, value_span, query));
       if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
         Advance();
         continue;
@@ -218,12 +249,13 @@ class Parser {
   }
 
   Status ApplyParam(const std::string& key, const std::string& value,
+                    cql::SourceSpan name_span, cql::SourceSpan value_span,
                     ParsedQuery* query) {
     auto parse_u64 = [&](uint64_t* out) -> Status {
       char* end = nullptr;
       *out = std::strtoull(value.c_str(), &end, 10);
       if (end == value.c_str() || *end != '\0') {
-        return Status::InvalidArgument("query: bad integer for " + key);
+        return Fail(value_span, "bad integer for " + key);
       }
       return Status::OK();
     };
@@ -231,7 +263,7 @@ class Parser {
       char* end = nullptr;
       *out = std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0') {
-        return Status::InvalidArgument("query: bad number for " + key);
+        return Fail(value_span, "bad number for " + key);
       }
       return Status::OK();
     };
@@ -255,7 +287,7 @@ class Parser {
     } else if (key == "STRICT") {
       std::string upper = ToUpper(value);
       if (upper != "TRUE" && upper != "FALSE") {
-        return Status::InvalidArgument("query: STRICT must be true/false");
+        return Fail(value_span, "STRICT must be true/false");
       }
       cond.strict_multiplicity = upper == "TRUE";
     } else if (key == "ESTIMATOR") {
@@ -271,14 +303,15 @@ class Parser {
       } else if (upper == "ISS") {
         query->estimator = EstimatorKind::kIss;
       } else {
-        return Status::InvalidArgument("query: unknown estimator " + value);
+        return Fail(value_span, "unknown estimator " + value);
       }
     } else {
-      return Status::InvalidArgument("query: unknown WITH parameter " + key);
+      return Fail(name_span, "unknown WITH parameter " + key);
     }
     return Status::OK();
   }
 
+  std::string_view text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
@@ -288,7 +321,7 @@ class Parser {
 StatusOr<ParsedQuery> ParseImplicationQuery(std::string_view text) {
   Lexer lexer(text);
   IMPLISTAT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  return Parser(std::move(tokens)).Run();
+  return Parser(text, std::move(tokens)).Run();
 }
 
 StatusOr<ImplicationQuerySpec> BindQuery(

@@ -1,6 +1,8 @@
 #include "sketch/fm_sketch.h"
 
 #include <cmath>
+#include <cstring>
+#include <unordered_map>
 
 #include "util/bits.h"
 #include "util/logging.h"
@@ -20,6 +22,17 @@ double FmExpectedRank(double load) {
 
 double FmInvertMeanRank(double mean_rank) {
   if (mean_rank <= 0) return 0;
+  // Ensemble readouts feed this integral rank sums divided by small
+  // ensemble sizes — a tiny input domain hit over and over (trigger
+  // evaluation polls the estimate every epoch), while each bisection
+  // below costs thousands of exp/pow calls. Memoize per thread; the
+  // function is pure, so the cache can only return what the bisection
+  // would have.
+  thread_local std::unordered_map<uint64_t, double> memo;
+  uint64_t key;
+  static_assert(sizeof(key) == sizeof(mean_rank));
+  std::memcpy(&key, &mean_rank, sizeof(key));
+  if (auto it = memo.find(key); it != memo.end()) return it->second;
   // E[R](ν) is strictly increasing; bisect on log2(ν).
   double lo = -20, hi = 62;
   for (int iter = 0; iter < 80; ++iter) {
@@ -30,7 +43,10 @@ double FmInvertMeanRank(double mean_rank) {
       hi = mid;
     }
   }
-  return std::pow(2.0, 0.5 * (lo + hi));
+  double inverted = std::pow(2.0, 0.5 * (lo + hi));
+  if (memo.size() >= (1u << 16)) memo.clear();  // hostile-input backstop
+  memo.emplace(key, inverted);
+  return inverted;
 }
 
 FmSketch::FmSketch(std::unique_ptr<Hasher64> hasher, int bits)

@@ -202,6 +202,7 @@ const char* SnapshotKindName(SnapshotKind kind) {
     case SnapshotKind::kValueDictionary: return "value_dictionary";
     case SnapshotKind::kQueryEngineV2: return "query_engine_v2";
     case SnapshotKind::kSynopsisStore: return "synopsis_store";
+    case SnapshotKind::kTriggerStore: return "trigger_store";
   }
   return "unknown";
 }

@@ -100,6 +100,7 @@ enum class SnapshotKind : uint8_t {
   kValueDictionary = 11,     // per-attribute ValueDictionary vector
   kQueryEngineV2 = 12,   // QueryEngine checkpoint with a synopsis store
   kSynopsisStore = 13,   // shared-synopsis section nested in kQueryEngineV2
+  kTriggerStore = 14,    // armed-trigger section nested in kQueryEngineV2
 };
 
 /// Canonical lowercase name of a snapshot kind (for error messages).

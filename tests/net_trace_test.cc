@@ -63,7 +63,7 @@ TEST(TraceContextCodecTest, RoundTripsThroughTheDecoder) {
   auto frame =
       DecodeOne(EncodeRequestFrame(MsgType::kQuery, "payload", trace));
   ASSERT_TRUE(frame.ok()) << frame.status();
-  EXPECT_EQ(frame->version, 4u);
+  EXPECT_EQ(frame->version, kWireProtocolVersion);
   EXPECT_EQ(frame->payload, "payload");
   EXPECT_TRUE(frame->trace.valid());
   EXPECT_EQ(frame->trace.trace_hi, trace.trace_hi);
@@ -351,7 +351,7 @@ TEST(WireCompatTest, V2ClientIsAnsweredInV2) {
   auto answer = conn.ReadFrame();
   ASSERT_TRUE(answer.ok()) << answer.status();
   EXPECT_EQ(answer->type(), MsgType::kQuery);
-  EXPECT_EQ(answer->version, 4u);
+  EXPECT_EQ(answer->version, kWireProtocolVersion);
 }
 
 TEST(WireCompatTest, OutOfRangeVersionsAreConnectionFatal) {
@@ -365,8 +365,8 @@ TEST(WireCompatTest, OutOfRangeVersionsAreConnectionFatal) {
     EXPECT_FALSE(conn.ReadFrame().ok());
   }
   {
-    RawConn conn(server.port());  // v5: a future dialect we cannot parse
-    conn.Send(EncodeRequestFrame(MsgType::kPing, {}, {}, /*version=*/5));
+    RawConn conn(server.port());  // v6: a future dialect we cannot parse
+    conn.Send(EncodeRequestFrame(MsgType::kPing, {}, {}, /*version=*/6));
     EXPECT_FALSE(conn.ReadFrame().ok());
   }
   // The server itself shrugged both off.

@@ -118,6 +118,25 @@ TEST(ParserTest, SyntaxErrors) {
   }
 }
 
+// Rendered caret diagnostics, pinned verbatim: position, offending
+// source line, and caret width are part of the CLI contract.
+TEST(ParserTest, GoldenCaretDiagnostics) {
+  auto trailing = ParseImplicationQuery(
+      "SELECT COUNT(DISTINCT A) FROM r WHERE A IMPLIES B garbage");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(std::string(trailing.status().message()),
+            "query parse error at 1:51: trailing tokens from 'garbage'\n"
+            "  SELECT COUNT(DISTINCT A) FROM r WHERE A IMPLIES B garbage\n"
+            "                                                    ^^^^^^^");
+
+  auto missing = ParseImplicationQuery("SELECT COUNT(DISTINCT A) FROM r");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(std::string(missing.status().message()),
+            "query parse error at 1:32: expected WHERE, found end of input\n"
+            "  SELECT COUNT(DISTINCT A) FROM r\n"
+            "                                 ^");
+}
+
 constexpr const char* kTable1 =
     "Source,Destination,Service,Time\n"
     "S1,D2,WWW,Morning\n"

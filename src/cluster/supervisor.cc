@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "delta/delta.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -81,6 +82,9 @@ struct AggregatorSupervisor::Metrics {
   obs::Counter* refolds_skipped_total;
   obs::Counter* pulls_total;
   obs::Counter* pull_failures_total;
+  obs::Counter* snapshot_bytes_total;
+  obs::Counter* delta_bytes_total;
+  obs::Counter* delta_resyncs_total;
 
   static const Metrics* Get() {
     static const Metrics* m = [] {
@@ -101,6 +105,16 @@ struct AggregatorSupervisor::Metrics {
       metrics->pull_failures_total =
           reg.GetCounter("implistat_cluster_pull_failures_total",
                          "SNAPSHOT pull attempts that failed");
+      metrics->snapshot_bytes_total = reg.GetCounter(
+          "implistat_snapshot_bytes_total",
+          "Bytes received as full snapshot payloads across all peers");
+      metrics->delta_bytes_total = reg.GetCounter(
+          "implistat_delta_bytes_total",
+          "Bytes received as SNAPSHOT_DELTA patch payloads across all peers");
+      metrics->delta_resyncs_total = reg.GetCounter(
+          "implistat_delta_resyncs_total",
+          "Full snapshots that replaced an established delta baseline "
+          "(edge restart, evicted baseline, or refused patch)");
       return metrics;
     }();
     return m;
@@ -115,6 +129,17 @@ struct AggregatorSupervisor::Peer {
   // the epoch they were serialized at. Poll-thread only.
   std::vector<std::string> snapshots;
   bool has_contribution = false;
+
+  // Delta shipping state, one slot per fold unit (poll-thread only): the
+  // twin mirrors the peer's estimator so SNAPSHOT_DELTA patches fold
+  // locally, and acked_epoch names the baseline the next pull builds on.
+  struct UnitState {
+    std::unique_ptr<ImplicationEstimator> twin;
+    uint64_t acked_epoch = 0;
+    bool delta_capable = true;  // false: the kind has no delta materializer
+  };
+  std::vector<UnitState> units;
+  bool logged_full_mode = false;
 
   // Reader-visible fields (guarded by the supervisor's mu_).
   PeerHealth health = PeerHealth::kHealthy;
@@ -199,18 +224,110 @@ Status AggregatorSupervisor::Init() {
   return Status::OK();
 }
 
-Status AggregatorSupervisor::PullPeer(Peer& peer, int64_t now_ms) {
+StatusOr<std::string> AggregatorSupervisor::PullUnitDelta(Peer& peer,
+                                                          size_t unit_index,
+                                                          uint32_t query_id,
+                                                          uint64_t* epoch,
+                                                          PollStats* stats) {
+  Peer::UnitState& state = peer.units[unit_index];
+  const uint64_t since = state.twin != nullptr ? state.acked_epoch : 0;
+  auto response = peer.client->SnapshotDelta(query_id, since, net::kDeltaCapRle);
+  if (!response.ok()) return response.status();
+  if (response->is_delta && since == 0) {
+    return Status::InvalidArgument(
+        "peer answered a bootstrap (since_epoch 0) pull with a delta");
+  }
+  // True once an established baseline had to be replaced by a full
+  // snapshot — the resync the metrics and stats count.
+  bool lost_baseline = false;
+  if (response->is_delta) {
+    StatusOr<DeltaInfo> applied =
+        ApplyDeltaSnapshot(state.twin.get(), response->state, since);
+    if (applied.ok()) {
+      ++stats->delta_pulls;
+      metrics_->delta_bytes_total->Increment(response->state.size());
+      state.acked_epoch = response->epoch;
+      *epoch = response->epoch;
+      // The twin now mirrors the edge exactly, so its serialized state is
+      // the same bytes a full SNAPSHOT would have shipped — the fold path
+      // below cannot tell the difference.
+      return state.twin->SerializeState();
+    }
+    // Refused patch (corrupt, wrong base, stale twin): drop the baseline
+    // and resync with an explicit full pull in this same round rather
+    // than serving a stale contribution until the next one.
+    obs::LogEvent(obs::LogLevel::kWarn, "cluster", "delta_refused")
+        .Str("peer", peer.config.name)
+        .U64("query", query_id)
+        .Str("error", applied.status().ToString());
+    state.twin.reset();
+    state.acked_epoch = 0;
+    lost_baseline = true;
+    response = peer.client->SnapshotDelta(query_id, 0, net::kDeltaCapRle);
+    if (!response.ok()) return response.status();
+    if (response->is_delta) {
+      return Status::InvalidArgument(
+          "peer answered a full-resync (since_epoch 0) pull with a delta");
+    }
+  } else if (since != 0) {
+    // We asked for a patch and got a full snapshot: the edge restarted,
+    // its epoch regressed, or our baseline fell off its mark window.
+    lost_baseline = true;
+  }
+
+  ++stats->full_pulls;
+  metrics_->snapshot_bytes_total->Increment(response->state.size());
+  if (lost_baseline) {
+    ++stats->resyncs;
+    metrics_->delta_resyncs_total->Increment();
+  }
+  // Rebuild the twin from the full snapshot so the next round can patch.
+  StatusOr<std::unique_ptr<ImplicationEstimator>> twin =
+      MaterializeEstimator(response->state);
+  if (twin.ok()) {
+    state.twin = std::move(*twin);
+    state.acked_epoch = response->epoch;
+  } else if (twin.status().code() == StatusCode::kUnimplemented) {
+    // Snapshot kind without delta support: stay on plain full pulls.
+    state.delta_capable = false;
+    state.twin.reset();
+    state.acked_epoch = 0;
+  } else {
+    return twin.status();
+  }
+  *epoch = response->epoch;
+  return std::move(response)->state;
+}
+
+Status AggregatorSupervisor::PullPeer(Peer& peer, int64_t now_ms,
+                                      PollStats* stats) {
   (void)now_ms;
   if (!peer.client.has_value()) {
     net::ClientOptions client_options;
     client_options.connect_timeout_ms = options_.connect_timeout_ms;
     client_options.request_timeout_ms = options_.rpc_deadline_ms;
+    client_options.wire_version = options_.wire_version;
     auto connected = net::Client::Connect(peer.config.host, peer.config.port,
                                           client_options);
     if (!connected.ok()) return connected.status();
     peer.client.emplace(std::move(connected).value());
   } else if (peer.client->connection_lost()) {
     IMPLISTAT_RETURN_NOT_OK(peer.client->Reconnect());
+  }
+
+  const bool deltas_enabled =
+      options_.use_deltas && peer.client->negotiated_version() >= 6;
+  if (options_.use_deltas && !deltas_enabled && !peer.logged_full_mode) {
+    // The pinned dialect predates SNAPSHOT_DELTA — say so once per peer
+    // so an operator can see why this edge ships full snapshots.
+    obs::LogEvent(obs::LogLevel::kInfo, "cluster", "delta_unsupported")
+        .Str("peer", peer.config.name)
+        .U64("negotiated_version", peer.client->negotiated_version());
+    peer.logged_full_mode = true;
+  }
+  if (peer.units.size() != fold_units_.size()) {
+    peer.units.clear();
+    peer.units.resize(fold_units_.size());
   }
 
   // Pull one snapshot per fold unit, addressed by the unit's
@@ -223,10 +340,20 @@ Status AggregatorSupervisor::PullPeer(Peer& peer, int64_t now_ms) {
   uint64_t epoch = 0;
   std::vector<std::string> snapshots;
   snapshots.reserve(fold_units_.size());
-  for (const QueryEngine::FoldUnit& unit : fold_units_) {
-    auto response =
-        peer.client->Snapshot(static_cast<uint32_t>(unit.representative));
+  for (size_t u = 0; u < fold_units_.size(); ++u) {
+    const uint32_t query_id =
+        static_cast<uint32_t>(fold_units_[u].representative);
+    Peer::UnitState& state = peer.units[u];
+    if (deltas_enabled && state.delta_capable) {
+      IMPLISTAT_ASSIGN_OR_RETURN(
+          std::string full, PullUnitDelta(peer, u, query_id, &epoch, stats));
+      snapshots.push_back(std::move(full));
+      continue;
+    }
+    auto response = peer.client->Snapshot(query_id);
     if (!response.ok()) return response.status();
+    ++stats->full_pulls;
+    metrics_->snapshot_bytes_total->Increment(response->state.size());
     epoch = response->epoch;
     snapshots.push_back(std::move(response->state));
   }
@@ -338,7 +465,7 @@ PollStats AggregatorSupervisor::PollOnce(int64_t now_ms) {
     {
       obs::ScopedSpan pull_span("cluster.pull", "cluster");
       pull_span.SetDetail(peer.config.name.c_str());
-      status = PullPeer(peer, now_ms);
+      status = PullPeer(peer, now_ms, &stats);
     }
     const PeerHealth previous_health = peer.health;
     std::lock_guard<std::mutex> lock(mu_);

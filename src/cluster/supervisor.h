@@ -16,6 +16,16 @@
 // stale contribution — the aggregate converges back to the
 // single-process answer as soon as the edge catches up.
 //
+// Bandwidth: against wire-v6 peers the supervisor pulls SNAPSHOT_DELTA
+// patches keyed by the last acked epoch and folds each into a local twin
+// estimator (one per peer per fold unit). The twin's serialized state is
+// byte-identical to the full snapshot the edge would have shipped, so
+// replace-then-refold semantics — and the bytes the fold sees — are
+// unchanged; only the wire cost shrinks. Any refusal (edge restart,
+// evicted baseline, corrupt patch, delta-incapable synopsis kind) falls
+// back to a full snapshot in the same round — a "resync", counted in
+// implistat_delta_resyncs_total — and re-arms delta pulls from there.
+//
 // Health state machine, per peer:
 //
 //   HEALTHY --failure--> DEGRADED --(stale_after_failures)--> STALE
@@ -92,6 +102,16 @@ struct SupervisorOptions {
   int stale_after_failures = 3;
   /// Seed for the deterministic backoff jitter (tests pin it).
   uint64_t jitter_seed = 0xc105ce5;
+  /// Pull SNAPSHOT_DELTA patches (wire v6) against the last acked epoch
+  /// instead of full snapshots. Peers pinned below v6 and snapshot kinds
+  /// without delta support fall back to full pulls automatically; any
+  /// refused patch resyncs with a full snapshot in the same round.
+  bool use_deltas = true;
+  /// Wire dialect to speak to peers (net::ClientOptions::wire_version —
+  /// there is no in-band negotiation). Pin below 6 while a fleet still
+  /// runs older edges; the supervisor then stays on full-snapshot pulls
+  /// and logs that the pinned dialect forced it.
+  uint64_t wire_version = net::kWireProtocolVersion;
 };
 
 /// The jittered backoff delay before retry number `consecutive_failures`
@@ -122,6 +142,12 @@ struct PollStats {
   /// True when the round changed any contribution (new epoch/snapshot,
   /// or a peer entered/left the fold) and a refold was scheduled.
   bool refolded = false;
+  /// Per-fold-unit pull outcomes this round: patches applied to a twin,
+  /// full snapshots shipped, and fulls that replaced an established
+  /// delta baseline (edge restarted, baseline evicted, patch refused).
+  int delta_pulls = 0;
+  int full_pulls = 0;
+  int resyncs = 0;
 };
 
 /// Runs a fold closure; see the threading note above.
@@ -179,7 +205,15 @@ class AggregatorSupervisor {
   struct Metrics;
 
   // Pulls every fold unit's snapshot from `peer`; OK only if all arrive.
-  Status PullPeer(Peer& peer, int64_t now_ms);
+  // Pull-mode counts and resyncs are tallied into `stats`.
+  Status PullPeer(Peer& peer, int64_t now_ms, PollStats* stats);
+  // One fold unit's delta-aware pull: requests a patch against the acked
+  // baseline, folds it into the peer's twin estimator, and returns the
+  // full serialized state the refold uses (byte-identical to what a full
+  // SNAPSHOT would have shipped). Refusals resync via a full pull.
+  StatusOr<std::string> PullUnitDelta(Peer& peer, size_t unit_index,
+                                      uint32_t query_id, uint64_t* epoch,
+                                      PollStats* stats);
   void ScheduleRefold(int64_t now_ms);
   void RunLoop();
 

@@ -100,6 +100,53 @@ class ImplicationEstimator {
     (void)other;
     return Status::Unimplemented(name() + ": MergeFrom not supported");
   }
+
+  // --- Delta state (src/delta/) -------------------------------------------
+  //
+  // A supervisor that already holds an edge's snapshot at epoch E does
+  // not need the whole state again at epoch E' — only what changed in
+  // between. Estimators that track dirtiness cheaply (NIPS/CI: fringe
+  // cells touched since the last serve) implement the pair below; the
+  // Unimplemented default makes full snapshots the fallback for every
+  // other kind, decided per-pull by the server (net/server.cc).
+  //
+  // Epoch bookkeeping is the server's: NoteSnapshotEpoch(E) tells the
+  // estimator "a full snapshot at epoch E was served" so a later
+  // SerializeDelta(E, E') knows which baseline the receiver holds.
+  // Implementations keep a bounded set of remembered baselines; a
+  // SerializeDelta against a forgotten (or never-served) epoch returns
+  // NotFound, which the server answers with a full snapshot instead —
+  // the resync path, not an error.
+
+  /// Serializes the changes between the remembered baseline at
+  /// `since_epoch` and the current state as a kDeltaSnapshot payload
+  /// fragment (the envelope is added by src/delta/). `current_epoch` is
+  /// remembered as a new baseline for future deltas. NotFound when
+  /// `since_epoch` is not a remembered baseline; Unimplemented when the
+  /// kind has no cheap diff.
+  virtual StatusOr<std::string> SerializeDelta(uint64_t since_epoch,
+                                               uint64_t current_epoch) const {
+    (void)since_epoch;
+    (void)current_epoch;
+    return Status::Unimplemented(name() + ": SerializeDelta not supported");
+  }
+
+  /// Applies a delta fragment produced by SerializeDelta on an estimator
+  /// whose state at `since_epoch` was byte-identical to this one's. On
+  /// failure this estimator is left exactly as it was (decode into
+  /// temporaries, validate, then mutate — same contract as
+  /// RestoreState). After a successful apply, SerializeState here equals
+  /// SerializeState on the sender.
+  virtual Status ApplyDelta(std::string_view fragment) {
+    (void)fragment;
+    return Status::Unimplemented(name() + ": ApplyDelta not supported");
+  }
+
+  /// Notes that a full snapshot of the current state was served at
+  /// `epoch`, establishing a delta baseline. Const because serving a
+  /// snapshot is logically read-only; the baseline bookkeeping is
+  /// mutable metadata. Default: no-op (kinds without deltas).
+  virtual void NoteSnapshotEpoch(uint64_t epoch) const { (void)epoch; }
 };
 
 }  // namespace implistat

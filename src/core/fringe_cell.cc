@@ -139,6 +139,69 @@ StatusOr<FringeCell> FringeCell::Deserialize(ByteReader* in) {
   return cell;
 }
 
+void FringeCell::SerializeItemPatchTo(uint64_t since_stamp,
+                                      ByteWriter* out) const {
+  out->PutBool(has_supported_);
+  out->PutVarint64(items_.size());
+  std::vector<ItemsetKey> changed;
+  for (const auto& [key, stamp] : stamps_) {
+    if (stamp > since_stamp) changed.push_back(key);
+  }
+  // Canonical key order, matching SerializeTo: the patch bytes for a
+  // given change set are unique no matter the observation order.
+  std::sort(changed.begin(), changed.end());
+  out->PutVarint64(changed.size());
+  for (ItemsetKey key : changed) {
+    out->PutU64(key);
+    items_.at(key).SerializeTo(out);
+  }
+}
+
+StatusOr<FringeCell::ItemPatch> FringeCell::DeserializeItemPatch(
+    ByteReader* in) {
+  ItemPatch patch;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&patch.has_supported));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&patch.total_items));
+  if (patch.total_items > (uint64_t{1} << 28)) {
+    return Status::InvalidArgument("ItemPatch: implausible itemset count");
+  }
+  uint64_t changed;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&changed));
+  if (changed > patch.total_items) {
+    return Status::InvalidArgument("ItemPatch: more changes than itemsets");
+  }
+  ItemsetKey prev = 0;
+  for (uint64_t i = 0; i < changed; ++i) {
+    ItemsetKey key;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadU64(&key));
+    if (i > 0 && key <= prev) {
+      return Status::InvalidArgument("ItemPatch: keys out of order");
+    }
+    prev = key;
+    IMPLISTAT_ASSIGN_OR_RETURN(ItemsetState state,
+                               ItemsetState::Deserialize(in));
+    patch.items.emplace_back(key, std::move(state));
+  }
+  return patch;
+}
+
+size_t FringeCell::NewKeys(const ItemPatch& patch) const {
+  size_t inserts = 0;
+  for (const auto& [key, state] : patch.items) {
+    if (items_.find(key) == items_.end()) ++inserts;
+  }
+  return inserts;
+}
+
+size_t FringeCell::ApplyItemPatch(ItemPatch&& patch) {
+  const size_t before = items_.size();
+  for (auto& [key, state] : patch.items) {
+    items_.insert_or_assign(key, std::move(state));
+  }
+  has_supported_ = patch.has_supported;
+  return items_.size() - before;
+}
+
 size_t FringeCell::MemoryBytes() const {
   // The map's bucket array is real heap the fringe budget must answer for
   // (§4.6 is a memory claim); it used to be omitted, undercounting every
@@ -148,6 +211,11 @@ size_t FringeCell::MemoryBytes() const {
     bytes += sizeof(key) + state.MemoryBytes() +
              2 * sizeof(void*);  // hash-table node overhead, approximately
   }
+  // Delta-tracking stamps (one u64 per itemset touched since tracking
+  // began; empty unless the owning bitmap serves deltas).
+  bytes += stamps_.bucket_count() * sizeof(void*) +
+           stamps_.size() * (sizeof(ItemsetKey) + sizeof(uint64_t) +
+                             2 * sizeof(void*));
   return bytes;
 }
 

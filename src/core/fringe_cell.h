@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/conditions.h"
 #include "stream/itemset.h"
@@ -51,8 +53,51 @@ class FringeCell {
   void SerializeTo(ByteWriter* out) const;
   static StatusOr<FringeCell> Deserialize(ByteReader* in);
 
+  // --- Delta shipping (src/delta/) ---------------------------------------
+  //
+  // The fringe is where NIPS state churns, but per poll interval only the
+  // itemsets actually observed mutate — a small slice of a mature cell's
+  // population. The owning Nips bitmap stamps each touched itemset with
+  // its change clock (NoteStamp); an item patch then ships exactly the
+  // states whose stamp postdates the receiver's baseline, and the
+  // receiver upserts them. Itemsets never leave a live cell (a settled
+  // cell is shipped as a whole-cell event by the bitmap), so upserts plus
+  // the shipped total count reconstruct the sender's cell byte-for-byte.
+
+  /// Decoded form of one cell's item patch: the sender's has_supported
+  /// flag, its total tracked-itemset count (a desync check), and the
+  /// changed (key, state) pairs in canonical key order.
+  struct ItemPatch {
+    bool has_supported = false;
+    uint64_t total_items = 0;
+    std::vector<std::pair<ItemsetKey, ItemsetState>> items;
+  };
+
+  /// Records that itemset `a` changed at `stamp` (monotone, non-zero).
+  void NoteStamp(ItemsetKey a, uint64_t stamp) { stamps_[a] = stamp; }
+
+  /// Serializes the item patch for every itemset stamped after
+  /// `since_stamp`. Itemsets never stamped (untouched since tracking
+  /// began) are never shipped — the receiver's baseline already has them.
+  void SerializeItemPatchTo(uint64_t since_stamp, ByteWriter* out) const;
+
+  static StatusOr<ItemPatch> DeserializeItemPatch(ByteReader* in);
+
+  /// Number of patch keys not currently tracked here (the upsert inserts;
+  /// validation: num_itemsets() + NewKeys == patch.total_items).
+  size_t NewKeys(const ItemPatch& patch) const;
+
+  /// Applies a validated patch. Infallible: replaces/inserts the shipped
+  /// states and adopts the sender's has_supported flag. Returns the
+  /// change in num_itemsets() (always >= 0).
+  size_t ApplyItemPatch(ItemPatch&& patch);
+
  private:
   std::unordered_map<ItemsetKey, ItemsetState> items_;
+  // Last change stamp per itemset touched since the owning bitmap enabled
+  // delta tracking; empty (and never populated) otherwise. Always a
+  // subset of items_' keys, so the fringe budget bounds it too.
+  std::unordered_map<ItemsetKey, uint64_t> stamps_;
   bool has_supported_ = false;
 };
 

@@ -1,7 +1,10 @@
 #include "core/nips.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "delta/codec.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -115,7 +118,12 @@ void Nips::ObserveAt(int cell, ItemsetKey a, ItemsetKey b) {
   // this affects ~2^-58 of the keys.
   if (cell >= options_.bitmap_bits) cell = options_.bitmap_bits - 1;
 
-  if (cell > fringe_right_) fringe_right_ = cell;
+  if (cell > fringe_right_) {
+    fringe_right_ = cell;
+    // The serialized fringe header changed even if the cell observe below
+    // turns out to be a no-op.
+    if (delta_tracking_) ++clock_;
+  }
   if (cell < fringe_left_) return;  // Zone-1: value already 1, recorded
   Cell& c = cells_[cell];
   if (c.one) return;  // recorded events are never erased
@@ -126,6 +134,14 @@ void Nips::ObserveAt(int cell, ItemsetKey a, ItemsetKey b) {
   size_t after = c.data->num_itemsets();
   tracked_ += after - before;  // an increase is an insertion; see FlushMetrics
   if (c.data->has_supported()) c.has_supported = true;
+  if (delta_tracking_) {
+    // A fringe observe always mutates the tracked state (at minimum the
+    // itemset's support count). If the outcome settles the cell below,
+    // DecideOne re-stamps it and frees the data (stamps included).
+    ++clock_;
+    c.stamp = clock_;
+    c.data->NoteStamp(a, clock_);
+  }
 
   if (outcome == FringeCell::Outcome::kNonImplication) {
     DecideOne(cell, SettleCause::kNonImplication);
@@ -260,8 +276,126 @@ size_t Nips::MemoryBytes() const {
   return bytes;
 }
 
+void Nips::SerializeDeltaTo(uint64_t since_clock, ByteWriter* out) const {
+  FlushMetrics();
+  out->PutVarint64(static_cast<uint64_t>(fringe_left_));
+  out->PutVarint64(static_cast<uint64_t>(fringe_right_ + 1));  // -1 → 0
+  std::vector<bool> changed(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    changed[i] = cells_[i].stamp > since_clock;
+  }
+  delta::EncodeMask(changed, out);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (!changed[i]) continue;
+    const Cell& c = cells_[i];
+    if (c.one) {
+      out->PutU8(0);  // settled since the baseline
+      out->PutBool(c.has_supported);
+    } else {
+      out->PutU8(1);  // live: ship the touched itemsets
+      out->PutBool(c.has_supported);
+      if (c.data) {
+        c.data->SerializeItemPatchTo(since_clock, out);
+      } else {
+        FringeCell().SerializeItemPatchTo(since_clock, out);
+      }
+    }
+  }
+}
+
+StatusOr<Nips::DeltaPatch> Nips::DecodeDeltaSection(ByteReader* in) const {
+  DeltaPatch patch;
+  uint64_t left, right_plus_1;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&left));
+  IMPLISTAT_RETURN_NOT_OK(in->ReadVarint64(&right_plus_1));
+  const uint64_t bits = static_cast<uint64_t>(options_.bitmap_bits);
+  if (left > bits || right_plus_1 > bits || left > right_plus_1) {
+    return Status::InvalidArgument("Nips delta: fringe out of range");
+  }
+  // The sender only moved forward since the receiver's baseline; a
+  // regressing fringe means the baseline is not what the sender assumed.
+  if (static_cast<int>(left) < fringe_left_ ||
+      static_cast<int>(right_plus_1) - 1 < fringe_right_) {
+    return Status::InvalidArgument("Nips delta: fringe regressed");
+  }
+  patch.fringe_left = static_cast<int>(left);
+  patch.fringe_right = static_cast<int>(right_plus_1) - 1;
+
+  std::vector<bool> changed;
+  IMPLISTAT_RETURN_NOT_OK(
+      delta::DecodeMask(in, cells_.size(), &changed));
+  std::vector<bool> settles(cells_.size(), false);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (!changed[i]) continue;
+    DeltaPatch::CellPatch cell;
+    cell.index = static_cast<int>(i);
+    uint8_t mode;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadU8(&mode));
+    if (mode > 1) {
+      return Status::InvalidArgument("Nips delta: unknown cell mode");
+    }
+    cell.settled = mode == 0;
+    IMPLISTAT_RETURN_NOT_OK(in->ReadBool(&cell.cell_has_supported));
+    // Either mode names a cell that was undecided at the baseline; one
+    // that is already 1 here means sender and receiver disagree about
+    // the baseline state — refuse and let the caller resync.
+    if (cells_[i].one) {
+      return Status::InvalidArgument("Nips delta: cell already settled");
+    }
+    if (cell.settled) {
+      settles[i] = true;
+    } else {
+      if (cell.index < patch.fringe_left) {
+        return Status::InvalidArgument(
+            "Nips delta: live cell left of the fringe");
+      }
+      IMPLISTAT_ASSIGN_OR_RETURN(cell.items,
+                                 FringeCell::DeserializeItemPatch(in));
+      const size_t have =
+          cells_[i].data ? cells_[i].data->num_itemsets() : 0;
+      const size_t inserts =
+          cells_[i].data ? cells_[i].data->NewKeys(cell.items)
+                         : cell.items.items.size();
+      if (have + inserts != cell.items.total_items) {
+        return Status::InvalidArgument(
+            "Nips delta: itemset count mismatch (desynced baseline)");
+      }
+    }
+    patch.cells.push_back(std::move(cell));
+  }
+  // Advancing the fringe's left edge must leave only settled cells
+  // behind it (Zone-1 invariant).
+  for (int j = fringe_left_; j < patch.fringe_left; ++j) {
+    if (!cells_[static_cast<size_t>(j)].one && !settles[static_cast<size_t>(j)]) {
+      return Status::InvalidArgument(
+          "Nips delta: fringe advanced over an undecided cell");
+    }
+  }
+  return patch;
+}
+
+void Nips::ApplyDeltaPatch(DeltaPatch&& patch) {
+  for (DeltaPatch::CellPatch& cell : patch.cells) {
+    Cell& c = cells_[static_cast<size_t>(cell.index)];
+    if (cell.settled) {
+      DecideOne(cell.index, SettleCause::kMerge);
+      c.has_supported = cell.cell_has_supported;
+    } else {
+      c.has_supported = cell.cell_has_supported;
+      if (!c.data) c.data = std::make_unique<FringeCell>();
+      tracked_ += c.data->ApplyItemPatch(std::move(cell.items));
+    }
+  }
+  fringe_left_ = patch.fringe_left;
+  fringe_right_ = patch.fringe_right;
+}
+
 void Nips::DecideOne(int cell, SettleCause cause) {
   Cell& c = cells_[cell];
+  if (delta_tracking_) {
+    ++clock_;
+    c.stamp = clock_;
+  }
   if (c.data) {
     size_t freed = c.data->num_itemsets();
     tracked_ -= freed;

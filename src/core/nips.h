@@ -116,6 +116,53 @@ class Nips {
   void SerializeTo(ByteWriter* out) const;
   static StatusOr<Nips> Deserialize(ByteReader* in);
 
+  // --- Delta shipping (src/delta/) ---------------------------------------
+  //
+  // Once tracking is enabled, every mutation — a fringe-cell observe, a
+  // cell settling to 1, the rightmost hashed position advancing — bumps
+  // change_clock() and stamps the touched cell (and itemset). A delta
+  // section then ships the fringe header plus exactly the cells stamped
+  // after the receiver's baseline clock; applying it to a bitmap that was
+  // byte-identical at that clock reproduces this bitmap byte-for-byte
+  // (SerializeTo equality). Tracking costs nothing until enabled — the
+  // hot path tests one bool.
+
+  /// Starts stamping mutations. Idempotent. State mutated before this
+  /// call is never shipped in a delta (the baseline full snapshot that
+  /// enabled tracking already carries it).
+  void EnableDeltaTracking() { delta_tracking_ = true; }
+  bool delta_tracking() const { return delta_tracking_; }
+
+  /// Monotone mutation counter; equal clocks mean byte-identical state
+  /// (while tracking is on and no Merge/restore intervened).
+  uint64_t change_clock() const { return clock_; }
+
+  /// Decoded, target-validated form of one bitmap's delta section.
+  struct DeltaPatch {
+    struct CellPatch {
+      int index = 0;
+      bool settled = false;        // cell decided to 1 since the baseline
+      bool cell_has_supported = false;
+      FringeCell::ItemPatch items; // live cells only (!settled)
+    };
+    int fringe_left = 0;
+    int fringe_right = -1;
+    std::vector<CellPatch> cells;
+  };
+
+  /// Serializes the changes since `since_clock` (a clock value recorded
+  /// at the receiver's baseline snapshot).
+  void SerializeDeltaTo(uint64_t since_clock, ByteWriter* out) const;
+
+  /// Decodes one delta section AND validates it against this bitmap (the
+  /// intended apply target): fringe bounds monotone, settled cells not
+  /// already settled, item counts consistent. Any mismatch — corruption
+  /// or a desynced baseline — refuses without touching *this.
+  StatusOr<DeltaPatch> DecodeDeltaSection(ByteReader* in) const;
+
+  /// Applies a patch validated by DecodeDeltaSection. Infallible.
+  void ApplyDeltaPatch(DeltaPatch&& patch);
+
   int fringe_left() const { return fringe_left_; }
   int fringe_right() const { return fringe_right_; }
   const ImplicationConditions& conditions() const { return conditions_; }
@@ -125,6 +172,7 @@ class Nips {
   struct Cell {
     bool one = false;            // decided value 1
     bool has_supported = false;  // saw an itemset with φ(a) ≥ σ
+    uint64_t stamp = 0;          // change_clock() at last mutation
     std::unique_ptr<FringeCell> data;
   };
 
@@ -170,6 +218,8 @@ class Nips {
   size_t tracked_ = 0;
   int fringe_left_ = 0;    // leftmost undecided cell (Zone-1 ends here)
   int fringe_right_ = -1;  // rightmost hashed cell; -1 before any input
+  bool delta_tracking_ = false;
+  uint64_t clock_ = 0;     // mutation counter; see EnableDeltaTracking
 };
 
 }  // namespace implistat

@@ -1,7 +1,11 @@
 #include "core/nips_ci_ensemble.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "delta/codec.h"
 #include "obs/metrics.h"
 #include "util/bits.h"
 #include "util/logging.h"
@@ -168,6 +172,10 @@ Status NipsCi::Merge(const NipsCi& other) {
     return Status::InvalidArgument(
         "NipsCi::Merge: ensembles are not hash-compatible");
   }
+  // A merge mutates fringe itemsets without stamping them, so every
+  // remembered delta baseline becomes unsound; dropping the marks makes
+  // the next SerializeDelta resync with a full snapshot.
+  delta_marks_.clear();
   for (size_t i = 0; i < bitmaps_.size(); ++i) {
     IMPLISTAT_RETURN_NOT_OK(bitmaps_[i].Merge(other.bitmaps_[i]));
   }
@@ -267,6 +275,110 @@ Status NipsCi::MergeFrom(const ImplicationEstimator& other) {
                              UnwrapSnapshot(snapshot, SnapshotKind::kNipsCi));
   IMPLISTAT_ASSIGN_OR_RETURN(NipsCi decoded, Deserialize(payload));
   return Merge(decoded);
+}
+
+namespace {
+constexpr uint8_t kNipsCiDeltaVersion = 1;
+}  // namespace
+
+void NipsCi::RecordDeltaMark(uint64_t epoch) {
+  std::vector<uint64_t> clocks;
+  clocks.reserve(bitmaps_.size());
+  for (const Nips& nips : bitmaps_) clocks.push_back(nips.change_clock());
+  for (DeltaMark& mark : delta_marks_) {
+    if (mark.epoch == epoch) {
+      mark.clocks = std::move(clocks);
+      return;
+    }
+  }
+  delta_marks_.push_back(DeltaMark{epoch, std::move(clocks)});
+  while (delta_marks_.size() > kMaxDeltaMarks) delta_marks_.pop_front();
+}
+
+const NipsCi::DeltaMark* NipsCi::FindDeltaMark(uint64_t epoch) const {
+  for (const DeltaMark& mark : delta_marks_) {
+    if (mark.epoch == epoch) return &mark;
+  }
+  return nullptr;
+}
+
+void NipsCi::NoteSnapshotEpoch(uint64_t epoch) const {
+  NipsCi* self = const_cast<NipsCi*>(this);
+  for (Nips& nips : self->bitmaps_) nips.EnableDeltaTracking();
+  self->RecordDeltaMark(epoch);
+}
+
+StatusOr<std::string> NipsCi::SerializeDelta(uint64_t since_epoch,
+                                             uint64_t current_epoch) const {
+  const DeltaMark* mark = FindDeltaMark(since_epoch);
+  if (mark == nullptr) {
+    return Status::NotFound("NipsCi: no delta baseline at epoch " +
+                            std::to_string(since_epoch));
+  }
+  FlushMetrics();
+  ByteWriter out;
+  out.PutU8(kNipsCiDeltaTag);
+  out.PutU8(kNipsCiDeltaVersion);
+  out.PutVarint64(bitmaps_.size());
+  std::vector<bool> changed(bitmaps_.size());
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    changed[i] = bitmaps_[i].change_clock() != mark->clocks[i];
+  }
+  delta::EncodeMask(changed, &out);
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    if (changed[i]) bitmaps_[i].SerializeDeltaTo(mark->clocks[i], &out);
+  }
+  // The bytes just produced bring a receiver of the since_epoch snapshot
+  // up to the current state; remember it as the next baseline.
+  const_cast<NipsCi*>(this)->RecordDeltaMark(current_epoch);
+  return out.Release();
+}
+
+StatusOr<NipsCi::DeltaFragment> NipsCi::DecodeDeltaFragment(
+    std::string_view fragment) const {
+  ByteReader in(fragment);
+  uint8_t tag, version;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&tag));
+  if (tag != kNipsCiDeltaTag) {
+    return Status::InvalidArgument("NipsCi delta: wrong fragment kind");
+  }
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&version));
+  if (version != kNipsCiDeltaVersion) {
+    return Status::InvalidArgument("NipsCi delta: unknown format version");
+  }
+  uint64_t num_bitmaps;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&num_bitmaps));
+  if (num_bitmaps != bitmaps_.size()) {
+    return Status::InvalidArgument("NipsCi delta: bitmap count mismatch");
+  }
+  std::vector<bool> changed;
+  IMPLISTAT_RETURN_NOT_OK(delta::DecodeMask(&in, bitmaps_.size(), &changed));
+  DeltaFragment decoded;
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    if (!changed[i]) continue;
+    IMPLISTAT_ASSIGN_OR_RETURN(Nips::DeltaPatch patch,
+                               bitmaps_[i].DecodeDeltaSection(&in));
+    decoded.bitmaps.emplace_back(i, std::move(patch));
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument("NipsCi delta: trailing bytes");
+  }
+  return decoded;
+}
+
+void NipsCi::ApplyDeltaFragment(DeltaFragment&& decoded) {
+  for (auto& [index, patch] : decoded.bitmaps) {
+    bitmaps_[index].ApplyDeltaPatch(std::move(patch));
+  }
+}
+
+Status NipsCi::ApplyDelta(std::string_view fragment) {
+  // Decode-and-validate into temporaries; only a fully validated
+  // fragment mutates the bitmaps (same contract as RestoreState).
+  IMPLISTAT_ASSIGN_OR_RETURN(DeltaFragment decoded,
+                             DecodeDeltaFragment(fragment));
+  ApplyDeltaFragment(std::move(decoded));
+  return Status::OK();
 }
 
 size_t NipsCi::MemoryBytes() const {

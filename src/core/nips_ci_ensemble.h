@@ -8,9 +8,12 @@
 #ifndef IMPLISTAT_CORE_NIPS_CI_ENSEMBLE_H_
 #define IMPLISTAT_CORE_NIPS_CI_ENSEMBLE_H_
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/ci.h"
@@ -122,11 +125,52 @@ class NipsCi final : public ImplicationEstimator {
   Status RestoreState(std::string_view snapshot) override;
   Status MergeFrom(const ImplicationEstimator& other) override;
 
+  // --- Delta shipping (src/delta/) ---------------------------------------
+  //
+  // NoteSnapshotEpoch(E) records every bitmap's change clock as the
+  // baseline a receiver of the epoch-E full snapshot holds; a later
+  // SerializeDelta(E, E') ships only the bitmaps (and within them, only
+  // the fringe cells and itemsets) that moved since, then records E' as
+  // a fresh baseline. Baselines survive observes but not Merge or
+  // RestoreState — both invalidate the stamp bookkeeping, so they drop
+  // every mark and the next delta request resyncs with a full snapshot
+  // (SerializeDelta → NotFound). At most kMaxDeltaMarks baselines are
+  // remembered; older ones also resync.
+
+  StatusOr<std::string> SerializeDelta(uint64_t since_epoch,
+                                       uint64_t current_epoch) const override;
+  Status ApplyDelta(std::string_view fragment) override;
+  void NoteSnapshotEpoch(uint64_t epoch) const override;
+
+  /// Decoded, target-validated delta fragment (per-bitmap patches).
+  /// Split from ApplyDelta so a container (SlidingNipsCi) can validate
+  /// patches for ALL its origins before mutating any of them.
+  struct DeltaFragment {
+    std::vector<std::pair<size_t, Nips::DeltaPatch>> bitmaps;
+  };
+  StatusOr<DeltaFragment> DecodeDeltaFragment(std::string_view fragment) const;
+  void ApplyDeltaFragment(DeltaFragment&& decoded);
+
   int num_bitmaps() const { return static_cast<int>(bitmaps_.size()); }
   const Nips& bitmap(int i) const { return bitmaps_[i]; }
   const ImplicationConditions& conditions() const { return conditions_; }
 
  private:
+  // One remembered delta baseline: the per-bitmap change clocks at the
+  // moment the epoch's full snapshot (or delta) was served.
+  struct DeltaMark {
+    uint64_t epoch;
+    std::vector<uint64_t> clocks;
+  };
+  static constexpr size_t kMaxDeltaMarks = 8;
+
+  // NoteSnapshotEpoch/SerializeDelta are const in the estimator contract
+  // (serving a snapshot is logically read-only); the mark bookkeeping is
+  // their mutable side effect, same discipline as FlushMetrics. Subject
+  // to the same quiesce-before-read thread contract.
+  void RecordDeltaMark(uint64_t epoch);
+  const DeltaMark* FindDeltaMark(uint64_t epoch) const;
+
   void ObserveImpl(ItemsetKey a, ItemsetKey b);
   // Cold 1-in-1024 path: flushes the batched tuple count and times the
   // observe. Outlined (and kept out of Observe) so the hot path keeps a
@@ -153,7 +197,11 @@ class NipsCi final : public ImplicationEstimator {
   uint64_t sample_countdown_ = obs::kLatencySampleMask + 1;
   uint64_t observe_count_base_ = 0;
   mutable uint64_t observe_flushed_ = 0;
+  mutable std::deque<DeltaMark> delta_marks_;
 };
+
+/// First byte of every NipsCi delta fragment (cross-kind apply check).
+inline constexpr uint8_t kNipsCiDeltaTag = 1;
 
 }  // namespace implistat
 

@@ -1,0 +1,118 @@
+#include "delta/codec.h"
+
+#include <algorithm>
+
+namespace implistat::delta {
+
+void EncodeMask(const std::vector<bool>& bits, ByteWriter* out) {
+  uint8_t byte = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out->PutU8(byte);
+      byte = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) out->PutU8(byte);
+}
+
+Status DecodeMask(ByteReader* in, size_t n, std::vector<bool>* bits) {
+  const size_t bytes = (n + 7) / 8;
+  std::string_view raw;
+  IMPLISTAT_RETURN_NOT_OK(in->ReadBytes(bytes, &raw));
+  bits->assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<uint8_t>(raw[i / 8]) & (1u << (i % 8))) {
+      (*bits)[i] = true;
+    }
+  }
+  // Canonical form: padding bits in the final byte must be clear.
+  if (n % 8 != 0 && bytes > 0) {
+    const uint8_t last = static_cast<uint8_t>(raw[bytes - 1]);
+    const uint8_t pad = static_cast<uint8_t>(0xffu << (n % 8));
+    if ((last & pad) != 0) {
+      return Status::InvalidArgument("mask: non-zero padding bits");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr size_t kMaxLiteralRun = 128;  // control 0x00..0x7f
+constexpr size_t kMinRepeatRun = 3;     // break-even vs. literal
+constexpr size_t kMaxRepeatRun = 130;   // control 0x80..0xff
+
+void FlushLiterals(std::string_view pending, std::string* out) {
+  size_t pos = 0;
+  while (pos < pending.size()) {
+    const size_t run = std::min(kMaxLiteralRun, pending.size() - pos);
+    out->push_back(static_cast<char>(run - 1));
+    out->append(pending.substr(pos, run));
+    pos += run;
+  }
+}
+
+}  // namespace
+
+std::string RleCompress(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() / 2 + 16);
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i < bytes.size()) {
+    size_t run = 1;
+    while (i + run < bytes.size() && run < kMaxRepeatRun &&
+           bytes[i + run] == bytes[i]) {
+      ++run;
+    }
+    if (run >= kMinRepeatRun) {
+      FlushLiterals(bytes.substr(literal_start, i - literal_start), &out);
+      out.push_back(
+          static_cast<char>(0x80 + static_cast<uint8_t>(run - kMinRepeatRun)));
+      out.push_back(bytes[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  FlushLiterals(bytes.substr(literal_start, i - literal_start), &out);
+  return out;
+}
+
+StatusOr<std::string> RleDecompress(std::string_view bytes,
+                                    size_t expected_size) {
+  std::string out;
+  out.reserve(expected_size);
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const uint8_t control = static_cast<uint8_t>(bytes[pos++]);
+    if (control < 0x80) {
+      const size_t run = static_cast<size_t>(control) + 1;
+      if (bytes.size() - pos < run) {
+        return Status::InvalidArgument("rle: truncated literal run");
+      }
+      if (expected_size - out.size() < run) {
+        return Status::InvalidArgument("rle: output overruns declared size");
+      }
+      out.append(bytes.substr(pos, run));
+      pos += run;
+    } else {
+      const size_t run = static_cast<size_t>(control - 0x80) + kMinRepeatRun;
+      if (pos >= bytes.size()) {
+        return Status::InvalidArgument("rle: truncated repeat run");
+      }
+      if (expected_size - out.size() < run) {
+        return Status::InvalidArgument("rle: output overruns declared size");
+      }
+      out.append(run, bytes[pos++]);
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::InvalidArgument("rle: output short of declared size");
+  }
+  return out;
+}
+
+}  // namespace implistat::delta

@@ -1,0 +1,67 @@
+// Compact byte codecs for delta snapshots (src/delta/).
+//
+// Two building blocks, both deliberately tiny and dependency-free:
+//
+//  * Bitpacked masks. A delta names "which of N slots changed" — bitmaps
+//    in an ensemble, cells in a fringe window. Shipping one bit per slot
+//    (LSB-first within each byte) beats a varint index list as soon as
+//    more than N/8 slots are dirty, and is never worse than N/8 + 1
+//    bytes. The mask length is implied by the caller's N, so the codec
+//    never guesses: DecodeMask refuses when the reader holds fewer than
+//    ceil(N/8) bytes, and rejects set padding bits in the final byte
+//    (a canonical-form check that doubles as corruption detection).
+//
+//  * Byte-run RLE. Serialized sketch state is full of zero runs (empty
+//    b_count lists, settled cells) and repeated small integers. This is
+//    an LZ4-flavoured literal/match scheme restricted to run matches —
+//    one control byte per run keeps the decoder branch-trivial and
+//    bounds-checkable:
+//        control < 0x80: literal run of (control + 1) bytes      [1..128]
+//        control >= 0x80: repeat next byte (control - 0x80 + 3)×  [3..130]
+//    Runs shorter than 3 are emitted as literals (a repeat run costs 2
+//    bytes, so 3 is the break-even). Compression never expands by more
+//    than 1 byte per 128 (the literal control overhead); callers ship
+//    the uncompressed form when RleCompress fails to win (see delta.h's
+//    flags byte).
+//
+// Neither codec frames itself: the delta envelope (delta.h) carries the
+// uncompressed length, and masks are always decoded against a known N.
+
+#ifndef IMPLISTAT_DELTA_CODEC_H_
+#define IMPLISTAT_DELTA_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/serde.h"
+#include "util/status.h"
+#include "util/status_or.h"
+
+namespace implistat::delta {
+
+/// Appends ceil(bits.size()/8) bytes to `out`, LSB-first. An empty mask
+/// appends nothing.
+void EncodeMask(const std::vector<bool>& bits, ByteWriter* out);
+
+/// Reads ceil(n/8) bytes from `in` and expands them into an n-entry
+/// mask. Rejects short reads and non-zero padding bits in the last byte.
+Status DecodeMask(ByteReader* in, size_t n, std::vector<bool>* bits);
+
+/// Run-length compresses `bytes`. Worst case (no runs ≥ 3) the output is
+/// bytes.size() + ceil(bytes.size()/128); callers should compare sizes
+/// and keep the original when compression loses.
+std::string RleCompress(std::string_view bytes);
+
+/// Decompresses RleCompress output. `expected_size` is the exact
+/// uncompressed length (carried in the delta envelope); any mismatch —
+/// short input, trailing input, or output over/undershoot — is an
+/// InvalidArgument, never a crash or overallocation beyond
+/// expected_size.
+StatusOr<std::string> RleDecompress(std::string_view bytes,
+                                    size_t expected_size);
+
+}  // namespace implistat::delta
+
+#endif  // IMPLISTAT_DELTA_CODEC_H_

@@ -320,7 +320,8 @@ Status Client::Submit(MsgType type, std::string_view bytes,
     sent = SendDraining(bytes, deadline_ms);
   } else {
     sent = SendDraining(
-        EncodeRequestFrame(type, bytes, obs::Tracer::CurrentContext()),
+        EncodeRequestFrame(type, bytes, obs::Tracer::CurrentContext(),
+                           options_.wire_version),
         deadline_ms);
   }
   IMPLISTAT_RETURN_NOT_OK(std::move(sent));
@@ -371,8 +372,9 @@ StatusOr<std::string> Client::RoundTrip(MsgType type,
   const int64_t deadline_ms = options_.request_timeout_ms > 0
                                   ? NowMs() + options_.request_timeout_ms
                                   : -1;
-  IMPLISTAT_RETURN_NOT_OK(
-      SendAll(EncodeRequestFrame(type, payload, span.context()), deadline_ms));
+  IMPLISTAT_RETURN_NOT_OK(SendAll(
+      EncodeRequestFrame(type, payload, span.context(), options_.wire_version),
+      deadline_ms));
   StatusOr<Frame> frame = ReadResponse(type, deadline_ms);
   if (!frame.ok()) {
     // Framing/CRC violations leave the stream unparseable; after one, no
@@ -412,6 +414,25 @@ StatusOr<SnapshotResponse> Client::Snapshot(uint32_t query_id) {
       std::string body,
       RoundTrip(MsgType::kSnapshot, EncodeSnapshotRequest(query_id)));
   return DecodeSnapshotResponse(body);
+}
+
+StatusOr<DeltaSnapshotResponse> Client::SnapshotDelta(uint32_t query_id,
+                                                      uint64_t since_epoch,
+                                                      uint8_t capabilities) {
+  if (options_.wire_version < 6) {
+    return Status::FailedPrecondition(
+        "SNAPSHOT_DELTA requires wire protocol v6; this client is pinned "
+        "to v" +
+        std::to_string(options_.wire_version));
+  }
+  DeltaSnapshotRequest request;
+  request.query_id = query_id;
+  request.since_epoch = since_epoch;
+  request.capabilities = capabilities;
+  IMPLISTAT_ASSIGN_OR_RETURN(
+      std::string body, RoundTrip(MsgType::kSnapshotDelta,
+                                  EncodeDeltaSnapshotRequest(request)));
+  return DecodeDeltaSnapshotResponse(body);
 }
 
 Status Client::Merge(uint32_t query_id, std::string_view snapshot) {

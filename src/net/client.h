@@ -71,6 +71,12 @@ struct ClientOptions {
   /// Pipelining window: Submit() refuses once this many requests are
   /// outstanding. Keep at or under the server's max_pipeline_depth.
   size_t max_in_flight = 64;
+  /// Wire dialect to speak. There is no in-band negotiation — a server
+  /// refuses envelopes newer than itself at the version check — so a
+  /// caller that must talk to an older peer pins the peer's version
+  /// here. Requests encode at this version; v6-only calls
+  /// (SnapshotDelta) refuse locally when it is pinned below 6.
+  uint64_t wire_version = kWireProtocolVersion;
 };
 
 class Client {
@@ -110,6 +116,21 @@ class Client {
   /// summary an edge ships instead of its stream — together with the
   /// edge's epoch (its tuples_seen at serialize time).
   StatusOr<SnapshotResponse> Snapshot(uint32_t query_id);
+
+  /// Pulls query `id`'s state as a delta against `since_epoch` (wire
+  /// v6): the response is either a kDeltaSnapshot patch or — when the
+  /// server holds no baseline for that epoch — a full snapshot, flagged
+  /// by DeltaSnapshotResponse::is_delta. `since_epoch` 0 asks for a full
+  /// snapshot (bootstrap); `capabilities` advertises kDeltaCap* codec
+  /// support. Refuses locally when wire_version is pinned below 6.
+  StatusOr<DeltaSnapshotResponse> SnapshotDelta(uint32_t query_id,
+                                                uint64_t since_epoch,
+                                                uint8_t capabilities);
+
+  /// The wire dialect this client speaks (ClientOptions::wire_version as
+  /// pinned at construction). An aggregator logs this when a peer's
+  /// pinned dialect predates v6 and forces full-snapshot pulls.
+  uint64_t negotiated_version() const { return options_.wire_version; }
 
   /// Folds a snapshot (from this or another node's Snapshot call) into
   /// the server's query `id`.

@@ -254,6 +254,58 @@ StatusOr<SnapshotResponse> DecodeSnapshotResponse(std::string_view body) {
   return response;
 }
 
+std::string EncodeDeltaSnapshotRequest(const DeltaSnapshotRequest& request) {
+  ByteWriter out;
+  out.PutVarint64(request.query_id);
+  out.PutVarint64(request.since_epoch);
+  out.PutU8(request.capabilities);
+  return out.Release();
+}
+
+StatusOr<DeltaSnapshotRequest> DecodeDeltaSnapshotRequest(
+    std::string_view payload) {
+  ByteReader in(payload);
+  DeltaSnapshotRequest request;
+  uint64_t id;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&id));
+  if (id > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("snapshot_delta: id overflow");
+  }
+  request.query_id = static_cast<uint32_t>(id);
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&request.since_epoch));
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&request.capabilities));
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("snapshot_delta: trailing bytes");
+  }
+  return request;
+}
+
+std::string EncodeDeltaSnapshotResponse(
+    const DeltaSnapshotResponse& response) {
+  ByteWriter out;
+  out.PutU8(response.is_delta ? 1 : 0);
+  out.PutVarint64(response.epoch);
+  out.PutBytes(response.state);
+  return out.Release();
+}
+
+StatusOr<DeltaSnapshotResponse> DecodeDeltaSnapshotResponse(
+    std::string_view body) {
+  ByteReader in(body);
+  DeltaSnapshotResponse response;
+  uint8_t mode;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadU8(&mode));
+  if (mode > 1) {
+    return Status::InvalidArgument("snapshot_delta: bad mode byte");
+  }
+  response.is_delta = mode == 1;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadVarint64(&response.epoch));
+  std::string_view state;
+  IMPLISTAT_RETURN_NOT_OK(in.ReadBytes(in.remaining(), &state));
+  response.state = std::string(state);
+  return response;
+}
+
 std::string EncodeMergeRequest(uint32_t query_id, std::string_view snapshot) {
   ByteWriter out;
   out.PutVarint64(query_id);

@@ -119,6 +119,45 @@ struct SnapshotResponse {
 std::string EncodeSnapshotResponse(uint64_t epoch, std::string_view state);
 StatusOr<SnapshotResponse> DecodeSnapshotResponse(std::string_view body);
 
+// --- SNAPSHOT_DELTA (wire v6) ----------------------------------------------
+//
+// A snapshot pull keyed by the epoch the caller last acked. The server
+// answers with a kDeltaSnapshot patch (src/delta/delta.h) when the
+// queried estimator still holds a baseline for that epoch, and with a
+// full snapshot otherwise — a caller never has to guess which resync
+// path to take, the mode byte says so.
+
+/// Capability bit: the caller can decode RLE-compressed delta bodies.
+inline constexpr uint8_t kDeltaCapRle = 0x01;
+
+struct DeltaSnapshotRequest {
+  uint32_t query_id = 0;
+  /// The epoch of the state the caller holds (a previous response's
+  /// epoch); 0 asks for a full snapshot unconditionally (bootstrap).
+  uint64_t since_epoch = 0;
+  /// kDeltaCap* bits.
+  uint8_t capabilities = 0;
+};
+
+std::string EncodeDeltaSnapshotRequest(const DeltaSnapshotRequest& request);
+StatusOr<DeltaSnapshotRequest> DecodeDeltaSnapshotRequest(
+    std::string_view payload);
+
+struct DeltaSnapshotResponse {
+  /// True: `state` is a kDeltaSnapshot envelope patching since_epoch ->
+  /// epoch. False: `state` is a full snapshot envelope (resync or
+  /// bootstrap).
+  bool is_delta = false;
+  /// The server's tuples_seen at serialize time — what the caller acks
+  /// as since_epoch on its next pull.
+  uint64_t epoch = 0;
+  std::string state;
+};
+
+std::string EncodeDeltaSnapshotResponse(const DeltaSnapshotResponse& response);
+StatusOr<DeltaSnapshotResponse> DecodeDeltaSnapshotResponse(
+    std::string_view body);
+
 /// MERGE request body: varint query id, then the snapshot bytes verbatim
 /// to the end of the payload. Response body: empty.
 std::string EncodeMergeRequest(uint32_t query_id, std::string_view snapshot);

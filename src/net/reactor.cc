@@ -528,6 +528,24 @@ void Reactor::HandleFrame(Conn* conn, const FrameView& view) {
       op.snapshot = std::string(decoded->second);  // the view dies with us
       break;
     }
+    case MsgType::kSnapshotDelta: {
+      if (view.version < 6) {
+        CompleteSlot(conn, seq,
+                     Status::InvalidArgument(
+                         "SNAPSHOT_DELTA requires wire protocol v6"),
+                     {}, false);
+        return;
+      }
+      auto decoded = DecodeDeltaSnapshotRequest(view.payload);
+      if (!decoded.ok()) {
+        CompleteSlot(conn, seq, decoded.status(), {}, false);
+        return;
+      }
+      op.query_id = decoded->query_id;
+      op.since_epoch = decoded->since_epoch;
+      op.capabilities = decoded->capabilities;
+      break;
+    }
     case MsgType::kSubscribe: {
       if (view.version < 5) {
         CompleteSlot(conn, seq,

@@ -75,7 +75,7 @@ class Server;
 /// process-wide (the registry dedupes by name+label).
 struct NetMetrics {
   // Per-type arrays are indexed by MsgType value; slot 0 is unused.
-  static constexpr int kMaxType = static_cast<int>(MsgType::kTriggerFired);
+  static constexpr int kMaxType = static_cast<int>(MsgType::kSnapshotDelta);
   obs::Counter* requests_by_type[kMaxType + 1];
   obs::Histogram* duration_by_type[kMaxType + 1];
   obs::Histogram* request_bytes_by_type[kMaxType + 1];
@@ -110,8 +110,12 @@ struct EngineOp {
   std::vector<ValueId> flat;
   /// QUERY: requested ids (empty = every registered query).
   std::vector<uint32_t> query_ids;
-  /// SNAPSHOT / MERGE: target query.
+  /// SNAPSHOT / SNAPSHOT_DELTA / MERGE: target query.
   uint32_t query_id = 0;
+  /// SNAPSHOT_DELTA: the epoch the caller last acked (0 = bootstrap).
+  uint64_t since_epoch = 0;
+  /// SNAPSHOT_DELTA: kDeltaCap* bits.
+  uint8_t capabilities = 0;
   /// MERGE: the shipped estimator state.
   std::string snapshot;
   /// SUBSCRIBE: CREATE TRIGGER statements to install first.

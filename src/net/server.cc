@@ -17,6 +17,7 @@
 #include <cstring>
 #include <thread>
 
+#include "delta/delta.h"
 #include "net/messages.h"
 #include "obs/log.h"
 #include "obs/trace.h"
@@ -247,6 +248,9 @@ Completion Server::ApplyOp(EngineOp& op) {
     case MsgType::kSnapshot:
       ApplySnapshot(op, &done);
       break;
+    case MsgType::kSnapshotDelta:
+      ApplySnapshotDelta(op, &done);
+      break;
     case MsgType::kMerge:
       ApplyMerge(op, &done);
       break;
@@ -352,7 +356,55 @@ void Server::ApplySnapshot(EngineOp& op, Completion* done) {
   // The epoch stamps how much stream this state covers; an aggregator
   // skips refolding a peer whose epoch (and therefore state) is
   // unchanged, and spots an edge that restarted from a checkpoint.
+  //
+  // Noting the epoch records a delta baseline, so the caller may follow
+  // this full pull with SNAPSHOT_DELTA keyed by the epoch it just got.
+  (*est)->NoteSnapshotEpoch(engine_->tuples_seen());
   done->body = EncodeSnapshotResponse(engine_->tuples_seen(), *snapshot);
+}
+
+void Server::ApplySnapshotDelta(EngineOp& op, Completion* done) {
+  StatusOr<const ImplicationEstimator*> est =
+      engine_->Estimator(static_cast<QueryId>(op.query_id));
+  if (!est.ok()) {
+    done->status = est.status();
+    return;
+  }
+  obs::ScopedSpan apply("server.apply", "server");
+  const uint64_t epoch = engine_->tuples_seen();
+  DeltaSnapshotResponse response;
+  response.epoch = epoch;
+  // since_epoch 0 is an explicit bootstrap; a non-zero epoch the
+  // estimator no longer has a baseline for (restart, merge, evicted
+  // mark, or an epoch from the future after a server restart) comes
+  // back NotFound and resyncs the same way. Estimator kinds without
+  // delta support answer Unimplemented and always take the full path.
+  if (op.since_epoch != 0) {
+    StatusOr<std::string> fragment =
+        (*est)->SerializeDelta(op.since_epoch, epoch);
+    if (fragment.ok()) {
+      response.is_delta = true;
+      response.state =
+          WrapDeltaSnapshot(op.since_epoch, epoch, *fragment,
+                            (op.capabilities & kDeltaCapRle) != 0);
+    } else if (fragment.status().code() != StatusCode::kNotFound &&
+               fragment.status().code() != StatusCode::kUnimplemented) {
+      done->status = fragment.status();
+      return;
+    }
+  }
+  if (!response.is_delta) {
+    StatusOr<std::string> snapshot = (*est)->SerializeState();
+    if (!snapshot.ok()) {
+      done->status = snapshot.status();
+      return;
+    }
+    (*est)->NoteSnapshotEpoch(epoch);
+    response.state = *std::move(snapshot);
+  }
+  apply.Annotate("delta", response.is_delta ? 1u : 0u);
+  apply.Annotate("state_bytes", response.state.size());
+  done->body = EncodeDeltaSnapshotResponse(response);
 }
 
 void Server::ApplyMerge(EngineOp& op, Completion* done) {

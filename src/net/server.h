@@ -153,6 +153,7 @@ class Server {
   void ApplyObserveBatch(EngineOp& op, Completion* done);
   void ApplyQuery(EngineOp& op, Completion* done);
   void ApplySnapshot(EngineOp& op, Completion* done);
+  void ApplySnapshotDelta(EngineOp& op, Completion* done);
   void ApplyMerge(EngineOp& op, Completion* done);
   void ApplyCheckpoint(Completion* done);
   void ApplySubscribe(EngineOp& op, Completion* done);

@@ -18,6 +18,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kSubscribe: return "subscribe";
     case MsgType::kUnsubscribe: return "unsubscribe";
     case MsgType::kTriggerFired: return "trigger_fired";
+    case MsgType::kSnapshotDelta: return "snapshot_delta";
   }
   return "unknown";
 }

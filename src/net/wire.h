@@ -57,6 +57,7 @@ enum class MsgType : uint8_t {
   kSubscribe = 10,    // install trigger rules + subscribe to firings (v5+)
   kUnsubscribe = 11,  // drop this connection's subscriptions (v5+)
   kTriggerFired = 12,  // unsolicited server push; never a request (v5+)
+  kSnapshotDelta = 13,  // ship only the changes since an acked epoch (v6+)
 };
 
 inline constexpr uint8_t kResponseFlag = 0x80;
@@ -85,12 +86,22 @@ inline constexpr uint32_t kWireMagic = 0x57504d49;  // "IMPW"
 /// that sent a v5 SUBSCRIBE, so the k-th-response-answers-the-k-th-
 /// request discipline still holds for every older dialect: a v4 client
 /// can never receive one.
+/// v6: the SNAPSHOT_DELTA request — a snapshot pull keyed by the epoch
+/// the caller last acked, answered with either a kDeltaSnapshot patch
+/// (src/delta/) or a full snapshot when the server holds no baseline for
+/// that epoch (restart, merge, evicted mark — the resync path). Request
+/// and response codecs live in messages.h (DeltaSnapshotRequest/
+/// DeltaSnapshotResponse). There is no in-band version negotiation (an
+/// older endpoint refuses a v6 envelope at the version check), so
+/// callers pin the dialect via ClientOptions::wire_version; a v6 server
+/// answers a pinned v5 client's SNAPSHOT_DELTA with InvalidArgument and
+/// the caller falls back to full SNAPSHOT pulls.
 /// An endpoint still accepts older frames (down to
 /// kWireMinProtocolVersion) and answers them in the request's dialect,
 /// so old clients keep working; versions outside
 /// [kWireMinProtocolVersion, kWireProtocolVersion] are refused at the
 /// envelope check rather than misparsing payloads.
-inline constexpr uint64_t kWireProtocolVersion = 5;
+inline constexpr uint64_t kWireProtocolVersion = 6;
 inline constexpr uint64_t kWireMinProtocolVersion = 2;
 
 inline constexpr EnvelopeFamily kWireEnvelope{kWireMagic,

@@ -101,6 +101,21 @@ class InstrumentedEstimator final : public ImplicationEstimator {
     return inner_->MergeFrom(other);
   }
 
+  // Delta shipping passes through like the other durable-state calls: a
+  // patch produced through the wrapper applies to a bare estimator and
+  // vice versa (the fragment carries no decorator state).
+  StatusOr<std::string> SerializeDelta(uint64_t since_epoch,
+                                       uint64_t current_epoch) const override {
+    Flush();
+    return inner_->SerializeDelta(since_epoch, current_epoch);
+  }
+  Status ApplyDelta(std::string_view fragment) override {
+    return inner_->ApplyDelta(fragment);
+  }
+  void NoteSnapshotEpoch(uint64_t epoch) const override {
+    inner_->NoteSnapshotEpoch(epoch);
+  }
+
   const ImplicationEstimator* inner() const { return inner_.get(); }
   ImplicationEstimator* inner() { return inner_.get(); }
 

@@ -203,6 +203,7 @@ const char* SnapshotKindName(SnapshotKind kind) {
     case SnapshotKind::kQueryEngineV2: return "query_engine_v2";
     case SnapshotKind::kSynopsisStore: return "synopsis_store";
     case SnapshotKind::kTriggerStore: return "trigger_store";
+    case SnapshotKind::kDeltaSnapshot: return "delta_snapshot";
   }
   return "unknown";
 }

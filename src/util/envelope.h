@@ -101,6 +101,7 @@ enum class SnapshotKind : uint8_t {
   kQueryEngineV2 = 12,   // QueryEngine checkpoint with a synopsis store
   kSynopsisStore = 13,   // shared-synopsis section nested in kQueryEngineV2
   kTriggerStore = 14,    // armed-trigger section nested in kQueryEngineV2
+  kDeltaSnapshot = 15,   // delta patch between two epochs (src/delta/)
 };
 
 /// Canonical lowercase name of a snapshot kind (for error messages).

@@ -410,5 +410,168 @@ TEST(ClusterSupervisorTest, CheckpointRestartRejoinConvergesNoDoubleCount) {
   std::remove(ckpt.c_str());
 }
 
+TEST(ClusterDeltaTest, DeltaPullsPatchIntoTheFoldExactly) {
+  Edge edge;
+  RegisterSuite(edge.engine());
+  FeedLocal(edge.engine(), 0, 600);
+  edge.Start();
+
+  QueryEngine aggregate(TestSchema());
+  RegisterSuite(aggregate);
+  AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge")},
+                                  TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+
+  // Bootstrap round: no baseline on either side yet, so both fold units
+  // ship full snapshots — and none of those fulls counts as a resync.
+  PollStats first = supervisor.PollOnce(0);
+  EXPECT_EQ(first.succeeded, 1);
+  EXPECT_EQ(first.delta_pulls, 0);
+  EXPECT_EQ(first.full_pulls, 2);  // exact + nips fold units
+  EXPECT_EQ(first.resyncs, 0);
+
+  QueryEngine single(TestSchema());
+  RegisterSuite(single);
+  FeedLocal(single, 0, 600);
+  ExpectSameAnswers(aggregate, single);
+
+  // New rows: the NIPS unit ships a patch against the acked epoch; the
+  // exact estimator has no delta materializer and stays on full pulls.
+  // The fold over the patched twin matches the single-process run bit
+  // for bit — the twin's serialized state is the same bytes a full
+  // snapshot would have carried.
+  {
+    auto client = edge.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ObserveBatch(IdBatch(600, 900)).ok());
+  }
+  PollStats second = supervisor.PollOnce(1000);
+  EXPECT_TRUE(second.refolded);
+  EXPECT_EQ(second.delta_pulls, 1);
+  EXPECT_EQ(second.full_pulls, 1);
+  EXPECT_EQ(second.resyncs, 0);
+  FeedLocal(single, 600, 900);
+  ExpectSameAnswers(aggregate, single);
+  EXPECT_EQ(aggregate.tuples_seen(), 900u);
+
+  // Quiet round: the patch is empty, the twin's state is unchanged, and
+  // the refold is skipped exactly as it would be with full pulls.
+  PollStats third = supervisor.PollOnce(2000);
+  EXPECT_FALSE(third.refolded);
+  EXPECT_EQ(third.delta_pulls, 1);
+  EXPECT_EQ(third.resyncs, 0);
+}
+
+TEST(ClusterDeltaTest, EdgeRestartForcesResyncThenDeltasResume) {
+  const std::string ckpt = ::testing::TempDir() + "/delta_edge.ckpt";
+  Edge edge;
+  RegisterSuite(edge.engine());
+  FeedLocal(edge.engine(), 0, 400);
+  ASSERT_TRUE(edge.engine().Checkpoint(ckpt).ok());
+  FeedLocal(edge.engine(), 400, 600);
+  edge.Start();
+
+  QueryEngine aggregate(TestSchema());
+  RegisterSuite(aggregate);
+  AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge")},
+                                  TestOptions());
+  ASSERT_TRUE(supervisor.Init().ok());
+  EXPECT_TRUE(supervisor.PollOnce(0).refolded);
+
+  // Establish the delta baseline with one patched round.
+  {
+    auto client = edge.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ObserveBatch(IdBatch(600, 700)).ok());
+  }
+  PollStats patched = supervisor.PollOnce(1000);
+  EXPECT_EQ(patched.delta_pulls, 1);
+  EXPECT_EQ(patched.resyncs, 0);
+
+  // Crash the edge and restore it from the checkpoint: the acked epoch
+  // (700) no longer exists over there — a checkpoint restore drops the
+  // delta baselines — so the next patch request is answered with a full
+  // snapshot: one counted resync, after which deltas re-arm.
+  edge.Stop();
+  edge.Reset();
+  ASSERT_TRUE(edge.engine().Restore(ckpt).ok());
+  edge.Start();
+  PollStats dead = supervisor.PollOnce(5000);
+  EXPECT_EQ(dead.failed, 1);  // the old connection died with the edge
+  PollStats rejoin = supervisor.PollOnce(6000);
+  ASSERT_EQ(rejoin.succeeded, 1);
+  EXPECT_EQ(rejoin.delta_pulls, 0);
+  EXPECT_EQ(rejoin.resyncs, 1);
+  EXPECT_EQ(supervisor.PeerStatuses()[0].epoch_regressions, 1u);
+
+  QueryEngine partial(TestSchema());
+  RegisterSuite(partial);
+  FeedLocal(partial, 0, 400);
+  ExpectSameAnswers(aggregate, partial);
+
+  // The edge replays its lost tail; the pull is a patch again, against
+  // the post-restart baseline, and the cluster converges back to the
+  // single-process answer with nothing counted twice.
+  {
+    auto client = edge.Connect();
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ObserveBatch(IdBatch(400, 700)).ok());
+  }
+  PollStats resumed = supervisor.PollOnce(7000);
+  EXPECT_EQ(resumed.delta_pulls, 1);
+  EXPECT_EQ(resumed.resyncs, 0);
+  QueryEngine single(TestSchema());
+  RegisterSuite(single);
+  FeedLocal(single, 0, 700);
+  ExpectSameAnswers(aggregate, single);
+
+  std::remove(ckpt.c_str());
+}
+
+TEST(ClusterDeltaTest, FullPullModesNeverShipDeltas) {
+  Edge edge;
+  RegisterSuite(edge.engine());
+  FeedLocal(edge.engine(), 0, 500);
+  edge.Start();
+
+  QueryEngine single(TestSchema());
+  RegisterSuite(single);
+  FeedLocal(single, 0, 500);
+
+  // use_deltas off (--no-deltas): full snapshots every round.
+  {
+    QueryEngine aggregate(TestSchema());
+    RegisterSuite(aggregate);
+    SupervisorOptions options = TestOptions();
+    options.use_deltas = false;
+    AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge")},
+                                    options);
+    ASSERT_TRUE(supervisor.Init().ok());
+    PollStats stats = supervisor.PollOnce(0);
+    EXPECT_EQ(stats.delta_pulls, 0);
+    EXPECT_EQ(stats.full_pulls, 2);
+    ExpectSameAnswers(aggregate, single);
+  }
+
+  // A supervisor pinned to the v5 dialect cannot ask for deltas at all:
+  // it logs the downgrade once and converges on full pulls.
+  {
+    QueryEngine aggregate(TestSchema());
+    RegisterSuite(aggregate);
+    SupervisorOptions options = TestOptions();
+    options.wire_version = 5;
+    AggregatorSupervisor supervisor(&aggregate, {edge.Config("edge")},
+                                    options);
+    ASSERT_TRUE(supervisor.Init().ok());
+    PollStats first = supervisor.PollOnce(0);
+    EXPECT_EQ(first.delta_pulls, 0);
+    EXPECT_EQ(first.full_pulls, 2);
+    PollStats second = supervisor.PollOnce(1000);
+    EXPECT_EQ(second.delta_pulls, 0);
+    EXPECT_EQ(second.full_pulls, 2);
+    ExpectSameAnswers(aggregate, single);
+  }
+}
+
 }  // namespace
 }  // namespace implistat::cluster

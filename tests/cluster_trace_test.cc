@@ -194,10 +194,12 @@ TEST(ClusterTraceTest, PollTraceSpansSupervisorSocketAndEdge) {
   ASSERT_NE(pull, nullptr);
   EXPECT_EQ(pull->parent_id, poll->span_id);
   EXPECT_EQ(std::string_view(pull->detail), "edge-a");
-  // Level 2: the SNAPSHOT RPC nests in the pull.
+  // Level 2: the snapshot RPC nests in the pull. With deltas on by
+  // default the supervisor pulls via SNAPSHOT_DELTA (the bootstrap
+  // round asks with since-epoch 0 and is answered with a full state).
   ASSERT_NE(roundtrip, nullptr);
   EXPECT_EQ(roundtrip->parent_id, pull->span_id);
-  EXPECT_EQ(std::string_view(roundtrip->detail), "snapshot");
+  EXPECT_EQ(std::string_view(roundtrip->detail), "snapshot_delta");
   // Level 3: ACROSS the socket — the edge server's handle span carries
   // the same 128-bit trace id, parented on the supervisor's RPC span,
   // recorded on the edge's serving thread.

@@ -297,14 +297,14 @@ TEST(PushFrameTest, PushFrameBytes) {
   EXPECT_EQ(EncodePushFrame(MsgType::kTriggerFired, EncodeTriggerFired(fired)),
             FromHex("1a000000"
                     "494d5057"              // "IMPW"
-                    "05"                    // protocol v5
+                    "06"                    // protocol v6
                     "8c"                    // kTriggerFired | kResponseFlag
                     "0f"                    // payload length
                     "00"                    // no extension block
                     "03637075"              // "cpu"
                     "ac02"                  // epoch 300
                     "000000000000f83f"      // value 1.5
-                    "92102a60"));           // CRC32C trailer
+                    "ef169171"));           // CRC32C trailer
 }
 
 // --- live socket -----------------------------------------------------------

@@ -17,6 +17,7 @@
 #include "core/nips_ci_ensemble.h"
 #include "core/sliding.h"
 #include "parallel/sharded_nips_ci.h"
+#include "delta/delta.h"
 #include "query/engine.h"
 #include "query/parser.h"
 #include "stream/csv_io.h"
@@ -366,6 +367,156 @@ TEST(StateFuzzTest, FutureVersionSnapshotsRejected) {
     Status status = target->RestoreState(future);
     EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
     EXPECT_NE(status.message().find("version"), std::string_view::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta snapshot robustness: a corrupt, stale, or future kDeltaSnapshot
+// must be refused cleanly with ZERO partial mutation of the receiver —
+// and after every refusal the normal resync (full pull, re-materialize,
+// next delta) must still work. One sweep per delta-capable kind.
+// ---------------------------------------------------------------------------
+
+const std::vector<DurableKind>& DeltaCapableKinds() {
+  static const std::vector<DurableKind> kinds = {DurableKinds()[0],   // nips_ci
+                                                 DurableKinds()[6]};  // sliding
+  return kinds;
+}
+
+TEST(DeltaFuzzTest, CorruptDeltasRefusedThenResyncCleanly) {
+  for (const DurableKind& kind : DeltaCapableKinds()) {
+    SCOPED_TRACE(kind.name);
+    auto source = kind.make();
+    FeedState(source.get(), 0, 1200);
+
+    // Receiver bootstraps from the full snapshot (epoch 1), sender notes
+    // the baseline, then advances so a real patch exists.
+    auto full = source->SerializeState();
+    ASSERT_TRUE(full.ok());
+    auto materialized = MaterializeEstimator(*full);
+    ASSERT_TRUE(materialized.ok()) << materialized.status();
+    std::unique_ptr<ImplicationEstimator> twin = std::move(*materialized);
+    source->NoteSnapshotEpoch(1);
+    FeedState(source.get(), 1200, 1500);
+    auto fragment = source->SerializeDelta(1, 2);
+    ASSERT_TRUE(fragment.ok()) << fragment.status();
+    const std::string valid = WrapDeltaSnapshot(1, 2, *fragment, true);
+    auto baseline = twin->SerializeState();
+    ASSERT_TRUE(baseline.ok());
+
+    // Any refusal must leave the twin bit-for-bit where it was.
+    auto expect_untouched = [&](const char* what) {
+      auto state = twin->SerializeState();
+      ASSERT_TRUE(state.ok());
+      EXPECT_EQ(*state, *baseline) << what << " partially mutated the twin";
+    };
+
+    // Bitflips: the envelope CRC (or a header check behind it) refuses.
+    Rng rng(47);
+    for (int iter = 0; iter < 500; ++iter) {
+      std::string corrupted = valid;
+      int flips = 1 + static_cast<int>(rng.Uniform(8));
+      for (int f = 0; f < flips; ++f) {
+        size_t pos = rng.Uniform(corrupted.size());
+        corrupted[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+      }
+      auto applied = ApplyDeltaSnapshot(twin.get(), corrupted, 1);
+      ASSERT_FALSE(applied.ok()) << "bitflipped delta applied, iter " << iter;
+      if (iter % 50 == 0) expect_untouched("bitflip");
+    }
+    expect_untouched("bitflip sweep");
+
+    // Truncations at every length.
+    for (size_t len = 0; len < valid.size(); len += 3) {
+      auto applied = ApplyDeltaSnapshot(
+          twin.get(), std::string_view(valid).substr(0, len), 1);
+      ASSERT_FALSE(applied.ok()) << "truncated delta applied, len " << len;
+    }
+    expect_untouched("truncation sweep");
+
+    // Random garbage.
+    for (int iter = 0; iter < 200; ++iter) {
+      std::string garbage(rng.Uniform(200), '\0');
+      for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
+      auto applied = ApplyDeltaSnapshot(twin.get(), garbage, 1);
+      ASSERT_FALSE(applied.ok()) << "garbage applied, iter " << iter;
+    }
+    expect_untouched("garbage sweep");
+
+    // Stale/wrong epoch: a perfectly valid delta against the wrong
+    // baseline is the epoch-regression case — FailedPrecondition.
+    auto stale = ApplyDeltaSnapshot(twin.get(), valid, 7);
+    EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+    expect_untouched("stale epoch");
+
+    // Future delta-format version, CRC re-sealed so only the version
+    // check can object; same for an unknown capability flag bit.
+    {
+      auto payload = UnwrapSnapshot(valid, SnapshotKind::kDeltaSnapshot);
+      ASSERT_TRUE(payload.ok());
+      std::string future(*payload);
+      future[0] = static_cast<char>(kDeltaFormatVersion + 1);
+      auto applied = ApplyDeltaSnapshot(
+          twin.get(), WrapSnapshot(SnapshotKind::kDeltaSnapshot, future), 1);
+      ASSERT_FALSE(applied.ok());
+      EXPECT_NE(applied.status().message().find("version"),
+                std::string_view::npos);
+      std::string flagged(*payload);
+      flagged[1] = static_cast<char>(flagged[1] | 0x80);
+      applied = ApplyDeltaSnapshot(
+          twin.get(), WrapSnapshot(SnapshotKind::kDeltaSnapshot, flagged), 1);
+      ASSERT_FALSE(applied.ok());
+      expect_untouched("future version / unknown flag");
+    }
+
+    // The valid patch still applies after the whole gauntlet, and the
+    // refusal-then-resync path works: desync the twin, watch the next
+    // patch refuse, resync from a full snapshot, and patch again.
+    auto applied = ApplyDeltaSnapshot(twin.get(), valid, 1);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    auto after = twin->SerializeState();
+    auto want = source->SerializeState();
+    ASSERT_TRUE(after.ok() && want.ok());
+    EXPECT_EQ(*after, *want);
+
+    FeedState(source.get(), 1500, 1800);
+    auto next = source->SerializeDelta(2, 3);
+    ASSERT_TRUE(next.ok());
+    const std::string next_sealed = WrapDeltaSnapshot(2, 3, *next, false);
+    auto desynced = kind.make();  // never held the patch's baseline
+    FeedState(desynced.get(), 0, 100);
+    auto desynced_before = desynced->SerializeState();
+    ASSERT_TRUE(desynced_before.ok());
+    auto refused = ApplyDeltaSnapshot(desynced.get(), next_sealed, 2);
+    if (!refused.ok()) {
+      auto unchanged = desynced->SerializeState();
+      ASSERT_TRUE(unchanged.ok());
+      EXPECT_EQ(*unchanged, *desynced_before)
+          << "refused patch mutated a desynced receiver";
+    } else {
+      // A patch that touched every cell since its baseline is total —
+      // it can legitimately rebuild even a desynced receiver into the
+      // sender's state. Either way the result must be a whole, usable
+      // estimator, never a torn one.
+      auto rebuilt = desynced->SerializeState();
+      ASSERT_TRUE(rebuilt.ok());
+      (void)desynced->EstimateImplicationCount();
+    }
+    auto resync_full = source->SerializeState();
+    ASSERT_TRUE(resync_full.ok());
+    auto resynced = MaterializeEstimator(*resync_full);
+    ASSERT_TRUE(resynced.ok());
+    source->NoteSnapshotEpoch(3);
+    FeedState(source.get(), 1800, 2000);
+    auto healed = source->SerializeDelta(3, 4);
+    ASSERT_TRUE(healed.ok());
+    auto heal_applied = ApplyDeltaSnapshot(
+        resynced->get(), WrapDeltaSnapshot(3, 4, *healed, true), 3);
+    ASSERT_TRUE(heal_applied.ok()) << heal_applied.status();
+    auto healed_state = (*resynced)->SerializeState();
+    auto source_state = source->SerializeState();
+    ASSERT_TRUE(healed_state.ok() && source_state.ok());
+    EXPECT_EQ(*healed_state, *source_state);
   }
 }
 

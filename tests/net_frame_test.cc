@@ -32,13 +32,13 @@ std::string FromHex(std::string_view hex) {
 // Known-answer vectors: the exact bytes of two minimal frames. A change
 // here is a wire-format break — old clients stop interoperating. The CRC
 // trailers are Castagnoli CRC32C values over the envelope bytes.
-// (Version byte is 0x05 since protocol v5 — the dialect that adds
-// SUBSCRIBE/UNSUBSCRIBE and the TRIGGER_FIRED push. The envelope payload
-// still opens with a varint extension-block length — 0x00 when no trace
-// context rides the frame — before the message payload, as in v3.)
+// (Version byte is 0x06 since protocol v6 — the dialect that adds the
+// SNAPSHOT_DELTA pull. The envelope payload still opens with a varint
+// extension-block length — 0x00 when no trace context rides the frame —
+// before the message payload, as in v3.)
 TEST(FrameKatTest, PingRequestBytes) {
   EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}),
-            FromHex("0c000000494d505705010100" "dbecdfaa"));
+            FromHex("0c000000494d505706010100" "e265fdc8"));
 }
 
 TEST(FrameKatTest, QueryOkResponseBytes) {
@@ -46,7 +46,7 @@ TEST(FrameKatTest, QueryOkResponseBytes) {
   // OK status header (code 0 varint, empty message).
   EXPECT_EQ(EncodeResponseFrame(MsgType::kQuery,
                                 EncodeResponsePayload(Status::OK())),
-            FromHex("0e000000494d5057058303000000" "1f35176c"));
+            FromHex("0e000000494d5057068303000000" "c5feab58"));
 }
 
 // The v2 dialect must keep emitting byte-identical frames: that is what
@@ -69,13 +69,13 @@ TEST(FrameKatTest, TracedPingRequestBytes) {
   trace.span_id = 0x1122334455667788ULL;
   trace.sampled = true;
   EXPECT_EQ(EncodeRequestFrame(MsgType::kPing, {}, trace),
-            FromHex("27000000494d505705011c"
+            FromHex("27000000494d505706011c"
                     "1b0119"                  // ext_len, tag 1, entry len 25
                     "efcdab8967452301"        // trace_hi
                     "1032547698badcfe"        // trace_lo
                     "8877665544332211"        // span_id
                     "01"                      // flags: sampled
-                    "c81b6063"));
+                    "5fba89ea"));
 }
 
 // The v4 derivation section round-trips, and the v3 dialect of the same

@@ -365,8 +365,9 @@ TEST(WireCompatTest, OutOfRangeVersionsAreConnectionFatal) {
     EXPECT_FALSE(conn.ReadFrame().ok());
   }
   {
-    RawConn conn(server.port());  // v6: a future dialect we cannot parse
-    conn.Send(EncodeRequestFrame(MsgType::kPing, {}, {}, /*version=*/6));
+    RawConn conn(server.port());  // a future dialect we cannot parse
+    conn.Send(EncodeRequestFrame(MsgType::kPing, {}, {},
+                                 /*version=*/kWireProtocolVersion + 1));
     EXPECT_FALSE(conn.ReadFrame().ok());
   }
   // The server itself shrugged both off.
